@@ -1,0 +1,49 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test bench repro fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every paper artifact and the attack campaigns.
+repro:
+	$(GO) run ./cmd/attest-tables
+	$(GO) run ./cmd/attack-sim
+
+# Machine-readable reproduction report.
+repro-json:
+	$(GO) run ./cmd/attest-tables -json
+
+# Short fuzzing pass over the frame decoders and the assembler.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeAttReq -fuzztime=10s ./internal/protocol/
+	$(GO) test -fuzz=FuzzDecodeCommandReq -fuzztime=10s ./internal/protocol/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/isa/
+	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s ./internal/isa/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dosflood
+	$(GO) run ./examples/roamingattack
+	$(GO) run ./examples/secureboot
+	$(GO) run ./examples/secureupdate
+	$(GO) run ./examples/fleet
+	$(GO) run ./examples/malware
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,425 @@
+// Ablation benchmarks: the design choices DESIGN.md calls out, swept so
+// their trade-offs are visible next to the paper's headline numbers.
+package proverattest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"proverattest/internal/adversary"
+	"proverattest/internal/anchor"
+	"proverattest/internal/core"
+	"proverattest/internal/mcu"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+const holdMs = 2000
+
+// BenchmarkAblation_MeasurementSize sweeps the attested memory size: the
+// per-attestation cost is linear in memory (§3.1's formula), which is why
+// the DoS damage scales with device memory, not protocol complexity.
+func BenchmarkAblation_MeasurementSize(b *testing.B) {
+	for _, kb := range []uint32{64, 128, 256, 512} {
+		kb := kb
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			var modeled float64
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewScenario(core.ScenarioConfig{
+					Freshness:      protocol.FreshCounter,
+					Auth:           protocol.AuthHMACSHA1,
+					Protection:     anchor.FullProtection(),
+					MeasuredRegion: mcu.Region{Start: mcu.RAMRegion.Start, Size: kb * 1024},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				before := s.Dev.M.ActiveCycles
+				s.IssueAt(s.K.Now() + sim.Millisecond)
+				s.RunUntil(s.K.Now() + 2*sim.Second)
+				if s.V.Accepted != 1 {
+					b.Fatal("attestation failed")
+				}
+				modeled = (s.Dev.M.ActiveCycles - before).Millis()
+			}
+			b.ReportMetric(modeled, "model_ms/attestation")
+		})
+	}
+}
+
+// BenchmarkAblation_TimestampWindow sweeps the freshness window against a
+// fixed 2 s delay attack: windows shorter than the adversary's hold time
+// block it, longer ones let it through — the window is the security
+// parameter, and its lower bound is set by network jitter.
+func BenchmarkAblation_TimestampWindow(b *testing.B) {
+	for _, windowMs := range []uint64{500, 1000, 3000, 5000} {
+		windowMs := windowMs
+		b.Run(fmt.Sprintf("window%dms", windowMs), func(b *testing.B) {
+			var blocked float64
+			for i := 0; i < b.N; i++ {
+				tap := &adversary.Interceptor{TargetIndex: 0, ExtraDelay: holdMs * sim.Millisecond}
+				s, err := core.NewScenario(core.ScenarioConfig{
+					Freshness:         protocol.FreshTimestamp,
+					Auth:              protocol.AuthHMACSHA1,
+					Clock:             anchor.ClockWide64,
+					TimestampWindowMs: windowMs,
+					Protection:        anchor.FullProtection(),
+					Tap:               tap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.IssueAt(s.K.Now() + sim.Second)
+				s.RunUntil(s.K.Now() + 10*sim.Second)
+				if s.Measurements() == 0 {
+					blocked = 1
+				} else {
+					blocked = 0
+				}
+				want := windowMs < holdMs
+				if (blocked == 1) != want {
+					b.Fatalf("window %d ms vs %d ms delay: blocked=%v, want %v",
+						windowMs, holdMs, blocked == 1, want)
+				}
+			}
+			b.ReportMetric(blocked, "delay_attack_blocked")
+		})
+	}
+}
+
+// BenchmarkAblation_NonceHistoryCapacity sweeps the bounded nonce history:
+// larger capacities push the replay window out at a linear cost in
+// non-volatile memory — the paper's reason to reject nonces for low-end
+// provers.
+func BenchmarkAblation_NonceHistoryCapacity(b *testing.B) {
+	for _, capacity := range []int{4, 16, 64, 256} {
+		capacity := capacity
+		b.Run(fmt.Sprintf("cap%d", capacity), func(b *testing.B) {
+			var replayable float64
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewScenario(core.ScenarioConfig{
+					Freshness:     protocol.FreshNonceHistory,
+					Auth:          protocol.AuthHMACSHA1,
+					NonceCapacity: capacity,
+					Protection:    anchor.FullProtection(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Record the first request, push `capacity` more through to
+				// evict it, then replay it.
+				req, err := s.V.NewRequest()
+				if err != nil {
+					b.Fatal(err)
+				}
+				frame := req.Encode()
+				send := func(buf []byte) {
+					s.K.At(s.K.Now()+sim.Millisecond, func() {
+						s.C.Send("verifier", "prover", buf)
+					})
+					s.RunUntil(s.K.Now() + 2*sim.Second)
+				}
+				send(frame)
+				for j := 0; j < capacity; j++ {
+					r, err := s.V.NewRequest()
+					if err != nil {
+						b.Fatal(err)
+					}
+					send(r.Encode())
+				}
+				before := s.Measurements()
+				send(frame) // the replay
+				if s.Measurements() > before {
+					replayable = 1
+				} else {
+					replayable = 0
+				}
+				// With exactly `capacity` fills the original nonce was
+				// evicted, so the replay must succeed at every capacity —
+				// the history only *delays* replayability.
+				if replayable != 1 {
+					b.Fatalf("cap %d: replay of evicted nonce failed", capacity)
+				}
+			}
+			b.ReportMetric(replayable, "evicted_replay_accepted")
+			b.ReportMetric(float64(protocol.BytesRequired(capacity)), "nvm_bytes")
+		})
+	}
+}
+
+// BenchmarkAblation_ClockResolution contrasts the two hardware clock
+// designs' resolution: the 32-bit/2^20 divider quantises readings to
+// ~43.7 ms, so tight future-skew tolerances misfire where the full-rate
+// 64-bit clock is exact — resolution trades silicon for protocol slack.
+func BenchmarkAblation_ClockResolution(b *testing.B) {
+	cases := []struct {
+		name    string
+		clock   anchor.ClockDesign
+		skewMs  uint64
+		wantAll bool
+	}{
+		{"wide64_skew10ms", anchor.ClockWide64, 10, true},
+		{"wide32_skew10ms", anchor.ClockWide32Div, 10, false},
+		{"wide32_skew100ms", anchor.ClockWide32Div, 100, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var accepted float64
+			const rounds = 20
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewScenario(core.ScenarioConfig{
+					Freshness:         protocol.FreshTimestamp,
+					Auth:              protocol.AuthHMACSHA1,
+					Clock:             tc.clock,
+					TimestampWindowMs: 1000,
+					TimestampSkewMs:   tc.skewMs,
+					Protection:        anchor.FullProtection(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Issue at deliberately awkward phases relative to the
+				// 43.7 ms quantum.
+				for j := 0; j < rounds; j++ {
+					s.IssueAt(s.K.Now() + sim.Time(j)*977*sim.Millisecond + sim.Second)
+				}
+				s.RunUntil(s.K.Now() + 40*sim.Second)
+				accepted = float64(s.V.Accepted)
+			}
+			if tc.wantAll && accepted != rounds {
+				b.Fatalf("%s: accepted %.0f/%d", tc.name, accepted, rounds)
+			}
+			if !tc.wantAll && accepted == rounds {
+				b.Fatalf("%s: expected quantisation rejects, got none", tc.name)
+			}
+			b.ReportMetric(accepted, "rounds_accepted")
+			b.ReportMetric(rounds, "rounds_issued")
+		})
+	}
+}
+
+// BenchmarkAblation_ChunkedMeasurement sweeps the measurement chunk size
+// across the real-time/TOCTOU trade-off the paper gestures at (§3.1's
+// real-time citation vs footnote 1's TOCTOU warning): smaller chunks bound
+// the primary task's latency, but any chunking at all re-opens the
+// relocation attack that the atomic (SMART-style) measurement is immune
+// to.
+func BenchmarkAblation_ChunkedMeasurement(b *testing.B) {
+	for _, chunk := range []uint32{0, 4 * 1024, 8 * 1024, 64 * 1024} {
+		chunk := chunk
+		name := "atomic"
+		if chunk > 0 {
+			name = fmt.Sprintf("chunk%dKB", chunk/1024)
+		}
+		b.Run(name, func(b *testing.B) {
+			var latencyMs float64
+			var toctou float64
+			for i := 0; i < b.N; i++ {
+				rt, err := core.RunRealtimeExperiment(chunk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rt.Accepted != 1 {
+					b.Fatalf("genuine attestation failed at chunk %d", chunk)
+				}
+				latencyMs = rt.WorstLatency.Milliseconds()
+				tc, err := core.RunTOCTOUExperiment(chunk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tc.AttackSucceeded {
+					toctou = 1
+				} else {
+					toctou = 0
+				}
+			}
+			// The trade-off must hold: atomic → immune but ~754 ms
+			// latency; chunked → bounded latency but TOCTOU-vulnerable.
+			if chunk == 0 && (toctou == 1 || latencyMs < 500) {
+				b.Fatalf("atomic: toctou=%v latency=%.1f ms", toctou == 1, latencyMs)
+			}
+			if chunk != 0 && chunk <= 64*1024 && toctou != 1 {
+				b.Fatalf("chunk %d: TOCTOU unexpectedly failed", chunk)
+			}
+			b.ReportMetric(latencyMs, "worst_sensor_latency_ms")
+			b.ReportMetric(toctou, "toctou_attack_succeeded")
+		})
+	}
+}
+
+// BenchmarkAblation_CounterFlashWear measures the hidden cost of §4.2's
+// counter mechanism: every accepted request programs the flash-resident
+// counter_R, and embedded flash endures only ~10^5 program cycles per
+// cell. At one attestation per minute the counter cell wears out in under
+// a year without wear levelling — and an adversary who obtains the key
+// can wear it out on purpose. (Forged requests do NOT wear the cell: the
+// write only happens after authentication and freshness pass.)
+func BenchmarkAblation_CounterFlashWear(b *testing.B) {
+	const endurance = 100_000 // program cycles per cell
+	var writesPerRequest float64
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewScenario(core.ScenarioConfig{
+			Freshness:  protocol.FreshCounter,
+			Auth:       protocol.AuthHMACSHA1,
+			Protection: anchor.FullProtection(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const rounds = 10
+		before := s.Dev.M.Bus.FlashBytesWritten
+		s.IssueEvery(s.K.Now()+sim.Second, sim.Second, rounds)
+		s.RunUntil(s.K.Now() + (rounds+3)*sim.Second)
+		if s.V.Accepted != rounds {
+			b.Fatalf("accepted %d/%d rounds", s.V.Accepted, rounds)
+		}
+		writesPerRequest = float64(s.Dev.M.Bus.FlashBytesWritten-before) / rounds
+	}
+	if writesPerRequest != 8 {
+		b.Fatalf("counter update wrote %.0f bytes/request, want 8", writesPerRequest)
+	}
+	// One program cycle per request on the counter cell: wear-out time at
+	// one request per minute.
+	days := float64(endurance) / (24 * 60)
+	b.ReportMetric(writesPerRequest, "flash_bytes_per_request")
+	b.ReportMetric(days, "wearout_days_at_1req_per_min")
+}
+
+// BenchmarkAblation_KeyLocation confirms the paper's §6.3 claim that the
+// ROM and flash key variants cost the same: both attest correctly and both
+// deny extraction; the EA-MAC rule count is identical.
+func BenchmarkAblation_KeyLocation(b *testing.B) {
+	for _, loc := range []anchor.KeyLocation{anchor.KeyInROM, anchor.KeyInFlash} {
+		loc := loc
+		name := "rom"
+		if loc == anchor.KeyInFlash {
+			name = "flash"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewScenario(core.ScenarioConfig{
+					Freshness:   protocol.FreshCounter,
+					Auth:        protocol.AuthHMACSHA1,
+					KeyLocation: loc,
+					Protection:  anchor.FullProtection(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				before := s.Dev.M.ActiveCycles
+				s.IssueAt(s.K.Now() + sim.Millisecond)
+				s.RunUntil(s.K.Now() + 2*sim.Second)
+				if s.V.Accepted != 1 {
+					b.Fatal("attestation failed")
+				}
+				cycles = float64(s.Dev.M.ActiveCycles - before)
+			}
+			b.ReportMetric(cycles/24000, "model_ms/attestation")
+			rules := anchor.ProtectionRules(mustNormalize(b, anchor.Config{
+				Freshness:   protocol.FreshCounter,
+				KeyLocation: loc,
+				AttestKey:   core.DefaultAttestKey,
+				Protection:  anchor.FullProtection(),
+			}))
+			b.ReportMetric(float64(len(rules)), "eampu_rules")
+		})
+	}
+}
+
+func mustNormalize(b *testing.B, cfg anchor.Config) anchor.Config {
+	b.Helper()
+	out, err := anchor.NormalizeConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkAblation_SWClockCPUOverhead measures the runtime price of the
+// Figure 1b design that the paper's Table 3 does not capture: the SW-clock
+// trades silicon (zero dedicated flops) for CPU time — Code_Clock runs on
+// every Clock_LSB wrap (every 2.80 s at our 2^26-cycle width). Over a
+// 10-minute idle window the duty cycle is measured; it must be far below
+// the cost of a single attestation, or the "free" clock would not be free.
+func BenchmarkAblation_SWClockCPUOverhead(b *testing.B) {
+	var isrCycles float64
+	var ticks uint64
+	const windowSec = 600
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewScenario(core.ScenarioConfig{
+			Freshness:  protocol.FreshTimestamp,
+			Auth:       protocol.AuthHMACSHA1,
+			Clock:      anchor.ClockSW,
+			Protection: anchor.FullProtection(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		before := s.Dev.M.ActiveCycles
+		s.RunUntil(s.K.Now() + windowSec*sim.Second)
+		isrCycles = float64(s.Dev.M.ActiveCycles - before)
+		ticks = s.Dev.A.Stats.ClockTicks
+	}
+	if ticks < 200 {
+		b.Fatalf("only %d wraps in %d s", ticks, windowSec)
+	}
+	dutyPct := 100 * isrCycles / (windowSec * 24e6)
+	if dutyPct > 0.001 {
+		b.Fatalf("SW-clock duty cycle %.5f%%, expected ≪0.001%%", dutyPct)
+	}
+	b.ReportMetric(float64(ticks), "wraps_served")
+	b.ReportMetric(isrCycles/float64(ticks), "cycles_per_wrap")
+	b.ReportMetric(dutyPct, "duty_pct")
+}
+
+// BenchmarkAblation_ArchitectureProfiles compares the three architecture
+// profiles end to end: all attest identically; SMART additionally needs no
+// MPU programming at boot (static rules), trading flexibility for a
+// smaller boot-time trusted computing base.
+func BenchmarkAblation_ArchitectureProfiles(b *testing.B) {
+	for _, p := range []anchor.Profile{anchor.ProfileTrustLite, anchor.ProfileSMART, anchor.ProfileTyTAN} {
+		p := p
+		b.Run(p.String(), func(b *testing.B) {
+			var bootMs float64
+			var accepted uint64
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewScenario(core.ScenarioConfig{
+					Profile:    p,
+					Freshness:  protocol.FreshCounter,
+					Auth:       protocol.AuthHMACSHA1,
+					Protection: anchor.FullProtection(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bootMs = s.Dev.Boot.Cycles.Millis()
+				s.IssueAt(s.K.Now() + sim.Millisecond)
+				s.RunUntil(s.K.Now() + 2*sim.Second)
+				accepted = s.V.Accepted
+			}
+			if accepted != 1 {
+				b.Fatalf("%v: attestation failed", p)
+			}
+			b.ReportMetric(bootMs, "boot_ms")
+			b.ReportMetric(float64(s0RulesProgrammedAtBoot(p)), "boot_programmed_rules")
+		})
+	}
+}
+
+func s0RulesProgrammedAtBoot(p anchor.Profile) int {
+	if p == anchor.ProfileSMART {
+		return 0
+	}
+	cfg, err := anchor.NormalizeConfig(anchor.Config{
+		Profile:    p,
+		Freshness:  protocol.FreshCounter,
+		AttestKey:  core.DefaultAttestKey,
+		Protection: anchor.FullProtection(),
+	})
+	if err != nil {
+		return -1
+	}
+	return len(anchor.ProtectionRules(cfg))
+}

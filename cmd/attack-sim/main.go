@@ -1,0 +1,144 @@
+// Command attack-sim runs the paper's attack campaigns end to end and
+// reports observed outcomes: the Adv_ext freshness matrix (Table 2), the
+// Adv_roam three-phase campaigns of §5 against protected and unprotected
+// provers, and the request-flood energy experiment behind §3.1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"proverattest/internal/core"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		matrix = flag.Bool("matrix", false, "run the Adv_ext attack x freshness matrix (Table 2)")
+		roam   = flag.Bool("roam", false, "run the Adv_roam campaigns (Section 5)")
+		flood  = flag.Bool("flood", false, "run the request-flood energy experiment (Section 3.1)")
+		fleet  = flag.Bool("fleet", false, "run the IoT fleet deployment (future-work 1)")
+		rate   = flag.Float64("rate", 10, "flood rate in requests/second")
+		secs   = flag.Int("seconds", 30, "flood duration in simulated seconds")
+	)
+	flag.Parse()
+	if !*matrix && !*roam && !*flood && !*fleet {
+		*matrix, *roam, *flood, *fleet = true, true, true, true
+	}
+
+	if *matrix {
+		if err := runMatrix(); err != nil {
+			log.Fatalf("attack-sim: matrix: %v", err)
+		}
+	}
+	if *roam {
+		if err := runRoaming(); err != nil {
+			log.Fatalf("attack-sim: roaming: %v", err)
+		}
+	}
+	if *flood {
+		if err := runFlood(*rate, *secs); err != nil {
+			log.Fatalf("attack-sim: flood: %v", err)
+		}
+	}
+	if *fleet {
+		if err := runFleet(*rate); err != nil {
+			log.Fatalf("attack-sim: fleet: %v", err)
+		}
+	}
+}
+
+func runFleet(rate float64) error {
+	fmt.Printf("=== IoT fleet: 12 provers, 3 flooded at %.0f req/s, 10 simulated minutes ===\n", rate)
+	fmt.Printf("%-22s %10s %12s %14s %14s\n",
+		"request auth", "genuine ok", "measurements", "flooded J/dev", "healthy J/dev")
+	for _, kind := range []protocol.AuthKind{protocol.AuthNone, protocol.AuthHMACSHA1} {
+		report, err := core.RunFleetExperiment(12, 3, kind, rate, 60*sim.Second, 10*sim.Minute)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %10d %12d %14.3f %14.3f\n",
+			kind, report.GenuineOK, report.Measurements,
+			report.FloodedEnergyJ, report.HealthyEnergyJ)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runMatrix() error {
+	fmt.Println("=== Adv_ext: attack x freshness matrix (Table 2) ===")
+	results, err := core.RunMatrix()
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		verdict := "MITIGATED"
+		if !r.Mitigated {
+			verdict = "ATTACK SUCCEEDED"
+		}
+		agree := "matches paper"
+		if r.Mitigated != core.PaperTable2[r.Attack][r.Freshness] {
+			agree = "DISAGREES WITH PAPER"
+		}
+		fmt.Printf("%-8s x %-11s: %-17s (%d measurements, honest baseline %d) [%s]\n",
+			r.Attack, r.Freshness, verdict, r.Measurements, r.HonestMeasurements, agree)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runRoaming() error {
+	fmt.Println("=== Adv_roam: three-phase campaigns (Section 5) ===")
+	for _, target := range core.AllRoamTargets {
+		for _, protected := range []bool{false, true} {
+			res, err := core.RunRoamingCampaign(target, protected)
+			if err != nil {
+				return fmt.Errorf("%v: %w", target, err)
+			}
+			mode := "UNPROTECTED"
+			if protected {
+				mode = "protected  "
+			}
+			verdict := "attack failed"
+			if res.AttackSucceeded {
+				verdict = "ATTACK SUCCEEDED"
+			}
+			fmt.Printf("%-22s [%s]: %-16s", target, mode, verdict)
+			if res.AttackSucceeded && res.CounterRestored && target == core.RoamCounter {
+				fmt.Printf("  (counter restored -> undetectable)")
+			}
+			if res.ClockBehindMs > 1000 {
+				fmt.Printf("  (prover clock left %d ms behind)", res.ClockBehindMs)
+			}
+			fmt.Println()
+			for _, o := range res.TamperOutcomes {
+				fmt.Printf("    phase II: %s\n", o)
+			}
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFlood(rate float64, secs int) error {
+	fmt.Printf("=== Verifier-impersonation flood: %.0f req/s for %d s (Section 3.1) ===\n", rate, secs)
+	fmt.Printf("%-22s %8s %8s %8s %9s %10s %12s\n",
+		"request auth", "injected", "measure", "rejectd", "duty%", "energy J", "battery days")
+	for _, kind := range []protocol.AuthKind{
+		protocol.AuthNone, protocol.AuthSpeckCBCMAC, protocol.AuthAESCBCMAC,
+		protocol.AuthHMACSHA1, protocol.AuthECDSA,
+	} {
+		res, err := core.RunFloodExperiment(kind, rate, sim.Duration(secs)*sim.Second)
+		if err != nil {
+			return fmt.Errorf("%v: %w", kind, err)
+		}
+		fmt.Printf("%-22s %8d %8d %8d %8.2f%% %10.4f %12.1f\n",
+			kind, res.Injected, res.Measurements, res.AuthRejected,
+			res.DutyCyclePct, res.EnergyJoules, res.LifetimeDays)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"proverattest/internal/core"
+	"proverattest/internal/crypto/cost"
+	"proverattest/internal/hwcost"
+)
+
+// Report is the machine-readable form of every reproduced artifact, for
+// downstream comparison pipelines (`attest-tables -json`).
+type Report struct {
+	Table1    []PrimitiveRow `json:"table1_primitives_ms"`
+	Section31 Section31      `json:"section31_memory_mac"`
+	Table2    []MatrixRow    `json:"table2_mitigation_matrix"`
+	Table3    Table3Data     `json:"table3_hardware_cost"`
+	Section63 []OverheadRow  `json:"section63_overhead"`
+}
+
+// PrimitiveRow is one Table 1 entry.
+type PrimitiveRow struct {
+	Name    string  `json:"name"`
+	Modeled float64 `json:"modeled_ms"`
+	Paper   float64 `json:"paper_ms"`
+}
+
+// Section31 is the §3.1 memory-MAC computation.
+type Section31 struct {
+	ModeledMs float64 `json:"modeled_ms"`
+	PaperMs   float64 `json:"paper_ms"`
+}
+
+// MatrixRow is one observed Table 2 cell.
+type MatrixRow struct {
+	Attack       string `json:"attack"`
+	Freshness    string `json:"freshness"`
+	Mitigated    bool   `json:"mitigated"`
+	PaperSaysOK  bool   `json:"paper_mitigated"`
+	Measurements uint64 `json:"measurements"`
+}
+
+// Table3Data holds the component costs and the baseline totals.
+type Table3Data struct {
+	CoreRegisters     int `json:"core_registers"`
+	CoreLUTs          int `json:"core_luts"`
+	MPUBaseRegisters  int `json:"eampu_base_registers"`
+	MPUBaseLUTs       int `json:"eampu_base_luts"`
+	MPURuleRegisters  int `json:"eampu_per_rule_registers"`
+	MPURuleLUTs       int `json:"eampu_per_rule_luts"`
+	BaselineRegisters int `json:"baseline_registers"`
+	BaselineLUTs      int `json:"baseline_luts"`
+}
+
+// OverheadRow is one §6.3 configuration.
+type OverheadRow struct {
+	Name         string  `json:"configuration"`
+	AddRegisters int     `json:"added_registers"`
+	AddLUTs      int     `json:"added_luts"`
+	RegisterPct  float64 `json:"register_pct"`
+	LUTPct       float64 `json:"lut_pct"`
+}
+
+// buildReport runs every reproduction and collects the results.
+func buildReport() (*Report, error) {
+	r := &Report{}
+	row := func(name string, c cost.Cycles, paper float64) {
+		r.Table1 = append(r.Table1, PrimitiveRow{Name: name, Modeled: c.Millis(), Paper: paper})
+	}
+	row("sha1-hmac-fixed", cost.SHA1HMACFixed, 0.340)
+	row("sha1-hmac-per-64B-block", cost.SHA1HMACPerBlock, 0.092)
+	row("aes128-key-expansion", cost.AESKeyExpansion, 0.074)
+	row("aes128-encrypt-block", cost.AESEncryptBlock, 0.288)
+	row("aes128-decrypt-block", cost.AESDecryptBlock, 0.570)
+	row("speck64128-key-expansion", cost.SpeckKeyExpansion, 0.016)
+	row("speck64128-encrypt-block", cost.SpeckEncryptBlock, 0.017)
+	row("speck64128-decrypt-block", cost.SpeckDecryptBlock, 0.015)
+	row("ecdsa-secp160r1-sign", cost.ECDSASign, 183.464)
+	row("ecdsa-secp160r1-verify", cost.ECDSAVerify, 170.907)
+
+	r.Section31 = Section31{ModeledMs: cost.HMACSHA1(512 * 1024).Millis(), PaperMs: 754.032}
+
+	results, err := core.RunMatrix()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range results {
+		r.Table2 = append(r.Table2, MatrixRow{
+			Attack:       m.Attack.String(),
+			Freshness:    m.Freshness.String(),
+			Mitigated:    m.Mitigated,
+			PaperSaysOK:  core.PaperTable2[m.Attack][m.Freshness],
+			Measurements: m.Measurements,
+		})
+	}
+
+	base := hwcost.Baseline().Total()
+	r.Table3 = Table3Data{
+		CoreRegisters:     hwcost.Core.Registers,
+		CoreLUTs:          hwcost.Core.LUTs,
+		MPUBaseRegisters:  hwcost.MPUBase.Registers,
+		MPUBaseLUTs:       hwcost.MPUBase.LUTs,
+		MPURuleRegisters:  hwcost.MPUPerRule.Registers,
+		MPURuleLUTs:       hwcost.MPUPerRule.LUTs,
+		BaselineRegisters: base.Registers,
+		BaselineLUTs:      base.LUTs,
+	}
+	for _, cfg := range hwcost.AllConfigs()[1:] {
+		o := hwcost.OverheadVsBaseline(cfg)
+		r.Section63 = append(r.Section63, OverheadRow{
+			Name:         cfg.Name,
+			AddRegisters: o.Added.Registers,
+			AddLUTs:      o.Added.LUTs,
+			RegisterPct:  o.RegisterPercent,
+			LUTPct:       o.LUTPercent,
+		})
+	}
+	return r, nil
+}
+
+// emitJSON writes the report to stdout.
+func emitJSON() error {
+	r, err := buildReport()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("encoding report: %w", err)
+	}
+	return nil
+}

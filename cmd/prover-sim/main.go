@@ -1,0 +1,155 @@
+// Command prover-sim is a flag-driven scenario runner: pick the request
+// authentication scheme, freshness mechanism, clock design, protection
+// level and traffic pattern, and observe the prover's behaviour, timing
+// and energy budget over a simulated deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"proverattest/internal/anchor"
+	"proverattest/internal/core"
+	"proverattest/internal/energy"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		authName    = flag.String("auth", "hmac", "request auth: none | hmac | aes | speck | ecdsa")
+		freshName   = flag.String("freshness", "counter", "freshness: none | nonces | counter | timestamps")
+		clockName   = flag.String("clock", "none", "clock: none | wide64 | wide32 | sw")
+		profileName = flag.String("profile", "trustlite", "architecture: trustlite | smart | tytan")
+		protected   = flag.Bool("protected", true, "install the Adv_roam protections (Figure 1)")
+		seconds     = flag.Int("seconds", 600, "simulated deployment length")
+		periodSec   = flag.Float64("period", 60, "seconds between genuine attestation requests")
+		windowMs    = flag.Uint64("window", 1000, "timestamp freshness window (ms)")
+	)
+	flag.Parse()
+
+	auth, err := parseAuth(*authName)
+	if err != nil {
+		log.Fatalf("prover-sim: %v", err)
+	}
+	fresh, err := parseFreshness(*freshName)
+	if err != nil {
+		log.Fatalf("prover-sim: %v", err)
+	}
+	clock, err := parseClock(*clockName)
+	if err != nil {
+		log.Fatalf("prover-sim: %v", err)
+	}
+	profile, err := parseProfile(*profileName)
+	if err != nil {
+		log.Fatalf("prover-sim: %v", err)
+	}
+	if fresh == protocol.FreshTimestamp && clock == anchor.ClockNone {
+		clock = anchor.ClockWide64
+		fmt.Println("note: timestamps need a clock; defaulting to the 64-bit hardware design")
+	}
+
+	prot := anchor.Protection{Key: true, LockMPU: true}
+	if *protected {
+		prot = anchor.FullProtection()
+	}
+	battery := energy.CoinCellCR2032()
+	s, err := core.NewScenario(core.ScenarioConfig{
+		Profile:           profile,
+		Freshness:         fresh,
+		Auth:              auth,
+		Clock:             clock,
+		TimestampWindowMs: *windowMs,
+		Protection:        prot,
+		Battery:           battery,
+	})
+	if err != nil {
+		log.Fatalf("prover-sim: %v", err)
+	}
+
+	duration := sim.Duration(*seconds) * sim.Second
+	period := sim.Duration(*periodSec * float64(sim.Second))
+	count := int(duration / period)
+	s.IssueEvery(s.K.Now()+period, period, count)
+	// Run a little past the deployment window so a request issued at the
+	// boundary still completes its round trip.
+	s.RunUntil(s.K.Now() + duration + 3*sim.Second)
+	s.Dev.ChargeSleep(duration)
+
+	st := s.Dev.A.Stats
+	fmt.Printf("configuration: profile=%v auth=%v freshness=%v clock=%v protected=%v\n",
+		profile, auth, fresh, clock, *protected)
+	fmt.Printf("deployment:    %d s simulated, one request every %.0f s\n\n", *seconds, *periodSec)
+	fmt.Printf("verifier:      issued %d, accepted %d, rejected %d, unsolicited %d\n",
+		s.V.Issued, s.V.Accepted, s.V.Rejected, s.V.Unsolicited)
+	fmt.Printf("prover:        received %d, measured %d, auth-rejected %d, freshness-rejected %d, malformed %d\n",
+		st.Received, st.Measurements, st.AuthRejected, st.FreshnessRejected, st.Malformed)
+	if clock == anchor.ClockSW {
+		fmt.Printf("SW clock:      %d Code_Clock ticks, prover clock reads %d ms\n",
+			st.ClockTicks, s.Dev.A.ClockNowMs())
+	}
+	fmt.Printf("CPU:           %.1f ms active (%.4f%% duty cycle)\n",
+		s.Dev.M.ActiveCycles.Millis(),
+		100*float64(s.Dev.M.ActiveCycles.Millis())/float64(duration.Milliseconds()))
+	fmt.Printf("energy:        %.4f J consumed; battery %s\n",
+		s.Dev.ActiveEnergyJoules(), battery)
+}
+
+func parseAuth(s string) (protocol.AuthKind, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return protocol.AuthNone, nil
+	case "hmac":
+		return protocol.AuthHMACSHA1, nil
+	case "aes":
+		return protocol.AuthAESCBCMAC, nil
+	case "speck":
+		return protocol.AuthSpeckCBCMAC, nil
+	case "ecdsa":
+		return protocol.AuthECDSA, nil
+	}
+	return 0, fmt.Errorf("unknown auth scheme %q", s)
+}
+
+func parseFreshness(s string) (protocol.FreshnessKind, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return protocol.FreshNone, nil
+	case "nonces":
+		return protocol.FreshNonceHistory, nil
+	case "counter":
+		return protocol.FreshCounter, nil
+	case "timestamps":
+		return protocol.FreshTimestamp, nil
+	}
+	return 0, fmt.Errorf("unknown freshness mechanism %q", s)
+}
+
+func parseProfile(s string) (anchor.Profile, error) {
+	switch strings.ToLower(s) {
+	case "trustlite":
+		return anchor.ProfileTrustLite, nil
+	case "smart":
+		return anchor.ProfileSMART, nil
+	case "tytan":
+		return anchor.ProfileTyTAN, nil
+	}
+	return 0, fmt.Errorf("unknown architecture profile %q", s)
+}
+
+func parseClock(s string) (anchor.ClockDesign, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return anchor.ClockNone, nil
+	case "wide64":
+		return anchor.ClockWide64, nil
+	case "wide32":
+		return anchor.ClockWide32Div, nil
+	case "sw":
+		return anchor.ClockSW, nil
+	}
+	return 0, fmt.Errorf("unknown clock design %q", s)
+}

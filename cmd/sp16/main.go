@@ -1,0 +1,86 @@
+// Command sp16 assembles and runs SP16 programs on a fresh simulated MCU —
+// the developer tool for writing application and malware firmware for the
+// prover. It prints the final register file, the stop reason, the cycle
+// cost at 24 MHz, and (with -trace) every EA-MPU denial the program
+// incurred.
+//
+//	sp16 [-base 0x100000] [-entry addr] [-max N] [-dump] [-trace] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"proverattest/internal/isa"
+	"proverattest/internal/mcu"
+	"proverattest/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		base  = flag.Uint64("base", uint64(mcu.FlashRegion.Start), "load address")
+		entry = flag.Uint64("entry", 0, "entry point (default: load address)")
+		max   = flag.Uint64("max", 1_000_000, "instruction budget")
+		dump  = flag.Bool("dump", false, "print the assembled image and exit")
+		trace = flag.Bool("trace", false, "print denied bus accesses")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("sp16: usage: sp16 [flags] prog.s")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("sp16: %v", err)
+	}
+
+	img, err := isa.Assemble(uint32(*base), string(src))
+	if err != nil {
+		log.Fatalf("sp16: %v", err)
+	}
+	fmt.Printf("assembled %d bytes at %#x\n", len(img), *base)
+	if *dump {
+		for _, line := range isa.Disassemble(uint32(*base), img) {
+			fmt.Println(line)
+		}
+		return
+	}
+
+	k := sim.NewKernel()
+	m := mcu.New(k, mcu.Config{MPURules: 8})
+	var tr *mcu.Tracer
+	if *trace {
+		tr = mcu.NewTracer(64, true)
+		m.AttachTracer(tr)
+	}
+	m.Space.DirectWrite(mcu.Addr(*base), img)
+
+	start := mcu.Addr(*base)
+	if *entry != 0 {
+		start = mcu.Addr(*entry)
+	}
+	region := mcu.Region{Start: mcu.Addr(*base), Size: uint32(len(img)) + 4*mcu.KiB}
+	var res isa.Result
+	isa.RunProgram(m, "program", region, start, *max, func(r isa.Result) { res = r })
+	k.RunUntil(k.Now() + sim.Hour)
+
+	fmt.Printf("stopped:   %v at pc %#x\n", res.Reason, uint32(res.PC))
+	if res.Fault != nil {
+		fmt.Printf("fault:     %v\n", res.Fault)
+	}
+	fmt.Printf("executed:  %d instructions, %d cycles (%.3f ms at 24 MHz)\n",
+		res.Instructions, res.Cycles, res.Cycles.Millis())
+	for i := 0; i < isa.NumRegs; i += 4 {
+		for j := i; j < i+4; j++ {
+			fmt.Printf("r%-2d = %#08x   ", j, res.Regs[j])
+		}
+		fmt.Println()
+	}
+	if tr != nil {
+		for _, e := range tr.Entries() {
+			fmt.Println("trace:", e)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Fleet: the paper's future-work item 1 — the prover-side protections in
+// an IoT deployment.
+//
+// Twelve battery-powered provers share one simulated timeline; a verifier
+// attests each of them once a minute; an adversary floods a quarter of the
+// fleet with forged requests. The example runs the deployment twice — with
+// and without request authentication — and prints what happens to the
+// attacked sensors' batteries.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proverattest/internal/core"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		provers = 12
+		flooded = 3
+		rate    = 10.0 // forged requests per second, per attacked prover
+		period  = 60 * sim.Second
+		horizon = 10 * sim.Minute
+	)
+	fmt.Printf("fleet: %d provers, %d under a %.0f req/s forged flood, attested every %v for %v\n\n",
+		provers, flooded, rate, period, horizon)
+	fmt.Printf("%-22s %10s %12s %14s %14s\n",
+		"request auth", "genuine ok", "measurements", "flooded J/dev", "healthy J/dev")
+
+	for _, kind := range []protocol.AuthKind{protocol.AuthNone, protocol.AuthHMACSHA1} {
+		report, err := core.RunFleetExperiment(provers, flooded, kind, rate, period, horizon)
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		fmt.Printf("%-22s %10d %12d %14.3f %14.3f\n",
+			kind, report.GenuineOK, report.Measurements,
+			report.FloodedEnergyJ, report.HealthyEnergyJ)
+	}
+
+	fmt.Println(`
+reading the table:
+  - unauthenticated: the three attacked sensors each burn two orders of
+    magnitude more energy than their neighbours — the adversary silently
+    selects which devices die first;
+  - with request authentication the flood is absorbed at MAC-check cost
+    and the whole fleet ages almost uniformly.`)
+}

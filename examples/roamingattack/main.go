@@ -1,0 +1,76 @@
+// Roaming attack: the paper's §5 three-phase adversary, played out twice.
+//
+// Phase I:  Adv_roam eavesdrops on a genuine attestation request.
+// Phase II: it briefly compromises the prover, rolls the anti-replay state
+//
+//	back (counter or clock, selectable), and erases its traces.
+//
+// Phase III: it replays the recorded request.
+//
+// Against an unprotected prover the replay triggers a full unauthorized
+// measurement — and for the counter variant the device state afterwards is
+// indistinguishable from an honest run. Against a prover whose counter,
+// clock and IDT are guarded by EA-MPU rules locked down at secure boot,
+// every Phase II write faults and the replay is refused.
+//
+//	go run ./examples/roamingattack            # counter rollback
+//	go run ./examples/roamingattack -swclock   # stall the Figure 1b SW clock
+//	go run ./examples/roamingattack -clock     # reset the Figure 1a HW clock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"proverattest/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		swclock = flag.Bool("swclock", false, "attack the Figure 1b SW-clock (IDT patch)")
+		hwclock = flag.Bool("clock", false, "attack the Figure 1a wide hardware clock (clock reset)")
+	)
+	flag.Parse()
+
+	target := core.RoamCounter
+	switch {
+	case *swclock:
+		target = core.RoamIDTPatch
+	case *hwclock:
+		target = core.RoamClockReset
+	}
+
+	fmt.Printf("Adv_roam campaign: %v\n\n", target)
+	for _, protected := range []bool{false, true} {
+		label := "UNPROTECTED prover (no EA-MPU rules on the anti-replay state)"
+		if protected {
+			label = "PROTECTED prover (Figure 1 EA-MPU rules, locked at secure boot)"
+		}
+		fmt.Println(label)
+
+		res, err := core.RunRoamingCampaign(target, protected)
+		if err != nil {
+			log.Fatalf("roamingattack: %v", err)
+		}
+		for _, o := range res.TamperOutcomes {
+			fmt.Printf("  phase II: %s\n", o)
+		}
+		fmt.Printf("  phase III replay: prover performed %d measurement(s); honest baseline is %d\n",
+			res.Measurements, res.HonestMeasurements)
+		if res.AttackSucceeded {
+			fmt.Println("  => ATTACK SUCCEEDED: the prover did unauthorized work")
+			if res.CounterRestored && target == core.RoamCounter {
+				fmt.Println("     counter_R is back at its pre-attack value: no evidence remains")
+			}
+			if res.ClockBehindMs > 1000 {
+				fmt.Printf("     but the prover clock is %d ms behind real time: evidence survives\n",
+					res.ClockBehindMs)
+			}
+		} else {
+			fmt.Println("  => attack failed: the stale request was refused")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module proverattest
+
+go 1.22

@@ -1,0 +1,256 @@
+package adversary
+
+import (
+	"bytes"
+	"testing"
+
+	"proverattest/internal/anchor"
+	"proverattest/internal/channel"
+	"proverattest/internal/mcu"
+	"proverattest/internal/sim"
+)
+
+func TestRecorderCapturesAndForwards(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &Recorder{}
+	c := channel.New(k, 0, rec)
+	delivered := 0
+	c.Attach(channel.Prover, func(channel.Message) { delivered++ })
+	c.Attach(channel.Verifier, func(channel.Message) {})
+	c.Send(channel.Verifier, channel.Prover, []byte("req-1"))
+	c.Send(channel.Prover, channel.Verifier, []byte("resp-1")) // not recorded (default match)
+	c.Send(channel.Verifier, channel.Prover, []byte("req-2"))
+	k.Run()
+
+	if delivered != 2 {
+		t.Fatalf("delivered %d frames to prover, want 2 (recorder must forward)", delivered)
+	}
+	if len(rec.Frames) != 2 {
+		t.Fatalf("recorded %d frames, want 2", len(rec.Frames))
+	}
+	if !bytes.Equal(rec.Recorded(0).Payload, []byte("req-1")) {
+		t.Fatalf("recorded payload = %q", rec.Recorded(0).Payload)
+	}
+	// Recorded returns copies.
+	rec.Recorded(0).Payload[0] = 'X'
+	if rec.Frames[0].Payload[0] == 'X' {
+		t.Fatal("Recorded aliases the stored frame")
+	}
+}
+
+func TestRecorderCustomMatch(t *testing.T) {
+	k := sim.NewKernel()
+	rec := &Recorder{Match: func(m channel.Message) bool { return m.To == channel.Verifier }}
+	c := channel.New(k, 0, rec)
+	c.Attach(channel.Prover, func(channel.Message) {})
+	c.Attach(channel.Verifier, func(channel.Message) {})
+	c.Send(channel.Verifier, channel.Prover, []byte("req"))
+	c.Send(channel.Prover, channel.Verifier, []byte("resp"))
+	k.Run()
+	if len(rec.Frames) != 1 || !bytes.Equal(rec.Frames[0].Payload, []byte("resp")) {
+		t.Fatalf("custom match recorded %v", rec.Frames)
+	}
+}
+
+func TestInterceptorReplayDuplicates(t *testing.T) {
+	k := sim.NewKernel()
+	tap := &Interceptor{TargetIndex: 0, Duplicate: 10 * sim.Millisecond}
+	c := channel.New(k, sim.Millisecond, tap)
+	var times []sim.Time
+	c.Attach(channel.Prover, func(channel.Message) { times = append(times, k.Now()) })
+	c.Send(channel.Verifier, channel.Prover, []byte("req"))
+	k.Run()
+	if len(times) != 2 {
+		t.Fatalf("replay delivered %d copies, want 2", len(times))
+	}
+	if times[1]-times[0] != 10*sim.Millisecond {
+		t.Fatalf("replay gap = %v, want 10 ms", times[1]-times[0])
+	}
+	if !tap.Hit {
+		t.Fatal("Hit not set")
+	}
+}
+
+func TestInterceptorDelayHoldsFrame(t *testing.T) {
+	k := sim.NewKernel()
+	tap := &Interceptor{TargetIndex: 1, ExtraDelay: 5 * sim.Millisecond}
+	c := channel.New(k, sim.Millisecond, tap)
+	var order []string
+	c.Attach(channel.Prover, func(m channel.Message) { order = append(order, string(m.Payload)) })
+	c.Send(channel.Verifier, channel.Prover, []byte("a")) // index 0: passes
+	c.Send(channel.Verifier, channel.Prover, []byte("b")) // index 1: held 5 ms
+	c.Send(channel.Verifier, channel.Prover, []byte("c")) // index 2: passes
+	k.Run()
+	want := []string{"a", "c", "b"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("delivery order %v, want %v", order, want)
+	}
+}
+
+func TestInterceptorDrop(t *testing.T) {
+	k := sim.NewKernel()
+	tap := &Interceptor{TargetIndex: 0, Drop: true}
+	c := channel.New(k, 0, tap)
+	got := 0
+	c.Attach(channel.Prover, func(channel.Message) { got++ })
+	c.Send(channel.Verifier, channel.Prover, []byte("x"))
+	c.Send(channel.Verifier, channel.Prover, []byte("y"))
+	k.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d frames, want 1 (first dropped)", got)
+	}
+}
+
+func TestInterceptorIgnoresNonMatching(t *testing.T) {
+	k := sim.NewKernel()
+	tap := &Interceptor{TargetIndex: 0, Drop: true}
+	c := channel.New(k, 0, tap)
+	got := 0
+	c.Attach(channel.Verifier, func(channel.Message) { got++ })
+	// Prover→verifier traffic does not match the default filter.
+	c.Send(channel.Prover, channel.Verifier, []byte("resp"))
+	k.Run()
+	if got != 1 {
+		t.Fatal("non-matching frame was manipulated")
+	}
+	if tap.Hit {
+		t.Fatal("Hit set by non-matching traffic")
+	}
+}
+
+func TestFloodInjectsAtRate(t *testing.T) {
+	k := sim.NewKernel()
+	c := channel.New(k, 0, nil)
+	got := 0
+	c.Attach(channel.Prover, func(m channel.Message) {
+		if !m.Injected {
+			t.Error("flood frame not marked injected")
+		}
+		got++
+	})
+	f := &Flood{C: c, K: k, Interval: 10 * sim.Millisecond, Frame: func(i int) []byte { return []byte{byte(i)} }}
+	f.Start(5)
+	k.Run()
+	if got != 5 || f.Injected != 5 {
+		t.Fatalf("flood delivered %d (injected %d), want 5", got, f.Injected)
+	}
+	if k.Now() != 40*sim.Millisecond {
+		t.Fatalf("five frames at 10 ms intervals should end at 40 ms, got %v", k.Now())
+	}
+}
+
+func TestFloodStop(t *testing.T) {
+	k := sim.NewKernel()
+	c := channel.New(k, 0, nil)
+	c.Attach(channel.Prover, func(channel.Message) {})
+	f := &Flood{C: c, K: k, Interval: sim.Millisecond, Frame: func(int) []byte { return nil }}
+	f.Start(0) // unbounded
+	k.At(10*sim.Millisecond+1, func() { f.Stop() })
+	k.RunUntil(sim.Second)
+	if f.Injected < 10 || f.Injected > 12 {
+		t.Fatalf("injected %d frames before Stop, want ≈11", f.Injected)
+	}
+}
+
+func TestFloodRequiresInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-interval flood did not panic")
+		}
+	}()
+	f := &Flood{C: nil, K: sim.NewKernel(), Interval: 0, Frame: func(int) []byte { return nil }}
+	f.Start(1)
+}
+
+func TestInfectIsIdempotent(t *testing.T) {
+	k := sim.NewKernel()
+	m := mcu.New(k, mcu.Config{MPURules: 4})
+	r1 := Infect(m, k)
+	r2 := Infect(m, k)
+	if r1.Malware != r2.Malware {
+		t.Fatal("double infection registered two malware tasks")
+	}
+}
+
+func TestRoamingPrimitivesOnBareMCU(t *testing.T) {
+	// On a completely unprotected MCU every tamper primitive succeeds.
+	k := sim.NewKernel()
+	m := mcu.New(k, mcu.Config{MPURules: 4})
+	mcu.NewWideClock(m, 64, 0)
+	m.Space.DirectWrite(anchor.CounterAddr, []byte{7, 0, 0, 0, 0, 0, 0, 0})
+
+	r := Infect(m, k)
+	v, out := r.ReadCounter()
+	if !out.Succeeded || v != 7 {
+		t.Fatalf("ReadCounter = %d, %v", v, out)
+	}
+	if out := r.RollbackCounter(6); !out.Succeeded {
+		t.Fatalf("RollbackCounter blocked on bare MCU: %v", out)
+	}
+	if got := m.Space.DirectRead(anchor.CounterAddr, 8)[0]; got != 6 {
+		t.Fatalf("counter after rollback = %d, want 6", got)
+	}
+	if out := r.ResetWideClock(1234); !out.Succeeded {
+		t.Fatalf("ResetWideClock blocked: %v", out)
+	}
+	if out := r.ExtractKey(anchor.KeyROMAddr); !out.Succeeded || len(out.Loot) != int(anchor.KeySize) {
+		t.Fatalf("ExtractKey = %v", out)
+	}
+	if out := r.MaskTimerIRQ(); !out.Succeeded {
+		t.Fatalf("MaskTimerIRQ blocked: %v", out)
+	}
+	if out := r.EraseTraces(); !out.Succeeded {
+		t.Fatalf("EraseTraces blocked: %v", out)
+	}
+	if len(r.Log) == 0 {
+		t.Fatal("attack log empty")
+	}
+}
+
+func TestMoveIDTAgainstLock(t *testing.T) {
+	k := sim.NewKernel()
+	m := mcu.New(k, mcu.Config{MPURules: 4})
+	// Boot-style configuration: IDT base set and locked.
+	if err := m.IRQ.Store(0x04, uint32(anchor.IDTBase)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.IRQ.Store(0x08, 1); err != nil {
+		t.Fatal(err)
+	}
+	r := Infect(m, k)
+	out := r.MoveIDT(mcu.RAMRegion.Start + 0x8000)
+	if out.Succeeded {
+		t.Fatal("IDT base moved despite the lock")
+	}
+	if m.IRQ.IDTBase() != anchor.IDTBase {
+		t.Fatal("IDT base changed")
+	}
+}
+
+func TestMoveIDTUnlockedSucceeds(t *testing.T) {
+	k := sim.NewKernel()
+	m := mcu.New(k, mcu.Config{MPURules: 4})
+	if err := m.IRQ.Store(0x04, uint32(anchor.IDTBase)); err != nil {
+		t.Fatal(err)
+	}
+	r := Infect(m, k)
+	evil := mcu.RAMRegion.Start + 0x8000
+	out := r.MoveIDT(evil)
+	if !out.Succeeded {
+		t.Fatalf("MoveIDT blocked on unlocked controller: %v", out)
+	}
+	if m.IRQ.IDTBase() != evil {
+		t.Fatal("IDT base not moved")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	ok := Outcome{Action: "x", Succeeded: true}
+	if ok.String() != "x: SUCCEEDED" {
+		t.Errorf("String = %q", ok.String())
+	}
+	blocked := Outcome{Action: "y", Fault: &mcu.Fault{Reason: "denied"}}
+	if blocked.String() == "" {
+		t.Error("blocked outcome has empty String")
+	}
+}

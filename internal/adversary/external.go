@@ -1,0 +1,142 @@
+// Package adversary implements the paper's two attacker models (§3.2):
+// the external Dolev-Yao adversary Adv_ext, who fully controls the
+// verifier–prover channel (drop, delay, reorder, replay, inject), and the
+// roaming adversary Adv_roam, who additionally compromises the prover,
+// tampers with its anti-replay state, erases its traces and replays
+// recorded requests later. Attacks are executed, not asserted: every
+// outcome is observed through the simulated system's behaviour.
+package adversary
+
+import (
+	"proverattest/internal/channel"
+	"proverattest/internal/sim"
+)
+
+// Recorder is the eavesdropping tap (Adv_roam Phase I, and the replay
+// setup for Adv_ext): it passes all traffic through unchanged while
+// keeping deep copies of the frames matching Match.
+type Recorder struct {
+	// Match selects frames to record; nil records verifier→prover frames.
+	Match func(channel.Message) bool
+	// Inner handles delivery after recording; nil means passthrough.
+	Inner channel.Tap
+
+	Frames []channel.Message
+}
+
+// OnSend implements channel.Tap.
+func (r *Recorder) OnSend(msg channel.Message, now sim.Time) []channel.Delivery {
+	match := r.Match
+	if match == nil {
+		match = func(m channel.Message) bool { return m.To == channel.Prover }
+	}
+	if match(msg) {
+		r.Frames = append(r.Frames, msg.Clone())
+	}
+	if r.Inner != nil {
+		return r.Inner.OnSend(msg, now)
+	}
+	return []channel.Delivery{{Msg: msg}}
+}
+
+// Recorded returns the nth recorded frame (panics if absent — a scenario
+// scripting bug).
+func (r *Recorder) Recorded(n int) channel.Message {
+	return r.Frames[n].Clone()
+}
+
+// Interceptor is the general Adv_ext in-path manipulation: it singles out
+// the Nth frame matching Match and drops, delays or duplicates it, passing
+// everything else through. One Interceptor expresses all three Table 2
+// attacks:
+//
+//	replay:  Duplicate = δ   (deliver now AND again δ later)
+//	delay:   ExtraDelay = δ  (deliver only δ later)
+//	reorder: ExtraDelay just long enough to let the next frame overtake
+type Interceptor struct {
+	// Match selects manipulable frames; nil means verifier→prover.
+	Match func(channel.Message) bool
+	// TargetIndex is the 0-based index among matching frames.
+	TargetIndex int
+	// Drop discards the target frame entirely.
+	Drop bool
+	// ExtraDelay postpones the target's delivery.
+	ExtraDelay sim.Duration
+	// Duplicate, when > 0, delivers the target normally and again after
+	// this extra delay (the classic replay).
+	Duplicate sim.Duration
+
+	seen int
+	Hit  bool // the target frame was seen and manipulated
+}
+
+// OnSend implements channel.Tap.
+func (i *Interceptor) OnSend(msg channel.Message, now sim.Time) []channel.Delivery {
+	match := i.Match
+	if match == nil {
+		match = func(m channel.Message) bool { return m.To == channel.Prover }
+	}
+	if !match(msg) {
+		return []channel.Delivery{{Msg: msg}}
+	}
+	idx := i.seen
+	i.seen++
+	if idx != i.TargetIndex {
+		return []channel.Delivery{{Msg: msg}}
+	}
+	i.Hit = true
+	switch {
+	case i.Drop:
+		return nil
+	case i.Duplicate > 0:
+		return []channel.Delivery{
+			{Msg: msg},
+			{Msg: msg.Clone(), ExtraDelay: i.Duplicate},
+		}
+	default:
+		return []channel.Delivery{{Msg: msg, ExtraDelay: i.ExtraDelay}}
+	}
+}
+
+// Flood models verifier impersonation at scale (§3.1): inject bogus or
+// recorded request frames at a fixed rate. It is driven by kernel events,
+// not a tap — the adversary originates this traffic.
+type Flood struct {
+	C        *channel.Channel
+	K        *sim.Kernel
+	Interval sim.Duration
+	// Frame builds the ith injected payload. A verifier impersonator
+	// without the key sends garbage-tagged requests; a replay flood
+	// resends a recorded frame.
+	Frame func(i int) []byte
+
+	Injected int
+	stopped  bool
+}
+
+// Start begins injecting count frames (count ≤ 0 means until Stop).
+func (f *Flood) Start(count int) {
+	if f.Interval <= 0 {
+		panic("adversary: flood interval must be positive")
+	}
+	var tick func()
+	tick = func() {
+		if f.stopped || (count > 0 && f.Injected >= count) {
+			return
+		}
+		payload := f.Frame(f.Injected)
+		f.C.Inject(channel.Message{
+			From:    channel.Verifier, // impersonation
+			To:      channel.Prover,
+			Payload: payload,
+		}, 0)
+		f.Injected++
+		if count <= 0 || f.Injected < count {
+			f.K.After(f.Interval, tick)
+		}
+	}
+	f.K.After(0, tick)
+}
+
+// Stop halts the flood.
+func (f *Flood) Stop() { f.stopped = true }

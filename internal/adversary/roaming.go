@@ -1,0 +1,199 @@
+package adversary
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"proverattest/internal/anchor"
+	"proverattest/internal/mcu"
+	"proverattest/internal/sim"
+)
+
+// Outcome records one Phase II tampering attempt. Succeeded means the
+// hardware let the write/read happen; Fault carries the EA-MPU denial
+// otherwise.
+type Outcome struct {
+	Action    string
+	Succeeded bool
+	Fault     *mcu.Fault
+	// Loot holds bytes exfiltrated by read attacks (key extraction).
+	Loot []byte
+}
+
+func (o Outcome) String() string {
+	if o.Succeeded {
+		return fmt.Sprintf("%s: SUCCEEDED", o.Action)
+	}
+	return fmt.Sprintf("%s: blocked (%v)", o.Action, o.Fault)
+}
+
+// Roaming is Adv_roam (§3.2): malware running on the prover with full
+// control of application software — every region except the ROM-resident
+// trust anchor. Its memory accesses go through the bus under the malware
+// task's program counter, so the installed EA-MPU rules decide what it can
+// reach. Phase I (eavesdropping) is a Recorder on the channel; Phase III
+// (replay) re-injects recorded frames; the methods here are the Phase II
+// state-tampering moves from §5, plus the trace-erasure step.
+type Roaming struct {
+	M       *mcu.MCU
+	K       *sim.Kernel
+	Malware *mcu.Task
+
+	// Log accumulates all Phase II outcomes.
+	Log []Outcome
+}
+
+// MalwareRegion is where the implant's code sits: inside the application's
+// flash, far from the anchor regions.
+var MalwareRegion = mcu.Region{Start: mcu.FlashRegion.Start + 0x40000, Size: 0x2000}
+
+// Infect registers the malware task on the prover (the moment Adv_roam
+// gains execution). Idempotent per MCU.
+func Infect(m *mcu.MCU, k *sim.Kernel) *Roaming {
+	r := &Roaming{M: m, K: k}
+	if t, ok := m.TaskByName("malware"); ok {
+		r.Malware = t
+	} else {
+		r.Malware = m.RegisterTask(&mcu.Task{Name: "malware", Code: MalwareRegion})
+	}
+	return r
+}
+
+// run executes one malicious action synchronously: it submits the action
+// as a malware job and drives the kernel just far enough for it to finish.
+func (r *Roaming) run(name string, action func(e *mcu.Exec) Outcome) Outcome {
+	var out Outcome
+	done := false
+	r.M.Submit(r.Malware, func(e *mcu.Exec) {
+		out = action(e)
+		out.Action = name
+	}, func(*mcu.Exec) { done = true })
+	// Malicious pokes are cheap; a small bounded run completes them even
+	// behind a queued job.
+	deadline := r.K.Now() + 5*sim.Second
+	for !done && r.K.Now() < deadline {
+		if !r.K.Step() {
+			break
+		}
+	}
+	r.Log = append(r.Log, out)
+	return out
+}
+
+func outcomeFromFault(f *mcu.Fault) Outcome {
+	return Outcome{Succeeded: f == nil, Fault: f}
+}
+
+// RollbackCounter is the §5 counter attack: set counter_R back to `to`
+// (the paper uses i−1) so a recorded attreq(i) becomes fresh again.
+func (r *Roaming) RollbackCounter(to uint64) Outcome {
+	return r.run(fmt.Sprintf("rollback counter_R to %d", to), func(e *mcu.Exec) Outcome {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], to)
+		return outcomeFromFault(e.Write(anchor.CounterAddr, buf[:]))
+	})
+}
+
+// ReadCounter probes the counter (always allowed when unprotected; useful
+// for the adversary to compute i−1).
+func (r *Roaming) ReadCounter() (uint64, Outcome) {
+	var v uint64
+	out := r.run("read counter_R", func(e *mcu.Exec) Outcome {
+		raw, f := e.Read(anchor.CounterAddr, anchor.CounterSize)
+		if f == nil {
+			v = binary.LittleEndian.Uint64(raw)
+		}
+		return outcomeFromFault(f)
+	})
+	return v, out
+}
+
+// ResetWideClock is the §5 timestamp attack against the hardware-clock
+// designs: write targetMs into the clock's set registers (t_i − δ), so a
+// recorded attreq(t_i) becomes timely after waiting δ.
+func (r *Roaming) ResetWideClock(targetMs uint64) Outcome {
+	return r.run(fmt.Sprintf("reset wide clock to %d ms", targetMs), func(e *mcu.Exec) Outcome {
+		cycles := targetMs * 24_000 // prover cycles at 24 MHz
+		if f := e.Store32(mcu.WideClockSetLoAddr, uint32(cycles)); f != nil {
+			return outcomeFromFault(f)
+		}
+		return outcomeFromFault(e.Store32(mcu.WideClockSetHiAddr, uint32(cycles>>32)))
+	})
+}
+
+// OverwriteClockMSB attacks the SW-clock's software-maintained high bits
+// directly, turning the clock back without touching hardware.
+func (r *Roaming) OverwriteClockMSB(v uint32) Outcome {
+	return r.run(fmt.Sprintf("overwrite Clock_MSB with %d", v), func(e *mcu.Exec) Outcome {
+		return outcomeFromFault(e.Store32(anchor.ClockMSBAddr, v))
+	})
+}
+
+// PatchIDT redirects the timer vector away from Code_Clock (§6.2: "if
+// Adv_roam manipulates the IDT, it could preclude Code_Clock being
+// invoked … thus effectively stopping the real-time clock").
+func (r *Roaming) PatchIDT(newEntry mcu.Addr) Outcome {
+	return r.run("patch IDT timer vector", func(e *mcu.Exec) Outcome {
+		addr := anchor.IDTBase + mcu.Addr(4*anchor.TimerIRQLine)
+		return outcomeFromFault(e.Store32(addr, uint32(newEntry)))
+	})
+}
+
+// MaskTimerIRQ disables the timer line in the interrupt mask — the other
+// way to stop the SW clock.
+func (r *Roaming) MaskTimerIRQ() Outcome {
+	return r.run("mask timer interrupt", func(e *mcu.Exec) Outcome {
+		return outcomeFromFault(e.Store32(mcu.IRQIMRAddr, 0))
+	})
+}
+
+// MoveIDT repoints the interrupt controller's IDT base at an
+// adversary-controlled table (defeated by the IDT_LOCK / MPU rule).
+func (r *Roaming) MoveIDT(newBase mcu.Addr) Outcome {
+	return r.run("move IDT base", func(e *mcu.Exec) Outcome {
+		return outcomeFromFault(e.Store32(mcu.IRQIDTBaseAddr, uint32(newBase)))
+	})
+}
+
+// ExtractKey tries to read K_Attest (§5: "Adv_roam could extract Prv's
+// K_Attest which would allow it to generate authentic attreq-s").
+func (r *Roaming) ExtractKey(keyAddr mcu.Addr) Outcome {
+	var loot []byte
+	out := r.run("extract K_Attest", func(e *mcu.Exec) Outcome {
+		raw, f := e.Read(keyAddr, anchor.KeySize)
+		if f == nil {
+			loot = raw
+		}
+		return outcomeFromFault(f)
+	})
+	out.Loot = loot
+	r.Log[len(r.Log)-1] = out
+	return out
+}
+
+// OverwriteKey tries to replace K_Attest with an adversary-chosen key
+// (§5: "otherwise, Adv_roam could overwrite it with any key it chooses").
+func (r *Roaming) OverwriteKey(keyAddr mcu.Addr, newKey []byte) Outcome {
+	return r.run("overwrite K_Attest", func(e *mcu.Exec) Outcome {
+		return outcomeFromFault(e.Write(keyAddr, newKey))
+	})
+}
+
+// DisableMPURule tries to switch off a protection rule at runtime
+// (defeated by the secure-boot lockdown).
+func (r *Roaming) DisableMPURule(idx int) Outcome {
+	return r.run(fmt.Sprintf("disable EA-MPU rule %d", idx), func(e *mcu.Exec) Outcome {
+		return outcomeFromFault(e.Store32(mcu.MPURuleAddr(idx, 0x14), 0))
+	})
+}
+
+// EraseTraces is the end of Phase II: the malware removes itself. In the
+// simulation the implant's code region is zeroed; since the measured
+// region is RAM and the implant never touched it, subsequent attestation
+// shows a clean device — the paper's "undetectable after the fact".
+func (r *Roaming) EraseTraces() Outcome {
+	return r.run("erase traces", func(e *mcu.Exec) Outcome {
+		zero := make([]byte, 64)
+		return outcomeFromFault(e.Write(MalwareRegion.Start, zero))
+	})
+}

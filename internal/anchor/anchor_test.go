@@ -1,0 +1,424 @@
+package anchor
+
+import (
+	"bytes"
+	"testing"
+
+	"proverattest/internal/crypto/cost"
+	"proverattest/internal/crypto/sha1"
+	"proverattest/internal/mcu"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+var (
+	testKey = []byte("k-attest-20-bytes!!!")
+	appSize = uint32(16 * mcu.KiB)
+)
+
+// rig is a fully booted prover plus a matching verifier.
+type rig struct {
+	k *sim.Kernel
+	m *mcu.MCU
+	a *Anchor
+	v *protocol.Verifier
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	m := mcu.New(k, mcu.Config{MPURules: 8})
+
+	cfg.AttestKey = testKey
+	a, err := Install(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Factory: application image in flash, deterministic RAM contents.
+	app := make([]byte, appSize)
+	for i := range app {
+		app[i] = byte(i * 13)
+	}
+	m.Space.DirectWrite(mcu.FlashRegion.Start, app)
+	ram := make([]byte, mcu.RAMRegion.Size)
+	for i := range ram {
+		ram[i] = byte(i * 31)
+	}
+	m.Space.DirectWrite(mcu.RAMRegion.Start, ram)
+
+	m.SecureBoot(a.BootPolicy(sha1.Sum(app), mcu.Region{Start: mcu.FlashRegion.Start, Size: appSize}), func(r mcu.BootReport) {
+		if !r.OK {
+			t.Fatalf("secure boot failed: %s", r.Reason)
+		}
+	})
+	// RunUntil, not Run: the SW-clock's wrap event rescheduls itself
+	// forever, so the queue never drains.
+	k.RunUntil(k.Now() + sim.Second)
+
+	var auth protocol.Authenticator
+	switch cfg.AuthKind {
+	case protocol.AuthNone:
+		auth = protocol.NoAuth{}
+	default:
+		var err error
+		auth, err = protocol.NewAuthenticator(cfg.AuthKind, testKey[:16])
+		if cfg.AuthKind == protocol.AuthHMACSHA1 {
+			auth = protocol.NewHMACAuth(testKey)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := protocol.NewVerifier(protocol.VerifierConfig{
+		Freshness: cfg.Freshness,
+		Auth:      auth,
+		AttestKey: testKey,
+		Golden:    ram,
+		Clock:     func() uint64 { return uint64(k.Now() / sim.Millisecond) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, m: m, a: a, v: v}
+}
+
+// attest runs one round trip and reports whether the verifier accepted.
+func (r *rig) attest(t *testing.T) bool {
+	t.Helper()
+	req, err := r.v.NewRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.deliver(t, req.Encode())
+}
+
+// deliver feeds a raw frame to the prover and validates any response. The
+// run is time-bounded (2 s covers the 754 ms measurement comfortably)
+// because periodic clock hardware keeps the event queue non-empty.
+func (r *rig) deliver(t *testing.T, frame []byte) bool {
+	t.Helper()
+	accepted := false
+	r.a.HandleRequest(frame, func(out []byte) {
+		ok, _ := r.v.CheckResponse(out)
+		accepted = ok
+	})
+	r.k.RunUntil(r.k.Now() + 2*sim.Second)
+	return accepted
+}
+
+func TestHappyPathHMACCounter(t *testing.T) {
+	r := newRig(t, Config{
+		Freshness:  protocol.FreshCounter,
+		AuthKind:   protocol.AuthHMACSHA1,
+		Protection: FullProtection(),
+	})
+	for i := 0; i < 3; i++ {
+		if !r.attest(t) {
+			t.Fatalf("round %d: genuine attestation rejected", i)
+		}
+	}
+	if r.a.Stats.Measurements != 3 {
+		t.Fatalf("Measurements = %d, want 3", r.a.Stats.Measurements)
+	}
+	if r.a.Stats.Faults != 0 {
+		t.Fatalf("Code_Attest incurred %d faults", r.a.Stats.Faults)
+	}
+	if r.a.ReadCounter() != 3 {
+		t.Fatalf("counter_R = %d, want 3", r.a.ReadCounter())
+	}
+}
+
+func TestMeasurementTakes754ms(t *testing.T) {
+	// §3.1: one full-memory attestation over 512 KB costs ≈754 ms of
+	// prover time. The response must arrive that much later on the
+	// simulated clock.
+	r := newRig(t, Config{
+		Freshness:  protocol.FreshNone,
+		AuthKind:   protocol.AuthNone,
+		Protection: FullProtection(),
+	})
+	start := r.k.Now()
+	var doneAt sim.Time
+	req, _ := r.v.NewRequest()
+	r.a.HandleRequest(req.Encode(), func(out []byte) { doneAt = r.k.Now() })
+	r.k.RunUntil(r.k.Now() + 2*sim.Second)
+	elapsedMs := (doneAt - start).Milliseconds()
+	if elapsedMs < 754.0 || elapsedMs > 754.5 {
+		t.Fatalf("attestation took %.3f ms, want ≈754.0 ms", elapsedMs)
+	}
+}
+
+func TestAuthRejectionIsCheap(t *testing.T) {
+	// The §4.1 design point: rejecting a bogus request costs ~0.43 ms
+	// (one HMAC validation), not 754 ms.
+	r := newRig(t, Config{
+		Freshness:  protocol.FreshCounter,
+		AuthKind:   protocol.AuthHMACSHA1,
+		Protection: FullProtection(),
+	})
+	bogus := &protocol.AttReq{
+		Freshness: protocol.FreshCounter,
+		Auth:      protocol.AuthHMACSHA1,
+		Counter:   1,
+		Tag:       bytes.Repeat([]byte{0xAA}, 20),
+	}
+	before := r.m.ActiveCycles
+	if r.deliver(t, bogus.Encode()) {
+		t.Fatal("forged request accepted")
+	}
+	spentMs := (r.m.ActiveCycles - before).Millis()
+	if spentMs > 1.0 {
+		t.Fatalf("rejecting a forged request cost %.3f ms of CPU, want <1 ms", spentMs)
+	}
+	if r.a.Stats.AuthRejected != 1 || r.a.Stats.Measurements != 0 {
+		t.Fatalf("stats: %+v", r.a.Stats)
+	}
+}
+
+func TestCounterFreshnessRejectsReplay(t *testing.T) {
+	r := newRig(t, Config{
+		Freshness:  protocol.FreshCounter,
+		AuthKind:   protocol.AuthHMACSHA1,
+		Protection: FullProtection(),
+	})
+	req, _ := r.v.NewRequest()
+	frame := req.Encode()
+	if !r.deliver(t, frame) {
+		t.Fatal("genuine request rejected")
+	}
+	// Replay the identical frame: counter is no longer fresh.
+	if r.deliver(t, frame) {
+		t.Fatal("replayed request accepted")
+	}
+	if r.a.Stats.FreshnessRejected != 1 {
+		t.Fatalf("FreshnessRejected = %d, want 1", r.a.Stats.FreshnessRejected)
+	}
+	if r.a.Stats.Measurements != 1 {
+		t.Fatalf("Measurements = %d, want 1 (replay must not re-measure)", r.a.Stats.Measurements)
+	}
+}
+
+func TestCounterFreshnessRejectsReorder(t *testing.T) {
+	r := newRig(t, Config{
+		Freshness:  protocol.FreshCounter,
+		AuthKind:   protocol.AuthHMACSHA1,
+		Protection: FullProtection(),
+	})
+	req1, _ := r.v.NewRequest()
+	req2, _ := r.v.NewRequest()
+	if !r.deliver(t, req2.Encode()) {
+		t.Fatal("in-order request rejected")
+	}
+	// req1 delivered after req2: stale counter.
+	if r.deliver(t, req1.Encode()) {
+		t.Fatal("reordered request accepted")
+	}
+}
+
+func TestTimestampFreshnessRejectsDelay(t *testing.T) {
+	r := newRig(t, Config{
+		Freshness:         protocol.FreshTimestamp,
+		AuthKind:          protocol.AuthHMACSHA1,
+		Clock:             ClockWide64,
+		TimestampWindowMs: 1000,
+		Protection:        FullProtection(),
+	})
+	req, _ := r.v.NewRequest()
+	frame := req.Encode()
+	// Hold the request for 5 simulated seconds (the delay attack), then
+	// deliver: the timestamp is outside the window.
+	r.k.RunUntil(5 * sim.Second)
+	if r.deliver(t, frame) {
+		t.Fatal("delayed request accepted")
+	}
+	if r.a.Stats.FreshnessRejected != 1 {
+		t.Fatalf("FreshnessRejected = %d, want 1", r.a.Stats.FreshnessRejected)
+	}
+	// A fresh request right now is fine.
+	if !r.attest(t) {
+		t.Fatal("timely request rejected")
+	}
+}
+
+func TestTimestampFreshnessAllClockDesigns(t *testing.T) {
+	for _, design := range []ClockDesign{ClockWide64, ClockWide32Div, ClockSW} {
+		t.Run(design.String(), func(t *testing.T) {
+			r := newRig(t, Config{
+				Freshness:         protocol.FreshTimestamp,
+				AuthKind:          protocol.AuthHMACSHA1,
+				Clock:             design,
+				TimestampWindowMs: 1000,
+				Protection:        FullProtection(),
+			})
+			// Let some time pass so clocks have non-trivial values; for the
+			// SW design this crosses several LSB wraps (2.80 s each).
+			r.k.RunUntil(10 * sim.Second)
+			if !r.attest(t) {
+				t.Fatalf("%v: timely request rejected", design)
+			}
+			if design == ClockSW && r.a.Stats.ClockTicks == 0 {
+				t.Fatal("Code_Clock never ran")
+			}
+		})
+	}
+}
+
+func TestSWClockTracksRealTime(t *testing.T) {
+	r := newRig(t, Config{
+		Freshness:  protocol.FreshNone,
+		AuthKind:   protocol.AuthNone,
+		Clock:      ClockSW,
+		Protection: FullProtection(),
+	})
+	r.k.RunUntil(30 * sim.Second)
+	got := r.a.ClockNowMs()
+	if got < 29_900 || got > 30_100 {
+		t.Fatalf("SW clock reads %d ms after 30 s, want ≈30000", got)
+	}
+	wantTicks := uint64(30*cost.ClockHz) >> LSBWidth
+	if r.a.Stats.ClockTicks < wantTicks-1 || r.a.Stats.ClockTicks > wantTicks+1 {
+		t.Fatalf("ClockTicks = %d, want ≈%d", r.a.Stats.ClockTicks, wantTicks)
+	}
+	if r.a.Stats.ISRFaults != 0 {
+		t.Fatalf("Code_Clock faulted %d times", r.a.Stats.ISRFaults)
+	}
+}
+
+func TestNonceHistoryFreshness(t *testing.T) {
+	r := newRig(t, Config{
+		Freshness:     protocol.FreshNonceHistory,
+		AuthKind:      protocol.AuthHMACSHA1,
+		NonceCapacity: 4,
+		Protection:    FullProtection(),
+	})
+	req, _ := r.v.NewRequest()
+	frame := req.Encode()
+	if !r.deliver(t, frame) {
+		t.Fatal("genuine request rejected")
+	}
+	// Immediate replay: detected.
+	if r.deliver(t, frame) {
+		t.Fatal("replayed nonce accepted")
+	}
+	// Push 4 more requests through: nonce 1 is evicted from the
+	// capacity-4 history...
+	for i := 0; i < 4; i++ {
+		if !r.attest(t) {
+			t.Fatalf("fill round %d rejected", i)
+		}
+	}
+	// ...and the original frame replays successfully — the prover measures
+	// again (the paper's bounded-NVM argument). The verifier of course
+	// ignores the duplicate response, so check the prover's measurement
+	// count, which is exactly what the DoS adversary drains.
+	before := r.a.Stats.Measurements
+	r.deliver(t, frame)
+	if r.a.Stats.Measurements != before+1 {
+		t.Fatal("replay of evicted nonce was rejected — eviction not modeled")
+	}
+}
+
+func TestMalformedFramesRejectedCheaply(t *testing.T) {
+	r := newRig(t, Config{
+		Freshness:  protocol.FreshCounter,
+		AuthKind:   protocol.AuthHMACSHA1,
+		Protection: FullProtection(),
+	})
+	if r.deliver(t, []byte("garbage")) {
+		t.Fatal("garbage frame produced an accepted response")
+	}
+	// Scheme confusion: right framing, wrong declared auth scheme.
+	confused := &protocol.AttReq{Freshness: protocol.FreshCounter, Auth: protocol.AuthNone, Counter: 1}
+	if r.deliver(t, confused.Encode()) {
+		t.Fatal("scheme-confused frame accepted")
+	}
+	if r.a.Stats.Malformed != 2 {
+		t.Fatalf("Malformed = %d, want 2", r.a.Stats.Malformed)
+	}
+}
+
+func TestResponseBoundToRequest(t *testing.T) {
+	// A response for request A must not satisfy request B.
+	r := newRig(t, Config{
+		Freshness:  protocol.FreshCounter,
+		AuthKind:   protocol.AuthHMACSHA1,
+		Protection: FullProtection(),
+	})
+	reqA, _ := r.v.NewRequest()
+	var respA []byte
+	r.a.HandleRequest(reqA.Encode(), func(out []byte) { respA = out })
+	r.k.RunUntil(r.k.Now() + 2*sim.Second)
+	if respA == nil {
+		t.Fatal("no response to request A")
+	}
+	if ok, _ := r.v.CheckResponse(respA); !ok {
+		t.Fatal("response A rejected for request A")
+	}
+	// Issue B but replay response A (already-retired nonce).
+	if _, err := r.v.NewRequest(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.v.CheckResponse(respA); ok {
+		t.Fatal("stale response satisfied a new request")
+	}
+}
+
+func TestDeviatingMemoryDetected(t *testing.T) {
+	r := newRig(t, Config{
+		Freshness:  protocol.FreshCounter,
+		AuthKind:   protocol.AuthHMACSHA1,
+		Protection: FullProtection(),
+	})
+	// Malware modifies measured RAM.
+	r.m.Space.DirectWrite(mcu.RAMRegion.Start+1234, []byte{0xEE, 0xEE})
+	if r.attest(t) {
+		t.Fatal("attestation of tampered memory accepted by verifier")
+	}
+	if r.v.Rejected != 1 {
+		t.Fatalf("verifier Rejected = %d, want 1", r.v.Rejected)
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	k := sim.NewKernel()
+	cases := []Config{
+		{AttestKey: []byte("short")},
+		{Freshness: protocol.FreshTimestamp, Clock: ClockNone},
+		{AuthKind: protocol.AuthECDSA}, // no verifier public key
+		{Clock: ClockDesign(99)},
+		{KeyLocation: KeyLocation(99)},
+	}
+	for i, cfg := range cases {
+		m := mcu.New(k, mcu.Config{MPURules: 8})
+		if cfg.AttestKey == nil {
+			cfg.AttestKey = testKey
+		}
+		if cfg.AuthKind == protocol.AuthECDSA {
+			// leave VerifierPublic as the zero (invalid) point
+			cfg.VerifierPublic.Inf = true
+		}
+		if _, err := Install(m, cfg); err == nil {
+			t.Errorf("case %d: Install accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestKeyInFlashVariant(t *testing.T) {
+	r := newRig(t, Config{
+		Freshness:   protocol.FreshCounter,
+		AuthKind:    protocol.AuthHMACSHA1,
+		KeyLocation: KeyInFlash,
+		Protection:  FullProtection(),
+	})
+	if r.a.KeyAddr() != KeyFlashAddr {
+		t.Fatalf("key at %v, want flash location", r.a.KeyAddr())
+	}
+	if !r.attest(t) {
+		t.Fatal("attestation with flash-resident key rejected")
+	}
+	// The flash key is covered by a read-only rule: nobody can overwrite it.
+	if f := r.m.Bus.Write(mcu.FlashRegion.Start, KeyFlashAddr, []byte{0}); f == nil {
+		t.Fatal("flash key overwritten despite protection")
+	}
+}

@@ -1,0 +1,92 @@
+package anchor
+
+import (
+	"proverattest/internal/crypto/cost"
+	"proverattest/internal/mcu"
+	"proverattest/internal/protocol"
+)
+
+// ServiceHandler executes one service command inside Code_Attest, after
+// the request has passed authentication and freshness. It receives the
+// execution context (all accesses MPU-checked, cycles accounted) and the
+// command body, and returns a status plus an optional response body.
+type ServiceHandler func(e *mcu.Exec, body []byte) (status uint8, respBody []byte)
+
+// RegisterService installs the handler for a command kind, overwriting any
+// previous one. Handlers run with Code_Attest's privileges — they are part
+// of the trust anchor's code, which is the point: the paper's future-work
+// item 3 is to put *other* security services behind the same
+// DoS-resistant gate.
+func (a *Anchor) RegisterService(kind protocol.CommandKind, h ServiceHandler) {
+	if a.services == nil {
+		a.services = make(map[protocol.CommandKind]ServiceHandler)
+	}
+	a.services[kind] = h
+}
+
+// HandleCommand submits a service-command frame to Code_Attest. The gate
+// is identical to attestation — parse, authenticate, freshness-check
+// against the same protected state — and only then does the registered
+// handler run. respond receives the sealed response at the job's
+// completion time.
+func (a *Anchor) HandleCommand(payload []byte, respond func([]byte)) {
+	frame := append([]byte(nil), payload...)
+	var out []byte
+	a.M.Submit(a.CodeAttest, func(e *mcu.Exec) {
+		out = a.processCommand(e, frame)
+	}, func(*mcu.Exec) {
+		if respond != nil && out != nil {
+			respond(out)
+		}
+	})
+}
+
+func (a *Anchor) processCommand(e *mcu.Exec, frame []byte) []byte {
+	a.Stats.Commands++
+	e.Tick(parseCost)
+	req, err := protocol.DecodeCommandReq(frame)
+	if err != nil {
+		a.Stats.Malformed++
+		return nil
+	}
+	if req.Auth != a.cfg.AuthKind || req.Freshness != a.cfg.Freshness {
+		a.Stats.Malformed++
+		return nil
+	}
+
+	key, fault := e.Read(a.keyAddr, KeySize)
+	if fault != nil {
+		a.Stats.Faults++
+		return nil
+	}
+	auth, authErr := a.authenticator(key)
+	if authErr != nil {
+		a.Stats.Faults++
+		return nil
+	}
+	ok, c := auth.Verify(req.SignedBytes(), req.Tag)
+	e.Tick(c)
+	if !ok {
+		a.Stats.AuthRejected++
+		return nil
+	}
+	if !a.checkFreshness(e, req.Nonce, req.Counter, req.Timestamp) {
+		a.Stats.FreshnessRejected++
+		return nil
+	}
+
+	resp := &protocol.CommandResp{Kind: req.Kind, Nonce: req.Nonce}
+	handler, registered := a.services[req.Kind]
+	if !registered {
+		resp.Status = protocol.StatusRefused
+	} else {
+		resp.Status, resp.Body = handler(e, req.Body)
+		a.Stats.CommandsExecuted++
+	}
+
+	// Seal the verdict with K_Attest so the verifier knows the anchor —
+	// not malware — answered.
+	e.Tick(cost.HMACSHA1(len(resp.SignedBytes())))
+	resp.Seal(key)
+	return resp.Encode()
+}

@@ -1,0 +1,185 @@
+// Package channel simulates the network between verifier and prover as a
+// discrete-event message channel with a Dolev-Yao interposition point:
+// every message passes through an optional Tap that can observe, drop,
+// delay, duplicate, reorder or inject traffic — the full capability set of
+// the paper's external adversary Adv_ext (§3.2).
+package channel
+
+import (
+	"fmt"
+
+	"proverattest/internal/sim"
+)
+
+// Endpoint names a protocol party.
+type Endpoint string
+
+// The two protocol parties.
+const (
+	Verifier Endpoint = "verifier"
+	Prover   Endpoint = "prover"
+)
+
+// Message is one frame in flight.
+type Message struct {
+	ID      uint64 // channel-assigned sequence number, for tracing
+	From    Endpoint
+	To      Endpoint
+	Payload []byte
+	// Injected marks frames originated by the adversary rather than an
+	// endpoint (used only for reporting; endpoints never see this field
+	// on the wire).
+	Injected bool
+}
+
+// Clone deep-copies a message, so taps can safely stash frames for later
+// replay without aliasing live buffers.
+func (m Message) Clone() Message {
+	c := m
+	c.Payload = append([]byte(nil), m.Payload...)
+	return c
+}
+
+// Tap is the Dolev-Yao interposition interface. For each frame an endpoint
+// sends, the channel asks the tap what to deliver. Returning the frame
+// with delay 0 models an honest network hop; returning nothing drops it;
+// returning several schedules duplicates or reordered copies.
+type Tap interface {
+	// OnSend decides the fate of a frame at the moment it enters the
+	// channel. Deliveries are scheduled relative to now + base latency.
+	OnSend(msg Message, now sim.Time) []Delivery
+}
+
+// Delivery schedules one frame to arrive ExtraDelay after the channel's
+// base latency.
+type Delivery struct {
+	Msg        Message
+	ExtraDelay sim.Duration
+}
+
+// Passthrough is the honest network: every frame is delivered once with no
+// extra delay.
+type Passthrough struct{}
+
+// OnSend implements Tap.
+func (Passthrough) OnSend(msg Message, now sim.Time) []Delivery {
+	return []Delivery{{Msg: msg}}
+}
+
+// LossTap models environmental (non-adversarial) packet loss: every Nth
+// matching frame is dropped, deterministically, so lossy-link scenarios
+// replay identically. Wrap another tap via Inner to compose with an
+// adversary.
+type LossTap struct {
+	// DropEvery drops one frame out of every DropEvery matching frames
+	// (2 = 50 % loss, 10 = 10 % loss). Values < 2 drop nothing.
+	DropEvery int
+	// Match selects frames subject to loss; nil means all frames.
+	Match func(Message) bool
+	// Inner handles surviving frames; nil means passthrough.
+	Inner Tap
+
+	seen    int
+	Dropped int
+}
+
+// OnSend implements Tap.
+func (l *LossTap) OnSend(msg Message, now sim.Time) []Delivery {
+	match := l.Match == nil || l.Match(msg)
+	if match && l.DropEvery >= 2 {
+		l.seen++
+		if l.seen%l.DropEvery == 0 {
+			l.Dropped++
+			return nil
+		}
+	}
+	if l.Inner != nil {
+		return l.Inner.OnSend(msg, now)
+	}
+	return []Delivery{{Msg: msg}}
+}
+
+// Channel is the simulated link. All operations run on the kernel's
+// event loop.
+type Channel struct {
+	k       *sim.Kernel
+	latency sim.Duration
+	tap     Tap
+
+	handlers map[Endpoint]func(Message)
+	nextID   uint64
+
+	// Stats.
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// New builds a channel with a fixed one-way base latency and an optional
+// tap (nil means Passthrough).
+func New(k *sim.Kernel, latency sim.Duration, tap Tap) *Channel {
+	if latency < 0 {
+		panic("channel: negative latency")
+	}
+	if tap == nil {
+		tap = Passthrough{}
+	}
+	return &Channel{
+		k:        k,
+		latency:  latency,
+		tap:      tap,
+		handlers: make(map[Endpoint]func(Message)),
+	}
+}
+
+// Attach registers the receive handler for an endpoint. Re-attaching
+// replaces the handler.
+func (c *Channel) Attach(ep Endpoint, handler func(Message)) {
+	c.handlers[ep] = handler
+}
+
+// Send puts a frame on the wire from an endpoint. The tap decides what is
+// actually delivered.
+func (c *Channel) Send(from, to Endpoint, payload []byte) {
+	c.nextID++
+	msg := Message{
+		ID:      c.nextID,
+		From:    from,
+		To:      to,
+		Payload: append([]byte(nil), payload...),
+	}
+	c.Sent++
+	deliveries := c.tap.OnSend(msg.Clone(), c.k.Now())
+	if len(deliveries) == 0 {
+		c.Dropped++
+		return
+	}
+	for _, d := range deliveries {
+		c.scheduleDelivery(d.Msg, c.latency+d.ExtraDelay)
+	}
+}
+
+// Inject places an adversary-originated frame on the wire, bypassing the
+// tap (the adversary does not intercept itself). delay is measured from
+// now; the base latency still applies.
+func (c *Channel) Inject(msg Message, delay sim.Duration) {
+	c.nextID++
+	msg.ID = c.nextID
+	msg.Injected = true
+	c.scheduleDelivery(msg.Clone(), c.latency+delay)
+}
+
+func (c *Channel) scheduleDelivery(msg Message, delay sim.Duration) {
+	if delay < 0 {
+		panic(fmt.Sprintf("channel: negative delivery delay %v", delay))
+	}
+	c.k.After(delay, func() {
+		h, ok := c.handlers[msg.To]
+		if !ok {
+			c.Dropped++
+			return
+		}
+		c.Delivered++
+		h(msg)
+	})
+}

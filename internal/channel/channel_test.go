@@ -1,0 +1,236 @@
+package channel
+
+import (
+	"bytes"
+	"testing"
+
+	"proverattest/internal/sim"
+)
+
+func TestPassthroughDelivery(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, 2*sim.Millisecond, nil)
+	var got []Message
+	var at sim.Time
+	c.Attach(Prover, func(m Message) { got = append(got, m); at = k.Now() })
+	c.Send(Verifier, Prover, []byte("attreq"))
+	k.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	if !bytes.Equal(got[0].Payload, []byte("attreq")) {
+		t.Fatalf("payload = %q", got[0].Payload)
+	}
+	if got[0].From != Verifier || got[0].To != Prover {
+		t.Fatalf("endpoints = %s → %s", got[0].From, got[0].To)
+	}
+	if at != 2*sim.Millisecond {
+		t.Fatalf("delivered at %v, want 2 ms", at)
+	}
+	if c.Sent != 1 || c.Delivered != 1 || c.Dropped != 0 {
+		t.Fatalf("stats: sent=%d delivered=%d dropped=%d", c.Sent, c.Delivered, c.Dropped)
+	}
+}
+
+func TestNoHandlerCountsDropped(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, 0, nil)
+	c.Send(Verifier, Prover, []byte("x"))
+	k.Run()
+	if c.Dropped != 1 || c.Delivered != 0 {
+		t.Fatalf("stats: delivered=%d dropped=%d", c.Delivered, c.Dropped)
+	}
+}
+
+type dropTap struct{}
+
+func (dropTap) OnSend(msg Message, now sim.Time) []Delivery { return nil }
+
+func TestDropTap(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, 0, dropTap{})
+	delivered := 0
+	c.Attach(Prover, func(Message) { delivered++ })
+	c.Send(Verifier, Prover, []byte("x"))
+	k.Run()
+	if delivered != 0 || c.Dropped != 1 {
+		t.Fatalf("drop tap: delivered=%d dropped=%d", delivered, c.Dropped)
+	}
+}
+
+type duplicateTap struct{ extra sim.Duration }
+
+func (d duplicateTap) OnSend(msg Message, now sim.Time) []Delivery {
+	return []Delivery{{Msg: msg}, {Msg: msg, ExtraDelay: d.extra}}
+}
+
+func TestDuplicateAndDelayTap(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, sim.Millisecond, duplicateTap{extra: 10 * sim.Millisecond})
+	var times []sim.Time
+	c.Attach(Prover, func(Message) { times = append(times, k.Now()) })
+	c.Send(Verifier, Prover, []byte("x"))
+	k.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d copies, want 2", len(times))
+	}
+	if times[0] != sim.Millisecond || times[1] != 11*sim.Millisecond {
+		t.Fatalf("delivery times %v, want [1ms 11ms]", times)
+	}
+}
+
+func TestInjectBypassesTap(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, sim.Millisecond, dropTap{}) // tap drops everything sent...
+	var got []Message
+	c.Attach(Prover, func(m Message) { got = append(got, m) })
+	c.Inject(Message{From: Verifier, To: Prover, Payload: []byte("forged")}, 5*sim.Millisecond)
+	k.Run()
+	if len(got) != 1 {
+		t.Fatalf("injected frame not delivered (%d)", len(got))
+	}
+	if !got[0].Injected {
+		t.Fatal("injected frame not marked")
+	}
+	if k.Now() != 6*sim.Millisecond {
+		t.Fatalf("delivered at %v, want 6 ms (5 ms delay + 1 ms latency)", k.Now())
+	}
+}
+
+func TestMessageCloneIsDeep(t *testing.T) {
+	m := Message{Payload: []byte{1, 2, 3}}
+	c := m.Clone()
+	c.Payload[0] = 9
+	if m.Payload[0] != 1 {
+		t.Fatal("Clone aliases the payload")
+	}
+}
+
+func TestSenderBufferNotAliased(t *testing.T) {
+	// Mutating the caller's buffer after Send must not affect delivery.
+	k := sim.NewKernel()
+	c := New(k, 0, nil)
+	var got []byte
+	c.Attach(Prover, func(m Message) { got = m.Payload })
+	buf := []byte{1, 2, 3}
+	c.Send(Verifier, Prover, buf)
+	buf[0] = 99
+	k.Run()
+	if got[0] != 1 {
+		t.Fatal("delivered payload aliases the sender's buffer")
+	}
+}
+
+func TestMessageIDsAreUnique(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, 0, nil)
+	seen := map[uint64]bool{}
+	c.Attach(Prover, func(m Message) {
+		if seen[m.ID] {
+			t.Errorf("duplicate message ID %d", m.ID)
+		}
+		seen[m.ID] = true
+	})
+	for i := 0; i < 10; i++ {
+		c.Send(Verifier, Prover, []byte{byte(i)})
+	}
+	c.Inject(Message{To: Prover}, 0)
+	k.Run()
+	if len(seen) != 11 {
+		t.Fatalf("saw %d IDs, want 11", len(seen))
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, sim.Millisecond, nil)
+	c.Attach(Prover, func(m Message) {
+		c.Send(Prover, Verifier, append([]byte("re:"), m.Payload...))
+	})
+	var reply []byte
+	c.Attach(Verifier, func(m Message) { reply = m.Payload })
+	c.Send(Verifier, Prover, []byte("ping"))
+	k.Run()
+	if string(reply) != "re:ping" {
+		t.Fatalf("reply = %q", reply)
+	}
+	if k.Now() != 2*sim.Millisecond {
+		t.Fatalf("round trip took %v, want 2 ms", k.Now())
+	}
+}
+
+func TestLossTapDropsEveryNth(t *testing.T) {
+	k := sim.NewKernel()
+	tap := &LossTap{DropEvery: 3}
+	c := New(k, 0, tap)
+	got := 0
+	c.Attach(Prover, func(Message) { got++ })
+	for i := 0; i < 9; i++ {
+		c.Send(Verifier, Prover, []byte{byte(i)})
+	}
+	k.Run()
+	if got != 6 || tap.Dropped != 3 {
+		t.Fatalf("delivered %d, dropped %d — want 6/3", got, tap.Dropped)
+	}
+}
+
+func TestLossTapMatchAndInner(t *testing.T) {
+	k := sim.NewKernel()
+	inner := &Interceptor2{}
+	tap := &LossTap{
+		DropEvery: 2,
+		Match:     func(m Message) bool { return m.To == Prover },
+		Inner:     inner,
+	}
+	c := New(k, 0, tap)
+	proverGot, verifierGot := 0, 0
+	c.Attach(Prover, func(Message) { proverGot++ })
+	c.Attach(Verifier, func(Message) { verifierGot++ })
+	for i := 0; i < 4; i++ {
+		c.Send(Verifier, Prover, []byte{1})
+		c.Send(Prover, Verifier, []byte{2})
+	}
+	k.Run()
+	if proverGot != 2 {
+		t.Fatalf("prover got %d, want 2 (50%% loss)", proverGot)
+	}
+	if verifierGot != 4 {
+		t.Fatalf("verifier got %d, want 4 (unmatched frames lossless)", verifierGot)
+	}
+	// Surviving frames went through the inner tap.
+	if inner.Seen != 6 {
+		t.Fatalf("inner tap saw %d frames, want 6", inner.Seen)
+	}
+}
+
+// Interceptor2 is a counting passthrough used to verify tap composition.
+type Interceptor2 struct{ Seen int }
+
+func (i *Interceptor2) OnSend(msg Message, now sim.Time) []Delivery {
+	i.Seen++
+	return []Delivery{{Msg: msg}}
+}
+
+func TestLossTapBelowTwoDropsNothing(t *testing.T) {
+	k := sim.NewKernel()
+	tap := &LossTap{DropEvery: 1}
+	c := New(k, 0, tap)
+	got := 0
+	c.Attach(Prover, func(Message) { got++ })
+	for i := 0; i < 5; i++ {
+		c.Send(Verifier, Prover, nil)
+	}
+	k.Run()
+	if got != 5 || tap.Dropped != 0 {
+		t.Fatalf("DropEvery=1 dropped frames: got %d, dropped %d", got, tap.Dropped)
+	}
+}
+
+func TestNegativeLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative latency did not panic")
+		}
+	}()
+	New(sim.NewKernel(), -1, nil)
+}

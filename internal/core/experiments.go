@@ -1,0 +1,137 @@
+package core
+
+import (
+	"proverattest/internal/adversary"
+	"proverattest/internal/anchor"
+	"proverattest/internal/crypto/cost"
+	"proverattest/internal/energy"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+// FloodResult quantifies the §3.1 DoS-by-attestation argument: a verifier
+// impersonator floods the prover with requests; without authentication
+// each one burns a full ≈754 ms measurement, with authentication each is
+// rejected after a sub-millisecond tag check.
+type FloodResult struct {
+	Auth         protocol.AuthKind
+	RatePerSec   float64
+	Duration     sim.Duration
+	Injected     int
+	Measurements uint64
+	AuthRejected uint64
+	ActiveCycles cost.Cycles
+	// BootCycles is the secure-boot share of ActiveCycles, so per-request
+	// costs can be computed net of the one-time boot.
+	BootCycles   cost.Cycles
+	EnergyJoules float64
+	DutyCyclePct float64
+	// LifetimeDays projects how long a CR2032 coin cell survives under a
+	// sustained flood at this rate.
+	LifetimeDays float64
+}
+
+// RunFloodExperiment floods a prover configured with the given request
+// authentication for the given simulated duration and reports the damage.
+func RunFloodExperiment(auth protocol.AuthKind, ratePerSec float64, duration sim.Duration) (FloodResult, error) {
+	res := FloodResult{Auth: auth, RatePerSec: ratePerSec, Duration: duration}
+
+	battery := energy.CoinCellCR2032()
+	s, err := NewScenario(ScenarioConfig{
+		Freshness:  protocol.FreshCounter,
+		Auth:       auth,
+		Protection: anchor.FullProtection(),
+		Battery:    battery,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// The impersonator has no key: it sends well-framed requests with
+	// garbage tags and climbing counters. Under AuthNone the empty tag is
+	// "valid" and every frame triggers a measurement.
+	var tagLen int
+	switch auth {
+	case protocol.AuthHMACSHA1:
+		tagLen = 20
+	case protocol.AuthAESCBCMAC:
+		tagLen = 16
+	case protocol.AuthSpeckCBCMAC:
+		tagLen = 8
+	case protocol.AuthECDSA:
+		tagLen = 42
+	}
+	flood := &adversary.Flood{
+		C:        s.C,
+		K:        s.K,
+		Interval: sim.Duration(float64(sim.Second) / ratePerSec),
+		Frame: func(i int) []byte {
+			req := &protocol.AttReq{
+				Freshness: protocol.FreshCounter,
+				Auth:      auth,
+				Nonce:     uint64(i) + 1,
+				Counter:   uint64(i) + 1,
+			}
+			if tagLen > 0 {
+				tag := make([]byte, tagLen)
+				for j := range tag {
+					tag[j] = byte(i*31 + j*7)
+				}
+				req.Tag = tag
+			}
+			return req.Encode()
+		},
+	}
+	end := s.K.Now() + duration
+	flood.Start(0)
+	s.K.At(end, func() { flood.Stop() })
+	s.RunUntil(end)
+	s.Dev.ChargeSleep(duration)
+
+	res.Injected = flood.Injected
+	res.Measurements = s.Dev.A.Stats.Measurements
+	res.AuthRejected = s.Dev.A.Stats.AuthRejected
+	res.ActiveCycles = s.Dev.M.ActiveCycles
+	res.BootCycles = s.Dev.Boot.Cycles
+	res.EnergyJoules = s.Dev.Power.EnergyJoules(s.Dev.M.ActiveCycles, duration)
+	res.DutyCyclePct = 100 * float64(res.ActiveCycles) / (duration.Seconds() * cost.ClockHz)
+	if res.DutyCyclePct > 100 {
+		res.DutyCyclePct = 100
+	}
+	activeCyclesPerSec := float64(res.ActiveCycles) / duration.Seconds()
+	res.LifetimeDays = energy.DaysFromSeconds(
+		energy.LifetimeSeconds(energy.CoinCellCR2032(), s.Dev.Power, activeCyclesPerSec))
+	return res, nil
+}
+
+// DriftResult is one point of the clock-synchronisation sweep (the
+// paper's future-work item 2): how far may the verifier's clock drift from
+// the prover's before genuine, timely requests are refused?
+type DriftResult struct {
+	OffsetMs int64
+	Accepted bool
+}
+
+// RunDriftSweep issues one genuine timestamped request per offset and
+// reports whether the prover accepted it.
+func RunDriftSweep(offsetsMs []int64, windowMs, skewMs uint64) ([]DriftResult, error) {
+	out := make([]DriftResult, 0, len(offsetsMs))
+	for _, off := range offsetsMs {
+		s, err := NewScenario(ScenarioConfig{
+			Freshness:             protocol.FreshTimestamp,
+			Auth:                  protocol.AuthHMACSHA1,
+			Clock:                 anchor.ClockWide64,
+			TimestampWindowMs:     windowMs,
+			TimestampSkewMs:       skewMs,
+			Protection:            anchor.FullProtection(),
+			VerifierClockOffsetMs: off,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.IssueAt(10 * sim.Second)
+		s.RunUntil(15 * sim.Second)
+		out = append(out, DriftResult{OffsetMs: off, Accepted: s.Measurements() == 1})
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"proverattest/internal/adversary"
+	"proverattest/internal/anchor"
+	"proverattest/internal/energy"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+// Fleet is a set of provers sharing one simulated timeline — the paper's
+// future-work item 1 ("trial-deploy proposed methods in the context of
+// connected devices, such as Internet of Things") as an experiment: a
+// building's worth of battery-powered sensors, each with its own key,
+// channel and verifier session, some of them under adversarial flood.
+type Fleet struct {
+	K       *sim.Kernel
+	Members []*Scenario
+}
+
+// FleetConfig parameterises a fleet deployment.
+type FleetConfig struct {
+	// Provers is the fleet size.
+	Provers int
+	// Scenario is the per-prover configuration (Tap and Battery are
+	// managed per member; leave them unset).
+	Scenario ScenarioConfig
+	// AttestPeriod is the per-prover genuine attestation interval;
+	// members are staggered across the period to avoid a thundering herd.
+	AttestPeriod sim.Duration
+}
+
+// NewFleet boots n provers on one kernel, each with its own coin cell.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Provers <= 0 {
+		return nil, fmt.Errorf("core: fleet needs at least one prover, got %d", cfg.Provers)
+	}
+	if cfg.AttestPeriod <= 0 {
+		cfg.AttestPeriod = 60 * sim.Second
+	}
+	k := sim.NewKernel()
+	f := &Fleet{K: k}
+	for i := 0; i < cfg.Provers; i++ {
+		member := cfg.Scenario
+		member.Battery = energy.CoinCellCR2032()
+		// Per-device keys: one roaming compromise must not yield a key
+		// that impersonates the verifier to the rest of the fleet.
+		deviceKey := protocol.DeriveDeviceKey(FleetMasterSecret, fmt.Sprintf("prover-%04d", i))
+		member.AttestKey = deviceKey[:]
+		s, err := NewScenarioOn(k, member)
+		if err != nil {
+			return nil, fmt.Errorf("core: booting fleet member %d: %w", i, err)
+		}
+		f.Members = append(f.Members, s)
+	}
+	return f, nil
+}
+
+// FleetMasterSecret seeds the fleet's per-device key derivation.
+var FleetMasterSecret = []byte("proverattest-fleet-master-secret")
+
+// ScheduleAttestation arranges periodic genuine attestation for every
+// member over the given horizon, staggered across the period.
+func (f *Fleet) ScheduleAttestation(period, horizon sim.Duration) {
+	n := len(f.Members)
+	for i, m := range f.Members {
+		offset := sim.Duration(uint64(period) * uint64(i) / uint64(n))
+		count := int((horizon - offset) / period)
+		m.IssueEvery(f.K.Now()+offset+period/2, period, count)
+	}
+}
+
+// FloodMembers aims a forged-request flood at members [0, floodCount).
+// Returns the flood handles for inspection.
+func (f *Fleet) FloodMembers(floodCount int, ratePerSec float64, auth protocol.AuthKind) []*adversary.Flood {
+	var floods []*adversary.Flood
+	tagLen := map[protocol.AuthKind]int{
+		protocol.AuthHMACSHA1:    20,
+		protocol.AuthAESCBCMAC:   16,
+		protocol.AuthSpeckCBCMAC: 8,
+		protocol.AuthECDSA:       42,
+	}[auth]
+	for i := 0; i < floodCount && i < len(f.Members); i++ {
+		m := f.Members[i]
+		fl := &adversary.Flood{
+			C:        m.C,
+			K:        f.K,
+			Interval: sim.Duration(float64(sim.Second) / ratePerSec),
+			Frame: func(j int) []byte {
+				req := &protocol.AttReq{
+					Freshness: m.Dev.A.Config().Freshness,
+					Auth:      auth,
+					Nonce:     uint64(j) + 1_000_000,
+					Counter:   uint64(j) + 1_000_000,
+				}
+				if tagLen > 0 {
+					tag := make([]byte, tagLen)
+					for t := range tag {
+						tag[t] = byte(j*17 + t*3)
+					}
+					req.Tag = tag
+				}
+				return req.Encode()
+			},
+		}
+		fl.Start(0)
+		floods = append(floods, fl)
+	}
+	return floods
+}
+
+// RunUntil advances the fleet and settles every member's energy meter.
+func (f *Fleet) RunUntil(deadline sim.Time) {
+	f.K.RunUntil(deadline)
+	for _, m := range f.Members {
+		m.Dev.SettleEnergy()
+	}
+}
+
+// FleetReport aggregates a deployment's outcome, split between flooded and
+// healthy members.
+type FleetReport struct {
+	Provers               int
+	Flooded               int
+	GenuineOK             uint64 // accepted attestations fleet-wide
+	Measurements          uint64
+	FloodedEnergyJ        float64 // mean active energy per flooded member
+	HealthyEnergyJ        float64 // mean active energy per healthy member
+	FloodedMinBatteryFrac float64
+	HealthyMinBatteryFrac float64
+}
+
+// Report summarises the fleet, treating the first flooded members as the
+// attacked group.
+func (f *Fleet) Report(flooded int) FleetReport {
+	r := FleetReport{
+		Provers:               len(f.Members),
+		Flooded:               flooded,
+		FloodedMinBatteryFrac: 1,
+		HealthyMinBatteryFrac: 1,
+	}
+	var floodedE, healthyE float64
+	for i, m := range f.Members {
+		r.GenuineOK += m.V.Accepted
+		r.Measurements += m.Dev.A.Stats.Measurements
+		e := m.Dev.ActiveEnergyJoules()
+		frac := m.Dev.Battery.Fraction()
+		if i < flooded {
+			floodedE += e
+			if frac < r.FloodedMinBatteryFrac {
+				r.FloodedMinBatteryFrac = frac
+			}
+		} else {
+			healthyE += e
+			if frac < r.HealthyMinBatteryFrac {
+				r.HealthyMinBatteryFrac = frac
+			}
+		}
+	}
+	if flooded > 0 {
+		r.FloodedEnergyJ = floodedE / float64(flooded)
+	}
+	if healthy := len(f.Members) - flooded; healthy > 0 {
+		r.HealthyEnergyJ = healthyE / float64(healthy)
+	}
+	return r
+}
+
+// RunFleetExperiment is the packaged future-work-1 experiment: n provers,
+// the first floodCount of them under a forged-request flood, genuine
+// attestation every period for the whole horizon.
+func RunFleetExperiment(n, floodCount int, auth protocol.AuthKind, ratePerSec float64, period, horizon sim.Duration) (FleetReport, error) {
+	fleet, err := NewFleet(FleetConfig{
+		Provers: n,
+		Scenario: ScenarioConfig{
+			Freshness:  protocol.FreshCounter,
+			Auth:       auth,
+			Protection: anchor.FullProtection(),
+		},
+		AttestPeriod: period,
+	})
+	if err != nil {
+		return FleetReport{}, err
+	}
+	fleet.ScheduleAttestation(period, horizon)
+	floods := fleet.FloodMembers(floodCount, ratePerSec, auth)
+	end := fleet.K.Now() + horizon
+	fleet.K.At(end, func() {
+		for _, fl := range floods {
+			fl.Stop()
+		}
+	})
+	fleet.RunUntil(end)
+	for _, m := range fleet.Members {
+		m.Dev.ChargeSleep(horizon)
+	}
+	return fleet.Report(floodCount), nil
+}

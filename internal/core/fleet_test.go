@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"proverattest/internal/anchor"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+func TestFleetBootsAndAttests(t *testing.T) {
+	fleet, err := NewFleet(FleetConfig{
+		Provers: 5,
+		Scenario: ScenarioConfig{
+			Freshness:  protocol.FreshCounter,
+			Auth:       protocol.AuthHMACSHA1,
+			Protection: anchor.FullProtection(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Members) != 5 {
+		t.Fatalf("fleet has %d members, want 5", len(fleet.Members))
+	}
+	fleet.ScheduleAttestation(10*sim.Second, 60*sim.Second)
+	fleet.RunUntil(fleet.K.Now() + 70*sim.Second)
+
+	report := fleet.Report(0)
+	// Each member gets ~5-6 rounds in 60 s at one per 10 s (staggered).
+	if report.GenuineOK < 25 {
+		t.Fatalf("fleet-wide accepted = %d, want ≥25", report.GenuineOK)
+	}
+	if report.Measurements != report.GenuineOK {
+		t.Fatalf("measurements %d != accepted %d under honest traffic",
+			report.Measurements, report.GenuineOK)
+	}
+	// Members are independent: each has its own counter advanced only by
+	// its own rounds.
+	for i, m := range fleet.Members {
+		if m.Dev.A.ReadCounter() != m.V.Accepted {
+			t.Errorf("member %d: counter %d != accepted %d", i, m.Dev.A.ReadCounter(), m.V.Accepted)
+		}
+	}
+}
+
+func TestFleetUsesPerDeviceKeys(t *testing.T) {
+	fleet, err := NewFleet(FleetConfig{
+		Provers: 3,
+		Scenario: ScenarioConfig{
+			Freshness:  protocol.FreshCounter,
+			Auth:       protocol.AuthHMACSHA1,
+			Protection: anchor.FullProtection(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member's provisioned key differs.
+	k0 := fleet.Members[0].Dev.M.Space.DirectRead(fleet.Members[0].Dev.A.KeyAddr(), 20)
+	k1 := fleet.Members[1].Dev.M.Space.DirectRead(fleet.Members[1].Dev.A.KeyAddr(), 20)
+	if string(k0) == string(k1) {
+		t.Fatal("fleet members share a key")
+	}
+	// A request signed with member 0's key is refused by member 1: a
+	// single stolen key does not open the fleet.
+	req, err := fleet.Members[0].V.NewRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := fleet.Members[1]
+	m1.C.Send("verifier", "prover", req.Encode())
+	fleet.RunUntil(fleet.K.Now() + 5*sim.Second)
+	if m1.Dev.A.Stats.AuthRejected != 1 {
+		t.Fatalf("member 1 AuthRejected = %d, want 1 (cross-device key must not verify)",
+			m1.Dev.A.Stats.AuthRejected)
+	}
+	if m1.Dev.A.Stats.Measurements != 0 {
+		t.Fatal("member 1 measured under a foreign key")
+	}
+}
+
+func TestDeriveDeviceKeyProperties(t *testing.T) {
+	a := protocol.DeriveDeviceKey([]byte("master"), "dev-a")
+	a2 := protocol.DeriveDeviceKey([]byte("master"), "dev-a")
+	b := protocol.DeriveDeviceKey([]byte("master"), "dev-b")
+	other := protocol.DeriveDeviceKey([]byte("other!"), "dev-a")
+	if a != a2 {
+		t.Fatal("derivation not deterministic")
+	}
+	if a == b {
+		t.Fatal("distinct devices derived the same key")
+	}
+	if a == other {
+		t.Fatal("distinct masters derived the same key")
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	if _, err := NewFleet(FleetConfig{Provers: 0}); err == nil {
+		t.Fatal("zero-prover fleet built")
+	}
+}
+
+func TestFleetFloodSplitsEnergy(t *testing.T) {
+	// 6 provers, 2 flooded with unauthenticated requests: the flooded
+	// group burns far more energy, the healthy group keeps attesting.
+	report, err := RunFleetExperiment(6, 2, protocol.AuthNone, 5,
+		20*sim.Second, 2*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Provers != 6 || report.Flooded != 2 {
+		t.Fatalf("report shape: %+v", report)
+	}
+	if report.FloodedEnergyJ < 20*report.HealthyEnergyJ {
+		t.Fatalf("flooded members spent %.4f J vs healthy %.4f J — expected ≥20× asymmetry",
+			report.FloodedEnergyJ, report.HealthyEnergyJ)
+	}
+	if report.FloodedMinBatteryFrac >= report.HealthyMinBatteryFrac {
+		t.Fatal("flooded batteries did not drain faster than healthy ones")
+	}
+}
+
+func TestFleetFloodWithAuthIsContained(t *testing.T) {
+	// The same flood against HMAC-authenticated provers: forged requests
+	// die at the tag check, so the energy gap collapses by orders of
+	// magnitude.
+	open, err := RunFleetExperiment(4, 2, protocol.AuthNone, 5, 20*sim.Second, sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := RunFleetExperiment(4, 2, protocol.AuthHMACSHA1, 5, 20*sim.Second, sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openGap := open.FloodedEnergyJ / open.HealthyEnergyJ
+	authGap := auth.FloodedEnergyJ / auth.HealthyEnergyJ
+	if authGap > openGap/10 {
+		t.Fatalf("auth flood gap %.1f× vs open %.1f× — expected ≥10× reduction", authGap, openGap)
+	}
+	// Genuine attestation keeps working on flooded-but-authenticated
+	// members (the prover is not starved).
+	if auth.GenuineOK < open.GenuineOK {
+		t.Fatalf("authenticated fleet accepted %d < unauthenticated %d", auth.GenuineOK, open.GenuineOK)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"proverattest/internal/anchor"
+	"proverattest/internal/isa"
+	"proverattest/internal/mcu"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+// malwareBinary is Adv_roam's Phase II implant as actual SP16 machine
+// code: read counter_R, decrement it, write it back (the §5 rollback),
+// then try to exfiltrate K_Attest. On an unprotected prover both succeed;
+// on a protected prover the very first store faults — at the store
+// instruction's own PC.
+const malwareBinary = `
+	li   r1, 0x0017F000   ; counter_R address
+	lw   r2, 0(r1)        ; read current counter (low word)
+	addi r2, r2, -1
+	sw   r2, 0(r1)        ; ROLLBACK — denied when protected
+	li   r3, 0x0000F000   ; K_Attest (ROM location)
+	lw   r4, 0(r3)        ; EXFILTRATE — denied when protected
+	li   r5, 0x00200000   ; stash the loot in RAM
+	sw   r4, 0(r5)
+	halt
+`
+
+func runMalwareBinary(t *testing.T, protected bool) (isa.Result, *Scenario) {
+	t.Helper()
+	prot := anchor.Protection{Key: protected, Counter: protected, LockMPU: protected}
+	s, err := NewScenario(ScenarioConfig{
+		Freshness:  protocol.FreshCounter,
+		Auth:       protocol.AuthHMACSHA1,
+		Protection: prot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One genuine round so counter_R is non-zero.
+	s.IssueAt(s.K.Now() + sim.Second)
+	s.RunUntil(s.K.Now() + 3*sim.Second)
+	if s.Dev.A.ReadCounter() != 1 {
+		t.Fatalf("precondition: counter_R = %d, want 1", s.Dev.A.ReadCounter())
+	}
+
+	region := mcu.Region{Start: mcu.FlashRegion.Start + 0x48000, Size: 0x1000}
+	if _, err := isa.LoadProgram(s.Dev.M, region.Start, malwareBinary); err != nil {
+		t.Fatal(err)
+	}
+	var res isa.Result
+	isa.RunProgram(s.Dev.M, "malware-binary", region, region.Start, 10_000,
+		func(r isa.Result) { res = r })
+	s.RunUntil(s.K.Now() + sim.Second)
+	return res, s
+}
+
+func TestMalwareBinaryOnUnprotectedProver(t *testing.T) {
+	res, s := runMalwareBinary(t, false)
+	if res.Reason != isa.StopHalt {
+		t.Fatalf("malware stopped with %v (fault %v), want clean halt", res.Reason, res.Fault)
+	}
+	if got := s.Dev.A.ReadCounter(); got != 0 {
+		t.Fatalf("counter_R = %d after rollback, want 0", got)
+	}
+	// The loot (first key word) landed in RAM.
+	loot := s.Dev.M.Space.DirectLoad32(mcu.RAMRegion.Start)
+	keyWord := s.Dev.M.Space.DirectLoad32(anchor.KeyROMAddr)
+	if loot != keyWord {
+		t.Fatalf("exfiltrated %#x, key word is %#x", loot, keyWord)
+	}
+}
+
+func TestMalwareBinaryOnProtectedProver(t *testing.T) {
+	res, s := runMalwareBinary(t, true)
+	if res.Reason != isa.StopFault {
+		t.Fatalf("malware stopped with %v, want a bus fault", res.Reason)
+	}
+	// The fault is attributed to the first touching instruction: the lw of
+	// counter_R (the counter rule denies even reads to non-anchor code).
+	// li expands to lui+ori, so the layout is base+0 lui, +4 ori,
+	// +8 lw ← here.
+	wantPC := mcu.FlashRegion.Start + 0x48000 + 8
+	if res.Fault == nil || res.Fault.PC != wantPC {
+		t.Fatalf("fault = %v, want PC %#x (the lw instruction)", res.Fault, uint32(wantPC))
+	}
+	if res.Fault.Addr != anchor.CounterAddr {
+		t.Fatalf("fault addr %#x, want counter_R", uint32(res.Fault.Addr))
+	}
+	if got := s.Dev.A.ReadCounter(); got != 1 {
+		t.Fatalf("counter_R = %d, want untouched 1", got)
+	}
+	// Genuine attestation still works afterwards.
+	s.IssueAt(s.K.Now() + sim.Second)
+	s.RunUntil(s.K.Now() + 3*sim.Second)
+	if s.V.Accepted != 2 {
+		t.Fatalf("post-attack attestation failed (accepted %d)", s.V.Accepted)
+	}
+}
+
+func TestMalwareBinaryLeavesForensicTrail(t *testing.T) {
+	prot := anchor.FullProtection()
+	s, err := NewScenario(ScenarioConfig{
+		Freshness:  protocol.FreshCounter,
+		Auth:       protocol.AuthHMACSHA1,
+		Protection: prot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := mcu.NewTracer(32, true)
+	s.Dev.M.AttachTracer(tracer)
+
+	region := mcu.Region{Start: mcu.FlashRegion.Start + 0x48000, Size: 0x1000}
+	if _, err := isa.LoadProgram(s.Dev.M, region.Start, malwareBinary); err != nil {
+		t.Fatal(err)
+	}
+	isa.RunProgram(s.Dev.M, "malware-binary", region, region.Start, 10_000, nil)
+	s.RunUntil(s.K.Now() + sim.Second)
+
+	counterRegion := mcu.Region{Start: anchor.CounterAddr, Size: anchor.CounterSize}
+	if tracer.DenialsAt(counterRegion) == 0 {
+		t.Fatal("no denial recorded at counter_R — the probe left no trail")
+	}
+	entries := tracer.Entries()
+	if len(entries) == 0 {
+		t.Fatal("tracer empty")
+	}
+	// The trail points at the malware's code region, not the anchor's.
+	for _, e := range entries {
+		if !region.Contains(e.PC) {
+			t.Fatalf("denial attributed to PC %#x outside the malware region", uint32(e.PC))
+		}
+	}
+}

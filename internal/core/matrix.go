@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"proverattest/internal/adversary"
+	"proverattest/internal/anchor"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+// Attack names one Adv_ext manipulation from Table 2.
+type Attack int
+
+// The Table 2 attacks.
+const (
+	AttackReplay Attack = iota
+	AttackReorder
+	AttackDelay
+)
+
+func (a Attack) String() string {
+	switch a {
+	case AttackReplay:
+		return "replay"
+	case AttackReorder:
+		return "reorder"
+	case AttackDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("attack(%d)", int(a))
+}
+
+// MatrixResult is one Table 2 cell, decided by observation: the attack is
+// mitigated iff the prover performed no more measurements than the honest
+// schedule warrants.
+type MatrixResult struct {
+	Attack    Attack
+	Freshness protocol.FreshnessKind
+	// HonestMeasurements is how many measurements the genuine traffic
+	// alone should trigger.
+	HonestMeasurements uint64
+	// Measurements is what the prover actually performed under attack.
+	Measurements uint64
+	// Mitigated is true when the adversarial delivery did not cause extra
+	// prover work (replay) or when the manipulated stale request was
+	// refused (reorder/delay).
+	Mitigated bool
+}
+
+// timestampWindowMs is the freshness window used across the matrix: a
+// request older than one second is refused.
+const timestampWindowMs = 1000
+
+// RunMatrixCell executes one attack×freshness experiment end to end and
+// reports the observed outcome. All requests are HMAC-authenticated (the
+// matrix isolates freshness, §4.2's concern; §4.1 covers authentication).
+func RunMatrixCell(attack Attack, freshness protocol.FreshnessKind) (MatrixResult, error) {
+	res := MatrixResult{Attack: attack, Freshness: freshness}
+
+	cfg := ScenarioConfig{
+		Freshness:         freshness,
+		Auth:              protocol.AuthHMACSHA1,
+		TimestampWindowMs: timestampWindowMs,
+		Protection:        anchor.FullProtection(),
+	}
+	if freshness == protocol.FreshTimestamp {
+		cfg.Clock = anchor.ClockWide64
+	}
+
+	switch attack {
+	case AttackReplay:
+		// One genuine request at t=1 s; the adversary records it and
+		// delivers a second copy 10 s later. Honest work: 1 measurement.
+		tap := &adversary.Interceptor{TargetIndex: 0, Duplicate: 10 * sim.Second}
+		cfg.Tap = tap
+		s, err := NewScenario(cfg)
+		if err != nil {
+			return res, err
+		}
+		s.IssueAt(1 * sim.Second)
+		s.RunUntil(20 * sim.Second)
+		res.HonestMeasurements = 1
+		res.Measurements = s.Measurements()
+		if !tap.Hit {
+			return res, fmt.Errorf("core: replay tap never fired")
+		}
+
+	case AttackReorder:
+		// Two genuine requests at t=1 s and t=2 s; the adversary holds the
+		// first for 3 s so the second overtakes it. The held request is
+		// stale on arrival: processing it is the attack's success. Honest
+		// in-order work would be 2 measurements, but once reordered, a
+		// sound prover performs only the in-order one.
+		tap := &adversary.Interceptor{TargetIndex: 0, ExtraDelay: 3 * sim.Second}
+		cfg.Tap = tap
+		s, err := NewScenario(cfg)
+		if err != nil {
+			return res, err
+		}
+		s.IssueAt(1 * sim.Second)
+		s.IssueAt(2 * sim.Second)
+		s.RunUntil(20 * sim.Second)
+		res.HonestMeasurements = 1
+		res.Measurements = s.Measurements()
+		if !tap.Hit {
+			return res, fmt.Errorf("core: reorder tap never fired")
+		}
+
+	case AttackDelay:
+		// One genuine request at t=1 s, held by the adversary for 5 s.
+		// A sound prover refuses a request that old; accepting it is the
+		// attack's success (the paper's "arbitrarily delay" Adv_ext move).
+		tap := &adversary.Interceptor{TargetIndex: 0, ExtraDelay: 5 * sim.Second}
+		cfg.Tap = tap
+		s, err := NewScenario(cfg)
+		if err != nil {
+			return res, err
+		}
+		s.IssueAt(1 * sim.Second)
+		s.RunUntil(20 * sim.Second)
+		res.HonestMeasurements = 0
+		res.Measurements = s.Measurements()
+		if !tap.Hit {
+			return res, fmt.Errorf("core: delay tap never fired")
+		}
+
+	default:
+		return res, fmt.Errorf("core: unknown attack %v", attack)
+	}
+
+	res.Mitigated = res.Measurements <= res.HonestMeasurements
+	return res, nil
+}
+
+// MatrixFreshnessKinds lists Table 2's columns in paper order.
+var MatrixFreshnessKinds = []protocol.FreshnessKind{
+	protocol.FreshNonceHistory,
+	protocol.FreshCounter,
+	protocol.FreshTimestamp,
+}
+
+// MatrixAttacks lists Table 2's rows in paper order.
+var MatrixAttacks = []Attack{AttackReplay, AttackReorder, AttackDelay}
+
+// RunMatrix regenerates the whole of Table 2.
+func RunMatrix() ([]MatrixResult, error) {
+	var out []MatrixResult
+	for _, attack := range MatrixAttacks {
+		for _, fresh := range MatrixFreshnessKinds {
+			r, err := RunMatrixCell(attack, fresh)
+			if err != nil {
+				return nil, fmt.Errorf("core: %v × %v: %w", attack, fresh, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// PaperTable2 is the paper's printed Table 2, used by tests and the
+// harness to compare observed outcomes against the publication. true = ✓.
+var PaperTable2 = map[Attack]map[protocol.FreshnessKind]bool{
+	AttackReplay: {
+		protocol.FreshNonceHistory: true,
+		protocol.FreshCounter:      true,
+		protocol.FreshTimestamp:    true,
+	},
+	AttackReorder: {
+		protocol.FreshNonceHistory: false,
+		protocol.FreshCounter:      true,
+		protocol.FreshTimestamp:    true,
+	},
+	AttackDelay: {
+		protocol.FreshNonceHistory: false,
+		protocol.FreshCounter:      false,
+		protocol.FreshTimestamp:    true,
+	},
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"proverattest/internal/protocol"
+)
+
+// TestTable2Reproduction runs every attack × freshness cell as a live
+// simulation and requires the observed mitigation outcome to equal the
+// paper's printed Table 2. This is the headline behavioural result.
+func TestTable2Reproduction(t *testing.T) {
+	results, err := RunMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Fatalf("matrix has %d cells, want 9", len(results))
+	}
+	for _, r := range results {
+		want := PaperTable2[r.Attack][r.Freshness]
+		if r.Mitigated != want {
+			t.Errorf("%v × %v: observed mitigated=%v (measurements %d vs honest %d), paper says %v",
+				r.Attack, r.Freshness, r.Mitigated, r.Measurements, r.HonestMeasurements, want)
+		}
+	}
+}
+
+func TestReplayCellDetails(t *testing.T) {
+	// Counter freshness: the replayed frame must be rejected without a
+	// second measurement.
+	r, err := RunMatrixCell(AttackReplay, protocol.FreshCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Measurements != 1 {
+		t.Fatalf("measurements = %d, want exactly 1", r.Measurements)
+	}
+}
+
+func TestDelayCellDetails(t *testing.T) {
+	// Timestamps: the delayed frame is refused outright (0 measurements);
+	// counters: it is accepted (1 measurement — the attack's success).
+	ts, err := RunMatrixCell(AttackDelay, protocol.FreshTimestamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Measurements != 0 {
+		t.Fatalf("timestamp: measurements = %d, want 0", ts.Measurements)
+	}
+	ctr, err := RunMatrixCell(AttackDelay, protocol.FreshCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Measurements != 1 {
+		t.Fatalf("counter: measurements = %d, want 1 (delay not detected)", ctr.Measurements)
+	}
+}
+
+func TestReorderCellDetails(t *testing.T) {
+	// Nonces accept both deliveries (2 measurements); counters reject the
+	// stale one (1).
+	nonce, err := RunMatrixCell(AttackReorder, protocol.FreshNonceHistory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nonce.Measurements != 2 {
+		t.Fatalf("nonces: measurements = %d, want 2 (reorder undetected)", nonce.Measurements)
+	}
+	ctr, err := RunMatrixCell(AttackReorder, protocol.FreshCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Measurements != 1 {
+		t.Fatalf("counter: measurements = %d, want 1", ctr.Measurements)
+	}
+}
+
+func TestAttackStrings(t *testing.T) {
+	if AttackReplay.String() != "replay" || AttackReorder.String() != "reorder" ||
+		AttackDelay.String() != "delay" {
+		t.Error("attack names wrong")
+	}
+	if Attack(42).String() == "" {
+		t.Error("unknown attack should still format")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"proverattest/internal/anchor"
+	"proverattest/internal/channel"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+func lossyScenario(t *testing.T, tap channel.Tap) *Scenario {
+	t.Helper()
+	s, err := NewScenario(ScenarioConfig{
+		Freshness:  protocol.FreshCounter,
+		Auth:       protocol.AuthHMACSHA1,
+		Protection: anchor.FullProtection(),
+		Tap:        tap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLossTapDropsDeterministically(t *testing.T) {
+	// 50 % loss without retries: every second request vanishes.
+	tap := &channel.LossTap{DropEvery: 2,
+		Match: func(m channel.Message) bool { return m.To == channel.Prover }}
+	s := lossyScenario(t, tap)
+	s.IssueEvery(s.K.Now()+sim.Second, 2*sim.Second, 6)
+	s.RunUntil(s.K.Now() + 20*sim.Second)
+	if tap.Dropped != 3 {
+		t.Fatalf("dropped %d of 6, want 3", tap.Dropped)
+	}
+	if s.V.Accepted != 3 {
+		t.Fatalf("accepted %d, want 3 (no retries)", s.V.Accepted)
+	}
+}
+
+func TestRetryRecoversFromRequestLoss(t *testing.T) {
+	// Drop every second prover-bound frame; one retry recovers each loss.
+	tap := &channel.LossTap{DropEvery: 2,
+		Match: func(m channel.Message) bool { return m.To == channel.Prover }}
+	s := lossyScenario(t, tap)
+	for i := 0; i < 4; i++ {
+		s.IssueWithRetry(s.K.Now()+sim.Time(1+4*i)*sim.Second, 2*sim.Second, 2)
+	}
+	s.RunUntil(s.K.Now() + 30*sim.Second)
+	if s.V.Accepted != 4 {
+		t.Fatalf("accepted %d/4 despite retries (expired %d)", s.V.Accepted, s.V.Expired)
+	}
+	if s.V.Expired == 0 {
+		t.Fatal("no request ever timed out — the loss tap did nothing")
+	}
+}
+
+func TestRetryRecoversFromResponseLoss(t *testing.T) {
+	// The harder case: the request got through and the PROVER DID THE
+	// WORK, but the response vanished. The retry must be a fresh request
+	// (new counter) — replaying the old frame would be refused.
+	s := lossyScenario(t, &dropFirstResponse{})
+	s.IssueWithRetry(s.K.Now()+sim.Second, 2*sim.Second, 2)
+	s.RunUntil(s.K.Now() + 15*sim.Second)
+	if s.V.Accepted != 1 {
+		t.Fatalf("accepted %d, want 1 via retry", s.V.Accepted)
+	}
+	// Both the lost-response attempt and the retry were measured: the
+	// prover's work is not free under response loss — an asymmetry a
+	// response-dropping Adv_ext can exploit within the retry budget.
+	if s.Measurements() != 2 {
+		t.Fatalf("measurements = %d, want 2", s.Measurements())
+	}
+	if s.Dev.A.ReadCounter() != 2 {
+		t.Fatalf("counter_R = %d, want 2 (both requests consumed)", s.Dev.A.ReadCounter())
+	}
+}
+
+func TestRetryBudgetBoundsAdversarialAmplification(t *testing.T) {
+	// An adversary dropping ALL responses forces at most 1+maxRetries
+	// measurements per genuine attestation — the retry budget is also the
+	// DoS amplification bound.
+	tap := &channel.LossTap{DropEvery: 2, Match: func(m channel.Message) bool { return false }}
+	dropAll := &dropResponses{}
+	_ = tap
+	s := lossyScenario(t, dropAll)
+	s.IssueWithRetry(s.K.Now()+sim.Second, 2*sim.Second, 3)
+	s.RunUntil(s.K.Now() + 30*sim.Second)
+	if s.V.Accepted != 0 {
+		t.Fatal("a response got through the drop-all tap")
+	}
+	if s.Measurements() != 4 {
+		t.Fatalf("measurements = %d, want exactly 1+3 retries", s.Measurements())
+	}
+	if s.V.Expired != 4 {
+		t.Fatalf("expired = %d, want 4", s.V.Expired)
+	}
+}
+
+// dropFirstResponse discards only the first prover→verifier frame.
+type dropFirstResponse struct{ dropped bool }
+
+func (d *dropFirstResponse) OnSend(msg channel.Message, now sim.Time) []channel.Delivery {
+	if msg.To == channel.Verifier && !d.dropped {
+		d.dropped = true
+		return nil
+	}
+	return []channel.Delivery{{Msg: msg}}
+}
+
+// dropResponses discards all prover→verifier traffic.
+type dropResponses struct{}
+
+func (dropResponses) OnSend(msg channel.Message, now sim.Time) []channel.Delivery {
+	if msg.To == channel.Verifier {
+		return nil
+	}
+	return []channel.Delivery{{Msg: msg}}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	// Two identical lossy runs must produce bit-identical statistics: the
+	// whole stack (kernel, MCU, channel, loss, retries) is deterministic.
+	run := func() (uint64, uint64, uint64, uint64) {
+		tap := &channel.LossTap{DropEvery: 3}
+		s := lossyScenario(t, tap)
+		for i := 0; i < 5; i++ {
+			s.IssueWithRetry(s.K.Now()+sim.Time(1+3*i)*sim.Second, sim.Second, 2)
+		}
+		s.RunUntil(s.K.Now() + 30*sim.Second)
+		return s.V.Accepted, s.V.Expired, s.Measurements(), uint64(s.Dev.M.ActiveCycles)
+	}
+	a1, e1, m1, c1 := run()
+	a2, e2, m2, c2 := run()
+	if a1 != a2 || e1 != e2 || m1 != m2 || c1 != c2 {
+		t.Fatalf("non-deterministic runs: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			a1, e1, m1, c1, a2, e2, m2, c2)
+	}
+}

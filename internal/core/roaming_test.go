@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+)
+
+// runCampaign is a helper asserting the basic structure of a result.
+func runCampaign(t *testing.T, target RoamTarget, protected bool) RoamingResult {
+	t.Helper()
+	res, err := RunRoamingCampaign(target, protected)
+	if err != nil {
+		t.Fatalf("%v (protected=%v): %v", target, protected, err)
+	}
+	if len(res.TamperOutcomes) == 0 {
+		t.Fatalf("%v: no tamper outcomes recorded", target)
+	}
+	return res
+}
+
+// TestRoamingMatrix is the §5 headline: every Phase II strategy succeeds
+// against an unprotected prover and fails against the protected one.
+func TestRoamingMatrix(t *testing.T) {
+	for _, target := range AllRoamTargets {
+		target := target
+		t.Run(target.String(), func(t *testing.T) {
+			unprot := runCampaign(t, target, false)
+			if !unprot.AttackSucceeded {
+				t.Errorf("unprotected: attack failed (measurements %d vs honest %d; outcomes %v)",
+					unprot.Measurements, unprot.HonestMeasurements, unprot.TamperOutcomes)
+			}
+			prot := runCampaign(t, target, true)
+			if prot.AttackSucceeded {
+				t.Errorf("protected: attack succeeded (measurements %d vs honest %d; outcomes %v)",
+					prot.Measurements, prot.HonestMeasurements, prot.TamperOutcomes)
+			}
+		})
+	}
+}
+
+func TestRoamCounterUndetectable(t *testing.T) {
+	// §5's subtle point: after the counter attack, counter_R is back at
+	// its pre-attack value — "the DoS attack is undetectable after the
+	// fact".
+	res := runCampaign(t, RoamCounter, false)
+	if !res.AttackSucceeded {
+		t.Fatal("attack did not succeed")
+	}
+	if !res.CounterRestored {
+		t.Fatal("counter_R did not return to its pre-attack value — the attack left evidence")
+	}
+}
+
+func TestRoamClockResetLeavesEvidence(t *testing.T) {
+	// §5's contrast: the clock-reset attack succeeds but "the prover's
+	// clock remains behind" — detectable evidence, unlike the counter.
+	res := runCampaign(t, RoamClockReset, false)
+	if !res.AttackSucceeded {
+		t.Fatal("attack did not succeed")
+	}
+	if res.ClockBehindMs < 5000 {
+		t.Fatalf("prover clock behind by %d ms, expected a multi-second lag as evidence", res.ClockBehindMs)
+	}
+}
+
+func TestProtectedClockStaysSynchronised(t *testing.T) {
+	res := runCampaign(t, RoamClockReset, true)
+	if res.ClockBehindMs > 100 || res.ClockBehindMs < -100 {
+		t.Fatalf("protected prover clock off by %d ms, want ≈0", res.ClockBehindMs)
+	}
+	// The tamper itself must have been refused by the hardware.
+	for _, o := range res.TamperOutcomes {
+		if o.Action == "erase traces" {
+			continue
+		}
+		if o.Succeeded {
+			t.Errorf("protected prover allowed %q", o.Action)
+		}
+	}
+}
+
+func TestSWClockStallAttacks(t *testing.T) {
+	// The Figure 1b attack surface: stopping Code_Clock (IDT patch or IRQ
+	// mask) freezes the software clock, making a recorded request
+	// replayable at wrap-aligned instants forever after.
+	for _, target := range []RoamTarget{RoamIDTPatch, RoamMaskIRQ} {
+		res := runCampaign(t, target, false)
+		if !res.AttackSucceeded {
+			t.Errorf("%v: stalled-clock replay failed", target)
+		}
+		if res.ClockBehindMs < 10_000 {
+			t.Errorf("%v: clock behind %d ms, expected a large stall", target, res.ClockBehindMs)
+		}
+	}
+}
+
+func TestKeyExtractionEnablesForgery(t *testing.T) {
+	res := runCampaign(t, RoamKeyExtract, false)
+	if !res.AttackSucceeded {
+		t.Fatal("forged request with stolen key was rejected")
+	}
+	// With the key rule installed, extraction fails and the replayed
+	// original is stale.
+	prot := runCampaign(t, RoamKeyExtract, true)
+	for _, o := range prot.TamperOutcomes {
+		if o.Action == "extract K_Attest" {
+			if o.Succeeded {
+				t.Fatal("protected key was extracted")
+			}
+			if len(o.Loot) != 0 {
+				t.Fatal("protected extraction still produced loot")
+			}
+		}
+	}
+}
+
+func TestMPULockdownIsTheLinchpin(t *testing.T) {
+	// Without the secure-boot lockdown, the adversary simply disables the
+	// counter rule and proceeds — all other protection is moot (§6.2).
+	res := runCampaign(t, RoamMPUReconfig, false)
+	if !res.AttackSucceeded {
+		t.Fatal("unlocked MPU did not enable the attack")
+	}
+	prot := runCampaign(t, RoamMPUReconfig, true)
+	if prot.AttackSucceeded {
+		t.Fatal("locked MPU still allowed the attack")
+	}
+}
+
+func TestProtectedProversLogTamperFingerprints(t *testing.T) {
+	// On a protected prover the Phase II probes fail AND leave a denial
+	// trail; on an unprotected prover they succeed silently — the tracer
+	// formalises "undetectable after the fact".
+	for _, target := range []RoamTarget{RoamCounter, RoamClockReset, RoamKeyExtract} {
+		prot := runCampaign(t, target, true)
+		if prot.DenialsLogged == 0 {
+			t.Errorf("%v protected: no denials logged despite refused tampering", target)
+		}
+		unprot := runCampaign(t, target, false)
+		if unprot.DenialsLogged != 0 {
+			t.Errorf("%v unprotected: %d denials logged — tampering should have been silent",
+				target, unprot.DenialsLogged)
+		}
+	}
+}
+
+func TestRoamTargetStrings(t *testing.T) {
+	for _, target := range AllRoamTargets {
+		if target.String() == "" {
+			t.Errorf("target %d has no name", int(target))
+		}
+	}
+	if RoamTarget(99).String() == "" {
+		t.Error("unknown target should still format")
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"proverattest/internal/anchor"
+	"proverattest/internal/channel"
+	"proverattest/internal/energy"
+	"proverattest/internal/mcu"
+	"proverattest/internal/protocol"
+	"proverattest/internal/services"
+	"proverattest/internal/sim"
+)
+
+// ScenarioConfig describes one end-to-end setup: the prover's policy, the
+// verifier's matching configuration, the channel, and an optional
+// Dolev-Yao tap through which the external adversary works.
+type ScenarioConfig struct {
+	// Profile selects the architecture (TrustLite default, SMART, TyTAN).
+	Profile           anchor.Profile
+	Freshness         protocol.FreshnessKind
+	Auth              protocol.AuthKind
+	Clock             anchor.ClockDesign
+	Protection        anchor.Protection
+	TimestampWindowMs uint64
+	TimestampSkewMs   uint64
+	NonceCapacity     int
+	KeyLocation       anchor.KeyLocation
+	// Latency is the one-way channel latency (default 1 ms).
+	Latency sim.Duration
+	// Tap is the Dolev-Yao interposition point (nil = honest network).
+	Tap channel.Tap
+	// AttestKey overrides K_Attest (default DefaultAttestKey). Fleet
+	// deployments derive one per device from a master secret.
+	AttestKey []byte
+	// Battery, when set, is drained by the prover's activity.
+	Battery *energy.Battery
+	// VerifierClockOffsetMs models verifier↔prover clock drift: the
+	// verifier's timestamps run this many ms ahead (+) or behind (−).
+	VerifierClockOffsetMs int64
+	// MeasuredRegion overrides the attested memory (default: all 512 KB
+	// of RAM); used by the measurement-size ablation.
+	MeasuredRegion mcu.Region
+	// MeasurementChunk streams the measurement in chunks of this many
+	// bytes (0 = atomic); see anchor.Config.MeasurementChunk.
+	MeasurementChunk uint32
+	// EnableServices installs the secure-update, secure-erase and
+	// clock-sync services behind the anchor's gate.
+	EnableServices bool
+	// MaxSyncStepMs bounds one clock-sync adjustment (default 500 ms).
+	MaxSyncStepMs int64
+}
+
+// Scenario is a wired verifier–channel–prover system on one kernel.
+type Scenario struct {
+	K   *sim.Kernel
+	Dev *Device
+	V   *protocol.Verifier
+	C   *channel.Channel
+
+	cmdWaiters map[uint64]func(*protocol.CommandResp)
+
+	// ResponsesSeen counts frames that reached the verifier endpoint.
+	ResponsesSeen uint64
+}
+
+// NewScenario assembles and boots everything on a fresh kernel.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	return NewScenarioOn(sim.NewKernel(), cfg)
+}
+
+// NewScenarioOn assembles a scenario on an existing kernel, so several
+// provers (a fleet) can share one timeline.
+func NewScenarioOn(k *sim.Kernel, cfg ScenarioConfig) (*Scenario, error) {
+	if cfg.Latency == 0 {
+		cfg.Latency = sim.Millisecond
+	}
+
+	key := cfg.AttestKey
+	if key == nil {
+		key = DefaultAttestKey
+	}
+	acfg := anchor.Config{
+		AttestKey:         key,
+		Profile:           cfg.Profile,
+		Freshness:         cfg.Freshness,
+		Clock:             cfg.Clock,
+		TimestampWindowMs: cfg.TimestampWindowMs,
+		TimestampSkewMs:   cfg.TimestampSkewMs,
+		NonceCapacity:     cfg.NonceCapacity,
+		KeyLocation:       cfg.KeyLocation,
+		MeasuredRegion:    cfg.MeasuredRegion,
+		MeasurementChunk:  cfg.MeasurementChunk,
+		Protection:        cfg.Protection,
+	}
+	if err := NewDeviceAuth(cfg.Auth, &acfg); err != nil {
+		return nil, err
+	}
+	dev, err := NewDevice(k, DeviceConfig{Anchor: acfg, Battery: cfg.Battery})
+	if err != nil {
+		return nil, err
+	}
+
+	var auth protocol.Authenticator
+	switch cfg.Auth {
+	case protocol.AuthECDSA:
+		key, err := VerifierKeyPair()
+		if err != nil {
+			return nil, err
+		}
+		auth = protocol.NewECDSAAuth(key)
+	case protocol.AuthHMACSHA1:
+		auth = protocol.NewHMACAuth(key)
+	case protocol.AuthNone:
+		auth = protocol.NoAuth{}
+	default:
+		var err error
+		auth, err = protocol.NewAuthenticator(cfg.Auth, key[:16])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	golden := dev.GoldenRAM()
+	if cfg.MeasuredRegion.Size != 0 {
+		if !mcu.RAMRegion.ContainsRange(cfg.MeasuredRegion.Start, cfg.MeasuredRegion.Size) {
+			return nil, fmt.Errorf("core: measured region %v outside RAM", cfg.MeasuredRegion)
+		}
+		off := cfg.MeasuredRegion.Start - mcu.RAMRegion.Start
+		golden = golden[off : uint32(off)+cfg.MeasuredRegion.Size]
+	}
+	v, err := protocol.NewVerifier(protocol.VerifierConfig{
+		Freshness: cfg.Freshness,
+		Auth:      auth,
+		AttestKey: key,
+		Golden:    golden,
+		Clock: func() uint64 {
+			ms := int64(k.Now()/sim.Millisecond) + cfg.VerifierClockOffsetMs
+			if ms < 0 {
+				ms = 0
+			}
+			return uint64(ms)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building verifier: %w", err)
+	}
+
+	if cfg.EnableServices {
+		if cfg.MaxSyncStepMs == 0 {
+			cfg.MaxSyncStepMs = 500
+		}
+		services.InstallUpdateService(dev.A, AppImageRegion)
+		services.InstallEraseService(dev.A, mcu.RAMRegion)
+		services.InstallClockSyncService(dev.A, cfg.MaxSyncStepMs)
+	}
+
+	c := channel.New(k, cfg.Latency, cfg.Tap)
+	s := &Scenario{K: k, Dev: dev, V: v, C: c, cmdWaiters: make(map[uint64]func(*protocol.CommandResp))}
+	c.Attach(channel.Prover, func(msg channel.Message) {
+		reply := func(out []byte) { c.Send(channel.Prover, channel.Verifier, out) }
+		switch protocol.ClassifyFrame(msg.Payload) {
+		case protocol.FrameCommandReq:
+			dev.A.HandleCommand(msg.Payload, reply)
+		default:
+			// Attestation requests and garbage alike go through
+			// Code_Attest's request path, which rejects malformed frames
+			// cheaply — the prover cannot afford to drop frames silently
+			// before the gate, or stats would hide adversarial load.
+			dev.A.HandleRequest(msg.Payload, reply)
+		}
+	})
+	c.Attach(channel.Verifier, func(msg channel.Message) {
+		s.ResponsesSeen++
+		switch protocol.ClassifyFrame(msg.Payload) {
+		case protocol.FrameCommandResp:
+			resp, err := v.CheckCommandResponse(msg.Payload)
+			if err != nil {
+				return
+			}
+			if waiter, ok := s.cmdWaiters[resp.Nonce]; ok {
+				delete(s.cmdWaiters, resp.Nonce)
+				waiter(resp)
+			}
+		default:
+			v.CheckResponse(msg.Payload) //nolint:errcheck // stats-tracked
+		}
+	})
+	return s, nil
+}
+
+// IssueCommandAt schedules a service command at absolute time t; onResp
+// (optional) receives the verified response.
+func (s *Scenario) IssueCommandAt(t sim.Time, kind protocol.CommandKind, body []byte, onResp func(*protocol.CommandResp)) {
+	s.K.At(t, func() {
+		req, err := s.V.NewCommand(kind, body)
+		if err != nil {
+			panic(fmt.Sprintf("core: issuing command: %v", err))
+		}
+		if onResp != nil {
+			s.cmdWaiters[req.Nonce] = onResp
+		}
+		s.C.Send(channel.Verifier, channel.Prover, req.Encode())
+	})
+}
+
+// IssueAt schedules the verifier to create and send a fresh request at
+// absolute simulated time t (request timestamps are taken at issue time,
+// so issuance must happen on the timeline, not up front).
+func (s *Scenario) IssueAt(t sim.Time) {
+	s.K.At(t, func() {
+		req, err := s.V.NewRequest()
+		if err != nil {
+			panic(fmt.Sprintf("core: issuing request: %v", err))
+		}
+		s.C.Send(channel.Verifier, channel.Prover, req.Encode())
+	})
+}
+
+// IssueWithRetry schedules a request at absolute time t and retries with a
+// fresh request (new nonce, new counter/timestamp) whenever no response
+// has been accepted within timeout, up to maxRetries retransmissions —
+// the standard recovery loop for a lossy link.
+func (s *Scenario) IssueWithRetry(t sim.Time, timeout sim.Duration, maxRetries int) {
+	var attempt func(triesLeft int)
+	attempt = func(triesLeft int) {
+		req, err := s.V.NewRequest()
+		if err != nil {
+			panic(fmt.Sprintf("core: issuing request: %v", err))
+		}
+		s.C.Send(channel.Verifier, channel.Prover, req.Encode())
+		s.K.After(timeout, func() {
+			if !s.V.IsPending(req.Nonce) {
+				return // answered in time
+			}
+			s.V.Abandon(req.Nonce)
+			if triesLeft > 0 {
+				attempt(triesLeft - 1)
+			}
+		})
+	}
+	s.K.At(t, func() { attempt(maxRetries) })
+}
+
+// IssueEvery schedules count requests, the first at start, then every
+// interval.
+func (s *Scenario) IssueEvery(start sim.Time, interval sim.Duration, count int) {
+	for i := 0; i < count; i++ {
+		s.IssueAt(start + sim.Time(i)*interval)
+	}
+}
+
+// RunUntil drives the simulation to the absolute deadline and settles the
+// prover's energy accounting.
+func (s *Scenario) RunUntil(deadline sim.Time) {
+	s.K.RunUntil(deadline)
+	s.Dev.SettleEnergy()
+}
+
+// Measurements reports how many full memory measurements the prover has
+// performed — the quantity a DoS adversary maximises and a mitigation
+// bounds.
+func (s *Scenario) Measurements() uint64 { return s.Dev.A.Stats.Measurements }

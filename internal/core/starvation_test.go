@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+func TestStarvationUnderUnauthenticatedFlood(t *testing.T) {
+	// Sensor job every 100 ms, forged flood at 10/s. Without request
+	// authentication each forgery occupies the core for ≈754 ms, so
+	// sensor jobs queue behind attestations and run catastrophically late.
+	res, err := RunStarvationExperiment(protocol.AuthNone, 10, 100*sim.Millisecond, 30*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measurements < 30 {
+		t.Fatalf("flood produced only %d measurements", res.Measurements)
+	}
+	if res.WorstLatency < 500*sim.Millisecond {
+		t.Fatalf("worst sensor latency %v — expected multi-hundred-ms delays behind 754 ms attestations",
+			res.WorstLatency)
+	}
+	// The core is work-conserving, but it cannot complete all jobs inside
+	// the window when it is ~100% busy with attestations.
+	if res.SensorRuns >= res.SensorScheduled {
+		t.Fatalf("all %d sensor jobs completed despite saturation", res.SensorScheduled)
+	}
+}
+
+func TestNoStarvationWithAuthentication(t *testing.T) {
+	res, err := RunStarvationExperiment(protocol.AuthHMACSHA1, 10, 100*sim.Millisecond, 30*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measurements != 0 {
+		t.Fatalf("forged requests measured: %d", res.Measurements)
+	}
+	if res.SensorRuns != res.SensorScheduled {
+		t.Fatalf("sensor jobs: %d/%d completed — authentication should protect the primary task",
+			res.SensorRuns, res.SensorScheduled)
+	}
+	// Worst latency stays near the job's own ≈1 ms run time plus at most
+	// one MAC check (~0.5 ms).
+	if res.WorstLatency > 5*sim.Millisecond {
+		t.Fatalf("worst sensor latency %v, want single-digit ms", res.WorstLatency)
+	}
+}
+
+func TestStarvationContrast(t *testing.T) {
+	open, err := RunStarvationExperiment(protocol.AuthNone, 10, 100*sim.Millisecond, 20*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := RunStarvationExperiment(protocol.AuthHMACSHA1, 10, 100*sim.Millisecond, 20*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.WorstLatency < 100*auth.WorstLatency {
+		t.Fatalf("latency contrast too small: open %v vs auth %v", open.WorstLatency, auth.WorstLatency)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+
+	"proverattest/internal/adversary"
+	"proverattest/internal/anchor"
+	"proverattest/internal/isa"
+	"proverattest/internal/mcu"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+// TOCTOUResult reports the footnote-1 experiment: can a resident adversary
+// survive attestation by relocating itself around the measurement cursor?
+type TOCTOUResult struct {
+	ChunkBytes uint32 // 0 = atomic measurement
+	// VerifierAccepted: the measurement matched the golden image.
+	VerifierAccepted bool
+	// MalwarePresent: adversary bytes remain in measured RAM afterwards.
+	MalwarePresent bool
+	// AttackSucceeded: both at once — the prover attested clean while
+	// still infected.
+	AttackSucceeded bool
+}
+
+// malwarePayload is the resident implant's footprint in measured RAM.
+var malwarePayload = bytes.Repeat([]byte{0xE7}, 64)
+
+// RunTOCTOUExperiment plays the relocation attack against a prover whose
+// measurement is either atomic (chunkBytes = 0) or streamed in chunks.
+//
+// Script: the implant sits high in measured RAM (offset 480 KB). When an
+// attestation request arrives, the adversary schedules one relocation step
+// timed to land between measurement chunks: restore the high bytes to
+// their golden values (the cursor has not reached them yet) and move the
+// implant to offset 0 (already measured). Atomic measurement leaves no
+// such window — the same relocation job runs only after the response is
+// computed, so the measurement catches the implant.
+func RunTOCTOUExperiment(chunkBytes uint32) (TOCTOUResult, error) {
+	res := TOCTOUResult{ChunkBytes: chunkBytes}
+	s, err := NewScenario(ScenarioConfig{
+		Freshness:        protocol.FreshCounter,
+		Auth:             protocol.AuthHMACSHA1,
+		Protection:       anchor.FullProtection(),
+		MeasurementChunk: chunkBytes,
+	})
+	if err != nil {
+		return res, err
+	}
+	roam := adversary.Infect(s.Dev.M, s.K)
+	golden := s.Dev.GoldenRAM()
+	const highOff = 480 * 1024
+	high := mcu.RAMRegion.Start + highOff
+	low := mcu.RAMRegion.Start
+	goldenHigh := append([]byte(nil), golden[highOff:highOff+64]...)
+	goldenLow := append([]byte(nil), golden[:64]...)
+
+	// t = 5 s: infection — the implant lands high in measured RAM.
+	s.K.At(5*sim.Second, func() {
+		s.Dev.M.Submit(roam.Malware, func(e *mcu.Exec) {
+			e.Write(high, malwarePayload)
+			e.Tick(64)
+		}, nil)
+	})
+
+	// t = 10 s: genuine attestation request.
+	s.IssueAt(10 * sim.Second)
+
+	// t = 10 s + 80 ms: the relocation step. Under 8 KB chunks the cursor
+	// is ≈7 chunks (56 KB) in — far past offset 0, far before 480 KB.
+	s.K.At(10*sim.Second+80*sim.Millisecond, func() {
+		s.Dev.M.Submit(roam.Malware, func(e *mcu.Exec) {
+			e.Write(high, goldenHigh)
+			e.Write(low, malwarePayload)
+			e.Tick(128)
+		}, nil)
+	})
+
+	s.RunUntil(13 * sim.Second)
+	res.VerifierAccepted = s.V.Accepted == 1
+	nowLow := s.Dev.M.Space.DirectRead(low, 64)
+	nowHigh := s.Dev.M.Space.DirectRead(high, 64)
+	res.MalwarePresent = !bytes.Equal(nowLow, goldenLow) || !bytes.Equal(nowHigh, goldenHigh)
+	res.AttackSucceeded = res.VerifierAccepted && res.MalwarePresent
+	return res, nil
+}
+
+// RealtimeResult reports the latency benefit chunking buys: the worst
+// delay a periodic sensor job suffers while one *genuine* attestation is
+// in progress.
+type RealtimeResult struct {
+	ChunkBytes   uint32
+	WorstLatency sim.Duration
+	SensorRuns   uint64
+	Accepted     uint64
+}
+
+// RunRealtimeExperiment schedules a ≈1 ms SP16 sensor job every 20 ms
+// across a genuine full-memory attestation and reports the worst latency.
+// Atomic measurement blocks the core for ≈754 ms; with c-byte chunks the
+// bound drops to roughly one chunk's measurement time.
+func RunRealtimeExperiment(chunkBytes uint32) (RealtimeResult, error) {
+	res := RealtimeResult{ChunkBytes: chunkBytes}
+	s, err := NewScenario(ScenarioConfig{
+		Freshness:        protocol.FreshCounter,
+		Auth:             protocol.AuthHMACSHA1,
+		Protection:       anchor.FullProtection(),
+		MeasurementChunk: chunkBytes,
+	})
+	if err != nil {
+		return res, err
+	}
+	if _, err := isa.LoadProgram(s.Dev.M, SensorProgramRegion.Start, sensorProgram); err != nil {
+		return res, err
+	}
+	start := s.K.Now()
+	for t := start + 20*sim.Millisecond; t < start+2*sim.Second; t += 20 * sim.Millisecond {
+		submitAt := t
+		s.K.At(submitAt, func() {
+			isa.RunProgram(s.Dev.M, "sensor", SensorProgramRegion, SensorProgramRegion.Start, 100_000,
+				func(r isa.Result) {
+					if r.Reason != isa.StopHalt {
+						return
+					}
+					res.SensorRuns++
+					if latency := s.K.Now() - submitAt; latency > res.WorstLatency {
+						res.WorstLatency = latency
+					}
+				})
+		})
+	}
+	s.IssueAt(start + 500*sim.Millisecond)
+	s.RunUntil(start + 3*sim.Second)
+	res.Accepted = s.V.Accepted
+	return res, nil
+}

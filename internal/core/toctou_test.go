@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"proverattest/internal/mcu"
+	"proverattest/internal/sim"
+)
+
+func TestChunkedMeasurementMatchesAtomic(t *testing.T) {
+	// The streamed HMAC must produce the same measurement as the one-shot
+	// pass: the verifier accepts either way, at the same modeled cost.
+	for _, chunk := range []uint32{0, 4 * 1024, 8 * 1024, 64 * 1024} {
+		s, err := NewScenario(ScenarioConfig{
+			Freshness:        0, // FreshNone: isolate the measurement path
+			Auth:             0,
+			MeasurementChunk: chunk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := s.Dev.M.ActiveCycles
+		s.IssueAt(s.K.Now() + sim.Millisecond)
+		s.RunUntil(s.K.Now() + 2*sim.Second)
+		if s.V.Accepted != 1 {
+			t.Fatalf("chunk %d: verifier accepted %d", chunk, s.V.Accepted)
+		}
+		spent := (s.Dev.M.ActiveCycles - before).Millis()
+		if spent < 753 || spent > 756 {
+			t.Fatalf("chunk %d: measurement cost %.2f ms, want ≈754", chunk, spent)
+		}
+	}
+}
+
+func TestChunkedMeasurementIsReentrant(t *testing.T) {
+	// Two requests land back to back; with chunked measurement the second
+	// gate job runs between the first request's chunks, and both streams
+	// must finish with correct, independent measurements.
+	s, err := NewScenario(ScenarioConfig{
+		Freshness:        0,
+		Auth:             0,
+		MeasurementChunk: 8 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.IssueAt(s.K.Now() + sim.Millisecond)
+	s.IssueAt(s.K.Now() + 10*sim.Millisecond)
+	s.RunUntil(s.K.Now() + 5*sim.Second)
+	if s.V.Accepted != 2 {
+		t.Fatalf("accepted %d/2 interleaved chunked measurements (rejected %d)",
+			s.V.Accepted, s.V.Rejected)
+	}
+	if s.Dev.A.Stats.Measurements != 2 {
+		t.Fatalf("measurements = %d, want 2", s.Dev.A.Stats.Measurements)
+	}
+}
+
+func TestChunkedMeasurementAbortsOnFault(t *testing.T) {
+	// Fault injection: a rule lands over part of the measured region after
+	// boot (simulating a misconfiguration), so a mid-stream chunk read
+	// faults. The chain must abort — no response, a recorded fault, and no
+	// phantom measurement.
+	s, err := NewScenario(ScenarioConfig{
+		Freshness:        0,
+		Auth:             0,
+		MeasurementChunk: 8 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block Code_Attest from a page in the middle of RAM (rule grants
+	// nobody; MPU is unlocked in this unprotected scenario).
+	if err := s.Dev.M.MPU.SetRule(7, mcu.Rule{
+		Code: mcu.Region{Start: mcu.FlashRegion.Start, Size: 4},
+		Data: mcu.Region{Start: mcu.RAMRegion.Start + 64*1024, Size: 4096},
+		Perm: mcu.PermRead, Enabled: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.IssueAt(s.K.Now() + sim.Millisecond)
+	s.RunUntil(s.K.Now() + 3*sim.Second)
+	if s.V.Accepted != 0 || s.ResponsesSeen != 0 {
+		t.Fatalf("faulted measurement still produced a response (accepted %d, seen %d)",
+			s.V.Accepted, s.ResponsesSeen)
+	}
+	if s.Dev.A.Stats.Faults == 0 {
+		t.Fatal("no fault recorded")
+	}
+	if s.Dev.A.Stats.Measurements != 0 {
+		t.Fatal("aborted chain still counted a measurement")
+	}
+}
+
+func TestTOCTOUAtomicIsImmune(t *testing.T) {
+	res, err := RunTOCTOUExperiment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VerifierAccepted {
+		t.Fatal("atomic measurement attested an infected prover clean")
+	}
+	if res.AttackSucceeded {
+		t.Fatal("TOCTOU succeeded against atomic measurement")
+	}
+}
+
+func TestTOCTOUChunkedIsVulnerable(t *testing.T) {
+	// The paper's footnote-1 caveat, reproduced: interleaving execution
+	// with measurement lets the implant relocate around the cursor and
+	// attest clean while still resident.
+	res, err := RunTOCTOUExperiment(8 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VerifierAccepted {
+		t.Fatal("chunked measurement rejected — the relocation missed its window")
+	}
+	if !res.MalwarePresent {
+		t.Fatal("malware vanished — script error")
+	}
+	if !res.AttackSucceeded {
+		t.Fatal("TOCTOU failed against chunked measurement")
+	}
+}
+
+func TestRealtimeChunkingBoundsLatency(t *testing.T) {
+	atomic, err := RunRealtimeExperiment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := RunRealtimeExperiment(8 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.Accepted != 1 || chunked.Accepted != 1 {
+		t.Fatalf("attestation failed: atomic %d, chunked %d", atomic.Accepted, chunked.Accepted)
+	}
+	// Atomic: sensor jobs queue behind the full ≈754 ms measurement.
+	if atomic.WorstLatency < 500*sim.Millisecond {
+		t.Fatalf("atomic worst latency %v, want >500 ms", atomic.WorstLatency)
+	}
+	// Chunked: bounded by ≈one 8 KB chunk (≈11.8 ms) plus queued work.
+	if chunked.WorstLatency > 50*sim.Millisecond {
+		t.Fatalf("chunked worst latency %v, want <50 ms", chunked.WorstLatency)
+	}
+	if chunked.SensorRuns < atomic.SensorRuns {
+		t.Fatalf("chunking completed fewer sensor runs (%d < %d)", chunked.SensorRuns, atomic.SensorRuns)
+	}
+}

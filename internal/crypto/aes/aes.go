@@ -1,0 +1,309 @@
+// Package aes is a from-scratch implementation of AES-128 (FIPS 197) with
+// CBC mode and CBC-MAC, one of the block ciphers the paper evaluates for
+// authenticating attestation requests (Table 1, §4.1). The implementation
+// favours clarity over speed — the prover's latency comes from the
+// calibrated model in internal/crypto/cost, not from host performance.
+package aes
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+const rounds = 10
+
+// sbox and invSbox are derived in init from the GF(2^8) multiplicative
+// inverse and the FIPS 197 affine transform, so a table transcription error
+// is impossible.
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+)
+
+func init() {
+	// Build log/exp tables for GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1
+	// using generator 3.
+	var exp [256]byte
+	var log [256]byte
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		exp[i] = x
+		log[x] = byte(i)
+		// multiply x by 3 (i.e. x ^= xtime(x))
+		x ^= xtime(x)
+	}
+	inv := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return exp[(255-int(log[b]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		v := inv(byte(i))
+		// Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
+		s := v ^ rotl8(v, 1) ^ rotl8(v, 2) ^ rotl8(v, 3) ^ rotl8(v, 4) ^ 0x63
+		sbox[i] = s
+		invSbox[s] = byte(i)
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// xtime multiplies by x in GF(2^8) modulo the AES polynomial.
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+// gmul multiplies two field elements (schoolbook; only used with small
+// constants so speed is irrelevant).
+func gmul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// Cipher is an expanded AES-128 key.
+type Cipher struct {
+	rk [4 * (rounds + 1)]uint32 // round keys as big-endian words
+}
+
+// New expands a 16-byte key. It returns an error for any other key length.
+func New(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: invalid key size %d (want %d)", len(key), KeySize)
+	}
+	c := &Cipher{}
+	for i := 0; i < 4; i++ {
+		c.rk[i] = binary.BigEndian.Uint32(key[i*4:])
+	}
+	rcon := uint32(1)
+	for i := 4; i < len(c.rk); i++ {
+		t := c.rk[i-1]
+		if i%4 == 0 {
+			t = subWord(rotWord(t)) ^ rcon<<24
+			rcon = uint32(xtime(byte(rcon)))
+		}
+		c.rk[i] = c.rk[i-4] ^ t
+	}
+	return c, nil
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+// state is the AES state in column-major order, matching FIPS 197:
+// s[r][c] is row r, column c; input byte i maps to s[i%4][i/4].
+type state [4][4]byte
+
+func loadState(src []byte) state {
+	var s state
+	for i := 0; i < 16; i++ {
+		s[i%4][i/4] = src[i]
+	}
+	return s
+}
+
+func (s *state) store(dst []byte) {
+	for i := 0; i < 16; i++ {
+		dst[i] = s[i%4][i/4]
+	}
+}
+
+func (s *state) addRoundKey(rk []uint32) {
+	for c := 0; c < 4; c++ {
+		w := rk[c]
+		s[0][c] ^= byte(w >> 24)
+		s[1][c] ^= byte(w >> 16)
+		s[2][c] ^= byte(w >> 8)
+		s[3][c] ^= byte(w)
+	}
+}
+
+func (s *state) subBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = sbox[s[r][c]]
+		}
+	}
+}
+
+func (s *state) invSubBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = invSbox[s[r][c]]
+		}
+	}
+}
+
+func (s *state) shiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[c] = s[r][(c+r)%4]
+		}
+		s[r] = tmp
+	}
+}
+
+func (s *state) invShiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[(c+r)%4] = s[r][c]
+		}
+		s[r] = tmp
+	}
+}
+
+func (s *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		s[1][c] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		s[2][c] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		s[3][c] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	}
+}
+
+func (s *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9)
+		s[1][c] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13)
+		s[2][c] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11)
+		s[3][c] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14)
+	}
+}
+
+// Encrypt encrypts one 16-byte block. dst and src may overlap.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s := loadState(src)
+	s.addRoundKey(c.rk[0:4])
+	for r := 1; r < rounds; r++ {
+		s.subBytes()
+		s.shiftRows()
+		s.mixColumns()
+		s.addRoundKey(c.rk[r*4 : r*4+4])
+	}
+	s.subBytes()
+	s.shiftRows()
+	s.addRoundKey(c.rk[rounds*4 : rounds*4+4])
+	s.store(dst)
+}
+
+// Decrypt decrypts one 16-byte block. dst and src may overlap.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s := loadState(src)
+	s.addRoundKey(c.rk[rounds*4 : rounds*4+4])
+	for r := rounds - 1; r >= 1; r-- {
+		s.invShiftRows()
+		s.invSubBytes()
+		s.addRoundKey(c.rk[r*4 : r*4+4])
+		s.invMixColumns()
+	}
+	s.invShiftRows()
+	s.invSubBytes()
+	s.addRoundKey(c.rk[0:4])
+	s.store(dst)
+}
+
+// BlockSizeBytes reports the cipher block size.
+func (c *Cipher) BlockSizeBytes() int { return BlockSize }
+
+// ErrNotAligned reports CBC input whose length is not a multiple of the
+// block size.
+var ErrNotAligned = errors.New("aes: input not a multiple of the block size")
+
+// EncryptCBC encrypts src (length must be a multiple of 16) under iv.
+func (c *Cipher) EncryptCBC(iv, src []byte) ([]byte, error) {
+	if len(iv) != BlockSize {
+		return nil, fmt.Errorf("aes: iv length %d (want %d)", len(iv), BlockSize)
+	}
+	if len(src)%BlockSize != 0 {
+		return nil, ErrNotAligned
+	}
+	out := make([]byte, len(src))
+	prev := iv
+	for off := 0; off < len(src); off += BlockSize {
+		var blk [BlockSize]byte
+		for i := range blk {
+			blk[i] = src[off+i] ^ prev[i]
+		}
+		c.Encrypt(out[off:], blk[:])
+		prev = out[off : off+BlockSize]
+	}
+	return out, nil
+}
+
+// DecryptCBC inverts EncryptCBC.
+func (c *Cipher) DecryptCBC(iv, src []byte) ([]byte, error) {
+	if len(iv) != BlockSize {
+		return nil, fmt.Errorf("aes: iv length %d (want %d)", len(iv), BlockSize)
+	}
+	if len(src)%BlockSize != 0 {
+		return nil, ErrNotAligned
+	}
+	out := make([]byte, len(src))
+	prev := iv
+	for off := 0; off < len(src); off += BlockSize {
+		c.Decrypt(out[off:], src[off:])
+		for i := 0; i < BlockSize; i++ {
+			out[off+i] ^= prev[i]
+		}
+		prev = src[off : off+BlockSize]
+	}
+	return out, nil
+}
+
+// MAC computes a CBC-MAC tag over msg with zero IV and 10* padding to a
+// block boundary. CBC-MAC is only secure for fixed-length or
+// prefix-free messages; the attestation protocol's fixed-size requests
+// satisfy that.
+func (c *Cipher) MAC(msg []byte) [BlockSize]byte {
+	padded := pad10(msg, BlockSize)
+	var tag [BlockSize]byte
+	for off := 0; off < len(padded); off += BlockSize {
+		for i := range tag {
+			tag[i] ^= padded[off+i]
+		}
+		c.Encrypt(tag[:], tag[:])
+	}
+	return tag
+}
+
+// pad10 appends 0x80 then zeros up to a multiple of block. A message that
+// is already aligned still gains a full padding block, keeping the padding
+// injective.
+func pad10(msg []byte, block int) []byte {
+	n := len(msg)
+	padded := make([]byte, ((n/block)+1)*block)
+	copy(padded, msg)
+	padded[n] = 0x80
+	return padded
+}

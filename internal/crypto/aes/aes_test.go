@@ -1,0 +1,233 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	stdcipher "crypto/cipher"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// FIPS 197 Appendix C.1 known-answer test.
+func TestFIPS197Vector(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := mustHex(t, "00112233445566778899aabbccddeeff")
+	wantCT := mustHex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+	if !bytes.Equal(ct, wantCT) {
+		t.Fatalf("Encrypt = %x, want %x", ct, wantCT)
+	}
+	back := make([]byte, 16)
+	c.Decrypt(back, ct)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("Decrypt(Encrypt(pt)) = %x, want %x", back, pt)
+	}
+}
+
+// FIPS 197 Appendix B vector (different key/plaintext pair).
+func TestFIPS197AppendixB(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := mustHex(t, "3243f6a8885a308d313198a2e0370734")
+	wantCT := mustHex(t, "3925841d02dc09fbdc118597196a0b32")
+
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+	if !bytes.Equal(ct, wantCT) {
+		t.Fatalf("Encrypt = %x, want %x", ct, wantCT)
+	}
+}
+
+// NIST AESAVS known-answer spot checks (GFSbox and VarKey vectors for
+// AES-128): zero key with structured plaintexts and vice versa.
+func TestNISTAESAVSVectors(t *testing.T) {
+	cases := []struct{ key, pt, ct string }{
+		// GFSbox KAT #1 and #2 (key = 0).
+		{"00000000000000000000000000000000", "f34481ec3cc627bacd5dc3fb08f273e6", "0336763e966d92595a567cc9ce537f5e"},
+		{"00000000000000000000000000000000", "9798c4640bad75c7c3227db910174e72", "a9a1631bf4996954ebc093957b234589"},
+		// VarKey KAT #1 (pt = 0, key = 80...0).
+		{"80000000000000000000000000000000", "00000000000000000000000000000000", "0edd33d3c621e546455bd8ba1418bec8"},
+		// VarTxt KAT #128 (key = 0, pt = ff...f... actually pt=80..0).
+		{"00000000000000000000000000000000", "80000000000000000000000000000000", "3ad78e726c1ec02b7ebfe92b23d9ec34"},
+	}
+	for i, tc := range cases {
+		c, err := New(mustHex(t, tc.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := make([]byte, 16)
+		c.Encrypt(ct, mustHex(t, tc.pt))
+		if !bytes.Equal(ct, mustHex(t, tc.ct)) {
+			t.Errorf("AESAVS vector %d: got %x, want %s", i, ct, tc.ct)
+		}
+	}
+}
+
+func TestInvalidKeySize(t *testing.T) {
+	for _, n := range []int{0, 15, 17, 24, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New(%d-byte key) succeeded, want error", n)
+		}
+	}
+}
+
+func TestAgainstStdlibBlock(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		ours, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		theirs, err := stdaes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		ours.Encrypt(a, block[:])
+		theirs.Encrypt(b, block[:])
+		if !bytes.Equal(a, b) {
+			return false
+		}
+		ours.Decrypt(a, block[:])
+		theirs.Decrypt(b, block[:])
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCBCRoundTrip(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	iv := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("attestation req!"), 5) // 80 bytes, aligned
+	ct, err := c.EncryptCBC(iv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := c.DecryptCBC(iv, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Fatalf("CBC round trip: got %x, want %x", pt, msg)
+	}
+}
+
+func TestCBCAgainstStdlib(t *testing.T) {
+	key := mustHex(t, "603deb1015ca71be2b73aef0857d7781")[:16]
+	iv := mustHex(t, "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+	msg := bytes.Repeat([]byte{0x42}, 64)
+
+	ours, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ours.EncryptCBC(iv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	std, err := stdaes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, len(msg))
+	stdcipher.NewCBCEncrypter(std, iv).CryptBlocks(want, msg)
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("CBC encrypt = %x, want %x", got, want)
+	}
+}
+
+func TestCBCRejectsMisalignedInput(t *testing.T) {
+	c, err := New(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := make([]byte, 16)
+	if _, err := c.EncryptCBC(iv, make([]byte, 17)); err != ErrNotAligned {
+		t.Errorf("EncryptCBC misaligned: err = %v, want ErrNotAligned", err)
+	}
+	if _, err := c.DecryptCBC(iv, make([]byte, 31)); err != ErrNotAligned {
+		t.Errorf("DecryptCBC misaligned: err = %v, want ErrNotAligned", err)
+	}
+	if _, err := c.EncryptCBC(make([]byte, 8), make([]byte, 16)); err == nil {
+		t.Error("EncryptCBC accepted a short IV")
+	}
+}
+
+func TestMACDistinguishesMessages(t *testing.T) {
+	c, err := New([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := c.MAC([]byte("request 1"))
+	t2 := c.MAC([]byte("request 2"))
+	if t1 == t2 {
+		t.Fatal("MAC identical for different messages")
+	}
+	// Padding injectivity: a message must not collide with itself plus the
+	// padding byte.
+	t3 := c.MAC([]byte("request 1\x80"))
+	if t1 == t3 {
+		t.Fatal("MAC padding is not injective")
+	}
+}
+
+func TestMACDeterministic(t *testing.T) {
+	c, err := New([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the same request bytes")
+	if c.MAC(msg) != c.MAC(msg) {
+		t.Fatal("MAC not deterministic")
+	}
+}
+
+func TestSboxInvolution(t *testing.T) {
+	// invSbox must invert sbox over all 256 values, and sbox must have no
+	// fixed points xor 0x63-structure violations (spot-check two known
+	// entries from FIPS 197).
+	for i := 0; i < 256; i++ {
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatalf("invSbox[sbox[%#x]] = %#x", i, invSbox[sbox[i]])
+		}
+	}
+	if sbox[0x00] != 0x63 || sbox[0x53] != 0xed {
+		t.Fatalf("sbox spot check failed: sbox[0]=%#x sbox[0x53]=%#x", sbox[0x00], sbox[0x53])
+	}
+}
+
+func BenchmarkEncryptBlock(b *testing.B) {
+	c, _ := New(make([]byte, 16))
+	blk := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(blk, blk)
+	}
+}

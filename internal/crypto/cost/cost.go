@@ -1,0 +1,148 @@
+// Package cost models the execution time of cryptographic primitives on the
+// paper's reference platform: an Intel Siskiyou Peak soft core clocked at
+// 24 MHz (Table 1 of the paper). All primitives in internal/crypto are
+// functionally real; this package supplies the calibrated latency each
+// operation would have on the prover, expressed in CPU cycles so the MCU
+// simulator can account for time and energy deterministically.
+package cost
+
+import "proverattest/internal/sim"
+
+// ClockHz is the reference core clock: 24 MHz.
+const ClockHz = 24_000_000
+
+// CyclesPerMilli is the number of core cycles in one millisecond at 24 MHz.
+const CyclesPerMilli = ClockHz / 1000 // 24_000
+
+// Cycles counts CPU cycles on the 24 MHz reference core.
+type Cycles uint64
+
+// FromMillis converts a Table 1 entry in milliseconds to cycles. Table 1
+// values have microsecond resolution, and 1 µs = 24 cycles exactly, so the
+// conversion is lossless for all published constants.
+func FromMillis(ms float64) Cycles {
+	return Cycles(ms*CyclesPerMilli + 0.5)
+}
+
+// Millis reports c in milliseconds at the reference clock.
+func (c Cycles) Millis() float64 { return float64(c) / CyclesPerMilli }
+
+// Duration converts cycles to simulated time. One cycle at 24 MHz is
+// 125/3 ns; the division truncates less than one nanosecond per call.
+func (c Cycles) Duration() sim.Duration {
+	return sim.Duration(uint64(c) * 125 / 3)
+}
+
+// Table 1, reproduced: performance of cryptographic primitives on Intel
+// Siskiyou Peak at 24 MHz, in milliseconds.
+//
+//	SHA1-HMAC:          fixed 0.340, per 64-byte block 0.092
+//	AES-128 (CBC):      key expansion 0.074, per 16-byte block: enc 0.288, dec 0.570
+//	Speck 64/128 (CBC): key expansion 0.016, per  8-byte block: enc 0.017, dec 0.015
+//	ECC (secp160r1):    sign 183.464, verify 170.907
+var (
+	SHA1HMACFixed    = FromMillis(0.340) // 8_160 cycles
+	SHA1HMACPerBlock = FromMillis(0.092) // 2_208 cycles
+
+	AESKeyExpansion = FromMillis(0.074) //  1_776 cycles
+	AESEncryptBlock = FromMillis(0.288) //  6_912 cycles
+	AESDecryptBlock = FromMillis(0.570) // 13_680 cycles
+
+	SpeckKeyExpansion = FromMillis(0.016) // 384 cycles
+	SpeckEncryptBlock = FromMillis(0.017) // 408 cycles
+	SpeckDecryptBlock = FromMillis(0.015) // 360 cycles
+
+	ECDSASign   = FromMillis(183.464) // 4_403_136 cycles
+	ECDSAVerify = FromMillis(170.907) // 4_101_768 cycles
+)
+
+// Block sizes, in bytes, of the primitives as used in the paper (§4.1 gives
+// the one-block message sizes in bits: HMAC 512, AES 256 [two 128-bit
+// blocks], Speck 64, ECC 160).
+const (
+	SHA1BlockSize  = 64
+	AESBlockSize   = 16
+	SpeckBlockSize = 8
+)
+
+// ceilDiv returns ⌈n/d⌉ for positive d.
+func ceilDiv(n, d int) int { return (n + d - 1) / d }
+
+// HMACSHA1 is the modeled cost of one HMAC-SHA1 computation over n bytes of
+// input: the fixed overhead (key pads, finalisation, output hash) plus the
+// per-64-byte-block streaming cost. This is exactly the paper's §3.1
+// formula; for n = 512 KB it yields 754.004 ms from the rounded Table 1
+// constants (the paper prints 754.032 ms from unrounded internal values).
+func HMACSHA1(n int) Cycles {
+	return SHA1HMACFixed + Cycles(ceilDiv(n, SHA1BlockSize))*SHA1HMACPerBlock
+}
+
+// FlashWriteWord is the modeled cost of programming one 32-bit flash
+// word: 64 µs, typical for MSP430-class embedded flash. RAM writes are
+// folded into the per-operation costs; flash programming is slow enough
+// that services writing firmware (secure code update, secure erasure)
+// must account for it explicitly.
+var FlashWriteWord = FromMillis(0.064) // 1_536 cycles
+
+// FlashWrite is the modeled cost of programming n bytes of flash.
+func FlashWrite(n int) Cycles {
+	return Cycles(ceilDiv(n, 4)) * FlashWriteWord
+}
+
+// SHA1Hash is the modeled cost of a plain SHA-1 over n bytes: the
+// per-block compression cost plus one block for padding/finalisation.
+// (Table 1 only prices the HMAC; a bare hash is the same compression
+// pipeline without the key-pad blocks.)
+func SHA1Hash(n int) Cycles {
+	return Cycles(ceilDiv(n, SHA1BlockSize)+1) * SHA1HMACPerBlock
+}
+
+// AESCBCEncrypt is the modeled cost of AES-128-CBC encryption of n bytes,
+// with or without the one-time key expansion included.
+func AESCBCEncrypt(n int, withKeyExpansion bool) Cycles {
+	c := Cycles(ceilDiv(n, AESBlockSize)) * AESEncryptBlock
+	if withKeyExpansion {
+		c += AESKeyExpansion
+	}
+	return c
+}
+
+// AESCBCDecrypt is the modeled cost of AES-128-CBC decryption of n bytes.
+func AESCBCDecrypt(n int, withKeyExpansion bool) Cycles {
+	c := Cycles(ceilDiv(n, AESBlockSize)) * AESDecryptBlock
+	if withKeyExpansion {
+		c += AESKeyExpansion
+	}
+	return c
+}
+
+// AESCBCMAC is the modeled cost of a CBC-MAC tag over n bytes (one CBC
+// encryption pass; the tag is the last ciphertext block).
+func AESCBCMAC(n int, withKeyExpansion bool) Cycles {
+	return AESCBCEncrypt(n, withKeyExpansion)
+}
+
+// SpeckCBCEncrypt is the modeled cost of Speck 64/128 CBC encryption of n
+// bytes.
+func SpeckCBCEncrypt(n int, withKeyExpansion bool) Cycles {
+	c := Cycles(ceilDiv(n, SpeckBlockSize)) * SpeckEncryptBlock
+	if withKeyExpansion {
+		c += SpeckKeyExpansion
+	}
+	return c
+}
+
+// SpeckCBCDecrypt is the modeled cost of Speck 64/128 CBC decryption of n
+// bytes.
+func SpeckCBCDecrypt(n int, withKeyExpansion bool) Cycles {
+	c := Cycles(ceilDiv(n, SpeckBlockSize)) * SpeckDecryptBlock
+	if withKeyExpansion {
+		c += SpeckKeyExpansion
+	}
+	return c
+}
+
+// SpeckCBCMAC is the modeled cost of a Speck CBC-MAC tag over n bytes.
+func SpeckCBCMAC(n int, withKeyExpansion bool) Cycles {
+	return SpeckCBCEncrypt(n, withKeyExpansion)
+}

@@ -1,0 +1,248 @@
+package ecc
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorOnCurve(t *testing.T) {
+	if !OnCurve(Generator()) {
+		t.Fatal("base point G is not on secp160r1")
+	}
+}
+
+func TestInfinityIdentity(t *testing.T) {
+	g := Generator()
+	if got := Add(g, Infinity()); got.Inf || got.X.Cmp(g.X) != 0 || got.Y.Cmp(g.Y) != 0 {
+		t.Fatal("G + O != G")
+	}
+	if got := Add(Infinity(), g); got.Inf || got.X.Cmp(g.X) != 0 {
+		t.Fatal("O + G != G")
+	}
+	if got := Add(Infinity(), Infinity()); !got.Inf {
+		t.Fatal("O + O != O")
+	}
+}
+
+func TestInversePointsSumToInfinity(t *testing.T) {
+	g := Generator()
+	neg := Point{X: new(big.Int).Set(g.X), Y: new(big.Int).Sub(mustInt("ffffffffffffffffffffffffffffffff7fffffff"), g.Y)}
+	if !OnCurve(neg) {
+		t.Fatal("−G is not on the curve")
+	}
+	if got := Add(g, neg); !got.Inf {
+		t.Fatal("G + (−G) != O")
+	}
+}
+
+func TestOrderAnnihilatesGenerator(t *testing.T) {
+	// n·G must be the point at infinity: the defining property of the order.
+	if got := ScalarBaseMult(Order()); !got.Inf {
+		t.Fatal("n·G != O")
+	}
+	// (n+1)·G = G.
+	nPlus1 := new(big.Int).Add(Order(), big.NewInt(1))
+	g := Generator()
+	got := ScalarBaseMult(nPlus1)
+	if got.Inf || got.X.Cmp(g.X) != 0 || got.Y.Cmp(g.Y) != 0 {
+		t.Fatal("(n+1)·G != G")
+	}
+}
+
+func TestScalarMultConsistency(t *testing.T) {
+	// 2G via Double must equal G+G and ScalarMult(2, G).
+	g := Generator()
+	d := Double(g)
+	s := Add(g, g)
+	m := ScalarMult(big.NewInt(2), g)
+	if d.X.Cmp(s.X) != 0 || d.X.Cmp(m.X) != 0 || d.Y.Cmp(s.Y) != 0 || d.Y.Cmp(m.Y) != 0 {
+		t.Fatal("2G computed three ways disagrees")
+	}
+	if !OnCurve(d) {
+		t.Fatal("2G not on curve")
+	}
+}
+
+func TestScalarMultDistributes(t *testing.T) {
+	// (a+b)·G == a·G + b·G for random small scalars.
+	f := func(x, y uint32) bool {
+		ax := big.NewInt(int64(x) + 1)
+		by := big.NewInt(int64(y) + 1)
+		left := ScalarBaseMult(new(big.Int).Add(ax, by))
+		right := Add(ScalarBaseMult(ax), ScalarBaseMult(by))
+		if left.Inf != right.Inf {
+			return false
+		}
+		if left.Inf {
+			return true
+		}
+		return left.X.Cmp(right.X) == 0 && left.Y.Cmp(right.Y) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateKey(t *testing.T) {
+	key, err := GenerateKey([]byte("verifier-identity-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.D.Sign() <= 0 || key.D.Cmp(Order()) >= 0 {
+		t.Fatalf("private scalar out of range: %v", key.D)
+	}
+	if !OnCurve(key.Public) {
+		t.Fatal("public key not on curve")
+	}
+	// Determinism: same seed, same key.
+	key2, err := GenerateKey([]byte("verifier-identity-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.D.Cmp(key2.D) != 0 {
+		t.Fatal("key generation is not deterministic")
+	}
+	// Distinct seeds, distinct keys.
+	key3, err := GenerateKey([]byte("another-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.D.Cmp(key3.D) == 0 {
+		t.Fatal("different seeds produced the same key")
+	}
+	if _, err := GenerateKey(nil); err == nil {
+		t.Fatal("GenerateKey accepted an empty seed")
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	key, err := GenerateKey([]byte("sign-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("attestation request #42")
+	sig, err := Sign(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(key.Public, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	key, err := GenerateKey([]byte("tamper-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("attestation request #7")
+	sig, err := Sign(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if Verify(key.Public, []byte("attestation request #8"), sig) {
+		t.Error("signature verified for a different message")
+	}
+
+	badR := Signature{R: new(big.Int).Add(sig.R, big.NewInt(1)), S: sig.S}
+	if Verify(key.Public, msg, badR) {
+		t.Error("signature with modified R verified")
+	}
+
+	badS := Signature{R: sig.R, S: new(big.Int).Add(sig.S, big.NewInt(1))}
+	if Verify(key.Public, msg, badS) {
+		t.Error("signature with modified S verified")
+	}
+
+	otherKey, _ := GenerateKey([]byte("someone-else"))
+	if Verify(otherKey.Public, msg, sig) {
+		t.Error("signature verified under the wrong public key")
+	}
+}
+
+func TestVerifyRejectsDegenerateInputs(t *testing.T) {
+	key, _ := GenerateKey([]byte("degenerate"))
+	msg := []byte("m")
+	sig, _ := Sign(key, msg)
+
+	if Verify(Infinity(), msg, sig) {
+		t.Error("verification accepted the point at infinity as a public key")
+	}
+	zero := Signature{R: big.NewInt(0), S: big.NewInt(0)}
+	if Verify(key.Public, msg, zero) {
+		t.Error("verification accepted r = s = 0")
+	}
+	overflow := Signature{R: Order(), S: big.NewInt(1)}
+	if Verify(key.Public, msg, overflow) {
+		t.Error("verification accepted r = n")
+	}
+	if Verify(key.Public, msg, Signature{}) {
+		t.Error("verification accepted nil r/s")
+	}
+	offCurve := Point{X: big.NewInt(1), Y: big.NewInt(1)}
+	if Verify(offCurve, msg, sig) {
+		t.Error("verification accepted an off-curve public key")
+	}
+}
+
+func TestSignatureDeterminism(t *testing.T) {
+	key, _ := GenerateKey([]byte("determinism"))
+	msg := []byte("same message")
+	s1, err := Sign(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Sign(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.R.Cmp(s2.R) != 0 || s1.S.Cmp(s2.S) != 0 {
+		t.Fatal("deterministic signing produced different signatures")
+	}
+	// Different messages use different nonces, hence different R.
+	s3, _ := Sign(key, []byte("other message"))
+	if s1.R.Cmp(s3.R) == 0 {
+		t.Fatal("nonce reuse across messages (identical R)")
+	}
+}
+
+func TestSignatureEncoding(t *testing.T) {
+	key, _ := GenerateKey([]byte("encode"))
+	sig, err := Sign(key, []byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := sig.Encode()
+	if len(buf) != SignatureSize {
+		t.Fatalf("encoded length %d, want %d", len(buf), SignatureSize)
+	}
+	back, err := DecodeSignature(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.R.Cmp(sig.R) != 0 || back.S.Cmp(sig.S) != 0 {
+		t.Fatal("decode(encode(sig)) != sig")
+	}
+	if _, err := DecodeSignature(buf[:SignatureSize-1]); err == nil {
+		t.Fatal("DecodeSignature accepted a short buffer")
+	}
+}
+
+func TestSignVerifyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalar multiplication is slow in -short mode")
+	}
+	key, _ := GenerateKey([]byte("quick"))
+	f := func(msg []byte) bool {
+		sig, err := Sign(key, msg)
+		if err != nil {
+			return false
+		}
+		return Verify(key.Public, msg, sig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

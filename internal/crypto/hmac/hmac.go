@@ -1,0 +1,79 @@
+// Package hmac implements HMAC (RFC 2104) over the from-scratch SHA-1 in
+// internal/crypto/sha1. HMAC-SHA1 is the message authentication code the
+// paper uses both for the attestation measurement (a MAC over the prover's
+// writable memory, §3.1) and for authenticating verifier requests (§4.1).
+package hmac
+
+import (
+	"proverattest/internal/crypto/sha1"
+)
+
+// TagSize is the length of a full HMAC-SHA1 tag in bytes.
+const TagSize = sha1.Size
+
+// SHA1 computes HMAC-SHA1(key, msg) in one call.
+func SHA1(key, msg []byte) [TagSize]byte {
+	m := NewSHA1(key)
+	m.Write(msg)
+	var out [TagSize]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// MAC is a streaming HMAC-SHA1 computation.
+type MAC struct {
+	inner, outer *sha1.Digest
+	opad         [sha1.BlockSize]byte
+	ipad         [sha1.BlockSize]byte
+}
+
+// NewSHA1 returns a streaming HMAC-SHA1 keyed with key. Keys longer than
+// the SHA-1 block size are first hashed, per RFC 2104.
+func NewSHA1(key []byte) *MAC {
+	m := &MAC{inner: sha1.New(), outer: sha1.New()}
+	if len(key) > sha1.BlockSize {
+		sum := sha1.Sum(key)
+		key = sum[:]
+	}
+	copy(m.ipad[:], key)
+	copy(m.opad[:], key)
+	for i := range m.ipad {
+		m.ipad[i] ^= 0x36
+		m.opad[i] ^= 0x5c
+	}
+	m.inner.Write(m.ipad[:])
+	return m
+}
+
+// Write absorbs msg bytes into the MAC.
+func (m *MAC) Write(p []byte) (int, error) { return m.inner.Write(p) }
+
+// Sum appends the tag to b. The MAC remains usable for further writes
+// (the tag then covers the longer message).
+func (m *MAC) Sum(b []byte) []byte {
+	innerSum := m.inner.Sum(nil)
+	outer := sha1.New()
+	outer.Write(m.opad[:])
+	outer.Write(innerSum)
+	return outer.Sum(b)
+}
+
+// Reset restarts the MAC with the same key.
+func (m *MAC) Reset() {
+	m.inner.Reset()
+	m.inner.Write(m.ipad[:])
+}
+
+// Equal compares two tags in constant time. Attestation code must never
+// early-exit a tag comparison: on a real MCU that leaks the tag byte by
+// byte through response timing.
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

@@ -1,0 +1,132 @@
+package hmac
+
+import (
+	"bytes"
+	stdhmac "crypto/hmac"
+	stdsha1 "crypto/sha1"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 2202 HMAC-SHA1 test vectors.
+var rfc2202 = []struct {
+	key, data []byte
+	want      string
+}{
+	{bytes.Repeat([]byte{0x0b}, 20), []byte("Hi There"),
+		"b617318655057264e28bc0b6fb378c8ef146be00"},
+	{[]byte("Jefe"), []byte("what do ya want for nothing?"),
+		"effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"},
+	{bytes.Repeat([]byte{0xaa}, 20), bytes.Repeat([]byte{0xdd}, 50),
+		"125d7342b9ac11cd91a39af48aa17b4f63f175d3"},
+	{mustHex("0102030405060708090a0b0c0d0e0f10111213141516171819"),
+		bytes.Repeat([]byte{0xcd}, 50),
+		"4c9007f4026250c6bc8414f9bf50c86c2d7235da"},
+	{bytes.Repeat([]byte{0x0c}, 20), []byte("Test With Truncation"),
+		"4c1a03424b55e07fe7f27be1d58bb9324a9a5a04"},
+	{bytes.Repeat([]byte{0xaa}, 80),
+		[]byte("Test Using Larger Than Block-Size Key - Hash Key First"),
+		"aa4ae5e15272d00e95705637ce8a3b55ed402112"},
+	{bytes.Repeat([]byte{0xaa}, 80),
+		[]byte("Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data"),
+		"e8e99d0f45237d786d6bbaa7965c7808bbff1a91"},
+}
+
+func mustHex(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestRFC2202Vectors(t *testing.T) {
+	for i, tc := range rfc2202 {
+		got := SHA1(tc.key, tc.data)
+		if hex.EncodeToString(got[:]) != tc.want {
+			t.Errorf("vector %d: tag %x, want %s", i+1, got, tc.want)
+		}
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	f := func(key, msg []byte) bool {
+		ours := SHA1(key, msg)
+		m := stdhmac.New(stdsha1.New, key)
+		m.Write(msg)
+		return bytes.Equal(ours[:], m.Sum(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingMatchesOneShot(t *testing.T) {
+	key := []byte("attestation-key")
+	msg := []byte(strings.Repeat("prover memory contents ", 40))
+	want := SHA1(key, msg)
+
+	m := NewSHA1(key)
+	for i := 0; i < len(msg); i += 7 {
+		end := i + 7
+		if end > len(msg) {
+			end = len(msg)
+		}
+		m.Write(msg[i:end])
+	}
+	if got := m.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Fatalf("streamed tag %x, want %x", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	key := []byte("k")
+	m := NewSHA1(key)
+	m.Write([]byte("first message"))
+	m.Reset()
+	m.Write([]byte("abc"))
+	want := SHA1(key, []byte("abc"))
+	if got := m.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Fatalf("tag after Reset = %x, want %x", got, want)
+	}
+}
+
+func TestSumIsRepeatable(t *testing.T) {
+	m := NewSHA1([]byte("key"))
+	m.Write([]byte("msg"))
+	a := m.Sum(nil)
+	b := m.Sum(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("consecutive Sum calls differ: %x vs %x", a, b)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := []byte{1, 2, 3, 4}
+	b := []byte{1, 2, 3, 4}
+	c := []byte{1, 2, 3, 5}
+	short := []byte{1, 2, 3}
+	if !Equal(a, b) {
+		t.Error("Equal(a, a-copy) = false")
+	}
+	if Equal(a, c) {
+		t.Error("Equal(a, c) = true for differing tags")
+	}
+	if Equal(a, short) {
+		t.Error("Equal(a, short) = true for different lengths")
+	}
+	if !Equal(nil, nil) {
+		t.Error("Equal(nil, nil) = false")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	msg := []byte("the same message")
+	t1 := SHA1([]byte("key-one"), msg)
+	t2 := SHA1([]byte("key-two"), msg)
+	if t1 == t2 {
+		t.Fatal("different keys produced identical tags")
+	}
+}

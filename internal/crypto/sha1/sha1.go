@@ -1,0 +1,162 @@
+// Package sha1 is a from-scratch implementation of the SHA-1 hash function
+// (FIPS 180-1), the digest the paper's HMAC-based attestation measurement
+// uses. It exists so the reproduction has no dependency on host crypto: the
+// prover's trust anchor runs exactly this code, and its latency is modeled
+// by internal/crypto/cost.
+//
+// SHA-1 is cryptographically broken for collision resistance; it is
+// implemented here because the paper (and the SMART/TrustLite lineage it
+// builds on) specifies SHA1-HMAC, and HMAC-SHA1 remains PRF-secure, which
+// is the property attestation needs.
+package sha1
+
+import "encoding/binary"
+
+// Size is the length of a SHA-1 digest in bytes.
+const Size = 20
+
+// BlockSize is the SHA-1 compression-function block size in bytes.
+const BlockSize = 64
+
+const (
+	init0 = 0x67452301
+	init1 = 0xEFCDAB89
+	init2 = 0x98BADCFE
+	init3 = 0x10325476
+	init4 = 0xC3D2E1F0
+)
+
+// Digest is a streaming SHA-1 computation. The zero value is not valid;
+// use New.
+type Digest struct {
+	h   [5]uint32
+	x   [BlockSize]byte
+	nx  int
+	len uint64
+}
+
+// New returns a freshly initialised SHA-1 digest.
+func New() *Digest {
+	d := &Digest{}
+	d.Reset()
+	return d
+}
+
+// Reset returns the digest to its initial state.
+func (d *Digest) Reset() {
+	d.h = [5]uint32{init0, init1, init2, init3, init4}
+	d.nx = 0
+	d.len = 0
+}
+
+// Write absorbs p into the hash state. It never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	n := len(p)
+	d.len += uint64(n)
+	if d.nx > 0 {
+		c := copy(d.x[d.nx:], p)
+		d.nx += c
+		if d.nx == BlockSize {
+			d.block(d.x[:])
+			d.nx = 0
+		}
+		p = p[c:]
+	}
+	for len(p) >= BlockSize {
+		d.block(p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.nx = copy(d.x[:], p)
+	}
+	return n, nil
+}
+
+// Sum appends the current digest to b without disturbing the running state.
+func (d *Digest) Sum(b []byte) []byte {
+	cp := *d // padding must not change the caller's stream state
+	digest := cp.checkSum()
+	return append(b, digest[:]...)
+}
+
+// Size returns the digest length, satisfying the usual hash.Hash shape.
+func (d *Digest) Size() int { return Size }
+
+// BlockSizeBytes returns the compression block size.
+func (d *Digest) BlockSizeBytes() int { return BlockSize }
+
+func (d *Digest) checkSum() [Size]byte {
+	bitLen := d.len << 3
+	var pad [BlockSize + 8]byte
+	pad[0] = 0x80
+	// Pad so that length ≡ 56 (mod 64), then append the 64-bit length.
+	padLen := 56 - int(d.len%BlockSize)
+	if padLen <= 0 {
+		padLen += BlockSize
+	}
+	var lenBytes [8]byte
+	binary.BigEndian.PutUint64(lenBytes[:], bitLen)
+	d.Write(pad[:padLen]) //nolint:errcheck // never fails
+	d.Write(lenBytes[:])  //nolint:errcheck
+	if d.nx != 0 {
+		panic("sha1: internal padding error")
+	}
+	var out [Size]byte
+	for i, v := range d.h {
+		binary.BigEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// block runs the SHA-1 compression function over one or more 64-byte blocks.
+func (d *Digest) block(p []byte) {
+	var w [80]uint32
+	h0, h1, h2, h3, h4 := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
+	for len(p) >= BlockSize {
+		for i := 0; i < 16; i++ {
+			w[i] = binary.BigEndian.Uint32(p[i*4:])
+		}
+		for i := 16; i < 80; i++ {
+			t := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
+			w[i] = t<<1 | t>>31
+		}
+		a, b, c, dd, e := h0, h1, h2, h3, h4
+		for i := 0; i < 80; i++ {
+			var f, k uint32
+			switch {
+			case i < 20:
+				f = (b & c) | (^b & dd)
+				k = 0x5A827999
+			case i < 40:
+				f = b ^ c ^ dd
+				k = 0x6ED9EBA1
+			case i < 60:
+				f = (b & c) | (b & dd) | (c & dd)
+				k = 0x8F1BBCDC
+			default:
+				f = b ^ c ^ dd
+				k = 0xCA62C1D6
+			}
+			t := (a<<5 | a>>27) + f + e + k + w[i]
+			e = dd
+			dd = c
+			c = b<<30 | b>>2
+			b = a
+			a = t
+		}
+		h0 += a
+		h1 += b
+		h2 += c
+		h3 += dd
+		h4 += e
+		p = p[BlockSize:]
+	}
+	d.h = [5]uint32{h0, h1, h2, h3, h4}
+}
+
+// Sum computes the SHA-1 digest of data in one call.
+func Sum(data []byte) [Size]byte {
+	d := New()
+	d.Write(data) //nolint:errcheck
+	return d.checkSum()
+}

@@ -1,0 +1,122 @@
+package sha1
+
+import (
+	"bytes"
+	stdsha1 "crypto/sha1"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS 180-1 / RFC 3174 test vectors.
+var knownAnswers = []struct {
+	in   string
+	want string
+}{
+	{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+	{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+	{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+		"84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+	{"The quick brown fox jumps over the lazy dog",
+		"2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"},
+	{"The quick brown fox jumps over the lazy cog",
+		"de9f2c7fd25e1b3afad3e85a0bd17d9b100db4b3"},
+	{strings.Repeat("a", 1000000), "34aa973cd4c4daa4f61eeb2bdbad27316534016f"},
+}
+
+func TestKnownAnswers(t *testing.T) {
+	for _, tc := range knownAnswers {
+		got := Sum([]byte(tc.in))
+		if hex.EncodeToString(got[:]) != tc.want {
+			name := tc.in
+			if len(name) > 32 {
+				name = name[:32] + "..."
+			}
+			t.Errorf("Sum(%q) = %x, want %s", name, got, tc.want)
+		}
+	}
+}
+
+func TestStreamingEquivalence(t *testing.T) {
+	// Writing in arbitrary chunk sizes must match the one-shot digest.
+	data := make([]byte, 4099)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	want := Sum(data)
+	for _, chunk := range []int{1, 3, 63, 64, 65, 128, 1000} {
+		d := New()
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			d.Write(data[off:end])
+		}
+		if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Errorf("chunk size %d: digest %x, want %x", chunk, got, want)
+		}
+	}
+}
+
+func TestSumDoesNotDisturbState(t *testing.T) {
+	d := New()
+	d.Write([]byte("hello "))
+	mid := d.Sum(nil)
+	d.Write([]byte("world"))
+	final := d.Sum(nil)
+	want := Sum([]byte("hello world"))
+	if !bytes.Equal(final, want[:]) {
+		t.Fatalf("digest after intermediate Sum = %x, want %x", final, want)
+	}
+	wantMid := Sum([]byte("hello "))
+	if !bytes.Equal(mid, wantMid[:]) {
+		t.Fatalf("intermediate digest = %x, want %x", mid, wantMid)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage state"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum([]byte("abc"))
+	if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Fatalf("digest after Reset = %x, want %x", got, want)
+	}
+}
+
+// TestAgainstStdlib cross-checks the from-scratch implementation against the
+// Go standard library over random inputs. The stdlib appears only in tests.
+func TestAgainstStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		ours := Sum(data)
+		theirs := stdsha1.Sum(data)
+		return ours == theirs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthBoundaries(t *testing.T) {
+	// Exercise every padding branch: messages whose length mod 64 straddles
+	// the 55/56 padding boundary.
+	for n := 0; n <= 130; n++ {
+		data := bytes.Repeat([]byte{0xA5}, n)
+		ours := Sum(data)
+		theirs := stdsha1.Sum(data)
+		if ours != theirs {
+			t.Fatalf("length %d: digest %x, want %x", n, ours, theirs)
+		}
+	}
+}
+
+func BenchmarkSum1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}

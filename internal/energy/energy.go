@@ -1,0 +1,106 @@
+// Package energy models the prover's power draw and battery, quantifying
+// the paper's core DoS argument (§3.1): every maliciously triggered
+// attestation burns ≈754 ms of active CPU time, and on a battery-powered
+// sensor node that energy is the scarce resource the adversary is really
+// attacking.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"proverattest/internal/crypto/cost"
+	"proverattest/internal/sim"
+)
+
+// PowerModel describes the MCU's draw in its two states. Defaults are
+// typical for an MSP430/Siskiyou-Peak-class part at 3 V: ~10 mA active at
+// 24 MHz, ~2 µA in low-power sleep.
+type PowerModel struct {
+	ActiveWatts float64
+	SleepWatts  float64
+}
+
+// DefaultPower is the reference power model used by the benchmarks.
+func DefaultPower() PowerModel {
+	return PowerModel{ActiveWatts: 0.030, SleepWatts: 0.000006}
+}
+
+// EnergyJoules computes the energy consumed over a window of totalTime in
+// which the core was active for activeCycles (at 24 MHz) and asleep
+// otherwise.
+func (p PowerModel) EnergyJoules(activeCycles cost.Cycles, totalTime sim.Duration) float64 {
+	activeSec := float64(activeCycles) / cost.ClockHz
+	totalSec := totalTime.Seconds()
+	sleepSec := totalSec - activeSec
+	if sleepSec < 0 {
+		sleepSec = 0
+	}
+	return activeSec*p.ActiveWatts + sleepSec*p.SleepWatts
+}
+
+// ActiveEnergyJoules is the energy for pure computation, ignoring sleep.
+func (p PowerModel) ActiveEnergyJoules(activeCycles cost.Cycles) float64 {
+	return float64(activeCycles) / cost.ClockHz * p.ActiveWatts
+}
+
+// Battery is an energy reservoir.
+type Battery struct {
+	CapacityJoules float64
+	drawn          float64
+}
+
+// CoinCellCR2032 returns the classic 225 mAh, 3 V coin cell: 2430 J.
+func CoinCellCR2032() *Battery {
+	return &Battery{CapacityJoules: 0.225 * 3.0 * 3600}
+}
+
+// NewBattery returns a battery with the given capacity in joules.
+func NewBattery(joules float64) *Battery {
+	return &Battery{CapacityJoules: joules}
+}
+
+// Draw removes energy; it saturates at empty.
+func (b *Battery) Draw(joules float64) {
+	b.drawn += joules
+	if b.drawn > b.CapacityJoules {
+		b.drawn = b.CapacityJoules
+	}
+}
+
+// Remaining reports the unconsumed energy in joules.
+func (b *Battery) Remaining() float64 { return b.CapacityJoules - b.drawn }
+
+// Fraction reports the remaining charge in [0, 1].
+func (b *Battery) Fraction() float64 {
+	if b.CapacityJoules == 0 {
+		return 0
+	}
+	return b.Remaining() / b.CapacityJoules
+}
+
+// Depleted reports whether the battery is empty.
+func (b *Battery) Depleted() bool { return b.Remaining() <= 0 }
+
+func (b *Battery) String() string {
+	return fmt.Sprintf("%.1f J remaining of %.1f J (%.1f%%)",
+		b.Remaining(), b.CapacityJoules, 100*b.Fraction())
+}
+
+// LifetimeSeconds estimates how long a battery lasts under a steady duty
+// cycle: the core is active for activeCyclesPerSec cycles each second and
+// asleep the rest. Returns +Inf when the steady draw is zero.
+func LifetimeSeconds(b *Battery, p PowerModel, activeCyclesPerSec float64) float64 {
+	activeFrac := activeCyclesPerSec / cost.ClockHz
+	if activeFrac > 1 {
+		activeFrac = 1
+	}
+	wattsPerSec := activeFrac*p.ActiveWatts + (1-activeFrac)*p.SleepWatts
+	if wattsPerSec <= 0 {
+		return math.Inf(1)
+	}
+	return b.Remaining() / wattsPerSec
+}
+
+// DaysFromSeconds converts a lifetime to days for reporting.
+func DaysFromSeconds(sec float64) float64 { return sec / 86400 }

@@ -1,0 +1,108 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"proverattest/internal/crypto/cost"
+	"proverattest/internal/sim"
+)
+
+func TestEnergyJoulesSplitsActiveAndSleep(t *testing.T) {
+	p := PowerModel{ActiveWatts: 0.030, SleepWatts: 0.000006}
+	// 1 s window, core active for 0.5 s (12e6 cycles).
+	got := p.EnergyJoules(12_000_000, sim.Second)
+	want := 0.5*0.030 + 0.5*0.000006
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EnergyJoules = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyJoulesClampsOversubscription(t *testing.T) {
+	p := DefaultPower()
+	// More active cycles than the window holds: no negative sleep energy.
+	got := p.EnergyJoules(48_000_000, sim.Second)
+	want := 2.0 * p.ActiveWatts
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EnergyJoules = %g, want %g (pure active)", got, want)
+	}
+}
+
+func TestAttestationEnergyCost(t *testing.T) {
+	// One forced attestation = the §3.1 memory MAC ≈ 754 ms active:
+	// about 22.6 mJ at 30 mW. This is the per-request damage an
+	// unauthenticated DoS request inflicts.
+	p := DefaultPower()
+	j := p.ActiveEnergyJoules(cost.HMACSHA1(512 * 1024))
+	if j < 0.0225 || j > 0.0227 {
+		t.Fatalf("per-attestation energy = %g J, want ≈0.0226 J", j)
+	}
+}
+
+func TestBatteryAccounting(t *testing.T) {
+	b := NewBattery(10)
+	b.Draw(4)
+	if b.Remaining() != 6 {
+		t.Fatalf("Remaining = %g, want 6", b.Remaining())
+	}
+	if b.Fraction() != 0.6 {
+		t.Fatalf("Fraction = %g, want 0.6", b.Fraction())
+	}
+	if b.Depleted() {
+		t.Fatal("battery reported depleted at 60%")
+	}
+	b.Draw(100) // saturates
+	if b.Remaining() != 0 || !b.Depleted() {
+		t.Fatalf("after overdraw: remaining %g, depleted %v", b.Remaining(), b.Depleted())
+	}
+}
+
+func TestCoinCellCapacity(t *testing.T) {
+	b := CoinCellCR2032()
+	if math.Abs(b.CapacityJoules-2430) > 1e-9 {
+		t.Fatalf("CR2032 capacity = %g J, want 2430", b.CapacityJoules)
+	}
+}
+
+func TestLifetimeUnderFlood(t *testing.T) {
+	// The DoS asymmetry in joules: a prover forced into back-to-back
+	// attestations (fully active) dies in under a day on a coin cell,
+	// versus years when mostly asleep.
+	p := DefaultPower()
+	flooded := LifetimeSeconds(CoinCellCR2032(), p, cost.ClockHz) // 100% active
+	idle := LifetimeSeconds(CoinCellCR2032(), p, 0)               // pure sleep
+	if DaysFromSeconds(flooded) > 1.0 {
+		t.Fatalf("flooded lifetime = %.2f days, want <1", DaysFromSeconds(flooded))
+	}
+	if DaysFromSeconds(idle) < 365 {
+		t.Fatalf("idle lifetime = %.2f days, want years", DaysFromSeconds(idle))
+	}
+	if flooded >= idle {
+		t.Fatal("flooding did not shorten lifetime")
+	}
+}
+
+func TestLifetimeClampsActiveFraction(t *testing.T) {
+	p := DefaultPower()
+	over := LifetimeSeconds(NewBattery(100), p, 2*cost.ClockHz)
+	full := LifetimeSeconds(NewBattery(100), p, cost.ClockHz)
+	if over != full {
+		t.Fatalf("oversubscribed lifetime %g != fully-active lifetime %g", over, full)
+	}
+}
+
+func TestLifetimeInfiniteAtZeroDraw(t *testing.T) {
+	if !math.IsInf(LifetimeSeconds(NewBattery(1), PowerModel{}, 0), 1) {
+		t.Fatal("zero-draw lifetime not infinite")
+	}
+}
+
+func TestZeroCapacityBattery(t *testing.T) {
+	b := NewBattery(0)
+	if b.Fraction() != 0 {
+		t.Fatalf("zero-capacity Fraction = %g, want 0", b.Fraction())
+	}
+	if !b.Depleted() {
+		t.Fatal("zero-capacity battery not depleted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package firmware is a small library of SP16 assembly routines — the
+// prover's application-side toolbox, written as real machine code and
+// validated against Go reference implementations. Beyond their direct use
+// in examples and experiments, these routines are the evidence that the
+// SP16 ISA and assembler are complete enough for genuine firmware, not
+// just toy straight-line demos.
+//
+// Calling convention: arguments in r1, r2, r3; result in r2; r4–r9 are
+// scratch; routines end in HALT (they run as top-level jobs, not calls).
+package firmware
+
+import (
+	"fmt"
+
+	"proverattest/internal/isa"
+	"proverattest/internal/mcu"
+	"proverattest/internal/sim"
+)
+
+// Memcpy copies r3 bytes from address r2 to address r1.
+const Memcpy = `
+	; r1 = dst, r2 = src, r3 = len
+	beq  r3, r0, done
+loop:
+	lb   r4, 0(r2)
+	sb   r4, 0(r1)
+	addi r1, r1, 1
+	addi r2, r2, 1
+	addi r3, r3, -1
+	bne  r3, r0, loop
+done:
+	halt
+`
+
+// Memset stores the low byte of r2 into r3 bytes starting at r1.
+const Memset = `
+	; r1 = dst, r2 = value, r3 = len
+	beq  r3, r0, done
+loop:
+	sb   r2, 0(r1)
+	addi r1, r1, 1
+	addi r3, r3, -1
+	bne  r3, r0, loop
+done:
+	halt
+`
+
+// Fletcher16 computes the Fletcher-16 checksum of r3 bytes at r1,
+// returning (sum2 << 8 | sum1) in r2. Modulo 255 is computed by repeated
+// subtraction — SP16 has no divide, like most low-end MCUs.
+const Fletcher16 = `
+	; r1 = data, r3 = len → r2 = checksum
+	li   r4, 0          ; sum1
+	li   r5, 0          ; sum2
+	li   r6, 255
+	beq  r3, r0, fin
+loop:
+	lb   r7, 0(r1)
+	add  r4, r4, r7
+mod1:
+	bltu r4, r6, m1ok   ; while sum1 >= 255: sum1 -= 255
+	sub  r4, r4, r6
+	j    mod1
+m1ok:
+	add  r5, r5, r4
+mod2:
+	bltu r5, r6, m2ok
+	sub  r5, r5, r6
+	j    mod2
+m2ok:
+	addi r1, r1, 1
+	addi r3, r3, -1
+	bne  r3, r0, loop
+fin:
+	slli r2, r5, 8
+	or   r2, r2, r4
+	halt
+`
+
+// Strlen counts bytes at r1 up to the first zero, result in r2.
+const Strlen = `
+	; r1 = str → r2 = length
+	li   r2, 0
+loop:
+	lb   r4, 0(r1)
+	beq  r4, r0, done
+	addi r1, r1, 1
+	addi r2, r2, 1
+	j    loop
+done:
+	halt
+`
+
+// Sum32 adds r3 little-endian words starting at r1, result in r2 —
+// the classic firmware image checksum.
+const Sum32 = `
+	; r1 = data, r3 = word count → r2 = sum
+	li   r2, 0
+	beq  r3, r0, done
+loop:
+	lw   r4, 0(r1)
+	add  r2, r2, r4
+	addi r1, r1, 4
+	addi r3, r3, -1
+	bne  r3, r0, loop
+done:
+	halt
+`
+
+// CRC32 computes the bit-reflected IEEE CRC-32 of r3 bytes at r1,
+// result in r2 — byte-at-a-time with the 8-step conditional-xor inner
+// loop, exactly as table-less embedded implementations do it.
+const CRC32 = `
+	; r1 = data, r3 = len → r2 = crc
+	li   r2, 0xFFFFFFFF
+	li   r5, 0xEDB88320   ; reflected IEEE polynomial
+	li   r6, 1
+	beq  r3, r0, fin
+byteloop:
+	lb   r4, 0(r1)
+	xor  r2, r2, r4
+	li   r7, 8
+bitloop:
+	and  r8, r2, r6       ; low bit
+	srli r2, r2, 1
+	beq  r8, r0, nopoly
+	xor  r2, r2, r5
+nopoly:
+	addi r7, r7, -1
+	bne  r7, r0, bitloop
+	addi r1, r1, 1
+	addi r3, r3, -1
+	bne  r3, r0, byteloop
+fin:
+	xori r2, r2, 0xFFFF   ; final inversion, low half...
+	li   r9, 0xFFFF0000
+	xor  r2, r2, r9       ; ...and high half (xori imm16 is zero-extended)
+	halt
+`
+
+// CodeRegion is where routines are loaded by Run.
+var CodeRegion = mcu.Region{Start: mcu.FlashRegion.Start + 0x50000, Size: 0x2000}
+
+// Run assembles routine src into CodeRegion, seeds r1–r3 with args, and
+// executes it to completion on the MCU, returning the final ISA state.
+// The register seeding is modeled as part of the dispatch cost.
+func Run(m *mcu.MCU, k *sim.Kernel, name, src string, args ...uint32) (isa.Result, error) {
+	if len(args) > 3 {
+		return isa.Result{}, fmt.Errorf("firmware: at most 3 arguments, got %d", len(args))
+	}
+	if _, err := isa.LoadProgram(m, CodeRegion.Start, src); err != nil {
+		return isa.Result{}, fmt.Errorf("firmware: assembling %s: %w", name, err)
+	}
+	task, ok := m.TaskByName("firmware")
+	if !ok {
+		task = m.RegisterTask(&mcu.Task{Name: "firmware", Code: CodeRegion})
+	}
+	var res isa.Result
+	done := false
+	m.Submit(task, func(e *mcu.Exec) {
+		core := &isa.Core{}
+		for i, a := range args {
+			core.R[i+1] = a
+		}
+		e.Tick(8) // dispatch: argument registers loaded by the caller
+		res = core.Run(e, CodeRegion.Start, 10_000_000)
+	}, func(*mcu.Exec) { done = true })
+	deadline := k.Now() + sim.Hour
+	for !done && k.Now() < deadline {
+		if !k.Step() {
+			break
+		}
+	}
+	if !done {
+		return res, fmt.Errorf("firmware: %s did not complete", name)
+	}
+	return res, nil
+}
+
+// Fletcher16Ref is the Go reference implementation used by the tests.
+func Fletcher16Ref(data []byte) uint16 {
+	var sum1, sum2 uint32
+	for _, b := range data {
+		sum1 = (sum1 + uint32(b)) % 255
+		sum2 = (sum2 + sum1) % 255
+	}
+	return uint16(sum2<<8 | sum1)
+}

@@ -1,0 +1,184 @@
+package firmware
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"proverattest/internal/isa"
+	"proverattest/internal/mcu"
+	"proverattest/internal/sim"
+)
+
+func freshMCU() (*mcu.MCU, *sim.Kernel) {
+	k := sim.NewKernel()
+	return mcu.New(k, mcu.Config{MPURules: 4}), k
+}
+
+func mustRun(t *testing.T, m *mcu.MCU, k *sim.Kernel, name, src string, args ...uint32) isa.Result {
+	t.Helper()
+	res, err := Run(m, k, name, src, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != isa.StopHalt {
+		t.Fatalf("%s stopped with %v (fault %v) at pc %#x", name, res.Reason, res.Fault, uint32(res.PC))
+	}
+	return res
+}
+
+func TestMemcpy(t *testing.T) {
+	m, k := freshMCU()
+	src := mcu.RAMRegion.Start
+	dst := mcu.RAMRegion.Start + 0x1000
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	m.Space.DirectWrite(src, data)
+
+	mustRun(t, m, k, "memcpy", Memcpy, uint32(dst), uint32(src), uint32(len(data)))
+	if got := m.Space.DirectRead(dst, uint32(len(data))); !bytes.Equal(got, data) {
+		t.Fatalf("memcpy produced %q", got)
+	}
+}
+
+func TestMemcpyZeroLength(t *testing.T) {
+	m, k := freshMCU()
+	res := mustRun(t, m, k, "memcpy", Memcpy, uint32(mcu.RAMRegion.Start), uint32(mcu.RAMRegion.Start+64), 0)
+	if res.Instructions > 3 {
+		t.Fatalf("zero-length memcpy executed %d instructions", res.Instructions)
+	}
+}
+
+func TestMemset(t *testing.T) {
+	m, k := freshMCU()
+	dst := mcu.RAMRegion.Start + 0x2000
+	mustRun(t, m, k, "memset", Memset, uint32(dst), 0xAB, 100)
+	got := m.Space.DirectRead(dst, 100)
+	if !bytes.Equal(got, bytes.Repeat([]byte{0xAB}, 100)) {
+		t.Fatalf("memset produced %x...", got[:8])
+	}
+	// The byte after the range is untouched.
+	if m.Space.DirectRead(dst+100, 1)[0] == 0xAB {
+		t.Fatal("memset overran its range")
+	}
+}
+
+func TestFletcher16MatchesReference(t *testing.T) {
+	m, k := freshMCU()
+	data := []byte("abcdefgh")
+	addr := mcu.RAMRegion.Start + 0x3000
+	m.Space.DirectWrite(addr, data)
+	res := mustRun(t, m, k, "fletcher16", Fletcher16, uint32(addr), 0, uint32(len(data)))
+	want := Fletcher16Ref(data)
+	if uint16(res.Regs[2]) != want {
+		t.Fatalf("fletcher16 = %#x, want %#x", res.Regs[2], want)
+	}
+}
+
+func TestFletcher16Quick(t *testing.T) {
+	m, k := freshMCU()
+	addr := mcu.RAMRegion.Start + 0x4000
+	f := func(data []byte) bool {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		if len(data) == 0 {
+			return true
+		}
+		m.Space.DirectWrite(addr, data)
+		res, err := Run(m, k, "fletcher16", Fletcher16, uint32(addr), 0, uint32(len(data)))
+		if err != nil || res.Reason != isa.StopHalt {
+			return false
+		}
+		return uint16(res.Regs[2]) == Fletcher16Ref(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrlen(t *testing.T) {
+	m, k := freshMCU()
+	addr := mcu.RAMRegion.Start + 0x5000
+	m.Space.DirectWrite(addr, []byte("hello, prover\x00garbage"))
+	res := mustRun(t, m, k, "strlen", Strlen, uint32(addr))
+	if res.Regs[2] != 13 {
+		t.Fatalf("strlen = %d, want 13", res.Regs[2])
+	}
+	// Empty string.
+	m.Space.DirectWrite(addr, []byte{0})
+	res = mustRun(t, m, k, "strlen", Strlen, uint32(addr))
+	if res.Regs[2] != 0 {
+		t.Fatalf("strlen(\"\") = %d", res.Regs[2])
+	}
+}
+
+func TestSum32(t *testing.T) {
+	m, k := freshMCU()
+	addr := mcu.RAMRegion.Start + 0x6000
+	words := []uint32{0x11111111, 0x22222222, 0xF0000001, 0x10000001}
+	var want uint32
+	for i, w := range words {
+		m.Space.DirectStore32(addr+mcu.Addr(4*i), w)
+		want += w
+	}
+	res := mustRun(t, m, k, "sum32", Sum32, uint32(addr), 0, uint32(len(words)))
+	if res.Regs[2] != want {
+		t.Fatalf("sum32 = %#x, want %#x (wraparound arithmetic)", res.Regs[2], want)
+	}
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	m, k := freshMCU()
+	addr := mcu.RAMRegion.Start + 0x8000
+	data := []byte("123456789") // the classic CRC check string → 0xCBF43926
+	m.Space.DirectWrite(addr, data)
+	res := mustRun(t, m, k, "crc32", CRC32, uint32(addr), 0, uint32(len(data)))
+	if res.Regs[2] != 0xCBF43926 {
+		t.Fatalf("crc32(\"123456789\") = %#x, want 0xCBF43926", res.Regs[2])
+	}
+}
+
+func TestCRC32Quick(t *testing.T) {
+	m, k := freshMCU()
+	addr := mcu.RAMRegion.Start + 0x9000
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		m.Space.DirectWrite(addr, data)
+		res, err := Run(m, k, "crc32", CRC32, uint32(addr), 0, uint32(len(data)))
+		if err != nil || res.Reason != isa.StopHalt {
+			return false
+		}
+		return res.Regs[2] == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsTooManyArgs(t *testing.T) {
+	m, k := freshMCU()
+	if _, err := Run(m, k, "x", Memset, 1, 2, 3, 4); err == nil {
+		t.Fatal("four arguments accepted")
+	}
+}
+
+func TestRoutinesCostRealisticCycles(t *testing.T) {
+	// A 100-byte memcpy is ~600 instructions of byte loop; at 24 MHz that
+	// is tens of microseconds — the simulator must charge accordingly.
+	m, k := freshMCU()
+	res := mustRun(t, m, k, "memcpy", Memcpy,
+		uint32(mcu.RAMRegion.Start+0x7000), uint32(mcu.RAMRegion.Start), 100)
+	if res.Instructions < 500 || res.Instructions > 700 {
+		t.Fatalf("100-byte memcpy executed %d instructions", res.Instructions)
+	}
+	us := float64(res.Cycles) / 24.0
+	if us < 20 || us > 80 {
+		t.Fatalf("100-byte memcpy cost %.1f µs, want tens of µs", us)
+	}
+}

@@ -1,0 +1,139 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEAMPUFormula(t *testing.T) {
+	// Table 3: 278 + 116·#r registers, 417 + 182·#r LUTs.
+	cases := []struct {
+		rules    int
+		wantRegs int
+		wantLUTs int
+	}{
+		{0, 278, 417},
+		{1, 394, 599},
+		{2, 510, 781},
+		{5, 858, 1327},
+	}
+	for _, tc := range cases {
+		got := EAMPU(tc.rules)
+		if got.Registers != tc.wantRegs || got.LUTs != tc.wantLUTs {
+			t.Errorf("EAMPU(%d) = %v, want %d/%d", tc.rules, got, tc.wantRegs, tc.wantLUTs)
+		}
+	}
+}
+
+func TestBaselineMatchesPaper(t *testing.T) {
+	// §6.3: baseline = 5528 + 278 + 116·2 = 6038 registers and
+	// 14361 + 417 + 182·2 = 15142 LUTs.
+	total := Baseline().Total()
+	if total.Registers != 6038 {
+		t.Errorf("baseline registers = %d, want 6038", total.Registers)
+	}
+	if total.LUTs != 15142 {
+		t.Errorf("baseline LUTs = %d, want 15142", total.LUTs)
+	}
+}
+
+func TestClock64Overhead(t *testing.T) {
+	// §6.3: +116+64 = 180 registers (2.98 %), +182+64 = 246 LUTs (1.62 %).
+	o := OverheadVsBaseline(WithClock64())
+	if o.Added.Registers != 180 || o.Added.LUTs != 246 {
+		t.Fatalf("64-bit clock added cost = %v, want 180/246", o.Added)
+	}
+	assertPercent(t, "64-bit registers", o.RegisterPercent, 2.98)
+	assertPercent(t, "64-bit LUTs", o.LUTPercent, 1.62)
+}
+
+func TestClock32Overhead(t *testing.T) {
+	// §6.3: +116+32 = 148 registers (2.45 %), +182+32 = 214 LUTs (1.41 %).
+	o := OverheadVsBaseline(WithClock32())
+	if o.Added.Registers != 148 || o.Added.LUTs != 214 {
+		t.Fatalf("32-bit clock added cost = %v, want 148/214", o.Added)
+	}
+	assertPercent(t, "32-bit registers", o.RegisterPercent, 2.45)
+	assertPercent(t, "32-bit LUTs", o.LUTPercent, 1.41)
+}
+
+func TestSWClockOverhead(t *testing.T) {
+	// §6.3: 116·3 = 348 registers (5.76 %), 182·3 = 546 LUTs (3.61 %).
+	o := OverheadVsBaseline(WithSWClock())
+	if o.Added.Registers != 348 || o.Added.LUTs != 546 {
+		t.Fatalf("SW-clock added cost = %v, want 348/546", o.Added)
+	}
+	assertPercent(t, "SW-clock registers", o.RegisterPercent, 5.76)
+	assertPercent(t, "SW-clock LUTs", o.LUTPercent, 3.61)
+}
+
+// assertPercent checks a computed percentage rounds to the paper's printed
+// two-decimal figure.
+func assertPercent(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(math.Round(got*100)/100-want) > 0.005 {
+		t.Errorf("%s overhead = %.4f%%, want %.2f%%", name, got, want)
+	}
+}
+
+func TestTable3Components(t *testing.T) {
+	byName := map[string]Component{}
+	for _, c := range Table3Components {
+		byName[c.Name] = c
+	}
+	if c := byName["Attest-Key"]; c.Rules != 1 || c.Direct != (Cost{}) {
+		t.Errorf("Attest-Key = %+v, want 1 rule / no direct cost", c)
+	}
+	if c := byName["Counter"]; c.Rules != 1 || c.Direct != (Cost{}) {
+		t.Errorf("Counter = %+v, want 1 rule / no direct cost", c)
+	}
+	if c := byName["64 bit clock"]; c.Rules != 0 || c.Direct.Registers != 64 || c.Direct.LUTs != 64 {
+		t.Errorf("64 bit clock = %+v", c)
+	}
+	if c := byName["32 bit clock"]; c.Rules != 0 || c.Direct.Registers != 32 || c.Direct.LUTs != 32 {
+		t.Errorf("32 bit clock = %+v", c)
+	}
+	if c := byName["SW-clock"]; c.Rules != 2 || c.Direct != (Cost{}) {
+		t.Errorf("SW-clock = %+v, want 2 rules (Table 3 printing)", c)
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{Registers: 3, LUTs: 5}
+	b := Cost{Registers: 7, LUTs: 11}
+	if got := a.Add(b); got.Registers != 10 || got.LUTs != 16 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Scale(4); got.Registers != 12 || got.LUTs != 20 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.String(); got != "3 registers / 5 LUTs" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOverheadMonotoneInRules(t *testing.T) {
+	f := func(n uint8) bool {
+		base := Config{Rules: int(n)}
+		more := Config{Rules: int(n) + 1}
+		return more.Total().Registers-base.Total().Registers == MPUPerRule.Registers &&
+			more.Total().LUTs-base.Total().LUTs == MPUPerRule.LUTs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllConfigsOrder(t *testing.T) {
+	cfgs := AllConfigs()
+	want := []string{"baseline", "64-bit clock", "32-bit clock", "SW-clock"}
+	if len(cfgs) != len(want) {
+		t.Fatalf("AllConfigs returned %d entries, want %d", len(cfgs), len(want))
+	}
+	for i, cfg := range cfgs {
+		if cfg.Name != want[i] {
+			t.Errorf("config %d = %q, want %q", i, cfg.Name, want[i])
+		}
+	}
+}

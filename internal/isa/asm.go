@@ -1,0 +1,361 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates SP16 assembly into a little-endian binary image
+// based at the given address. Two passes: the first lays out labels, the
+// second encodes.
+//
+// Syntax:
+//
+//	; or # start a comment
+//	label:              — defines a label (may share a line with an instr)
+//	add r1, r2, r3      — R-type
+//	addi r1, r2, -5     — I-type (decimal or 0x hex immediates)
+//	lw r1, 8(r2)        — loads/stores use displacement addressing
+//	beq r1, r2, label   — branches take a label or numeric word offset
+//	jal lr, func        — as do jumps
+//	jalr r0, lr, 0
+//	.word 0xdeadbeef    — literal data word
+//	.space 16           — n zero bytes (word-aligned)
+//
+// Pseudo-instructions: li rd, imm (expands to addi or lui+ori),
+// mv rd, rs, j label, ret, and the bare nop/halt.
+//
+// Register aliases: zero (r0), lr (r13), sp (r14).
+func Assemble(base uint32, src string) ([]byte, error) {
+	lines := strings.Split(src, "\n")
+
+	type item struct {
+		line   int
+		addr   uint32
+		mnem   string
+		args   []string
+		isWord bool
+		word   uint32
+	}
+	var items []item
+	labels := map[string]uint32{}
+	pc := base
+
+	// Pass 1: layout.
+	for ln, raw := range lines {
+		text := stripComment(raw)
+		// Labels (possibly several) before any instruction.
+		for {
+			text = strings.TrimSpace(text)
+			idx := strings.Index(text, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(text[:idx])
+			if head == "" || strings.ContainsAny(head, " \t,") {
+				break // a colon inside an expression is not ours
+			}
+			if _, dup := labels[head]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, head)
+			}
+			labels[head] = pc
+			text = text[idx+1:]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		mnem, rest := splitMnemonic(text)
+		switch mnem {
+		case ".word":
+			v, err := parseImm(rest)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			items = append(items, item{line: ln + 1, addr: pc, isWord: true, word: uint32(v)})
+			pc += 4
+		case ".space":
+			n, err := parseImm(rest)
+			if err != nil || n < 0 || n%4 != 0 {
+				return nil, fmt.Errorf("line %d: .space needs a non-negative multiple of 4", ln+1)
+			}
+			for i := int32(0); i < n; i += 4 {
+				items = append(items, item{line: ln + 1, addr: pc, isWord: true, word: 0})
+				pc += 4
+			}
+		case "li":
+			args := splitArgs(rest)
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: li needs rd, imm", ln+1)
+			}
+			v, err := parseImm(args[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			if v >= -(1<<15) && v < 1<<15 {
+				items = append(items, item{line: ln + 1, addr: pc, mnem: "addi",
+					args: []string{args[0], "r0", args[1]}})
+				pc += 4
+			} else {
+				hi := uint32(v) >> 16
+				lo := uint32(v) & 0xFFFF
+				items = append(items, item{line: ln + 1, addr: pc, mnem: "lui",
+					args: []string{args[0], fmt.Sprintf("%#x", hi)}})
+				pc += 4
+				items = append(items, item{line: ln + 1, addr: pc, mnem: "ori",
+					args: []string{args[0], args[0], fmt.Sprintf("%#x", lo)}})
+				pc += 4
+			}
+		case "mv":
+			args := splitArgs(rest)
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: mv needs rd, rs", ln+1)
+			}
+			items = append(items, item{line: ln + 1, addr: pc, mnem: "add",
+				args: []string{args[0], args[1], "r0"}})
+			pc += 4
+		case "j":
+			items = append(items, item{line: ln + 1, addr: pc, mnem: "jal",
+				args: []string{"r0", strings.TrimSpace(rest)}})
+			pc += 4
+		case "ret":
+			items = append(items, item{line: ln + 1, addr: pc, mnem: "jalr",
+				args: []string{"r0", "lr", "0"}})
+			pc += 4
+		default:
+			items = append(items, item{line: ln + 1, addr: pc, mnem: mnem, args: splitArgs(rest)})
+			pc += 4
+		}
+	}
+
+	// Pass 2: encode.
+	out := make([]byte, 0, 4*len(items))
+	for _, it := range items {
+		var w uint32
+		if it.isWord {
+			w = it.word
+		} else {
+			in, err := parseInstr(it.mnem, it.args, it.addr, labels)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", it.line, err)
+			}
+			w, err = Encode(in)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", it.line, err)
+			}
+		}
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], w)
+		out = append(out, buf[:]...)
+	}
+	return out, nil
+}
+
+// Disassemble renders a binary image as one line per word: address, raw
+// word, and either the decoded instruction or a .word literal for data.
+func Disassemble(base uint32, img []byte) []string {
+	out := make([]string, 0, len(img)/4)
+	for off := 0; off+4 <= len(img); off += 4 {
+		w := binary.LittleEndian.Uint32(img[off:])
+		line := fmt.Sprintf("%#08x: %08x  ", base+uint32(off), w)
+		if in, err := Decode(w); err == nil {
+			line += in.String()
+		} else {
+			line += fmt.Sprintf(".word %#x", w)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func splitMnemonic(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return strings.ToLower(s[:i]), s[i+1:]
+	}
+	return strings.ToLower(s), ""
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var mnemonics = func() map[string]Opcode {
+	m := make(map[string]Opcode)
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Opcode(op)
+		}
+	}
+	return m
+}()
+
+func parseReg(s string) (uint8, error) {
+	switch strings.ToLower(s) {
+	case "zero":
+		return RegZero, nil
+	case "lr":
+		return RegLR, nil
+	case "sp":
+		return RegSP, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > 1<<32-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseTarget resolves a branch/jump target: a label (word offset from the
+// instruction) or a numeric word offset.
+func parseTarget(s string, instrAddr uint32, labels map[string]uint32) (int32, error) {
+	if addr, ok := labels[s]; ok {
+		diff := int64(addr) - int64(instrAddr)
+		if diff%4 != 0 {
+			return 0, fmt.Errorf("misaligned target %q", s)
+		}
+		return int32(diff / 4), nil
+	}
+	return parseImm(s)
+}
+
+// parseMem parses "imm(rN)" displacement operands.
+func parseMem(s string) (uint8, int32, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want imm(rN))", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		immStr = "0"
+	}
+	imm, err := parseImm(immStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err := parseReg(strings.TrimSpace(s[open+1 : close]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return reg, imm, nil
+}
+
+func parseInstr(mnem string, args []string, addr uint32, labels map[string]uint32) (Instr, error) {
+	op, ok := mnemonics[mnem]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	in := Instr{Op: op}
+	var err error
+	switch kindOf(op) {
+	case kindNone:
+		if len(args) != 0 {
+			return in, fmt.Errorf("%s takes no operands", mnem)
+		}
+	case kindR:
+		if len(args) != 3 {
+			return in, fmt.Errorf("%s needs rd, rs1, rs2", mnem)
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(args[1]); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = parseReg(args[2]); err != nil {
+			return in, err
+		}
+	case kindI:
+		switch op {
+		case OpLW, OpLB, OpSW, OpSB:
+			if len(args) != 2 {
+				return in, fmt.Errorf("%s needs rd, imm(rs1)", mnem)
+			}
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return in, err
+			}
+			if in.Rs1, in.Imm, err = parseMem(args[1]); err != nil {
+				return in, err
+			}
+		case OpLUI:
+			if len(args) != 2 {
+				return in, fmt.Errorf("lui needs rd, imm16")
+			}
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return in, err
+			}
+			if in.Imm, err = parseImm(args[1]); err != nil {
+				return in, err
+			}
+		default:
+			if len(args) != 3 {
+				return in, fmt.Errorf("%s needs rd, rs1, imm", mnem)
+			}
+			if in.Rd, err = parseReg(args[0]); err != nil {
+				return in, err
+			}
+			if in.Rs1, err = parseReg(args[1]); err != nil {
+				return in, err
+			}
+			if in.Imm, err = parseImm(args[2]); err != nil {
+				return in, err
+			}
+		}
+	case kindB:
+		if len(args) != 3 {
+			return in, fmt.Errorf("%s needs rs1, rs2, target", mnem)
+		}
+		if in.Rs1, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = parseReg(args[1]); err != nil {
+			return in, err
+		}
+		if in.Imm, err = parseTarget(args[2], addr, labels); err != nil {
+			return in, err
+		}
+	case kindJ:
+		if len(args) != 2 {
+			return in, fmt.Errorf("jal needs rd, target")
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Imm, err = parseTarget(args[1], addr, labels); err != nil {
+			return in, err
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,229 @@
+package isa
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func mustAssemble(t *testing.T, base uint32, src string) []byte {
+	t.Helper()
+	img, err := Assemble(base, src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return img
+}
+
+func word(t *testing.T, img []byte, i int) uint32 {
+	t.Helper()
+	return binary.LittleEndian.Uint32(img[i*4:])
+}
+
+func TestAssembleBasicForms(t *testing.T) {
+	img := mustAssemble(t, 0, `
+		nop
+		add r1, r2, r3
+		addi r4, r5, -7
+		lw r6, 12(r7)
+		sw r6, -4(r7)
+		lui r8, 0x1234
+		halt
+	`)
+	if len(img) != 7*4 {
+		t.Fatalf("image is %d bytes, want 28", len(img))
+	}
+	checks := []Instr{
+		{Op: OpNOP},
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpADDI, Rd: 4, Rs1: 5, Imm: -7},
+		{Op: OpLW, Rd: 6, Rs1: 7, Imm: 12},
+		{Op: OpSW, Rd: 6, Rs1: 7, Imm: -4},
+		{Op: OpLUI, Rd: 8, Imm: 0x1234},
+		{Op: OpHALT},
+	}
+	for i, want := range checks {
+		got, err := Decode(word(t, img, i))
+		if err != nil {
+			t.Fatalf("instr %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("instr %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	img := mustAssemble(t, 0x1000, `
+	start:
+		nop
+		beq r1, r2, start   ; offset -1 word
+		bne r1, r2, end     ; offset +2 words
+		nop
+	end:
+		halt
+	`)
+	beq, err := Decode(word(t, img, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beq.Imm != -1 {
+		t.Fatalf("backward branch offset = %d, want -1", beq.Imm)
+	}
+	bne, err := Decode(word(t, img, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bne.Imm != 2 {
+		t.Fatalf("forward branch offset = %d, want 2", bne.Imm)
+	}
+}
+
+func TestAssemblePseudoInstructions(t *testing.T) {
+	// Small li → one addi; large li → lui+ori; mv; j; ret.
+	img := mustAssemble(t, 0, `
+		li r1, 100
+		li r2, 0x12345678
+		mv r3, r1
+		j skip
+	skip:
+		ret
+	`)
+	if len(img) != 6*4 {
+		t.Fatalf("image is %d words, want 6", len(img)/4)
+	}
+	in0, _ := Decode(word(t, img, 0))
+	if in0.Op != OpADDI || in0.Imm != 100 {
+		t.Fatalf("small li = %v", in0)
+	}
+	in1, _ := Decode(word(t, img, 1))
+	in2, _ := Decode(word(t, img, 2))
+	if in1.Op != OpLUI || uint32(in1.Imm) != 0x1234 {
+		t.Fatalf("large li hi = %v", in1)
+	}
+	if in2.Op != OpORI || uint32(in2.Imm) != 0x5678 {
+		t.Fatalf("large li lo = %v", in2)
+	}
+	in3, _ := Decode(word(t, img, 3))
+	if in3.Op != OpADD || in3.Rd != 3 || in3.Rs1 != 1 || in3.Rs2 != 0 {
+		t.Fatalf("mv = %v", in3)
+	}
+	in4, _ := Decode(word(t, img, 4))
+	if in4.Op != OpJAL || in4.Rd != 0 || in4.Imm != 1 {
+		t.Fatalf("j = %v", in4)
+	}
+	in5, _ := Decode(word(t, img, 5))
+	if in5.Op != OpJALR || in5.Rs1 != RegLR {
+		t.Fatalf("ret = %v", in5)
+	}
+}
+
+func TestAssembleDirectives(t *testing.T) {
+	img := mustAssemble(t, 0, `
+		.word 0xdeadbeef
+		.space 8
+		halt
+	`)
+	if len(img) != 4*4 {
+		t.Fatalf("image is %d bytes, want 16", len(img))
+	}
+	if word(t, img, 0) != 0xdeadbeef {
+		t.Fatalf(".word = %#x", word(t, img, 0))
+	}
+	if word(t, img, 1) != 0 || word(t, img, 2) != 0 {
+		t.Fatal(".space not zeroed")
+	}
+}
+
+func TestAssembleRegisterAliases(t *testing.T) {
+	img := mustAssemble(t, 0, `add sp, lr, zero`)
+	in, _ := Decode(word(t, img, 0))
+	if in.Rd != RegSP || in.Rs1 != RegLR || in.Rs2 != RegZero {
+		t.Fatalf("aliases = %v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := map[string]string{
+		"unknown mnemonic":   `frobnicate r1, r2`,
+		"bad register":       `add r1, r99, r2`,
+		"missing operand":    `add r1, r2`,
+		"undefined label":    `beq r1, r2, nowhere_named_like_this`,
+		"duplicate label":    "x:\nnop\nx:\nnop",
+		"imm out of range":   `addi r1, r0, 40000`,
+		"bad memory form":    `lw r1, r2`,
+		"operands on halt":   `halt r1`,
+		"odd space":          `.space 3`,
+		"branch too far":     "beq r1, r2, 9000",
+		"bad word literal":   `.word zzz`,
+		"bad li value":       `li r1, notanumber`,
+		"li missing arg":     `li r1`,
+		"mv missing arg":     `mv r1`,
+		"bad mem register":   `lw r1, 4(r77)`,
+		"bad mem immediate":  `lw r1, zz(r2)`,
+		"lui missing arg":    `lui r1`,
+		"lui bad register":   `lui r99, 1`,
+		"jal missing target": `jal lr`,
+		"branch bad reg":     `beq r1, r99, 0`,
+		"branch bad reg1":    `beq r99, r1, 0`,
+		"store bad dest":     `sw r99, 0(r1)`,
+		"i-type bad rs1":     `addi r1, r99, 0`,
+		"i-type bad imm":     `addi r1, r2, qq`,
+		"r-type bad rs2":     `add r1, r2, r99`,
+	}
+	for name, src := range bad {
+		if _, err := Assemble(0, src); err == nil {
+			t.Errorf("%s: assembled %q without error", name, src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	img := mustAssemble(t, 0, `
+		; full-line comment
+		# another comment style
+
+		nop   ; trailing comment
+	`)
+	if len(img) != 4 {
+		t.Fatalf("image is %d bytes, want one instruction", len(img))
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	img := mustAssemble(t, 0x1000, `
+		addi r1, r0, 6
+		.word 0xdeadbeef
+		halt
+	`)
+	lines := Disassemble(0x1000, img)
+	if len(lines) != 3 {
+		t.Fatalf("disassembled %d lines, want 3", len(lines))
+	}
+	checks := []string{"addi r1, r0, 6", ".word 0xdeadbeef", "halt"}
+	for i, want := range checks {
+		if !containsStr(lines[i], want) {
+			t.Errorf("line %d = %q, want it to contain %q", i, lines[i], want)
+		}
+	}
+	if !containsStr(lines[1], "0x00001004") {
+		t.Errorf("line 1 = %q, want the address 0x00001004", lines[1])
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUndefinedLabelReportsNumericFallback(t *testing.T) {
+	// A numeric target is a raw word offset, usable without a label.
+	img := mustAssemble(t, 0, `beq r0, r0, -4`)
+	in, _ := Decode(word(t, img, 0))
+	if in.Imm != -4 {
+		t.Fatalf("numeric branch offset = %d, want -4", in.Imm)
+	}
+}

@@ -1,0 +1,251 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"proverattest/internal/crypto/cost"
+	"proverattest/internal/mcu"
+)
+
+// StopReason explains why the interpreter stopped.
+type StopReason int
+
+// Stop reasons.
+const (
+	// StopHalt: the program executed HALT.
+	StopHalt StopReason = iota
+	// StopFault: a fetch or data access was denied by the bus/EA-MPU.
+	StopFault
+	// StopBadInstr: the fetched word did not decode (e.g. executing data).
+	StopBadInstr
+	// StopBudget: the instruction budget ran out (runaway guard).
+	StopBudget
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalt:
+		return "halt"
+	case StopFault:
+		return "bus fault"
+	case StopBadInstr:
+		return "illegal instruction"
+	case StopBudget:
+		return "instruction budget exhausted"
+	}
+	return fmt.Sprintf("stop(%d)", int(r))
+}
+
+// Result summarises one program run.
+type Result struct {
+	Reason       StopReason
+	Fault        *mcu.Fault
+	PC           mcu.Addr // the instruction that stopped execution
+	Instructions uint64
+	Cycles       cost.Cycles
+	// Regs is the final register file.
+	Regs [NumRegs]uint32
+}
+
+// Per-instruction cycle costs, MSP430-flavoured: single-cycle ALU,
+// two-cycle memory and multiply, an extra cycle for taken branches.
+func cyclesFor(op Opcode, taken bool) cost.Cycles {
+	switch op {
+	case OpLW, OpLB, OpSW, OpSB, OpMUL, OpJAL, OpJALR:
+		return 2
+	case OpBEQ, OpBNE, OpBLTU, OpBGEU:
+		if taken {
+			return 2
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Core is an SP16 hart. Zero value is ready to run.
+type Core struct {
+	R [NumRegs]uint32
+}
+
+// Run executes instructions starting at entry inside the given MCU
+// execution context. Every fetch and data access goes through the bus
+// with the current instruction's PC, so the EA-MPU sees real
+// program-counter values. maxInstr bounds runaway programs.
+func (c *Core) Run(e *mcu.Exec, entry mcu.Addr, maxInstr uint64) Result {
+	pc := entry
+	res := Result{}
+	for {
+		if res.Instructions >= maxInstr {
+			res.Reason = StopBudget
+			break
+		}
+		e.SetPC(pc)
+		word, fault := e.Load32(pc)
+		if fault != nil {
+			res.Reason = StopFault
+			res.Fault = fault
+			break
+		}
+		in, err := Decode(word)
+		if err != nil {
+			res.Reason = StopBadInstr
+			break
+		}
+		res.Instructions++
+
+		next := pc + 4
+		taken := false
+		var fault2 *mcu.Fault
+		switch in.Op {
+		case OpNOP:
+		case OpHALT:
+			e.Tick(cyclesFor(in.Op, false))
+			res.Reason = StopHalt
+			res.PC = pc
+			res.Cycles = e.Cycles()
+			res.Regs = c.R
+			return res
+
+		case OpADD:
+			c.set(in.Rd, c.R[in.Rs1]+c.R[in.Rs2])
+		case OpSUB:
+			c.set(in.Rd, c.R[in.Rs1]-c.R[in.Rs2])
+		case OpAND:
+			c.set(in.Rd, c.R[in.Rs1]&c.R[in.Rs2])
+		case OpOR:
+			c.set(in.Rd, c.R[in.Rs1]|c.R[in.Rs2])
+		case OpXOR:
+			c.set(in.Rd, c.R[in.Rs1]^c.R[in.Rs2])
+		case OpSLL:
+			c.set(in.Rd, c.R[in.Rs1]<<(c.R[in.Rs2]&31))
+		case OpSRL:
+			c.set(in.Rd, c.R[in.Rs1]>>(c.R[in.Rs2]&31))
+		case OpSRA:
+			c.set(in.Rd, uint32(int32(c.R[in.Rs1])>>(c.R[in.Rs2]&31)))
+		case OpMUL:
+			c.set(in.Rd, c.R[in.Rs1]*c.R[in.Rs2])
+		case OpSLTU:
+			c.set(in.Rd, boolBit(c.R[in.Rs1] < c.R[in.Rs2]))
+
+		case OpADDI:
+			c.set(in.Rd, c.R[in.Rs1]+uint32(in.Imm))
+		case OpANDI:
+			c.set(in.Rd, c.R[in.Rs1]&uint32(in.Imm))
+		case OpORI:
+			c.set(in.Rd, c.R[in.Rs1]|uint32(in.Imm))
+		case OpXORI:
+			c.set(in.Rd, c.R[in.Rs1]^uint32(in.Imm))
+		case OpSLLI:
+			c.set(in.Rd, c.R[in.Rs1]<<(uint32(in.Imm)&31))
+		case OpSRLI:
+			c.set(in.Rd, c.R[in.Rs1]>>(uint32(in.Imm)&31))
+		case OpLUI:
+			c.set(in.Rd, uint32(in.Imm)<<16)
+		case OpSLTIU:
+			c.set(in.Rd, boolBit(c.R[in.Rs1] < uint32(in.Imm)))
+
+		case OpLW:
+			addr := mcu.Addr(c.R[in.Rs1] + uint32(in.Imm))
+			var data []byte
+			data, fault2 = e.Read(addr, 4)
+			if fault2 == nil {
+				c.set(in.Rd, binary.LittleEndian.Uint32(data))
+			}
+		case OpLB:
+			addr := mcu.Addr(c.R[in.Rs1] + uint32(in.Imm))
+			var data []byte
+			data, fault2 = e.Read(addr, 1)
+			if fault2 == nil {
+				c.set(in.Rd, uint32(data[0]))
+			}
+		case OpSW:
+			addr := mcu.Addr(c.R[in.Rs1] + uint32(in.Imm))
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], c.R[in.Rd])
+			fault2 = e.Write(addr, buf[:])
+		case OpSB:
+			addr := mcu.Addr(c.R[in.Rs1] + uint32(in.Imm))
+			fault2 = e.Write(addr, []byte{byte(c.R[in.Rd])})
+
+		case OpBEQ:
+			taken = c.R[in.Rs1] == c.R[in.Rs2]
+		case OpBNE:
+			taken = c.R[in.Rs1] != c.R[in.Rs2]
+		case OpBLTU:
+			taken = c.R[in.Rs1] < c.R[in.Rs2]
+		case OpBGEU:
+			taken = c.R[in.Rs1] >= c.R[in.Rs2]
+
+		case OpJAL:
+			c.set(in.Rd, uint32(pc)+4)
+			next = pc + mcu.Addr(in.Imm*4)
+			taken = true
+		case OpJALR:
+			target := (c.R[in.Rs1] + uint32(in.Imm)) &^ 3
+			c.set(in.Rd, uint32(pc)+4)
+			next = mcu.Addr(target)
+			taken = true
+		}
+
+		if kindOf(in.Op) == kindB && taken {
+			next = pc + mcu.Addr(in.Imm*4)
+		}
+		e.Tick(cyclesFor(in.Op, taken))
+		if fault2 != nil {
+			res.Reason = StopFault
+			res.Fault = fault2
+			break
+		}
+		pc = next
+	}
+	res.PC = pc
+	res.Cycles = e.Cycles()
+	res.Regs = c.R
+	return res
+}
+
+// set writes a register, keeping r0 hardwired to zero.
+func (c *Core) set(rd uint8, v uint32) {
+	if rd != RegZero {
+		c.R[rd] = v
+	}
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LoadProgram assembles src at base and writes the image into the MCU's
+// memory (factory step). It returns the image length in bytes.
+func LoadProgram(m *mcu.MCU, base mcu.Addr, src string) (int, error) {
+	img, err := Assemble(uint32(base), src)
+	if err != nil {
+		return 0, err
+	}
+	m.Space.DirectWrite(base, img)
+	return len(img), nil
+}
+
+// RunProgram registers (or reuses) a task named name covering region and
+// executes the program at entry on the MCU's job queue; onDone receives
+// the result at the job's completion time.
+func RunProgram(m *mcu.MCU, name string, region mcu.Region, entry mcu.Addr, maxInstr uint64, onDone func(Result)) {
+	task, ok := m.TaskByName(name)
+	if !ok {
+		task = m.RegisterTask(&mcu.Task{Name: name, Code: region})
+	}
+	var res Result
+	m.Submit(task, func(e *mcu.Exec) {
+		core := &Core{}
+		res = core.Run(e, entry, maxInstr)
+	}, func(*mcu.Exec) {
+		if onDone != nil {
+			onDone(res)
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"proverattest/internal/mcu"
+	"proverattest/internal/sim"
+)
+
+// runSrc assembles src into flash, runs it, and returns the result.
+func runSrc(t *testing.T, src string) Result {
+	t.Helper()
+	k := sim.NewKernel()
+	m := mcu.New(k, mcu.Config{MPURules: 4})
+	base := mcu.FlashRegion.Start
+	if _, err := LoadProgram(m, base, src); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	var res Result
+	RunProgram(m, "prog", mcu.Region{Start: base, Size: 64 * mcu.KiB}, base, 100_000,
+		func(r Result) { res = r })
+	k.RunUntil(k.Now() + sim.Second)
+	return res
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	// Sum 1..10 into r2.
+	res := runSrc(t, `
+		li   r1, 10
+		li   r2, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`)
+	if res.Reason != StopHalt {
+		t.Fatalf("stopped with %v at %#x (fault %v)", res.Reason, uint32(res.PC), res.Fault)
+	}
+	if res.Regs[2] != 55 {
+		t.Fatalf("sum = %d, want 55", res.Regs[2])
+	}
+	// 10 iterations × 3 instrs + prologue/halt.
+	if res.Instructions < 30 || res.Instructions > 40 {
+		t.Fatalf("executed %d instructions, want ≈33", res.Instructions)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles accounted")
+	}
+}
+
+func TestMemoryProgram(t *testing.T) {
+	// Write 0xCAFEBABE to RAM, read it back, and also exercise bytes.
+	res := runSrc(t, `
+		li   r1, 0x00200000   ; RAM base
+		li   r2, 0xCAFEBABE
+		sw   r2, 0(r1)
+		lw   r3, 0(r1)
+		lb   r4, 3(r1)        ; 0xCA (little-endian top byte)
+		li   r5, 0x7F
+		sb   r5, 4(r1)
+		lb   r6, 4(r1)
+		halt
+	`)
+	if res.Reason != StopHalt {
+		t.Fatalf("stopped with %v (fault %v)", res.Reason, res.Fault)
+	}
+	if res.Regs[3] != 0xCAFEBABE {
+		t.Fatalf("lw read %#x, want 0xCAFEBABE", res.Regs[3])
+	}
+	if res.Regs[4] != 0xCA {
+		t.Fatalf("lb read %#x, want 0xCA", res.Regs[4])
+	}
+	if res.Regs[6] != 0x7F {
+		t.Fatalf("sb/lb round trip = %#x, want 0x7F", res.Regs[6])
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	res := runSrc(t, `
+		li   r1, 5
+		jal  lr, double
+		jal  lr, double
+		halt
+	double:
+		add  r1, r1, r1
+		ret
+	`)
+	if res.Reason != StopHalt {
+		t.Fatalf("stopped with %v (fault %v)", res.Reason, res.Fault)
+	}
+	if res.Regs[1] != 20 {
+		t.Fatalf("double twice = %d, want 20", res.Regs[1])
+	}
+}
+
+func TestShiftAndCompare(t *testing.T) {
+	res := runSrc(t, `
+		li   r1, 1
+		slli r2, r1, 8       ; 256
+		srli r3, r2, 4       ; 16
+		li   r4, -16
+		sra  r5, r4, r1      ; arithmetic shift of -16 by 1 = -8
+		sltu r6, r1, r2      ; 1 < 256 → 1
+		sltiu r7, r2, 10     ; 256 < 10 → 0
+		mul  r8, r2, r3      ; 4096
+		halt
+	`)
+	if res.Reason != StopHalt {
+		t.Fatalf("stopped with %v", res.Reason)
+	}
+	if res.Regs[2] != 256 || res.Regs[3] != 16 {
+		t.Fatalf("shifts: r2=%d r3=%d", res.Regs[2], res.Regs[3])
+	}
+	if int32(res.Regs[5]) != -8 {
+		t.Fatalf("sra = %d, want -8", int32(res.Regs[5]))
+	}
+	if res.Regs[6] != 1 || res.Regs[7] != 0 {
+		t.Fatalf("sltu/sltiu: %d, %d", res.Regs[6], res.Regs[7])
+	}
+	if res.Regs[8] != 4096 {
+		t.Fatalf("mul = %d", res.Regs[8])
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	res := runSrc(t, `
+		li   r1, 42
+		add  r0, r1, r1     ; write to r0 is discarded
+		add  r2, r0, r0
+		halt
+	`)
+	if res.Regs[0] != 0 || res.Regs[2] != 0 {
+		t.Fatalf("r0 = %d, r2 = %d — r0 must stay zero", res.Regs[0], res.Regs[2])
+	}
+}
+
+func TestRunawayBudget(t *testing.T) {
+	res := runSrc(t, `
+	spin:
+		j spin
+	`)
+	if res.Reason != StopBudget {
+		t.Fatalf("infinite loop stopped with %v, want budget exhaustion", res.Reason)
+	}
+	if res.Instructions != 100_000 {
+		t.Fatalf("executed %d instructions, want the full budget", res.Instructions)
+	}
+}
+
+func TestExecutingDataStops(t *testing.T) {
+	res := runSrc(t, `
+		j data
+	data:
+		.word 0xdeadbeef
+	`)
+	if res.Reason != StopBadInstr {
+		t.Fatalf("executing data stopped with %v, want illegal instruction", res.Reason)
+	}
+}
+
+func TestProtectedLoadFaultsAtExactPC(t *testing.T) {
+	// The EA-MPU must attribute the rogue access to the precise
+	// instruction, not to the program as a whole: only the fourth
+	// instruction (the lw at base+12) touches the protected word.
+	k := sim.NewKernel()
+	m := mcu.New(k, mcu.Config{MPURules: 4})
+	secret := mcu.Region{Start: mcu.RAMRegion.Start + 0x100, Size: 4}
+	if err := m.MPU.SetRule(0, mcu.Rule{
+		Code: mcu.ROMRegion, Data: secret,
+		Perm: mcu.PermRead, Enabled: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	base := mcu.FlashRegion.Start
+	src := `
+		li  r1, 0x00200100  ; two instructions (lui+ori)
+		nop
+		lw  r2, 0(r1)       ; base+12: denied
+		halt
+	`
+	if _, err := LoadProgram(m, base, src); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	RunProgram(m, "malware", mcu.Region{Start: base, Size: 0x1000}, base, 1000,
+		func(r Result) { res = r })
+	k.RunUntil(k.Now() + sim.Second)
+
+	if res.Reason != StopFault {
+		t.Fatalf("stopped with %v, want fault", res.Reason)
+	}
+	if res.Fault == nil || res.Fault.PC != base+12 {
+		t.Fatalf("fault PC = %v, want %#x (the lw itself)", res.Fault, uint32(base+12))
+	}
+	if res.Fault.Addr != secret.Start {
+		t.Fatalf("fault addr = %#x, want the protected word", uint32(res.Fault.Addr))
+	}
+	if !strings.Contains(res.Fault.Reason, "EA-MPU") {
+		t.Fatalf("fault reason %q, want an EA-MPU denial", res.Fault.Reason)
+	}
+}
+
+func TestPCAccurateRuleBoundary(t *testing.T) {
+	// Execution-awareness at instruction granularity: a rule grants the
+	// *first half* of the program access to a word; an identical load in
+	// the second half faults. Closure-level tasks cannot express this —
+	// the ISA layer can.
+	k := sim.NewKernel()
+	m := mcu.New(k, mcu.Config{MPURules: 4})
+	word := mcu.Region{Start: mcu.RAMRegion.Start + 0x200, Size: 4}
+	base := mcu.FlashRegion.Start
+	// Instructions 0..3 (16 bytes) are privileged; the rest are not.
+	if err := m.MPU.SetRule(0, mcu.Rule{
+		Code: mcu.Region{Start: base, Size: 16}, Data: word,
+		Perm: mcu.PermRead, Enabled: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Space.DirectStore32(word.Start, 77)
+
+	src := `
+		li  r1, 0x00200200 ; 2 instrs
+		lw  r2, 0(r1)      ; base+8: inside the privileged window → allowed
+		nop                ; base+12
+		lw  r3, 0(r1)      ; base+16: outside → denied
+		halt
+	`
+	if _, err := LoadProgram(m, base, src); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	RunProgram(m, "split", mcu.Region{Start: base, Size: 0x1000}, base, 1000,
+		func(r Result) { res = r })
+	k.RunUntil(k.Now() + sim.Second)
+
+	if res.Reason != StopFault {
+		t.Fatalf("stopped with %v, want fault on the second lw", res.Reason)
+	}
+	if res.Regs[2] != 77 {
+		t.Fatalf("privileged lw read %d, want 77", res.Regs[2])
+	}
+	if res.Fault.PC != base+16 {
+		t.Fatalf("fault PC = %#x, want %#x", uint32(res.Fault.PC), uint32(base+16))
+	}
+}
+
+func TestBranchTakenCostsExtraCycle(t *testing.T) {
+	taken := runSrc(t, `
+		li  r1, 1
+		beq r1, r1, target
+	target:
+		halt
+	`)
+	notTaken := runSrc(t, `
+		li  r1, 1
+		beq r1, r0, never
+	never:
+		halt
+	`)
+	if taken.Cycles != notTaken.Cycles+1 {
+		t.Fatalf("taken branch cost %d cycles, not-taken %d — want +1", taken.Cycles, notTaken.Cycles)
+	}
+}

@@ -1,0 +1,45 @@
+package isa
+
+import "testing"
+
+// FuzzDecode: Decode must never panic, and every accepted word must
+// re-encode to itself (no two decodings share an encoding).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(1 << 26))    // halt
+	f.Add(uint32(0x40400006)) // addi r1, r0, 6
+	f.Add(uint32(0x84043ffe)) // bne r1, r0, -2
+	f.Add(uint32(0xdeadbeef)) // data
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		back, err := Encode(in)
+		if err != nil {
+			t.Fatalf("accepted %#08x but re-encode failed: %v", w, err)
+		}
+		if back != w {
+			t.Fatalf("decode/encode not a bijection: %#08x → %v → %#08x", w, in, back)
+		}
+	})
+}
+
+// FuzzAssemble: the assembler must never panic on arbitrary source text.
+func FuzzAssemble(f *testing.F) {
+	f.Add("nop\nhalt")
+	f.Add("loop:\n\tadd r1, r2, r3\n\tbne r1, r0, loop")
+	f.Add(".word 0xdeadbeef\n.space 8")
+	f.Add("li r1, 0x12345678\nj nowhere")
+	f.Add("lw r1, -4(sp) ; comment")
+	f.Add(":::")
+	f.Fuzz(func(t *testing.T, src string) {
+		img, err := Assemble(0x100000, src)
+		if err != nil {
+			return
+		}
+		if len(img)%4 != 0 {
+			t.Fatalf("assembled image length %d not word-aligned", len(img))
+		}
+	})
+}

@@ -1,0 +1,270 @@
+// Package isa implements SP16, a small 32-bit load/store instruction set
+// with an assembler and a cycle-counting interpreter that executes
+// programs *on* the simulated MCU: every instruction fetch and every data
+// access goes through the bus with the instruction's true program-counter
+// value, so the EA-MPU's execution-aware checks operate exactly as in the
+// TrustLite hardware — per instruction, not per task. The transaction-
+// level trust anchor remains the fast path; SP16 exists to run
+// application and malware code at full fidelity (and to demonstrate that
+// a single rogue load instruction inside otherwise-benign code faults at
+// precisely its own PC).
+//
+// SP16 at a glance: sixteen 32-bit registers (r0 hardwired to zero,
+// r13 = lr and r14 = sp by convention), fixed 32-bit little-endian
+// instructions, and four formats:
+//
+//	R-type:  op rd, rs1, rs2          (ALU)
+//	I-type:  op rd, rs1, imm16        (ALU immediate, loads/stores, JALR)
+//	B-type:  op rs1, rs2, ±imm14      (branches, word offsets from the branch)
+//	J-type:  op rd, ±imm22            (JAL, word offset from the jump)
+package isa
+
+import "fmt"
+
+// NumRegs is the register-file size.
+const NumRegs = 16
+
+// Register aliases.
+const (
+	RegZero = 0
+	RegLR   = 13
+	RegSP   = 14
+)
+
+// Opcode identifies an SP16 instruction.
+type Opcode uint8
+
+// The SP16 opcode space.
+const (
+	OpNOP  Opcode = 0
+	OpHALT Opcode = 1
+
+	// R-type.
+	OpADD  Opcode = 2
+	OpSUB  Opcode = 3
+	OpAND  Opcode = 4
+	OpOR   Opcode = 5
+	OpXOR  Opcode = 6
+	OpSLL  Opcode = 7
+	OpSRL  Opcode = 8
+	OpSRA  Opcode = 9
+	OpMUL  Opcode = 10
+	OpSLTU Opcode = 11
+
+	// I-type (imm16 sign-extended for ADDI/loads/stores/JALR/SLTIU,
+	// zero-extended for the logical immediates).
+	OpADDI  Opcode = 16
+	OpANDI  Opcode = 17
+	OpORI   Opcode = 18
+	OpXORI  Opcode = 19
+	OpSLLI  Opcode = 20
+	OpSRLI  Opcode = 21
+	OpLUI   Opcode = 22 // rd = imm16 << 16
+	OpSLTIU Opcode = 23
+
+	// Memory (I-type addressing: rs1 + signed imm16; SW/SB store rd).
+	OpLW Opcode = 24
+	OpSW Opcode = 25
+	OpLB Opcode = 26 // zero-extends
+	OpSB Opcode = 27
+
+	// B-type (signed imm14 in words, relative to the branch instruction).
+	OpBEQ  Opcode = 32
+	OpBNE  Opcode = 33
+	OpBLTU Opcode = 34
+	OpBGEU Opcode = 35
+
+	// Jumps. JAL is J-type (signed imm22 in words, relative to the jump);
+	// JALR is I-type (absolute rs1 + imm16, word-aligned).
+	OpJAL  Opcode = 40
+	OpJALR Opcode = 41
+)
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+var opNames = [64]string{
+	OpNOP: "nop", OpHALT: "halt",
+	OpADD: "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra", OpMUL: "mul", OpSLTU: "sltu",
+	OpADDI: "addi", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpSLLI: "slli", OpSRLI: "srli", OpLUI: "lui", OpSLTIU: "sltiu",
+	OpLW: "lw", OpSW: "sw", OpLB: "lb", OpSB: "sb",
+	OpBEQ: "beq", OpBNE: "bne", OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpJAL: "jal", OpJALR: "jalr",
+}
+
+// Instr is a decoded SP16 instruction.
+type Instr struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	// Imm holds the sign- or zero-extended immediate, per the opcode's
+	// convention (see the opcode comments).
+	Imm int32
+}
+
+// Field layout within the 32-bit word.
+const (
+	shiftOp  = 26
+	shiftRd  = 22
+	shiftRs1 = 18
+	shiftRs2 = 14
+
+	maskReg   = 0xF
+	maskImm14 = 0x3FFF
+	maskImm16 = 0xFFFF
+	maskImm22 = 0x3FFFFF
+)
+
+// kindOf classifies an opcode's encoding format.
+type kind int
+
+const (
+	kindNone kind = iota
+	kindR
+	kindI
+	kindB
+	kindJ
+)
+
+func kindOf(op Opcode) kind {
+	switch op {
+	case OpNOP, OpHALT:
+		return kindNone
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA, OpMUL, OpSLTU:
+		return kindR
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpLUI, OpSLTIU,
+		OpLW, OpSW, OpLB, OpSB, OpJALR:
+		return kindI
+	case OpBEQ, OpBNE, OpBLTU, OpBGEU:
+		return kindB
+	case OpJAL:
+		return kindJ
+	}
+	return kindNone
+}
+
+// signExtend interprets the low n bits of v as a signed value.
+func signExtend(v uint32, n uint) int32 {
+	shift := 32 - n
+	return int32(v<<shift) >> shift
+}
+
+// immIsSigned reports whether an I-type opcode sign-extends its immediate.
+func immIsSigned(op Opcode) bool {
+	switch op {
+	case OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpLUI:
+		return false
+	}
+	return true
+}
+
+// Encode packs an instruction. It validates field ranges and returns an
+// error rather than silently truncating — an assembler bug must not become
+// a mystery at run time.
+func Encode(in Instr) (uint32, error) {
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %v", in)
+	}
+	w := uint32(in.Op) << shiftOp
+	switch kindOf(in.Op) {
+	case kindNone:
+		if in.Rd != 0 || in.Rs1 != 0 || in.Rs2 != 0 || in.Imm != 0 {
+			return 0, fmt.Errorf("isa: %v takes no operands", in.Op)
+		}
+	case kindR:
+		w |= uint32(in.Rd)<<shiftRd | uint32(in.Rs1)<<shiftRs1 | uint32(in.Rs2)<<shiftRs2
+	case kindI:
+		if immIsSigned(in.Op) {
+			if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+				return 0, fmt.Errorf("isa: signed imm16 %d out of range for %v", in.Imm, in.Op)
+			}
+		} else if in.Imm < 0 || in.Imm >= 1<<16 {
+			return 0, fmt.Errorf("isa: unsigned imm16 %d out of range for %v", in.Imm, in.Op)
+		}
+		w |= uint32(in.Rd)<<shiftRd | uint32(in.Rs1)<<shiftRs1 | uint32(in.Imm)&maskImm16
+	case kindB:
+		if in.Imm < -(1<<13) || in.Imm >= 1<<13 {
+			return 0, fmt.Errorf("isa: branch offset %d out of range", in.Imm)
+		}
+		w |= uint32(in.Rs1)<<shiftRs1 | uint32(in.Rs2)<<shiftRs2 | uint32(in.Imm)&maskImm14
+	case kindJ:
+		if in.Imm < -(1<<21) || in.Imm >= 1<<21 {
+			return 0, fmt.Errorf("isa: jump offset %d out of range", in.Imm)
+		}
+		w |= uint32(in.Rd)<<shiftRd | uint32(in.Imm)&maskImm22
+	}
+	return w, nil
+}
+
+// Decode unpacks an instruction word.
+func Decode(w uint32) (Instr, error) {
+	op := Opcode(w >> shiftOp)
+	in := Instr{Op: op}
+	switch kindOf(op) {
+	case kindNone:
+		if op != OpNOP && op != OpHALT {
+			return in, fmt.Errorf("isa: illegal opcode %d", uint8(op))
+		}
+	case kindR:
+		in.Rd = uint8(w >> shiftRd & maskReg)
+		in.Rs1 = uint8(w >> shiftRs1 & maskReg)
+		in.Rs2 = uint8(w >> shiftRs2 & maskReg)
+	case kindI:
+		in.Rd = uint8(w >> shiftRd & maskReg)
+		in.Rs1 = uint8(w >> shiftRs1 & maskReg)
+		if immIsSigned(op) {
+			in.Imm = signExtend(w&maskImm16, 16)
+		} else {
+			in.Imm = int32(w & maskImm16)
+		}
+	case kindB:
+		in.Rs1 = uint8(w >> shiftRs1 & maskReg)
+		in.Rs2 = uint8(w >> shiftRs2 & maskReg)
+		in.Imm = signExtend(w&maskImm14, 14)
+	case kindJ:
+		in.Rd = uint8(w >> shiftRd & maskReg)
+		in.Imm = signExtend(w&maskImm22, 22)
+	}
+	// Re-encode to reject words with junk in unused fields (an execution
+	// attempt on data should fail loudly, not execute "almost" correctly).
+	back, err := Encode(in)
+	if err != nil {
+		return in, err
+	}
+	if back != w {
+		return in, fmt.Errorf("isa: malformed instruction word %#08x", w)
+	}
+	return in, nil
+}
+
+func (in Instr) String() string {
+	switch kindOf(in.Op) {
+	case kindNone:
+		return in.Op.String()
+	case kindR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case kindI:
+		switch in.Op {
+		case OpLW, OpLB:
+			return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+		case OpSW, OpSB:
+			return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+		case OpLUI:
+			return fmt.Sprintf("%s r%d, %#x", in.Op, in.Rd, uint32(in.Imm))
+		default:
+			return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+		}
+	case kindB:
+		return fmt.Sprintf("%s r%d, r%d, %+d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case kindJ:
+		return fmt.Sprintf("%s r%d, %+d", in.Op, in.Rd, in.Imm)
+	}
+	return fmt.Sprintf("%s <unknown format>", in.Op)
+}

@@ -1,0 +1,146 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: OpNOP},
+		{Op: OpHALT},
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpMUL, Rd: 15, Rs1: 14, Rs2: 13},
+		{Op: OpADDI, Rd: 5, Rs1: 6, Imm: -1},
+		{Op: OpADDI, Rd: 5, Rs1: 6, Imm: 32767},
+		{Op: OpADDI, Rd: 5, Rs1: 6, Imm: -32768},
+		{Op: OpORI, Rd: 1, Rs1: 1, Imm: 0xFFFF},
+		{Op: OpLUI, Rd: 2, Imm: 0xABCD},
+		{Op: OpLW, Rd: 3, Rs1: 4, Imm: 100},
+		{Op: OpSW, Rd: 3, Rs1: 4, Imm: -100},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -8192},
+		{Op: OpBNE, Rs1: 1, Rs2: 2, Imm: 8191},
+		{Op: OpJAL, Rd: 13, Imm: -2097152},
+		{Op: OpJAL, Rd: 0, Imm: 2097151},
+		{Op: OpJALR, Rd: 0, Rs1: 13, Imm: 0},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)) = %#08x: %v", in, w, err)
+		}
+		if back != in {
+			t.Fatalf("round trip: %v → %#08x → %v", in, w, back)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Instr{
+		{Op: OpADD, Rd: 16},
+		{Op: OpADDI, Rd: 1, Imm: 32768},
+		{Op: OpADDI, Rd: 1, Imm: -32769},
+		{Op: OpORI, Rd: 1, Imm: -1},
+		{Op: OpORI, Rd: 1, Imm: 0x10000},
+		{Op: OpBEQ, Imm: 8192},
+		{Op: OpJAL, Imm: 2097152},
+		{Op: OpHALT, Rd: 1},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	// Opcode 63 is unassigned.
+	if _, err := Decode(63 << shiftOp); err == nil {
+		t.Error("unassigned opcode decoded")
+	}
+	// NOP with junk operand bits: data masquerading as code.
+	if _, err := Decode(0x0000_1234); err == nil {
+		t.Error("NOP with junk bits decoded")
+	}
+	// A typical data word.
+	if _, err := Decode(0xdeadbeef); err == nil {
+		t.Error("0xdeadbeef decoded as an instruction")
+	}
+}
+
+func TestDecodeEncodeQuick(t *testing.T) {
+	// Any word that decodes must re-encode to itself.
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // rejected is fine
+		}
+		back, err := Encode(in)
+		return err == nil && back == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := map[string]Instr{
+		"add r1, r2, r3":  {Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		"addi r1, r2, -5": {Op: OpADDI, Rd: 1, Rs1: 2, Imm: -5},
+		"lw r3, 8(r4)":    {Op: OpLW, Rd: 3, Rs1: 4, Imm: 8},
+		"beq r1, r2, +4":  {Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: 4},
+		"jal r13, -2":     {Op: OpJAL, Rd: 13, Imm: -2},
+		"halt":            {Op: OpHALT},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	for _, r := range []StopReason{StopHalt, StopFault, StopBadInstr, StopBudget, StopReason(9)} {
+		if r.String() == "" {
+			t.Errorf("stop reason %d has no name", r)
+		}
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if OpADD.String() != "add" || OpJALR.String() != "jalr" {
+		t.Error("known opcode names wrong")
+	}
+	if Opcode(60).String() != "op60" {
+		t.Errorf("unknown opcode formats as %q", Opcode(60).String())
+	}
+}
+
+func TestInstrStringAllFormats(t *testing.T) {
+	// Cover the remaining String branches: LUI, stores and unknown format.
+	if s := (Instr{Op: OpLUI, Rd: 2, Imm: 0xAB}).String(); s != "lui r2, 0xab" {
+		t.Errorf("LUI string = %q", s)
+	}
+	if s := (Instr{Op: OpSB, Rd: 1, Rs1: 2, Imm: -3}).String(); s != "sb r1, -3(r2)" {
+		t.Errorf("SB string = %q", s)
+	}
+	if s := (Instr{Op: Opcode(60)}).String(); s == "" {
+		t.Error("unknown-format instr has empty string")
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if signExtend(0x3FFF, 14) != -1 {
+		t.Error("14-bit all-ones should be -1")
+	}
+	if signExtend(0x1FFF, 14) != 8191 {
+		t.Error("14-bit max positive wrong")
+	}
+	if signExtend(0xFFFF, 16) != -1 {
+		t.Error("16-bit all-ones should be -1")
+	}
+}

@@ -1,0 +1,245 @@
+package mcu
+
+import (
+	"testing"
+
+	"proverattest/internal/crypto/cost"
+	"proverattest/internal/sim"
+)
+
+func TestWideClock64TracksCycles(t *testing.T) {
+	m := newTestMCU(t)
+	clk := NewWideClock(m, 64, 0)
+	m.K.RunUntil(2 * sim.Second)
+	got := clk.Value()
+	if got < 47_999_990 || got > 48_000_010 {
+		t.Fatalf("64-bit clock after 2 s = %d, want ≈48e6", got)
+	}
+}
+
+func TestWideClock32PrescalerResolution(t *testing.T) {
+	// §6.3: a 32-bit register with a 2^20 divider has 42 ms resolution at
+	// 24 MHz and a ~6 year wrap period.
+	m := newTestMCU(t)
+	clk := NewWideClock(m, 32, 20)
+	m.K.RunUntil(sim.Second)
+	got := clk.Value()
+	// 24e6 cycles >> 20 = 22.888… → 22 ticks.
+	if got != 22 {
+		t.Fatalf("32-bit/2^20 clock after 1 s = %d ticks, want 22", got)
+	}
+	// Wrap period: 2^52 cycles ≈ 5.95 years.
+	years := float64(clk.WrapPeriodCycles()) / float64(cost.ClockHz) / (365.25 * 24 * 3600)
+	if years < 5.9 || years > 6.0 {
+		t.Fatalf("wrap period = %.2f years, want ≈5.95", years)
+	}
+}
+
+func TestWideClock64WrapLifetime(t *testing.T) {
+	// §6.3: a 64-bit register incremented every cycle wraps after
+	// 24,372.6 years at 24 MHz.
+	m := newTestMCU(t)
+	clk := NewWideClock(m, 64, 0)
+	years := float64(clk.WrapPeriodCycles()) / float64(cost.ClockHz) / (365.25 * 24 * 3600)
+	if years < 24_000 || years > 24_500 {
+		t.Fatalf("64-bit wrap period = %.1f years, want ≈24,372.6", years)
+	}
+}
+
+func TestWideClockMMIORead(t *testing.T) {
+	m := newTestMCU(t)
+	NewWideClock(m, 64, 0)
+	m.K.RunUntil(sim.Second)
+	lo, f := m.Bus.Load32(FlashRegion.Start, WideClockValueAddr)
+	if f != nil {
+		t.Fatal(f)
+	}
+	hi, f := m.Bus.Load32(FlashRegion.Start, WideClockValueAddr+4)
+	if f != nil {
+		t.Fatal(f)
+	}
+	v := uint64(hi)<<32 | uint64(lo)
+	if v < 23_999_990 || v > 24_000_010 {
+		t.Fatalf("MMIO clock read = %d, want ≈24e6", v)
+	}
+}
+
+func TestWideClockSoftwareSet(t *testing.T) {
+	// The set path exists in hardware; protection is the EA-MPU's job.
+	// This is the lever Adv_roam pulls in the clock-reset attack (§5).
+	m := newTestMCU(t)
+	clk := NewWideClock(m, 64, 0)
+	m.K.RunUntil(sim.Second)
+	pc := FlashRegion.Start
+	if f := m.Bus.Store32(pc, WideClockSetLoAddr, 1000); f != nil {
+		t.Fatal(f)
+	}
+	if f := m.Bus.Store32(pc, WideClockSetHiAddr, 0); f != nil {
+		t.Fatal(f)
+	}
+	if got := clk.Value(); got != 1000 {
+		t.Fatalf("after set: Value() = %d, want 1000", got)
+	}
+	// The clock keeps running from the new value.
+	m.K.RunUntil(2 * sim.Second)
+	got := clk.Value()
+	if got < 24_000_900 || got > 24_001_100 {
+		t.Fatalf("1 s after set: Value() = %d, want ≈24e6+1000", got)
+	}
+}
+
+func TestWideClockSetRespectsPrescalerAndWidth(t *testing.T) {
+	m := newTestMCU(t)
+	clk := NewWideClock(m, 32, 20)
+	m.K.RunUntil(sim.Second)
+	clk.set(7)
+	if got := clk.Value(); got != 7 {
+		t.Fatalf("set(7) then Value() = %d", got)
+	}
+}
+
+func TestWideClockValueRegistersReadOnly(t *testing.T) {
+	m := newTestMCU(t)
+	NewWideClock(m, 64, 0)
+	if f := m.Bus.Store32(FlashRegion.Start, WideClockValueAddr, 0); f == nil {
+		t.Fatal("store to VALUE_LO succeeded")
+	}
+}
+
+func TestWideClockMPUWriteProtection(t *testing.T) {
+	// Protected configuration: an EA-MPU rule covering the clock window,
+	// readable by everyone is NOT expressible with one rule, so the paper's
+	// design grants the window to trusted code only; here we verify the
+	// write path is closed to the application while the anchor reads fine.
+	m := newTestMCU(t)
+	clk := NewWideClock(m, 64, 0)
+	anchor := Region{Start: ROMRegion.Start + 0x1000, Size: 0x1000}
+	if err := m.MPU.SetRule(0, Rule{Code: anchor, Data: WideClockWindow, Perm: PermRead, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	m.K.RunUntil(sim.Second)
+	before := clk.Value()
+	// Adversarial set from application code: denied by the MPU.
+	if f := m.Bus.Store32(FlashRegion.Start, WideClockSetLoAddr, 0); f == nil {
+		t.Fatal("application wrote the protected clock window")
+	}
+	if f := m.Bus.Store32(FlashRegion.Start, WideClockSetHiAddr, 0); f == nil {
+		t.Fatal("application committed a clock set")
+	}
+	if clk.Value() < before {
+		t.Fatal("clock moved backwards despite protection")
+	}
+	// The anchor can still read it.
+	if _, f := m.Bus.Load32(anchor.Start, WideClockValueAddr); f != nil {
+		t.Fatalf("anchor clock read faulted: %v", f)
+	}
+}
+
+func TestLSBClockWrapsRaiseIRQ(t *testing.T) {
+	m := newTestMCU(t)
+	// width 20, prescaler 0: wrap every 2^20 cycles ≈ 43.7 ms.
+	clk := NewLSBClock(m, 20, 0, 5)
+	handled := 0
+	isr := m.RegisterTask(&Task{
+		Name:    "clock-isr",
+		Code:    Region{Start: ROMRegion.Start + 0x2000, Size: 0x800},
+		Handler: func(e *Exec) { handled++; e.Tick(50) },
+	})
+	_ = isr
+	// Build an IDT in SRAM: line 5 → ISR entry.
+	idtBase := SRAMRegion.Start
+	m.Space.DirectStore32(idtBase+5*4, uint32(ROMRegion.Start+0x2000))
+	m.IRQ.Store(irqRegIDTBase, uint32(idtBase))
+	m.IRQ.Store(irqRegIMR, 1<<5)
+	clk.Start()
+
+	m.K.RunUntil(sim.Second)
+	// 24e6 / 2^20 ≈ 22.9 wraps in one second.
+	if handled < 22 || handled > 23 {
+		t.Fatalf("ISR ran %d times in 1 s, want 22–23", handled)
+	}
+	if clk.Wraps() != uint64(handled) {
+		t.Fatalf("Wraps() = %d, handled = %d", clk.Wraps(), handled)
+	}
+}
+
+func TestLSBClockMaskedIRQLosesTicks(t *testing.T) {
+	// The attack the paper warns about: if software can mask the timer
+	// line, the software clock silently stops.
+	m := newTestMCU(t)
+	clk := NewLSBClock(m, 20, 0, 5)
+	m.RegisterTask(&Task{
+		Name:    "clock-isr",
+		Code:    Region{Start: ROMRegion.Start + 0x2000, Size: 0x800},
+		Handler: func(e *Exec) {},
+	})
+	idtBase := SRAMRegion.Start
+	m.Space.DirectStore32(idtBase+5*4, uint32(ROMRegion.Start+0x2000))
+	m.IRQ.Store(irqRegIDTBase, uint32(idtBase))
+	// IMR left at zero: line masked.
+	clk.Start()
+	m.K.RunUntil(sim.Second)
+	if m.IRQ.MaskedDrops() < 22 {
+		t.Fatalf("MaskedDrops = %d, want ≥22", m.IRQ.MaskedDrops())
+	}
+	if m.JobsRun != 0 {
+		t.Fatalf("masked ISR still ran %d jobs", m.JobsRun)
+	}
+}
+
+func TestLSBClockValueReadOnly(t *testing.T) {
+	m := newTestMCU(t)
+	NewLSBClock(m, 20, 0, 5)
+	if f := m.Bus.Store32(FlashRegion.Start, LSBClockValueAddr, 0); f == nil {
+		t.Fatal("store to LSB counter succeeded")
+	}
+	v, f := m.Bus.Load32(FlashRegion.Start, LSBClockValueAddr)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if v != 0 {
+		t.Fatalf("LSB value at t=0 is %d, want 0", v)
+	}
+}
+
+func TestLSBClockStop(t *testing.T) {
+	m := newTestMCU(t)
+	clk := NewLSBClock(m, 16, 0, 5)
+	clk.Start()
+	clk.Start() // idempotent
+	clk.Stop()
+	m.K.RunUntil(sim.Second)
+	if clk.Wraps() != 0 {
+		t.Fatalf("stopped clock still wrapped %d times", clk.Wraps())
+	}
+}
+
+func TestLSBClockPendingDuringLongJob(t *testing.T) {
+	// A wrap during a busy window is delivered at job completion; a second
+	// wrap in the same window is lost (missed), modelling the single-depth
+	// hardware pend flag and SMART's uninterruptible attestation runs.
+	m := newTestMCU(t)
+	clk := NewLSBClock(m, 20, 0, 5) // wrap ≈ every 43.7 ms
+	handled := 0
+	m.RegisterTask(&Task{
+		Name:    "clock-isr",
+		Code:    Region{Start: ROMRegion.Start + 0x2000, Size: 0x800},
+		Handler: func(e *Exec) { handled++ },
+	})
+	idtBase := SRAMRegion.Start
+	m.Space.DirectStore32(idtBase+5*4, uint32(ROMRegion.Start+0x2000))
+	m.IRQ.Store(irqRegIDTBase, uint32(idtBase))
+	m.IRQ.Store(irqRegIMR, 1<<5)
+	clk.Start()
+
+	app := appTask(m, "app", 0)
+	// A 100 ms uninterruptible job spans ≥2 wraps: one pends, the rest miss.
+	m.Submit(app, func(e *Exec) { e.Tick(cost.FromMillis(100)) }, nil)
+	m.K.RunUntil(200 * sim.Millisecond)
+	if handled == 0 {
+		t.Fatal("pended wrap was never delivered")
+	}
+	if m.IRQ.Missed() == 0 {
+		t.Fatal("expected at least one missed wrap during the 100 ms job")
+	}
+}

@@ -1,0 +1,205 @@
+package mcu
+
+import (
+	"testing"
+
+	"proverattest/internal/crypto/cost"
+	"proverattest/internal/sim"
+)
+
+func appTask(m *MCU, name string, offset uint32) *Task {
+	return m.RegisterTask(&Task{
+		Name: name,
+		Code: Region{Start: FlashRegion.Start + Addr(offset), Size: 0x1000},
+	})
+}
+
+func TestSubmitRunsJobAndAccountsCycles(t *testing.T) {
+	m := newTestMCU(t)
+	task := appTask(m, "app", 0)
+	var doneAt sim.Time
+	m.Submit(task, func(e *Exec) {
+		e.Tick(24_000) // 1 ms at 24 MHz
+	}, func(e *Exec) {
+		doneAt = m.K.Now()
+		if e.Cycles() != 24_000 {
+			t.Errorf("Cycles() = %d, want 24000", e.Cycles())
+		}
+	})
+	m.K.Run()
+	if doneAt.Milliseconds() < 0.999 || doneAt.Milliseconds() > 1.001 {
+		t.Fatalf("completion at %v, want ≈1ms", doneAt)
+	}
+	if m.ActiveCycles != 24_000 {
+		t.Fatalf("ActiveCycles = %d, want 24000", m.ActiveCycles)
+	}
+	if m.JobsRun != 1 {
+		t.Fatalf("JobsRun = %d, want 1", m.JobsRun)
+	}
+}
+
+func TestJobsQueueFIFO(t *testing.T) {
+	m := newTestMCU(t)
+	task := appTask(m, "app", 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		m.Submit(task, func(e *Exec) {
+			e.Tick(1000)
+			order = append(order, i)
+		}, nil)
+	}
+	m.K.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("execution order %v, want [0 1 2]", order)
+	}
+	if m.ActiveCycles != 3000 {
+		t.Fatalf("ActiveCycles = %d, want 3000", m.ActiveCycles)
+	}
+}
+
+func TestBusyWindowSerialisesJobs(t *testing.T) {
+	m := newTestMCU(t)
+	task := appTask(m, "app", 0)
+	var secondStart sim.Time
+	m.Submit(task, func(e *Exec) { e.Tick(cost.Cycles(cost.ClockHz)) }, nil) // 1 s
+	m.Submit(task, func(e *Exec) {}, func(e *Exec) { secondStart = m.K.Now() })
+	if !m.Busy() {
+		t.Fatal("MCU not busy after submit")
+	}
+	m.K.Run()
+	if secondStart.Seconds() < 0.999 {
+		t.Fatalf("second job finished at %v, want after the first job's 1 s window", secondStart)
+	}
+}
+
+func TestHaltDropsWork(t *testing.T) {
+	m := newTestMCU(t)
+	task := appTask(m, "app", 0)
+	ran := 0
+	m.Submit(task, func(e *Exec) { ran++; e.Tick(100) }, nil)
+	m.Halt("test halt")
+	m.Submit(task, func(e *Exec) { ran++ }, nil)
+	m.K.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d jobs, want only the pre-halt one", ran)
+	}
+	if h, reason := m.Halted(); !h || reason != "test halt" {
+		t.Fatalf("Halted() = %v %q", h, reason)
+	}
+	m.ClearHalt()
+	m.Submit(task, func(e *Exec) { ran++ }, nil)
+	m.K.Run()
+	if ran != 2 {
+		t.Fatal("MCU did not resume after ClearHalt")
+	}
+}
+
+func TestExecFaultRecording(t *testing.T) {
+	m := newTestMCU(t)
+	// Protect a RAM page from everyone but ROM.
+	secret := Region{Start: RAMRegion.Start + 0x1000, Size: 64}
+	if err := m.MPU.SetRule(0, Rule{Code: ROMRegion, Data: secret, Perm: PermRead | PermWrite, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	task := appTask(m, "malware", 0x2000)
+	var sawFault bool
+	m.Submit(task, func(e *Exec) {
+		if _, f := e.Read(secret.Start, 16); f != nil {
+			sawFault = true
+		}
+		if f := e.Write(secret.Start, []byte{1}); f == nil {
+			t.Error("protected write succeeded")
+		}
+	}, func(e *Exec) {
+		if len(e.Faults()) != 2 {
+			t.Errorf("Faults() recorded %d, want 2", len(e.Faults()))
+		}
+	})
+	m.K.Run()
+	if !sawFault {
+		t.Fatal("protected read did not fault")
+	}
+}
+
+func TestExecCycleNowAdvancesWithinJob(t *testing.T) {
+	m := newTestMCU(t)
+	task := appTask(m, "app", 0)
+	m.Submit(task, func(e *Exec) {
+		start := e.CycleNow()
+		e.Tick(500)
+		if e.CycleNow() != start+500 {
+			t.Errorf("CycleNow did not advance with Tick: %d -> %d", start, e.CycleNow())
+		}
+	}, nil)
+	m.K.Run()
+}
+
+func TestCycleNowTracksKernelTime(t *testing.T) {
+	m := newTestMCU(t)
+	m.K.RunUntil(sim.Second)
+	got := m.CycleNow()
+	if got < 23_999_999 || got > 24_000_001 {
+		t.Fatalf("CycleNow after 1 s = %d, want ≈24e6", got)
+	}
+}
+
+func TestRegisterTaskValidation(t *testing.T) {
+	m := newTestMCU(t)
+	appTask(m, "app", 0)
+	for _, fn := range []func(){
+		func() { appTask(m, "app", 0x4000) },       // duplicate name
+		func() { appTask(m, "other", 0) },          // duplicate entry
+		func() { m.RegisterTask(&Task{Name: ""}) }, // empty name
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid task registration did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	if _, ok := m.TaskByName("app"); !ok {
+		t.Fatal("TaskByName failed for registered task")
+	}
+	if _, ok := m.TaskByName("ghost"); ok {
+		t.Fatal("TaskByName found unregistered task")
+	}
+}
+
+func TestLoad64(t *testing.T) {
+	m := newTestMCU(t)
+	task := appTask(m, "app", 0)
+	m.Space.DirectStore32(RAMRegion.Start, 0xddccbbaa)
+	m.Space.DirectStore32(RAMRegion.Start+4, 0x44332211)
+	m.Submit(task, func(e *Exec) {
+		v, f := e.Load64(RAMRegion.Start)
+		if f != nil {
+			t.Errorf("Load64 faulted: %v", f)
+			return
+		}
+		if v != 0x44332211ddccbbaa {
+			t.Errorf("Load64 = %#x, want 0x44332211ddccbbaa", v)
+		}
+	}, nil)
+	m.K.Run()
+}
+
+func TestSubmitFrontPreemptsQueue(t *testing.T) {
+	m := newTestMCU(t)
+	app := appTask(m, "app", 0)
+	isr := appTask(m, "isr", 0x4000)
+	var order []string
+	m.Submit(app, func(e *Exec) { e.Tick(100); order = append(order, "job1") }, nil)
+	m.Submit(app, func(e *Exec) { order = append(order, "job2") }, nil)
+	m.submitFront(isr, func(e *Exec) { order = append(order, "isr") })
+	m.K.Run()
+	want := []string{"job1", "isr", "job2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

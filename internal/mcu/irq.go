@@ -1,0 +1,181 @@
+package mcu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NumIRQLines is the interrupt controller's line count.
+const NumIRQLines = 32
+
+// IRQ controller register layout (word offsets within IRQWindow):
+//
+//	0x00 IMR       interrupt mask; bit set = line enabled
+//	0x04 IDT_BASE  address of the in-memory interrupt descriptor table
+//	0x08 IDT_LOCK  write 1 to freeze IDT_BASE (the paper: "the location of
+//	               the IDT itself must be immutable")
+//	0x0c MISSED    wrap/interrupt occurrences lost while one was pending
+//	               (read-only diagnostic)
+//	0x10 SPURIOUS  dispatches whose IDT entry matched no code entry point
+const (
+	irqRegIMR      = 0x00
+	irqRegIDTBase  = 0x04
+	irqRegIDTLock  = 0x08
+	irqRegMissed   = 0x0c
+	irqRegSpurious = 0x10
+)
+
+// IRQController models the prover's interrupt hardware. Vector dispatch
+// reads the IDT directly (hardware access, no MPU involvement); what the
+// EA-MPU protects is the IDT's *memory*, so that compromised software
+// cannot redirect or suppress the clock-wrap handler (§6.2, Figure 1b ②).
+type IRQController struct {
+	m *MCU
+
+	imr      uint32
+	idtBase  Addr
+	idtLock  bool
+	pending  uint32
+	missed   uint32
+	spurious uint32
+	masked   uint64 // raises dropped because the line was disabled
+}
+
+func newIRQController(m *MCU) *IRQController {
+	return &IRQController{m: m}
+}
+
+// IDTBase reports the configured IDT location.
+func (c *IRQController) IDTBase() Addr { return c.idtBase }
+
+// Missed reports interrupts lost because one was already pending.
+func (c *IRQController) Missed() uint32 { return c.missed }
+
+// Spurious reports dispatches to unknown entry points.
+func (c *IRQController) Spurious() uint32 { return c.spurious }
+
+// MaskedDrops reports raises dropped by the interrupt mask.
+func (c *IRQController) MaskedDrops() uint64 { return c.masked }
+
+// Enabled reports whether a line is unmasked.
+func (c *IRQController) Enabled(line int) bool {
+	return c.imr&(1<<uint(line)) != 0
+}
+
+// Raise asserts an interrupt line. Disabled lines drop the event — which is
+// precisely why the paper requires the timer mask to be tamper-proof. If
+// the core is idle the handler dispatches immediately; if busy, one
+// occurrence is held pending and additional occurrences are counted as
+// missed (single-depth hardware pend flag).
+func (c *IRQController) Raise(line int) {
+	if line < 0 || line >= NumIRQLines {
+		panic(fmt.Sprintf("mcu: IRQ line %d out of range", line))
+	}
+	if c.m.halted {
+		return
+	}
+	bit := uint32(1) << uint(line)
+	if c.imr&bit == 0 {
+		c.masked++
+		return
+	}
+	if c.m.busy {
+		if c.pending&bit != 0 {
+			c.missed++
+			return
+		}
+		c.pending |= bit
+		return
+	}
+	c.dispatch(line)
+}
+
+// deliverPending dispatches pended interrupts in line order. Called by the
+// MCU at job completion.
+func (c *IRQController) deliverPending() {
+	for line := 0; line < NumIRQLines && c.pending != 0; line++ {
+		bit := uint32(1) << uint(line)
+		if c.pending&bit == 0 {
+			continue
+		}
+		c.pending &^= bit
+		c.dispatch(line)
+		if c.m.busy {
+			return // the ISR claimed the core; the rest stay pended
+		}
+	}
+}
+
+// dispatch performs the hardware vector fetch and starts the handler.
+func (c *IRQController) dispatch(line int) {
+	if c.idtBase == 0 {
+		c.spurious++
+		return
+	}
+	entryAddr := c.idtBase + Addr(4*line)
+	if _, ok := regionOf(entryAddr); !ok || MMIORegion.Contains(entryAddr) {
+		c.spurious++
+		return
+	}
+	entry := Addr(c.m.Space.DirectLoad32(entryAddr))
+	task, ok := c.m.taskByEntry(entry)
+	if !ok || task.Handler == nil {
+		c.spurious++
+		return
+	}
+	c.m.submitFront(task, task.Handler)
+}
+
+var _ Device = (*IRQController)(nil)
+
+// DeviceName implements Device.
+func (c *IRQController) DeviceName() string { return "irq-controller" }
+
+// Load implements Device.
+func (c *IRQController) Load(off uint32) (uint32, error) {
+	switch off {
+	case irqRegIMR:
+		return c.imr, nil
+	case irqRegIDTBase:
+		return uint32(c.idtBase), nil
+	case irqRegIDTLock:
+		return boolWord(c.idtLock), nil
+	case irqRegMissed:
+		return c.missed, nil
+	case irqRegSpurious:
+		return c.spurious, nil
+	}
+	return 0, fmt.Errorf("irq: reserved register %#x", off)
+}
+
+// Store implements Device.
+func (c *IRQController) Store(off uint32, v uint32) error {
+	switch off {
+	case irqRegIMR:
+		c.imr = v
+		return nil
+	case irqRegIDTBase:
+		if c.idtLock {
+			return errors.New("irq: IDT base is locked")
+		}
+		c.idtBase = Addr(v)
+		return nil
+	case irqRegIDTLock:
+		if v == 1 {
+			c.idtLock = true
+		} else if c.idtLock {
+			return errors.New("irq: IDT lock cannot be cleared by software")
+		}
+		return nil
+	case irqRegMissed, irqRegSpurious:
+		return errors.New("irq: diagnostic registers are read-only")
+	}
+	return fmt.Errorf("irq: reserved register %#x", off)
+}
+
+// Bus addresses of the controller's registers, for firmware and attacks.
+var (
+	IRQIMRAddr     = IRQWindow.Start + irqRegIMR
+	IRQIDTBaseAddr = IRQWindow.Start + irqRegIDTBase
+	IRQIDTLockAddr = IRQWindow.Start + irqRegIDTLock
+)

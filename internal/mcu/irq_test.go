@@ -1,0 +1,193 @@
+package mcu
+
+import (
+	"testing"
+)
+
+// irqFixture registers a handler task and an IDT with line → entry.
+func irqFixture(t *testing.T) (*MCU, *int) {
+	t.Helper()
+	m := newTestMCU(t)
+	handled := new(int)
+	m.RegisterTask(&Task{
+		Name:    "isr",
+		Code:    Region{Start: ROMRegion.Start + 0x3000, Size: 0x400},
+		Handler: func(e *Exec) { *handled++; e.Tick(10) },
+	})
+	idtBase := SRAMRegion.Start + 0x100
+	m.Space.DirectStore32(idtBase+3*4, uint32(ROMRegion.Start+0x3000))
+	if err := m.IRQ.Store(irqRegIDTBase, uint32(idtBase)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.IRQ.Store(irqRegIMR, 1<<3); err != nil {
+		t.Fatal(err)
+	}
+	return m, handled
+}
+
+func TestRaiseDispatchesWhenIdle(t *testing.T) {
+	m, handled := irqFixture(t)
+	m.IRQ.Raise(3)
+	m.K.Run()
+	if *handled != 1 {
+		t.Fatalf("handled = %d, want 1", *handled)
+	}
+}
+
+func TestRaiseMaskedLineDrops(t *testing.T) {
+	m, handled := irqFixture(t)
+	m.IRQ.Raise(7) // not unmasked
+	m.K.Run()
+	if *handled != 0 {
+		t.Fatal("masked line dispatched a handler")
+	}
+	if m.IRQ.MaskedDrops() != 1 {
+		t.Fatalf("MaskedDrops = %d, want 1", m.IRQ.MaskedDrops())
+	}
+}
+
+func TestRaisePendsWhileBusy(t *testing.T) {
+	m, handled := irqFixture(t)
+	app := appTask(m, "app", 0)
+	m.Submit(app, func(e *Exec) {
+		e.Tick(1000)
+		// Raised mid-window (from the model's perspective, during the job).
+		m.IRQ.Raise(3)
+		m.IRQ.Raise(3) // second occurrence while pending: missed
+		m.IRQ.Raise(3) // third: also missed
+	}, nil)
+	m.K.Run()
+	if *handled != 1 {
+		t.Fatalf("handled = %d, want 1 (single-depth pend)", *handled)
+	}
+	if m.IRQ.Missed() != 2 {
+		t.Fatalf("Missed() = %d, want 2", m.IRQ.Missed())
+	}
+}
+
+func TestDispatchWithoutIDTIsSpurious(t *testing.T) {
+	m := newTestMCU(t)
+	if err := m.IRQ.Store(irqRegIMR, 1<<3); err != nil {
+		t.Fatal(err)
+	}
+	m.IRQ.Raise(3)
+	m.K.Run()
+	if m.IRQ.Spurious() != 1 {
+		t.Fatalf("Spurious = %d, want 1", m.IRQ.Spurious())
+	}
+}
+
+func TestDispatchToUnknownEntryIsSpurious(t *testing.T) {
+	m, handled := irqFixture(t)
+	// Corrupt the IDT entry to point at garbage — the adversary's IDT-patch
+	// move. Dispatch must not execute anything.
+	idtBase := Addr(0)
+	if v, err := m.IRQ.Load(irqRegIDTBase); err == nil {
+		idtBase = Addr(v)
+	}
+	m.Space.DirectStore32(idtBase+3*4, uint32(RAMRegion.Start+0x9999))
+	m.IRQ.Raise(3)
+	m.K.Run()
+	if *handled != 0 {
+		t.Fatal("handler ran despite corrupted IDT entry")
+	}
+	if m.IRQ.Spurious() != 1 {
+		t.Fatalf("Spurious = %d, want 1", m.IRQ.Spurious())
+	}
+}
+
+func TestIDTLock(t *testing.T) {
+	m, _ := irqFixture(t)
+	if err := m.IRQ.Store(irqRegIDTLock, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.IRQ.Store(irqRegIDTBase, uint32(RAMRegion.Start)); err == nil {
+		t.Fatal("IDT base rewritten after lock")
+	}
+	if err := m.IRQ.Store(irqRegIDTLock, 0); err == nil {
+		t.Fatal("IDT lock cleared by software")
+	}
+	// Idempotent re-lock is fine.
+	if err := m.IRQ.Store(irqRegIDTLock, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRQRegistersReadback(t *testing.T) {
+	m, _ := irqFixture(t)
+	v, err := m.IRQ.Load(irqRegIMR)
+	if err != nil || v != 1<<3 {
+		t.Fatalf("IMR readback = %d, %v", v, err)
+	}
+	if _, err := m.IRQ.Load(0x40); err == nil {
+		t.Fatal("reserved register load succeeded")
+	}
+	if err := m.IRQ.Store(irqRegMissed, 0); err == nil {
+		t.Fatal("diagnostic register store succeeded")
+	}
+}
+
+func TestRaiseOutOfRangePanics(t *testing.T) {
+	m, _ := irqFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Raise(64) did not panic")
+		}
+	}()
+	m.IRQ.Raise(64)
+}
+
+func TestRaiseWhileHaltedIgnored(t *testing.T) {
+	m, handled := irqFixture(t)
+	m.Halt("halted")
+	m.IRQ.Raise(3)
+	m.K.Run()
+	if *handled != 0 {
+		t.Fatal("halted MCU dispatched an interrupt")
+	}
+}
+
+func TestIMRProtectedByMPURule(t *testing.T) {
+	// The paper: "disabling the timer interrupt must also be prevented."
+	// Cover the IRQ window with a rule granting access to boot ROM only.
+	m, _ := irqFixture(t)
+	if err := m.MPU.SetRule(0, Rule{Code: BootROMTask, Data: IRQWindow, Perm: PermRead | PermWrite, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Application masking attempt: denied.
+	if f := m.Bus.Store32(FlashRegion.Start, IRQIMRAddr, 0); f == nil {
+		t.Fatal("application masked the timer line through the MPU")
+	}
+	// Boot ROM path still works.
+	if f := m.Bus.Store32(BootROMTask.Start, IRQIMRAddr, 1<<3); f != nil {
+		t.Fatalf("boot ROM IMR store faulted: %v", f)
+	}
+}
+
+func TestPendingDeliveredInLineOrder(t *testing.T) {
+	m := newTestMCU(t)
+	var order []int
+	mk := func(name string, offset uint32, line int) {
+		m.RegisterTask(&Task{
+			Name:    name,
+			Code:    Region{Start: ROMRegion.Start + Addr(offset), Size: 0x100},
+			Handler: func(e *Exec) { order = append(order, line) },
+		})
+		m.Space.DirectStore32(SRAMRegion.Start+Addr(4*line), uint32(ROMRegion.Start+Addr(offset)))
+	}
+	mk("isr2", 0x3000, 2)
+	mk("isr9", 0x3100, 9)
+	m.IRQ.Store(irqRegIDTBase, uint32(SRAMRegion.Start))
+	m.IRQ.Store(irqRegIMR, 1<<2|1<<9)
+
+	app := appTask(m, "app", 0)
+	m.Submit(app, func(e *Exec) {
+		e.Tick(100)
+		m.IRQ.Raise(9) // raised first...
+		m.IRQ.Raise(2) // ...but line 2 has priority
+	}, nil)
+	m.K.Run()
+	if len(order) != 2 || order[0] != 2 || order[1] != 9 {
+		t.Fatalf("delivery order %v, want [2 9]", order)
+	}
+}

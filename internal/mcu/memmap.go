@@ -1,0 +1,133 @@
+// Package mcu simulates the paper's prover platform: a low-end
+// microcontroller in the style of the Intel Siskiyou Peak / TrustLite
+// prototype, clocked at 24 MHz. The simulation is transaction-level: all
+// firmware runs as Go closures, but every memory and peripheral access is
+// mediated by the bus and checked against the execution-aware memory
+// protection unit (EA-MPU) using the issuing code's program-counter region,
+// which is exactly the mechanism the paper's mitigations rely on (§6.1).
+// Execution time is accounted in CPU cycles and mapped onto the shared
+// discrete-event kernel, so protocol, adversary and hardware share one
+// deterministic timeline.
+package mcu
+
+import "fmt"
+
+// Addr is a physical address on the MCU's flat 32-bit bus.
+type Addr uint32
+
+// KiB is one kibibyte, for memory-map arithmetic.
+const KiB = 1024
+
+// Region is a half-open address range [Start, Start+Size).
+type Region struct {
+	Start Addr
+	Size  uint32
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Start + Addr(r.Size) }
+
+// Contains reports whether a lies inside the region.
+func (r Region) Contains(a Addr) bool { return a >= r.Start && a < r.End() }
+
+// ContainsRange reports whether the n-byte range at a lies fully inside r.
+func (r Region) ContainsRange(a Addr, n uint32) bool {
+	return a >= r.Start && n <= r.Size && a+Addr(n) <= r.End()
+}
+
+// Overlaps reports whether the two regions share any address.
+func (r Region) Overlaps(o Region) bool {
+	return r.Start < o.End() && o.Start < r.End()
+}
+
+// String formats the region as [start, end).
+func (r Region) String() string {
+	return fmt.Sprintf("[%#08x,%#08x)", uint32(r.Start), uint32(r.End()))
+}
+
+// The prover's memory map. ROM holds the immutable root of trust
+// (bootloader, Code_Attest, Code_Clock and, in the ROM-key variant,
+// K_Attest). Flash holds the mutable application image and the non-volatile
+// counter_R. RAM is the 512 KB writable memory whose measurement the paper
+// prices at ≈754 ms (§3.1). SRAM is a small always-on bank for the trust
+// anchor's dynamic state (IDT, Clock_MSB, nonce history) which — like
+// trustlet data in TrustLite — is excluded from the measured image so that
+// legitimate anchor bookkeeping does not perturb attestation results.
+var (
+	ROMRegion   = Region{Start: 0x0000_0000, Size: 64 * KiB}
+	FlashRegion = Region{Start: 0x0010_0000, Size: 512 * KiB}
+	RAMRegion   = Region{Start: 0x0020_0000, Size: 512 * KiB}
+	SRAMRegion  = Region{Start: 0x0030_0000, Size: 16 * KiB}
+	MMIORegion  = Region{Start: 0x00F0_0000, Size: 64 * KiB}
+)
+
+// Fixed MMIO window assignments.
+var (
+	MPUWindow   = Region{Start: MMIORegion.Start + 0x0000, Size: 0x1000}
+	IRQWindow   = Region{Start: MMIORegion.Start + 0x1000, Size: 0x0100}
+	ClockWindow = Region{Start: MMIORegion.Start + 0x2000, Size: 0x0100}
+)
+
+// AccessKind distinguishes bus reads from writes.
+type AccessKind int
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+)
+
+func (k AccessKind) String() string {
+	if k == AccessRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Perm is a permission bitmask for EA-MPU rules.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead  Perm = 1 << iota // covered data may be read
+	PermWrite                  // covered data may be written
+)
+
+// Allows reports whether the permission set admits the access kind.
+func (p Perm) Allows(k AccessKind) bool {
+	if k == AccessRead {
+		return p&PermRead != 0
+	}
+	return p&PermWrite != 0
+}
+
+func (p Perm) String() string {
+	s := ""
+	if p&PermRead != 0 {
+		s += "r"
+	} else {
+		s += "-"
+	}
+	if p&PermWrite != 0 {
+		s += "w"
+	} else {
+		s += "-"
+	}
+	return s
+}
+
+// Fault describes a denied or invalid bus access. It is the simulated
+// equivalent of a hardware bus error: firmware receives it as an error
+// value, and attack code uses it to learn that a probe was blocked.
+type Fault struct {
+	PC     Addr // program counter region base of the issuing code
+	Addr   Addr // faulting address
+	Kind   AccessKind
+	Reason string
+}
+
+// Error formats the fault for diagnostics.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("bus fault: %s of %#08x from pc %#08x: %s",
+		f.Kind, uint32(f.Addr), uint32(f.PC), f.Reason)
+}

@@ -1,0 +1,142 @@
+package mcu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	r := Region{Start: 0x100, Size: 0x10}
+	if r.String() != "[0x00000100,0x00000110)" {
+		t.Errorf("Region.String = %q", r.String())
+	}
+	if AccessRead.String() != "read" || AccessWrite.String() != "write" {
+		t.Error("AccessKind strings wrong")
+	}
+	if (PermRead|PermWrite).String() != "rw" || PermRead.String() != "r-" || Perm(0).String() != "--" {
+		t.Error("Perm strings wrong")
+	}
+	f := &Fault{PC: 0x1000, Addr: 0x2000, Kind: AccessWrite, Reason: "test"}
+	if !strings.Contains(f.Error(), "write") || !strings.Contains(f.Error(), "test") {
+		t.Errorf("Fault.Error = %q", f.Error())
+	}
+	rule := Rule{Code: Region{Start: 1, Size: 1}, Data: Region{Start: 2, Size: 2}, Perm: PermRead}
+	if rule.String() == "" {
+		t.Error("Rule.String empty")
+	}
+}
+
+func TestDeviceReservedRegisters(t *testing.T) {
+	m := newTestMCU(t)
+	wide := NewWideClock(m, 64, 0)
+	if _, err := wide.Load(0x30); err == nil {
+		t.Error("wide clock reserved register load succeeded")
+	}
+	if err := wide.Store(0x30, 0); err == nil {
+		t.Error("wide clock reserved register store succeeded")
+	}
+	lsb := NewLSBClock(m, 20, 0, 5)
+	if _, err := lsb.Load(0x10); err == nil {
+		t.Error("LSB clock reserved register load succeeded")
+	}
+}
+
+func TestWideClockWidthValidation(t *testing.T) {
+	m := newTestMCU(t)
+	for _, w := range []uint{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d did not panic", w)
+				}
+			}()
+			NewWideClock(m, w, 0)
+		}()
+	}
+}
+
+func TestLSBClockWidthValidation(t *testing.T) {
+	m := newTestMCU(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("width+prescaler ≥ 63 did not panic")
+		}
+	}()
+	NewLSBClock(m, 60, 10, 5)
+}
+
+func TestNegativeMPURuleCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative rule count did not panic")
+		}
+	}()
+	NewEAMPU(-1)
+}
+
+func TestFlashWearCounter(t *testing.T) {
+	m := newTestMCU(t)
+	pc := FlashRegion.Start
+	if m.Bus.FlashBytesWritten != 0 {
+		t.Fatal("wear counter not zero at start")
+	}
+	// A flash write counts.
+	if f := m.Bus.Write(pc, FlashRegion.Start+0x1000, make([]byte, 8)); f != nil {
+		t.Fatal(f)
+	}
+	if m.Bus.FlashBytesWritten != 8 {
+		t.Fatalf("FlashBytesWritten = %d, want 8", m.Bus.FlashBytesWritten)
+	}
+	// RAM writes do not.
+	if f := m.Bus.Write(pc, RAMRegion.Start, make([]byte, 64)); f != nil {
+		t.Fatal(f)
+	}
+	if m.Bus.FlashBytesWritten != 8 {
+		t.Fatalf("RAM write bumped the flash wear counter")
+	}
+	// Denied flash writes do not wear the cells.
+	if err := m.MPU.SetRule(0, Rule{Code: ROMRegion, Data: Region{Start: FlashRegion.Start + 0x2000, Size: 16}, Perm: PermRead, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	if f := m.Bus.Write(pc, FlashRegion.Start+0x2000, make([]byte, 4)); f == nil {
+		t.Fatal("protected write succeeded")
+	}
+	if m.Bus.FlashBytesWritten != 8 {
+		t.Fatal("denied write bumped the wear counter")
+	}
+	// Store32 to flash counts too.
+	if f := m.Bus.Store32(pc, FlashRegion.Start+0x3000, 1); f != nil {
+		t.Fatal(f)
+	}
+	if m.Bus.FlashBytesWritten != 12 {
+		t.Fatalf("FlashBytesWritten = %d, want 12", m.Bus.FlashBytesWritten)
+	}
+}
+
+func TestHardwiredMPUDeviceInterface(t *testing.T) {
+	rules := []Rule{{
+		Code: ROMRegion, Data: Region{Start: RAMRegion.Start, Size: 16},
+		Perm: PermRead, Enabled: true,
+	}}
+	mpu := NewHardwiredEAMPU(rules)
+	if !mpu.Hardwired() || !mpu.Locked() {
+		t.Fatal("hardwired MPU should report hardwired and locked")
+	}
+	// Configuration is readable...
+	if v, err := mpu.Load(mpuRuleBase + mpuRuleEnable); err != nil || v != 1 {
+		t.Fatalf("rule readback = %d, %v", v, err)
+	}
+	// ...but never writable, not even the lock register.
+	if err := mpu.Store(mpuRegLock, 1); err != ErrMPUHardwired {
+		t.Fatalf("lock store err = %v, want ErrMPUHardwired", err)
+	}
+	if err := mpu.SetRule(0, Rule{}); err != ErrMPUHardwired {
+		t.Fatalf("SetRule err = %v, want ErrMPUHardwired", err)
+	}
+	// And the builder must copy its input: mutating the caller's slice
+	// after construction must not change silicon.
+	rules[0].Enabled = false
+	if f := mpu.Check(FlashRegion.Start, RAMRegion.Start, 4, AccessRead); f == nil {
+		t.Fatal("hardwired rule table aliases the constructor argument")
+	}
+}

@@ -1,0 +1,282 @@
+package mcu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rule is one execution-aware access-control entry: code executing inside
+// Code may access data inside Data with permissions Perm. Memory covered by
+// at least one rule's Data region is accessible *only* through some rule
+// (default-deny); uncovered memory is open, matching TrustLite's model
+// where the EA-MPU protects designated regions and leaves the rest to the
+// application.
+type Rule struct {
+	Code    Region
+	Data    Region
+	Perm    Perm
+	Enabled bool
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("code %v -> data %v %v", r.Code, r.Data, r.Perm)
+}
+
+// EA-MPU register layout (word offsets within MPUWindow):
+//
+//	0x00 LOCK    write 1 to lock the MPU; never unlockable by software
+//	0x04 NRULES  read-only rule capacity (#r)
+//	0x10 + i*0x18: per-rule block of six words:
+//	     CODE_START, CODE_END, DATA_START, DATA_END, PERM, ENABLE
+const (
+	mpuRegLock   = 0x00
+	mpuRegNRules = 0x04
+	mpuRuleBase  = 0x10
+	mpuRuleSpan  = 0x18
+
+	mpuRuleCodeStart = 0x00
+	mpuRuleCodeEnd   = 0x04
+	mpuRuleDataStart = 0x08
+	mpuRuleDataEnd   = 0x0c
+	mpuRulePerm      = 0x10
+	mpuRuleEnable    = 0x14
+)
+
+// ErrMPULocked reports a configuration store rejected by the lockdown bit —
+// the paper's defence against runtime reconfiguration by compromised
+// system software (§6.2 "Secure Boot").
+var ErrMPULocked = errors.New("EA-MPU is locked")
+
+// ErrMPUHardwired reports a configuration access to a SMART-style MPU
+// whose rules are fixed in silicon.
+var ErrMPUHardwired = errors.New("EA-MPU rules are hardwired (SMART-style)")
+
+// EAMPU is the execution-aware memory protection unit. The rule count #r is
+// fixed at construction, matching the synthesized hardware cost model
+// (Table 3: 278 + 116·#r registers, 417 + 182·#r LUTs). Two flavours exist,
+// mirroring the paper's §6.1 comparison: TrustLite-style (rules programmed
+// by secure boot, then locked) and SMART-style (rules hardwired at
+// manufacture; every configuration store is refused and no reset clears
+// them).
+type EAMPU struct {
+	rules     []Rule
+	locked    bool
+	hardwired bool
+}
+
+// NewEAMPU returns a TrustLite-style MPU with capacity for numRules rules,
+// all disabled.
+func NewEAMPU(numRules int) *EAMPU {
+	if numRules < 0 {
+		panic("mcu: negative EA-MPU rule count")
+	}
+	return &EAMPU{rules: make([]Rule, numRules)}
+}
+
+// NewHardwiredEAMPU returns a SMART-style MPU whose rule table is baked in
+// at manufacture: software can read the configuration but never change it,
+// and a hardware reset does not clear it.
+func NewHardwiredEAMPU(rules []Rule) *EAMPU {
+	cp := make([]Rule, len(rules))
+	copy(cp, rules)
+	return &EAMPU{rules: cp, hardwired: true, locked: true}
+}
+
+// Hardwired reports whether the rule table is fixed in silicon.
+func (m *EAMPU) Hardwired() bool { return m.hardwired }
+
+// NumRules reports the configured capacity #r.
+func (m *EAMPU) NumRules() int { return len(m.rules) }
+
+// Locked reports whether the lockdown bit is set.
+func (m *EAMPU) Locked() bool { return m.locked }
+
+// Rules returns a copy of the rule table for inspection.
+func (m *EAMPU) Rules() []Rule {
+	out := make([]Rule, len(m.rules))
+	copy(out, m.rules)
+	return out
+}
+
+// Reset clears all rules and the lock, as a hardware reset line would.
+// Software has no path to it once locked; hardwired (SMART) tables
+// survive reset unchanged.
+func (m *EAMPU) Reset() {
+	if m.hardwired {
+		return
+	}
+	for i := range m.rules {
+		m.rules[i] = Rule{}
+	}
+	m.locked = false
+}
+
+// Check applies the rule table to an n-byte access at addr issued by code
+// whose PC is pc. It returns nil when the access is allowed.
+func (m *EAMPU) Check(pc, addr Addr, n uint32, kind AccessKind) *Fault {
+	covered := false
+	for i := range m.rules {
+		r := &m.rules[i]
+		if !r.Enabled || !r.Data.Overlaps(Region{Start: addr, Size: n}) {
+			continue
+		}
+		covered = true
+		if r.Data.ContainsRange(addr, n) && r.Code.Contains(pc) && r.Perm.Allows(kind) {
+			return nil
+		}
+	}
+	if covered {
+		return &Fault{PC: pc, Addr: addr, Kind: kind,
+			Reason: "EA-MPU: no rule grants this code access to the protected region"}
+	}
+	return nil
+}
+
+var _ Device = (*EAMPU)(nil)
+
+// DeviceName implements Device.
+func (m *EAMPU) DeviceName() string { return "ea-mpu" }
+
+// Load implements Device: configuration registers are always readable.
+func (m *EAMPU) Load(off uint32) (uint32, error) {
+	switch off {
+	case mpuRegLock:
+		if m.locked {
+			return 1, nil
+		}
+		return 0, nil
+	case mpuRegNRules:
+		return uint32(len(m.rules)), nil
+	}
+	idx, field, err := m.decodeRuleOffset(off)
+	if err != nil {
+		return 0, err
+	}
+	r := &m.rules[idx]
+	switch field {
+	case mpuRuleCodeStart:
+		return uint32(r.Code.Start), nil
+	case mpuRuleCodeEnd:
+		return uint32(r.Code.End()), nil
+	case mpuRuleDataStart:
+		return uint32(r.Data.Start), nil
+	case mpuRuleDataEnd:
+		return uint32(r.Data.End()), nil
+	case mpuRulePerm:
+		return uint32(r.Perm), nil
+	case mpuRuleEnable:
+		if r.Enabled {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("ea-mpu: reserved register %#x", off)
+}
+
+// Store implements Device. Once the lock bit is set every configuration
+// store is refused; the lock itself cannot be cleared by software. A
+// hardwired table refuses all stores unconditionally.
+func (m *EAMPU) Store(off uint32, v uint32) error {
+	if m.hardwired {
+		return ErrMPUHardwired
+	}
+	if m.locked {
+		if off == mpuRegLock && v == 1 {
+			return nil // idempotent re-lock
+		}
+		return ErrMPULocked
+	}
+	switch off {
+	case mpuRegLock:
+		if v == 1 {
+			m.locked = true
+		}
+		return nil
+	case mpuRegNRules:
+		return errors.New("ea-mpu: rule capacity is fixed in hardware")
+	}
+	idx, field, err := m.decodeRuleOffset(off)
+	if err != nil {
+		return err
+	}
+	r := &m.rules[idx]
+	switch field {
+	case mpuRuleCodeStart:
+		r.Code = Region{Start: Addr(v), Size: uint32(r.Code.End()) - v}
+		if r.Code.End() < r.Code.Start {
+			r.Code.Size = 0
+		}
+	case mpuRuleCodeEnd:
+		r.Code.Size = v - uint32(r.Code.Start)
+	case mpuRuleDataStart:
+		r.Data = Region{Start: Addr(v), Size: uint32(r.Data.End()) - v}
+		if r.Data.End() < r.Data.Start {
+			r.Data.Size = 0
+		}
+	case mpuRuleDataEnd:
+		r.Data.Size = v - uint32(r.Data.Start)
+	case mpuRulePerm:
+		r.Perm = Perm(v)
+	case mpuRuleEnable:
+		r.Enabled = v&1 != 0
+	default:
+		return fmt.Errorf("ea-mpu: reserved register %#x", off)
+	}
+	return nil
+}
+
+func (m *EAMPU) decodeRuleOffset(off uint32) (idx int, field uint32, err error) {
+	if off < mpuRuleBase {
+		return 0, 0, fmt.Errorf("ea-mpu: reserved register %#x", off)
+	}
+	rel := off - mpuRuleBase
+	idx = int(rel / mpuRuleSpan)
+	field = rel % mpuRuleSpan
+	if idx >= len(m.rules) {
+		return 0, 0, fmt.Errorf("ea-mpu: rule index %d beyond capacity %d", idx, len(m.rules))
+	}
+	return idx, field, nil
+}
+
+// SetRule programs a whole rule through the device interface, the way the
+// secure-boot ROM does it. It fails if the MPU is locked or idx is out of
+// range.
+func (m *EAMPU) SetRule(idx int, r Rule) error {
+	base := uint32(mpuRuleBase + idx*mpuRuleSpan)
+	stores := []struct {
+		field uint32
+		v     uint32
+	}{
+		{mpuRuleCodeStart, uint32(r.Code.Start)},
+		{mpuRuleCodeEnd, uint32(r.Code.End())},
+		{mpuRuleDataStart, uint32(r.Data.Start)},
+		{mpuRuleDataEnd, uint32(r.Data.End())},
+		{mpuRulePerm, uint32(r.Perm)},
+		{mpuRuleEnable, boolWord(r.Enabled)},
+	}
+	for _, s := range stores {
+		if err := m.Store(base+s.field, s.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lock sets the lockdown bit through the device interface.
+func (m *EAMPU) Lock() error { return m.Store(mpuRegLock, 1) }
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MPURuleAddr returns the bus address of a rule field, for firmware (or
+// attack code) that programs the MPU over the bus.
+func MPURuleAddr(idx int, field uint32) Addr {
+	return MPUWindow.Start + Addr(mpuRuleBase+idx*mpuRuleSpan) + Addr(field)
+}
+
+// MPULockAddr returns the bus address of the lock register.
+func MPULockAddr() Addr { return MPUWindow.Start + mpuRegLock }

@@ -1,0 +1,296 @@
+package mcu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Standard fixture: a protected key location in flash readable only by
+// "anchor" code in ROM, like K_Attest under SMART/TrustLite.
+func protectedKeyMPU(t *testing.T) (*MCU, Region, Region) {
+	t.Helper()
+	m := newTestMCU(t)
+	anchorCode := Region{Start: ROMRegion.Start + 0x1000, Size: 0x1000}
+	keyData := Region{Start: FlashRegion.Start + 0x7F000, Size: 32}
+	if err := m.MPU.SetRule(0, Rule{Code: anchorCode, Data: keyData, Perm: PermRead, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	return m, anchorCode, keyData
+}
+
+func TestMPUGrantsConfiguredCode(t *testing.T) {
+	m, anchorCode, keyData := protectedKeyMPU(t)
+	if _, f := m.Bus.Read(anchorCode.Start, keyData.Start, 32); f != nil {
+		t.Fatalf("anchor read of protected key faulted: %v", f)
+	}
+	// Execution-awareness: any PC inside the code region qualifies.
+	if _, f := m.Bus.Read(anchorCode.Start+0x500, keyData.Start, 16); f != nil {
+		t.Fatalf("anchor-interior PC read faulted: %v", f)
+	}
+}
+
+func TestMPUDeniesOtherCode(t *testing.T) {
+	m, _, keyData := protectedKeyMPU(t)
+	appPC := FlashRegion.Start // application code in flash
+	if _, f := m.Bus.Read(appPC, keyData.Start, 32); f == nil {
+		t.Fatal("application read of protected key succeeded")
+	}
+	// One byte inside the protected region is still protected.
+	if _, f := m.Bus.Read(appPC, keyData.Start+31, 1); f == nil {
+		t.Fatal("single-byte probe of protected key succeeded")
+	}
+}
+
+func TestMPUDeniesUngrantedPermission(t *testing.T) {
+	m, anchorCode, keyData := protectedKeyMPU(t)
+	// The rule grants read only; even the anchor cannot write (a ROM key
+	// location is inherently write-protected, and the rule must not widen
+	// that).
+	if f := m.Bus.Write(anchorCode.Start, keyData.Start, []byte{1}); f == nil {
+		t.Fatal("write allowed through a read-only rule")
+	}
+}
+
+func TestMPUPartialOverlapDenied(t *testing.T) {
+	m, anchorCode, keyData := protectedKeyMPU(t)
+	// A read straddling the protected region's edge: partially covered by
+	// the rule, so it must be denied even for the anchor... unless the rule
+	// fully covers the range. Start 16 bytes before the key.
+	addr := keyData.Start - 16
+	if _, f := m.Bus.Read(anchorCode.Start, addr, 32); f == nil {
+		t.Fatal("read straddling a protected boundary succeeded")
+	}
+	// Unprotected memory right before the key remains open to anyone.
+	if _, f := m.Bus.Read(FlashRegion.Start, addr, 16); f != nil {
+		t.Fatalf("read of open memory faulted: %v", f)
+	}
+}
+
+func TestMPUUncoveredMemoryIsOpen(t *testing.T) {
+	m, _, _ := protectedKeyMPU(t)
+	if f := m.Bus.Write(FlashRegion.Start, RAMRegion.Start, []byte{1, 2, 3}); f != nil {
+		t.Fatalf("write to uncovered RAM faulted: %v", f)
+	}
+}
+
+func TestMPUMultipleRulesUnion(t *testing.T) {
+	m := newTestMCU(t)
+	counter := Region{Start: FlashRegion.Start + 0x7E000, Size: 8}
+	anchor := Region{Start: ROMRegion.Start + 0x1000, Size: 0x1000}
+	logger := Region{Start: FlashRegion.Start + 0x1000, Size: 0x1000}
+	// Anchor may read+write the counter; logger may only read it.
+	if err := m.MPU.SetRule(0, Rule{Code: anchor, Data: counter, Perm: PermRead | PermWrite, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MPU.SetRule(1, Rule{Code: logger, Data: counter, Perm: PermRead, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	if f := m.Bus.Write(anchor.Start, counter.Start, []byte{1, 0, 0, 0, 0, 0, 0, 0}); f != nil {
+		t.Fatalf("anchor counter write faulted: %v", f)
+	}
+	if _, f := m.Bus.Read(logger.Start, counter.Start, 8); f != nil {
+		t.Fatalf("logger counter read faulted: %v", f)
+	}
+	if f := m.Bus.Write(logger.Start, counter.Start, []byte{9}); f == nil {
+		t.Fatal("logger wrote the counter through a read-only rule")
+	}
+	if _, f := m.Bus.Read(FlashRegion.Start, counter.Start, 8); f == nil {
+		t.Fatal("unrelated code read the protected counter")
+	}
+}
+
+func TestMPUDisabledRuleIgnored(t *testing.T) {
+	m := newTestMCU(t)
+	data := Region{Start: RAMRegion.Start, Size: 64}
+	if err := m.MPU.SetRule(0, Rule{Code: ROMRegion, Data: data, Perm: PermRead, Enabled: false}); err != nil {
+		t.Fatal(err)
+	}
+	// Disabled rule ⇒ region uncovered ⇒ open access.
+	if f := m.Bus.Write(FlashRegion.Start, data.Start, []byte{1}); f != nil {
+		t.Fatalf("disabled rule still enforced: %v", f)
+	}
+}
+
+func TestMPULockdownBlocksReconfiguration(t *testing.T) {
+	m, _, keyData := protectedKeyMPU(t)
+	if err := m.MPU.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.MPU.Locked() {
+		t.Fatal("Locked() = false after Lock")
+	}
+	// Reprogramming any rule register must now fail...
+	if err := m.MPU.SetRule(0, Rule{}); err != ErrMPULocked {
+		t.Fatalf("SetRule on locked MPU: err = %v, want ErrMPULocked", err)
+	}
+	// ...including through the bus (the adversary's path).
+	if f := m.Bus.Store32(FlashRegion.Start, MPURuleAddr(0, mpuRuleEnable), 0); f == nil {
+		t.Fatal("bus store to locked MPU succeeded")
+	}
+	// Unlocking by software must be impossible.
+	if f := m.Bus.Store32(FlashRegion.Start, MPULockAddr(), 0); f == nil {
+		t.Fatal("software cleared the MPU lock")
+	}
+	// Re-locking is an idempotent no-op.
+	if f := m.Bus.Store32(FlashRegion.Start, MPULockAddr(), 1); f != nil {
+		t.Fatalf("idempotent re-lock faulted: %v", f)
+	}
+	// The protection itself still stands.
+	if _, f := m.Bus.Read(FlashRegion.Start, keyData.Start, 4); f == nil {
+		t.Fatal("protection vanished after lockdown")
+	}
+}
+
+func TestMPUDeviceRegisterRoundTrip(t *testing.T) {
+	m := newTestMCU(t)
+	r := Rule{
+		Code:    Region{Start: 0x1000, Size: 0x800},
+		Data:    Region{Start: RAMRegion.Start + 0x100, Size: 0x40},
+		Perm:    PermRead | PermWrite,
+		Enabled: true,
+	}
+	if err := m.MPU.SetRule(2, r); err != nil {
+		t.Fatal(err)
+	}
+	got := m.MPU.Rules()[2]
+	if got != r {
+		t.Fatalf("rule round trip: got %+v, want %+v", got, r)
+	}
+	// Read back through the device interface.
+	pc := ROMRegion.Start
+	v, f := m.Bus.Load32(pc, MPURuleAddr(2, mpuRuleDataStart))
+	if f != nil {
+		t.Fatal(f)
+	}
+	if Addr(v) != r.Data.Start {
+		t.Fatalf("DATA_START readback = %#x, want %#x", v, uint32(r.Data.Start))
+	}
+	nr, f := m.Bus.Load32(pc, MPUWindow.Start+mpuRegNRules)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if nr != 8 {
+		t.Fatalf("NRULES = %d, want 8", nr)
+	}
+}
+
+func TestMPURuleIndexBounds(t *testing.T) {
+	m := newTestMCU(t)
+	if err := m.MPU.SetRule(8, Rule{}); err == nil {
+		t.Fatal("SetRule beyond capacity succeeded")
+	}
+	if _, err := m.MPU.Load(mpuRuleBase + 8*mpuRuleSpan); err == nil {
+		t.Fatal("Load beyond capacity succeeded")
+	}
+	if _, err := m.MPU.Load(0x08); err == nil {
+		t.Fatal("Load of reserved register succeeded")
+	}
+}
+
+func TestMPUCanProtectItself(t *testing.T) {
+	// TrustLite-style self-protection: a rule covering the MPU's own MMIO
+	// window, granting access only to boot ROM code. This is the paper's
+	// alternative to the lock bit.
+	m := newTestMCU(t)
+	if err := m.MPU.SetRule(0, Rule{Code: BootROMTask, Data: MPUWindow, Perm: PermRead | PermWrite, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Application code can no longer reconfigure rules...
+	if f := m.Bus.Store32(FlashRegion.Start, MPURuleAddr(1, mpuRuleEnable), 1); f == nil {
+		t.Fatal("application reprogrammed the self-protected MPU")
+	}
+	// ...but boot ROM still can.
+	if f := m.Bus.Store32(BootROMTask.Start, MPURuleAddr(1, mpuRuleEnable), 0); f != nil {
+		t.Fatalf("boot ROM store faulted: %v", f)
+	}
+}
+
+func TestMPUReset(t *testing.T) {
+	m, _, keyData := protectedKeyMPU(t)
+	if err := m.MPU.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	m.MPU.Reset()
+	if m.MPU.Locked() {
+		t.Fatal("Reset did not clear the lock")
+	}
+	if _, f := m.Bus.Read(FlashRegion.Start, keyData.Start, 4); f != nil {
+		t.Fatalf("rules survived Reset: %v", f)
+	}
+}
+
+func TestMPUCheckQuickNoRuleMeansOpen(t *testing.T) {
+	mpu := NewEAMPU(4)
+	f := func(pcOff, addrOff uint16, write bool) bool {
+		kind := AccessRead
+		if write {
+			kind = AccessWrite
+		}
+		pc := FlashRegion.Start + Addr(pcOff)
+		addr := RAMRegion.Start + Addr(addrOff)
+		return mpu.Check(pc, addr, 4, kind) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPUDenyMonotoneInUnrelatedRules(t *testing.T) {
+	// Property: adding a rule whose data region does not cover an address
+	// never changes that address's verdict — rules are grants scoped to
+	// their own region, not global modifiers.
+	f := func(pcOff, addrOff uint16, newRuleOff uint16, write bool) bool {
+		kind := AccessRead
+		if write {
+			kind = AccessWrite
+		}
+		pc := FlashRegion.Start + Addr(pcOff)
+		addr := RAMRegion.Start + Addr(addrOff)
+
+		mpu := NewEAMPU(4)
+		// A protected island far from addr.
+		island := Region{Start: SRAMRegion.Start, Size: 64}
+		mpu.SetRule(0, Rule{Code: ROMRegion, Data: island, Perm: PermRead, Enabled: true})
+		before := mpu.Check(pc, addr, 4, kind) == nil
+
+		// Add an unrelated rule elsewhere in SRAM (never overlapping RAM).
+		other := Region{Start: SRAMRegion.Start + 0x1000 + Addr(newRuleOff%0x800), Size: 32}
+		mpu.SetRule(1, Rule{Code: FlashRegion, Data: other, Perm: PermWrite, Enabled: true})
+		after := mpu.Check(pc, addr, 4, kind) == nil
+		return before == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPUGrantMonotone(t *testing.T) {
+	// Property: once some rule allows an access, adding more rules never
+	// revokes it (the check is an existential over grants).
+	mpu := NewEAMPU(4)
+	data := Region{Start: RAMRegion.Start, Size: 64}
+	mpu.SetRule(0, Rule{Code: ROMRegion, Data: data, Perm: PermRead | PermWrite, Enabled: true})
+	if f := mpu.Check(ROMRegion.Start, data.Start, 4, AccessWrite); f != nil {
+		t.Fatalf("baseline grant missing: %v", f)
+	}
+	// Pile on rules over the same data for other code regions.
+	mpu.SetRule(1, Rule{Code: FlashRegion, Data: data, Perm: PermRead, Enabled: true})
+	mpu.SetRule(2, Rule{Code: SRAMRegion, Data: data, Perm: PermWrite, Enabled: true})
+	if f := mpu.Check(ROMRegion.Start, data.Start, 4, AccessWrite); f != nil {
+		t.Fatalf("grant revoked by unrelated rules: %v", f)
+	}
+}
+
+func TestZeroRuleMPU(t *testing.T) {
+	m := New(newTestMCU(t).K, Config{MPURules: 0})
+	if m.MPU.NumRules() != 0 {
+		t.Fatal("expected zero-capacity MPU")
+	}
+	if err := m.MPU.SetRule(0, Rule{}); err == nil {
+		t.Fatal("SetRule on zero-capacity MPU succeeded")
+	}
+	// Everything is open.
+	if f := m.Bus.Write(FlashRegion.Start, RAMRegion.Start, []byte{1}); f != nil {
+		t.Fatalf("zero-rule MPU blocked an access: %v", f)
+	}
+}

@@ -1,0 +1,113 @@
+package mcu
+
+import (
+	"fmt"
+
+	"proverattest/internal/sim"
+)
+
+// TraceEntry records one bus transaction for forensics: who (PC region)
+// accessed what, when, and whether the EA-MPU allowed it. Denied accesses
+// are the interesting ones — on real TrustLite hardware they raise a
+// protection fault the system software can log, and in the paper's setting
+// a burst of denials on the counter or clock addresses is exactly the
+// fingerprint a roaming adversary's Phase II leaves behind.
+type TraceEntry struct {
+	When   sim.Time
+	PC     Addr
+	Addr   Addr
+	Size   uint32
+	Kind   AccessKind
+	Denied bool
+	Reason string
+}
+
+func (e TraceEntry) String() string {
+	verdict := "ok"
+	if e.Denied {
+		verdict = "DENIED: " + e.Reason
+	}
+	return fmt.Sprintf("[%v] pc=%#08x %s %d@%#08x %s",
+		e.When, uint32(e.PC), e.Kind, e.Size, uint32(e.Addr), verdict)
+}
+
+// Tracer is a bounded ring buffer of bus transactions. Disabled (nil or
+// capacity 0) it costs nothing; enabled, it records every checked access.
+type Tracer struct {
+	entries []TraceEntry
+	next    int
+	filled  bool
+	// DeniedOnly restricts recording to faulting accesses — the usual
+	// forensic configuration, since allowed traffic is enormous.
+	DeniedOnly bool
+
+	// Denials counts denied accesses since reset, regardless of ring size.
+	Denials uint64
+	// Accesses counts all checked accesses since reset.
+	Accesses uint64
+}
+
+// NewTracer builds a tracer with space for capacity entries.
+func NewTracer(capacity int, deniedOnly bool) *Tracer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Tracer{entries: make([]TraceEntry, capacity), DeniedOnly: deniedOnly}
+}
+
+func (t *Tracer) record(e TraceEntry) {
+	t.Accesses++
+	if e.Denied {
+		t.Denials++
+	}
+	if len(t.entries) == 0 || (t.DeniedOnly && !e.Denied) {
+		return
+	}
+	t.entries[t.next] = e
+	t.next++
+	if t.next == len(t.entries) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Entries returns the recorded transactions, oldest first.
+func (t *Tracer) Entries() []TraceEntry {
+	if !t.filled {
+		return append([]TraceEntry(nil), t.entries[:t.next]...)
+	}
+	out := make([]TraceEntry, 0, len(t.entries))
+	out = append(out, t.entries[t.next:]...)
+	out = append(out, t.entries[:t.next]...)
+	return out
+}
+
+// Reset clears the ring and counters.
+func (t *Tracer) Reset() {
+	t.next = 0
+	t.filled = false
+	t.Denials = 0
+	t.Accesses = 0
+}
+
+// DenialsAt reports how many recorded denials touched the given region —
+// the forensic query "did anything get refused on the counter word?".
+func (t *Tracer) DenialsAt(region Region) int {
+	n := 0
+	for _, e := range t.Entries() {
+		if e.Denied && region.Overlaps(Region{Start: e.Addr, Size: e.Size}) {
+			n++
+		}
+	}
+	return n
+}
+
+// AttachTracer connects a tracer to the bus; pass nil to detach. The MCU
+// exposes it so scenarios can arm tracing after boot (boot traffic is
+// rarely interesting).
+func (m *MCU) AttachTracer(t *Tracer) {
+	m.Bus.tracer = t
+}
+
+// Tracer returns the attached tracer, if any.
+func (m *MCU) Tracer() *Tracer { return m.Bus.tracer }

@@ -1,0 +1,133 @@
+package mcu
+
+import (
+	"strings"
+	"testing"
+)
+
+func tracedMCU(t *testing.T, capacity int, deniedOnly bool) (*MCU, *Tracer) {
+	t.Helper()
+	m := newTestMCU(t)
+	tr := NewTracer(capacity, deniedOnly)
+	m.AttachTracer(tr)
+	return m, tr
+}
+
+func TestTracerRecordsAllowedAndDenied(t *testing.T) {
+	m, tr := tracedMCU(t, 16, false)
+	secret := Region{Start: RAMRegion.Start, Size: 64}
+	if err := m.MPU.SetRule(0, Rule{Code: ROMRegion, Data: secret, Perm: PermRead, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	m.Bus.Read(ROMRegion.Start, secret.Start, 4)   // allowed
+	m.Bus.Read(FlashRegion.Start, secret.Start, 4) // denied
+	entries := tr.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("recorded %d entries, want 2", len(entries))
+	}
+	if entries[0].Denied || !entries[1].Denied {
+		t.Fatalf("verdicts wrong: %v", entries)
+	}
+	if tr.Accesses != 2 || tr.Denials != 1 {
+		t.Fatalf("counters: accesses=%d denials=%d", tr.Accesses, tr.Denials)
+	}
+	if !strings.Contains(entries[1].String(), "DENIED") {
+		t.Fatalf("denied entry renders as %q", entries[1])
+	}
+}
+
+func TestTracerDeniedOnly(t *testing.T) {
+	m, tr := tracedMCU(t, 16, true)
+	m.Bus.Read(FlashRegion.Start, RAMRegion.Start, 4) // allowed: not recorded
+	m.Bus.Write(FlashRegion.Start, ROMRegion.Start, []byte{1})
+	entries := tr.Entries()
+	if len(entries) != 1 || !entries[0].Denied {
+		t.Fatalf("denied-only recorded %v", entries)
+	}
+	// Counters still see everything.
+	if tr.Accesses != 2 {
+		t.Fatalf("Accesses = %d, want 2", tr.Accesses)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	m, tr := tracedMCU(t, 3, false)
+	for i := 0; i < 5; i++ {
+		m.Bus.Read(FlashRegion.Start, RAMRegion.Start+Addr(i*4), 4)
+	}
+	entries := tr.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("ring holds %d entries, want 3", len(entries))
+	}
+	// Oldest-first ordering: the last three accesses (i = 2, 3, 4).
+	for i, e := range entries {
+		want := RAMRegion.Start + Addr((i+2)*4)
+		if e.Addr != want {
+			t.Fatalf("entry %d at %#x, want %#x", i, uint32(e.Addr), uint32(want))
+		}
+	}
+}
+
+func TestTracerDenialsAt(t *testing.T) {
+	m, tr := tracedMCU(t, 32, true)
+	counter := Region{Start: FlashRegion.Start + 0x7F000, Size: 8}
+	if err := m.MPU.SetRule(0, Rule{Code: ROMRegion, Data: counter, Perm: PermRead | PermWrite, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Three malware probes at the counter, one elsewhere.
+	for i := 0; i < 3; i++ {
+		m.Bus.Write(FlashRegion.Start, counter.Start, []byte{0})
+	}
+	m.Bus.Write(FlashRegion.Start, ROMRegion.Start, []byte{0})
+	if got := tr.DenialsAt(counter); got != 3 {
+		t.Fatalf("DenialsAt(counter) = %d, want 3", got)
+	}
+	if got := tr.DenialsAt(Region{Start: RAMRegion.Start, Size: 16}); got != 0 {
+		t.Fatalf("DenialsAt(unrelated) = %d, want 0", got)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	m, tr := tracedMCU(t, 4, false)
+	m.Bus.Read(FlashRegion.Start, RAMRegion.Start, 4)
+	tr.Reset()
+	if tr.Accesses != 0 || tr.Denials != 0 || len(tr.Entries()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestTracerZeroCapacityCountsOnly(t *testing.T) {
+	m, tr := tracedMCU(t, 0, false)
+	m.Bus.Write(FlashRegion.Start, ROMRegion.Start, []byte{1})
+	if len(tr.Entries()) != 0 {
+		t.Fatal("zero-capacity tracer stored entries")
+	}
+	if tr.Denials != 1 {
+		t.Fatalf("Denials = %d, want 1", tr.Denials)
+	}
+	if NewTracer(-5, false) == nil {
+		t.Fatal("negative capacity not clamped")
+	}
+}
+
+func TestDetachTracer(t *testing.T) {
+	m, tr := tracedMCU(t, 4, false)
+	m.AttachTracer(nil)
+	if m.Tracer() != nil {
+		t.Fatal("tracer still attached")
+	}
+	m.Bus.Read(FlashRegion.Start, RAMRegion.Start, 4)
+	if tr.Accesses != 0 {
+		t.Fatal("detached tracer still recording")
+	}
+}
+
+func TestTraceEntriesCarryTime(t *testing.T) {
+	m, tr := tracedMCU(t, 4, false)
+	m.K.RunUntil(5_000_000) // 5 ms
+	m.Bus.Read(FlashRegion.Start, RAMRegion.Start, 4)
+	entries := tr.Entries()
+	if len(entries) != 1 || entries[0].When != 5_000_000 {
+		t.Fatalf("entry time = %v, want 5 ms", entries)
+	}
+}

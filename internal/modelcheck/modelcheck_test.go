@@ -1,0 +1,180 @@
+package modelcheck
+
+import "testing"
+
+// TestTable2ByExhaustiveExploration verifies the paper's Table 2 over ALL
+// adversary schedules within the bounds — replay, reorder and delay are
+// not scripted; they are reachable (or not) consequences of the Dolev-Yao
+// action set.
+func TestTable2ByExhaustiveExploration(t *testing.T) {
+	verdicts, states, err := Table2Verdicts(DefaultBounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states < 1000 {
+		t.Fatalf("only %d states explored — bounds too tight to mean anything", states)
+	}
+	want := map[string]map[Scheme]bool{
+		"replay":  {SchemeNonceHistory: true, SchemeCounter: true, SchemeTimestamp: true},
+		"reorder": {SchemeNonceHistory: false, SchemeCounter: true, SchemeTimestamp: true},
+		"delay":   {SchemeNonceHistory: false, SchemeCounter: false, SchemeTimestamp: true},
+	}
+	for attack, row := range want {
+		for scheme, mitigated := range row {
+			if verdicts[attack][scheme] != mitigated {
+				t.Errorf("%s × %v: model says mitigated=%v, paper says %v",
+					attack, scheme, verdicts[attack][scheme], mitigated)
+			}
+		}
+	}
+	t.Logf("explored %d states across three schemes", states)
+}
+
+func TestCounterStopsReplayInAllSchedules(t *testing.T) {
+	res, err := Explore(Config{Scheme: SchemeCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations.Replay {
+		t.Fatal("a schedule exists in which a counter-checked message is accepted twice")
+	}
+	if res.Violations.Reorder {
+		t.Fatal("a schedule exists in which the counter accepts out of order")
+	}
+	// And delay MUST be reachable — the counter's documented gap.
+	if !res.Violations.Delay {
+		t.Fatal("no delayed acceptance reachable — the model lost the counter's known weakness")
+	}
+}
+
+func TestTimestampWindowIsTheOnlyDelayDefence(t *testing.T) {
+	res, err := Explore(Config{Scheme: SchemeTimestamp, WindowTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations.Delay {
+		t.Fatal("timestamp scheme accepted beyond its window in some schedule")
+	}
+	if res.Violations.Replay {
+		t.Fatal("later-tick replay accepted despite the one-tick window")
+	}
+	// The model checker's own finding, beyond Table 2: pure timestamps
+	// cannot tell an immediate duplicate from the original — counter and
+	// nonce schemes can. This is the caveat behind §4.2's "sufficiently
+	// inter-spaced" assumption.
+	if !res.Violations.SameTickReplay {
+		t.Fatal("same-tick duplicate not reachable — the timestamp caveat vanished from the model")
+	}
+	for _, scheme := range []Scheme{SchemeCounter, SchemeNonceHistory} {
+		r, err := Explore(Config{Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Violations.SameTickReplay {
+			t.Fatalf("%v accepted a same-tick duplicate", scheme)
+		}
+	}
+}
+
+func TestTimestampReplayWithinWindowIsReachableWithWiderWindow(t *testing.T) {
+	// The §4.2 caveat: timestamps only stop replay when genuine requests
+	// are "sufficiently inter-spaced" relative to the window. With a wide
+	// window (≥ the whole horizon) an immediate replay is accepted twice.
+	res, err := Explore(Config{Scheme: SchemeTimestamp, WindowTicks: 10,
+		Bounds: Bounds{MaxMessages: 2, MaxTime: 3, MaxDeliveries: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violations.Replay {
+		t.Fatal("wide-window replay not reachable — the inter-spacing assumption vanished from the model")
+	}
+}
+
+func TestBoundedNonceHistoryEvictionReachable(t *testing.T) {
+	// Capacity 1 with 3 messages: replay of an evicted nonce must be
+	// reachable — the paper's memory argument, model-checked.
+	res, err := Explore(Config{Scheme: SchemeNonceHistory, NonceCapacity: 1,
+		Bounds: Bounds{MaxMessages: 3, MaxTime: 4, MaxDeliveries: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violations.Replay {
+		t.Fatal("evicted-nonce replay not reachable at capacity 1")
+	}
+	// Complete history: not reachable.
+	full, err := Explore(Config{Scheme: SchemeNonceHistory, NonceCapacity: 4,
+		Bounds: Bounds{MaxMessages: 3, MaxTime: 4, MaxDeliveries: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Violations.Replay {
+		t.Fatal("complete-history replay reachable — ring logic broken")
+	}
+}
+
+// TestRoamingBreaksEverything: granting the §5 Phase II powers makes the
+// previously-unreachable violations reachable for both stateful schemes —
+// the model-checked version of the paper's core argument.
+func TestRoamingBreaksEverything(t *testing.T) {
+	// Tight bounds suffice: the §5 attacks need only one message, one
+	// tamper step and a couple of ticks.
+	bounds := Bounds{MaxMessages: 2, MaxTime: 4, MaxDeliveries: 2}
+	ctr, err := Explore(Config{Scheme: SchemeCounter, Bounds: bounds, Roaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctr.Violations.Replay {
+		t.Fatal("counter rollback does not enable replay in any schedule — §5 contradicted")
+	}
+	ts, err := Explore(Config{Scheme: SchemeTimestamp, WindowTicks: 1, Bounds: bounds, Roaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.Violations.Delay {
+		t.Fatal("clock rollback does not enable delayed replay in any schedule — §5 contradicted")
+	}
+	// And with the tampering actions removed (the protected prover), the
+	// same bounds reach no violations: §5's mitigation, model-checked.
+	protCtr, err := Explore(Config{Scheme: SchemeCounter, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if protCtr.Violations.Replay || protCtr.Violations.Reorder {
+		t.Fatal("protected counter still violated")
+	}
+	protTs, err := Explore(Config{Scheme: SchemeTimestamp, WindowTicks: 1, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if protTs.Violations.Delay {
+		t.Fatal("protected timestamps still violated")
+	}
+}
+
+func TestBoundsValidation(t *testing.T) {
+	if _, err := Explore(Config{Bounds: Bounds{MaxMessages: 99}}); err == nil {
+		t.Fatal("oversized bounds accepted")
+	}
+	// Zero bounds fall back to defaults.
+	res, err := Explore(Config{Scheme: SchemeCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States == 0 {
+		t.Fatal("no states explored with default bounds")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range []Scheme{SchemeCounter, SchemeTimestamp, SchemeNonceHistory, Scheme(9)} {
+		if s.String() == "" {
+			t.Errorf("scheme %d has no name", s)
+		}
+	}
+}
+
+func TestMitigatesUnknownAttack(t *testing.T) {
+	if (Result{}).Mitigates("frobnication") {
+		t.Fatal("unknown attack reported as mitigated")
+	}
+}

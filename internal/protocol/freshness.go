@@ -1,0 +1,76 @@
+package protocol
+
+// Pure freshness predicates (§4.2). The prover-side *state* (last counter,
+// nonce history, clock reading) lives in protected MCU memory and is
+// managed by the trust anchor; the decision logic is here so both sides of
+// the protocol — and the tests — share one definition.
+
+// CounterFresh reports whether a request counter is acceptable given the
+// last processed counter: strictly greater, per §4.2 ("the prover accepts
+// a new request only if its counter is strictly greater than the last one
+// received and processed"). Duplicates and reordered (stale) counters are
+// rejected; arbitrary delay is NOT detected — the gap Adv_roam exploits.
+func CounterFresh(last, req uint64) bool { return req > last }
+
+// TimestampFresh reports whether a request timestamp is acceptable against
+// the prover's clock reading now (both in prover-clock milliseconds):
+// the request must be no older than window and no further in the future
+// than skew (to tolerate clock disagreement without accepting requests
+// "from the future", which would let an adversary pre-date a recorded
+// request). A window shorter than the adversary's replay delay δ is what
+// defeats delayed-replay (§4.2, §5).
+func TimestampFresh(now, ts, window, skew uint64) bool {
+	if ts > now {
+		return ts-now <= skew
+	}
+	return now-ts <= window
+}
+
+// NonceHistory is the §4.2 nonce mechanism: the prover keeps the set of
+// nonces it has already processed and rejects repeats. The paper's
+// critique is twofold: a complete history needs unbounded non-volatile
+// memory, and nonces detect only replays (reordered or delayed genuine
+// requests carry unseen nonces and are accepted). This implementation
+// bounds the history at a capacity; once it overflows, the oldest entries
+// are evicted and replays of evicted nonces become undetectable —
+// quantifying the paper's memory argument.
+type NonceHistory struct {
+	capacity int
+	order    []uint64
+	seen     map[uint64]bool
+	// Evictions counts history entries lost to the capacity bound.
+	Evictions uint64
+}
+
+// NewNonceHistory bounds the history at capacity entries (≥1).
+func NewNonceHistory(capacity int) *NonceHistory {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &NonceHistory{capacity: capacity, seen: make(map[uint64]bool)}
+}
+
+// Check reports whether nonce is fresh (unseen) and, when fresh, records
+// it — evicting the oldest entry if the history is full.
+func (h *NonceHistory) Check(nonce uint64) bool {
+	if h.seen[nonce] {
+		return false
+	}
+	if len(h.order) == h.capacity {
+		oldest := h.order[0]
+		h.order = h.order[1:]
+		delete(h.seen, oldest)
+		h.Evictions++
+	}
+	h.order = append(h.order, nonce)
+	h.seen[nonce] = true
+	return true
+}
+
+// Len reports the number of remembered nonces.
+func (h *NonceHistory) Len() int { return len(h.order) }
+
+// BytesRequired reports the non-volatile memory a history of n 64-bit
+// nonces occupies — the quantity the paper cites when ruling the
+// mechanism out for low-end provers.
+func BytesRequired(n int) int { return 8 * n }

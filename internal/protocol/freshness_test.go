@@ -1,0 +1,145 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterFresh(t *testing.T) {
+	if !CounterFresh(0, 1) {
+		t.Error("first counter rejected")
+	}
+	if CounterFresh(5, 5) {
+		t.Error("duplicate counter accepted (replay)")
+	}
+	if CounterFresh(5, 4) {
+		t.Error("stale counter accepted (reorder)")
+	}
+	if !CounterFresh(5, 100) {
+		t.Error("gap in counters rejected — gaps are legitimate (lost requests)")
+	}
+}
+
+func TestCounterFreshQuick(t *testing.T) {
+	f := func(last, req uint64) bool {
+		return CounterFresh(last, req) == (req > last)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampFresh(t *testing.T) {
+	const window, skew = 1000, 50
+	cases := []struct {
+		name    string
+		now, ts uint64
+		want    bool
+	}{
+		{"current", 10_000, 10_000, true},
+		{"recent", 10_000, 9_500, true},
+		{"window edge", 10_000, 9_000, true},
+		{"just expired", 10_000, 8_999, false},
+		{"long delay (the delay attack)", 10_000, 1_000, false},
+		{"slight future (clock skew)", 10_000, 10_040, true},
+		{"future beyond skew", 10_000, 10_051, false},
+		{"zero now", 0, 0, true},
+	}
+	for _, tc := range cases {
+		if got := TimestampFresh(tc.now, tc.ts, window, skew); got != tc.want {
+			t.Errorf("%s: TimestampFresh(%d, %d) = %v, want %v", tc.name, tc.now, tc.ts, got, tc.want)
+		}
+	}
+}
+
+func TestTimestampFreshNoUnderflow(t *testing.T) {
+	// ts ≫ now must not wrap the unsigned subtraction into acceptance.
+	if TimestampFresh(100, ^uint64(0), 1000, 50) {
+		t.Fatal("huge future timestamp accepted (underflow)")
+	}
+	if TimestampFresh(^uint64(0), 100, 1000, 50) {
+		t.Fatal("ancient timestamp accepted at huge now")
+	}
+}
+
+func TestNonceHistoryDetectsReplay(t *testing.T) {
+	h := NewNonceHistory(16)
+	if !h.Check(42) {
+		t.Fatal("fresh nonce rejected")
+	}
+	if h.Check(42) {
+		t.Fatal("replayed nonce accepted")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", h.Len())
+	}
+}
+
+func TestNonceHistoryAcceptsReorderAndDelay(t *testing.T) {
+	// The paper's Table 2: nonces do NOT mitigate reorder or delay —
+	// a held-back genuine request carries an unseen nonce.
+	h := NewNonceHistory(16)
+	// Requests 1 and 2 issued; adversary delivers 2 first, then 1.
+	if !h.Check(2) {
+		t.Fatal("reordered request rejected — nonces cannot detect reordering")
+	}
+	if !h.Check(1) {
+		t.Fatal("late (delayed) request rejected — nonces cannot detect delay")
+	}
+}
+
+func TestNonceHistoryEviction(t *testing.T) {
+	h := NewNonceHistory(3)
+	for n := uint64(1); n <= 4; n++ {
+		if !h.Check(n) {
+			t.Fatalf("fresh nonce %d rejected", n)
+		}
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want capacity 3", h.Len())
+	}
+	if h.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", h.Evictions)
+	}
+	// Nonce 1 was evicted: its replay is now undetectable — the paper's
+	// bounded-memory argument made concrete.
+	if !h.Check(1) {
+		t.Fatal("replay of evicted nonce was detected — eviction not modeled")
+	}
+	// Recent nonces are still remembered.
+	if h.Check(4) {
+		t.Fatal("replay of remembered nonce accepted")
+	}
+}
+
+func TestNonceHistoryMinimumCapacity(t *testing.T) {
+	h := NewNonceHistory(0)
+	if !h.Check(1) || h.Check(1) {
+		t.Fatal("capacity-clamped history misbehaves")
+	}
+}
+
+func TestNonceHistoryNeverExceedsCapacity(t *testing.T) {
+	f := func(nonces []uint64) bool {
+		h := NewNonceHistory(8)
+		for _, n := range nonces {
+			h.Check(n)
+		}
+		return h.Len() <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRequired(t *testing.T) {
+	// One nonce per request, one request per minute, one-year deployment:
+	// the paper's "a lot of non-volatile memory".
+	perYear := 60 * 24 * 365
+	if got := BytesRequired(perYear); got != 8*perYear {
+		t.Fatalf("BytesRequired = %d, want %d", got, 8*perYear)
+	}
+	if BytesRequired(perYear) < 4*1024*1024 {
+		t.Fatal("a year of minute-granularity nonces should exceed 4 MB — the point of §4.2")
+	}
+}

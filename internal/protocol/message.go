@@ -1,0 +1,229 @@
+// Package protocol implements the attestation protocol between verifier
+// (Vrf) and prover (Prv): the wire format of attestation requests and
+// responses, the request-authentication schemes the paper compares in §4.1
+// (none, HMAC-SHA1, AES-CBC-MAC, Speck-CBC-MAC, ECDSA/secp160r1), the
+// freshness mechanisms of §4.2 (nonce history, monotonic counter,
+// timestamp), and the verifier implementation. The prover side of the
+// protocol runs inside the trust anchor (internal/anchor) on the simulated
+// MCU.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"proverattest/internal/crypto/sha1"
+)
+
+// FreshnessKind selects the anti-replay mechanism carried in requests.
+type FreshnessKind uint8
+
+// Freshness mechanisms (§4.2).
+const (
+	FreshNone FreshnessKind = iota
+	FreshNonceHistory
+	FreshCounter
+	FreshTimestamp
+)
+
+func (k FreshnessKind) String() string {
+	switch k {
+	case FreshNone:
+		return "none"
+	case FreshNonceHistory:
+		return "nonces"
+	case FreshCounter:
+		return "counter"
+	case FreshTimestamp:
+		return "timestamps"
+	}
+	return fmt.Sprintf("freshness(%d)", uint8(k))
+}
+
+// AuthKind selects the request-authentication scheme.
+type AuthKind uint8
+
+// Request-authentication schemes (§4.1).
+const (
+	AuthNone AuthKind = iota
+	AuthHMACSHA1
+	AuthAESCBCMAC
+	AuthSpeckCBCMAC
+	AuthECDSA
+)
+
+func (k AuthKind) String() string {
+	switch k {
+	case AuthNone:
+		return "none"
+	case AuthHMACSHA1:
+		return "hmac-sha1"
+	case AuthAESCBCMAC:
+		return "aes-128-cbc-mac"
+	case AuthSpeckCBCMAC:
+		return "speck-64/128-cbc-mac"
+	case AuthECDSA:
+		return "ecdsa-secp160r1"
+	}
+	return fmt.Sprintf("auth(%d)", uint8(k))
+}
+
+// AttReq is a verifier→prover attestation request.
+//
+// Wire layout (little-endian):
+//
+//	offset 0  magic   0x41 'A' 0x52 'R' (attreq)
+//	offset 2  version 1
+//	offset 3  freshness kind
+//	offset 4  auth kind
+//	offset 5  reserved (3 bytes, zero)
+//	offset 8  nonce      (8 bytes)
+//	offset 16 counter    (8 bytes)
+//	offset 24 timestamp  (8 bytes, prover-clock milliseconds)
+//	offset 32 tag length (2 bytes)
+//	offset 34 tag        (variable)
+type AttReq struct {
+	Freshness FreshnessKind
+	Auth      AuthKind
+	Nonce     uint64
+	Counter   uint64
+	Timestamp uint64
+	Tag       []byte
+}
+
+const (
+	reqMagic0     = 0x41
+	reqMagic1     = 0x52
+	reqVersion    = 1
+	reqHeaderSize = 34
+	maxTagSize    = 64
+)
+
+// SignedBytes returns the authenticated portion of the request: the full
+// header with the tag-length field zeroed and the tag absent. The
+// freshness fields are inside the MAC, so an adversary cannot splice a
+// fresh counter onto a recorded tag.
+func (r *AttReq) SignedBytes() []byte {
+	buf := make([]byte, reqHeaderSize)
+	r.encodeHeader(buf, 0)
+	return buf
+}
+
+func (r *AttReq) encodeHeader(buf []byte, tagLen int) {
+	buf[0] = reqMagic0
+	buf[1] = reqMagic1
+	buf[2] = reqVersion
+	buf[3] = byte(r.Freshness)
+	buf[4] = byte(r.Auth)
+	binary.LittleEndian.PutUint64(buf[8:], r.Nonce)
+	binary.LittleEndian.PutUint64(buf[16:], r.Counter)
+	binary.LittleEndian.PutUint64(buf[24:], r.Timestamp)
+	binary.LittleEndian.PutUint16(buf[32:], uint16(tagLen))
+}
+
+// Encode serialises the request.
+func (r *AttReq) Encode() []byte {
+	if len(r.Tag) > maxTagSize {
+		panic(fmt.Sprintf("protocol: tag length %d exceeds maximum %d", len(r.Tag), maxTagSize))
+	}
+	buf := make([]byte, reqHeaderSize+len(r.Tag))
+	r.encodeHeader(buf, len(r.Tag))
+	copy(buf[reqHeaderSize:], r.Tag)
+	return buf
+}
+
+// DecodeAttReq parses a request, validating framing strictly: a malformed
+// request must be rejected before any cryptography runs.
+func DecodeAttReq(buf []byte) (*AttReq, error) {
+	if len(buf) < reqHeaderSize {
+		return nil, fmt.Errorf("protocol: request too short (%d bytes)", len(buf))
+	}
+	if buf[0] != reqMagic0 || buf[1] != reqMagic1 {
+		return nil, fmt.Errorf("protocol: bad request magic %#x %#x", buf[0], buf[1])
+	}
+	if buf[2] != reqVersion {
+		return nil, fmt.Errorf("protocol: unsupported request version %d", buf[2])
+	}
+	// Reserved bytes must be zero: they are zero in the authenticated
+	// re-encoding, so tolerating junk here would open an unauthenticated
+	// covert channel through otherwise-valid frames.
+	if buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
+		return nil, fmt.Errorf("protocol: nonzero reserved bytes in request header")
+	}
+	tagLen := int(binary.LittleEndian.Uint16(buf[32:]))
+	if tagLen > maxTagSize {
+		return nil, fmt.Errorf("protocol: tag length %d exceeds maximum %d", tagLen, maxTagSize)
+	}
+	if len(buf) != reqHeaderSize+tagLen {
+		return nil, fmt.Errorf("protocol: request length %d does not match tag length %d", len(buf), tagLen)
+	}
+	r := &AttReq{
+		Freshness: FreshnessKind(buf[3]),
+		Auth:      AuthKind(buf[4]),
+		Nonce:     binary.LittleEndian.Uint64(buf[8:]),
+		Counter:   binary.LittleEndian.Uint64(buf[16:]),
+		Timestamp: binary.LittleEndian.Uint64(buf[24:]),
+	}
+	if tagLen > 0 {
+		r.Tag = append([]byte(nil), buf[reqHeaderSize:reqHeaderSize+tagLen]...)
+	}
+	return r, nil
+}
+
+// AttResp is the prover→verifier attestation response: the request echo
+// fields and the measurement MAC over the prover's writable memory, keyed
+// with K_Attest and bound to the request (§3).
+//
+// Wire layout (little-endian):
+//
+//	offset 0  magic   0x41 'A' 0x50 'P' (attresp)
+//	offset 2  version 1
+//	offset 3  reserved (5 bytes)
+//	offset 8  nonce    (8 bytes, echoed)
+//	offset 16 counter  (8 bytes, echoed)
+//	offset 24 measurement (20 bytes, HMAC-SHA1)
+type AttResp struct {
+	Nonce       uint64
+	Counter     uint64
+	Measurement [sha1.Size]byte
+}
+
+const (
+	respMagic0 = 0x41
+	respMagic1 = 0x50
+	respSize   = 24 + sha1.Size
+)
+
+// Encode serialises the response.
+func (r *AttResp) Encode() []byte {
+	buf := make([]byte, respSize)
+	buf[0] = respMagic0
+	buf[1] = respMagic1
+	buf[2] = reqVersion
+	binary.LittleEndian.PutUint64(buf[8:], r.Nonce)
+	binary.LittleEndian.PutUint64(buf[16:], r.Counter)
+	copy(buf[24:], r.Measurement[:])
+	return buf
+}
+
+// DecodeAttResp parses a response.
+func DecodeAttResp(buf []byte) (*AttResp, error) {
+	if len(buf) != respSize {
+		return nil, fmt.Errorf("protocol: response length %d, want %d", len(buf), respSize)
+	}
+	if buf[0] != respMagic0 || buf[1] != respMagic1 {
+		return nil, fmt.Errorf("protocol: bad response magic %#x %#x", buf[0], buf[1])
+	}
+	if buf[2] != reqVersion {
+		return nil, fmt.Errorf("protocol: unsupported response version %d", buf[2])
+	}
+	if buf[3] != 0 || buf[4] != 0 || buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
+		return nil, fmt.Errorf("protocol: nonzero reserved bytes in response header")
+	}
+	r := &AttResp{
+		Nonce:   binary.LittleEndian.Uint64(buf[8:]),
+		Counter: binary.LittleEndian.Uint64(buf[16:]),
+	}
+	copy(r.Measurement[:], buf[24:])
+	return r, nil
+}

@@ -1,0 +1,155 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttReqRoundTrip(t *testing.T) {
+	req := &AttReq{
+		Freshness: FreshCounter,
+		Auth:      AuthHMACSHA1,
+		Nonce:     0x1122334455667788,
+		Counter:   42,
+		Timestamp: 987654321,
+		Tag:       bytes.Repeat([]byte{0xAB}, 20),
+	}
+	back, err := DecodeAttReq(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Freshness != req.Freshness || back.Auth != req.Auth ||
+		back.Nonce != req.Nonce || back.Counter != req.Counter ||
+		back.Timestamp != req.Timestamp || !bytes.Equal(back.Tag, req.Tag) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, req)
+	}
+}
+
+func TestAttReqRoundTripQuick(t *testing.T) {
+	f := func(fresh, auth uint8, nonce, counter, ts uint64, tagSeed []byte) bool {
+		tag := tagSeed
+		if len(tag) > maxTagSize {
+			tag = tag[:maxTagSize]
+		}
+		req := &AttReq{
+			Freshness: FreshnessKind(fresh),
+			Auth:      AuthKind(auth),
+			Nonce:     nonce,
+			Counter:   counter,
+			Timestamp: ts,
+			Tag:       tag,
+		}
+		back, err := DecodeAttReq(req.Encode())
+		if err != nil {
+			return false
+		}
+		return back.Nonce == nonce && back.Counter == counter &&
+			back.Timestamp == ts && bytes.Equal(back.Tag, tag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeAttReqRejectsMalformedFrames(t *testing.T) {
+	good := (&AttReq{Tag: []byte{1, 2, 3, 4}}).Encode()
+
+	cases := map[string][]byte{
+		"short":             good[:10],
+		"empty":             {},
+		"bad magic":         append([]byte{0xFF}, good[1:]...),
+		"bad version":       mutate(good, 2, 0x99),
+		"truncated tag":     good[:len(good)-1],
+		"oversized frame":   append(append([]byte(nil), good...), 0x00),
+		"nonzero reserved":  mutate(good, 6, 0x01),
+		"nonzero reserved2": mutate(good, 7, 0x80),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeAttReq(buf); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+
+	// Tag length field pointing past the maximum.
+	huge := (&AttReq{}).Encode()
+	huge[32] = 0xFF
+	huge[33] = 0xFF
+	if _, err := DecodeAttReq(huge); err == nil {
+		t.Error("huge tag length: decode succeeded")
+	}
+}
+
+func mutate(buf []byte, idx int, v byte) []byte {
+	out := append([]byte(nil), buf...)
+	out[idx] = v
+	return out
+}
+
+func TestSignedBytesExcludesTag(t *testing.T) {
+	a := &AttReq{Nonce: 7, Counter: 9, Tag: []byte{1, 2, 3}}
+	b := &AttReq{Nonce: 7, Counter: 9, Tag: []byte{9, 9, 9, 9}}
+	if !bytes.Equal(a.SignedBytes(), b.SignedBytes()) {
+		t.Fatal("SignedBytes depends on the tag")
+	}
+	// ...but covers every protocol field.
+	c := &AttReq{Nonce: 7, Counter: 10}
+	if bytes.Equal(a.SignedBytes(), c.SignedBytes()) {
+		t.Fatal("SignedBytes does not cover the counter")
+	}
+	d := &AttReq{Nonce: 8, Counter: 9}
+	if bytes.Equal(a.SignedBytes(), d.SignedBytes()) {
+		t.Fatal("SignedBytes does not cover the nonce")
+	}
+	e := &AttReq{Nonce: 7, Counter: 9, Timestamp: 5}
+	if bytes.Equal(a.SignedBytes(), e.SignedBytes()) {
+		t.Fatal("SignedBytes does not cover the timestamp")
+	}
+	f := &AttReq{Nonce: 7, Counter: 9, Freshness: FreshTimestamp}
+	if bytes.Equal(a.SignedBytes(), f.SignedBytes()) {
+		t.Fatal("SignedBytes does not cover the freshness kind")
+	}
+}
+
+func TestAttRespRoundTrip(t *testing.T) {
+	resp := &AttResp{Nonce: 11, Counter: 22}
+	for i := range resp.Measurement {
+		resp.Measurement[i] = byte(i)
+	}
+	back, err := DecodeAttResp(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Nonce != 11 || back.Counter != 22 || back.Measurement != resp.Measurement {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestDecodeAttRespRejectsMalformedFrames(t *testing.T) {
+	good := (&AttResp{}).Encode()
+	if _, err := DecodeAttResp(good[:len(good)-1]); err == nil {
+		t.Error("short response decoded")
+	}
+	if _, err := DecodeAttResp(mutate(good, 0, 0xFF)); err == nil {
+		t.Error("bad-magic response decoded")
+	}
+	if _, err := DecodeAttResp(mutate(good, 2, 0x42)); err == nil {
+		t.Error("bad-version response decoded")
+	}
+	if _, err := DecodeAttResp(append(good, 0)); err == nil {
+		t.Error("oversized response decoded")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if FreshCounter.String() != "counter" || FreshTimestamp.String() != "timestamps" ||
+		FreshNonceHistory.String() != "nonces" || FreshNone.String() != "none" {
+		t.Error("freshness kind strings wrong")
+	}
+	if AuthHMACSHA1.String() != "hmac-sha1" || AuthECDSA.String() != "ecdsa-secp160r1" {
+		t.Error("auth kind strings wrong")
+	}
+	if FreshnessKind(200).String() == "" || AuthKind(200).String() == "" {
+		t.Error("unknown kinds should still format")
+	}
+}

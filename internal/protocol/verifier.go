@@ -1,0 +1,238 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"proverattest/internal/crypto/hmac"
+	"proverattest/internal/crypto/sha1"
+)
+
+// Verifier is the trusted party Vrf. It issues authenticated, fresh
+// attestation requests and validates measurement responses against a
+// golden image of the prover's measured memory.
+type Verifier struct {
+	freshness FreshnessKind
+	auth      Authenticator
+	attestKey []byte
+	golden    []byte
+	clock     func() uint64 // verifier-side clock, prover-clock milliseconds
+
+	counter     uint64
+	nonceSeq    uint64
+	pending     map[uint64]*AttReq     // outstanding requests by nonce
+	pendingCmds map[uint64]*CommandReq // outstanding service commands
+
+	// Stats for scenario reporting.
+	Issued      uint64
+	Accepted    uint64
+	Rejected    uint64
+	Unsolicited uint64
+	Expired     uint64 // requests abandoned after a response timeout
+}
+
+// VerifierConfig assembles a verifier.
+type VerifierConfig struct {
+	// Freshness is the mechanism stamped into requests.
+	Freshness FreshnessKind
+	// Auth signs requests. Use NoAuth{} for the unauthenticated strawman.
+	Auth Authenticator
+	// AttestKey is K_Attest, shared with the prover's trust anchor, used
+	// to validate measurement responses.
+	AttestKey []byte
+	// Golden is the expected content of the prover's measured memory.
+	Golden []byte
+	// Clock returns the verifier's current time in prover-clock
+	// milliseconds. Timestamp freshness assumes the two clocks are
+	// synchronised (§4.2); drift experiments perturb this function.
+	Clock func() uint64
+}
+
+// NewVerifier validates the configuration and builds the verifier.
+func NewVerifier(cfg VerifierConfig) (*Verifier, error) {
+	if cfg.Auth == nil {
+		return nil, errors.New("protocol: verifier needs an authenticator")
+	}
+	if len(cfg.AttestKey) == 0 {
+		return nil, errors.New("protocol: verifier needs K_Attest for response validation")
+	}
+	if cfg.Freshness == FreshTimestamp && cfg.Clock == nil {
+		return nil, errors.New("protocol: timestamp freshness needs a clock")
+	}
+	v := &Verifier{
+		freshness:   cfg.Freshness,
+		auth:        cfg.Auth,
+		attestKey:   append([]byte(nil), cfg.AttestKey...),
+		golden:      append([]byte(nil), cfg.Golden...),
+		clock:       cfg.Clock,
+		pending:     make(map[uint64]*AttReq),
+		pendingCmds: make(map[uint64]*CommandReq),
+	}
+	return v, nil
+}
+
+// NewRequest builds and signs the next attestation request.
+func (v *Verifier) NewRequest() (*AttReq, error) {
+	v.nonceSeq++
+	req := &AttReq{
+		Freshness: v.freshness,
+		Auth:      v.auth.Kind(),
+		Nonce:     v.nonceSeq,
+	}
+	switch v.freshness {
+	case FreshCounter:
+		v.counter++
+		req.Counter = v.counter
+	case FreshTimestamp:
+		req.Timestamp = v.clock()
+	}
+	tag, err := v.auth.Sign(req.SignedBytes())
+	if err != nil {
+		return nil, fmt.Errorf("protocol: signing request: %w", err)
+	}
+	req.Tag = tag
+	v.pending[req.Nonce] = req
+	v.Issued++
+	return req, nil
+}
+
+// ExpectedMeasurement computes the measurement the prover should report
+// for req over the golden memory image: HMAC-SHA1(K_Attest, signed-request
+// ‖ memory). Binding the request into the MAC prevents response replay.
+func (v *Verifier) ExpectedMeasurement(req *AttReq) [sha1.Size]byte {
+	return Measure(v.attestKey, req, v.golden)
+}
+
+// Measure is the measurement function shared by verifier and trust anchor.
+func Measure(attestKey []byte, req *AttReq, memory []byte) [sha1.Size]byte {
+	m := hmac.NewSHA1(attestKey)
+	m.Write(req.SignedBytes())
+	m.Write(memory)
+	var out [sha1.Size]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// CheckResponse validates a raw response frame. A response is accepted
+// when it matches an outstanding request's nonce and carries the expected
+// measurement; the request is then retired.
+func (v *Verifier) CheckResponse(raw []byte) (bool, error) {
+	resp, err := DecodeAttResp(raw)
+	if err != nil {
+		v.Rejected++
+		return false, err
+	}
+	req, ok := v.pending[resp.Nonce]
+	if !ok {
+		v.Unsolicited++
+		return false, fmt.Errorf("protocol: response to unknown nonce %d", resp.Nonce)
+	}
+	want := v.ExpectedMeasurement(req)
+	if !hmac.Equal(want[:], resp.Measurement[:]) {
+		v.Rejected++
+		return false, errors.New("protocol: measurement mismatch — prover state deviates from golden image")
+	}
+	delete(v.pending, resp.Nonce)
+	v.Accepted++
+	return true, nil
+}
+
+// NewCommand builds and signs a service command (secure update, secure
+// erase, clock sync). Commands draw from the same nonce, counter and
+// timestamp streams as attestation requests — the prover keeps one
+// freshness state for everything, so an adversary cannot replay a command
+// "around" the attestation counter.
+func (v *Verifier) NewCommand(kind CommandKind, body []byte) (*CommandReq, error) {
+	v.nonceSeq++
+	req := &CommandReq{
+		Kind:      kind,
+		Freshness: v.freshness,
+		Auth:      v.auth.Kind(),
+		Nonce:     v.nonceSeq,
+		Body:      append([]byte(nil), body...),
+	}
+	switch v.freshness {
+	case FreshCounter:
+		v.counter++
+		req.Counter = v.counter
+	case FreshTimestamp:
+		req.Timestamp = v.clock()
+	}
+	tag, err := v.auth.Sign(req.SignedBytes())
+	if err != nil {
+		return nil, fmt.Errorf("protocol: signing command: %w", err)
+	}
+	req.Tag = tag
+	v.pendingCmds[req.Nonce] = req
+	v.Issued++
+	return req, nil
+}
+
+// CheckCommandResponse validates a raw command-response frame: it must
+// answer an outstanding command and carry a valid K_Attest tag. The
+// command is retired on success (any status), since the anchor
+// authenticated its verdict either way.
+func (v *Verifier) CheckCommandResponse(raw []byte) (*CommandResp, error) {
+	resp, err := DecodeCommandResp(raw)
+	if err != nil {
+		v.Rejected++
+		return nil, err
+	}
+	req, ok := v.pendingCmds[resp.Nonce]
+	if !ok {
+		v.Unsolicited++
+		return nil, fmt.Errorf("protocol: command response to unknown nonce %d", resp.Nonce)
+	}
+	if resp.Kind != req.Kind {
+		v.Rejected++
+		return nil, fmt.Errorf("protocol: command response kind %v for a %v command", resp.Kind, req.Kind)
+	}
+	if !resp.VerifyTag(v.attestKey) {
+		v.Rejected++
+		return nil, errors.New("protocol: command response tag invalid")
+	}
+	delete(v.pendingCmds, resp.Nonce)
+	v.Accepted++
+	return resp, nil
+}
+
+// Outstanding reports how many requests await responses.
+func (v *Verifier) Outstanding() int { return len(v.pending) + len(v.pendingCmds) }
+
+// IsPending reports whether the attestation request with the given nonce
+// still awaits a response — the retry loop's liveness probe.
+func (v *Verifier) IsPending(nonce uint64) bool {
+	_, ok := v.pending[nonce]
+	return ok
+}
+
+// Abandon retires an unanswered request after a timeout, so a retry can
+// take its place. Retries must be *new* requests: with counter freshness
+// the prover may already have consumed the old counter (request processed,
+// response lost), and re-sending the identical frame would be rejected as
+// a replay — the at-most-once property working as intended.
+func (v *Verifier) Abandon(nonce uint64) bool {
+	if _, ok := v.pending[nonce]; !ok {
+		return false
+	}
+	delete(v.pending, nonce)
+	v.Expired++
+	return true
+}
+
+// LastCounter reports the verifier's counter state (for tests).
+func (v *Verifier) LastCounter() uint64 { return v.counter }
+
+// DeriveDeviceKey derives a per-device K_Attest from the deployment's
+// master secret: HMAC-SHA1(master, "K_Attest" ‖ deviceID). Fleet
+// deployments must not share one key across provers — a single roaming
+// compromise would otherwise let the adversary impersonate the verifier
+// to the whole fleet.
+func DeriveDeviceKey(master []byte, deviceID string) [sha1.Size]byte {
+	m := hmac.NewSHA1(master)
+	m.Write([]byte("K_Attest"))
+	m.Write([]byte(deviceID))
+	var out [sha1.Size]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}

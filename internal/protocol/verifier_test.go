@@ -1,0 +1,165 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testVerifier(t *testing.T, fresh FreshnessKind) *Verifier {
+	t.Helper()
+	clock := uint64(0)
+	v, err := NewVerifier(VerifierConfig{
+		Freshness: fresh,
+		Auth:      NewHMACAuth([]byte("request-auth-key")),
+		AttestKey: []byte("k-attest-20-bytes!!!"),
+		Golden:    bytes.Repeat([]byte{0x5A}, 1024),
+		Clock:     func() uint64 { clock += 100; return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVerifierConfigValidation(t *testing.T) {
+	if _, err := NewVerifier(VerifierConfig{AttestKey: []byte("k")}); err == nil {
+		t.Error("verifier built without an authenticator")
+	}
+	if _, err := NewVerifier(VerifierConfig{Auth: NoAuth{}}); err == nil {
+		t.Error("verifier built without K_Attest")
+	}
+	if _, err := NewVerifier(VerifierConfig{
+		Auth: NoAuth{}, AttestKey: []byte("k"), Freshness: FreshTimestamp,
+	}); err == nil {
+		t.Error("timestamp verifier built without a clock")
+	}
+}
+
+func TestNewRequestCounterMonotone(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	r1, err := v.NewRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := v.NewRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Counter != r1.Counter+1 {
+		t.Fatalf("counters %d, %d — want strictly increasing by 1", r1.Counter, r2.Counter)
+	}
+	if r1.Nonce == r2.Nonce {
+		t.Fatal("nonces repeat")
+	}
+	if v.Issued != 2 {
+		t.Fatalf("Issued = %d, want 2", v.Issued)
+	}
+}
+
+func TestNewRequestTimestampUsesClock(t *testing.T) {
+	v := testVerifier(t, FreshTimestamp)
+	r1, _ := v.NewRequest()
+	r2, _ := v.NewRequest()
+	if r2.Timestamp <= r1.Timestamp {
+		t.Fatalf("timestamps %d, %d — want advancing clock", r1.Timestamp, r2.Timestamp)
+	}
+}
+
+func TestRequestsAreAuthenticated(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	req, _ := v.NewRequest()
+	auth := NewHMACAuth([]byte("request-auth-key"))
+	if ok, _ := auth.Verify(req.SignedBytes(), req.Tag); !ok {
+		t.Fatal("issued request's tag does not verify")
+	}
+}
+
+func TestCheckResponseHappyPath(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	req, _ := v.NewRequest()
+	// A well-behaved prover with the golden memory produces this:
+	meas := Measure([]byte("k-attest-20-bytes!!!"), req, bytes.Repeat([]byte{0x5A}, 1024))
+	resp := &AttResp{Nonce: req.Nonce, Counter: req.Counter, Measurement: meas}
+	ok, err := v.CheckResponse(resp.Encode())
+	if !ok || err != nil {
+		t.Fatalf("CheckResponse = %v, %v", ok, err)
+	}
+	if v.Accepted != 1 || v.Outstanding() != 0 {
+		t.Fatalf("Accepted=%d Outstanding=%d", v.Accepted, v.Outstanding())
+	}
+}
+
+func TestCheckResponseRejectsWrongMemory(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	req, _ := v.NewRequest()
+	tampered := bytes.Repeat([]byte{0x5A}, 1024)
+	tampered[100] ^= 0xFF
+	meas := Measure([]byte("k-attest-20-bytes!!!"), req, tampered)
+	resp := &AttResp{Nonce: req.Nonce, Measurement: meas}
+	if ok, _ := v.CheckResponse(resp.Encode()); ok {
+		t.Fatal("measurement over deviating memory accepted")
+	}
+	if v.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", v.Rejected)
+	}
+	// The request stays outstanding — a failed response does not retire it.
+	if v.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", v.Outstanding())
+	}
+}
+
+func TestCheckResponseRejectsWrongKey(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	req, _ := v.NewRequest()
+	meas := Measure([]byte("wrong-key-wrong-key!"), req, bytes.Repeat([]byte{0x5A}, 1024))
+	resp := &AttResp{Nonce: req.Nonce, Measurement: meas}
+	if ok, _ := v.CheckResponse(resp.Encode()); ok {
+		t.Fatal("measurement under wrong key accepted")
+	}
+}
+
+func TestCheckResponseUnsolicited(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	resp := &AttResp{Nonce: 999}
+	if ok, _ := v.CheckResponse(resp.Encode()); ok {
+		t.Fatal("unsolicited response accepted")
+	}
+	if v.Unsolicited != 1 {
+		t.Fatalf("Unsolicited = %d, want 1", v.Unsolicited)
+	}
+}
+
+func TestCheckResponseGarbage(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	if ok, err := v.CheckResponse([]byte("not a response")); ok || err == nil {
+		t.Fatal("garbage response accepted")
+	}
+}
+
+func TestCheckResponseReplayedResponse(t *testing.T) {
+	// A response can only retire its request once; replaying it is
+	// unsolicited the second time.
+	v := testVerifier(t, FreshCounter)
+	req, _ := v.NewRequest()
+	meas := Measure([]byte("k-attest-20-bytes!!!"), req, bytes.Repeat([]byte{0x5A}, 1024))
+	raw := (&AttResp{Nonce: req.Nonce, Counter: req.Counter, Measurement: meas}).Encode()
+	if ok, _ := v.CheckResponse(raw); !ok {
+		t.Fatal("first response rejected")
+	}
+	if ok, _ := v.CheckResponse(raw); ok {
+		t.Fatal("replayed response accepted")
+	}
+}
+
+func TestMeasureBindsRequest(t *testing.T) {
+	key := []byte("k")
+	mem := []byte("memory")
+	r1 := &AttReq{Nonce: 1}
+	r2 := &AttReq{Nonce: 2}
+	if Measure(key, r1, mem) == Measure(key, r2, mem) {
+		t.Fatal("measurement does not bind the request — responses would be replayable")
+	}
+	if Measure(key, r1, mem) == Measure(key, r1, []byte("other!")) {
+		t.Fatal("measurement does not bind the memory")
+	}
+}

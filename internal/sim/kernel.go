@@ -1,0 +1,188 @@
+// Package sim provides the discrete-event simulation kernel on which the
+// whole reproduction runs. Simulated time is a virtual nanosecond counter;
+// the MCU model converts CPU cycles at 24 MHz into nanoseconds, and the
+// network channel schedules message deliveries as events on the same
+// timeline, so prover, verifier and adversary share one deterministic clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time.Duration's constants but for virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (FIFO tie-break), which keeps runs deterministic.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+
+	index     int // heap index, -1 once popped or cancelled
+	cancelled bool
+}
+
+// When reports the simulated time at which the event fires (or fired).
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// NewKernel returns a kernel at time zero with an empty event queue.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.queue)
+	return k
+}
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired reports how many events have executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending reports the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past (t < Now) panics: it indicates a modelling bug, and silently
+// reordering time would invalidate every downstream measurement.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before current time %v", t, k.now))
+	}
+	e := &Event{when: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		k.now = e.when
+		k.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (k *Kernel) Run() {
+	k.halted = false
+	for !k.halted && k.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ deadline, then advances the clock to
+// the deadline even if the queue still holds later events. It is the
+// standard way to run a scenario "for n simulated seconds".
+func (k *Kernel) RunUntil(deadline Time) {
+	k.halted = false
+	for !k.halted {
+		// Peek: discard cancelled heads without firing.
+		for k.queue.Len() > 0 && k.queue[0].cancelled {
+			heap.Pop(&k.queue)
+		}
+		if k.queue.Len() == 0 || k.queue[0].when > deadline {
+			break
+		}
+		k.Step()
+	}
+	if !k.halted && k.now < deadline {
+		k.now = deadline
+	}
+}

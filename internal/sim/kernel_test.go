@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", k.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.At(100, func() {
+		k.After(50, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 150 {
+		t.Fatalf("After(50) from t=100 fired at %v, want 150", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		k.At(50, func() {})
+	})
+	k.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1) did not panic")
+		}
+	}()
+	k.After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(10, func() { fired = true })
+	e.Cancel()
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if k.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", k.Fired())
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(20, func() { fired = true })
+	k.At(10, func() { e.Cancel() })
+	k.Run()
+	if fired {
+		t.Fatal("event cancelled at t=10 still fired at t=20")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	k.At(1, func() { count++; k.Halt() })
+	k.At(2, func() { count++ })
+	k.Run()
+	if count != 1 {
+		t.Fatalf("events after Halt ran: count = %d", count)
+	}
+	// The queue still holds the t=2 event; a second Run drains it.
+	k.Run()
+	if count != 2 {
+		t.Fatalf("second Run did not resume: count = %d", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.At(10, func() { fired = append(fired, 10) })
+	k.At(20, func() { fired = append(fired, 20) })
+	k.At(30, func() { fired = append(fired, 30) })
+	k.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(20) fired %v, want [10 20]", fired)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now() = %v, want 20", k.Now())
+	}
+	k.RunUntil(100)
+	if len(fired) != 3 {
+		t.Fatalf("second RunUntil fired %v, want all three", fired)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("Now() = %v after RunUntil(100), want 100 (idle advance)", k.Now())
+	}
+}
+
+func TestRunUntilWithOnlyCancelledEvents(t *testing.T) {
+	k := NewKernel()
+	e := k.At(10, func() { t.Error("cancelled event fired") })
+	e.Cancel()
+	k.RunUntil(50)
+	if k.Now() != 50 {
+		t.Fatalf("Now() = %v, want 50", k.Now())
+	}
+}
+
+func TestSelfSchedulingChain(t *testing.T) {
+	// An event that reschedules itself models periodic hardware (timer
+	// wrap-arounds); verify the chain advances time correctly.
+	k := NewKernel()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			k.After(7, tick)
+		}
+	}
+	k.At(0, tick)
+	k.Run()
+	if count != 100 {
+		t.Fatalf("tick chain ran %d times, want 100", count)
+	}
+	if k.Now() != 99*7 {
+		t.Fatalf("Now() = %v, want %v", k.Now(), 99*7)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		k := NewKernel()
+		var log []Time
+		for i := 0; i < 50; i++ {
+			d := Duration((i * 37) % 11)
+			k.After(d, func() { log = append(log, k.Now()) })
+		}
+		k.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2_500_000, "2.500ms"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Time(%d).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTimeConversionsQuick(t *testing.T) {
+	f := func(ms uint16) bool {
+		tt := Time(ms) * Millisecond
+		return tt.Milliseconds() == float64(ms) && tt.Seconds() == float64(ms)/1000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
