@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench repro fuzz examples clean
+.PHONY: all build vet test race bench repro fuzz examples clean
 
 all: build vet test
 
@@ -14,6 +14,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race detector over the concurrent campaign-runner stack.
+race:
+	$(GO) test -race ./internal/runner/... ./internal/core/...
 
 # One benchmark per paper table/figure plus the ablations.
 bench:

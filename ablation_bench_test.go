@@ -1,8 +1,16 @@
 // Ablation benchmarks: the design choices DESIGN.md calls out, swept so
 // their trade-offs are visible next to the paper's headline numbers.
+//
+// Each sweep is a set of independent simulation cells executed through the
+// campaign runner (internal/runner), so a whole sweep costs one parallel
+// pass; the b.Run leaves then report the collected model metrics. The
+// plain TestAblationSweepsDeterministicAcrossWorkers below runs under
+// `go test ./...` and proves each sweep validates and is byte-identical
+// on one worker and on many.
 package proverattest_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -11,20 +19,63 @@ import (
 	"proverattest/internal/core"
 	"proverattest/internal/mcu"
 	"proverattest/internal/protocol"
+	"proverattest/internal/runner"
 	"proverattest/internal/sim"
 )
 
 const holdMs = 2000
 
+// ablationMetric is one named model output of an ablation cell. Cells
+// return ordered slices (not maps) so sweep results have a deterministic
+// byte representation.
+type ablationMetric struct {
+	Name  string
+	Value float64
+}
+
+type ablationCell = runner.Cell[[]ablationMetric]
+
+// runAblationSweep executes a sweep's cells on the campaign runner's
+// default worker pool and returns the per-cell metrics in input order.
+func runAblationSweep(tb testing.TB, cells []ablationCell) [][]ablationMetric {
+	tb.Helper()
+	results, _ := runner.Run(context.Background(), cells, runner.Options{})
+	vals, err := runner.Values(results)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return vals
+}
+
+// reportAblationSweep runs the sweep once (in parallel) and emits one
+// b.Run leaf per cell carrying that cell's metrics.
+func reportAblationSweep(b *testing.B, cells []ablationCell) {
+	b.Helper()
+	vals := runAblationSweep(b, cells)
+	for i, cell := range cells {
+		metrics := vals[i]
+		b.Run(cell.Label, func(b *testing.B) {
+			for _, m := range metrics {
+				b.ReportMetric(m.Value, m.Name)
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_MeasurementSize sweeps the attested memory size: the
 // per-attestation cost is linear in memory (§3.1's formula), which is why
 // the DoS damage scales with device memory, not protocol complexity.
 func BenchmarkAblation_MeasurementSize(b *testing.B) {
+	reportAblationSweep(b, measurementSizeCells())
+}
+
+func measurementSizeCells() []ablationCell {
+	var cells []ablationCell
 	for _, kb := range []uint32{64, 128, 256, 512} {
 		kb := kb
-		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
-			var modeled float64
-			for i := 0; i < b.N; i++ {
+		cells = append(cells, ablationCell{
+			Label: fmt.Sprintf("%dKB", kb),
+			Run: func(ctx context.Context, st *runner.CellStats) ([]ablationMetric, error) {
 				s, err := core.NewScenario(core.ScenarioConfig{
 					Freshness:      protocol.FreshCounter,
 					Auth:           protocol.AuthHMACSHA1,
@@ -32,19 +83,21 @@ func BenchmarkAblation_MeasurementSize(b *testing.B) {
 					MeasuredRegion: mcu.Region{Start: mcu.RAMRegion.Start, Size: kb * 1024},
 				})
 				if err != nil {
-					b.Fatal(err)
+					return nil, err
 				}
 				before := s.Dev.M.ActiveCycles
 				s.IssueAt(s.K.Now() + sim.Millisecond)
 				s.RunUntil(s.K.Now() + 2*sim.Second)
+				st.Sim = sim.Duration(s.K.Now())
 				if s.V.Accepted != 1 {
-					b.Fatal("attestation failed")
+					return nil, fmt.Errorf("%d KB: attestation failed", kb)
 				}
-				modeled = (s.Dev.M.ActiveCycles - before).Millis()
-			}
-			b.ReportMetric(modeled, "model_ms/attestation")
+				modeled := (s.Dev.M.ActiveCycles - before).Millis()
+				return []ablationMetric{{"model_ms/attestation", modeled}}, nil
+			},
 		})
 	}
+	return cells
 }
 
 // BenchmarkAblation_TimestampWindow sweeps the freshness window against a
@@ -52,11 +105,16 @@ func BenchmarkAblation_MeasurementSize(b *testing.B) {
 // block it, longer ones let it through — the window is the security
 // parameter, and its lower bound is set by network jitter.
 func BenchmarkAblation_TimestampWindow(b *testing.B) {
+	reportAblationSweep(b, timestampWindowCells())
+}
+
+func timestampWindowCells() []ablationCell {
+	var cells []ablationCell
 	for _, windowMs := range []uint64{500, 1000, 3000, 5000} {
 		windowMs := windowMs
-		b.Run(fmt.Sprintf("window%dms", windowMs), func(b *testing.B) {
-			var blocked float64
-			for i := 0; i < b.N; i++ {
+		cells = append(cells, ablationCell{
+			Label: fmt.Sprintf("window%dms", windowMs),
+			Run: func(ctx context.Context, st *runner.CellStats) ([]ablationMetric, error) {
 				tap := &adversary.Interceptor{TargetIndex: 0, ExtraDelay: holdMs * sim.Millisecond}
 				s, err := core.NewScenario(core.ScenarioConfig{
 					Freshness:         protocol.FreshTimestamp,
@@ -67,24 +125,24 @@ func BenchmarkAblation_TimestampWindow(b *testing.B) {
 					Tap:               tap,
 				})
 				if err != nil {
-					b.Fatal(err)
+					return nil, err
 				}
 				s.IssueAt(s.K.Now() + sim.Second)
 				s.RunUntil(s.K.Now() + 10*sim.Second)
+				st.Sim = sim.Duration(s.K.Now())
+				blocked := 0.0
 				if s.Measurements() == 0 {
 					blocked = 1
-				} else {
-					blocked = 0
 				}
-				want := windowMs < holdMs
-				if (blocked == 1) != want {
-					b.Fatalf("window %d ms vs %d ms delay: blocked=%v, want %v",
+				if want := windowMs < holdMs; (blocked == 1) != want {
+					return nil, fmt.Errorf("window %d ms vs %d ms delay: blocked=%v, want %v",
 						windowMs, holdMs, blocked == 1, want)
 				}
-			}
-			b.ReportMetric(blocked, "delay_attack_blocked")
+				return []ablationMetric{{"delay_attack_blocked", blocked}}, nil
+			},
 		})
 	}
+	return cells
 }
 
 // BenchmarkAblation_NonceHistoryCapacity sweeps the bounded nonce history:
@@ -92,11 +150,16 @@ func BenchmarkAblation_TimestampWindow(b *testing.B) {
 // non-volatile memory — the paper's reason to reject nonces for low-end
 // provers.
 func BenchmarkAblation_NonceHistoryCapacity(b *testing.B) {
+	reportAblationSweep(b, nonceHistoryCells())
+}
+
+func nonceHistoryCells() []ablationCell {
+	var cells []ablationCell
 	for _, capacity := range []int{4, 16, 64, 256} {
 		capacity := capacity
-		b.Run(fmt.Sprintf("cap%d", capacity), func(b *testing.B) {
-			var replayable float64
-			for i := 0; i < b.N; i++ {
+		cells = append(cells, ablationCell{
+			Label: fmt.Sprintf("cap%d", capacity),
+			Run: func(ctx context.Context, st *runner.CellStats) ([]ablationMetric, error) {
 				s, err := core.NewScenario(core.ScenarioConfig{
 					Freshness:     protocol.FreshNonceHistory,
 					Auth:          protocol.AuthHMACSHA1,
@@ -104,13 +167,13 @@ func BenchmarkAblation_NonceHistoryCapacity(b *testing.B) {
 					Protection:    anchor.FullProtection(),
 				})
 				if err != nil {
-					b.Fatal(err)
+					return nil, err
 				}
 				// Record the first request, push `capacity` more through to
 				// evict it, then replay it.
 				req, err := s.V.NewRequest()
 				if err != nil {
-					b.Fatal(err)
+					return nil, err
 				}
 				frame := req.Encode()
 				send := func(buf []byte) {
@@ -123,28 +186,27 @@ func BenchmarkAblation_NonceHistoryCapacity(b *testing.B) {
 				for j := 0; j < capacity; j++ {
 					r, err := s.V.NewRequest()
 					if err != nil {
-						b.Fatal(err)
+						return nil, err
 					}
 					send(r.Encode())
 				}
 				before := s.Measurements()
 				send(frame) // the replay
-				if s.Measurements() > before {
-					replayable = 1
-				} else {
-					replayable = 0
-				}
+				st.Sim = sim.Duration(s.K.Now())
 				// With exactly `capacity` fills the original nonce was
 				// evicted, so the replay must succeed at every capacity —
 				// the history only *delays* replayability.
-				if replayable != 1 {
-					b.Fatalf("cap %d: replay of evicted nonce failed", capacity)
+				if s.Measurements() <= before {
+					return nil, fmt.Errorf("cap %d: replay of evicted nonce failed", capacity)
 				}
-			}
-			b.ReportMetric(replayable, "evicted_replay_accepted")
-			b.ReportMetric(float64(protocol.BytesRequired(capacity)), "nvm_bytes")
+				return []ablationMetric{
+					{"evicted_replay_accepted", 1},
+					{"nvm_bytes", float64(protocol.BytesRequired(capacity))},
+				}, nil
+			},
 		})
 	}
+	return cells
 }
 
 // BenchmarkAblation_ClockResolution contrasts the two hardware clock
@@ -152,6 +214,10 @@ func BenchmarkAblation_NonceHistoryCapacity(b *testing.B) {
 // ~43.7 ms, so tight future-skew tolerances misfire where the full-rate
 // 64-bit clock is exact — resolution trades silicon for protocol slack.
 func BenchmarkAblation_ClockResolution(b *testing.B) {
+	reportAblationSweep(b, clockResolutionCells())
+}
+
+func clockResolutionCells() []ablationCell {
 	cases := []struct {
 		name    string
 		clock   anchor.ClockDesign
@@ -162,12 +228,13 @@ func BenchmarkAblation_ClockResolution(b *testing.B) {
 		{"wide32_skew10ms", anchor.ClockWide32Div, 10, false},
 		{"wide32_skew100ms", anchor.ClockWide32Div, 100, true},
 	}
+	var cells []ablationCell
 	for _, tc := range cases {
 		tc := tc
-		b.Run(tc.name, func(b *testing.B) {
-			var accepted float64
-			const rounds = 20
-			for i := 0; i < b.N; i++ {
+		cells = append(cells, ablationCell{
+			Label: tc.name,
+			Run: func(ctx context.Context, st *runner.CellStats) ([]ablationMetric, error) {
+				const rounds = 20
 				s, err := core.NewScenario(core.ScenarioConfig{
 					Freshness:         protocol.FreshTimestamp,
 					Auth:              protocol.AuthHMACSHA1,
@@ -177,7 +244,7 @@ func BenchmarkAblation_ClockResolution(b *testing.B) {
 					Protection:        anchor.FullProtection(),
 				})
 				if err != nil {
-					b.Fatal(err)
+					return nil, err
 				}
 				// Issue at deliberately awkward phases relative to the
 				// 43.7 ms quantum.
@@ -185,18 +252,22 @@ func BenchmarkAblation_ClockResolution(b *testing.B) {
 					s.IssueAt(s.K.Now() + sim.Time(j)*977*sim.Millisecond + sim.Second)
 				}
 				s.RunUntil(s.K.Now() + 40*sim.Second)
-				accepted = float64(s.V.Accepted)
-			}
-			if tc.wantAll && accepted != rounds {
-				b.Fatalf("%s: accepted %.0f/%d", tc.name, accepted, rounds)
-			}
-			if !tc.wantAll && accepted == rounds {
-				b.Fatalf("%s: expected quantisation rejects, got none", tc.name)
-			}
-			b.ReportMetric(accepted, "rounds_accepted")
-			b.ReportMetric(rounds, "rounds_issued")
+				st.Sim = sim.Duration(s.K.Now())
+				accepted := float64(s.V.Accepted)
+				if tc.wantAll && accepted != rounds {
+					return nil, fmt.Errorf("%s: accepted %.0f/%d", tc.name, accepted, rounds)
+				}
+				if !tc.wantAll && accepted == rounds {
+					return nil, fmt.Errorf("%s: expected quantisation rejects, got none", tc.name)
+				}
+				return []ablationMetric{
+					{"rounds_accepted", accepted},
+					{"rounds_issued", rounds},
+				}, nil
+			},
 		})
 	}
+	return cells
 }
 
 // BenchmarkAblation_ChunkedMeasurement sweeps the measurement chunk size
@@ -206,46 +277,52 @@ func BenchmarkAblation_ClockResolution(b *testing.B) {
 // relocation attack that the atomic (SMART-style) measurement is immune
 // to.
 func BenchmarkAblation_ChunkedMeasurement(b *testing.B) {
+	reportAblationSweep(b, chunkedMeasurementCells())
+}
+
+func chunkedMeasurementCells() []ablationCell {
+	var cells []ablationCell
 	for _, chunk := range []uint32{0, 4 * 1024, 8 * 1024, 64 * 1024} {
 		chunk := chunk
 		name := "atomic"
 		if chunk > 0 {
 			name = fmt.Sprintf("chunk%dKB", chunk/1024)
 		}
-		b.Run(name, func(b *testing.B) {
-			var latencyMs float64
-			var toctou float64
-			for i := 0; i < b.N; i++ {
+		cells = append(cells, ablationCell{
+			Label: name,
+			Run: func(ctx context.Context, st *runner.CellStats) ([]ablationMetric, error) {
 				rt, err := core.RunRealtimeExperiment(chunk)
 				if err != nil {
-					b.Fatal(err)
+					return nil, err
 				}
 				if rt.Accepted != 1 {
-					b.Fatalf("genuine attestation failed at chunk %d", chunk)
+					return nil, fmt.Errorf("genuine attestation failed at chunk %d", chunk)
 				}
-				latencyMs = rt.WorstLatency.Milliseconds()
+				latencyMs := rt.WorstLatency.Milliseconds()
 				tc, err := core.RunTOCTOUExperiment(chunk)
 				if err != nil {
-					b.Fatal(err)
+					return nil, err
 				}
+				toctou := 0.0
 				if tc.AttackSucceeded {
 					toctou = 1
-				} else {
-					toctou = 0
 				}
-			}
-			// The trade-off must hold: atomic → immune but ~754 ms
-			// latency; chunked → bounded latency but TOCTOU-vulnerable.
-			if chunk == 0 && (toctou == 1 || latencyMs < 500) {
-				b.Fatalf("atomic: toctou=%v latency=%.1f ms", toctou == 1, latencyMs)
-			}
-			if chunk != 0 && chunk <= 64*1024 && toctou != 1 {
-				b.Fatalf("chunk %d: TOCTOU unexpectedly failed", chunk)
-			}
-			b.ReportMetric(latencyMs, "worst_sensor_latency_ms")
-			b.ReportMetric(toctou, "toctou_attack_succeeded")
+				// The trade-off must hold: atomic → immune but ~754 ms
+				// latency; chunked → bounded latency but TOCTOU-vulnerable.
+				if chunk == 0 && (toctou == 1 || latencyMs < 500) {
+					return nil, fmt.Errorf("atomic: toctou=%v latency=%.1f ms", toctou == 1, latencyMs)
+				}
+				if chunk != 0 && chunk <= 64*1024 && toctou != 1 {
+					return nil, fmt.Errorf("chunk %d: TOCTOU unexpectedly failed", chunk)
+				}
+				return []ablationMetric{
+					{"worst_sensor_latency_ms", latencyMs},
+					{"toctou_attack_succeeded", toctou},
+				}, nil
+			},
 		})
 	}
+	return cells
 }
 
 // BenchmarkAblation_CounterFlashWear measures the hidden cost of §4.2's
@@ -290,15 +367,20 @@ func BenchmarkAblation_CounterFlashWear(b *testing.B) {
 // ROM and flash key variants cost the same: both attest correctly and both
 // deny extraction; the EA-MAC rule count is identical.
 func BenchmarkAblation_KeyLocation(b *testing.B) {
+	reportAblationSweep(b, keyLocationCells())
+}
+
+func keyLocationCells() []ablationCell {
+	var cells []ablationCell
 	for _, loc := range []anchor.KeyLocation{anchor.KeyInROM, anchor.KeyInFlash} {
 		loc := loc
 		name := "rom"
 		if loc == anchor.KeyInFlash {
 			name = "flash"
 		}
-		b.Run(name, func(b *testing.B) {
-			var cycles float64
-			for i := 0; i < b.N; i++ {
+		cells = append(cells, ablationCell{
+			Label: name,
+			Run: func(ctx context.Context, st *runner.CellStats) ([]ablationMetric, error) {
 				s, err := core.NewScenario(core.ScenarioConfig{
 					Freshness:   protocol.FreshCounter,
 					Auth:        protocol.AuthHMACSHA1,
@@ -306,35 +388,34 @@ func BenchmarkAblation_KeyLocation(b *testing.B) {
 					Protection:  anchor.FullProtection(),
 				})
 				if err != nil {
-					b.Fatal(err)
+					return nil, err
 				}
 				before := s.Dev.M.ActiveCycles
 				s.IssueAt(s.K.Now() + sim.Millisecond)
 				s.RunUntil(s.K.Now() + 2*sim.Second)
+				st.Sim = sim.Duration(s.K.Now())
 				if s.V.Accepted != 1 {
-					b.Fatal("attestation failed")
+					return nil, fmt.Errorf("%s key: attestation failed", name)
 				}
-				cycles = float64(s.Dev.M.ActiveCycles - before)
-			}
-			b.ReportMetric(cycles/24000, "model_ms/attestation")
-			rules := anchor.ProtectionRules(mustNormalize(b, anchor.Config{
-				Freshness:   protocol.FreshCounter,
-				KeyLocation: loc,
-				AttestKey:   core.DefaultAttestKey,
-				Protection:  anchor.FullProtection(),
-			}))
-			b.ReportMetric(float64(len(rules)), "eampu_rules")
+				cycles := float64(s.Dev.M.ActiveCycles - before)
+				cfg, err := anchor.NormalizeConfig(anchor.Config{
+					Freshness:   protocol.FreshCounter,
+					KeyLocation: loc,
+					AttestKey:   core.DefaultAttestKey,
+					Protection:  anchor.FullProtection(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				rules := anchor.ProtectionRules(cfg)
+				return []ablationMetric{
+					{"model_ms/attestation", cycles / 24000},
+					{"eampu_rules", float64(len(rules))},
+				}, nil
+			},
 		})
 	}
-}
-
-func mustNormalize(b *testing.B, cfg anchor.Config) anchor.Config {
-	b.Helper()
-	out, err := anchor.NormalizeConfig(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return out
+	return cells
 }
 
 // BenchmarkAblation_SWClockCPUOverhead measures the runtime price of the
@@ -379,12 +460,16 @@ func BenchmarkAblation_SWClockCPUOverhead(b *testing.B) {
 // MPU programming at boot (static rules), trading flexibility for a
 // smaller boot-time trusted computing base.
 func BenchmarkAblation_ArchitectureProfiles(b *testing.B) {
+	reportAblationSweep(b, architectureProfileCells())
+}
+
+func architectureProfileCells() []ablationCell {
+	var cells []ablationCell
 	for _, p := range []anchor.Profile{anchor.ProfileTrustLite, anchor.ProfileSMART, anchor.ProfileTyTAN} {
 		p := p
-		b.Run(p.String(), func(b *testing.B) {
-			var bootMs float64
-			var accepted uint64
-			for i := 0; i < b.N; i++ {
+		cells = append(cells, ablationCell{
+			Label: p.String(),
+			Run: func(ctx context.Context, st *runner.CellStats) ([]ablationMetric, error) {
 				s, err := core.NewScenario(core.ScenarioConfig{
 					Profile:    p,
 					Freshness:  protocol.FreshCounter,
@@ -392,20 +477,23 @@ func BenchmarkAblation_ArchitectureProfiles(b *testing.B) {
 					Protection: anchor.FullProtection(),
 				})
 				if err != nil {
-					b.Fatal(err)
+					return nil, err
 				}
-				bootMs = s.Dev.Boot.Cycles.Millis()
+				bootMs := s.Dev.Boot.Cycles.Millis()
 				s.IssueAt(s.K.Now() + sim.Millisecond)
 				s.RunUntil(s.K.Now() + 2*sim.Second)
-				accepted = s.V.Accepted
-			}
-			if accepted != 1 {
-				b.Fatalf("%v: attestation failed", p)
-			}
-			b.ReportMetric(bootMs, "boot_ms")
-			b.ReportMetric(float64(s0RulesProgrammedAtBoot(p)), "boot_programmed_rules")
+				st.Sim = sim.Duration(s.K.Now())
+				if s.V.Accepted != 1 {
+					return nil, fmt.Errorf("%v: attestation failed", p)
+				}
+				return []ablationMetric{
+					{"boot_ms", bootMs},
+					{"boot_programmed_rules", float64(s0RulesProgrammedAtBoot(p))},
+				}, nil
+			},
 		})
 	}
+	return cells
 }
 
 func s0RulesProgrammedAtBoot(p anchor.Profile) int {
@@ -422,4 +510,58 @@ func s0RulesProgrammedAtBoot(p anchor.Profile) int {
 		return -1
 	}
 	return len(anchor.ProtectionRules(cfg))
+}
+
+// allAblationSweeps enumerates every swept ablation for the determinism
+// test below. The two single-cell benchmarks (CounterFlashWear,
+// SWClockCPUOverhead) are not sweeps and keep their classic form.
+func allAblationSweeps() []struct {
+	name  string
+	cells []ablationCell
+} {
+	return []struct {
+		name  string
+		cells []ablationCell
+	}{
+		{"MeasurementSize", measurementSizeCells()},
+		{"TimestampWindow", timestampWindowCells()},
+		{"NonceHistoryCapacity", nonceHistoryCells()},
+		{"ClockResolution", clockResolutionCells()},
+		{"ChunkedMeasurement", chunkedMeasurementCells()},
+		{"KeyLocation", keyLocationCells()},
+		{"ArchitectureProfiles", architectureProfileCells()},
+	}
+}
+
+// TestAblationSweepsDeterministicAcrossWorkers runs every ablation sweep
+// on one worker and on four and demands byte-identical metrics in input
+// order. This is the sweeps' validation path under plain `go test ./...`
+// (benchmarks only execute under -bench) and the determinism proof for
+// running them in parallel.
+func TestAblationSweepsDeterministicAcrossWorkers(t *testing.T) {
+	for _, sw := range allAblationSweeps() {
+		sw := sw
+		t.Run(sw.name, func(t *testing.T) {
+			t.Parallel()
+			serial, _ := runner.Run(context.Background(), sw.cells, runner.Options{Workers: 1})
+			parallel, _ := runner.Run(context.Background(), sw.cells, runner.Options{Workers: 4})
+			sVals, err := runner.Values(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pVals, err := runner.Values(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, pb := fmt.Sprintf("%#v", sVals), fmt.Sprintf("%#v", pVals)
+			if sb != pb {
+				t.Fatalf("parallel sweep diverged from serial:\n serial:   %s\n parallel: %s", sb, pb)
+			}
+			for i, res := range parallel {
+				if res.Index != i || res.Label != sw.cells[i].Label {
+					t.Fatalf("result %d out of input order: %+v", i, res)
+				}
+			}
+		})
+	}
 }

@@ -2,75 +2,93 @@
 // reports observed outcomes: the Adv_ext freshness matrix (Table 2), the
 // Adv_roam three-phase campaigns of §5 against protected and unprotected
 // provers, and the request-flood energy experiment behind §3.1.
+//
+// Every campaign is a set of independent simulation cells, so they execute
+// on the parallel campaign runner; -parallel bounds the worker pool
+// (default: all cores) and each campaign prints the runner's wall-clock
+// stats next to its table.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"proverattest/internal/core"
 	"proverattest/internal/protocol"
+	"proverattest/internal/runner"
 	"proverattest/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		matrix = flag.Bool("matrix", false, "run the Adv_ext attack x freshness matrix (Table 2)")
-		roam   = flag.Bool("roam", false, "run the Adv_roam campaigns (Section 5)")
-		flood  = flag.Bool("flood", false, "run the request-flood energy experiment (Section 3.1)")
-		fleet  = flag.Bool("fleet", false, "run the IoT fleet deployment (future-work 1)")
-		rate   = flag.Float64("rate", 10, "flood rate in requests/second")
-		secs   = flag.Int("seconds", 30, "flood duration in simulated seconds")
+		matrix   = flag.Bool("matrix", false, "run the Adv_ext attack x freshness matrix (Table 2)")
+		roam     = flag.Bool("roam", false, "run the Adv_roam campaigns (Section 5)")
+		flood    = flag.Bool("flood", false, "run the request-flood energy experiment (Section 3.1)")
+		fleet    = flag.Bool("fleet", false, "run the IoT fleet deployment (future-work 1)")
+		rate     = flag.Float64("rate", 10, "flood rate in requests/second")
+		secs     = flag.Int("seconds", 30, "flood duration in simulated seconds")
+		parallel = flag.Int("parallel", 0, "campaign-runner workers (<=0: all cores, 1: serial)")
 	)
 	flag.Parse()
 	if !*matrix && !*roam && !*flood && !*fleet {
 		*matrix, *roam, *flood, *fleet = true, true, true, true
 	}
+	ctx := context.Background()
 
 	if *matrix {
-		if err := runMatrix(); err != nil {
+		if err := runMatrix(ctx, *parallel); err != nil {
 			log.Fatalf("attack-sim: matrix: %v", err)
 		}
 	}
 	if *roam {
-		if err := runRoaming(); err != nil {
+		if err := runRoaming(ctx, *parallel); err != nil {
 			log.Fatalf("attack-sim: roaming: %v", err)
 		}
 	}
 	if *flood {
-		if err := runFlood(*rate, *secs); err != nil {
+		if err := runFlood(ctx, *parallel, *rate, *secs); err != nil {
 			log.Fatalf("attack-sim: flood: %v", err)
 		}
 	}
 	if *fleet {
-		if err := runFleet(*rate); err != nil {
+		if err := runFleet(ctx, *parallel, *rate); err != nil {
 			log.Fatalf("attack-sim: fleet: %v", err)
 		}
 	}
 }
 
-func runFleet(rate float64) error {
+func printStats(stats runner.CampaignStats) {
+	fmt.Printf("campaign: %v\n\n", stats)
+}
+
+func runFleet(ctx context.Context, workers int, rate float64) error {
 	fmt.Printf("=== IoT fleet: 12 provers, 3 flooded at %.0f req/s, 10 simulated minutes ===\n", rate)
-	fmt.Printf("%-22s %10s %12s %14s %14s\n",
-		"request auth", "genuine ok", "measurements", "flooded J/dev", "healthy J/dev")
-	for _, kind := range []protocol.AuthKind{protocol.AuthNone, protocol.AuthHMACSHA1} {
-		report, err := core.RunFleetExperiment(12, 3, kind, rate, 60*sim.Second, 10*sim.Minute)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-22s %10d %12d %14.3f %14.3f\n",
-			kind, report.GenuineOK, report.Measurements,
-			report.FloodedEnergyJ, report.HealthyEnergyJ)
+	fmt.Printf("%-22s %10s %12s %14s %14s %12s\n",
+		"request auth", "genuine ok", "measurements", "flooded J/dev", "healthy J/dev", "chan drops")
+	points := []core.FleetSweepPoint{
+		{Auth: protocol.AuthNone, RatePerSec: rate},
+		{Auth: protocol.AuthHMACSHA1, RatePerSec: rate},
 	}
-	fmt.Println()
+	reports, stats, err := core.RunFleetSweep(ctx, workers, points, 12, 3, 60*sim.Second, 10*sim.Minute)
+	if err != nil {
+		return err
+	}
+	for i, report := range reports {
+		fmt.Printf("%-22s %10d %12d %14.3f %14.3f %6d/%-5d\n",
+			points[i].Auth, report.GenuineOK, report.Measurements,
+			report.FloodedEnergyJ, report.HealthyEnergyJ,
+			report.TapDropped, report.Undeliverable)
+	}
+	printStats(stats)
 	return nil
 }
 
-func runMatrix() error {
+func runMatrix(ctx context.Context, workers int) error {
 	fmt.Println("=== Adv_ext: attack x freshness matrix (Table 2) ===")
-	results, err := core.RunMatrix()
+	results, stats, err := core.RunMatrixParallel(ctx, workers)
 	if err != nil {
 		return err
 	}
@@ -86,59 +104,58 @@ func runMatrix() error {
 		fmt.Printf("%-8s x %-11s: %-17s (%d measurements, honest baseline %d) [%s]\n",
 			r.Attack, r.Freshness, verdict, r.Measurements, r.HonestMeasurements, agree)
 	}
-	fmt.Println()
+	printStats(stats)
 	return nil
 }
 
-func runRoaming() error {
+func runRoaming(ctx context.Context, workers int) error {
 	fmt.Println("=== Adv_roam: three-phase campaigns (Section 5) ===")
-	for _, target := range core.AllRoamTargets {
-		for _, protected := range []bool{false, true} {
-			res, err := core.RunRoamingCampaign(target, protected)
-			if err != nil {
-				return fmt.Errorf("%v: %w", target, err)
-			}
-			mode := "UNPROTECTED"
-			if protected {
-				mode = "protected  "
-			}
-			verdict := "attack failed"
-			if res.AttackSucceeded {
-				verdict = "ATTACK SUCCEEDED"
-			}
-			fmt.Printf("%-22s [%s]: %-16s", target, mode, verdict)
-			if res.AttackSucceeded && res.CounterRestored && target == core.RoamCounter {
-				fmt.Printf("  (counter restored -> undetectable)")
-			}
-			if res.ClockBehindMs > 1000 {
-				fmt.Printf("  (prover clock left %d ms behind)", res.ClockBehindMs)
-			}
-			fmt.Println()
-			for _, o := range res.TamperOutcomes {
-				fmt.Printf("    phase II: %s\n", o)
-			}
+	results, stats, err := core.RunRoamingMatrix(ctx, workers)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		mode := "UNPROTECTED"
+		if res.Protected {
+			mode = "protected  "
+		}
+		verdict := "attack failed"
+		if res.AttackSucceeded {
+			verdict = "ATTACK SUCCEEDED"
+		}
+		fmt.Printf("%-22s [%s]: %-16s", res.Target, mode, verdict)
+		if res.AttackSucceeded && res.CounterRestored && res.Target == core.RoamCounter {
+			fmt.Printf("  (counter restored -> undetectable)")
+		}
+		if res.ClockBehindMs > 1000 {
+			fmt.Printf("  (prover clock left %d ms behind)", res.ClockBehindMs)
+		}
+		fmt.Println()
+		for _, o := range res.TamperOutcomes {
+			fmt.Printf("    phase II: %s\n", o)
 		}
 	}
-	fmt.Println()
+	printStats(stats)
 	return nil
 }
 
-func runFlood(rate float64, secs int) error {
+func runFlood(ctx context.Context, workers int, rate float64, secs int) error {
 	fmt.Printf("=== Verifier-impersonation flood: %.0f req/s for %d s (Section 3.1) ===\n", rate, secs)
 	fmt.Printf("%-22s %8s %8s %8s %9s %10s %12s\n",
 		"request auth", "injected", "measure", "rejectd", "duty%", "energy J", "battery days")
-	for _, kind := range []protocol.AuthKind{
+	auths := []protocol.AuthKind{
 		protocol.AuthNone, protocol.AuthSpeckCBCMAC, protocol.AuthAESCBCMAC,
 		protocol.AuthHMACSHA1, protocol.AuthECDSA,
-	} {
-		res, err := core.RunFloodExperiment(kind, rate, sim.Duration(secs)*sim.Second)
-		if err != nil {
-			return fmt.Errorf("%v: %w", kind, err)
-		}
+	}
+	results, stats, err := core.RunFloodSweep(ctx, workers, auths, rate, sim.Duration(secs)*sim.Second)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
 		fmt.Printf("%-22s %8d %8d %8d %8.2f%% %10.4f %12.1f\n",
-			kind, res.Injected, res.Measurements, res.AuthRejected,
+			res.Auth, res.Injected, res.Measurements, res.AuthRejected,
 			res.DutyCyclePct, res.EnergyJoules, res.LifetimeDays)
 	}
-	fmt.Println()
+	printStats(stats)
 	return nil
 }

@@ -2,9 +2,15 @@
 // authentication scheme, freshness mechanism, clock design, protection
 // level and traffic pattern, and observe the prover's behaviour, timing
 // and energy budget over a simulated deployment.
+//
+// -auth accepts a single scheme, a comma-separated list, or "all"; with
+// more than one scheme the deployments run as independent cells on the
+// parallel campaign runner (-parallel bounds the worker pool) and the
+// reports print in input order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -14,13 +20,14 @@ import (
 	"proverattest/internal/core"
 	"proverattest/internal/energy"
 	"proverattest/internal/protocol"
+	"proverattest/internal/runner"
 	"proverattest/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		authName    = flag.String("auth", "hmac", "request auth: none | hmac | aes | speck | ecdsa")
+		authName    = flag.String("auth", "hmac", "request auth: none | hmac | aes | speck | ecdsa, a comma-separated list, or 'all'")
 		freshName   = flag.String("freshness", "counter", "freshness: none | nonces | counter | timestamps")
 		clockName   = flag.String("clock", "none", "clock: none | wide64 | wide32 | sw")
 		profileName = flag.String("profile", "trustlite", "architecture: trustlite | smart | tytan")
@@ -28,10 +35,11 @@ func main() {
 		seconds     = flag.Int("seconds", 600, "simulated deployment length")
 		periodSec   = flag.Float64("period", 60, "seconds between genuine attestation requests")
 		windowMs    = flag.Uint64("window", 1000, "timestamp freshness window (ms)")
+		parallel    = flag.Int("parallel", 0, "campaign-runner workers for multi-auth sweeps (<=0: all cores)")
 	)
 	flag.Parse()
 
-	auth, err := parseAuth(*authName)
+	auths, err := parseAuthList(*authName)
 	if err != nil {
 		log.Fatalf("prover-sim: %v", err)
 	}
@@ -52,50 +60,129 @@ func main() {
 		fmt.Println("note: timestamps need a clock; defaulting to the 64-bit hardware design")
 	}
 
+	cells := make([]runner.Cell[string], len(auths))
+	for i, auth := range auths {
+		auth := auth
+		cells[i] = runner.Cell[string]{
+			Label: fmt.Sprintf("deploy %v", auth),
+			Run: func(ctx context.Context, st *runner.CellStats) (string, error) {
+				return runDeployment(deployParams{
+					profile:   profile,
+					auth:      auth,
+					fresh:     fresh,
+					clock:     clock,
+					protected: *protected,
+					seconds:   *seconds,
+					periodSec: *periodSec,
+					windowMs:  *windowMs,
+				}, st)
+			},
+		}
+	}
+	results, stats := runner.Run(context.Background(), cells, runner.Options{Workers: *parallel})
+	reports, err := runner.Values(results)
+	if err != nil {
+		log.Fatalf("prover-sim: %v", err)
+	}
+	for i, report := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(report)
+	}
+	if len(auths) > 1 {
+		fmt.Printf("\ncampaign: %v\n", stats)
+	}
+}
+
+type deployParams struct {
+	profile   anchor.Profile
+	auth      protocol.AuthKind
+	fresh     protocol.FreshnessKind
+	clock     anchor.ClockDesign
+	protected bool
+	seconds   int
+	periodSec float64
+	windowMs  uint64
+}
+
+// runDeployment executes one full deployment on a private kernel and
+// renders its report, so deployments can run concurrently and still print
+// in input order.
+func runDeployment(p deployParams, st *runner.CellStats) (string, error) {
 	prot := anchor.Protection{Key: true, LockMPU: true}
-	if *protected {
+	if p.protected {
 		prot = anchor.FullProtection()
 	}
 	battery := energy.CoinCellCR2032()
 	s, err := core.NewScenario(core.ScenarioConfig{
-		Profile:           profile,
-		Freshness:         fresh,
-		Auth:              auth,
-		Clock:             clock,
-		TimestampWindowMs: *windowMs,
+		Profile:           p.profile,
+		Freshness:         p.fresh,
+		Auth:              p.auth,
+		Clock:             p.clock,
+		TimestampWindowMs: p.windowMs,
 		Protection:        prot,
 		Battery:           battery,
 	})
 	if err != nil {
-		log.Fatalf("prover-sim: %v", err)
+		return "", err
 	}
 
-	duration := sim.Duration(*seconds) * sim.Second
-	period := sim.Duration(*periodSec * float64(sim.Second))
+	duration := sim.Duration(p.seconds) * sim.Second
+	period := sim.Duration(p.periodSec * float64(sim.Second))
 	count := int(duration / period)
 	s.IssueEvery(s.K.Now()+period, period, count)
 	// Run a little past the deployment window so a request issued at the
 	// boundary still completes its round trip.
 	s.RunUntil(s.K.Now() + duration + 3*sim.Second)
 	s.Dev.ChargeSleep(duration)
+	st.Sim = sim.Duration(s.K.Now())
 
-	st := s.Dev.A.Stats
-	fmt.Printf("configuration: profile=%v auth=%v freshness=%v clock=%v protected=%v\n",
-		profile, auth, fresh, clock, *protected)
-	fmt.Printf("deployment:    %d s simulated, one request every %.0f s\n\n", *seconds, *periodSec)
-	fmt.Printf("verifier:      issued %d, accepted %d, rejected %d, unsolicited %d\n",
+	var b strings.Builder
+	stats := s.Dev.A.Stats
+	fmt.Fprintf(&b, "configuration: profile=%v auth=%v freshness=%v clock=%v protected=%v\n",
+		p.profile, p.auth, p.fresh, p.clock, p.protected)
+	fmt.Fprintf(&b, "deployment:    %d s simulated, one request every %.0f s\n\n", p.seconds, p.periodSec)
+	fmt.Fprintf(&b, "verifier:      issued %d, accepted %d, rejected %d, unsolicited %d\n",
 		s.V.Issued, s.V.Accepted, s.V.Rejected, s.V.Unsolicited)
-	fmt.Printf("prover:        received %d, measured %d, auth-rejected %d, freshness-rejected %d, malformed %d\n",
-		st.Received, st.Measurements, st.AuthRejected, st.FreshnessRejected, st.Malformed)
-	if clock == anchor.ClockSW {
-		fmt.Printf("SW clock:      %d Code_Clock ticks, prover clock reads %d ms\n",
-			st.ClockTicks, s.Dev.A.ClockNowMs())
+	fmt.Fprintf(&b, "prover:        received %d, measured %d, auth-rejected %d, freshness-rejected %d, malformed %d\n",
+		stats.Received, stats.Measurements, stats.AuthRejected, stats.FreshnessRejected, stats.Malformed)
+	if p.clock == anchor.ClockSW {
+		fmt.Fprintf(&b, "SW clock:      %d Code_Clock ticks, prover clock reads %d ms\n",
+			stats.ClockTicks, s.Dev.A.ClockNowMs())
 	}
-	fmt.Printf("CPU:           %.1f ms active (%.4f%% duty cycle)\n",
+	fmt.Fprintf(&b, "CPU:           %.1f ms active (%.4f%% duty cycle)\n",
 		s.Dev.M.ActiveCycles.Millis(),
 		100*float64(s.Dev.M.ActiveCycles.Millis())/float64(duration.Milliseconds()))
-	fmt.Printf("energy:        %.4f J consumed; battery %s\n",
+	fmt.Fprintf(&b, "energy:        %.4f J consumed; battery %s\n",
 		s.Dev.ActiveEnergyJoules(), battery)
+	return b.String(), nil
+}
+
+// parseAuthList accepts one scheme, a comma-separated list, or "all".
+func parseAuthList(s string) ([]protocol.AuthKind, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return []protocol.AuthKind{
+			protocol.AuthNone, protocol.AuthSpeckCBCMAC, protocol.AuthAESCBCMAC,
+			protocol.AuthHMACSHA1, protocol.AuthECDSA,
+		}, nil
+	}
+	var out []protocol.AuthKind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, err := parseAuth(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kind)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no auth scheme in %q", s)
+	}
+	return out, nil
 }
 
 func parseAuth(s string) (protocol.AuthKind, error) {

@@ -79,7 +79,12 @@ type LossTap struct {
 	// Inner handles surviving frames; nil means passthrough.
 	Inner Tap
 
-	seen    int
+	seen int
+	// Dropped attributes drops to this tap specifically. Every frame it
+	// drops is also counted once in the owning Channel's TapDropped, so
+	// the two must never be added together: Channel.TapDropped is the
+	// link-level total across whatever tap stack is installed, Dropped is
+	// this layer's share of it.
 	Dropped int
 }
 
@@ -109,11 +114,25 @@ type Channel struct {
 	handlers map[Endpoint]func(Message)
 	nextID   uint64
 
-	// Stats.
+	// Stats. TapDropped and Undeliverable are distinct causes: the former
+	// is adversarial or environmental interference at send time, the
+	// latter a wiring gap at delivery time. They used to be conflated in
+	// one Dropped counter, which made loss-rate arithmetic lie whenever an
+	// endpoint was left unattached.
 	Sent      uint64
 	Delivered uint64
-	Dropped   uint64
+	// TapDropped counts frames the tap discarded at send time (it
+	// returned no deliveries).
+	TapDropped uint64
+	// Undeliverable counts deliveries that arrived for an endpoint with no
+	// attached handler.
+	Undeliverable uint64
 }
+
+// Dropped reports the total frames lost for any reason — the sum of
+// TapDropped and Undeliverable, kept for callers that only care that a
+// frame vanished.
+func (c *Channel) Dropped() uint64 { return c.TapDropped + c.Undeliverable }
 
 // New builds a channel with a fixed one-way base latency and an optional
 // tap (nil means Passthrough).
@@ -151,7 +170,7 @@ func (c *Channel) Send(from, to Endpoint, payload []byte) {
 	c.Sent++
 	deliveries := c.tap.OnSend(msg.Clone(), c.k.Now())
 	if len(deliveries) == 0 {
-		c.Dropped++
+		c.TapDropped++
 		return
 	}
 	for _, d := range deliveries {
@@ -176,7 +195,7 @@ func (c *Channel) scheduleDelivery(msg Message, delay sim.Duration) {
 	c.k.After(delay, func() {
 		h, ok := c.handlers[msg.To]
 		if !ok {
-			c.Dropped++
+			c.Undeliverable++
 			return
 		}
 		c.Delivered++

@@ -27,18 +27,22 @@ func TestPassthroughDelivery(t *testing.T) {
 	if at != 2*sim.Millisecond {
 		t.Fatalf("delivered at %v, want 2 ms", at)
 	}
-	if c.Sent != 1 || c.Delivered != 1 || c.Dropped != 0 {
-		t.Fatalf("stats: sent=%d delivered=%d dropped=%d", c.Sent, c.Delivered, c.Dropped)
+	if c.Sent != 1 || c.Delivered != 1 || c.Dropped() != 0 {
+		t.Fatalf("stats: sent=%d delivered=%d dropped=%d", c.Sent, c.Delivered, c.Dropped())
 	}
 }
 
-func TestNoHandlerCountsDropped(t *testing.T) {
+func TestNoHandlerCountsUndeliverable(t *testing.T) {
 	k := sim.NewKernel()
 	c := New(k, 0, nil)
 	c.Send(Verifier, Prover, []byte("x"))
 	k.Run()
-	if c.Dropped != 1 || c.Delivered != 0 {
-		t.Fatalf("stats: delivered=%d dropped=%d", c.Delivered, c.Dropped)
+	if c.Undeliverable != 1 || c.TapDropped != 0 || c.Delivered != 0 {
+		t.Fatalf("stats: delivered=%d tap=%d undeliverable=%d",
+			c.Delivered, c.TapDropped, c.Undeliverable)
+	}
+	if c.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", c.Dropped())
 	}
 }
 
@@ -53,8 +57,9 @@ func TestDropTap(t *testing.T) {
 	c.Attach(Prover, func(Message) { delivered++ })
 	c.Send(Verifier, Prover, []byte("x"))
 	k.Run()
-	if delivered != 0 || c.Dropped != 1 {
-		t.Fatalf("drop tap: delivered=%d dropped=%d", delivered, c.Dropped)
+	if delivered != 0 || c.TapDropped != 1 || c.Undeliverable != 0 {
+		t.Fatalf("drop tap: delivered=%d tap=%d undeliverable=%d",
+			delivered, c.TapDropped, c.Undeliverable)
 	}
 }
 
@@ -223,6 +228,51 @@ func TestLossTapBelowTwoDropsNothing(t *testing.T) {
 	k.Run()
 	if got != 5 || tap.Dropped != 0 {
 		t.Fatalf("DropEvery=1 dropped frames: got %d, dropped %d", got, tap.Dropped)
+	}
+}
+
+func TestDropCausesAreSplitNotConflated(t *testing.T) {
+	// Regression: both drop causes used to share one counter, so a
+	// detached endpoint inflated the apparent tap/loss rate. The two
+	// causes must now be attributed separately, with Dropped() as their
+	// sum — and the LossTap's own counter must mirror the channel's
+	// TapDropped (one count per layer), never add to it.
+	k := sim.NewKernel()
+	tap := &LossTap{DropEvery: 2}
+	c := New(k, 0, tap)
+	c.Attach(Prover, func(Message) {})
+	// 4 frames toward the attached prover: 2 survive, 2 die in the tap.
+	for i := 0; i < 4; i++ {
+		c.Send(Verifier, Prover, []byte{byte(i)})
+	}
+	// 1 frame toward the never-attached verifier that survives the tap
+	// (frame 5 of DropEvery=2 is a keeper) but has no handler.
+	c.Send(Prover, Verifier, []byte("orphan"))
+	k.Run()
+
+	if c.TapDropped != 2 {
+		t.Fatalf("TapDropped = %d, want 2", c.TapDropped)
+	}
+	if c.Undeliverable != 1 {
+		t.Fatalf("Undeliverable = %d, want 1", c.Undeliverable)
+	}
+	if c.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3 (sum of both causes)", c.Dropped())
+	}
+	if c.Delivered != 2 {
+		t.Fatalf("Delivered = %d, want 2", c.Delivered)
+	}
+	// The per-tap attribution equals the channel's tap-level count: the
+	// same frame is never accounted twice across the two layers.
+	if uint64(tap.Dropped) != c.TapDropped {
+		t.Fatalf("LossTap.Dropped = %d but Channel.TapDropped = %d — double accounting",
+			tap.Dropped, c.TapDropped)
+	}
+	// Conservation: every sent frame is delivered or accounted to exactly
+	// one drop cause.
+	if c.Sent != c.Delivered+c.Dropped() {
+		t.Fatalf("conservation broken: sent=%d delivered=%d dropped=%d",
+			c.Sent, c.Delivered, c.Dropped())
 	}
 }
 

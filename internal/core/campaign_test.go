@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+// TestMatrixParallelByteIdenticalToSerial is the acceptance proof for the
+// campaign runner: Table 2 regenerated on one worker and on many must be
+// byte-for-byte the same, in paper order both times.
+func TestMatrixParallelByteIdenticalToSerial(t *testing.T) {
+	serial, sstats, err := RunMatrixParallel(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, pstats, err := RunMatrixParallel(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sstats.Workers != 1 || pstats.Workers != 4 {
+		t.Fatalf("worker counts: serial=%d parallel=%d", sstats.Workers, pstats.Workers)
+	}
+	sb, pb := fmt.Sprintf("%#v", serial), fmt.Sprintf("%#v", parallel)
+	if sb != pb {
+		t.Fatalf("parallel matrix diverged from serial:\n serial:   %s\n parallel: %s", sb, pb)
+	}
+	if pstats.Sim == 0 {
+		t.Fatal("campaign reported no simulated time")
+	}
+	if pstats.Cells != len(MatrixAttacks)*len(MatrixFreshnessKinds) {
+		t.Fatalf("campaign ran %d cells, want %d", pstats.Cells, len(MatrixAttacks)*len(MatrixFreshnessKinds))
+	}
+}
+
+func TestRoamingMatrixParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32 full roaming campaigns")
+	}
+	serial, _, err := RunRoamingMatrix(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, _, err := RunRoamingMatrix(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(AllRoamingCampaigns()) {
+		t.Fatalf("roaming matrix has %d cells, want %d", len(serial), len(AllRoamingCampaigns()))
+	}
+	// RoamingResult carries *mcu.Fault pointers, so compare values deeply
+	// rather than via %#v (which renders addresses).
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel roaming matrix diverged from serial")
+	}
+	// Spot-check presentation order: unprotected before protected for the
+	// first target.
+	if serial[0].Target != RoamCounter || serial[0].Protected || !serial[1].Protected {
+		t.Fatalf("presentation order broken: %+v / %+v", serial[0], serial[1])
+	}
+}
+
+func TestFloodSweepOrderedAndIdenticalToDirectRuns(t *testing.T) {
+	auths := []protocol.AuthKind{protocol.AuthNone, protocol.AuthHMACSHA1}
+	const rate, dur = 5.0, 10 * sim.Second
+	sweep, stats, err := RunFloodSweep(context.Background(), 2, auths, rate, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cells != 2 {
+		t.Fatalf("stats.Cells = %d", stats.Cells)
+	}
+	for i, auth := range auths {
+		direct, err := RunFloodExperiment(auth, rate, dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%#v", sweep[i]) != fmt.Sprintf("%#v", direct) {
+			t.Fatalf("sweep cell %d (%v) diverged from a direct run", i, auth)
+		}
+	}
+}
+
+func TestFleetSweepOrderedAndIdenticalToDirectRuns(t *testing.T) {
+	points := []FleetSweepPoint{
+		{Auth: protocol.AuthNone, RatePerSec: 5},
+		{Auth: protocol.AuthHMACSHA1, RatePerSec: 5},
+	}
+	const n, flooded = 4, 1
+	period, horizon := 20*sim.Second, sim.Minute
+	sweep, stats, err := RunFleetSweep(context.Background(), 2, points, n, flooded, period, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sim != 2*horizon {
+		t.Fatalf("aggregate sim time %v, want %v", stats.Sim, 2*horizon)
+	}
+	for i, p := range points {
+		direct, err := RunFleetExperiment(n, flooded, p.Auth, p.RatePerSec, period, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%#v", sweep[i]) != fmt.Sprintf("%#v", direct) {
+			t.Fatalf("fleet sweep cell %d (%v) diverged from a direct run", i, p.Auth)
+		}
+	}
+}
+
+func TestDriftSweepStillOrdered(t *testing.T) {
+	offsets := []int64{-2000, -100, 0, 100, 2000}
+	out, err := RunDriftSweep(offsets, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(offsets) {
+		t.Fatalf("got %d results, want %d", len(out), len(offsets))
+	}
+	for i, r := range out {
+		if r.OffsetMs != offsets[i] {
+			t.Fatalf("result %d is offset %d, want %d (input order)", i, r.OffsetMs, offsets[i])
+		}
+	}
+	// Sanity: a huge negative offset is refused, zero offset accepted.
+	if out[2].OffsetMs != 0 || !out[2].Accepted {
+		t.Fatal("zero-drift request refused")
+	}
+	if out[0].Accepted {
+		t.Fatal("-2 s drift accepted despite a 1 s window")
+	}
+}

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"proverattest/internal/adversary"
 	"proverattest/internal/anchor"
 	"proverattest/internal/crypto/cost"
 	"proverattest/internal/energy"
 	"proverattest/internal/protocol"
+	"proverattest/internal/runner"
 	"proverattest/internal/sim"
 )
 
@@ -104,6 +108,30 @@ func RunFloodExperiment(auth protocol.AuthKind, ratePerSec float64, duration sim
 	return res, nil
 }
 
+// RunFloodSweep runs one independent flood experiment per authentication
+// scheme across the campaign runner's worker pool and returns the results
+// in input order with the campaign stats.
+func RunFloodSweep(ctx context.Context, workers int, auths []protocol.AuthKind,
+	ratePerSec float64, duration sim.Duration) ([]FloodResult, runner.CampaignStats, error) {
+	cells := make([]runner.Cell[FloodResult], len(auths))
+	for i, auth := range auths {
+		auth := auth
+		cells[i] = runner.Cell[FloodResult]{
+			Label: fmt.Sprintf("flood %v", auth),
+			Run: func(ctx context.Context, st *runner.CellStats) (FloodResult, error) {
+				st.Sim = duration
+				return RunFloodExperiment(auth, ratePerSec, duration)
+			},
+		}
+	}
+	results, stats := runner.Run(ctx, cells, runner.Options{Workers: workers})
+	out, err := runner.Values(results)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: flood sweep: %w", err)
+	}
+	return out, stats, nil
+}
+
 // DriftResult is one point of the clock-synchronisation sweep (the
 // paper's future-work item 2): how far may the verifier's clock drift from
 // the prover's before genuine, timely requests are refused?
@@ -113,25 +141,34 @@ type DriftResult struct {
 }
 
 // RunDriftSweep issues one genuine timestamped request per offset and
-// reports whether the prover accepted it.
+// reports whether the prover accepted it. The offsets are independent
+// scenarios, so the sweep runs on the campaign runner's default pool.
 func RunDriftSweep(offsetsMs []int64, windowMs, skewMs uint64) ([]DriftResult, error) {
-	out := make([]DriftResult, 0, len(offsetsMs))
-	for _, off := range offsetsMs {
-		s, err := NewScenario(ScenarioConfig{
-			Freshness:             protocol.FreshTimestamp,
-			Auth:                  protocol.AuthHMACSHA1,
-			Clock:                 anchor.ClockWide64,
-			TimestampWindowMs:     windowMs,
-			TimestampSkewMs:       skewMs,
-			Protection:            anchor.FullProtection(),
-			VerifierClockOffsetMs: off,
-		})
-		if err != nil {
-			return nil, err
+	cells := make([]runner.Cell[DriftResult], len(offsetsMs))
+	for i, off := range offsetsMs {
+		off := off
+		cells[i] = runner.Cell[DriftResult]{
+			Label: fmt.Sprintf("drift %+d ms", off),
+			Run: func(ctx context.Context, st *runner.CellStats) (DriftResult, error) {
+				s, err := NewScenario(ScenarioConfig{
+					Freshness:             protocol.FreshTimestamp,
+					Auth:                  protocol.AuthHMACSHA1,
+					Clock:                 anchor.ClockWide64,
+					TimestampWindowMs:     windowMs,
+					TimestampSkewMs:       skewMs,
+					Protection:            anchor.FullProtection(),
+					VerifierClockOffsetMs: off,
+				})
+				if err != nil {
+					return DriftResult{}, err
+				}
+				s.IssueAt(10 * sim.Second)
+				s.RunUntil(15 * sim.Second)
+				st.Sim = sim.Duration(s.K.Now())
+				return DriftResult{OffsetMs: off, Accepted: s.Measurements() == 1}, nil
+			},
 		}
-		s.IssueAt(10 * sim.Second)
-		s.RunUntil(15 * sim.Second)
-		out = append(out, DriftResult{OffsetMs: off, Accepted: s.Measurements() == 1})
 	}
-	return out, nil
+	results, _ := runner.Run(context.Background(), cells, runner.Options{})
+	return runner.Values(results)
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"proverattest/internal/adversary"
 	"proverattest/internal/anchor"
 	"proverattest/internal/energy"
 	"proverattest/internal/protocol"
+	"proverattest/internal/runner"
 	"proverattest/internal/sim"
 )
 
@@ -18,6 +20,11 @@ import (
 type Fleet struct {
 	K       *sim.Kernel
 	Members []*Scenario
+	// Period is the genuine attestation interval every member is
+	// scheduled on (FleetConfig.AttestPeriod after defaulting). Keeping it
+	// here means scheduling cannot silently disagree with the configured
+	// period.
+	Period sim.Duration
 }
 
 // FleetConfig parameterises a fleet deployment.
@@ -41,7 +48,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		cfg.AttestPeriod = 60 * sim.Second
 	}
 	k := sim.NewKernel()
-	f := &Fleet{K: k}
+	f := &Fleet{K: k, Period: cfg.AttestPeriod}
 	for i := 0; i < cfg.Provers; i++ {
 		member := cfg.Scenario
 		member.Battery = energy.CoinCellCR2032()
@@ -62,14 +69,31 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 var FleetMasterSecret = []byte("proverattest-fleet-master-secret")
 
 // ScheduleAttestation arranges periodic genuine attestation for every
-// member over the given horizon, staggered across the period.
-func (f *Fleet) ScheduleAttestation(period, horizon sim.Duration) {
+// member over the given horizon, staggered across the fleet's configured
+// period. A fleet with no members (possible when the struct is assembled
+// by hand rather than via NewFleet) schedules nothing.
+func (f *Fleet) ScheduleAttestation(horizon sim.Duration) {
 	n := len(f.Members)
-	for i, m := range f.Members {
-		offset := sim.Duration(uint64(period) * uint64(i) / uint64(n))
-		count := int((horizon - offset) / period)
-		m.IssueEvery(f.K.Now()+offset+period/2, period, count)
+	if n == 0 || f.Period <= 0 {
+		return
 	}
+	for i, m := range f.Members {
+		offset := staggerOffset(f.Period, i, n)
+		if offset >= horizon {
+			continue
+		}
+		count := int((horizon - offset) / f.Period)
+		m.IssueEvery(f.K.Now()+offset+f.Period/2, f.Period, count)
+	}
+}
+
+// staggerOffset spreads member i of n evenly across one period without the
+// uint64(period)*uint64(i) product, which overflows for long periods ×
+// large fleets (e.g. a day-long period across a 100k-device fleet).
+// Dividing first keeps every intermediate ≤ period.
+func staggerOffset(period sim.Duration, i, n int) sim.Duration {
+	step := period / sim.Duration(n)
+	return step * sim.Duration(i)
 }
 
 // FloodMembers aims a forged-request flood at members [0, floodCount).
@@ -122,10 +146,15 @@ func (f *Fleet) RunUntil(deadline sim.Time) {
 // FleetReport aggregates a deployment's outcome, split between flooded and
 // healthy members.
 type FleetReport struct {
-	Provers               int
-	Flooded               int
-	GenuineOK             uint64 // accepted attestations fleet-wide
-	Measurements          uint64
+	Provers      int
+	Flooded      int
+	GenuineOK    uint64 // accepted attestations fleet-wide
+	Measurements uint64
+	// TapDropped and Undeliverable aggregate the members' channel-loss
+	// counters by cause (see channel.Channel); they are reported
+	// separately so a wiring gap cannot masquerade as adversarial loss.
+	TapDropped            uint64
+	Undeliverable         uint64
 	FloodedEnergyJ        float64 // mean active energy per flooded member
 	HealthyEnergyJ        float64 // mean active energy per healthy member
 	FloodedMinBatteryFrac float64
@@ -145,6 +174,8 @@ func (f *Fleet) Report(flooded int) FleetReport {
 	for i, m := range f.Members {
 		r.GenuineOK += m.V.Accepted
 		r.Measurements += m.Dev.A.Stats.Measurements
+		r.TapDropped += m.C.TapDropped
+		r.Undeliverable += m.C.Undeliverable
 		e := m.Dev.ActiveEnergyJoules()
 		frac := m.Dev.Battery.Fraction()
 		if i < flooded {
@@ -184,7 +215,7 @@ func RunFleetExperiment(n, floodCount int, auth protocol.AuthKind, ratePerSec fl
 	if err != nil {
 		return FleetReport{}, err
 	}
-	fleet.ScheduleAttestation(period, horizon)
+	fleet.ScheduleAttestation(horizon)
 	floods := fleet.FloodMembers(floodCount, ratePerSec, auth)
 	end := fleet.K.Now() + horizon
 	fleet.K.At(end, func() {
@@ -197,4 +228,35 @@ func RunFleetExperiment(n, floodCount int, auth protocol.AuthKind, ratePerSec fl
 		m.Dev.ChargeSleep(horizon)
 	}
 	return fleet.Report(floodCount), nil
+}
+
+// FleetSweepPoint parameterises one cell of a fleet deployment sweep.
+type FleetSweepPoint struct {
+	Auth       protocol.AuthKind
+	RatePerSec float64
+}
+
+// RunFleetSweep runs one independent fleet deployment per point across the
+// campaign runner's worker pool — each deployment owns a private kernel,
+// so the sweep parallelises without sharing state — and returns the
+// reports in point order together with the runner's stats.
+func RunFleetSweep(ctx context.Context, workers int, points []FleetSweepPoint,
+	n, floodCount int, period, horizon sim.Duration) ([]FleetReport, runner.CampaignStats, error) {
+	cells := make([]runner.Cell[FleetReport], len(points))
+	for i, p := range points {
+		p := p
+		cells[i] = runner.Cell[FleetReport]{
+			Label: fmt.Sprintf("fleet %v @ %.0f req/s", p.Auth, p.RatePerSec),
+			Run: func(ctx context.Context, st *runner.CellStats) (FleetReport, error) {
+				st.Sim = horizon
+				return RunFleetExperiment(n, floodCount, p.Auth, p.RatePerSec, period, horizon)
+			},
+		}
+	}
+	results, stats := runner.Run(ctx, cells, runner.Options{Workers: workers})
+	reports, err := runner.Values(results)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: fleet sweep: %w", err)
+	}
+	return reports, stats, nil
 }

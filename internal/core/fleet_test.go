@@ -16,6 +16,7 @@ func TestFleetBootsAndAttests(t *testing.T) {
 			Auth:       protocol.AuthHMACSHA1,
 			Protection: anchor.FullProtection(),
 		},
+		AttestPeriod: 10 * sim.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -23,7 +24,10 @@ func TestFleetBootsAndAttests(t *testing.T) {
 	if len(fleet.Members) != 5 {
 		t.Fatalf("fleet has %d members, want 5", len(fleet.Members))
 	}
-	fleet.ScheduleAttestation(10*sim.Second, 60*sim.Second)
+	if fleet.Period != 10*sim.Second {
+		t.Fatalf("fleet period = %v, want the configured 10 s", fleet.Period)
+	}
+	fleet.ScheduleAttestation(60 * sim.Second)
 	fleet.RunUntil(fleet.K.Now() + 70*sim.Second)
 
 	report := fleet.Report(0)
@@ -99,6 +103,40 @@ func TestDeriveDeviceKeyProperties(t *testing.T) {
 func TestFleetValidation(t *testing.T) {
 	if _, err := NewFleet(FleetConfig{Provers: 0}); err == nil {
 		t.Fatal("zero-prover fleet built")
+	}
+}
+
+func TestEmptyFleetScheduleDoesNotPanic(t *testing.T) {
+	// Regression: ScheduleAttestation divided by len(f.Members), so a
+	// hand-assembled fleet with no members panicked.
+	f := &Fleet{K: sim.NewKernel(), Period: 10 * sim.Second}
+	f.ScheduleAttestation(60 * sim.Second)
+	if f.K.Pending() != 0 {
+		t.Fatalf("empty fleet scheduled %d events", f.K.Pending())
+	}
+}
+
+func TestStaggerOffsetOverflowSafe(t *testing.T) {
+	// Regression: the offset was computed as uint64(period)*uint64(i)/n,
+	// which wraps for long periods × large fleets. A day-long period
+	// across 300k devices overflows the old math (≈2.3×10^19 > 2^64).
+	period := 24 * sim.Hour
+	n := 300_000
+	prev := sim.Duration(-1)
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		off := staggerOffset(period, i, n)
+		if off < 0 || off >= period {
+			t.Fatalf("staggerOffset(%v, %d, %d) = %v, want within [0, period)", period, i, n, off)
+		}
+		if off <= prev && i != 0 {
+			t.Fatalf("stagger not monotonic at member %d: %v after %v", i, off, prev)
+		}
+		prev = off
+	}
+	// The old formula really did wrap for these sizes: the product exceeds
+	// 2^64, so dividing it back does not recover the period.
+	if wrapped := uint64(period) * uint64(n-1); wrapped/uint64(n-1) == uint64(period) {
+		t.Fatal("test sizes no longer exercise the overflow the fix guards against")
 	}
 }
 

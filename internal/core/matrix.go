@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"proverattest/internal/adversary"
 	"proverattest/internal/anchor"
 	"proverattest/internal/protocol"
+	"proverattest/internal/runner"
 	"proverattest/internal/sim"
 )
 
@@ -46,6 +48,9 @@ type MatrixResult struct {
 	// prover work (replay) or when the manipulated stale request was
 	// refused (reorder/delay).
 	Mitigated bool
+	// SimEnd is the simulated time the cell's private kernel reached, fed
+	// into the campaign runner's aggregate stats.
+	SimEnd sim.Duration
 }
 
 // timestampWindowMs is the freshness window used across the matrix: a
@@ -68,13 +73,15 @@ func RunMatrixCell(attack Attack, freshness protocol.FreshnessKind) (MatrixResul
 		cfg.Clock = anchor.ClockWide64
 	}
 
+	var s *Scenario
 	switch attack {
 	case AttackReplay:
 		// One genuine request at t=1 s; the adversary records it and
 		// delivers a second copy 10 s later. Honest work: 1 measurement.
 		tap := &adversary.Interceptor{TargetIndex: 0, Duplicate: 10 * sim.Second}
 		cfg.Tap = tap
-		s, err := NewScenario(cfg)
+		var err error
+		s, err = NewScenario(cfg)
 		if err != nil {
 			return res, err
 		}
@@ -94,7 +101,8 @@ func RunMatrixCell(attack Attack, freshness protocol.FreshnessKind) (MatrixResul
 		// sound prover performs only the in-order one.
 		tap := &adversary.Interceptor{TargetIndex: 0, ExtraDelay: 3 * sim.Second}
 		cfg.Tap = tap
-		s, err := NewScenario(cfg)
+		var err error
+		s, err = NewScenario(cfg)
 		if err != nil {
 			return res, err
 		}
@@ -113,7 +121,8 @@ func RunMatrixCell(attack Attack, freshness protocol.FreshnessKind) (MatrixResul
 		// attack's success (the paper's "arbitrarily delay" Adv_ext move).
 		tap := &adversary.Interceptor{TargetIndex: 0, ExtraDelay: 5 * sim.Second}
 		cfg.Tap = tap
-		s, err := NewScenario(cfg)
+		var err error
+		s, err = NewScenario(cfg)
 		if err != nil {
 			return res, err
 		}
@@ -130,6 +139,7 @@ func RunMatrixCell(attack Attack, freshness protocol.FreshnessKind) (MatrixResul
 	}
 
 	res.Mitigated = res.Measurements <= res.HonestMeasurements
+	res.SimEnd = sim.Duration(s.K.Now())
 	return res, nil
 }
 
@@ -143,19 +153,46 @@ var MatrixFreshnessKinds = []protocol.FreshnessKind{
 // MatrixAttacks lists Table 2's rows in paper order.
 var MatrixAttacks = []Attack{AttackReplay, AttackReorder, AttackDelay}
 
-// RunMatrix regenerates the whole of Table 2.
-func RunMatrix() ([]MatrixResult, error) {
-	var out []MatrixResult
+// matrixCells packages Table 2 as independent campaign-runner cells in
+// paper order (attack-major, freshness-minor).
+func matrixCells() []runner.Cell[MatrixResult] {
+	var cells []runner.Cell[MatrixResult]
 	for _, attack := range MatrixAttacks {
 		for _, fresh := range MatrixFreshnessKinds {
-			r, err := RunMatrixCell(attack, fresh)
-			if err != nil {
-				return nil, fmt.Errorf("core: %v × %v: %w", attack, fresh, err)
-			}
-			out = append(out, r)
+			attack, fresh := attack, fresh
+			cells = append(cells, runner.Cell[MatrixResult]{
+				Label: fmt.Sprintf("%v × %v", attack, fresh),
+				Run: func(ctx context.Context, st *runner.CellStats) (MatrixResult, error) {
+					r, err := RunMatrixCell(attack, fresh)
+					st.Sim = r.SimEnd
+					return r, err
+				},
+			})
 		}
 	}
-	return out, nil
+	return cells
+}
+
+// RunMatrix regenerates the whole of Table 2 on the campaign runner's
+// default worker pool. Cells are independent simulations, so the parallel
+// run is byte-identical to a serial one (see RunMatrixParallel for
+// explicit worker control).
+func RunMatrix() ([]MatrixResult, error) {
+	out, _, err := RunMatrixParallel(context.Background(), 0)
+	return out, err
+}
+
+// RunMatrixParallel regenerates Table 2 across the given number of workers
+// (<= 0 means GOMAXPROCS; 1 gives the serial reference run) and reports
+// the campaign stats alongside the results, which arrive in paper order
+// regardless of completion order.
+func RunMatrixParallel(ctx context.Context, workers int) ([]MatrixResult, runner.CampaignStats, error) {
+	results, stats := runner.Run(ctx, matrixCells(), runner.Options{Workers: workers})
+	out, err := runner.Values(results)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: matrix: %w", err)
+	}
+	return out, stats, nil
 }
 
 // PaperTable2 is the paper's printed Table 2, used by tests and the

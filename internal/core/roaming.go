@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"proverattest/internal/adversary"
@@ -9,6 +10,7 @@ import (
 	"proverattest/internal/crypto/cost"
 	"proverattest/internal/mcu"
 	"proverattest/internal/protocol"
+	"proverattest/internal/runner"
 	"proverattest/internal/sim"
 )
 
@@ -86,6 +88,9 @@ type RoamingResult struct {
 	// the campaign: on a protected prover, Phase II probing leaves this
 	// forensic fingerprint even though the attack itself fails.
 	DenialsLogged uint64
+	// SimEnd is the simulated time the campaign's private kernel reached,
+	// fed into the campaign runner's aggregate stats.
+	SimEnd sim.Duration
 }
 
 // RunRoamingCampaign executes the full three-phase Adv_roam script against
@@ -277,6 +282,7 @@ func RunRoamingCampaign(target RoamTarget, protected bool) (RoamingResult, error
 	s.RunUntil(replayAt + 5*sim.Second)
 
 	res.Measurements = s.Measurements()
+	res.SimEnd = sim.Duration(s.K.Now())
 	res.AttackSucceeded = res.Measurements > res.HonestMeasurements
 	res.CounterRestored = s.Dev.A.ReadCounter() == preCounter
 	res.DenialsLogged = tracer.Denials
@@ -299,4 +305,51 @@ func wrapAlignedReplay(t sim.Time, k uint64) sim.Time {
 var AllRoamTargets = []RoamTarget{
 	RoamCounter, RoamClockReset, RoamClockMSB, RoamIDTPatch,
 	RoamMaskIRQ, RoamKeyExtract, RoamKeyOverwrite, RoamMPUReconfig,
+}
+
+// RoamingCampaignSpec names one cell of the §5 campaign matrix.
+type RoamingCampaignSpec struct {
+	Target    RoamTarget
+	Protected bool
+}
+
+// AllRoamingCampaigns lists every target × protection cell in
+// presentation order (each target unprotected first, then protected).
+func AllRoamingCampaigns() []RoamingCampaignSpec {
+	var specs []RoamingCampaignSpec
+	for _, target := range AllRoamTargets {
+		for _, protected := range []bool{false, true} {
+			specs = append(specs, RoamingCampaignSpec{Target: target, Protected: protected})
+		}
+	}
+	return specs
+}
+
+// RunRoamingMatrix executes the full §5 campaign matrix — every roaming
+// target against both an unprotected and a protected prover — across the
+// campaign runner's worker pool, returning results in presentation order.
+func RunRoamingMatrix(ctx context.Context, workers int) ([]RoamingResult, runner.CampaignStats, error) {
+	specs := AllRoamingCampaigns()
+	cells := make([]runner.Cell[RoamingResult], len(specs))
+	for i, spec := range specs {
+		spec := spec
+		mode := "unprotected"
+		if spec.Protected {
+			mode = "protected"
+		}
+		cells[i] = runner.Cell[RoamingResult]{
+			Label: fmt.Sprintf("%v (%s)", spec.Target, mode),
+			Run: func(ctx context.Context, st *runner.CellStats) (RoamingResult, error) {
+				r, err := RunRoamingCampaign(spec.Target, spec.Protected)
+				st.Sim = r.SimEnd
+				return r, err
+			},
+		}
+	}
+	results, stats := runner.Run(ctx, cells, runner.Options{Workers: workers})
+	out, err := runner.Values(results)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: roaming matrix: %w", err)
+	}
+	return out, stats, nil
 }

@@ -1,0 +1,232 @@
+// Package runner executes independent simulation cells — experiment units
+// that each own a private sim.Kernel — across a bounded pool of OS-level
+// workers. The attack×freshness matrix, the roaming campaigns, the flood
+// and fleet sweeps and the ablation tables are all embarrassingly
+// parallel: every cell builds its own kernel, runs it to completion and
+// reports a result, sharing nothing. The runner exploits that shape while
+// preserving the properties the experiment drivers rely on:
+//
+//   - results are collected in input order, regardless of completion
+//     order, so a parallel campaign is byte-identical to the serial one;
+//   - a panicking cell is converted into a structured per-cell error
+//     (PanicError) instead of killing the whole campaign;
+//   - each cell runs under a context that can carry a per-cell timeout,
+//     and campaign-wide cancellation marks unstarted cells as cancelled;
+//   - per-cell wall-clock and simulated-time figures are recorded, so a
+//     campaign can report real speedup next to the virtual time it
+//     covered.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"proverattest/internal/sim"
+)
+
+// Cell is one independent experiment: a label for reporting and a body
+// that builds, runs and summarises its own simulation. The body must not
+// share mutable state with other cells — each cell is executed on its own
+// goroutine.
+type Cell[T any] struct {
+	// Label names the cell in errors and stats ("replay × counter").
+	Label string
+	// Run executes the cell. It should honour ctx where practical (cells
+	// are also raced against ctx, so a cell that ignores cancellation is
+	// abandoned rather than waited for). Run may record the simulated
+	// time it covered in st.Sim for campaign reporting.
+	Run func(ctx context.Context, st *CellStats) (T, error)
+}
+
+// CellStats is the per-cell scratchpad a cell body fills in while running.
+type CellStats struct {
+	// Sim is the span of simulated time the cell's kernel covered.
+	Sim sim.Duration
+}
+
+// Result is the outcome of one cell, delivered at the cell's input index.
+type Result[T any] struct {
+	Index int
+	Label string
+	Value T
+	// Err is non-nil when the cell returned an error, panicked
+	// (*PanicError), timed out (context.DeadlineExceeded) or was
+	// cancelled before it started (context.Canceled).
+	Err error
+	// Wall is the real time the cell took on its worker.
+	Wall time.Duration
+	// Sim is the simulated time the cell reported via CellStats.
+	Sim sim.Duration
+}
+
+// PanicError is a cell panic converted into an error, with the stack of
+// the panicking goroutine for post-mortem debugging.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: cell %q panicked: %v", e.Label, e.Value)
+}
+
+// Options bounds a campaign.
+type Options struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS. The pool never
+	// exceeds the cell count.
+	Workers int
+	// CellTimeout bounds each cell's real execution time; 0 means no
+	// limit. A cell that overruns is abandoned (its goroutine finishes in
+	// the background and its result is discarded) and reported with
+	// context.DeadlineExceeded.
+	CellTimeout time.Duration
+}
+
+// CampaignStats summarises one Run for reporting.
+type CampaignStats struct {
+	Cells   int
+	Workers int
+	// Failed counts cells whose Result.Err is non-nil.
+	Failed int
+	// Wall is the campaign's real elapsed time.
+	Wall time.Duration
+	// CellWall is the sum of per-cell wall times — the serial-equivalent
+	// cost, so CellWall/Wall approximates the achieved speedup.
+	CellWall time.Duration
+	// Sim is the total simulated time covered across all cells.
+	Sim sim.Duration
+}
+
+// Speedup reports CellWall/Wall — how much faster the campaign ran than
+// the same cells executed back to back.
+func (s CampaignStats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 1
+	}
+	return float64(s.CellWall) / float64(s.Wall)
+}
+
+func (s CampaignStats) String() string {
+	return fmt.Sprintf("%d cells on %d workers: %v wall (%v of cell work, %.1fx speedup), %v simulated",
+		s.Cells, s.Workers, s.Wall.Round(time.Millisecond), s.CellWall.Round(time.Millisecond),
+		s.Speedup(), s.Sim)
+}
+
+// Run executes every cell and returns the results in input order. It never
+// returns an error itself: per-cell failures (including panics and
+// timeouts) are reported in each Result.Err, so one broken scenario cannot
+// take down the rest of a campaign. Use FirstErr to collapse the results
+// into a single campaign error.
+func Run[T any](ctx context.Context, cells []Cell[T], opts Options) ([]Result[T], CampaignStats) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]Result[T], len(cells))
+	stats := CampaignStats{Cells: len(cells), Workers: workers}
+	if len(cells) == 0 {
+		return results, stats
+	}
+
+	start := time.Now()
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					// Campaign cancelled: don't start the cell, but still
+					// deliver a structured result at its slot.
+					results[i] = Result[T]{Index: i, Label: cells[i].Label, Err: err}
+					continue
+				}
+				results[i] = runCell(ctx, i, cells[i], opts.CellTimeout)
+			}
+		}()
+	}
+	for i := range cells {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	stats.Wall = time.Since(start)
+	for i := range results {
+		stats.CellWall += results[i].Wall
+		stats.Sim += results[i].Sim
+		if results[i].Err != nil {
+			stats.Failed++
+		}
+	}
+	return results, stats
+}
+
+// runCell executes one cell with panic recovery, racing it against its
+// (possibly deadline-carrying) context.
+func runCell[T any](ctx context.Context, index int, cell Cell[T], timeout time.Duration) Result[T] {
+	cctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	// Buffered so an abandoned (timed-out) cell can still complete and
+	// exit instead of blocking forever on the send.
+	done := make(chan Result[T], 1)
+	go func() {
+		res := Result[T]{Index: index, Label: cell.Label}
+		var st CellStats
+		defer func() {
+			if p := recover(); p != nil {
+				res.Err = &PanicError{Label: cell.Label, Value: p, Stack: debug.Stack()}
+			}
+			res.Sim = st.Sim
+			res.Wall = time.Since(start)
+			done <- res
+		}()
+		res.Value, res.Err = cell.Run(cctx, &st)
+	}()
+
+	select {
+	case res := <-done:
+		return res
+	case <-cctx.Done():
+		return Result[T]{Index: index, Label: cell.Label, Err: cctx.Err(), Wall: time.Since(start)}
+	}
+}
+
+// FirstErr returns the first failed cell's error, wrapped with its label,
+// or nil when every cell succeeded.
+func FirstErr[T any](results []Result[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return fmt.Errorf("runner: cell %d (%s): %w", results[i].Index, results[i].Label, results[i].Err)
+		}
+	}
+	return nil
+}
+
+// Values extracts the cell values in input order, returning the first
+// per-cell error (wrapped with its label) if any cell failed.
+func Values[T any](results []Result[T]) ([]T, error) {
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
+	out := make([]T, len(results))
+	for i := range results {
+		out[i] = results[i].Value
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"proverattest/internal/sim"
+)
+
+func TestResultsArriveInInputOrder(t *testing.T) {
+	// Later cells finish first (earlier cells sleep longer); results must
+	// still land at their input index.
+	const n = 16
+	cells := make([]Cell[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = Cell[int]{
+			Label: fmt.Sprintf("cell-%d", i),
+			Run: func(ctx context.Context, st *CellStats) (int, error) {
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	results, stats := Run(context.Background(), cells, Options{Workers: 8})
+	if stats.Cells != n || stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for i, r := range results {
+		if r.Index != i || r.Value != i*i || r.Err != nil {
+			t.Fatalf("result %d = %+v, want value %d at index %d", i, r, i*i, i)
+		}
+		if r.Label != fmt.Sprintf("cell-%d", i) {
+			t.Fatalf("result %d label = %q", i, r.Label)
+		}
+	}
+}
+
+func TestPanicBecomesPerCellError(t *testing.T) {
+	cells := []Cell[string]{
+		{Label: "ok-0", Run: func(ctx context.Context, st *CellStats) (string, error) { return "a", nil }},
+		{Label: "boom", Run: func(ctx context.Context, st *CellStats) (string, error) {
+			panic("scenario modelling bug")
+		}},
+		{Label: "ok-2", Run: func(ctx context.Context, st *CellStats) (string, error) { return "c", nil }},
+	}
+	results, stats := Run(context.Background(), cells, Options{Workers: 2})
+	if stats.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", stats.Failed)
+	}
+	if results[0].Err != nil || results[0].Value != "a" {
+		t.Fatalf("healthy cell 0 polluted: %+v", results[0])
+	}
+	if results[2].Err != nil || results[2].Value != "c" {
+		t.Fatalf("healthy cell 2 polluted: %+v", results[2])
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("panicking cell error = %v, want *PanicError", results[1].Err)
+	}
+	if pe.Label != "boom" || pe.Value != "scenario modelling bug" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if err := FirstErr(results); !errors.As(err, &pe) {
+		t.Fatalf("FirstErr = %v, want the panic", err)
+	}
+}
+
+func TestCellTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	cells := []Cell[int]{
+		{Label: "fast", Run: func(ctx context.Context, st *CellStats) (int, error) { return 1, nil }},
+		{Label: "stuck", Run: func(ctx context.Context, st *CellStats) (int, error) {
+			<-release // a runaway scenario that never yields
+			return 2, nil
+		}},
+		{Label: "also-fast", Run: func(ctx context.Context, st *CellStats) (int, error) { return 3, nil }},
+	}
+	results, stats := Run(context.Background(), cells, Options{Workers: 3, CellTimeout: 20 * time.Millisecond})
+	if !errors.Is(results[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("stuck cell error = %v, want DeadlineExceeded", results[1].Err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("fast cells failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if stats.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", stats.Failed)
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any cell starts
+	ran := false
+	cells := []Cell[int]{
+		{Label: "never", Run: func(ctx context.Context, st *CellStats) (int, error) {
+			ran = true
+			return 0, nil
+		}},
+	}
+	results, stats := Run(ctx, cells, Options{Workers: 1})
+	if ran {
+		t.Fatal("cell ran under a cancelled campaign context")
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", results[0].Err)
+	}
+	if stats.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", stats.Failed)
+	}
+}
+
+// kernelCell is a representative simulation cell: it builds a private
+// kernel, runs a deterministic event cascade seeded by the cell index and
+// summarises the timeline.
+func kernelCell(seed int) Cell[string] {
+	return Cell[string]{
+		Label: fmt.Sprintf("sim-%d", seed),
+		Run: func(ctx context.Context, st *CellStats) (string, error) {
+			k := sim.NewKernel()
+			var trace uint64
+			for j := 0; j < 40; j++ {
+				j := j
+				k.After(sim.Duration((seed*31+j*17)%97)*sim.Millisecond, func() {
+					trace = trace*31 + uint64(k.Now()) + uint64(j)
+				})
+			}
+			k.Run()
+			st.Sim = sim.Duration(k.Now())
+			return fmt.Sprintf("seed=%d trace=%d end=%v", seed, trace, k.Now()), nil
+		},
+	}
+}
+
+func TestParallelCampaignByteIdenticalToSerial(t *testing.T) {
+	// The determinism proof: a 64-cell campaign produces byte-identical
+	// results on one worker and on many, in input order both times.
+	const n = 64
+	build := func() []Cell[string] {
+		cells := make([]Cell[string], n)
+		for i := range cells {
+			cells[i] = kernelCell(i)
+		}
+		return cells
+	}
+	serial, _ := Run(context.Background(), build(), Options{Workers: 1})
+	parallel, pstats := Run(context.Background(), build(), Options{Workers: 8})
+	if pstats.Workers != 8 {
+		t.Fatalf("workers = %d, want 8", pstats.Workers)
+	}
+	for i := range serial {
+		if serial[i].Value != parallel[i].Value {
+			t.Fatalf("cell %d diverged:\n serial:   %s\n parallel: %s",
+				i, serial[i].Value, parallel[i].Value)
+		}
+		if parallel[i].Index != i {
+			t.Fatalf("parallel result %d carries index %d", i, parallel[i].Index)
+		}
+	}
+	sv, err := Values(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := Values(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sv, pv) {
+		t.Fatal("Values() diverged between serial and parallel runs")
+	}
+	// Aggregate simulated time is the sum of the per-cell spans.
+	var wantSim sim.Duration
+	for _, r := range serial {
+		wantSim += r.Sim
+	}
+	if wantSim == 0 {
+		t.Fatal("cells reported no simulated time")
+	}
+	if pstats.Sim != wantSim {
+		t.Fatalf("aggregate sim time %v, want %v", pstats.Sim, wantSim)
+	}
+}
+
+func TestWorkerCountClampedToCells(t *testing.T) {
+	cells := []Cell[int]{
+		{Label: "only", Run: func(ctx context.Context, st *CellStats) (int, error) { return 7, nil }},
+	}
+	_, stats := Run(context.Background(), cells, Options{Workers: 64})
+	if stats.Workers != 1 {
+		t.Fatalf("workers = %d, want clamp to 1", stats.Workers)
+	}
+}
+
+func TestDefaultWorkersIsPositive(t *testing.T) {
+	var cells []Cell[int]
+	for i := 0; i < 4; i++ {
+		cells = append(cells, Cell[int]{Label: "c", Run: func(ctx context.Context, st *CellStats) (int, error) { return 0, nil }})
+	}
+	_, stats := Run(context.Background(), cells, Options{})
+	if stats.Workers < 1 {
+		t.Fatalf("default workers = %d", stats.Workers)
+	}
+}
+
+func TestEmptyCampaign(t *testing.T) {
+	results, stats := Run[int](context.Background(), nil, Options{})
+	if len(results) != 0 || stats.Cells != 0 || stats.Failed != 0 {
+		t.Fatalf("empty campaign: results=%v stats=%+v", results, stats)
+	}
+	if err := FirstErr(results); err != nil {
+		t.Fatalf("FirstErr on empty = %v", err)
+	}
+}
+
+func TestValuesPropagatesError(t *testing.T) {
+	sentinel := errors.New("cell failed")
+	cells := []Cell[int]{
+		{Label: "good", Run: func(ctx context.Context, st *CellStats) (int, error) { return 1, nil }},
+		{Label: "bad", Run: func(ctx context.Context, st *CellStats) (int, error) { return 0, sentinel }},
+	}
+	results, _ := Run(context.Background(), cells, Options{Workers: 2})
+	if _, err := Values(results); !errors.Is(err, sentinel) {
+		t.Fatalf("Values error = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestStatsSpeedupAndString(t *testing.T) {
+	s := CampaignStats{Cells: 4, Workers: 2, Wall: 100 * time.Millisecond, CellWall: 300 * time.Millisecond}
+	if got := s.Speedup(); got < 2.9 || got > 3.1 {
+		t.Fatalf("Speedup = %v, want ~3", got)
+	}
+	if (CampaignStats{}).Speedup() != 1 {
+		t.Fatal("zero-wall speedup should degrade to 1")
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}

@@ -52,8 +52,9 @@ type Event struct {
 	when Time
 	seq  uint64
 	fn   func()
+	k    *Kernel
 
-	index     int // heap index, -1 once popped or cancelled
+	index     int // heap index, -1 once popped
 	cancelled bool
 }
 
@@ -61,8 +62,17 @@ type Event struct {
 func (e *Event) When() Time { return e.when }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or was already cancelled is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// already fired or was already cancelled is a no-op. The event stays in the
+// queue until its turn comes (lazy deletion), but it stops counting toward
+// Pending immediately, so "is the timeline drained?" polls cannot spin on a
+// queue of ghosts.
+func (e *Event) Cancel() {
+	if e.cancelled || e.index < 0 {
+		return
+	}
+	e.cancelled = true
+	e.k.live--
+}
 
 type eventQueue []*Event
 
@@ -100,6 +110,7 @@ type Kernel struct {
 	seq    uint64
 	queue  eventQueue
 	fired  uint64
+	live   int // queued events that are neither fired nor cancelled
 	halted bool
 }
 
@@ -116,9 +127,9 @@ func (k *Kernel) Now() Time { return k.now }
 // Fired reports how many events have executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Pending reports the number of events still queued (including cancelled
-// events that have not yet been discarded).
-func (k *Kernel) Pending() int { return k.queue.Len() }
+// Pending reports the number of live events still queued. Cancelled events
+// awaiting lazy removal from the heap are not counted.
+func (k *Kernel) Pending() int { return k.live }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past (t < Now) panics: it indicates a modelling bug, and silently
@@ -127,8 +138,9 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before current time %v", t, k.now))
 	}
-	e := &Event{when: t, seq: k.seq, fn: fn}
+	e := &Event{when: t, seq: k.seq, fn: fn, k: k}
 	k.seq++
+	k.live++
 	heap.Push(&k.queue, e)
 	return e
 }
@@ -150,8 +162,10 @@ func (k *Kernel) Step() bool {
 	for k.queue.Len() > 0 {
 		e := heap.Pop(&k.queue).(*Event)
 		if e.cancelled {
+			// Already uncounted at Cancel time.
 			continue
 		}
+		k.live--
 		k.now = e.when
 		k.fired++
 		e.fn()

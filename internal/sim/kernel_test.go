@@ -95,6 +95,85 @@ func TestCancelDuringRun(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesCancelledEvents(t *testing.T) {
+	// Regression: Pending used to report heap length, so cancelled events
+	// awaiting lazy removal made "is the queue drained?" polls spin on
+	// ghosts.
+	k := NewKernel()
+	a := k.At(10, func() {})
+	b := k.At(20, func() {})
+	c := k.At(30, func() {})
+	if k.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", k.Pending())
+	}
+	b.Cancel()
+	if k.Pending() != 2 {
+		t.Fatalf("Pending after one cancel = %d, want 2", k.Pending())
+	}
+	b.Cancel() // double-cancel must not double-discount
+	if k.Pending() != 2 {
+		t.Fatalf("Pending after double cancel = %d, want 2", k.Pending())
+	}
+	a.Cancel()
+	c.Cancel()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending with only ghosts queued = %d, want 0", k.Pending())
+	}
+	k.Run()
+	if k.Fired() != 0 || k.Pending() != 0 {
+		t.Fatalf("after draining ghosts: fired=%d pending=%d", k.Fired(), k.Pending())
+	}
+}
+
+func TestPendingAfterFire(t *testing.T) {
+	k := NewKernel()
+	e := k.At(10, func() {})
+	k.At(20, func() {})
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", k.Pending())
+	}
+	e.Cancel() // cancelling a fired event must not go negative
+	if k.Pending() != 0 {
+		t.Fatalf("Pending after cancelling a fired event = %d, want 0", k.Pending())
+	}
+}
+
+func TestCancelOfHeadInsideRunUntil(t *testing.T) {
+	// An executing event cancels the event that is currently the queue
+	// head; RunUntil must discard it without firing and keep Pending
+	// truthful throughout.
+	k := NewKernel()
+	var fired []Time
+	var head *Event
+	head = k.At(20, func() { fired = append(fired, 20) })
+	k.At(10, func() {
+		fired = append(fired, 10)
+		head.Cancel()
+		if k.Pending() != 1 { // only the t=30 event remains live
+			t.Errorf("Pending mid-run = %d, want 1", k.Pending())
+		}
+	})
+	k.At(30, func() { fired = append(fired, 30) })
+	k.RunUntil(25)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired %v, want [10] (cancelled head must not fire)", fired)
+	}
+	if k.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (the t=30 event)", k.Pending())
+	}
+	k.RunUntil(40)
+	if len(fired) != 2 || fired[1] != 30 {
+		t.Fatalf("fired %v, want [10 30]", fired)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", k.Pending())
+	}
+}
+
 func TestHalt(t *testing.T) {
 	k := NewKernel()
 	count := 0
