@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro fuzz examples clean
+.PHONY: all build vet test race bench repro fuzz fuzz-smoke examples clean
+.PHONY: attestd attest-agent flood-net bench-transport
 
 all: build vet test
 
@@ -15,9 +16,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race detector over the concurrent campaign-runner stack.
+# Race detector over the concurrent campaign-runner stack and the
+# networked transport/daemon/agent stack.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/core/...
+	$(GO) test -race ./internal/runner/... ./internal/core/... \
+		./internal/transport/... ./internal/server/... ./internal/agent/...
 
 # One benchmark per paper table/figure plus the ablations.
 bench:
@@ -36,12 +39,39 @@ repro-json:
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeAttReq -fuzztime=10s ./internal/protocol/
 	$(GO) test -fuzz=FuzzDecodeCommandReq -fuzztime=10s ./internal/protocol/
+	$(GO) test -fuzz=FuzzDecodeHello -fuzztime=10s ./internal/protocol/
+	$(GO) test -fuzz=FuzzDecodeStatsReport -fuzztime=10s ./internal/protocol/
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/isa/
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s ./internal/isa/
+
+# The CI-sized fuzz pass: just the wire-facing decoders.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
+	$(GO) test -fuzz=FuzzDecodeHello -fuzztime=10s ./internal/protocol/
+
+# Networked deployment binaries (bin/attestd, bin/attest-agent).
+attestd:
+	$(GO) build -o bin/attestd ./cmd/attestd
+
+attest-agent:
+	$(GO) build -o bin/attest-agent ./cmd/attest-agent
+
+# The end-to-end socket demo: daemon + agent + flood over TCP localhost.
+# Exits non-zero unless the gate-rejection and MAC-work counts show the
+# paper's asymmetry, so it doubles as an acceptance check.
+flood-net:
+	$(GO) run ./examples/netflood
+
+# Regenerate BENCH_transport.json (socket-path gate vs full-attest cost).
+bench-transport:
+	BENCH_TRANSPORT_OUT=$(CURDIR)/BENCH_transport.json \
+		$(GO) test -run TestEmitTransportBench -count=1 ./internal/server/
 
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/dosflood
+	$(GO) run ./examples/netflood
 	$(GO) run ./examples/roamingattack
 	$(GO) run ./examples/secureboot
 	$(GO) run ./examples/secureupdate
@@ -51,3 +81,4 @@ examples:
 clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt
+	rm -rf bin

@@ -1,0 +1,83 @@
+// Command attest-agent runs one simulated prover as a networked agent: it
+// builds the device (MCU + trust anchor + secure boot), dials the
+// verifier daemon (cmd/attestd) and then serves attestation requests over
+// the socket. Every inbound frame goes through the anchor's gate — frames
+// that fail authentication or freshness are dropped after the cheap
+// check, so a socket-level flood cannot buy memory measurements.
+//
+//	attest-agent -connect 127.0.0.1:7950 -id sensor-17 -master fleet-secret
+//
+// The -id, -freshness, -auth and -master flags must match the daemon's
+// provisioning; the daemon refuses mismatched hellos.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"proverattest/internal/agent"
+	"proverattest/internal/protocol"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		connect   = flag.String("connect", "127.0.0.1:7950", "daemon address to dial")
+		deviceID  = flag.String("id", "agent-0", "device identity reported in the hello")
+		freshName = flag.String("freshness", "counter", "freshness policy: none | nonces | counter")
+		authName  = flag.String("auth", "hmac-sha1", "request auth: none | hmac-sha1 | aes-128-cbc-mac | speck-64/128-cbc-mac | ecdsa-secp160r1")
+		master    = flag.String("master", "proverattest-fleet-master", "master secret for key derivation (must match the daemon)")
+		services  = flag.Bool("services", false, "install the secure-update/erase/clock-sync services behind the gate")
+		statsMs   = flag.Duration("stats-every", 250*time.Millisecond, "gate-counter heartbeat period")
+	)
+	flag.Parse()
+
+	fresh, err := protocol.ParseFreshnessKind(*freshName)
+	if err != nil {
+		log.Fatalf("attest-agent: %v", err)
+	}
+	auth, err := protocol.ParseAuthKind(*authName)
+	if err != nil {
+		log.Fatalf("attest-agent: %v", err)
+	}
+	a, err := agent.New(agent.Config{
+		DeviceID:       *deviceID,
+		Freshness:      fresh,
+		Auth:           auth,
+		MasterSecret:   []byte(*master),
+		EnableServices: *services,
+		StatsEvery:     *statsMs,
+	})
+	if err != nil {
+		log.Fatalf("attest-agent: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		cancel()
+	}()
+
+	nc, err := net.Dial("tcp", *connect)
+	if err != nil {
+		log.Fatalf("attest-agent: %v", err)
+	}
+	log.Printf("attest-agent: %s serving %s (freshness=%v auth=%v)", *deviceID, *connect, fresh, auth)
+	err = a.Serve(ctx, nc)
+	st := a.Snapshot()
+	log.Printf("attest-agent: %s done: received=%d measured=%d gate-rejected=%d (auth=%d fresh=%d malformed=%d)",
+		*deviceID, st.Received, st.Measurements, st.GateRejected(),
+		st.AuthRejected, st.FreshnessRejected, st.Malformed)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatalf("attest-agent: %v", err)
+	}
+}

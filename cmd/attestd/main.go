@@ -1,0 +1,112 @@
+// Command attestd is the verifier daemon of the networked deployment: it
+// listens on a TCP address, accepts prover-agent connections
+// (cmd/attest-agent), keeps per-device verifier state, issues
+// authenticated attestation requests on a schedule and validates the
+// returned memory measurements.
+//
+//	attestd -listen :7950 -master fleet-secret
+//
+// With -flood N the daemon instead impersonates a verifier: after one
+// honest request per connection it drives N forged/replayed/malformed
+// frames at each connected agent, reproducing the paper's §3.1
+// denial-of-service experiment over a real socket. The periodic status
+// line reports both halves of the read-out: the daemon's own counters and
+// the fleet's aggregated gate statistics.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"proverattest/internal/core"
+	"proverattest/internal/protocol"
+	"proverattest/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7950", "TCP listen address")
+		freshName = flag.String("freshness", "counter", "freshness policy: none | nonces | counter")
+		authName  = flag.String("auth", "hmac-sha1", "request auth: none | hmac-sha1 | aes-128-cbc-mac | speck-64/128-cbc-mac | ecdsa-secp160r1")
+		master    = flag.String("master", "proverattest-fleet-master", "master secret for per-device key derivation")
+
+		attestEvery = flag.Duration("attest-every", time.Second, "per-prover attestation period")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "abandon unanswered requests after this long")
+		maxInflight = flag.Int("max-inflight", 256, "global cap on outstanding requests")
+		connRate    = flag.Float64("conn-rate", 0, "per-connection inbound frames/s budget (0 = unlimited)")
+
+		floodTotal = flag.Int("flood", 0, "impersonator mode: flood each connection with N adversarial frames (0 = honest daemon)")
+		floodRate  = flag.Float64("flood-rate", 0, "flood pacing in frames/s (0 = as fast as the socket accepts)")
+
+		statusEvery = flag.Duration("status-every", 5*time.Second, "status line period (0 = silent)")
+	)
+	flag.Parse()
+
+	fresh, err := protocol.ParseFreshnessKind(*freshName)
+	if err != nil {
+		log.Fatalf("attestd: %v", err)
+	}
+	auth, err := protocol.ParseAuthKind(*authName)
+	if err != nil {
+		log.Fatalf("attestd: %v", err)
+	}
+
+	cfg := server.Config{
+		Freshness:         fresh,
+		Auth:              auth,
+		MasterSecret:      []byte(*master),
+		Golden:            core.GoldenRAMPattern(),
+		AttestEvery:       *attestEvery,
+		RequestTimeout:    *reqTimeout,
+		MaxInflight:       *maxInflight,
+		PerConnRatePerSec: *connRate,
+	}
+	if auth == protocol.AuthECDSA {
+		key, err := core.VerifierKeyPair()
+		if err != nil {
+			log.Fatalf("attestd: deriving ECDSA identity: %v", err)
+		}
+		cfg.ECDSAKey = key
+	}
+	if *floodTotal > 0 {
+		cfg.Flood = &server.FloodConfig{Total: *floodTotal, RatePerSec: *floodRate}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("attestd: %v", err)
+	}
+
+	if *statusEvery > 0 {
+		go func() {
+			for range time.Tick(*statusEvery) {
+				st := s.AgentStats()
+				log.Printf("attestd: %v", s.Counters())
+				log.Printf("attestd: fleet devices=%d received=%d measured=%d gate-rejected=%d (auth=%d fresh=%d malformed=%d)",
+					s.Devices(), st.Received, st.Measurements, st.GateRejected(),
+					st.AuthRejected, st.FreshnessRejected, st.Malformed)
+			}
+		}()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		log.Printf("attestd: shutting down")
+		s.Close()
+	}()
+
+	mode := "honest schedule"
+	if cfg.Flood != nil {
+		mode = "flood impersonator"
+	}
+	log.Printf("attestd: listening on %s (%s, freshness=%v auth=%v)", *listen, mode, fresh, auth)
+	if err := s.ListenAndServe(*listen); err != nil {
+		log.Fatalf("attestd: %v", err)
+	}
+}

@@ -1,0 +1,287 @@
+// Package agent is the prover side of the networked attestation
+// deployment: it dials the verifier daemon (internal/server), identifies
+// itself with a session hello, and then feeds every inbound frame through
+// the simulated device's trust anchor — the same Code_Attest gate the
+// in-process scenarios exercise. The paper's DoS asymmetry is therefore
+// preserved over real sockets: a frame that fails authentication or
+// freshness dies after the cheap gate, and only authentic, fresh requests
+// buy the ≈754 ms memory measurement.
+//
+// The agent never answers a frame the anchor rejected — silence is the
+// prover's cheapest response — and periodically pushes its gate counters
+// to the daemon as stats frames, so the fleet-wide rejected-at-gate versus
+// MAC-work totals are observable server-side.
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"proverattest/internal/anchor"
+	"proverattest/internal/core"
+	"proverattest/internal/mcu"
+	"proverattest/internal/protocol"
+	"proverattest/internal/services"
+	"proverattest/internal/sim"
+	"proverattest/internal/transport"
+)
+
+// Config assembles a networked prover agent.
+type Config struct {
+	// DeviceID identifies the prover to the daemon (1..protocol.MaxDeviceID
+	// bytes).
+	DeviceID string
+	// Freshness and Auth must match the daemon's provisioned policy; the
+	// daemon refuses mismatched hellos. FreshTimestamp is not supported on
+	// the networked path: the simulated prover clock advances with
+	// simulated work, not wall time, so verifier and prover clocks cannot
+	// be meaningfully synchronised across the socket.
+	Freshness protocol.FreshnessKind
+	Auth      protocol.AuthKind
+	// MasterSecret derives this device's K_Attest
+	// (protocol.DeriveDeviceKey), matching the daemon's derivation. Nil
+	// falls back to core.DefaultAttestKey for single-device setups.
+	MasterSecret []byte
+	// Protection selects the anchor's EA-MPU mitigations (zero value:
+	// anchor.FullProtection).
+	Protection *anchor.Protection
+	// NonceCapacity bounds the nonce history for FreshNonceHistory.
+	NonceCapacity int
+	// EnableServices installs the secure-update/erase/clock-sync services
+	// behind the gate, so the daemon can drive service commands too.
+	EnableServices bool
+
+	// StatsEvery is the heartbeat at which the agent reports its gate
+	// counters to the daemon (default 250 ms).
+	StatsEvery time.Duration
+	// MaxFrame bounds frame payloads (0 = transport.DefaultMaxFrame).
+	MaxFrame uint32
+	// WriteTimeout bounds one frame write (default 10 s).
+	WriteTimeout time.Duration
+}
+
+// Agent is a connected (or connectable) prover.
+type Agent struct {
+	cfg Config
+	dev *core.Device
+
+	// procCh serialises access to the simulated device: the MCU model is
+	// single-core and not safe for concurrent use, exactly like the
+	// hardware it stands in for.
+	procCh chan struct{}
+
+	framesIn uint64 // frames pulled off the socket (guarded by procCh)
+}
+
+// New builds the agent's simulated device: MCU, trust anchor, secure boot.
+func New(cfg Config) (*Agent, error) {
+	if cfg.DeviceID == "" || len(cfg.DeviceID) > protocol.MaxDeviceID {
+		return nil, fmt.Errorf("agent: device id length %d out of range (1..%d)", len(cfg.DeviceID), protocol.MaxDeviceID)
+	}
+	if cfg.Freshness == protocol.FreshTimestamp {
+		return nil, errors.New("agent: timestamp freshness is not supported over the socket path (prover clock is simulated)")
+	}
+	if cfg.StatsEvery <= 0 {
+		cfg.StatsEvery = 250 * time.Millisecond
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+
+	key := core.DefaultAttestKey
+	if cfg.MasterSecret != nil {
+		derived := protocol.DeriveDeviceKey(cfg.MasterSecret, cfg.DeviceID)
+		key = derived[:]
+	}
+	prot := anchor.FullProtection()
+	if cfg.Protection != nil {
+		prot = *cfg.Protection
+	}
+	acfg := anchor.Config{
+		AttestKey:     key,
+		Freshness:     cfg.Freshness,
+		NonceCapacity: cfg.NonceCapacity,
+		Protection:    prot,
+	}
+	if err := core.NewDeviceAuth(cfg.Auth, &acfg); err != nil {
+		return nil, fmt.Errorf("agent: %w", err)
+	}
+	dev, err := core.NewDevice(sim.NewKernel(), core.DeviceConfig{Anchor: acfg})
+	if err != nil {
+		return nil, fmt.Errorf("agent: %w", err)
+	}
+	a := &Agent{cfg: cfg, dev: dev, procCh: make(chan struct{}, 1)}
+	a.procCh <- struct{}{}
+	if cfg.EnableServices {
+		// The services package is wired through core's scenario layer; the
+		// networked agent installs the same handlers directly.
+		installServices(dev)
+	}
+	return a, nil
+}
+
+// installServices mirrors core's scenario wiring: the standard service
+// handlers behind the anchor's gate.
+func installServices(dev *core.Device) {
+	services.InstallUpdateService(dev.A, core.AppImageRegion)
+	services.InstallEraseService(dev.A, mcu.RAMRegion)
+	services.InstallClockSyncService(dev.A, 500)
+}
+
+// Device exposes the simulated prover (tests and examples inspect its
+// anchor stats and golden memory).
+func (a *Agent) Device() *core.Device { return a.dev }
+
+// lock acquires the device.
+func (a *Agent) lock() { <-a.procCh }
+
+// unlock releases the device.
+func (a *Agent) unlock() { a.procCh <- struct{}{} }
+
+// Process feeds one raw frame through the trust anchor's gate and drives
+// the simulated MCU until the resulting job chain settles. It returns the
+// encoded response, or nil when the anchor rejected the frame (the prover
+// stays silent — rejection must not cost a transmission either).
+func (a *Agent) Process(frame []byte) []byte {
+	a.lock()
+	defer a.unlock()
+	return a.processLocked(frame)
+}
+
+func (a *Agent) processLocked(frame []byte) []byte {
+	a.framesIn++
+	var reply []byte
+	responded := false
+	respond := func(out []byte) {
+		reply = append([]byte(nil), out...)
+		responded = true
+	}
+	rejects := func() uint64 {
+		st := a.dev.A.Stats
+		return st.Malformed + st.AuthRejected + st.FreshnessRejected + st.Faults
+	}
+	before := rejects()
+	switch protocol.ClassifyFrame(frame) {
+	case protocol.FrameCommandReq:
+		a.dev.A.HandleCommand(frame, respond)
+	default:
+		// Attestation requests and garbage alike go through Code_Attest's
+		// request path: the prover cannot afford to pre-filter frames
+		// before the gate, or the gate's cost accounting would lie.
+		a.dev.A.HandleRequest(frame, respond)
+	}
+	// Drive the discrete-event kernel until the submitted work answers or
+	// rejects. With the agent's clockless configuration the queue drains;
+	// the reject check additionally stops early so a future clocked
+	// configuration cannot spin on periodic timer events.
+	for !responded && a.dev.K.Pending() > 0 {
+		a.dev.K.Step()
+		if rejects() > before {
+			break
+		}
+	}
+	return reply
+}
+
+// Snapshot reports the agent's cumulative gate counters as the wire-format
+// stats frame.
+func (a *Agent) Snapshot() protocol.StatsReport {
+	a.lock()
+	defer a.unlock()
+	return a.snapshotLocked()
+}
+
+func (a *Agent) snapshotLocked() protocol.StatsReport {
+	st := a.dev.A.Stats
+	return protocol.StatsReport{
+		Received:          st.Received,
+		Malformed:         st.Malformed,
+		AuthRejected:      st.AuthRejected,
+		FreshnessRejected: st.FreshnessRejected,
+		Faults:            st.Faults,
+		Measurements:      st.Measurements,
+		Commands:          st.Commands,
+		CommandsExecuted:  st.CommandsExecuted,
+		ActiveCycles:      uint64(a.dev.M.ActiveCycles),
+		FramesIn:          a.framesIn,
+	}
+}
+
+// Serve runs the agent over an established connection until the context is
+// cancelled or the peer closes. The caller dials (net.Dial, net.Pipe, …);
+// Serve sends the hello, then answers requests and heartbeats stats.
+func (a *Agent) Serve(ctx context.Context, nc net.Conn) error {
+	tc := transport.NewConn(nc, transport.Options{
+		MaxFrame: a.cfg.MaxFrame,
+		// The read deadline doubles as the stats heartbeat: every quiet
+		// interval, push counters instead of blocking forever.
+		ReadTimeout:  a.cfg.StatsEvery,
+		WriteTimeout: a.cfg.WriteTimeout,
+	})
+	defer tc.Close()
+
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			tc.Close()
+		case <-stopWatch:
+		}
+	}()
+
+	hello := &protocol.Hello{
+		Freshness: a.cfg.Freshness,
+		Auth:      a.cfg.Auth,
+		DeviceID:  a.cfg.DeviceID,
+	}
+	if err := tc.Send(hello.Encode()); err != nil {
+		return fmt.Errorf("agent: sending hello: %w", err)
+	}
+
+	for {
+		frame, err := tc.Recv()
+		if err != nil {
+			if transport.IsTimeout(err) {
+				if err := a.sendStats(tc); err != nil {
+					return a.exitErr(ctx, err)
+				}
+				continue
+			}
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return a.exitErr(ctx, err)
+		}
+		reply := a.Process(frame)
+		if reply != nil {
+			if err := tc.Send(reply); err != nil {
+				return a.exitErr(ctx, err)
+			}
+			// A completed measurement is the expensive event the daemon
+			// audits; piggyback fresh counters on it immediately rather
+			// than waiting for the next quiet heartbeat.
+			if err := a.sendStats(tc); err != nil {
+				return a.exitErr(ctx, err)
+			}
+		}
+	}
+}
+
+func (a *Agent) sendStats(tc *transport.Conn) error {
+	st := a.Snapshot()
+	return tc.Send(st.Encode())
+}
+
+// exitErr maps connection errors caused by our own context-driven close to
+// the context error, so callers see a clean cancellation.
+func (a *Agent) exitErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}

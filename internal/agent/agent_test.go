@@ -1,0 +1,185 @@
+package agent
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"proverattest/internal/protocol"
+	"proverattest/internal/transport"
+)
+
+var testMaster = []byte("net-test-master-secret")
+
+func testAgent(t *testing.T, fresh protocol.FreshnessKind, auth protocol.AuthKind) *Agent {
+	t.Helper()
+	a, err := New(Config{
+		DeviceID:     "dev-under-test",
+		Freshness:    fresh,
+		Auth:         auth,
+		MasterSecret: testMaster,
+		StatsEvery:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func testVerifierFor(t *testing.T, a *Agent, fresh protocol.FreshnessKind) *protocol.Verifier {
+	t.Helper()
+	key := protocol.DeriveDeviceKey(testMaster, "dev-under-test")
+	v, err := protocol.NewVerifier(protocol.VerifierConfig{
+		Freshness: fresh,
+		Auth:      protocol.NewHMACAuth(key[:]),
+		AttestKey: key[:],
+		Golden:    a.Device().GoldenRAM(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Freshness: protocol.FreshCounter}); err == nil {
+		t.Error("agent built without a device id")
+	}
+	if _, err := New(Config{DeviceID: "x", Freshness: protocol.FreshTimestamp}); err == nil {
+		t.Error("agent built with timestamp freshness (unsupported over sockets)")
+	}
+}
+
+func TestProcessHonestRequest(t *testing.T) {
+	a := testAgent(t, protocol.FreshCounter, protocol.AuthHMACSHA1)
+	v := testVerifierFor(t, a, protocol.FreshCounter)
+
+	req, err := v.NewRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := a.Process(req.Encode())
+	if reply == nil {
+		t.Fatal("honest request got no reply")
+	}
+	if ok, err := v.CheckResponse(reply); !ok {
+		t.Fatalf("verifier rejected the agent's measurement: %v", err)
+	}
+	st := a.Snapshot()
+	if st.Measurements != 1 || st.GateRejected() != 0 {
+		t.Fatalf("stats = %+v, want 1 measurement, 0 gate rejects", st)
+	}
+}
+
+func TestProcessRejectsWithoutMACWork(t *testing.T) {
+	a := testAgent(t, protocol.FreshCounter, protocol.AuthHMACSHA1)
+	v := testVerifierFor(t, a, protocol.FreshCounter)
+
+	// Forged: right shape, garbage tag.
+	forged := &protocol.AttReq{
+		Freshness: protocol.FreshCounter, Auth: protocol.AuthHMACSHA1,
+		Nonce: 99, Counter: 99, Tag: bytes.Repeat([]byte{0xAB}, 20),
+	}
+	if reply := a.Process(forged.Encode()); reply != nil {
+		t.Fatal("forged request got a reply")
+	}
+	// Replay: a genuine frame, twice.
+	req, _ := v.NewRequest()
+	raw := req.Encode()
+	if reply := a.Process(raw); reply == nil {
+		t.Fatal("genuine request rejected")
+	}
+	if reply := a.Process(raw); reply != nil {
+		t.Fatal("replayed request got a reply")
+	}
+	// Malformed: dies at the parser.
+	if reply := a.Process([]byte{0x41, 0x52, 0xFF}); reply != nil {
+		t.Fatal("malformed frame got a reply")
+	}
+
+	st := a.Snapshot()
+	if st.Measurements != 1 {
+		t.Fatalf("Measurements = %d, want 1 (only the genuine request pays MAC work)", st.Measurements)
+	}
+	if st.AuthRejected != 1 || st.FreshnessRejected != 1 || st.Malformed != 1 {
+		t.Fatalf("rejects = auth %d / fresh %d / malformed %d, want 1 each",
+			st.AuthRejected, st.FreshnessRejected, st.Malformed)
+	}
+	if st.Received != 4 {
+		t.Fatalf("Received = %d, want 4", st.Received)
+	}
+}
+
+func TestServeOverPipe(t *testing.T) {
+	a := testAgent(t, protocol.FreshCounter, protocol.AuthHMACSHA1)
+	v := testVerifierFor(t, a, protocol.FreshCounter)
+
+	clientNC, agentNC := net.Pipe()
+	client := transport.NewConn(clientNC, transport.Options{ReadTimeout: 2 * time.Second})
+	defer client.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- a.Serve(ctx, agentNC) }()
+
+	// The first frame must be the hello.
+	frame, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := protocol.DecodeHello(frame)
+	if err != nil {
+		t.Fatalf("first frame is not a hello: %v", err)
+	}
+	if hello.DeviceID != "dev-under-test" || hello.Freshness != protocol.FreshCounter {
+		t.Fatalf("hello = %+v", hello)
+	}
+
+	// An honest request is answered; the answer verifies.
+	req, _ := v.NewRequest()
+	if err := client.Send(req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		frame, err = client.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if protocol.ClassifyFrame(frame) == protocol.FrameAttResp {
+			break // stats heartbeats may interleave
+		}
+	}
+	if ok, err := v.CheckResponse(frame); !ok {
+		t.Fatalf("measurement rejected: %v", err)
+	}
+
+	// Stats heartbeats arrive while idle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no stats heartbeat before deadline")
+		}
+		frame, err = client.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if protocol.ClassifyFrame(frame) == protocol.FrameStats {
+			st, err := protocol.DecodeStatsReport(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Measurements != 1 || st.FramesIn < 1 {
+				t.Fatalf("reported stats = %+v", st)
+			}
+			break
+		}
+	}
+
+	cancel()
+	if err := <-serveErr; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Serve: %v", err)
+	}
+}

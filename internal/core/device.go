@@ -95,10 +95,7 @@ func NewDevice(k *sim.Kernel, cfg DeviceConfig) (*Device, error) {
 		app[i] = byte(i*13 + 7)
 	}
 	m.Space.DirectWrite(AppImageRegion.Start, app)
-	ram := make([]byte, mcu.RAMRegion.Size)
-	for i := range ram {
-		ram[i] = byte(i*31 + 5)
-	}
+	ram := GoldenRAMPattern()
 	m.Space.DirectWrite(mcu.RAMRegion.Start, ram)
 
 	d := &Device{
@@ -119,6 +116,18 @@ func NewDevice(k *sim.Kernel, cfg DeviceConfig) (*Device, error) {
 		return nil, fmt.Errorf("core: secure boot failed: %s", d.Boot.Reason)
 	}
 	return d, nil
+}
+
+// GoldenRAMPattern returns the deterministic RAM fill NewDevice installs,
+// without building a device. The verifier side of the networked deployment
+// (internal/server) needs the golden image but has no MCU; sharing the
+// generator keeps the daemon's expectation and the agent's device in sync.
+func GoldenRAMPattern() []byte {
+	ram := make([]byte, mcu.RAMRegion.Size)
+	for i := range ram {
+		ram[i] = byte(i*31 + 5)
+	}
+	return ram
 }
 
 // GoldenRAM returns the expected measured-memory contents.

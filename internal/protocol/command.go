@@ -274,6 +274,8 @@ const (
 	FrameAttResp
 	FrameCommandReq
 	FrameCommandResp
+	FrameHello
+	FrameStats
 )
 
 // ClassifyFrame inspects a frame's magic bytes.
@@ -290,6 +292,10 @@ func ClassifyFrame(buf []byte) FrameKind {
 		return FrameCommandReq
 	case buf[0] == respMagic0 && buf[1] == cmdRespMagic1:
 		return FrameCommandResp
+	case buf[0] == reqMagic0 && buf[1] == helloMagic1:
+		return FrameHello
+	case buf[0] == reqMagic0 && buf[1] == statsMagic1:
+		return FrameStats
 	}
 	return FrameUnknown
 }

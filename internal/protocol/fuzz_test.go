@@ -71,3 +71,35 @@ func FuzzDecodeCommandResp(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeHello covers the session opener of the networked deployment.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add((&Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "dev-1"}).Encode())
+	f.Add((&Hello{DeviceID: "x"}).Encode())
+	f.Add([]byte{0x41, 0x48, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHello(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(h.Encode(), data) {
+			t.Fatalf("accepted hello does not round trip: %x", data)
+		}
+	})
+}
+
+// FuzzDecodeStatsReport covers the counter-snapshot frame.
+func FuzzDecodeStatsReport(f *testing.F) {
+	f.Add((&StatsReport{Received: 7, Measurements: 1}).Encode())
+	f.Add((&StatsReport{}).Encode())
+	f.Add([]byte{0x41, 0x53})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeStatsReport(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(s.Encode(), data) {
+			t.Fatalf("accepted stats report does not round trip: %x", data)
+		}
+	})
+}

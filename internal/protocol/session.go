@@ -1,0 +1,187 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unicode/utf8"
+)
+
+// This file defines the session-layer frames of the networked deployment
+// (internal/server ↔ internal/agent). They ride the same transport as the
+// attestation and command frames but never enter the trust anchor's gate:
+// Hello identifies a prover connection to the verifier daemon, and
+// StatsReport carries the prover's gate counters so the daemon can expose
+// fleet-wide rejected-at-gate/accepted/cause totals. Neither frame is
+// authenticated — they are operational metadata, and the daemon must treat
+// them as adversary-controllable (a lying agent can misreport its own
+// stats, but cannot forge an attestation measurement, which is the only
+// security-relevant signal).
+
+// Hello is the agent→daemon session opener: the prover's identity and the
+// protocol policy it is provisioned with, so the daemon can refuse
+// mismatched configurations before issuing any request.
+//
+// Wire layout (little-endian):
+//
+//	offset 0 magic   0x41 'A' 0x48 'H'
+//	offset 2 version 1
+//	offset 3 freshness kind
+//	offset 4 auth kind
+//	offset 5 reserved (1 byte, zero)
+//	offset 6 device-id length (2 bytes)
+//	offset 8 device id (UTF-8, ≤ MaxDeviceID bytes)
+type Hello struct {
+	Freshness FreshnessKind
+	Auth      AuthKind
+	DeviceID  string
+}
+
+const (
+	helloMagic1 = 0x48
+	helloHeader = 8
+
+	// MaxDeviceID bounds the device identifier length in bytes.
+	MaxDeviceID = 64
+)
+
+// Encode serialises the hello.
+func (h *Hello) Encode() []byte {
+	if len(h.DeviceID) == 0 || len(h.DeviceID) > MaxDeviceID {
+		panic(fmt.Sprintf("protocol: device id length %d out of range (1..%d)", len(h.DeviceID), MaxDeviceID))
+	}
+	buf := make([]byte, helloHeader+len(h.DeviceID))
+	buf[0] = reqMagic0
+	buf[1] = helloMagic1
+	buf[2] = reqVersion
+	buf[3] = byte(h.Freshness)
+	buf[4] = byte(h.Auth)
+	binary.LittleEndian.PutUint16(buf[6:], uint16(len(h.DeviceID)))
+	copy(buf[helloHeader:], h.DeviceID)
+	return buf
+}
+
+// DecodeHello parses a hello frame with strict framing.
+func DecodeHello(buf []byte) (*Hello, error) {
+	if len(buf) < helloHeader {
+		return nil, fmt.Errorf("protocol: hello too short (%d bytes)", len(buf))
+	}
+	if buf[0] != reqMagic0 || buf[1] != helloMagic1 {
+		return nil, fmt.Errorf("protocol: bad hello magic %#x %#x", buf[0], buf[1])
+	}
+	if buf[2] != reqVersion {
+		return nil, fmt.Errorf("protocol: unsupported hello version %d", buf[2])
+	}
+	if buf[5] != 0 {
+		return nil, fmt.Errorf("protocol: nonzero reserved byte in hello header")
+	}
+	idLen := int(binary.LittleEndian.Uint16(buf[6:]))
+	if idLen == 0 || idLen > MaxDeviceID {
+		return nil, fmt.Errorf("protocol: hello device-id length %d out of range (1..%d)", idLen, MaxDeviceID)
+	}
+	if len(buf) != helloHeader+idLen {
+		return nil, fmt.Errorf("protocol: hello length %d does not match id length %d", len(buf), idLen)
+	}
+	id := string(buf[helloHeader:])
+	if !utf8.ValidString(id) {
+		return nil, fmt.Errorf("protocol: hello device id is not valid UTF-8")
+	}
+	return &Hello{
+		Freshness: FreshnessKind(buf[3]),
+		Auth:      AuthKind(buf[4]),
+		DeviceID:  id,
+	}, nil
+}
+
+// StatsReport is the agent→daemon counter snapshot: the anchor's gate
+// statistics (cumulative since boot), so the daemon can report the
+// fleet-wide cost asymmetry — how many frames died at the cheap gate
+// versus how many bought a full memory measurement.
+//
+// Wire layout (little-endian): magic 0x41 'A' 0x53 'S', version 1,
+// 5 reserved bytes, then ten 8-byte counters in field order.
+type StatsReport struct {
+	Received          uint64 // request frames submitted to the gate
+	Malformed         uint64 // framing rejects (no crypto run)
+	AuthRejected      uint64 // tag verification failures
+	FreshnessRejected uint64 // replay/reorder/delay rejects
+	Faults            uint64 // bus faults inside the anchor
+	Measurements      uint64 // full memory measurements (the MAC work)
+	Commands          uint64 // service-command frames submitted
+	CommandsExecuted  uint64 // commands that passed the gate and ran
+	ActiveCycles      uint64 // total MCU cycles spent (energy basis)
+	FramesIn          uint64 // frames the agent pulled off the socket
+}
+
+const (
+	statsMagic1     = 0x53
+	statsNumFields  = 10
+	statsHeaderSize = 8
+	statsFrameSize  = statsHeaderSize + 8*statsNumFields
+)
+
+// GateRejected is the total of all cheap-gate rejection causes.
+func (s *StatsReport) GateRejected() uint64 {
+	return s.Malformed + s.AuthRejected + s.FreshnessRejected
+}
+
+func (s *StatsReport) fields() [statsNumFields]*uint64 {
+	return [statsNumFields]*uint64{
+		&s.Received, &s.Malformed, &s.AuthRejected, &s.FreshnessRejected,
+		&s.Faults, &s.Measurements, &s.Commands, &s.CommandsExecuted,
+		&s.ActiveCycles, &s.FramesIn,
+	}
+}
+
+// Encode serialises the report.
+func (s *StatsReport) Encode() []byte {
+	buf := make([]byte, statsFrameSize)
+	buf[0] = reqMagic0
+	buf[1] = statsMagic1
+	buf[2] = reqVersion
+	for i, p := range s.fields() {
+		binary.LittleEndian.PutUint64(buf[statsHeaderSize+8*i:], *p)
+	}
+	return buf
+}
+
+// DecodeStatsReport parses a stats frame with strict framing.
+func DecodeStatsReport(buf []byte) (*StatsReport, error) {
+	if len(buf) != statsFrameSize {
+		return nil, fmt.Errorf("protocol: stats report length %d, want %d", len(buf), statsFrameSize)
+	}
+	if buf[0] != reqMagic0 || buf[1] != statsMagic1 {
+		return nil, fmt.Errorf("protocol: bad stats magic %#x %#x", buf[0], buf[1])
+	}
+	if buf[2] != reqVersion {
+		return nil, fmt.Errorf("protocol: unsupported stats version %d", buf[2])
+	}
+	if buf[3] != 0 || buf[4] != 0 || buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
+		return nil, fmt.Errorf("protocol: nonzero reserved bytes in stats header")
+	}
+	s := &StatsReport{}
+	for i, p := range s.fields() {
+		*p = binary.LittleEndian.Uint64(buf[statsHeaderSize+8*i:])
+	}
+	return s, nil
+}
+
+// ParseFreshnessKind maps a FreshnessKind.String() value back to the kind
+// (command-line flag parsing for the networked binaries).
+func ParseFreshnessKind(s string) (FreshnessKind, error) {
+	for _, k := range []FreshnessKind{FreshNone, FreshNonceHistory, FreshCounter, FreshTimestamp} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("protocol: unknown freshness kind %q (none, nonces, counter, timestamps)", s)
+}
+
+// ParseAuthKind maps an AuthKind.String() value back to the kind.
+func ParseAuthKind(s string) (AuthKind, error) {
+	for _, k := range []AuthKind{AuthNone, AuthHMACSHA1, AuthAESCBCMAC, AuthSpeckCBCMAC, AuthECDSA} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("protocol: unknown auth kind %q (none, hmac-sha1, aes-128-cbc-mac, speck-64/128-cbc-mac, ecdsa-secp160r1)", s)
+}

@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := &Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "dev-042"}
+	raw := h.Encode()
+	if ClassifyFrame(raw) != FrameHello {
+		t.Fatalf("ClassifyFrame = %v, want FrameHello", ClassifyFrame(raw))
+	}
+	got, err := DecodeHello(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *h {
+		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+func TestHelloRejectsBadFrames(t *testing.T) {
+	good := (&Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "d"}).Encode()
+
+	cases := map[string][]byte{
+		"short":        good[:4],
+		"bad magic":    append([]byte{0x42}, good[1:]...),
+		"bad version":  func() []byte { b := append([]byte(nil), good...); b[2] = 9; return b }(),
+		"reserved":     func() []byte { b := append([]byte(nil), good...); b[5] = 1; return b }(),
+		"length lie":   func() []byte { b := append([]byte(nil), good...); b[6] = 44; return b }(),
+		"trailing":     append(append([]byte(nil), good...), 'x'),
+		"invalid utf8": func() []byte { b := append([]byte(nil), good...); b[len(b)-1] = 0xFF; return b }(),
+	}
+	for name, raw := range cases {
+		if _, err := DecodeHello(raw); err == nil {
+			t.Errorf("%s: malformed hello accepted", name)
+		}
+	}
+	if _, err := DecodeHello((&Hello{DeviceID: "x"}).Encode()); err != nil {
+		t.Fatalf("minimal hello rejected: %v", err)
+	}
+}
+
+func TestHelloEncodePanicsOnBadID(t *testing.T) {
+	for _, id := range []string{"", strings.Repeat("a", MaxDeviceID+1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode accepted device id of length %d", len(id))
+				}
+			}()
+			(&Hello{DeviceID: id}).Encode()
+		}()
+	}
+}
+
+func TestStatsReportRoundTrip(t *testing.T) {
+	s := &StatsReport{
+		Received: 1, Malformed: 2, AuthRejected: 3, FreshnessRejected: 4,
+		Faults: 5, Measurements: 6, Commands: 7, CommandsExecuted: 8,
+		ActiveCycles: 1 << 40, FramesIn: 10,
+	}
+	raw := s.Encode()
+	if ClassifyFrame(raw) != FrameStats {
+		t.Fatalf("ClassifyFrame = %v, want FrameStats", ClassifyFrame(raw))
+	}
+	got, err := DecodeStatsReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *s {
+		t.Fatalf("round trip: got %+v, want %+v", got, s)
+	}
+	if got.GateRejected() != 2+3+4 {
+		t.Fatalf("GateRejected = %d, want 9", got.GateRejected())
+	}
+}
+
+func TestStatsReportRejectsBadFrames(t *testing.T) {
+	good := (&StatsReport{Received: 1}).Encode()
+	if _, err := DecodeStatsReport(good[:len(good)-1]); err == nil {
+		t.Error("truncated stats accepted")
+	}
+	if _, err := DecodeStatsReport(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("oversized stats accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[4] = 1
+	if _, err := DecodeStatsReport(bad); err == nil {
+		t.Error("nonzero reserved bytes accepted")
+	}
+	if !bytes.Equal(good, (&StatsReport{Received: 1}).Encode()) {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	for _, k := range []FreshnessKind{FreshNone, FreshNonceHistory, FreshCounter, FreshTimestamp} {
+		got, err := ParseFreshnessKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseFreshnessKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	for _, k := range []AuthKind{AuthNone, AuthHMACSHA1, AuthAESCBCMAC, AuthSpeckCBCMAC, AuthECDSA} {
+		got, err := ParseAuthKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseAuthKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseFreshnessKind("bogus"); err == nil {
+		t.Error("bogus freshness kind parsed")
+	}
+	if _, err := ParseAuthKind("bogus"); err == nil {
+		t.Error("bogus auth kind parsed")
+	}
+}

@@ -220,6 +220,27 @@ func (v *Verifier) Abandon(nonce uint64) bool {
 	return true
 }
 
+// IsCommandPending reports whether the service command with the given
+// nonce still awaits a response.
+func (v *Verifier) IsCommandPending(nonce uint64) bool {
+	_, ok := v.pendingCmds[nonce]
+	return ok
+}
+
+// AbandonCommand retires an unanswered service command after a timeout,
+// mirroring Abandon for the command map. The two maps are deliberately
+// separate retirement paths: an attestation nonce and a command nonce never
+// collide (one nonceSeq feeds both), but a response of the wrong type must
+// not retire the other map's entry.
+func (v *Verifier) AbandonCommand(nonce uint64) bool {
+	if _, ok := v.pendingCmds[nonce]; !ok {
+		return false
+	}
+	delete(v.pendingCmds, nonce)
+	v.Expired++
+	return true
+}
+
 // LastCounter reports the verifier's counter state (for tests).
 func (v *Verifier) LastCounter() uint64 { return v.counter }
 

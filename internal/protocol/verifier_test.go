@@ -163,3 +163,106 @@ func TestMeasureBindsRequest(t *testing.T) {
 		t.Fatal("measurement does not bind the memory")
 	}
 }
+
+func TestOutstandingCountsBothMaps(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	req, err := v.NewRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd, err := v.NewCommand(CmdSecureErase, []byte("region"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d, want 2 (one request + one command)", v.Outstanding())
+	}
+	if req.Nonce == cmd.Nonce {
+		t.Fatal("request and command drew the same nonce — the maps could shadow each other")
+	}
+	if !v.IsPending(req.Nonce) || v.IsPending(cmd.Nonce) {
+		t.Fatalf("IsPending: req=%v cmd=%v, want true/false (attestation map only)",
+			v.IsPending(req.Nonce), v.IsPending(cmd.Nonce))
+	}
+	if !v.IsCommandPending(cmd.Nonce) || v.IsCommandPending(req.Nonce) {
+		t.Fatalf("IsCommandPending: cmd=%v req=%v, want true/false (command map only)",
+			v.IsCommandPending(cmd.Nonce), v.IsCommandPending(req.Nonce))
+	}
+}
+
+func TestAbandonTouchesOnlyAttestationMap(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	req, _ := v.NewRequest()
+	cmd, _ := v.NewCommand(CmdClockSync, nil)
+
+	if v.Abandon(cmd.Nonce) {
+		t.Fatal("Abandon retired a command nonce — the maps must be independent")
+	}
+	if !v.Abandon(req.Nonce) {
+		t.Fatal("Abandon refused a pending attestation nonce")
+	}
+	if v.Abandon(req.Nonce) {
+		t.Fatal("Abandon retired the same nonce twice")
+	}
+	if v.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1 (the command survives)", v.Outstanding())
+	}
+	if v.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", v.Expired)
+	}
+}
+
+func TestAbandonCommandTouchesOnlyCommandMap(t *testing.T) {
+	v := testVerifier(t, FreshCounter)
+	req, _ := v.NewRequest()
+	cmd, _ := v.NewCommand(CmdSecureUpdate, []byte("img"))
+
+	if v.AbandonCommand(req.Nonce) {
+		t.Fatal("AbandonCommand retired an attestation nonce")
+	}
+	if !v.AbandonCommand(cmd.Nonce) {
+		t.Fatal("AbandonCommand refused a pending command nonce")
+	}
+	if v.AbandonCommand(cmd.Nonce) {
+		t.Fatal("AbandonCommand retired the same nonce twice")
+	}
+	if v.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1 (the attestation request survives)", v.Outstanding())
+	}
+	if v.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", v.Expired)
+	}
+	// A late response to the abandoned command is unsolicited, not accepted.
+	resp := &CommandResp{Kind: CmdSecureUpdate, Status: StatusOK, Nonce: cmd.Nonce}
+	resp.Seal([]byte("k-attest-20-bytes!!!"))
+	if _, err := v.CheckCommandResponse(resp.Encode()); err == nil {
+		t.Fatal("response to an abandoned command accepted")
+	}
+	if v.Unsolicited != 1 {
+		t.Fatalf("Unsolicited = %d, want 1", v.Unsolicited)
+	}
+}
+
+func TestAbandonedCommandAllowsRetry(t *testing.T) {
+	// The retry discipline for commands mirrors attestation: abandon, then
+	// issue a *new* command (fresh nonce/counter) rather than re-sending.
+	v := testVerifier(t, FreshCounter)
+	cmd1, _ := v.NewCommand(CmdSecureErase, []byte("r"))
+	v.AbandonCommand(cmd1.Nonce)
+	cmd2, err := v.NewCommand(CmdSecureErase, []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd2.Nonce == cmd1.Nonce || cmd2.Counter <= cmd1.Counter {
+		t.Fatalf("retry reused nonce/counter: %d/%d after %d/%d",
+			cmd2.Nonce, cmd2.Counter, cmd1.Nonce, cmd1.Counter)
+	}
+	resp := &CommandResp{Kind: CmdSecureErase, Status: StatusOK, Nonce: cmd2.Nonce}
+	resp.Seal([]byte("k-attest-20-bytes!!!"))
+	if _, err := v.CheckCommandResponse(resp.Encode()); err != nil {
+		t.Fatalf("retried command's response rejected: %v", err)
+	}
+	if v.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0", v.Outstanding())
+	}
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"proverattest/internal/channel"
+	"proverattest/internal/core"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+	"proverattest/internal/transport"
+)
+
+// recordTap is an honest channel tap that copies attestation frames as
+// they cross the simulated link.
+type recordTap struct {
+	reqs, resps [][]byte
+}
+
+func (r *recordTap) OnSend(msg channel.Message, now sim.Time) []channel.Delivery {
+	p := append([]byte(nil), msg.Payload...)
+	switch protocol.ClassifyFrame(p) {
+	case protocol.FrameAttReq:
+		r.reqs = append(r.reqs, p)
+	case protocol.FrameAttResp:
+		r.resps = append(r.resps, p)
+	}
+	return []channel.Delivery{{Msg: msg}}
+}
+
+// recConn records the raw byte streams crossing a net.Conn, so the test
+// can recover the exact frames the daemon put on (and took off) the wire.
+type recConn struct {
+	net.Conn
+	mu     sync.Mutex
+	rd, wr bytes.Buffer
+}
+
+func (c *recConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.rd.Write(p[:n])
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *recConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.wr.Write(p[:n])
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *recConn) streams() (rd, wr []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.rd.Bytes()...), append([]byte(nil), c.wr.Bytes()...)
+}
+
+// deframe splits a recorded byte stream back into transport payloads,
+// tolerating a partial frame at the tail (the snapshot may race a write).
+func deframe(t *testing.T, stream []byte) [][]byte {
+	t.Helper()
+	r := bytes.NewReader(stream)
+	var frames [][]byte
+	for {
+		payload, err := transport.ReadFrame(r, transport.DefaultMaxFrame)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("deframing recorded stream: %v", err)
+			}
+			return frames
+		}
+		frames = append(frames, payload)
+	}
+}
+
+// TestLoopbackMatchesChannelPath is the determinism check for the wire
+// layer: one attest round run over net.Pipe through the daemon and agent
+// produces byte-identical request and response frames to the same round
+// run over the in-process simulated channel. The transport adds framing
+// around the protocol payloads and must change nothing inside them.
+func TestLoopbackMatchesChannelPath(t *testing.T) {
+	const deviceID = "loopback-dev"
+	key := protocol.DeriveDeviceKey(testMaster, deviceID)
+
+	// Channel path: one honest attest round, frames captured by a tap.
+	tap := &recordTap{}
+	sc, err := core.NewScenario(core.ScenarioConfig{
+		Freshness: protocol.FreshCounter,
+		Auth:      protocol.AuthHMACSHA1,
+		AttestKey: key[:],
+		Tap:       tap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.IssueAt(sc.K.Now() + sim.Millisecond)
+	sc.RunUntil(sc.K.Now() + 10*sim.Second)
+	if sc.V.Accepted != 1 || len(tap.reqs) != 1 || len(tap.resps) != 1 {
+		t.Fatalf("channel round: accepted=%d reqs=%d resps=%d", sc.V.Accepted, len(tap.reqs), len(tap.resps))
+	}
+
+	// Socket path: the same round between daemon and agent over net.Pipe,
+	// raw bytes captured on the daemon's side of the pipe.
+	s := testServer(t, func(c *Config) {
+		c.AttestEvery = time.Hour // exactly one request: the immediate first issue
+	})
+	client, peer := net.Pipe()
+	rec := &recConn{Conn: peer}
+	go s.HandleConn(rec)
+
+	a := testAgent(t, deviceID)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.Serve(ctx, client) //nolint:errcheck
+	}()
+	waitFor(t, 15*time.Second, "the socket round to complete", func() bool {
+		return s.Counters().ResponsesAccepted == 1
+	})
+	cancel()
+	<-done
+
+	rdStream, wrStream := rec.streams()
+	var sockReqs, sockResps [][]byte
+	for _, f := range deframe(t, wrStream) {
+		if protocol.ClassifyFrame(f) == protocol.FrameAttReq {
+			sockReqs = append(sockReqs, f)
+		}
+	}
+	for _, f := range deframe(t, rdStream) {
+		if protocol.ClassifyFrame(f) == protocol.FrameAttResp {
+			sockResps = append(sockResps, f)
+		}
+	}
+	if len(sockReqs) != 1 || len(sockResps) != 1 {
+		t.Fatalf("socket round: reqs=%d resps=%d", len(sockReqs), len(sockResps))
+	}
+
+	if !bytes.Equal(tap.reqs[0], sockReqs[0]) {
+		t.Errorf("request frames differ:\n  channel: %x\n  socket:  %x", tap.reqs[0], sockReqs[0])
+	}
+	if !bytes.Equal(tap.resps[0], sockResps[0]) {
+		t.Errorf("response frames differ:\n  channel: %x\n  socket:  %x", tap.resps[0], sockResps[0])
+	}
+}

@@ -1,0 +1,776 @@
+// Package server implements attestd, the verifier daemon of the networked
+// deployment: it accepts many concurrent prover-agent connections
+// (internal/agent dials in — the NAT-friendly direction for embedded
+// fleets), keeps per-prover protocol.Verifier state behind a sharded lock
+// so freshness decisions stay server-side across reconnects (the TOCTOU
+// argument for stateful verifiers), issues authenticated attestation
+// requests on a schedule, and validates the measurement responses.
+//
+// Two defensive layers sit in front of the per-device verifier state,
+// mirroring the prover's cheap-gate-before-expensive-work principle on the
+// verifier side: a per-connection token-bucket rate limit (a chatty or
+// hostile agent cannot monopolise the daemon), and a global inflight cap
+// (the daemon never holds more outstanding requests — each of which costs
+// a golden-image MAC to validate — than it budgeted for).
+//
+// A flood mode turns the daemon into the paper's §3.1 verifier
+// impersonator, driving forged, replayed and malformed frames at connected
+// agents over the real socket so the Table 2 asymmetry can be demonstrated
+// end-to-end over TCP; see FloodConfig.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proverattest/internal/crypto/ecc"
+	"proverattest/internal/protocol"
+	"proverattest/internal/transport"
+)
+
+// FloodConfig turns the daemon into a verifier impersonator: after a short
+// honest head (so the agent performs some legitimate MAC work to compare
+// against), it floods each connected agent with adversarial frames.
+type FloodConfig struct {
+	// Total is the number of flood frames per connection (0 = until the
+	// connection closes).
+	Total int
+	// RatePerSec paces the flood (0 = as fast as the socket accepts).
+	RatePerSec float64
+	// HonestHead is the number of honest requests issued before the flood
+	// (default 1; the replay family needs at least one genuine frame to
+	// capture).
+	HonestHead int
+	// Forge, Replay and Malformed select the frame families to cycle
+	// through. All false selects all three.
+	Forge, Replay, Malformed bool
+}
+
+func (f FloodConfig) families() []floodFamily {
+	if !f.Forge && !f.Replay && !f.Malformed {
+		f.Forge, f.Replay, f.Malformed = true, true, true
+	}
+	var fams []floodFamily
+	if f.Forge {
+		fams = append(fams, floodForge)
+	}
+	if f.Replay {
+		fams = append(fams, floodReplay)
+	}
+	if f.Malformed {
+		fams = append(fams, floodMalformed)
+	}
+	return fams
+}
+
+type floodFamily int
+
+const (
+	floodForge floodFamily = iota
+	floodReplay
+	floodMalformed
+)
+
+// Config assembles the daemon.
+type Config struct {
+	// Freshness and Auth are the deployment's provisioned policy; hellos
+	// declaring anything else are refused. FreshTimestamp is not supported
+	// on the socket path (the simulated prover clock does not track wall
+	// time).
+	Freshness protocol.FreshnessKind
+	Auth      protocol.AuthKind
+	// MasterSecret derives each device's K_Attest
+	// (protocol.DeriveDeviceKey); required.
+	MasterSecret []byte
+	// Golden is the expected measured-memory image shared by the fleet
+	// (core.GoldenRAMPattern for simulated agents); required.
+	Golden []byte
+	// ECDSAKey signs requests when Auth == AuthECDSA.
+	ECDSAKey *ecc.PrivateKey
+
+	// Shards is the verifier-state shard count (default 16).
+	Shards int
+	// MaxConns bounds concurrent connections (default 1024).
+	MaxConns int
+	// MaxInflight caps outstanding requests across all provers — each
+	// outstanding request is a future golden-image MAC the daemon has
+	// committed to computing (default 256).
+	MaxInflight int
+	// PerConnRatePerSec is each connection's inbound-frame budget; frames
+	// over budget are dropped and counted, the connection stays up
+	// (0 = unlimited).
+	PerConnRatePerSec float64
+	// PerConnBurst is the token-bucket depth (default max(16, rate)).
+	PerConnBurst int
+
+	// AttestEvery is the per-prover attestation period (default 1 s).
+	AttestEvery time.Duration
+	// RequestTimeout abandons an unanswered request so its inflight slot
+	// frees and a later round can retry with a fresh request (default 10 s).
+	RequestTimeout time.Duration
+
+	// MaxFrame, ReadTimeout and WriteTimeout parameterise the transport
+	// (defaults: transport.DefaultMaxFrame, 30 s, 10 s).
+	MaxFrame     uint32
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// Flood, when non-nil, selects impersonator mode instead of the honest
+	// issue schedule.
+	Flood *FloodConfig
+}
+
+// Counters is a snapshot of the daemon's observable state, the
+// verifier-side half of the experiment read-out. The prover-side half
+// (rejected-at-gate by cause, MAC work) is aggregated from agent stats
+// frames; see Server.AgentStats.
+type Counters struct {
+	ConnsAccepted uint64 // hellos accepted
+	ConnsRejected uint64 // connection-cap refusals and bad/mismatched hellos
+
+	FramesIn      uint64 // frames read off sockets (post-hello)
+	RateLimited   uint64 // frames dropped by the per-connection budget
+	UnknownFrames uint64 // frames of no recognised kind
+
+	RequestsIssued    uint64 // honest attestation requests sent
+	InflightThrottled uint64 // issue ticks skipped at the global cap
+	RequestsAbandoned uint64 // requests retired by timeout
+
+	ResponsesAccepted    uint64 // measurements matching the golden image
+	ResponsesRejected    uint64 // malformed frames or mismatched measurements
+	ResponsesUnsolicited uint64 // responses to no outstanding nonce
+
+	FloodInjected uint64 // adversarial frames sent (flood mode)
+	StatsReports  uint64 // agent stats frames received
+}
+
+type counters struct {
+	connsAccepted, connsRejected                               atomic.Uint64
+	framesIn, rateLimited, unknownFrames                       atomic.Uint64
+	requestsIssued, inflightThrottled, requestsAbandoned       atomic.Uint64
+	responsesAccepted, responsesRejected, responsesUnsolicited atomic.Uint64
+	floodInjected, statsReports                                atomic.Uint64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		ConnsAccepted:        c.connsAccepted.Load(),
+		ConnsRejected:        c.connsRejected.Load(),
+		FramesIn:             c.framesIn.Load(),
+		RateLimited:          c.rateLimited.Load(),
+		UnknownFrames:        c.unknownFrames.Load(),
+		RequestsIssued:       c.requestsIssued.Load(),
+		InflightThrottled:    c.inflightThrottled.Load(),
+		RequestsAbandoned:    c.requestsAbandoned.Load(),
+		ResponsesAccepted:    c.responsesAccepted.Load(),
+		ResponsesRejected:    c.responsesRejected.Load(),
+		ResponsesUnsolicited: c.responsesUnsolicited.Load(),
+		FloodInjected:        c.floodInjected.Load(),
+		StatsReports:         c.statsReports.Load(),
+	}
+}
+
+// shard is one stripe of the per-device verifier state. The shard mutex
+// guards every verifier operation of every device hashed to it; devices on
+// different shards proceed concurrently.
+type shard struct {
+	mu      sync.Mutex
+	devices map[string]*deviceState
+}
+
+// deviceState is one prover's server-side state. It outlives connections:
+// a reconnecting device resumes its nonce/counter stream, which is what
+// keeps replayed responses from a previous session rejectable.
+type deviceState struct {
+	id string
+	sh *shard
+
+	v         *protocol.Verifier
+	lastReq   []byte                // last honest request frame (replay source)
+	lastStats *protocol.StatsReport // latest agent-reported gate counters
+}
+
+func (d *deviceState) withLock(fn func()) {
+	d.sh.mu.Lock()
+	defer d.sh.mu.Unlock()
+	fn()
+}
+
+// Server is the verifier daemon.
+type Server struct {
+	cfg    Config
+	shards []*shard
+
+	inflight atomic.Int64
+	c        counters
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ErrClosed is returned by Serve after Close.
+var ErrClosed = errors.New("server: closed")
+
+// New validates the configuration and builds the daemon.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.MasterSecret) == 0 {
+		return nil, errors.New("server: MasterSecret is required (per-device key derivation)")
+	}
+	if len(cfg.Golden) == 0 {
+		return nil, errors.New("server: Golden image is required")
+	}
+	if cfg.Freshness == protocol.FreshTimestamp {
+		return nil, errors.New("server: timestamp freshness is not supported over the socket path")
+	}
+	if cfg.Auth == protocol.AuthECDSA && cfg.ECDSAKey == nil {
+		return nil, errors.New("server: ECDSA auth needs the signing key")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 1024
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.AttestEvery <= 0 {
+		cfg.AttestEvery = time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.PerConnBurst <= 0 {
+		cfg.PerConnBurst = 16
+		if int(cfg.PerConnRatePerSec) > cfg.PerConnBurst {
+			cfg.PerConnBurst = int(cfg.PerConnRatePerSec)
+		}
+	}
+	s := &Server{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{devices: make(map[string]*deviceState)}
+	}
+	return s, nil
+}
+
+// Counters snapshots the daemon's counters.
+func (s *Server) Counters() Counters { return s.c.snapshot() }
+
+// AgentStats sums the latest gate-counter report of every known device:
+// the fleet-wide requests-seen / rejected-at-gate (by cause) / MAC-work
+// totals the experiments read out.
+func (s *Server) AgentStats() protocol.StatsReport {
+	var sum protocol.StatsReport
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, d := range sh.devices {
+			if st := d.lastStats; st != nil {
+				sum.Received += st.Received
+				sum.Malformed += st.Malformed
+				sum.AuthRejected += st.AuthRejected
+				sum.FreshnessRejected += st.FreshnessRejected
+				sum.Faults += st.Faults
+				sum.Measurements += st.Measurements
+				sum.Commands += st.Commands
+				sum.CommandsExecuted += st.CommandsExecuted
+				sum.ActiveCycles += st.ActiveCycles
+				sum.FramesIn += st.FramesIn
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return sum
+}
+
+// Devices reports how many provers have ever connected.
+func (s *Server) Devices() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.devices)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Inflight reports the current number of outstanding requests.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+func (s *Server) shardFor(deviceID string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(deviceID)) //nolint:errcheck // never fails
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// device returns the per-prover state, creating it (and its verifier) on
+// first contact.
+func (s *Server) device(deviceID string) (*deviceState, error) {
+	sh := s.shardFor(deviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if d, ok := sh.devices[deviceID]; ok {
+		return d, nil
+	}
+	key := protocol.DeriveDeviceKey(s.cfg.MasterSecret, deviceID)
+	auth, err := newAuthenticator(s.cfg.Auth, key[:], s.cfg.ECDSAKey)
+	if err != nil {
+		return nil, err
+	}
+	v, err := protocol.NewVerifier(protocol.VerifierConfig{
+		Freshness: s.cfg.Freshness,
+		Auth:      auth,
+		AttestKey: key[:],
+		Golden:    s.cfg.Golden,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &deviceState{id: deviceID, sh: sh, v: v}
+	sh.devices[deviceID] = d
+	return d, nil
+}
+
+// newAuthenticator builds the request signer for one device, mirroring the
+// prover-side keying: symmetric schemes key themselves from the device's
+// K_Attest, ECDSA uses the daemon's signing identity.
+func newAuthenticator(kind protocol.AuthKind, key []byte, ecdsaKey *ecc.PrivateKey) (protocol.Authenticator, error) {
+	switch kind {
+	case protocol.AuthNone:
+		return protocol.NoAuth{}, nil
+	case protocol.AuthHMACSHA1:
+		return protocol.NewHMACAuth(key), nil
+	case protocol.AuthECDSA:
+		return protocol.NewECDSAAuth(ecdsaKey), nil
+	default:
+		return protocol.NewAuthenticator(kind, key[:16])
+	}
+}
+
+// ListenAndServe listens on a TCP address and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections until the listener fails or Close is called.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed || len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.c.connsRejected.Add(1)
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(nc)
+	}
+}
+
+// Addr reports the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener, closes every connection and waits for the
+// connection handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, nc := range conns {
+		nc.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	nc.Close()
+	s.wg.Done()
+}
+
+// HandleConn serves one established connection synchronously — the entry
+// point for tests and in-process loopbacks (net.Pipe) that bypass the
+// listener. The connection counts toward no accept-side limits.
+func (s *Server) HandleConn(nc net.Conn) {
+	s.mu.Lock()
+	s.conns[nc] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.handleConn(nc)
+}
+
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.dropConn(nc)
+	s.handleConnInner(nc)
+}
+
+func (s *Server) handleConnInner(nc net.Conn) {
+	tc := transport.NewConn(nc, transport.Options{
+		MaxFrame:     s.cfg.MaxFrame,
+		ReadTimeout:  s.cfg.ReadTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
+	})
+
+	// The first frame must be a policy-matching hello.
+	frame, err := tc.Recv()
+	if err != nil {
+		s.c.connsRejected.Add(1)
+		return
+	}
+	hello, err := protocol.DecodeHello(frame)
+	if err != nil || hello.Freshness != s.cfg.Freshness || hello.Auth != s.cfg.Auth {
+		s.c.connsRejected.Add(1)
+		return
+	}
+	dev, err := s.device(hello.DeviceID)
+	if err != nil {
+		s.c.connsRejected.Add(1)
+		return
+	}
+	s.c.connsAccepted.Add(1)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	if s.cfg.Flood != nil {
+		go s.floodLoop(dev, tc, stop)
+	} else {
+		go s.issueLoop(dev, tc, stop)
+	}
+
+	var bucket *tokenBucket
+	if s.cfg.PerConnRatePerSec > 0 {
+		bucket = newTokenBucket(s.cfg.PerConnRatePerSec, float64(s.cfg.PerConnBurst))
+	}
+	for {
+		frame, err := tc.Recv()
+		if err != nil {
+			return
+		}
+		s.c.framesIn.Add(1)
+		if bucket != nil && !bucket.allow(time.Now()) {
+			s.c.rateLimited.Add(1)
+			continue
+		}
+		switch protocol.ClassifyFrame(frame) {
+		case protocol.FrameAttResp:
+			s.onAttResp(dev, frame)
+		case protocol.FrameCommandResp:
+			s.onCommandResp(dev, frame)
+		case protocol.FrameStats:
+			s.onStats(dev, frame)
+		default:
+			s.c.unknownFrames.Add(1)
+		}
+	}
+}
+
+func (s *Server) onAttResp(dev *deviceState, frame []byte) {
+	var (
+		ok    bool
+		unsol bool
+	)
+	dev.withLock(func() {
+		u0 := dev.v.Unsolicited
+		ok, _ = dev.v.CheckResponse(frame)
+		unsol = dev.v.Unsolicited > u0
+	})
+	switch {
+	case ok:
+		s.c.responsesAccepted.Add(1)
+		s.releaseInflight()
+	case unsol:
+		s.c.responsesUnsolicited.Add(1)
+	default:
+		s.c.responsesRejected.Add(1)
+	}
+}
+
+func (s *Server) onCommandResp(dev *deviceState, frame []byte) {
+	var (
+		err   error
+		unsol bool
+	)
+	dev.withLock(func() {
+		u0 := dev.v.Unsolicited
+		_, err = dev.v.CheckCommandResponse(frame)
+		unsol = dev.v.Unsolicited > u0
+	})
+	switch {
+	case err == nil:
+		s.c.responsesAccepted.Add(1)
+		s.releaseInflight()
+	case unsol:
+		s.c.responsesUnsolicited.Add(1)
+	default:
+		s.c.responsesRejected.Add(1)
+	}
+}
+
+func (s *Server) onStats(dev *deviceState, frame []byte) {
+	st, err := protocol.DecodeStatsReport(frame)
+	if err != nil {
+		s.c.unknownFrames.Add(1)
+		return
+	}
+	s.c.statsReports.Add(1)
+	dev.withLock(func() { dev.lastStats = st })
+}
+
+func (s *Server) acquireInflight() bool {
+	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (s *Server) releaseInflight() { s.inflight.Add(-1) }
+
+// issueOne signs and sends the next request for dev, arming the
+// abandon-on-timeout. It reports false when the connection is dead.
+func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
+	if !s.acquireInflight() {
+		s.c.inflightThrottled.Add(1)
+		return true // cap pressure is not a connection failure
+	}
+	var (
+		raw   []byte
+		nonce uint64
+		err   error
+	)
+	dev.withLock(func() {
+		var req *protocol.AttReq
+		req, err = dev.v.NewRequest()
+		if err == nil {
+			raw = req.Encode()
+			nonce = req.Nonce
+			dev.lastReq = raw
+		}
+	})
+	if err != nil {
+		s.releaseInflight()
+		return true
+	}
+	if err := tc.Send(raw); err != nil {
+		// The request is on no wire; abandon it immediately so the
+		// verifier state does not accumulate ghosts.
+		dev.withLock(func() { dev.v.Abandon(nonce) })
+		s.releaseInflight()
+		return false
+	}
+	s.c.requestsIssued.Add(1)
+	time.AfterFunc(s.cfg.RequestTimeout, func() {
+		var abandoned bool
+		dev.withLock(func() { abandoned = dev.v.Abandon(nonce) })
+		if abandoned {
+			s.c.requestsAbandoned.Add(1)
+			s.releaseInflight()
+		}
+	})
+	return true
+}
+
+// issueLoop drives the honest attestation schedule for one connection.
+func (s *Server) issueLoop(dev *deviceState, tc *transport.Conn, stop <-chan struct{}) {
+	ticker := time.NewTicker(s.cfg.AttestEvery)
+	defer ticker.Stop()
+	for {
+		if !s.issueOne(dev, tc) {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// floodLoop is the verifier impersonator: an honest head, then a cycling
+// mix of forged, replayed and malformed frames. Forged frames die at the
+// agent's tag check, replays at the freshness check, malformed frames at
+// the parser — none of them may cost the prover a memory measurement.
+func (s *Server) floodLoop(dev *deviceState, tc *transport.Conn, stop <-chan struct{}) {
+	f := *s.cfg.Flood
+	if f.HonestHead <= 0 {
+		f.HonestHead = 1
+	}
+	for i := 0; i < f.HonestHead; i++ {
+		if !s.issueOne(dev, tc) {
+			return
+		}
+	}
+	fams := f.families()
+	var interval time.Duration
+	if f.RatePerSec > 0 {
+		interval = time.Duration(float64(time.Second) / f.RatePerSec)
+	}
+	for n := 0; f.Total == 0 || n < f.Total; n++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		frame := s.floodFrame(dev, fams[n%len(fams)], n)
+		if err := tc.Send(frame); err != nil {
+			return
+		}
+		s.c.floodInjected.Add(1)
+		if interval > 0 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(interval):
+			}
+		}
+	}
+}
+
+func (s *Server) floodFrame(dev *deviceState, fam floodFamily, n int) []byte {
+	if fam == floodReplay {
+		var replay []byte
+		dev.withLock(func() { replay = append([]byte(nil), dev.lastReq...) })
+		if len(replay) > 0 {
+			return replay
+		}
+		fam = floodForge // nothing captured yet
+	}
+	if fam == floodMalformed {
+		// A version the prover will never speak: rejected by the frame
+		// parser before any cryptography runs.
+		return []byte{0x41, 0x52, 0xFF, byte(n), byte(n >> 8)}
+	}
+	// Forged: well-framed, policy-matching request with a garbage tag and
+	// a climbing counter, exactly the §3.1 impersonator. Under AuthNone
+	// the empty tag verifies and the flood costs full measurements — the
+	// strawman the paper's gate exists to kill.
+	req := &protocol.AttReq{
+		Freshness: s.cfg.Freshness,
+		Auth:      s.cfg.Auth,
+		Nonce:     1_000_000_007 + uint64(n),
+		Counter:   1_000_000_007 + uint64(n),
+	}
+	if tagLen := forgedTagLen(s.cfg.Auth); tagLen > 0 {
+		tag := make([]byte, tagLen)
+		for j := range tag {
+			tag[j] = byte(n*31 + j*7)
+		}
+		req.Tag = tag
+	}
+	return req.Encode()
+}
+
+// forgedTagLen is the tag size a key-less impersonator pads to, per scheme.
+func forgedTagLen(kind protocol.AuthKind) int {
+	switch kind {
+	case protocol.AuthHMACSHA1:
+		return 20
+	case protocol.AuthAESCBCMAC:
+		return 16
+	case protocol.AuthSpeckCBCMAC:
+		return 8
+	case protocol.AuthECDSA:
+		return 42
+	}
+	return 0
+}
+
+// tokenBucket is a wall-clock token bucket (rate tokens/s, depth burst).
+type tokenBucket struct {
+	rate, burst float64
+	tokens      float64
+	last        time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+func (b *tokenBucket) allow(now time.Time) bool {
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// String summarises the counters for log lines.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"conns=%d/%d frames=%d ratelimited=%d issued=%d accepted=%d rejected=%d unsolicited=%d abandoned=%d flood=%d stats=%d",
+		c.ConnsAccepted, c.ConnsRejected, c.FramesIn, c.RateLimited,
+		c.RequestsIssued, c.ResponsesAccepted, c.ResponsesRejected,
+		c.ResponsesUnsolicited, c.RequestsAbandoned, c.FloodInjected, c.StatsReports)
+}

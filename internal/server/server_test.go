@@ -1,0 +1,314 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"proverattest/internal/agent"
+	"proverattest/internal/core"
+	"proverattest/internal/protocol"
+	"proverattest/internal/transport"
+)
+
+var testMaster = []byte("net-test-master-secret")
+
+func testServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		Freshness:    protocol.FreshCounter,
+		Auth:         protocol.AuthHMACSHA1,
+		MasterSecret: testMaster,
+		Golden:       core.GoldenRAMPattern(),
+		AttestEvery:  50 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func testAgent(t *testing.T, id string) *agent.Agent {
+	t.Helper()
+	a, err := agent.New(agent.Config{
+		DeviceID:     id,
+		Freshness:    protocol.FreshCounter,
+		Auth:         protocol.AuthHMACSHA1,
+		MasterSecret: testMaster,
+		StatsEvery:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{
+		Freshness: protocol.FreshCounter, Auth: protocol.AuthHMACSHA1,
+		MasterSecret: testMaster, Golden: []byte{1},
+	}
+	for name, mutate := range map[string]func(*Config){
+		"no master secret": func(c *Config) { c.MasterSecret = nil },
+		"no golden":        func(c *Config) { c.Golden = nil },
+		"timestamps":       func(c *Config) { c.Freshness = protocol.FreshTimestamp },
+		"ecdsa sans key":   func(c *Config) { c.Auth = protocol.AuthECDSA },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+}
+
+// TestHonestRoundsOverTCP runs the daemon and several concurrent agents
+// over real TCP on localhost and waits for accepted measurements from each.
+func TestHonestRoundsOverTCP(t *testing.T) {
+	s := testServer(t, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const agents = 4
+	var wg sync.WaitGroup
+	for i := 0; i < agents; i++ {
+		a := testAgent(t, fmt.Sprintf("tcp-dev-%d", i))
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Serve(ctx, nc) //nolint:errcheck
+		}()
+	}
+
+	waitFor(t, 15*time.Second, "one accepted measurement per agent", func() bool {
+		return s.Counters().ResponsesAccepted >= agents
+	})
+	waitFor(t, 15*time.Second, "gate stats from every agent", func() bool {
+		return s.AgentStats().Measurements >= agents
+	})
+	if got := s.Devices(); got != agents {
+		t.Fatalf("Devices = %d, want %d", got, agents)
+	}
+	c := s.Counters()
+	if c.ConnsAccepted != agents || c.ResponsesRejected != 0 || c.ResponsesUnsolicited != 0 {
+		t.Fatalf("counters: %v", c)
+	}
+	cancel()
+	wg.Wait()
+	if n := s.Inflight(); n < 0 {
+		t.Fatalf("Inflight = %d, want >= 0", n)
+	}
+}
+
+func TestHelloPolicyMismatchRejected(t *testing.T) {
+	s := testServer(t, nil)
+	client, peer := net.Pipe()
+	go s.HandleConn(peer)
+	tc := transport.NewConn(client, transport.Options{})
+	defer tc.Close()
+
+	bad := &protocol.Hello{Freshness: protocol.FreshNone, Auth: protocol.AuthNone, DeviceID: "liar"}
+	if err := tc.Send(bad.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "hello rejection", func() bool {
+		return s.Counters().ConnsRejected == 1
+	})
+	if s.Counters().ConnsAccepted != 0 || s.Devices() != 0 {
+		t.Fatalf("mismatched hello created state: %v, devices=%d", s.Counters(), s.Devices())
+	}
+}
+
+func TestPerConnectionRateLimit(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.PerConnRatePerSec = 5
+		c.PerConnBurst = 3
+	})
+	client, peer := net.Pipe()
+	go s.HandleConn(peer)
+	tc := transport.NewConn(client, transport.Options{WriteTimeout: 2 * time.Second})
+	defer tc.Close()
+
+	hello := &protocol.Hello{Freshness: protocol.FreshCounter, Auth: protocol.AuthHMACSHA1, DeviceID: "chatty"}
+	if err := tc.Send(hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Burst far past the bucket. Junk stats frames are cheap to produce
+	// and individually valid, so only the rate limiter stops them.
+	junk := (&protocol.StatsReport{Received: 1}).Encode()
+	for i := 0; i < 40; i++ {
+		if err := tc.Send(junk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "rate-limited frames", func() bool {
+		c := s.Counters()
+		return c.RateLimited > 0 && c.StatsReports > 0 && c.StatsReports <= 10
+	})
+}
+
+func TestGlobalInflightCap(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.MaxInflight = 2
+		c.AttestEvery = 5 * time.Millisecond
+		c.RequestTimeout = time.Hour // nothing is ever abandoned in this test
+	})
+	client, peer := net.Pipe()
+	go s.HandleConn(peer)
+	tc := transport.NewConn(client, transport.Options{ReadTimeout: time.Second})
+	defer tc.Close()
+
+	hello := &protocol.Hello{Freshness: protocol.FreshCounter, Auth: protocol.AuthHMACSHA1, DeviceID: "mute"}
+	if err := tc.Send(hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// The mute prover never answers, so issuance stalls at the cap.
+	go func() {
+		for {
+			if _, err := tc.Recv(); err != nil && !transport.IsTimeout(err) {
+				return
+			}
+		}
+	}()
+	waitFor(t, 5*time.Second, "inflight throttling", func() bool {
+		return s.Counters().InflightThrottled >= 3
+	})
+	c := s.Counters()
+	if c.RequestsIssued != 2 {
+		t.Fatalf("RequestsIssued = %d, want exactly MaxInflight=2", c.RequestsIssued)
+	}
+	if got := s.Inflight(); got != 2 {
+		t.Fatalf("Inflight = %d, want 2", got)
+	}
+}
+
+func TestRequestTimeoutAbandonsAndRetries(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.MaxInflight = 1
+		c.AttestEvery = 10 * time.Millisecond
+		c.RequestTimeout = 30 * time.Millisecond
+	})
+	client, peer := net.Pipe()
+	go s.HandleConn(peer)
+	tc := transport.NewConn(client, transport.Options{ReadTimeout: time.Second})
+	defer tc.Close()
+
+	hello := &protocol.Hello{Freshness: protocol.FreshCounter, Auth: protocol.AuthHMACSHA1, DeviceID: "deaf"}
+	if err := tc.Send(hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := tc.Recv(); err != nil && !transport.IsTimeout(err) {
+				return
+			}
+		}
+	}()
+	// Each abandoned request frees the single inflight slot for the next
+	// round — issuance makes progress despite a dead prover.
+	waitFor(t, 10*time.Second, "abandon-and-retry cycles", func() bool {
+		c := s.Counters()
+		return c.RequestsAbandoned >= 2 && c.RequestsIssued >= 3
+	})
+}
+
+// TestFloodAsymmetry is the acceptance demo in test form: a flood of
+// forged, replayed and malformed frames over the socket costs the prover
+// zero memory measurements beyond the honest head.
+func TestFloodAsymmetry(t *testing.T) {
+	const floodTotal = 30
+	s := testServer(t, func(c *Config) {
+		c.Flood = &FloodConfig{Total: floodTotal, HonestHead: 1}
+	})
+	client, peer := net.Pipe()
+	go s.HandleConn(peer)
+
+	a := testAgent(t, "flooded-dev")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.Serve(ctx, client) //nolint:errcheck
+	}()
+
+	waitFor(t, 20*time.Second, "all flood frames processed and reported", func() bool {
+		return s.AgentStats().Received >= floodTotal+1
+	})
+	st := s.AgentStats()
+	c := s.Counters()
+	if c.FloodInjected != floodTotal {
+		t.Fatalf("FloodInjected = %d, want %d", c.FloodInjected, floodTotal)
+	}
+	if st.Measurements != 1 {
+		t.Fatalf("Measurements = %d, want 1 — flood frames bought MAC work", st.Measurements)
+	}
+	if st.GateRejected() != floodTotal {
+		t.Fatalf("GateRejected = %d, want %d", st.GateRejected(), floodTotal)
+	}
+	// Each family dies at its own gate stage: forgeries at the tag check,
+	// replays at the freshness check, malformed frames at the parser.
+	if st.AuthRejected != floodTotal/3 || st.FreshnessRejected != floodTotal/3 || st.Malformed != floodTotal/3 {
+		t.Fatalf("cause split = auth %d / fresh %d / malformed %d, want %d each",
+			st.AuthRejected, st.FreshnessRejected, st.Malformed, floodTotal/3)
+	}
+	if c.ResponsesAccepted != 1 {
+		t.Fatalf("ResponsesAccepted = %d, want 1 (the honest head)", c.ResponsesAccepted)
+	}
+	cancel()
+	<-done
+}
+
+func TestCloseUnblocksServe(t *testing.T) {
+	s := testServer(t, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	waitFor(t, 5*time.Second, "listener bound", func() bool { return s.Addr() != nil })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve after Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	if err := s.Serve(ln); err != ErrClosed {
+		t.Fatalf("Serve on closed server: %v, want ErrClosed", err)
+	}
+}

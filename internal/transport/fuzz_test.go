@@ -1,0 +1,35 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame: the codec must never panic or over-allocate on malformed
+// length prefixes, truncated frames or oversized frames, and any frame it
+// accepts must re-encode to a prefix of the input (framing is a bijection
+// on the accepted stream).
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, []byte{0x41, 0x52, 0x01}))
+	f.Add(AppendFrame(nil, bytes.Repeat([]byte{0xEE}, 512)))
+	f.Add([]byte{0, 0, 0, 0})                // zero length
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})    // absurd length
+	f.Add([]byte{5, 0, 0, 0, 1, 2})          // truncated payload
+	f.Add([]byte{1, 0})                      // truncated prefix
+	f.Add(AppendFrame(nil, make([]byte, 1))) // minimal frame
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFrame = 1 << 16
+		r := bytes.NewReader(data)
+		payload, err := ReadFrame(r, maxFrame)
+		if err != nil {
+			return
+		}
+		if len(payload) == 0 || len(payload) > maxFrame {
+			t.Fatalf("accepted out-of-bounds payload length %d", len(payload))
+		}
+		reenc := AppendFrame(nil, payload)
+		if !bytes.Equal(reenc, data[:len(reenc)]) {
+			t.Fatalf("accepted frame does not round trip: % x", data)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Package transport carries protocol frames over real byte streams. It is
+// the seam between the in-process simulation (internal/channel delivers
+// whole frames on the event loop) and the networked deployment
+// (internal/server and internal/agent exchange the same frames over
+// net.Conn): a minimal length-prefixed codec with strict limits, plus a
+// connection wrapper that applies read/write deadlines so a stalled or
+// malicious peer cannot park a goroutine forever.
+//
+// Wire format: each frame is a 4-byte little-endian payload length
+// followed by the payload bytes. The payload is a protocol frame
+// (attestation request/response, service command/response, session hello,
+// stats report) exactly as produced by internal/protocol's encoders — the
+// codec adds framing only, so a frame captured on the socket is
+// byte-identical to the frame the in-process channel would deliver.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+const (
+	// prefixSize is the length-prefix width in bytes.
+	prefixSize = 4
+
+	// DefaultMaxFrame bounds a frame payload. It must admit the largest
+	// legitimate protocol frame (a service command: 38-byte header +
+	// 64 KiB body + 64-byte tag) with room to spare, while keeping a
+	// malicious length prefix from provoking a large allocation.
+	DefaultMaxFrame = 128 << 10
+)
+
+// Codec errors. ReadFrame's errors wrap these so callers can distinguish
+// protocol abuse (close the connection) from clean shutdown (io.EOF).
+var (
+	ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+	ErrEmptyFrame    = errors.New("transport: zero-length frame")
+)
+
+// AppendFrame appends the encoded frame (prefix + payload) to dst and
+// returns the extended slice.
+func AppendFrame(dst, payload []byte) []byte {
+	var prefix [prefixSize]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(len(payload)))
+	dst = append(dst, prefix[:]...)
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one frame to w as a single Write call (so one frame
+// maps to one segment on buffered transports and one synchronous transfer
+// on net.Pipe).
+func WriteFrame(w io.Writer, payload []byte, maxFrame uint32) error {
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(payload) == 0 {
+		return ErrEmptyFrame
+	}
+	if uint32(len(payload)) > maxFrame {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), maxFrame)
+	}
+	_, err := w.Write(AppendFrame(make([]byte, 0, prefixSize+len(payload)), payload))
+	return err
+}
+
+// ReadFrame reads one frame from r. The length prefix is validated against
+// maxFrame before any payload allocation, so a hostile prefix cannot force
+// a large allocation. A truncated prefix or payload yields
+// io.ErrUnexpectedEOF (io.EOF only when the stream ends cleanly between
+// frames).
+func ReadFrame(r io.Reader, maxFrame uint32) ([]byte, error) {
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var prefix [prefixSize]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("transport: truncated length prefix: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if n == 0 {
+		return nil, ErrEmptyFrame
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("transport: truncated frame payload: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Options configure a Conn.
+type Options struct {
+	// MaxFrame bounds payload size in both directions (0 = DefaultMaxFrame).
+	MaxFrame uint32
+	// ReadTimeout bounds one Recv call (0 = no deadline). A Recv that
+	// times out returns a net.Error with Timeout() == true; the connection
+	// stays usable, so callers can treat timeouts as idle ticks.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one Send call (0 = no deadline).
+	WriteTimeout time.Duration
+}
+
+// Conn frames payloads over a net.Conn. Send and Recv are each safe for
+// one concurrent caller (they serialise internally), mirroring net.Conn's
+// one-reader/one-writer contract.
+type Conn struct {
+	nc  net.Conn
+	opt Options
+
+	rmu sync.Mutex
+	br  *bufio.Reader
+
+	wmu sync.Mutex
+}
+
+// NewConn wraps nc. The caller must not read from or write to nc directly
+// afterwards.
+func NewConn(nc net.Conn, opt Options) *Conn {
+	if opt.MaxFrame == 0 {
+		opt.MaxFrame = DefaultMaxFrame
+	}
+	return &Conn{nc: nc, opt: opt, br: bufio.NewReader(nc)}
+}
+
+// Pipe returns both ends of an in-memory, synchronous connection (net.Pipe)
+// wrapped as frame connections — the deterministic loopback used by tests
+// to exercise the exact socket code path without a network stack.
+func Pipe(opt Options) (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a, opt), NewConn(b, opt)
+}
+
+// Send writes one frame, applying the write deadline.
+func (c *Conn) Send(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.opt.WriteTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout)); err != nil {
+			return err
+		}
+	}
+	return WriteFrame(c.nc, payload, c.opt.MaxFrame)
+}
+
+// Recv reads one frame, applying the read deadline.
+func (c *Conn) Recv() ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.opt.ReadTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.opt.ReadTimeout)); err != nil {
+			return nil, err
+		}
+	}
+	return ReadFrame(c.br, c.opt.MaxFrame)
+}
+
+// Close closes the underlying connection, unblocking any pending Send or
+// Recv.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// LocalAddr reports the underlying connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr reports the underlying connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// IsTimeout reports whether err is a deadline expiry — an idle tick for
+// loops that use ReadTimeout as a heartbeat interval.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
