@@ -2,8 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro fuzz fuzz-smoke examples clean
-.PHONY: attestd attest-agent flood-net bench-transport
+.PHONY: all build vet test race bench bench-compile repro fuzz fuzz-smoke examples clean
+.PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server
 
 all: build vet test
 
@@ -25,6 +25,11 @@ race:
 # One benchmark per paper table/figure plus the ablations.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Compile-and-run-once smoke over every benchmark: catches bitrot in bench
+# code without paying for a full measurement pass (CI runs this).
+bench-compile:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Regenerate every paper artifact and the attack campaigns.
 repro:
@@ -57,6 +62,9 @@ attestd:
 attest-agent:
 	$(GO) build -o bin/attest-agent ./cmd/attest-agent
 
+attest-loadgen:
+	$(GO) build -o bin/attest-loadgen ./cmd/attest-loadgen
+
 # The end-to-end socket demo: daemon + agent + flood over TCP localhost.
 # Exits non-zero unless the gate-rejection and MAC-work counts show the
 # paper's asymmetry, so it doubles as an acceptance check.
@@ -67,6 +75,14 @@ flood-net:
 bench-transport:
 	BENCH_TRANSPORT_OUT=$(CURDIR)/BENCH_transport.json \
 		$(GO) test -run TestEmitTransportBench -count=1 ./internal/server/
+
+# Regenerate BENCH_server.json: the load generator drives a real attestd
+# over loopback TCP (8 devices, paced adversarial frames + honest rounds)
+# and reports throughput, latency percentiles, allocs/frame and the
+# authentic-vs-adversarial asymmetry ratio.
+bench-server:
+	$(GO) run ./cmd/attest-loadgen -devices 8 -rate 500 -duration 5s \
+		-out $(CURDIR)/BENCH_server.json
 
 examples:
 	$(GO) run ./examples/quickstart

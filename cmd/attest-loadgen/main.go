@@ -1,0 +1,371 @@
+// Command attest-loadgen drives a verifier daemon (attestd) with fleet
+// traffic over real TCP: N device connections, each answering the daemon's
+// attestation requests authentically (the measurement is computed directly
+// over the golden image — no simulated MCU, so one host can stand in for
+// thousands of provers) while pumping M adversarial frames per second at
+// the daemon's serving gate (unsolicited forged responses and malformed
+// junk, the frames a hostile peer can emit at line rate).
+//
+// With no -addr the tool starts an in-process attestd on a loopback TCP
+// port, which additionally lets it report the daemon's counters and the
+// process-wide allocations per generated frame — the regression signal the
+// zero-allocation hot path is held to. The run summary is printed as JSON
+// and, with -out, written as BENCH_server.json (see `make bench-server`).
+//
+//	attest-loadgen -devices 8 -rate 200 -duration 3s -out BENCH_server.json
+//	attest-loadgen -addr 10.0.0.7:7950 -devices 64 -rate 50 -duration 30s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"proverattest/internal/core"
+	"proverattest/internal/protocol"
+	"proverattest/internal/server"
+	"proverattest/internal/transport"
+)
+
+type benchServer struct {
+	Bench           string `json:"bench"`
+	Freshness       string `json:"freshness"`
+	Auth            string `json:"auth"`
+	Transport       string `json:"transport"`
+	InProcessServer bool   `json:"in_process_server"`
+
+	Devices     int     `json:"devices"`
+	DurationSec float64 `json:"duration_sec"`
+
+	AdversarialRatePerDevice float64 `json:"adversarial_rate_per_device"`
+	AdversarialFramesSent    int64   `json:"adversarial_frames_sent"`
+	FramesPerSec             float64 `json:"frames_per_sec"`
+
+	// Adversarial-frame admission latency: wall time for one paced frame's
+	// Send to complete. TCP backpressure folds the daemon's read rate into
+	// these percentiles — they grow when the serving path saturates.
+	AdversarialSendNsP50 int64 `json:"adversarial_send_ns_p50"`
+	AdversarialSendNsP95 int64 `json:"adversarial_send_ns_p95"`
+	AdversarialSendNsP99 int64 `json:"adversarial_send_ns_p99"`
+
+	// Authentic-round service latency: receipt of the daemon's request to
+	// completion of the measured response's write (includes the golden-
+	// image MAC, the prover-side cost of an honest round).
+	AuthenticRounds       int64 `json:"authentic_rounds"`
+	AuthenticRoundNsPerOp int64 `json:"authentic_round_ns_per_op"`
+	AuthenticRoundNsP50   int64 `json:"authentic_round_ns_p50"`
+	AuthenticRoundNsP95   int64 `json:"authentic_round_ns_p95"`
+	AuthenticRoundNsP99   int64 `json:"authentic_round_ns_p99"`
+
+	// AsymmetryRatio is the §3.1 read-out at serving scale: what one
+	// authentic round costs versus one adversarial frame (client-observed
+	// means). The gate exists to keep the right side cheap.
+	AsymmetryRatio int64 `json:"asymmetry_ratio"`
+
+	// AllocsPerFrame is the process-wide heap objects allocated per
+	// generated frame (loadgen + in-process daemon; -1 when the daemon is
+	// external). The pooled codec keeps this near zero in steady state.
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+
+	// In-process daemon counters (zero when external).
+	ServerFramesIn    uint64 `json:"server_frames_in"`
+	ServerAccepted    uint64 `json:"server_responses_accepted"`
+	ServerUnsolicited uint64 `json:"server_responses_unsolicited"`
+	ServerUnknown     uint64 `json:"server_unknown_frames"`
+	ServerRateLimited uint64 `json:"server_rate_limited"`
+	ServerIssued      uint64 `json:"server_requests_issued"`
+}
+
+// device is one loadgen connection: an authentic responder plus an
+// adversarial frame pump sharing a socket.
+type device struct {
+	id     string
+	key    [20]byte
+	golden []byte
+	tc     *transport.Conn
+
+	mu          sync.Mutex
+	sendNs      []int64 // adversarial frame admission latencies
+	roundNs     []int64 // authentic round service latencies
+	framesSent  int64
+	roundsServd int64
+}
+
+// serveReads answers every attestation request authentically until the
+// connection dies. Runs as the connection's single reader.
+func (d *device) serveReads() {
+	var respBuf []byte
+	for {
+		frame, err := d.tc.RecvShared()
+		if err != nil {
+			if transport.IsTimeout(err) {
+				continue
+			}
+			return
+		}
+		if protocol.ClassifyFrame(frame) != protocol.FrameAttReq {
+			continue
+		}
+		t0 := time.Now()
+		req, err := protocol.DecodeAttReq(frame)
+		if err != nil {
+			continue
+		}
+		resp := protocol.AttResp{
+			Nonce:       req.Nonce,
+			Counter:     req.Counter,
+			Measurement: protocol.Measure(d.key[:], req, d.golden),
+		}
+		respBuf = resp.AppendEncode(respBuf[:0])
+		if err := d.tc.Send(respBuf); err != nil {
+			return
+		}
+		ns := time.Since(t0).Nanoseconds()
+		d.mu.Lock()
+		d.roundNs = append(d.roundNs, ns)
+		d.roundsServd++
+		d.mu.Unlock()
+	}
+}
+
+// pumpAdversarial pushes paced hostile frames until the deadline:
+// alternating well-formed responses answering no outstanding nonce (the
+// daemon's decode → map-miss → static-reject path) and malformed junk (the
+// classify-reject path).
+func (d *device) pumpAdversarial(rate float64, deadline time.Time) {
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	var buf []byte
+	junk := []byte{0x41, 0x50, 0xFF, 0x00, 0x00} // response magic, bogus version
+	next := time.Now()
+	for n := uint64(0); time.Now().Before(deadline); n++ {
+		if n%2 == 0 {
+			forged := protocol.AttResp{Nonce: 3_000_000_019 + n, Counter: n}
+			buf = forged.AppendEncode(buf[:0])
+		} else {
+			buf = append(buf[:0], junk...)
+		}
+		t0 := time.Now()
+		if err := d.tc.Send(buf); err != nil {
+			return
+		}
+		ns := time.Since(t0).Nanoseconds()
+		d.mu.Lock()
+		d.sendNs = append(d.sendNs, ns)
+		d.framesSent++
+		d.mu.Unlock()
+		if interval > 0 {
+			next = next.Add(interval)
+			if sleep := time.Until(next); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+	}
+}
+
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func mean(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / int64(len(xs))
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr      = flag.String("addr", "", "attestd address; empty starts an in-process daemon on a loopback port")
+		devices   = flag.Int("devices", 8, "concurrent device connections")
+		rate      = flag.Float64("rate", 200, "adversarial frames/s per device (0 = unpaced)")
+		duration  = flag.Duration("duration", 3*time.Second, "traffic phase length")
+		master    = flag.String("master", "proverattest-fleet-master", "master secret (must match the daemon)")
+		freshName = flag.String("freshness", "counter", "freshness policy: none | nonces | counter")
+		authName  = flag.String("auth", "hmac-sha1", "request auth scheme (must match the daemon)")
+		attEvery  = flag.Duration("attest-every", 100*time.Millisecond, "in-process daemon's per-device attestation period")
+		connRate  = flag.Float64("conn-rate", 0, "in-process daemon's per-connection frames/s budget (0 = unlimited)")
+		out       = flag.String("out", "", "also write the JSON summary to this file (BENCH_server.json)")
+	)
+	flag.Parse()
+
+	fresh, err := protocol.ParseFreshnessKind(*freshName)
+	if err != nil {
+		log.Fatalf("attest-loadgen: %v", err)
+	}
+	auth, err := protocol.ParseAuthKind(*authName)
+	if err != nil {
+		log.Fatalf("attest-loadgen: %v", err)
+	}
+	golden := core.GoldenRAMPattern()
+
+	// Spawn the in-process daemon unless pointed at an external one.
+	var srv *server.Server
+	target := *addr
+	if target == "" {
+		srv, err = server.New(server.Config{
+			Freshness:         fresh,
+			Auth:              auth,
+			MasterSecret:      []byte(*master),
+			Golden:            golden,
+			AttestEvery:       *attEvery,
+			MaxInflight:       4 * *devices,
+			PerConnRatePerSec: *connRate,
+		})
+		if err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		go srv.Serve(ln) //nolint:errcheck
+		target = ln.Addr().String()
+		log.Printf("attest-loadgen: in-process attestd on %s", target)
+	}
+
+	devs := make([]*device, *devices)
+	for i := range devs {
+		id := fmt.Sprintf("loadgen-%03d", i)
+		d := &device{
+			id:     id,
+			key:    protocol.DeriveDeviceKey([]byte(*master), id),
+			golden: golden,
+			// Pre-size the sample slices so recording stays off the
+			// traffic-phase allocation profile.
+			sendNs:  make([]int64, 0, int(*rate*duration.Seconds())+1024),
+			roundNs: make([]int64, 0, 1024),
+		}
+		nc, err := net.Dial("tcp", target)
+		if err != nil {
+			log.Fatalf("attest-loadgen: dialing %s: %v", target, err)
+		}
+		d.tc = transport.NewConn(nc, transport.Options{
+			ReadTimeout:  250 * time.Millisecond,
+			WriteTimeout: 10 * time.Second,
+		})
+		hello := &protocol.Hello{Freshness: fresh, Auth: auth, DeviceID: id}
+		if err := d.tc.Send(hello.Encode()); err != nil {
+			log.Fatalf("attest-loadgen: hello: %v", err)
+		}
+		devs[i] = d
+		go d.serveReads()
+	}
+
+	// Let every connection complete at least one honest round before the
+	// measured phase, so connection setup stays out of the percentiles.
+	time.Sleep(*attEvery + 100*time.Millisecond)
+	for _, d := range devs {
+		d.mu.Lock()
+		d.sendNs = d.sendNs[:0]
+		d.roundNs = d.roundNs[:0]
+		d.framesSent, d.roundsServd = 0, 0
+		d.mu.Unlock()
+	}
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+
+	deadline := time.Now().Add(*duration)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for _, d := range devs {
+		wg.Add(1)
+		go func(d *device) {
+			defer wg.Done()
+			d.pumpAdversarial(*rate, deadline)
+		}(d)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&msAfter)
+
+	var sendNs, roundNs []int64
+	var framesSent, rounds int64
+	for _, d := range devs {
+		d.mu.Lock()
+		sendNs = append(sendNs, d.sendNs...)
+		roundNs = append(roundNs, d.roundNs...)
+		framesSent += d.framesSent
+		rounds += d.roundsServd
+		d.mu.Unlock()
+		d.tc.Close()
+	}
+	sort.Slice(sendNs, func(i, j int) bool { return sendNs[i] < sendNs[j] })
+	sort.Slice(roundNs, func(i, j int) bool { return roundNs[i] < roundNs[j] })
+
+	res := benchServer{
+		Bench:                    "server",
+		Freshness:                fresh.String(),
+		Auth:                     auth.String(),
+		Transport:                "tcp " + target,
+		InProcessServer:          srv != nil,
+		Devices:                  *devices,
+		DurationSec:              elapsed.Seconds(),
+		AdversarialRatePerDevice: *rate,
+		AdversarialFramesSent:    framesSent,
+		FramesPerSec:             float64(framesSent) / elapsed.Seconds(),
+		AdversarialSendNsP50:     percentile(sendNs, 0.50),
+		AdversarialSendNsP95:     percentile(sendNs, 0.95),
+		AdversarialSendNsP99:     percentile(sendNs, 0.99),
+		AuthenticRounds:          rounds,
+		AuthenticRoundNsPerOp:    mean(roundNs),
+		AuthenticRoundNsP50:      percentile(roundNs, 0.50),
+		AuthenticRoundNsP95:      percentile(roundNs, 0.95),
+		AuthenticRoundNsP99:      percentile(roundNs, 0.99),
+		AllocsPerFrame:           -1,
+	}
+	if adv := mean(sendNs); adv > 0 && res.AuthenticRoundNsPerOp > 0 {
+		res.AsymmetryRatio = res.AuthenticRoundNsPerOp / adv
+	}
+	totalFrames := framesSent + rounds
+	if srv != nil && totalFrames > 0 {
+		res.AllocsPerFrame = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(totalFrames)
+		c := srv.Counters()
+		res.ServerFramesIn = c.FramesIn
+		res.ServerAccepted = c.ResponsesAccepted
+		res.ServerUnsolicited = c.ResponsesUnsolicited
+		res.ServerUnknown = c.UnknownFrames
+		res.ServerRateLimited = c.RateLimited
+		res.ServerIssued = c.RequestsIssued
+	}
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatalf("attest-loadgen: %v", err)
+	}
+	fmt.Println(string(buf))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		log.Printf("attest-loadgen: wrote %s", *out)
+	}
+
+	if rounds == 0 {
+		log.Fatalf("attest-loadgen: no authentic rounds completed — daemon unreachable or policy mismatch")
+	}
+}

@@ -17,6 +17,8 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers; served only with -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +46,7 @@ func main() {
 		floodRate  = flag.Float64("flood-rate", 0, "flood pacing in frames/s (0 = as fast as the socket accepts)")
 
 		statusEvery = flag.Duration("status-every", 5*time.Second, "status line period (0 = silent)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = off)")
 	)
 	flag.Parse()
 
@@ -79,6 +82,15 @@ func main() {
 	s, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("attestd: %v", err)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("attestd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("attestd: pprof server: %v", err)
+			}
+		}()
 	}
 
 	if *statusEvery > 0 {

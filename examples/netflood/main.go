@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -107,4 +108,32 @@ func main() {
   - %d flood frames were rejected by parse/auth/freshness checks alone and
     bought the attacker zero attestation work and zero reply bytes.
 `, honestHead, floodTotal)
+
+	// Machine-readable summary (field names follow BENCH_transport.json)
+	// for scripts that scrape the example's output.
+	summary, err := json.Marshal(struct {
+		Bench             string `json:"bench"`
+		Freshness         string `json:"freshness"`
+		Auth              string `json:"auth"`
+		Transport         string `json:"transport"`
+		FullAttestRounds  int    `json:"full_attest_rounds"`
+		GateRejectFrames  int    `json:"gate_reject_frames"`
+		AgentMeasurements uint64 `json:"agent_measurements"`
+		AgentGateRejected uint64 `json:"agent_gate_rejected"`
+		DaemonAccepted    uint64 `json:"daemon_responses_accepted"`
+	}{
+		Bench:             "netflood",
+		Freshness:         protocol.FreshCounter.String(),
+		Auth:              protocol.AuthHMACSHA1.String(),
+		Transport:         "tcp " + ln.Addr().String(),
+		FullAttestRounds:  honestHead,
+		GateRejectFrames:  floodTotal,
+		AgentMeasurements: st.Measurements,
+		AgentGateRejected: st.GateRejected(),
+		DaemonAccepted:    c.ResponsesAccepted,
+	})
+	if err != nil {
+		log.Fatalf("netflood: %v", err)
+	}
+	fmt.Println(string(summary))
 }

@@ -243,11 +243,15 @@ func (a *Agent) Serve(ctx context.Context, nc net.Conn) error {
 		return fmt.Errorf("agent: sending hello: %w", err)
 	}
 
+	var statsBuf []byte // reused stats-frame scratch (Serve is tc's only writer)
 	for {
-		frame, err := tc.Recv()
+		// RecvShared reuses the connection's frame buffer: Process hands the
+		// frame to the anchor, which copies it before queueing the gate job,
+		// so nothing aliases the buffer past the call.
+		frame, err := tc.RecvShared()
 		if err != nil {
 			if transport.IsTimeout(err) {
-				if err := a.sendStats(tc); err != nil {
+				if statsBuf, err = a.sendStats(tc, statsBuf); err != nil {
 					return a.exitErr(ctx, err)
 				}
 				continue
@@ -265,16 +269,19 @@ func (a *Agent) Serve(ctx context.Context, nc net.Conn) error {
 			// A completed measurement is the expensive event the daemon
 			// audits; piggyback fresh counters on it immediately rather
 			// than waiting for the next quiet heartbeat.
-			if err := a.sendStats(tc); err != nil {
+			if statsBuf, err = a.sendStats(tc, statsBuf); err != nil {
 				return a.exitErr(ctx, err)
 			}
 		}
 	}
 }
 
-func (a *Agent) sendStats(tc *transport.Conn) error {
+// sendStats pushes a counter snapshot, encoding into scratch and returning
+// it (possibly grown) for reuse.
+func (a *Agent) sendStats(tc *transport.Conn, scratch []byte) ([]byte, error) {
 	st := a.Snapshot()
-	return tc.Send(st.Encode())
+	scratch = st.AppendEncode(scratch[:0])
+	return scratch, tc.Send(scratch)
 }
 
 // exitErr maps connection errors caused by our own context-driven close to

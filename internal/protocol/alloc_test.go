@@ -1,0 +1,126 @@
+package protocol
+
+import (
+	"testing"
+)
+
+// These tests lock in the zero-allocation contract of the append-style
+// encoders and the decode-into path: the serving hot path (attestd and the
+// load generator) runs these per frame, so a regression here is a GC-
+// pressure regression under fleet traffic.
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn() // warm up: first call may grow the scratch buffer
+	if n := testing.AllocsPerRun(1000, fn); n != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, n)
+	}
+}
+
+func TestAppendEncodeZeroAllocs(t *testing.T) {
+	req := &AttReq{
+		Freshness: FreshCounter,
+		Auth:      AuthHMACSHA1,
+		Nonce:     7,
+		Counter:   9,
+		Tag:       make([]byte, 20),
+	}
+	resp := &AttResp{Nonce: 7, Counter: 9}
+	cmd := &CommandReq{
+		Kind:      CmdSecureErase,
+		Freshness: FreshCounter,
+		Auth:      AuthHMACSHA1,
+		Nonce:     11,
+		Counter:   13,
+		Body:      make([]byte, 64),
+		Tag:       make([]byte, 20),
+	}
+	cmdResp := &CommandResp{Kind: CmdSecureErase, Nonce: 11, Body: make([]byte, 8), Tag: make([]byte, 20)}
+	hello := &Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "alloc-dev"}
+	stats := &StatsReport{Received: 1, Measurements: 2}
+
+	buf := make([]byte, 0, 512)
+	assertZeroAllocs(t, "AttReq.AppendEncode", func() { buf = req.AppendEncode(buf[:0]) })
+	assertZeroAllocs(t, "AttResp.AppendEncode", func() { buf = resp.AppendEncode(buf[:0]) })
+	assertZeroAllocs(t, "CommandReq.AppendEncode", func() { buf = cmd.AppendEncode(buf[:0]) })
+	assertZeroAllocs(t, "CommandResp.AppendEncode", func() { buf = cmdResp.AppendEncode(buf[:0]) })
+	assertZeroAllocs(t, "Hello.AppendEncode", func() { buf = hello.AppendEncode(buf[:0]) })
+	assertZeroAllocs(t, "StatsReport.AppendEncode", func() { buf = stats.AppendEncode(buf[:0]) })
+}
+
+// TestAppendEncodeMatchesEncode pins AppendEncode and Encode to identical
+// wire images, including when appending after existing bytes.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	req := &AttReq{Freshness: FreshCounter, Auth: AuthHMACSHA1, Nonce: 1, Counter: 2, Tag: []byte{9, 8, 7}}
+	resp := &AttResp{Nonce: 3, Counter: 4}
+	cmd := &CommandReq{Kind: CmdClockSync, Freshness: FreshCounter, Auth: AuthHMACSHA1, Nonce: 5, Body: []byte("b"), Tag: []byte("t")}
+	cmdResp := &CommandResp{Kind: CmdClockSync, Status: StatusOK, Nonce: 6, Body: []byte("r"), Tag: []byte("g")}
+	hello := &Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "dev"}
+	stats := &StatsReport{Received: 42, FramesIn: 43}
+
+	cases := []struct {
+		name   string
+		append func(dst []byte) []byte
+		encode func() []byte
+	}{
+		{"AttReq", req.AppendEncode, req.Encode},
+		{"AttResp", resp.AppendEncode, resp.Encode},
+		{"CommandReq", cmd.AppendEncode, cmd.Encode},
+		{"CommandResp", cmdResp.AppendEncode, cmdResp.Encode},
+		{"Hello", hello.AppendEncode, hello.Encode},
+		{"StatsReport", stats.AppendEncode, stats.Encode},
+	}
+	for _, tc := range cases {
+		prefix := []byte{0xEE, 0xFF}
+		got := tc.append(append([]byte(nil), prefix...))
+		want := append(append([]byte(nil), prefix...), tc.encode()...)
+		if string(got) != string(want) {
+			t.Errorf("%s: AppendEncode image differs from Encode", tc.name)
+		}
+	}
+}
+
+func TestDecodeAttRespIntoZeroAllocs(t *testing.T) {
+	frame := (&AttResp{Nonce: 21, Counter: 22}).Encode()
+	var resp AttResp
+	assertZeroAllocs(t, "DecodeAttRespInto", func() {
+		if err := DecodeAttRespInto(frame, &resp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if resp.Nonce != 21 || resp.Counter != 22 {
+		t.Fatalf("decoded resp = %+v", resp)
+	}
+
+	// The reject branches are hostile-controlled; they must not allocate
+	// either (static errors).
+	bad := append([]byte(nil), frame...)
+	bad[0] = 0xFF
+	assertZeroAllocs(t, "DecodeAttRespInto reject", func() {
+		if err := DecodeAttRespInto(bad, &resp); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+}
+
+// TestCheckDecodedResponseUnsolicitedZeroAllocs covers the verifier-side
+// gate: a response to no outstanding nonce must be refused without
+// allocating, since an impersonator can emit those at line rate.
+func TestCheckDecodedResponseUnsolicitedZeroAllocs(t *testing.T) {
+	key := []byte("0123456789abcdef0123")
+	v, err := NewVerifier(VerifierConfig{
+		Freshness: FreshCounter,
+		Auth:      NewHMACAuth(key),
+		AttestKey: key,
+		Golden:    []byte("golden"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &AttResp{Nonce: 999}
+	assertZeroAllocs(t, "CheckDecodedResponse unsolicited", func() {
+		if ok, err := v.CheckDecodedResponse(resp); ok || err != ErrUnsolicited {
+			t.Fatalf("ok=%v err=%v, want unsolicited reject", ok, err)
+		}
+	})
+}

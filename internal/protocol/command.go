@@ -100,19 +100,25 @@ func (r *CommandReq) encodeHeader(buf []byte, tagLen int) {
 	binary.LittleEndian.PutUint16(buf[36:], uint16(tagLen))
 }
 
-// Encode serialises the command.
-func (r *CommandReq) Encode() []byte {
+// AppendEncode appends the serialised command to dst and returns the
+// extended slice.
+func (r *CommandReq) AppendEncode(dst []byte) []byte {
 	if len(r.Body) > maxCommandBody {
 		panic(fmt.Sprintf("protocol: command body %d exceeds maximum %d", len(r.Body), maxCommandBody))
 	}
 	if len(r.Tag) > maxTagSize {
 		panic(fmt.Sprintf("protocol: tag length %d exceeds maximum %d", len(r.Tag), maxTagSize))
 	}
-	buf := make([]byte, cmdReqHeader+len(r.Body)+len(r.Tag))
-	r.encodeHeader(buf, len(r.Tag))
-	copy(buf[cmdReqHeader:], r.Body)
-	copy(buf[cmdReqHeader+len(r.Body):], r.Tag)
-	return buf
+	off := len(dst)
+	dst = append(dst, make([]byte, cmdReqHeader)...)
+	r.encodeHeader(dst[off:], len(r.Tag))
+	dst = append(dst, r.Body...)
+	return append(dst, r.Tag...)
+}
+
+// Encode serialises the command.
+func (r *CommandReq) Encode() []byte {
+	return r.AppendEncode(make([]byte, 0, cmdReqHeader+len(r.Body)+len(r.Tag)))
 }
 
 // DecodeCommandReq parses a command frame with strict framing.
@@ -217,13 +223,19 @@ func (r *CommandResp) VerifyTag(attestKey []byte) bool {
 	return hmac.Equal(want[:], r.Tag)
 }
 
+// AppendEncode appends the serialised response to dst and returns the
+// extended slice.
+func (r *CommandResp) AppendEncode(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, cmdRespHeader)...)
+	r.encodeHeader(dst[off:], len(r.Tag))
+	dst = append(dst, r.Body...)
+	return append(dst, r.Tag...)
+}
+
 // Encode serialises the response.
 func (r *CommandResp) Encode() []byte {
-	buf := make([]byte, cmdRespHeader+len(r.Body)+len(r.Tag))
-	r.encodeHeader(buf, len(r.Tag))
-	copy(buf[cmdRespHeader:], r.Body)
-	copy(buf[cmdRespHeader+len(r.Body):], r.Tag)
-	return buf
+	return r.AppendEncode(make([]byte, 0, cmdRespHeader+len(r.Body)+len(r.Tag)))
 }
 
 // DecodeCommandResp parses a command response.

@@ -10,6 +10,7 @@ package protocol
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"proverattest/internal/crypto/sha1"
@@ -121,15 +122,22 @@ func (r *AttReq) encodeHeader(buf []byte, tagLen int) {
 	binary.LittleEndian.PutUint16(buf[32:], uint16(tagLen))
 }
 
-// Encode serialises the request.
-func (r *AttReq) Encode() []byte {
+// AppendEncode appends the serialised request to dst and returns the
+// extended slice. It allocates only when dst lacks capacity, so hot paths
+// can reuse one scratch buffer across frames.
+func (r *AttReq) AppendEncode(dst []byte) []byte {
 	if len(r.Tag) > maxTagSize {
 		panic(fmt.Sprintf("protocol: tag length %d exceeds maximum %d", len(r.Tag), maxTagSize))
 	}
-	buf := make([]byte, reqHeaderSize+len(r.Tag))
-	r.encodeHeader(buf, len(r.Tag))
-	copy(buf[reqHeaderSize:], r.Tag)
-	return buf
+	off := len(dst)
+	dst = append(dst, make([]byte, reqHeaderSize)...)
+	r.encodeHeader(dst[off:], len(r.Tag))
+	return append(dst, r.Tag...)
+}
+
+// Encode serialises the request.
+func (r *AttReq) Encode() []byte {
+	return r.AppendEncode(make([]byte, 0, reqHeaderSize+len(r.Tag)))
 }
 
 // DecodeAttReq parses a request, validating framing strictly: a malformed
@@ -194,36 +202,75 @@ const (
 	respSize   = 24 + sha1.Size
 )
 
-// Encode serialises the response.
-func (r *AttResp) Encode() []byte {
-	buf := make([]byte, respSize)
+// AppendEncode appends the serialised response to dst and returns the
+// extended slice.
+func (r *AttResp) AppendEncode(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, respSize)...)
+	buf := dst[off:]
 	buf[0] = respMagic0
 	buf[1] = respMagic1
 	buf[2] = reqVersion
 	binary.LittleEndian.PutUint64(buf[8:], r.Nonce)
 	binary.LittleEndian.PutUint64(buf[16:], r.Counter)
 	copy(buf[24:], r.Measurement[:])
-	return buf
+	return dst
+}
+
+// Encode serialises the response.
+func (r *AttResp) Encode() []byte {
+	return r.AppendEncode(make([]byte, 0, respSize))
+}
+
+// Static response-decode errors. DecodeAttRespInto sits on the verifier
+// daemon's per-frame path, where a hostile peer controls how often the
+// error branches run — pre-allocated errors keep those branches
+// allocation-free.
+var (
+	errRespLength   = errors.New("protocol: bad response length")
+	errRespMagic    = errors.New("protocol: bad response magic")
+	errRespVersion  = errors.New("protocol: unsupported response version")
+	errRespReserved = errors.New("protocol: nonzero reserved bytes in response header")
+)
+
+// DecodeAttRespInto parses a response into r without allocating: the
+// measurement is copied into r's array, so r aliases nothing in buf once
+// the call returns. Errors are static (no per-frame detail) — use
+// DecodeAttResp when diagnostics matter more than allocations.
+func DecodeAttRespInto(buf []byte, r *AttResp) error {
+	if len(buf) != respSize {
+		return errRespLength
+	}
+	if buf[0] != respMagic0 || buf[1] != respMagic1 {
+		return errRespMagic
+	}
+	if buf[2] != reqVersion {
+		return errRespVersion
+	}
+	if buf[3] != 0 || buf[4] != 0 || buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
+		return errRespReserved
+	}
+	r.Nonce = binary.LittleEndian.Uint64(buf[8:])
+	r.Counter = binary.LittleEndian.Uint64(buf[16:])
+	copy(r.Measurement[:], buf[24:])
+	return nil
 }
 
 // DecodeAttResp parses a response.
 func DecodeAttResp(buf []byte) (*AttResp, error) {
-	if len(buf) != respSize {
-		return nil, fmt.Errorf("protocol: response length %d, want %d", len(buf), respSize)
+	r := &AttResp{}
+	if err := DecodeAttRespInto(buf, r); err != nil {
+		// Re-derive the detailed message for callers that report errors.
+		switch {
+		case len(buf) != respSize:
+			return nil, fmt.Errorf("protocol: response length %d, want %d", len(buf), respSize)
+		case buf[0] != respMagic0 || buf[1] != respMagic1:
+			return nil, fmt.Errorf("protocol: bad response magic %#x %#x", buf[0], buf[1])
+		case buf[2] != reqVersion:
+			return nil, fmt.Errorf("protocol: unsupported response version %d", buf[2])
+		default:
+			return nil, err
+		}
 	}
-	if buf[0] != respMagic0 || buf[1] != respMagic1 {
-		return nil, fmt.Errorf("protocol: bad response magic %#x %#x", buf[0], buf[1])
-	}
-	if buf[2] != reqVersion {
-		return nil, fmt.Errorf("protocol: unsupported response version %d", buf[2])
-	}
-	if buf[3] != 0 || buf[4] != 0 || buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
-		return nil, fmt.Errorf("protocol: nonzero reserved bytes in response header")
-	}
-	r := &AttResp{
-		Nonce:   binary.LittleEndian.Uint64(buf[8:]),
-		Counter: binary.LittleEndian.Uint64(buf[16:]),
-	}
-	copy(r.Measurement[:], buf[24:])
 	return r, nil
 }

@@ -44,20 +44,27 @@ const (
 	MaxDeviceID = 64
 )
 
-// Encode serialises the hello.
-func (h *Hello) Encode() []byte {
+// AppendEncode appends the serialised hello to dst and returns the
+// extended slice.
+func (h *Hello) AppendEncode(dst []byte) []byte {
 	if len(h.DeviceID) == 0 || len(h.DeviceID) > MaxDeviceID {
 		panic(fmt.Sprintf("protocol: device id length %d out of range (1..%d)", len(h.DeviceID), MaxDeviceID))
 	}
-	buf := make([]byte, helloHeader+len(h.DeviceID))
+	off := len(dst)
+	dst = append(dst, make([]byte, helloHeader)...)
+	buf := dst[off:]
 	buf[0] = reqMagic0
 	buf[1] = helloMagic1
 	buf[2] = reqVersion
 	buf[3] = byte(h.Freshness)
 	buf[4] = byte(h.Auth)
 	binary.LittleEndian.PutUint16(buf[6:], uint16(len(h.DeviceID)))
-	copy(buf[helloHeader:], h.DeviceID)
-	return buf
+	return append(dst, h.DeviceID...)
+}
+
+// Encode serialises the hello.
+func (h *Hello) Encode() []byte {
+	return h.AppendEncode(make([]byte, 0, helloHeader+len(h.DeviceID)))
 }
 
 // DecodeHello parses a hello frame with strict framing.
@@ -132,16 +139,24 @@ func (s *StatsReport) fields() [statsNumFields]*uint64 {
 	}
 }
 
-// Encode serialises the report.
-func (s *StatsReport) Encode() []byte {
-	buf := make([]byte, statsFrameSize)
+// AppendEncode appends the serialised report to dst and returns the
+// extended slice.
+func (s *StatsReport) AppendEncode(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, statsFrameSize)...)
+	buf := dst[off:]
 	buf[0] = reqMagic0
 	buf[1] = statsMagic1
 	buf[2] = reqVersion
 	for i, p := range s.fields() {
 		binary.LittleEndian.PutUint64(buf[statsHeaderSize+8*i:], *p)
 	}
-	return buf
+	return dst
+}
+
+// Encode serialises the report.
+func (s *StatsReport) Encode() []byte {
+	return s.AppendEncode(make([]byte, 0, statsFrameSize))
 }
 
 // DecodeStatsReport parses a stats frame with strict framing.

@@ -20,7 +20,7 @@ type Verifier struct {
 
 	counter     uint64
 	nonceSeq    uint64
-	pending     map[uint64]*AttReq     // outstanding requests by nonce
+	pending     map[uint64]*pendingAtt // outstanding requests by nonce
 	pendingCmds map[uint64]*CommandReq // outstanding service commands
 
 	// Stats for scenario reporting.
@@ -65,10 +65,22 @@ func NewVerifier(cfg VerifierConfig) (*Verifier, error) {
 		attestKey:   append([]byte(nil), cfg.AttestKey...),
 		golden:      append([]byte(nil), cfg.Golden...),
 		clock:       cfg.Clock,
-		pending:     make(map[uint64]*AttReq),
+		pending:     make(map[uint64]*pendingAtt),
 		pendingCmds: make(map[uint64]*CommandReq),
 	}
 	return v, nil
+}
+
+// pendingAtt is one outstanding attestation request plus the memoized
+// measurement expected in its response. The expectation is an HMAC over
+// the whole golden image, so it is computed at most once per request — on
+// the first response claiming the nonce — rather than on every claim: a
+// peer spamming bad responses against a known outstanding nonce costs the
+// verifier one golden-image MAC total, not one per frame.
+type pendingAtt struct {
+	req      *AttReq
+	want     [sha1.Size]byte
+	haveWant bool
 }
 
 // NewRequest builds and signs the next attestation request.
@@ -91,7 +103,7 @@ func (v *Verifier) NewRequest() (*AttReq, error) {
 		return nil, fmt.Errorf("protocol: signing request: %w", err)
 	}
 	req.Tag = tag
-	v.pending[req.Nonce] = req
+	v.pending[req.Nonce] = &pendingAtt{req: req}
 	v.Issued++
 	return req, nil
 }
@@ -113,6 +125,16 @@ func Measure(attestKey []byte, req *AttReq, memory []byte) [sha1.Size]byte {
 	return out
 }
 
+// Static check errors, pre-allocated so the hot rejection branches of
+// CheckDecodedResponse stay allocation-free under hostile traffic.
+var (
+	// ErrUnsolicited marks a response that answers no outstanding nonce.
+	ErrUnsolicited = errors.New("protocol: response to unknown nonce")
+	// ErrMeasurementMismatch marks a response whose measurement deviates
+	// from the golden image.
+	ErrMeasurementMismatch = errors.New("protocol: measurement mismatch — prover state deviates from golden image")
+)
+
 // CheckResponse validates a raw response frame. A response is accepted
 // when it matches an outstanding request's nonce and carries the expected
 // measurement; the request is then retired.
@@ -122,15 +144,26 @@ func (v *Verifier) CheckResponse(raw []byte) (bool, error) {
 		v.Rejected++
 		return false, err
 	}
-	req, ok := v.pending[resp.Nonce]
+	return v.CheckDecodedResponse(resp)
+}
+
+// CheckDecodedResponse validates an already-decoded response — the
+// zero-allocation half of CheckResponse, for callers (internal/server)
+// that decode outside the verifier lock with DecodeAttRespInto. The
+// response is only read, never retained.
+func (v *Verifier) CheckDecodedResponse(resp *AttResp) (bool, error) {
+	p, ok := v.pending[resp.Nonce]
 	if !ok {
 		v.Unsolicited++
-		return false, fmt.Errorf("protocol: response to unknown nonce %d", resp.Nonce)
+		return false, ErrUnsolicited
 	}
-	want := v.ExpectedMeasurement(req)
-	if !hmac.Equal(want[:], resp.Measurement[:]) {
+	if !p.haveWant {
+		p.want = v.ExpectedMeasurement(p.req)
+		p.haveWant = true
+	}
+	if !hmac.Equal(p.want[:], resp.Measurement[:]) {
 		v.Rejected++
-		return false, errors.New("protocol: measurement mismatch — prover state deviates from golden image")
+		return false, ErrMeasurementMismatch
 	}
 	delete(v.pending, resp.Nonce)
 	v.Accepted++

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"testing"
+
+	"proverattest/internal/core"
+	"proverattest/internal/protocol"
+)
+
+// These tests lock in the daemon's per-frame allocation budget. The frame
+// families a hostile peer can emit at line rate — rate-limited, unknown,
+// and unsolicited-response frames — must die at the serving gate without
+// GC pressure: zero allocations for the first two, at most one object per
+// frame anywhere on the reject path (acceptance bar; the measured paths
+// below are zero today).
+
+func newAllocRig(t testing.TB) (*Server, *deviceState) {
+	t.Helper()
+	s, err := New(Config{
+		Freshness:    protocol.FreshCounter,
+		Auth:         protocol.AuthHMACSHA1,
+		MasterSecret: testMaster,
+		Golden:       core.GoldenRAMPattern(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := s.device("alloc-dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev
+}
+
+func allocsPerFrame(t *testing.T, name string, limit float64, fn func()) {
+	t.Helper()
+	fn() // warm up
+	if n := testing.AllocsPerRun(1000, fn); n > limit {
+		t.Errorf("%s: %v allocs/frame, want <= %v", name, n, limit)
+	}
+}
+
+func TestHandleFrameUnknownZeroAllocs(t *testing.T) {
+	s, dev := newAllocRig(t)
+	frame := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	allocsPerFrame(t, "unknown frame", 0, func() { s.handleFrame(dev, nil, frame) })
+	if s.Counters().UnknownFrames == 0 {
+		t.Fatal("unknown frames not counted")
+	}
+}
+
+func TestHandleFrameRateLimitedZeroAllocs(t *testing.T) {
+	s, dev := newAllocRig(t)
+	// An empty bucket with a negligible refill rate: every frame is over
+	// budget, the cheapest (and most attacker-reachable) reject of all.
+	bucket := newTokenBucket(1e-9, 1)
+	bucket.tokens = 0
+	frame := []byte{0xDE, 0xAD}
+	allocsPerFrame(t, "rate-limited frame", 0, func() { s.handleFrame(dev, bucket, frame) })
+	if s.Counters().RateLimited == 0 {
+		t.Fatal("rate-limited frames not counted")
+	}
+}
+
+func TestHandleFrameUnsolicitedRespZeroAllocs(t *testing.T) {
+	s, dev := newAllocRig(t)
+	// A well-formed response answering no outstanding nonce: decode-into,
+	// shard-locked map miss, static-error reject.
+	frame := (&protocol.AttResp{Nonce: 0xFEED}).Encode()
+	allocsPerFrame(t, "unsolicited response", 0, func() { s.handleFrame(dev, nil, frame) })
+	if s.Counters().ResponsesUnsolicited == 0 {
+		t.Fatal("unsolicited responses not counted")
+	}
+}
+
+func TestHandleFrameMalformedRespZeroAllocs(t *testing.T) {
+	s, dev := newAllocRig(t)
+	// Classifies as a response (magic + version) but fails strict framing.
+	frame := (&protocol.AttResp{Nonce: 1}).Encode()[:respTruncated]
+	allocsPerFrame(t, "malformed response", 0, func() { s.handleFrame(dev, nil, frame) })
+	if s.Counters().ResponsesRejected == 0 {
+		t.Fatal("malformed responses not counted")
+	}
+}
+
+// respTruncated cuts a response mid-measurement: long enough to classify,
+// short enough to fail DecodeAttRespInto's length check.
+const respTruncated = 20
+
+// BenchmarkHandleFrameUnsolicited times the daemon's gate on its most
+// attacker-reachable reject: a well-formed response answering no
+// outstanding nonce — decode-into, shard-locked map miss, static error.
+func BenchmarkHandleFrameUnsolicited(b *testing.B) {
+	s, dev := newAllocRig(b)
+	frame := (&protocol.AttResp{Nonce: 0xFEED}).Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handleFrame(dev, nil, frame)
+	}
+}
+
+func TestHandleFrameStatsWithinBudget(t *testing.T) {
+	s, dev := newAllocRig(t)
+	frame := (&protocol.StatsReport{Received: 1}).Encode()
+	// One decoded StatsReport object per heartbeat frame is the budget.
+	allocsPerFrame(t, "stats frame", 1, func() { s.handleFrame(dev, nil, frame) })
+	if dev.lastStats.Load() == nil {
+		t.Fatal("stats report not retained")
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeBucket builds a token bucket on a controllable clock. The returned
+// advance function moves that clock forward.
+func fakeBucket(rate, burst float64) (*tokenBucket, func(time.Duration)) {
+	clk := time.Unix(1_000_000, 0)
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, last: clk}
+	b.now = func() time.Time { return clk }
+	advance := func(d time.Duration) { clk = clk.Add(d) }
+	return b, advance
+}
+
+func TestTokenBucketBurstExhaustion(t *testing.T) {
+	b, _ := fakeBucket(10, 4)
+	for i := 0; i < 4; i++ {
+		if !b.allow() {
+			t.Fatalf("frame %d refused inside the burst", i)
+		}
+	}
+	// Clock frozen: no refill, everything past the burst is refused.
+	for i := 0; i < 3; i++ {
+		if b.allow() {
+			t.Fatalf("frame allowed with an exhausted bucket and a frozen clock")
+		}
+	}
+}
+
+func TestTokenBucketPartialRefillAfterSleep(t *testing.T) {
+	b, advance := fakeBucket(10, 4)
+	for i := 0; i < 4; i++ {
+		b.allow()
+	}
+	if b.allow() {
+		t.Fatal("exhausted bucket allowed a frame")
+	}
+	// 250 ms at 10 tokens/s refills 2.5 tokens: exactly two more frames.
+	advance(250 * time.Millisecond)
+	if !b.allow() || !b.allow() {
+		t.Fatal("partial refill did not admit 2 frames")
+	}
+	if b.allow() {
+		t.Fatal("partial refill admitted a 3rd frame from 2.5 tokens")
+	}
+	// The fractional remainder must carry over, not be dropped: 50 ms more
+	// brings 0.5 + 0.5 = 1 token.
+	advance(50 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("fractional token credit was lost across refills")
+	}
+}
+
+func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
+	b, advance := fakeBucket(1000, 8)
+	for i := 0; i < 8; i++ {
+		b.allow()
+	}
+	// An hour of idle credit still caps at the burst depth.
+	advance(time.Hour)
+	allowed := 0
+	for i := 0; i < 100; i++ {
+		if b.allow() {
+			allowed++
+		}
+	}
+	if allowed != 8 {
+		t.Fatalf("allowed %d frames after long idle, want burst depth 8", allowed)
+	}
+}
+
+func TestTokenBucketZeroRateUnlimited(t *testing.T) {
+	b, _ := fakeBucket(0, 1)
+	for i := 0; i < 10_000; i++ {
+		if !b.allow() {
+			t.Fatalf("rate=0 bucket refused frame %d; zero rate means unlimited", i)
+		}
+	}
+}
+
+// TestTokenBucketClockReadsAmortised pins the perf contract that motivated
+// the batched refill: frames served from burst headroom must not read the
+// clock at all.
+func TestTokenBucketClockReadsAmortised(t *testing.T) {
+	reads := 0
+	clk := time.Unix(1_000_000, 0)
+	b := &tokenBucket{rate: 10, burst: 16, tokens: 16, last: clk}
+	b.now = func() time.Time { reads++; return clk }
+	for i := 0; i < 16; i++ {
+		b.allow()
+	}
+	if reads != 0 {
+		t.Fatalf("%d clock reads inside the burst, want 0", reads)
+	}
+	b.allow() // first refused frame pays the one refill read
+	if reads != 1 {
+		t.Fatalf("%d clock reads on exhaustion, want 1", reads)
+	}
+}

@@ -186,13 +186,17 @@ type shard struct {
 // deviceState is one prover's server-side state. It outlives connections:
 // a reconnecting device resumes its nonce/counter stream, which is what
 // keeps replayed responses from a previous session rejectable.
+//
+// The verifier itself lives behind the shard lock; lastReq and lastStats
+// are atomic pointers to immutable values so the stats-heartbeat and
+// flood-replay paths neither take nor lengthen that lock.
 type deviceState struct {
 	id string
 	sh *shard
 
 	v         *protocol.Verifier
-	lastReq   []byte                // last honest request frame (replay source)
-	lastStats *protocol.StatsReport // latest agent-reported gate counters
+	lastReq   atomic.Pointer[[]byte]               // last honest request frame (replay source; stored slice is never mutated)
+	lastStats atomic.Pointer[protocol.StatsReport] // latest agent-reported gate counters
 }
 
 func (d *deviceState) withLock(fn func()) {
@@ -282,7 +286,7 @@ func (s *Server) AgentStats() protocol.StatsReport {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for _, d := range sh.devices {
-			if st := d.lastStats; st != nil {
+			if st := d.lastStats.Load(); st != nil {
 				sum.Received += st.Received
 				sum.Malformed += st.Malformed
 				sum.AuthRejected += st.AuthRejected
@@ -507,38 +511,55 @@ func (s *Server) handleConnInner(nc net.Conn) {
 		bucket = newTokenBucket(s.cfg.PerConnRatePerSec, float64(s.cfg.PerConnBurst))
 	}
 	for {
-		frame, err := tc.Recv()
+		// RecvShared reuses the connection's frame buffer: every handler
+		// below either decodes into value types or copies what it keeps, so
+		// nothing aliases the buffer past handleFrame's return.
+		frame, err := tc.RecvShared()
 		if err != nil {
 			return
 		}
-		s.c.framesIn.Add(1)
-		if bucket != nil && !bucket.allow(time.Now()) {
-			s.c.rateLimited.Add(1)
-			continue
-		}
-		switch protocol.ClassifyFrame(frame) {
-		case protocol.FrameAttResp:
-			s.onAttResp(dev, frame)
-		case protocol.FrameCommandResp:
-			s.onCommandResp(dev, frame)
-		case protocol.FrameStats:
-			s.onStats(dev, frame)
-		default:
-			s.c.unknownFrames.Add(1)
-		}
+		s.handleFrame(dev, bucket, frame)
+	}
+}
+
+// handleFrame is the per-frame serving path: rate gate, classify,
+// dispatch. It must stay allocation-free for frames that die at the gate
+// (rate-limited, unknown, unsolicited) — a hostile peer chooses how often
+// those branches run. frame is only valid for the duration of the call.
+func (s *Server) handleFrame(dev *deviceState, bucket *tokenBucket, frame []byte) {
+	s.c.framesIn.Add(1)
+	if bucket != nil && !bucket.allow() {
+		s.c.rateLimited.Add(1)
+		return
+	}
+	switch protocol.ClassifyFrame(frame) {
+	case protocol.FrameAttResp:
+		s.onAttResp(dev, frame)
+	case protocol.FrameCommandResp:
+		s.onCommandResp(dev, frame)
+	case protocol.FrameStats:
+		s.onStats(dev, frame)
+	default:
+		s.c.unknownFrames.Add(1)
 	}
 }
 
 func (s *Server) onAttResp(dev *deviceState, frame []byte) {
-	var (
-		ok    bool
-		unsol bool
-	)
-	dev.withLock(func() {
-		u0 := dev.v.Unsolicited
-		ok, _ = dev.v.CheckResponse(frame)
-		unsol = dev.v.Unsolicited > u0
-	})
+	// Decode outside the shard lock (into a stack value, no allocation);
+	// the lock then covers only the pending-map lookup, the memoized
+	// measurement compare and the retire. No closure: this path runs once
+	// per inbound response frame, hostile or not.
+	var resp protocol.AttResp
+	if err := protocol.DecodeAttRespInto(frame, &resp); err != nil {
+		s.c.responsesRejected.Add(1)
+		return
+	}
+	mu := &dev.sh.mu
+	mu.Lock()
+	u0 := dev.v.Unsolicited
+	ok, _ := dev.v.CheckDecodedResponse(&resp)
+	unsol := dev.v.Unsolicited > u0
+	mu.Unlock()
 	switch {
 	case ok:
 		s.c.responsesAccepted.Add(1)
@@ -578,7 +599,7 @@ func (s *Server) onStats(dev *deviceState, frame []byte) {
 		return
 	}
 	s.c.statsReports.Add(1)
-	dev.withLock(func() { dev.lastStats = st })
+	dev.lastStats.Store(st)
 }
 
 func (s *Server) acquireInflight() bool {
@@ -609,9 +630,13 @@ func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
 		if err == nil {
 			raw = req.Encode()
 			nonce = req.Nonce
-			dev.lastReq = raw
 		}
 	})
+	if err == nil {
+		// The encoded frame is immutable from here on (Send copies into its
+		// own scratch), so the replay source can share it lock-free.
+		dev.lastReq.Store(&raw)
+	}
 	if err != nil {
 		s.releaseInflight()
 		return true
@@ -693,10 +718,8 @@ func (s *Server) floodLoop(dev *deviceState, tc *transport.Conn, stop <-chan str
 
 func (s *Server) floodFrame(dev *deviceState, fam floodFamily, n int) []byte {
 	if fam == floodReplay {
-		var replay []byte
-		dev.withLock(func() { replay = append([]byte(nil), dev.lastReq...) })
-		if len(replay) > 0 {
-			return replay
+		if replay := dev.lastReq.Load(); replay != nil && len(*replay) > 0 {
+			return *replay
 		}
 		fam = floodForge // nothing captured yet
 	}
@@ -740,20 +763,38 @@ func forgedTagLen(kind protocol.AuthKind) int {
 	return 0
 }
 
-// tokenBucket is a wall-clock token bucket (rate tokens/s, depth burst).
+// tokenBucket is a wall-clock token bucket (rate tokens/s, depth burst)
+// with batched refill: the clock is read only when the bucket is about to
+// refuse, so a connection staying inside its burst headroom costs zero
+// time.Now() calls per frame. rate <= 0 means unlimited. Not safe for
+// concurrent use (each connection's read loop owns its bucket).
 type tokenBucket struct {
 	rate, burst float64
 	tokens      float64
 	last        time.Time
+	now         func() time.Time // injectable clock (tests)
 }
 
 func newTokenBucket(rate, burst float64) *tokenBucket {
-	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	b.last = b.now()
+	return b
 }
 
-func (b *tokenBucket) allow(now time.Time) bool {
-	if !b.last.IsZero() {
-		b.tokens += now.Sub(b.last).Seconds() * b.rate
+func (b *tokenBucket) allow() bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	// Out of tokens on the fast path: read the clock once and credit the
+	// whole interval since the last refill. Skipped reads lose nothing —
+	// the credit accrues against `last`, not against each call.
+	now := b.now()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
 		if b.tokens > b.burst {
 			b.tokens = b.burst
 		}

@@ -52,9 +52,21 @@ func AppendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// framePool recycles whole-frame scratch buffers for the standalone
+// WriteFrame path. Pooling *[]byte (not []byte) keeps Put itself from
+// allocating a slice-header box.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 // WriteFrame writes one frame to w as a single Write call (so one frame
 // maps to one segment on buffered transports and one synchronous transfer
-// on net.Pipe).
+// on net.Pipe). The prefix+payload image is assembled in a pooled scratch
+// buffer, so steady-state writes do not allocate; payload is only read and
+// never retained past the call.
 func WriteFrame(w io.Writer, payload []byte, maxFrame uint32) error {
 	if maxFrame == 0 {
 		maxFrame = DefaultMaxFrame
@@ -65,34 +77,64 @@ func WriteFrame(w io.Writer, payload []byte, maxFrame uint32) error {
 	if uint32(len(payload)) > maxFrame {
 		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), maxFrame)
 	}
-	_, err := w.Write(AppendFrame(make([]byte, 0, prefixSize+len(payload)), payload))
+	bp := framePool.Get().(*[]byte)
+	buf := AppendFrame((*bp)[:0], payload)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
 	return err
 }
 
-// ReadFrame reads one frame from r. The length prefix is validated against
-// maxFrame before any payload allocation, so a hostile prefix cannot force
-// a large allocation. A truncated prefix or payload yields
-// io.ErrUnexpectedEOF (io.EOF only when the stream ends cleanly between
-// frames).
+// ReadFrame reads one frame from r, allocating a fresh payload the caller
+// owns outright. Hot paths that can honour the aliasing contract should
+// use ReadFrameInto (or Conn.RecvShared) instead.
 func ReadFrame(r io.Reader, maxFrame uint32) ([]byte, error) {
+	return ReadFrameInto(r, nil, maxFrame)
+}
+
+// ReadFrameInto reads one frame from r, reusing scratch's backing array
+// for the payload when its capacity suffices (a larger frame allocates a
+// bigger slice, which the caller should adopt as the next scratch). The
+// length prefix is validated against maxFrame before any payload
+// allocation, so a hostile prefix cannot force a large allocation. A
+// truncated prefix or payload yields io.ErrUnexpectedEOF (io.EOF only when
+// the stream ends cleanly between frames).
+//
+// Ownership: the returned slice aliases scratch; it is the caller's until
+// the caller reuses scratch for the next frame. Anything that must outlive
+// that point has to be copied out first.
+func ReadFrameInto(r io.Reader, scratch []byte, maxFrame uint32) ([]byte, error) {
 	if maxFrame == 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	var prefix [prefixSize]byte
-	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+	// Read the prefix through scratch when possible: a stack-local prefix
+	// array would escape through the io.Reader interface and cost an
+	// allocation per frame.
+	var prefix []byte
+	if cap(scratch) >= prefixSize {
+		prefix = scratch[:prefixSize]
+	} else {
+		prefix = make([]byte, prefixSize)
+	}
+	if _, err := io.ReadFull(r, prefix); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, fmt.Errorf("transport: truncated length prefix: %w", err)
 		}
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(prefix[:])
+	n := binary.LittleEndian.Uint32(prefix)
 	if n == 0 {
 		return nil, ErrEmptyFrame
 	}
 	if n > maxFrame {
 		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint64(cap(scratch)) >= uint64(n) {
+		payload = scratch[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, fmt.Errorf("transport: truncated frame payload: %w", io.ErrUnexpectedEOF)
@@ -121,10 +163,12 @@ type Conn struct {
 	nc  net.Conn
 	opt Options
 
-	rmu sync.Mutex
-	br  *bufio.Reader
+	rmu  sync.Mutex
+	br   *bufio.Reader
+	rbuf []byte // RecvShared's reusable payload buffer (guarded by rmu)
 
-	wmu sync.Mutex
+	wmu  sync.Mutex
+	wbuf []byte // Send's reusable prefix+payload image (guarded by wmu)
 }
 
 // NewConn wraps nc. The caller must not read from or write to nc directly
@@ -144,7 +188,10 @@ func Pipe(opt Options) (*Conn, *Conn) {
 	return NewConn(a, opt), NewConn(b, opt)
 }
 
-// Send writes one frame, applying the write deadline.
+// Send writes one frame, applying the write deadline. The prefix+payload
+// image is assembled in a per-connection scratch buffer (still one Write
+// call, so frame-per-segment behaviour is unchanged) and payload is never
+// retained — the caller may reuse it immediately.
 func (c *Conn) Send(payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -153,19 +200,51 @@ func (c *Conn) Send(payload []byte) error {
 			return err
 		}
 	}
-	return WriteFrame(c.nc, payload, c.opt.MaxFrame)
+	if len(payload) == 0 {
+		return ErrEmptyFrame
+	}
+	if uint32(len(payload)) > c.opt.MaxFrame {
+		return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), c.opt.MaxFrame)
+	}
+	c.wbuf = AppendFrame(c.wbuf[:0], payload)
+	_, err := c.nc.Write(c.wbuf)
+	return err
 }
 
-// Recv reads one frame, applying the read deadline.
+// Recv reads one frame, applying the read deadline. The returned payload
+// is freshly allocated and owned by the caller outright; loops that can
+// honour the aliasing contract should prefer RecvShared.
 func (c *Conn) Recv() ([]byte, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
+	return c.recvLocked(nil)
+}
+
+// RecvShared reads one frame into the connection's reusable buffer. The
+// returned slice is valid only until the next Recv or RecvShared call on
+// this connection — a caller that retains the frame (or hands it to
+// anything that might) must copy it first. This is the zero-allocation
+// read path for per-frame serving loops.
+func (c *Conn) RecvShared() ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.rbuf == nil {
+		c.rbuf = make([]byte, 0, 512)
+	}
+	frame, err := c.recvLocked(c.rbuf)
+	if frame != nil {
+		c.rbuf = frame // adopt any growth for the next frame
+	}
+	return frame, err
+}
+
+func (c *Conn) recvLocked(scratch []byte) ([]byte, error) {
 	if c.opt.ReadTimeout > 0 {
 		if err := c.nc.SetReadDeadline(time.Now().Add(c.opt.ReadTimeout)); err != nil {
 			return nil, err
 		}
 	}
-	return ReadFrame(c.br, c.opt.MaxFrame)
+	return ReadFrameInto(c.br, scratch, c.opt.MaxFrame)
 }
 
 // Close closes the underlying connection, unblocking any pending Send or
