@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test race bench bench-compile repro fuzz fuzz-smoke examples clean
-.PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server
+.PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server metrics-smoke
 
 all: build vet test
 
@@ -64,6 +64,12 @@ attest-agent:
 
 attest-loadgen:
 	$(GO) build -o bin/attest-loadgen ./cmd/attest-loadgen
+
+# Observability acceptance check: an in-process attestd serving a real
+# agent over TCP, scraped over HTTP, with every documented series present
+# and parseable (daemon counters/histograms, fleet gauges, transport).
+metrics-smoke:
+	$(GO) test -run TestMetricsSmoke -count=1 -v ./internal/server/
 
 # The end-to-end socket demo: daemon + agent + flood over TCP localhost.
 # Exits non-zero unless the gate-rejection and MAC-work counts show the

@@ -17,12 +17,14 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"proverattest/internal/agent"
+	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
 )
 
@@ -36,6 +38,8 @@ func main() {
 		master    = flag.String("master", "proverattest-fleet-master", "master secret for key derivation (must match the daemon)")
 		services  = flag.Bool("services", false, "install the secure-update/erase/clock-sync services behind the gate")
 		statsMs   = flag.Duration("stats-every", 250*time.Millisecond, "gate-counter heartbeat period")
+
+		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics on this address, e.g. localhost:9151 (empty = off)")
 	)
 	flag.Parse()
 
@@ -47,6 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("attest-agent: %v", err)
 	}
+	reg := obs.New()
 	a, err := agent.New(agent.Config{
 		DeviceID:       *deviceID,
 		Freshness:      fresh,
@@ -54,9 +59,23 @@ func main() {
 		MasterSecret:   []byte(*master),
 		EnableServices: *services,
 		StatsEvery:     *statsMs,
+		Metrics:        reg,
 	})
 	if err != nil {
 		log.Fatalf("attest-agent: %v", err)
+	}
+
+	// Local scrape endpoint: the same gate counters the agent heartbeats
+	// to the daemon, readable without the daemon in the loop.
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		go func() {
+			log.Printf("attest-agent: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("attest-agent: metrics server: %v", err)
+			}
+		}()
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

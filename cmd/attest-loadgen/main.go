@@ -21,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"proverattest/internal/core"
+	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
 	"proverattest/internal/server"
 	"proverattest/internal/transport"
@@ -73,6 +76,20 @@ type benchServer struct {
 	// generated frame (loadgen + in-process daemon; -1 when the daemon is
 	// external). The pooled codec keeps this near zero in steady state.
 	AllocsPerFrame float64 `json:"allocs_per_frame"`
+
+	// Live /metrics-derived read-out, scraped mid-run from the daemon's
+	// exposition endpoint (in-process or -scrape URL; MetricsScrapes == 0
+	// when nothing was scraped). The histogram means are the daemon's own
+	// clock on the asymmetry — what a gate reject costs it versus an
+	// honest issue-to-accept round — independent of the client-observed
+	// AsymmetryRatio above. The *PerSec rates come from first→last scrape
+	// deltas over the traffic phase.
+	MetricsScrapes     int     `json:"metrics_scrapes"`
+	LiveGateNsMean     float64 `json:"live_gate_ns_mean"`
+	LiveAttestNsMean   float64 `json:"live_attest_ns_mean"`
+	LiveAsymmetryRatio float64 `json:"live_asymmetry_ratio"`
+	LiveRejectsPerSec  float64 `json:"live_rejects_per_sec"`
+	LiveFramesInPerSec float64 `json:"live_frames_in_per_sec"`
 
 	// In-process daemon counters (zero when external).
 	ServerFramesIn    uint64 `json:"server_frames_in"`
@@ -172,11 +189,19 @@ func (d *device) pumpAdversarial(rate float64, deadline time.Time) {
 	}
 }
 
+// percentile is the nearest-rank q-quantile of an ascending-sorted
+// sample: the smallest element with at least ceil(q·n) values at or below
+// it. (The previous int(q·n) truncation picked the rank *after* the
+// nearest rank whenever q·n was integral — at q=0.5 over four samples it
+// returned the 3rd value, not the 2nd.)
 func percentile(sorted []int64, q float64) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)))
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}
@@ -207,6 +232,7 @@ func main() {
 		attEvery  = flag.Duration("attest-every", 100*time.Millisecond, "in-process daemon's per-device attestation period")
 		connRate  = flag.Float64("conn-rate", 0, "in-process daemon's per-connection frames/s budget (0 = unlimited)")
 		out       = flag.String("out", "", "also write the JSON summary to this file (BENCH_server.json)")
+		scrapeURL = flag.String("scrape", "", "external daemon's /metrics URL to scrape mid-run, e.g. http://10.0.0.7:9150/metrics (in-process daemons are scraped automatically)")
 	)
 	flag.Parse()
 
@@ -244,6 +270,21 @@ func main() {
 		go srv.Serve(ln) //nolint:errcheck
 		target = ln.Addr().String()
 		log.Printf("attest-loadgen: in-process attestd on %s", target)
+	}
+
+	// Mid-run observability: scrape the daemon's /metrics during the
+	// traffic phase. The in-process daemon gets a loopback exposition
+	// endpoint of its own; an external daemon is scraped via -scrape.
+	metricsURL := *scrapeURL
+	if srv != nil {
+		mln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(srv.Metrics()))
+		go http.Serve(mln, mux) //nolint:errcheck
+		metricsURL = "http://" + mln.Addr().String() + "/metrics"
 	}
 
 	devs := make([]*device, *devices)
@@ -291,6 +332,22 @@ func main() {
 
 	deadline := time.Now().Add(*duration)
 	t0 := time.Now()
+	var live *liveMetrics
+	var liveDone chan struct{}
+	if metricsURL != "" {
+		live = newLiveMetrics(metricsURL)
+		liveDone = make(chan struct{})
+		// Sample a handful of times across the phase (bounded below so a
+		// short smoke run still gets first+last for the delta rates).
+		every := *duration / 8
+		if every < 100*time.Millisecond {
+			every = 100 * time.Millisecond
+		}
+		go func() {
+			defer close(liveDone)
+			live.run(every, deadline)
+		}()
+	}
 	var wg sync.WaitGroup
 	for _, d := range devs {
 		wg.Add(1)
@@ -302,6 +359,9 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&msAfter)
+	if live != nil {
+		<-liveDone
+	}
 
 	var sendNs, roundNs []int64
 	var framesSent, rounds int64
@@ -340,6 +400,9 @@ func main() {
 	}
 	if adv := mean(sendNs); adv > 0 && res.AuthenticRoundNsPerOp > 0 {
 		res.AsymmetryRatio = res.AuthenticRoundNsPerOp / adv
+	}
+	if live != nil {
+		live.fill(&res)
 	}
 	totalFrames := framesSent + rounds
 	if srv != nil && totalFrames > 0 {

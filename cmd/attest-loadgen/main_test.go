@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+// TestPercentileNearestRank pins the quantile estimator to the
+// nearest-rank definition: the smallest sorted element with at least
+// ceil(q·n) samples at or below it. The regression rows are the cases the
+// old int(q·n) truncation got wrong — whenever q·n landed on an integer
+// it indexed one rank too high (p50 of four samples returned the third).
+func TestPercentileNearestRank(t *testing.T) {
+	tests := []struct {
+		name   string
+		sorted []int64
+		q      float64
+		want   int64
+	}{
+		{"empty", nil, 0.50, 0},
+		{"single p50", []int64{7}, 0.50, 7},
+		{"single p99", []int64{7}, 0.99, 7},
+
+		// q·n integral: the old code returned sorted[q·n] (one rank high).
+		{"p50 even n", []int64{10, 20, 30, 40}, 0.50, 20},
+		{"p25 of 4", []int64{10, 20, 30, 40}, 0.25, 10},
+		{"p75 of 4", []int64{10, 20, 30, 40}, 0.75, 30},
+		{"p50 of 2", []int64{1, 2}, 0.50, 1},
+		{"p95 of 20", []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}, 0.95, 19},
+
+		// q·n fractional: ceil picks the same rank both ways.
+		{"p50 odd n", []int64{10, 20, 30}, 0.50, 20},
+		{"p95 of 3", []int64{10, 20, 30}, 0.95, 30},
+		{"p99 of 10", []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.99, 10},
+
+		// Extremes clamp to the sample's ends.
+		{"p100", []int64{10, 20, 30}, 1.00, 30},
+		{"p0", []int64{10, 20, 30}, 0.00, 10},
+	}
+	for _, tc := range tests {
+		if got := percentile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: percentile(%v, %v) = %d, want %d", tc.name, tc.sorted, tc.q, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"proverattest/internal/obs"
+)
+
+// liveMetrics scrapes a daemon's /metrics endpoint on a fixed cadence
+// during the traffic phase and keeps the first and latest samples, so the
+// summary can report both point-in-time state (histogram means) and
+// rate-over-the-run deltas. Scraping rides its own goroutine and HTTP
+// connection — the observation path never touches the loadgen's traffic
+// sockets.
+type liveMetrics struct {
+	url    string
+	client *http.Client
+
+	mu      sync.Mutex
+	scrapes int
+	first   map[string]float64
+	firstT  time.Time
+	last    map[string]float64
+	lastT   time.Time
+}
+
+func newLiveMetrics(url string) *liveMetrics {
+	return &liveMetrics{url: url, client: &http.Client{Timeout: 2 * time.Second}}
+}
+
+// run scrapes every interval until the deadline, then once more for the
+// final state. Scrape failures are skipped, not fatal: a saturated box
+// missing a sample beats killing the run.
+func (l *liveMetrics) run(every time.Duration, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		l.scrapeOnce()
+		sleep := every
+		if until := time.Until(deadline); until < sleep {
+			sleep = until
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+	}
+	l.scrapeOnce()
+}
+
+func (l *liveMetrics) scrapeOnce() {
+	resp, err := l.client.Get(l.url)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	series, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.scrapes++
+	if l.first == nil {
+		l.first, l.firstT = series, now
+	}
+	l.last, l.lastT = series, now
+}
+
+// sumFamily totals every series of one family (all label sets) in a
+// sample.
+func sumFamily(sample map[string]float64, family string) float64 {
+	var sum float64
+	for key, v := range sample {
+		if key == family || strings.HasPrefix(key, family+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// histMeanNs derives a histogram's mean observation in nanoseconds from
+// its _sum (seconds) and _count series.
+func histMeanNs(sample map[string]float64, name string) float64 {
+	count := sample[name+"_count"]
+	if count == 0 {
+		return 0
+	}
+	return sample[name+"_sum"] * 1e9 / count
+}
+
+// fill derives the summary's live_* fields from the collected samples.
+func (l *liveMetrics) fill(res *benchServer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res.MetricsScrapes = l.scrapes
+	if l.last == nil {
+		return
+	}
+	// Point-in-time means over the whole run, from the daemon's own
+	// histograms: the server-observed half of the asymmetry read-out
+	// (the client-observed half is AsymmetryRatio above).
+	res.LiveGateNsMean = histMeanNs(l.last, "attestd_gate_seconds")
+	res.LiveAttestNsMean = histMeanNs(l.last, "attestd_attest_seconds")
+	if res.LiveGateNsMean > 0 {
+		res.LiveAsymmetryRatio = res.LiveAttestNsMean / res.LiveGateNsMean
+	}
+	// Rates from first→last scrape deltas (0 with a single scrape).
+	if window := l.lastT.Sub(l.firstT).Seconds(); window > 0 {
+		res.LiveRejectsPerSec = (sumFamily(l.last, "attestd_rejects_total") -
+			sumFamily(l.first, "attestd_rejects_total")) / window
+		res.LiveFramesInPerSec = (l.last["attestd_frames_total"] -
+			l.first["attestd_frames_total"]) / window
+	}
+}

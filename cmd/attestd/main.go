@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"proverattest/internal/core"
+	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
 	"proverattest/internal/server"
 )
@@ -47,6 +48,7 @@ func main() {
 
 		statusEvery = flag.Duration("status-every", 5*time.Second, "status line period (0 = silent)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = off)")
+		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics on this address, e.g. localhost:9150 (empty = off)")
 	)
 	flag.Parse()
 
@@ -89,6 +91,20 @@ func main() {
 			log.Printf("attestd: pprof on http://%s/debug/pprof/", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				log.Printf("attestd: pprof server: %v", err)
+			}
+		}()
+	}
+
+	// The exposition endpoint runs on its own listener and goroutine: a
+	// scrape renders counters the serving path updates with atomics, so
+	// observation never sits on the hot path.
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(s.Metrics()))
+		go func() {
+			log.Printf("attestd: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("attestd: metrics server: %v", err)
 			}
 		}()
 	}

@@ -20,13 +20,25 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"time"
 
 	"proverattest/internal/agent"
 	"proverattest/internal/core"
+	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
 	"proverattest/internal/server"
 )
+
+// scrapeMetrics pulls one sample from the daemon's exposition endpoint.
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return obs.ParseText(resp.Body)
+}
 
 const (
 	honestHead = 3   // authenticated requests before the flood
@@ -37,12 +49,14 @@ func main() {
 	log.SetFlags(0)
 	master := []byte("netflood-example-master")
 
+	reg := obs.New()
 	srv, err := server.New(server.Config{
 		Freshness:    protocol.FreshCounter,
 		Auth:         protocol.AuthHMACSHA1,
 		MasterSecret: master,
 		Golden:       core.GoldenRAMPattern(),
 		Flood:        &server.FloodConfig{Total: floodTotal, HonestHead: honestHead},
+		Metrics:      reg,
 	})
 	if err != nil {
 		log.Fatalf("netflood: %v", err)
@@ -53,6 +67,16 @@ func main() {
 		log.Fatalf("netflood: %v", err)
 	}
 	go srv.Serve(ln) //nolint:errcheck
+
+	// Exposition endpoint for the daemon's live counters: the example
+	// scrapes it mid-flood like an operator's Prometheus would, and the
+	// summary reports the asymmetry read from that scrape.
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("netflood: %v", err)
+	}
+	go http.Serve(mln, obs.Handler(reg)) //nolint:errcheck
+	metricsURL := "http://" + mln.Addr().String() + "/metrics"
 	fmt.Printf("attestd (flood impersonator) on %s: %d honest requests, then %d adversarial frames\n\n",
 		ln.Addr(), honestHead, floodTotal)
 
@@ -74,14 +98,30 @@ func main() {
 	defer cancel()
 	go a.Serve(ctx, nc) //nolint:errcheck
 
-	// Wait until the agent has seen (and reported) every frame.
+	// Wait until the agent has seen (and reported) every frame, scraping
+	// the daemon's /metrics on the way — a mid-flood sample of the live
+	// counters, exactly what an operator's dashboard would poll.
 	deadline := time.Now().Add(30 * time.Second)
+	var midFlood map[string]float64
 	for srv.AgentStats().Received < honestHead+floodTotal {
 		if time.Now().After(deadline) {
 			log.Fatalf("netflood: timed out: agent reported %d/%d frames",
 				srv.AgentStats().Received, honestHead+floodTotal)
 		}
+		if s, err := scrapeMetrics(metricsURL); err == nil {
+			midFlood = s
+		}
 		time.Sleep(20 * time.Millisecond)
+	}
+
+	// One final scrape after the flood settled: the numbers asserted below
+	// must also be visible through the exposition endpoint.
+	final, err := scrapeMetrics(metricsURL)
+	if err != nil {
+		log.Fatalf("netflood: final metrics scrape: %v", err)
+	}
+	if midFlood == nil {
+		midFlood = final
 	}
 
 	st := srv.AgentStats()
@@ -102,6 +142,12 @@ func main() {
 		log.Fatalf("netflood: FAIL: %d gate rejections, want %d", st.GateRejected(), floodTotal)
 	case c.ResponsesAccepted != honestHead:
 		log.Fatalf("netflood: FAIL: daemon accepted %d responses, want %d", c.ResponsesAccepted, honestHead)
+	case final["attestd_responses_accepted_total"] != honestHead:
+		log.Fatalf("netflood: FAIL: exposition reports %v accepted responses, want %d",
+			final["attestd_responses_accepted_total"], honestHead)
+	case final["attestd_fleet_measurements"] != honestHead:
+		log.Fatalf("netflood: FAIL: exposition reports %v fleet measurements, want %d",
+			final["attestd_fleet_measurements"], honestHead)
 	}
 	fmt.Printf(`PASS: the gate held over the socket.
   - %d honest requests each cost a full ≈754 ms (simulated) memory measurement;
@@ -111,6 +157,14 @@ func main() {
 
 	// Machine-readable summary (field names follow BENCH_transport.json)
 	// for scripts that scrape the example's output.
+	gateCount := final["attestd_gate_seconds_count"]
+	var liveGateNs, liveAttestNs float64
+	if gateCount > 0 {
+		liveGateNs = final["attestd_gate_seconds_sum"] * 1e9 / gateCount
+	}
+	if n := final["attestd_attest_seconds_count"]; n > 0 {
+		liveAttestNs = final["attestd_attest_seconds_sum"] * 1e9 / n
+	}
 	summary, err := json.Marshal(struct {
 		Bench             string `json:"bench"`
 		Freshness         string `json:"freshness"`
@@ -121,6 +175,13 @@ func main() {
 		AgentMeasurements uint64 `json:"agent_measurements"`
 		AgentGateRejected uint64 `json:"agent_gate_rejected"`
 		DaemonAccepted    uint64 `json:"daemon_responses_accepted"`
+
+		// Read from the /metrics endpoint, not process memory: the same
+		// numbers an external Prometheus would see.
+		MidFloodFleetReceived float64 `json:"mid_flood_fleet_received"`
+		LiveGateNsMean        float64 `json:"live_gate_ns_mean"`
+		LiveAttestNsMean      float64 `json:"live_attest_ns_mean"`
+		LiveTransportFramesIn float64 `json:"live_transport_frames_in"`
 	}{
 		Bench:             "netflood",
 		Freshness:         protocol.FreshCounter.String(),
@@ -131,6 +192,11 @@ func main() {
 		AgentMeasurements: st.Measurements,
 		AgentGateRejected: st.GateRejected(),
 		DaemonAccepted:    c.ResponsesAccepted,
+
+		MidFloodFleetReceived: midFlood["attestd_fleet_received"],
+		LiveGateNsMean:        liveGateNs,
+		LiveAttestNsMean:      liveAttestNs,
+		LiveTransportFramesIn: final[`transport_frames_total{dir="in"}`],
 	})
 	if err != nil {
 		log.Fatalf("netflood: %v", err)

@@ -24,6 +24,7 @@ import (
 	"proverattest/internal/anchor"
 	"proverattest/internal/core"
 	"proverattest/internal/mcu"
+	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
 	"proverattest/internal/services"
 	"proverattest/internal/sim"
@@ -62,6 +63,14 @@ type Config struct {
 	MaxFrame uint32
 	// WriteTimeout bounds one frame write (default 10 s).
 	WriteTimeout time.Duration
+
+	// Metrics, when non-nil, receives the agent's observability series:
+	// serve-loop counters, transport codec counters, and gauge re-exports
+	// of the anchor's gate statistics. Registration happens once in New;
+	// recording is allocation-free (see internal/obs). One registry serves
+	// one agent — sharing a registry across agents panics on the duplicate
+	// series.
+	Metrics *obs.Registry
 }
 
 // Agent is a connected (or connectable) prover.
@@ -75,6 +84,8 @@ type Agent struct {
 	procCh chan struct{}
 
 	framesIn uint64 // frames pulled off the socket (guarded by procCh)
+
+	m *agentMetrics
 }
 
 // New builds the agent's simulated device: MCU, trust anchor, secure boot.
@@ -116,6 +127,8 @@ func New(cfg Config) (*Agent, error) {
 	}
 	a := &Agent{cfg: cfg, dev: dev, procCh: make(chan struct{}, 1)}
 	a.procCh <- struct{}{}
+	a.m = newAgentMetrics(cfg.Metrics)
+	a.registerGauges(cfg.Metrics)
 	if cfg.EnableServices {
 		// The services package is wired through core's scenario layer; the
 		// networked agent installs the same handlers directly.
@@ -215,12 +228,28 @@ func (a *Agent) snapshotLocked() protocol.StatsReport {
 // cancelled or the peer closes. The caller dials (net.Dial, net.Pipe, …);
 // Serve sends the hello, then answers requests and heartbeats stats.
 func (a *Agent) Serve(ctx context.Context, nc net.Conn) error {
+	err := a.serve(ctx, nc)
+	// Exactly one exit-cause series increments per Serve call: clean peer
+	// close, our own cancellation, or a transport failure.
+	switch {
+	case err == nil:
+		a.m.exitEOF.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		a.m.exitCanceled.Inc()
+	default:
+		a.m.exitError.Inc()
+	}
+	return err
+}
+
+func (a *Agent) serve(ctx context.Context, nc net.Conn) error {
 	tc := transport.NewConn(nc, transport.Options{
 		MaxFrame: a.cfg.MaxFrame,
 		// The read deadline doubles as the stats heartbeat: every quiet
 		// interval, push counters instead of blocking forever.
 		ReadTimeout:  a.cfg.StatsEvery,
 		WriteTimeout: a.cfg.WriteTimeout,
+		Metrics:      a.m.transport,
 	})
 	defer tc.Close()
 
@@ -261,11 +290,13 @@ func (a *Agent) Serve(ctx context.Context, nc net.Conn) error {
 			}
 			return a.exitErr(ctx, err)
 		}
+		a.m.framesIn.Inc()
 		reply := a.Process(frame)
 		if reply != nil {
 			if err := tc.Send(reply); err != nil {
 				return a.exitErr(ctx, err)
 			}
+			a.m.replies.Inc()
 			// A completed measurement is the expensive event the daemon
 			// audits; piggyback fresh counters on it immediately rather
 			// than waiting for the next quiet heartbeat.
@@ -281,7 +312,11 @@ func (a *Agent) Serve(ctx context.Context, nc net.Conn) error {
 func (a *Agent) sendStats(tc *transport.Conn, scratch []byte) ([]byte, error) {
 	st := a.Snapshot()
 	scratch = st.AppendEncode(scratch[:0])
-	return scratch, tc.Send(scratch)
+	err := tc.Send(scratch)
+	if err == nil {
+		a.m.statsSent.Inc()
+	}
+	return scratch, err
 }
 
 // exitErr maps connection errors caused by our own context-driven close to

@@ -1,0 +1,73 @@
+package agent
+
+import (
+	"proverattest/internal/obs"
+	"proverattest/internal/protocol"
+	"proverattest/internal/transport"
+)
+
+// agentMetrics is the prover agent's observability surface. The serve
+// loop records with obs instruments only — atomics on preallocated state,
+// 0 allocs/op, nil-safe — so instrumentation never perturbs the cost
+// accounting the agent exists to measure: the anchor's gate counters stay
+// the single source of truth for gate economics, and these series only
+// add the socket-side view (frames pulled, replies pushed, why the loop
+// exited).
+type agentMetrics struct {
+	framesIn  *obs.Counter // frames pulled off the socket by the serve loop
+	replies   *obs.Counter // anchor responses written back to the daemon
+	statsSent *obs.Counter // counter heartbeats pushed
+
+	// Serve-loop terminations by cause. Exactly one increments per Serve
+	// call, when the loop exits: the fleet's churn/crash telemetry.
+	exitEOF      *obs.Counter // peer closed cleanly between frames
+	exitCanceled *obs.Counter // our context was cancelled
+	exitError    *obs.Counter // transport or write failure
+
+	transport *transport.Metrics
+}
+
+func newAgentMetrics(reg *obs.Registry) *agentMetrics {
+	const exitHelp = "Serve-loop terminations, by cause."
+	return &agentMetrics{
+		framesIn:  reg.Counter("agent_frames_total", "Frames pulled off the socket and submitted to the anchor."),
+		replies:   reg.Counter("agent_replies_total", "Anchor responses written back to the daemon."),
+		statsSent: reg.Counter("agent_stats_sent_total", "Gate-counter heartbeats pushed to the daemon."),
+
+		exitEOF:      reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "eof")),
+		exitCanceled: reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "canceled")),
+		exitError:    reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "error")),
+
+		transport: transport.NewMetrics(reg),
+	}
+}
+
+// registerGauges re-exports the anchor's own gate counters as
+// exposition-time gauges. The anchor already owns these numbers — the
+// gauges read a snapshot at scrape time, never mirroring them on the
+// frame path. They are the same counters the agent heartbeats to the
+// daemon as stats frames; exposing them locally lets a prover be scraped
+// directly, without the daemon in the loop.
+func (a *Agent) registerGauges(reg *obs.Registry) {
+	const gateRejHelp = "Frames rejected at the anchor's cheap gate, by cause (cumulative since boot)."
+	gate := func(name, help string, pick func(*protocol.StatsReport) uint64, labels ...obs.Label) {
+		reg.GaugeFunc(name, help, func() float64 {
+			st := a.Snapshot()
+			return float64(pick(&st))
+		}, labels...)
+	}
+	gate("agent_gate_received", "Request frames submitted to the anchor's gate.",
+		func(st *protocol.StatsReport) uint64 { return st.Received })
+	gate("agent_gate_rejected", gateRejHelp,
+		func(st *protocol.StatsReport) uint64 { return st.AuthRejected }, obs.L("cause", "auth"))
+	gate("agent_gate_rejected", gateRejHelp,
+		func(st *protocol.StatsReport) uint64 { return st.FreshnessRejected }, obs.L("cause", "freshness"))
+	gate("agent_gate_rejected", gateRejHelp,
+		func(st *protocol.StatsReport) uint64 { return st.Malformed }, obs.L("cause", "malformed"))
+	gate("agent_measurements", "Full memory measurements performed (the expensive MAC work).",
+		func(st *protocol.StatsReport) uint64 { return st.Measurements })
+	gate("agent_faults", "Bus faults taken inside the anchor.",
+		func(st *protocol.StatsReport) uint64 { return st.Faults })
+	gate("agent_active_cycles", "Total MCU cycles spent (energy basis).",
+		func(st *protocol.StatsReport) uint64 { return st.ActiveCycles })
+}

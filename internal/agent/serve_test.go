@@ -1,0 +1,258 @@
+package agent
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"proverattest/internal/obs"
+	"proverattest/internal/protocol"
+	"proverattest/internal/transport"
+)
+
+// These tests pin Agent.Serve's error paths: however the connection dies —
+// peer gone mid-frame, a hostile oversized length prefix, our own
+// cancellation, a clean close — the loop must exit promptly with the
+// matching error, and the agent's obs counters must record the cause on
+// exactly one exit series.
+
+// metricAgent builds an agent with a live registry so exit causes are
+// observable.
+func metricAgent(t *testing.T, mutate func(*Config)) (*Agent, *obs.Registry) {
+	t.Helper()
+	reg := obs.New()
+	cfg := Config{
+		DeviceID:     "dev-under-test",
+		Freshness:    protocol.FreshCounter,
+		Auth:         protocol.AuthHMACSHA1,
+		MasterSecret: testMaster,
+		StatsEvery:   20 * time.Millisecond,
+		Metrics:      reg,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, reg
+}
+
+// scrapeRegistry renders reg in exposition format and parses it into a
+// series→value map, failing the test on any unparseable line.
+func scrapeRegistry(t *testing.T, reg *obs.Registry) map[string]float64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	series := make(map[string]float64)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("series %q has unparseable value: %v", line[:sp], err)
+		}
+		series[line[:sp]] = val
+	}
+	return series
+}
+
+// exitCounts reads the three agent_serve_exits_total series from reg.
+func exitCounts(t *testing.T, reg *obs.Registry) (eof, canceled, errored float64) {
+	t.Helper()
+	series := scrapeRegistry(t, reg)
+	return series[`agent_serve_exits_total{cause="eof"}`],
+		series[`agent_serve_exits_total{cause="canceled"}`],
+		series[`agent_serve_exits_total{cause="error"}`]
+}
+
+// tcpPair builds a connected loopback TCP pair. Real sockets, not
+// net.Pipe: a pipe's SetReadDeadline fails with ErrClosedPipe once the
+// remote end closes, which misreports a clean peer shutdown — TCP
+// delivers the FIN as io.EOF like production traffic does.
+func tcpPair(t *testing.T) (agentSide, peerSide net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		r.c.Close()
+	})
+	return client, r.c
+}
+
+// serveResult runs Serve on its own goroutine and returns the channel its
+// error lands on.
+func serveResult(ctx context.Context, a *Agent, nc net.Conn) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- a.Serve(ctx, nc) }()
+	return done
+}
+
+// waitExit asserts Serve exits within a bound and returns its error.
+func waitExit(t *testing.T, done <-chan error) error {
+	t.Helper()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not exit")
+		return nil
+	}
+}
+
+// drainHello consumes the agent's hello so the peer side is at a frame
+// boundary.
+func drainHello(t *testing.T, tc *transport.Conn) {
+	t.Helper()
+	frame, err := tc.Recv()
+	if err != nil {
+		t.Fatalf("reading hello: %v", err)
+	}
+	if protocol.ClassifyFrame(frame) != protocol.FrameHello {
+		t.Fatalf("first frame is not a hello: %x", frame)
+	}
+}
+
+func TestServeExitsCleanOnPeerClose(t *testing.T) {
+	// A heartbeat far beyond the test's lifetime: the agent is parked in
+	// Recv when the peer closes, so the only possible outcome is a clean
+	// EOF (a short heartbeat could race the close with a stats write).
+	a, reg := metricAgent(t, func(c *Config) { c.StatsEvery = time.Hour })
+	nc, peer := tcpPair(t)
+	done := serveResult(context.Background(), a, nc)
+
+	tc := transport.NewConn(peer, transport.Options{ReadTimeout: 5 * time.Second})
+	drainHello(t, tc)
+	tc.Close()
+
+	if err := waitExit(t, done); err != nil {
+		t.Fatalf("clean peer close returned %v, want nil", err)
+	}
+	eof, canceled, errored := exitCounts(t, reg)
+	if eof != 1 || canceled != 0 || errored != 0 {
+		t.Fatalf("exit counters (eof=%v canceled=%v error=%v), want (1 0 0)", eof, canceled, errored)
+	}
+}
+
+func TestServeExitsOnPeerCloseMidFrame(t *testing.T) {
+	a, reg := metricAgent(t, nil)
+	nc, peer := tcpPair(t)
+	done := serveResult(context.Background(), a, nc)
+
+	tc := transport.NewConn(peer, transport.Options{ReadTimeout: 5 * time.Second})
+	drainHello(t, tc)
+
+	// A length prefix promising 64 bytes, then the stream dies after 3:
+	// the classic torn write of a crashing peer.
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], 64)
+	if _, err := peer.Write(prefix[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peer.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	peer.Close()
+
+	err := waitExit(t, done)
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-frame close returned %v, want io.ErrUnexpectedEOF", err)
+	}
+	eof, canceled, errored := exitCounts(t, reg)
+	if errored != 1 || eof != 0 || canceled != 0 {
+		t.Fatalf("exit counters (eof=%v canceled=%v error=%v), want (0 0 1)", eof, canceled, errored)
+	}
+	series := scrapeRegistry(t, reg)
+	if series[`transport_read_errors_total{cause="truncated"}`] != 1 {
+		t.Fatalf("truncated read not recorded on the transport series: %v", series)
+	}
+}
+
+func TestServeExitsOnOversizedFrame(t *testing.T) {
+	a, reg := metricAgent(t, func(c *Config) { c.MaxFrame = 128 })
+	nc, peer := tcpPair(t)
+	done := serveResult(context.Background(), a, nc)
+
+	tc := transport.NewConn(peer, transport.Options{ReadTimeout: 5 * time.Second})
+	drainHello(t, tc)
+
+	// A hostile length prefix far over the agent's MaxFrame. The agent
+	// must refuse at the prefix — before buffering a byte of payload.
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], 1<<20)
+	if _, err := peer.Write(prefix[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	err := waitExit(t, done)
+	if err == nil || !errors.Is(err, transport.ErrFrameTooLarge) {
+		t.Fatalf("oversized frame returned %v, want ErrFrameTooLarge", err)
+	}
+	eof, canceled, errored := exitCounts(t, reg)
+	if errored != 1 || eof != 0 || canceled != 0 {
+		t.Fatalf("exit counters (eof=%v canceled=%v error=%v), want (0 0 1)", eof, canceled, errored)
+	}
+	series := scrapeRegistry(t, reg)
+	if series[`transport_read_errors_total{cause="too_large"}`] != 1 {
+		t.Fatalf("oversized read not recorded on the transport series: %v", series)
+	}
+}
+
+func TestServeExitsOnContextCancel(t *testing.T) {
+	a, reg := metricAgent(t, nil)
+	nc, peer := tcpPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := serveResult(ctx, a, nc)
+
+	tc := transport.NewConn(peer, transport.Options{ReadTimeout: 5 * time.Second})
+	drainHello(t, tc)
+	cancel()
+
+	err := waitExit(t, done)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation returned %v, want context.Canceled", err)
+	}
+	eof, canceled, errored := exitCounts(t, reg)
+	if canceled != 1 || eof != 0 || errored != 0 {
+		t.Fatalf("exit counters (eof=%v canceled=%v error=%v), want (0 1 0)", eof, canceled, errored)
+	}
+	// The peer side keeps draining heartbeats the agent may have sent
+	// before the cancel landed; nothing further to assert there.
+	tc.Close()
+	peer.Close()
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", nil)
+	r.GaugeFunc("y", "", func() float64 { return 1 })
+	c.Inc()
+	g.Set(3)
+	h.Observe(time.Millisecond)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments recorded values")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "latency", []time.Duration{
+		time.Microsecond, time.Millisecond, time.Second,
+	})
+	h.Observe(500 * time.Nanosecond) // bucket 0 (le 1µs)
+	h.Observe(time.Microsecond)      // bucket 0 (le is inclusive)
+	h.Observe(2 * time.Microsecond)  // bucket 1
+	h.Observe(2 * time.Second)       // overflow (+Inf)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	want := 500*time.Nanosecond + time.Microsecond + 2*time.Microsecond + 2*time.Second
+	if h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`lat_seconds_bucket{le="1e-06"} 2`,
+		`lat_seconds_bucket{le="0.001"} 3`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_count 4`,
+	} {
+		if !strings.Contains(sb.String(), line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, sb.String())
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := New()
+	r.Counter("rejects_total", "rejects by cause", L("cause", "malformed")).Add(3)
+	r.Counter("rejects_total", "rejects by cause", L("cause", "unsolicited")).Add(5)
+	r.Gauge("inflight", "outstanding requests").Set(2)
+	r.GaugeFunc("devices", "known devices", func() float64 { return 8 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		"# HELP rejects_total rejects by cause",
+		"# TYPE rejects_total counter",
+		`rejects_total{cause="malformed"} 3`,
+		`rejects_total{cause="unsolicited"} 5`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"devices 8",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// One HELP/TYPE header per family, not per label variant.
+	if n := strings.Count(out, "# TYPE rejects_total"); n != 1 {
+		t.Errorf("rejects_total TYPE header emitted %d times, want 1", n)
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	r := New()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "")
+}
+
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("served_total", "frames served").Add(9)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "served_total 9\n") {
+		t.Fatalf("scrape body:\n%s", buf[:n])
+	}
+}
+
+// TestRecordingZeroAllocs pins the hot-path contract the whole layer is
+// built on: recording into any obs instrument — live or nil — is atomics
+// on preallocated arrays, 0 allocs/op.
+func TestRecordingZeroAllocs(t *testing.T) {
+	r := New()
+	c := r.Counter("hot_total", "")
+	g := r.Gauge("hot", "")
+	h := r.Histogram("hot_seconds", "", nil)
+	var nilC *Counter
+	var nilH *Histogram
+	for name, fn := range map[string]func(){
+		"Counter.Inc":           func() { c.Inc() },
+		"Counter.Add":           func() { c.Add(3) },
+		"Gauge.Set":             func() { g.Set(5) },
+		"Gauge.Add":             func() { g.Add(-1) },
+		"Histogram.Observe":     func() { h.Observe(17 * time.Microsecond) },
+		"Histogram.overflow":    func() { h.Observe(time.Minute) },
+		"nil Counter.Inc":       func() { nilC.Inc() },
+		"nil Histogram.Observe": func() { nilH.Observe(time.Second) },
+	} {
+		fn() // warm up
+		if n := testing.AllocsPerRun(1000, fn); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, n)
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := New()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

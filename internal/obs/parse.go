@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses a Prometheus text exposition (the format WritePrometheus
+// emits) into a map keyed by the full series string — metric name plus
+// rendered label set, exactly as exposed. Comment and blank lines are
+// skipped; any other unparseable line is an error. The scrape-side
+// counterpart of WritePrometheus: the load generators use it to read the
+// daemon's counters mid-run.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	series := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: unparseable exposition line %q", line)
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: series %q has unparseable value %q", line[:sp], line[sp+1:])
+		}
+		series[line[:sp]] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return series, nil
+}

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"unicode/utf8"
 )
@@ -159,23 +160,43 @@ func (s *StatsReport) Encode() []byte {
 	return s.AppendEncode(make([]byte, 0, statsFrameSize))
 }
 
-// DecodeStatsReport parses a stats frame with strict framing.
-func DecodeStatsReport(buf []byte) (*StatsReport, error) {
+// Static stats-decode errors. DecodeStatsReportInto sits on the daemon's
+// per-frame serving path, where a hostile peer controls the input; the
+// reject path must not allocate, so the errors carry no per-frame detail.
+var (
+	errStatsLength   = errors.New("protocol: bad stats report length")
+	errStatsMagic    = errors.New("protocol: bad stats magic")
+	errStatsVersion  = errors.New("protocol: unsupported stats version")
+	errStatsReserved = errors.New("protocol: nonzero reserved bytes in stats header")
+)
+
+// DecodeStatsReportInto parses a stats frame into s without allocating:
+// strict framing, static errors. s is fully overwritten on success and
+// unspecified on failure.
+func DecodeStatsReportInto(buf []byte, s *StatsReport) error {
 	if len(buf) != statsFrameSize {
-		return nil, fmt.Errorf("protocol: stats report length %d, want %d", len(buf), statsFrameSize)
+		return errStatsLength
 	}
 	if buf[0] != reqMagic0 || buf[1] != statsMagic1 {
-		return nil, fmt.Errorf("protocol: bad stats magic %#x %#x", buf[0], buf[1])
+		return errStatsMagic
 	}
 	if buf[2] != reqVersion {
-		return nil, fmt.Errorf("protocol: unsupported stats version %d", buf[2])
+		return errStatsVersion
 	}
 	if buf[3] != 0 || buf[4] != 0 || buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
-		return nil, fmt.Errorf("protocol: nonzero reserved bytes in stats header")
+		return errStatsReserved
 	}
-	s := &StatsReport{}
 	for i, p := range s.fields() {
 		*p = binary.LittleEndian.Uint64(buf[statsHeaderSize+8*i:])
+	}
+	return nil
+}
+
+// DecodeStatsReport parses a stats frame with strict framing.
+func DecodeStatsReport(buf []byte) (*StatsReport, error) {
+	s := &StatsReport{}
+	if err := DecodeStatsReportInto(buf, s); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -78,8 +78,34 @@ func TestHandleFrameMalformedRespZeroAllocs(t *testing.T) {
 	// Classifies as a response (magic + version) but fails strict framing.
 	frame := (&protocol.AttResp{Nonce: 1}).Encode()[:respTruncated]
 	allocsPerFrame(t, "malformed response", 0, func() { s.handleFrame(dev, nil, frame) })
-	if s.Counters().ResponsesRejected == 0 {
-		t.Fatal("malformed responses not counted")
+	c := s.Counters()
+	if c.ResponsesMalformed == 0 || c.MalformedFrames == 0 {
+		t.Fatal("malformed responses not counted on their distinct cause series")
+	}
+	if c.ResponsesRejected != c.ResponsesMalformed {
+		t.Fatalf("rejected roll-up %d != malformed cause %d (no mismatches occurred)",
+			c.ResponsesRejected, c.ResponsesMalformed)
+	}
+	if c.UnknownFrames != 0 {
+		t.Fatal("malformed responses leaked into the unknown-kind counter")
+	}
+}
+
+// TestHandleFrameMalformedStatsDistinctCause pins the accounting split:
+// a frame that classifies as stats but fails strict decode lands on the
+// malformed-stats series, not on unknown-kind (where it was historically
+// conflated) and not on the response counters.
+func TestHandleFrameMalformedStatsDistinctCause(t *testing.T) {
+	s, dev := newAllocRig(t)
+	frame := (&protocol.StatsReport{Received: 1}).Encode()
+	frame = frame[:len(frame)-1] // classifies as stats, fails length check
+	allocsPerFrame(t, "malformed stats", 0, func() { s.handleFrame(dev, nil, frame) })
+	c := s.Counters()
+	if c.MalformedFrames == 0 {
+		t.Fatal("malformed stats frames not counted as malformed")
+	}
+	if c.UnknownFrames != 0 || c.ResponsesRejected != 0 || c.StatsReports != 0 {
+		t.Fatalf("malformed stats conflated with another cause: %v", c)
 	}
 }
 

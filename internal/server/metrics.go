@@ -1,0 +1,144 @@
+package server
+
+import (
+	"proverattest/internal/obs"
+	"proverattest/internal/protocol"
+	"proverattest/internal/transport"
+)
+
+// serverMetrics is the daemon's observability surface: every counter the
+// serving path touches, as obs instruments registered once at
+// construction. The hot-path contract is inherited from internal/obs —
+// recording is atomics on preallocated state, 0 allocs/op — so the gate's
+// reject paths stay as cheap instrumented as they were bare (pinned by
+// the alloc tests in alloc_test.go).
+//
+// Reject causes are deliberately distinct series of one family
+// (attestd_rejects_total{cause=...}): the paper's asymmetry argument is
+// per-cause — a malformed frame must die at the parser, an unsolicited
+// response at the pending-map miss — and conflated counters cannot show
+// where a flood is actually dying.
+type serverMetrics struct {
+	connsAccepted *obs.Counter
+
+	// Connection rejections by cause (attestd_conns_rejected_total).
+	connRejIO        *obs.Counter // first frame never arrived / read error
+	connRejHello     *obs.Counter // hello failed to parse
+	connRejPolicy    *obs.Counter // hello declared a mismatched freshness/auth policy
+	connRejCap       *obs.Counter // accept-side MaxConns refusal
+	connRejDeviceNew *obs.Counter // per-device verifier construction failed
+
+	framesIn *obs.Counter
+
+	// Per-frame rejects by cause (attestd_rejects_total).
+	rejRateLimited    *obs.Counter // over the per-connection token budget
+	rejUnknown        *obs.Counter // no recognised frame kind
+	rejMalformedResp  *obs.Counter // classified as a response, failed strict decode
+	rejBadMeasurement *obs.Counter // decoded fine, measurement/tag mismatch
+	rejUnsolicited    *obs.Counter // response answering no outstanding nonce
+	rejMalformedStats *obs.Counter // classified as stats, failed strict decode
+	rejCommand        *obs.Counter // service-command response rejected
+
+	requestsIssued    *obs.Counter
+	inflightThrottled *obs.Counter
+	requestsAbandoned *obs.Counter
+	responsesAccepted *obs.Counter
+
+	floodInjected *obs.Counter
+	statsReports  *obs.Counter
+	statsEpochs   *obs.Counter // device counter-reset (reboot) detections
+
+	// gateLat times frames that die at the serving gate; attestLat times
+	// accepted attestation rounds issue-to-accept. The mass separation
+	// between the two histograms is the paper's asymmetry, live.
+	gateLat   *obs.Histogram
+	attestLat *obs.Histogram
+
+	transport *transport.Metrics
+}
+
+const rejectsHelp = "Frames rejected by the daemon's serving gate, by cause."
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	const connRejHelp = "Connections refused before any device state existed, by cause."
+	return &serverMetrics{
+		connsAccepted: reg.Counter("attestd_conns_accepted_total", "Connections whose hello matched the provisioned policy."),
+
+		connRejIO:        reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "io")),
+		connRejHello:     reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "hello_malformed")),
+		connRejPolicy:    reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "policy_mismatch")),
+		connRejCap:       reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "conn_cap")),
+		connRejDeviceNew: reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "device_init")),
+
+		framesIn: reg.Counter("attestd_frames_total", "Frames read off sockets after the hello."),
+
+		rejRateLimited:    reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "rate_limited")),
+		rejUnknown:        reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "unknown_kind")),
+		rejMalformedResp:  reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "malformed_response")),
+		rejBadMeasurement: reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "bad_measurement")),
+		rejUnsolicited:    reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "unsolicited")),
+		rejMalformedStats: reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "malformed_stats")),
+		rejCommand:        reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "command_rejected")),
+
+		requestsIssued:    reg.Counter("attestd_requests_issued_total", "Honest attestation requests sent."),
+		inflightThrottled: reg.Counter("attestd_inflight_throttled_total", "Issue ticks skipped at the global inflight cap."),
+		requestsAbandoned: reg.Counter("attestd_requests_abandoned_total", "Requests retired by timeout."),
+		responsesAccepted: reg.Counter("attestd_responses_accepted_total", "Responses whose measurement matched the golden image."),
+
+		floodInjected: reg.Counter("attestd_flood_injected_total", "Adversarial frames sent in impersonator mode."),
+		statsReports:  reg.Counter("attestd_stats_reports_total", "Agent gate-counter heartbeats received."),
+		statsEpochs:   reg.Counter("attestd_stats_epochs_total", "Agent counter resets (reboots) detected and folded into the fleet high-water base."),
+
+		gateLat:   reg.Histogram("attestd_gate_seconds", "Service time of frames that died at the serving gate.", nil),
+		attestLat: reg.Histogram("attestd_attest_seconds", "Issue-to-accept round-trip of honest attestation requests.", nil),
+
+		transport: transport.NewMetrics(reg),
+	}
+}
+
+// registerGauges exposes the daemon state that already has an owner —
+// inflight slots, device map sizes, fleet-aggregated agent counters — as
+// exposition-time gauge funcs, so the hot path never mirrors them.
+//
+// The attestd_fleet_* series re-export the agents' own gate counters
+// (aggregated by AgentStats, monotonic across device reboots). They are
+// labelled by rejection cause where the prover's gate distinguishes one:
+// that is the prover-side half of the asymmetry read-out.
+func (s *Server) registerGauges(reg *obs.Registry) {
+	reg.GaugeFunc("attestd_inflight", "Outstanding attestation requests.",
+		func() float64 { return float64(s.Inflight()) })
+	reg.GaugeFunc("attestd_devices", "Provers that have ever connected.",
+		func() float64 { return float64(s.Devices()) })
+	reg.GaugeFunc("attestd_open_conns", "Currently open connections.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		})
+
+	const fleetRejHelp = "Fleet-aggregated frames rejected at the provers' anchor gate, by cause (monotonic across reboots)."
+	fleet := func(name, help string, pick func(*protocol.StatsReport) uint64, labels ...obs.Label) {
+		reg.GaugeFunc(name, help, func() float64 {
+			st := s.AgentStats()
+			return float64(pick(&st))
+		}, labels...)
+	}
+	fleet("attestd_fleet_received", "Fleet-aggregated request frames submitted to prover gates.",
+		func(st *protocol.StatsReport) uint64 { return st.Received })
+	fleet("attestd_fleet_measurements", "Fleet-aggregated full memory measurements (the expensive MAC work).",
+		func(st *protocol.StatsReport) uint64 { return st.Measurements })
+	fleet("attestd_fleet_gate_rejected", fleetRejHelp,
+		func(st *protocol.StatsReport) uint64 { return st.AuthRejected }, obs.L("cause", "auth"))
+	fleet("attestd_fleet_gate_rejected", fleetRejHelp,
+		func(st *protocol.StatsReport) uint64 { return st.FreshnessRejected }, obs.L("cause", "freshness"))
+	fleet("attestd_fleet_gate_rejected", fleetRejHelp,
+		func(st *protocol.StatsReport) uint64 { return st.Malformed }, obs.L("cause", "malformed"))
+	fleet("attestd_fleet_faults", "Fleet-aggregated bus faults inside the anchor.",
+		func(st *protocol.StatsReport) uint64 { return st.Faults })
+	fleet("attestd_fleet_commands_executed", "Fleet-aggregated service commands that passed the gate and ran.",
+		func(st *protocol.StatsReport) uint64 { return st.CommandsExecuted })
+	fleet("attestd_fleet_active_cycles", "Fleet-aggregated MCU cycles spent (energy basis).",
+		func(st *protocol.StatsReport) uint64 { return st.ActiveCycles })
+	fleet("attestd_fleet_frames_in", "Fleet-aggregated frames the agents pulled off their sockets.",
+		func(st *protocol.StatsReport) uint64 { return st.FramesIn })
+}

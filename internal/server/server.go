@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"proverattest/internal/crypto/ecc"
+	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
 	"proverattest/internal/transport"
 )
@@ -123,55 +124,86 @@ type Config struct {
 	// Flood, when non-nil, selects impersonator mode instead of the honest
 	// issue schedule.
 	Flood *FloodConfig
+
+	// Metrics is the registry the daemon registers its series on (see
+	// internal/obs); nil gives the daemon a private registry. Recording is
+	// always on — it is atomics-only and allocation-free, so there is
+	// nothing to turn off — the registry only decides where a scrape
+	// endpoint (attestd -metrics) can read the series from.
+	Metrics *obs.Registry
 }
 
 // Counters is a snapshot of the daemon's observable state, the
 // verifier-side half of the experiment read-out. The prover-side half
 // (rejected-at-gate by cause, MAC work) is aggregated from agent stats
-// frames; see Server.AgentStats.
+// frames; see Server.AgentStats. The same values — plus latency
+// histograms — are exported as Prometheus series through the obs registry
+// (see Config.Metrics and Server.Metrics).
+//
+// Every reject cause is a distinct counter: malformed frames, unknown
+// frame kinds, unsolicited responses and rate-limited frames each die at
+// a different stage of the gate, and the asymmetry argument is per-stage.
+// The historical roll-ups (ConnsRejected, ResponsesRejected) remain as
+// sums of their causes.
 type Counters struct {
 	ConnsAccepted uint64 // hellos accepted
-	ConnsRejected uint64 // connection-cap refusals and bad/mismatched hellos
+	ConnsRejected uint64 // sum of all connection-refusal causes below
+
+	HellosMalformed uint64 // first frame unreadable or not a parseable hello
+	PolicyMismatch  uint64 // hello declared the wrong freshness/auth policy
+	ConnsOverCap    uint64 // accept-side MaxConns refusals
 
 	FramesIn      uint64 // frames read off sockets (post-hello)
 	RateLimited   uint64 // frames dropped by the per-connection budget
 	UnknownFrames uint64 // frames of no recognised kind
+
+	MalformedFrames uint64 // classified frames failing strict decode (responses + stats)
 
 	RequestsIssued    uint64 // honest attestation requests sent
 	InflightThrottled uint64 // issue ticks skipped at the global cap
 	RequestsAbandoned uint64 // requests retired by timeout
 
 	ResponsesAccepted    uint64 // measurements matching the golden image
-	ResponsesRejected    uint64 // malformed frames or mismatched measurements
+	ResponsesRejected    uint64 // malformed + mismatched + rejected command responses
+	ResponsesMalformed   uint64 // responses failing strict decode
+	ResponsesMismatched  uint64 // well-formed responses with a wrong measurement
 	ResponsesUnsolicited uint64 // responses to no outstanding nonce
 
 	FloodInjected uint64 // adversarial frames sent (flood mode)
 	StatsReports  uint64 // agent stats frames received
+	StatsEpochs   uint64 // agent counter resets (reboots) detected
 }
 
-type counters struct {
-	connsAccepted, connsRejected                               atomic.Uint64
-	framesIn, rateLimited, unknownFrames                       atomic.Uint64
-	requestsIssued, inflightThrottled, requestsAbandoned       atomic.Uint64
-	responsesAccepted, responsesRejected, responsesUnsolicited atomic.Uint64
-	floodInjected, statsReports                                atomic.Uint64
-}
-
-func (c *counters) snapshot() Counters {
+func (m *serverMetrics) snapshot() Counters {
+	helloBad := m.connRejIO.Load() + m.connRejHello.Load()
+	respMalformed := m.rejMalformedResp.Load()
+	statsMalformed := m.rejMalformedStats.Load()
+	mismatched := m.rejBadMeasurement.Load()
 	return Counters{
-		ConnsAccepted:        c.connsAccepted.Load(),
-		ConnsRejected:        c.connsRejected.Load(),
-		FramesIn:             c.framesIn.Load(),
-		RateLimited:          c.rateLimited.Load(),
-		UnknownFrames:        c.unknownFrames.Load(),
-		RequestsIssued:       c.requestsIssued.Load(),
-		InflightThrottled:    c.inflightThrottled.Load(),
-		RequestsAbandoned:    c.requestsAbandoned.Load(),
-		ResponsesAccepted:    c.responsesAccepted.Load(),
-		ResponsesRejected:    c.responsesRejected.Load(),
-		ResponsesUnsolicited: c.responsesUnsolicited.Load(),
-		FloodInjected:        c.floodInjected.Load(),
-		StatsReports:         c.statsReports.Load(),
+		ConnsAccepted:   m.connsAccepted.Load(),
+		ConnsRejected:   helloBad + m.connRejPolicy.Load() + m.connRejCap.Load() + m.connRejDeviceNew.Load(),
+		HellosMalformed: helloBad,
+		PolicyMismatch:  m.connRejPolicy.Load(),
+		ConnsOverCap:    m.connRejCap.Load(),
+
+		FramesIn:        m.framesIn.Load(),
+		RateLimited:     m.rejRateLimited.Load(),
+		UnknownFrames:   m.rejUnknown.Load(),
+		MalformedFrames: respMalformed + statsMalformed,
+
+		RequestsIssued:    m.requestsIssued.Load(),
+		InflightThrottled: m.inflightThrottled.Load(),
+		RequestsAbandoned: m.requestsAbandoned.Load(),
+
+		ResponsesAccepted:    m.responsesAccepted.Load(),
+		ResponsesRejected:    respMalformed + mismatched + m.rejCommand.Load(),
+		ResponsesMalformed:   respMalformed,
+		ResponsesMismatched:  mismatched,
+		ResponsesUnsolicited: m.rejUnsolicited.Load(),
+
+		FloodInjected: m.floodInjected.Load(),
+		StatsReports:  m.statsReports.Load(),
+		StatsEpochs:   m.statsEpochs.Load(),
 	}
 }
 
@@ -194,9 +226,22 @@ type deviceState struct {
 	id string
 	sh *shard
 
-	v         *protocol.Verifier
-	lastReq   atomic.Pointer[[]byte]               // last honest request frame (replay source; stored slice is never mutated)
-	lastStats atomic.Pointer[protocol.StatsReport] // latest agent-reported gate counters
+	v       *protocol.Verifier
+	lastReq atomic.Pointer[[]byte] // last honest request frame (replay source; stored slice is never mutated)
+
+	// lastStats is the latest agent-reported gate-counter snapshot;
+	// statsBase accumulates the final snapshot of every *previous* counter
+	// epoch (a reboot resets the agent's counters to zero, which onStats
+	// detects as a regression and folds into the base). Exported fleet
+	// aggregates are base + latest, which is monotonic across reboots.
+	// statsBase and statsEpochs are guarded by the shard mutex.
+	lastStats   atomic.Pointer[protocol.StatsReport]
+	statsBase   protocol.StatsReport
+	statsEpochs uint64
+
+	// issuedAtNs is the wall-clock ns timestamp of the most recent honest
+	// request issue, the start mark for the attest-latency histogram.
+	issuedAtNs atomic.Int64
 }
 
 func (d *deviceState) withLock(fn func()) {
@@ -211,7 +256,8 @@ type Server struct {
 	shards []*shard
 
 	inflight atomic.Int64
-	c        counters
+	reg      *obs.Registry
+	m        *serverMetrics
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -264,44 +310,85 @@ func New(cfg Config) (*Server, error) {
 			cfg.PerConnBurst = int(cfg.PerConnRatePerSec)
 		}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	s := &Server{
 		cfg:    cfg,
 		shards: make([]*shard, cfg.Shards),
 		conns:  make(map[net.Conn]struct{}),
+		reg:    reg,
+		m:      newServerMetrics(reg),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{devices: make(map[string]*deviceState)}
 	}
+	s.registerGauges(reg)
 	return s, nil
 }
 
 // Counters snapshots the daemon's counters.
-func (s *Server) Counters() Counters { return s.c.snapshot() }
+func (s *Server) Counters() Counters { return s.m.snapshot() }
 
-// AgentStats sums the latest gate-counter report of every known device:
-// the fleet-wide requests-seen / rejected-at-gate (by cause) / MAC-work
+// Metrics is the registry holding the daemon's series (the one passed in
+// Config.Metrics, or the private one built in its absence) — the handle
+// an exposition endpoint (obs.Handler) serves from.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// AgentStats aggregates every known device's gate counters: the
+// fleet-wide requests-seen / rejected-at-gate (by cause) / MAC-work
 // totals the experiments read out.
+//
+// The aggregate is monotonic: each device contributes its high-water base
+// (the sum of every completed counter epoch — see onStats' reboot
+// detection) plus its latest report. A device that reboots and reconnects
+// with counters reset to zero therefore never drags a fleet total
+// backwards; the pre-reboot work stays counted in the base.
 func (s *Server) AgentStats() protocol.StatsReport {
 	var sum protocol.StatsReport
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for _, d := range sh.devices {
+			addStats(&sum, &d.statsBase)
 			if st := d.lastStats.Load(); st != nil {
-				sum.Received += st.Received
-				sum.Malformed += st.Malformed
-				sum.AuthRejected += st.AuthRejected
-				sum.FreshnessRejected += st.FreshnessRejected
-				sum.Faults += st.Faults
-				sum.Measurements += st.Measurements
-				sum.Commands += st.Commands
-				sum.CommandsExecuted += st.CommandsExecuted
-				sum.ActiveCycles += st.ActiveCycles
-				sum.FramesIn += st.FramesIn
+				addStats(&sum, st)
 			}
 		}
 		sh.mu.Unlock()
 	}
 	return sum
+}
+
+// addStats accumulates src into dst field-by-field.
+func addStats(dst, src *protocol.StatsReport) {
+	dst.Received += src.Received
+	dst.Malformed += src.Malformed
+	dst.AuthRejected += src.AuthRejected
+	dst.FreshnessRejected += src.FreshnessRejected
+	dst.Faults += src.Faults
+	dst.Measurements += src.Measurements
+	dst.Commands += src.Commands
+	dst.CommandsExecuted += src.CommandsExecuted
+	dst.ActiveCycles += src.ActiveCycles
+	dst.FramesIn += src.FramesIn
+}
+
+// statsRegressed reports whether any counter in cur is lower than in
+// prev. Agent counters are cumulative since boot and stats frames arrive
+// in order on one TCP stream, so a regression means the device rebooted
+// (or was rebuilt) and restarted its counters from zero.
+func statsRegressed(cur, prev *protocol.StatsReport) bool {
+	return cur.Received < prev.Received ||
+		cur.Malformed < prev.Malformed ||
+		cur.AuthRejected < prev.AuthRejected ||
+		cur.FreshnessRejected < prev.FreshnessRejected ||
+		cur.Faults < prev.Faults ||
+		cur.Measurements < prev.Measurements ||
+		cur.Commands < prev.Commands ||
+		cur.CommandsExecuted < prev.CommandsExecuted ||
+		cur.ActiveCycles < prev.ActiveCycles ||
+		cur.FramesIn < prev.FramesIn
 }
 
 // Devices reports how many provers have ever connected.
@@ -402,7 +489,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.closed || len(s.conns) >= s.cfg.MaxConns {
 			s.mu.Unlock()
-			s.c.connsRejected.Add(1)
+			s.m.connRejCap.Inc()
 			nc.Close()
 			continue
 		}
@@ -478,25 +565,32 @@ func (s *Server) handleConnInner(nc net.Conn) {
 		MaxFrame:     s.cfg.MaxFrame,
 		ReadTimeout:  s.cfg.ReadTimeout,
 		WriteTimeout: s.cfg.WriteTimeout,
+		Metrics:      s.m.transport,
 	})
 
-	// The first frame must be a policy-matching hello.
+	// The first frame must be a policy-matching hello. Each refusal cause
+	// is its own series: a scrape can tell a misprovisioned fleet (policy
+	// mismatches) from a port scanner (malformed hellos).
 	frame, err := tc.Recv()
 	if err != nil {
-		s.c.connsRejected.Add(1)
+		s.m.connRejIO.Inc()
 		return
 	}
 	hello, err := protocol.DecodeHello(frame)
-	if err != nil || hello.Freshness != s.cfg.Freshness || hello.Auth != s.cfg.Auth {
-		s.c.connsRejected.Add(1)
+	if err != nil {
+		s.m.connRejHello.Inc()
+		return
+	}
+	if hello.Freshness != s.cfg.Freshness || hello.Auth != s.cfg.Auth {
+		s.m.connRejPolicy.Inc()
 		return
 	}
 	dev, err := s.device(hello.DeviceID)
 	if err != nil {
-		s.c.connsRejected.Add(1)
+		s.m.connRejDeviceNew.Inc()
 		return
 	}
-	s.c.connsAccepted.Add(1)
+	s.m.connsAccepted.Inc()
 
 	stop := make(chan struct{})
 	defer close(stop)
@@ -525,33 +619,39 @@ func (s *Server) handleConnInner(nc net.Conn) {
 // handleFrame is the per-frame serving path: rate gate, classify,
 // dispatch. It must stay allocation-free for frames that die at the gate
 // (rate-limited, unknown, unsolicited) — a hostile peer chooses how often
-// those branches run. frame is only valid for the duration of the call.
+// those branches run, and both the counters and the gate-latency
+// histogram record with atomics only. frame is only valid for the
+// duration of the call.
 func (s *Server) handleFrame(dev *deviceState, bucket *tokenBucket, frame []byte) {
-	s.c.framesIn.Add(1)
+	t0 := time.Now()
+	s.m.framesIn.Inc()
 	if bucket != nil && !bucket.allow() {
-		s.c.rateLimited.Add(1)
+		s.m.rejRateLimited.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
 		return
 	}
 	switch protocol.ClassifyFrame(frame) {
 	case protocol.FrameAttResp:
-		s.onAttResp(dev, frame)
+		s.onAttResp(dev, frame, t0)
 	case protocol.FrameCommandResp:
-		s.onCommandResp(dev, frame)
+		s.onCommandResp(dev, frame, t0)
 	case protocol.FrameStats:
-		s.onStats(dev, frame)
+		s.onStats(dev, frame, t0)
 	default:
-		s.c.unknownFrames.Add(1)
+		s.m.rejUnknown.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
 	}
 }
 
-func (s *Server) onAttResp(dev *deviceState, frame []byte) {
+func (s *Server) onAttResp(dev *deviceState, frame []byte, t0 time.Time) {
 	// Decode outside the shard lock (into a stack value, no allocation);
 	// the lock then covers only the pending-map lookup, the memoized
 	// measurement compare and the retire. No closure: this path runs once
 	// per inbound response frame, hostile or not.
 	var resp protocol.AttResp
 	if err := protocol.DecodeAttRespInto(frame, &resp); err != nil {
-		s.c.responsesRejected.Add(1)
+		s.m.rejMalformedResp.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
 		return
 	}
 	mu := &dev.sh.mu
@@ -562,16 +662,21 @@ func (s *Server) onAttResp(dev *deviceState, frame []byte) {
 	mu.Unlock()
 	switch {
 	case ok:
-		s.c.responsesAccepted.Add(1)
+		s.m.responsesAccepted.Inc()
+		if issued := dev.issuedAtNs.Load(); issued > 0 {
+			s.m.attestLat.Observe(time.Duration(time.Now().UnixNano() - issued))
+		}
 		s.releaseInflight()
 	case unsol:
-		s.c.responsesUnsolicited.Add(1)
+		s.m.rejUnsolicited.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
 	default:
-		s.c.responsesRejected.Add(1)
+		s.m.rejBadMeasurement.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
 	}
 }
 
-func (s *Server) onCommandResp(dev *deviceState, frame []byte) {
+func (s *Server) onCommandResp(dev *deviceState, frame []byte, t0 time.Time) {
 	var (
 		err   error
 		unsol bool
@@ -583,23 +688,45 @@ func (s *Server) onCommandResp(dev *deviceState, frame []byte) {
 	})
 	switch {
 	case err == nil:
-		s.c.responsesAccepted.Add(1)
+		s.m.responsesAccepted.Inc()
 		s.releaseInflight()
 	case unsol:
-		s.c.responsesUnsolicited.Add(1)
+		s.m.rejUnsolicited.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
 	default:
-		s.c.responsesRejected.Add(1)
+		s.m.rejCommand.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
 	}
 }
 
-func (s *Server) onStats(dev *deviceState, frame []byte) {
-	st, err := protocol.DecodeStatsReport(frame)
-	if err != nil {
-		s.c.unknownFrames.Add(1)
+func (s *Server) onStats(dev *deviceState, frame []byte, t0 time.Time) {
+	// Decode into a stack value first: the retained snapshot below forces
+	// its pointee to the heap, and paying that allocation before validation
+	// would hand hostile malformed-stats floods a per-frame allocation.
+	var tmp protocol.StatsReport
+	if err := protocol.DecodeStatsReportInto(frame, &tmp); err != nil {
+		// A frame that classified as stats but fails strict decode is a
+		// malformed frame, not an unknown kind — distinct cause, distinct
+		// series.
+		s.m.rejMalformedStats.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
 		return
 	}
-	s.c.statsReports.Add(1)
+	st := new(protocol.StatsReport)
+	*st = tmp
+	s.m.statsReports.Inc()
+	sh := dev.sh
+	sh.mu.Lock()
+	if prev := dev.lastStats.Load(); prev != nil && statsRegressed(st, prev) {
+		// The device's cumulative counters went backwards: it rebooted and
+		// restarted from zero. Fold the dying epoch's final snapshot into
+		// the high-water base so fleet aggregates stay monotonic.
+		addStats(&dev.statsBase, prev)
+		dev.statsEpochs++
+		s.m.statsEpochs.Inc()
+	}
 	dev.lastStats.Store(st)
+	sh.mu.Unlock()
 }
 
 func (s *Server) acquireInflight() bool {
@@ -616,7 +743,7 @@ func (s *Server) releaseInflight() { s.inflight.Add(-1) }
 // abandon-on-timeout. It reports false when the connection is dead.
 func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
 	if !s.acquireInflight() {
-		s.c.inflightThrottled.Add(1)
+		s.m.inflightThrottled.Inc()
 		return true // cap pressure is not a connection failure
 	}
 	var (
@@ -648,12 +775,13 @@ func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
 		s.releaseInflight()
 		return false
 	}
-	s.c.requestsIssued.Add(1)
+	s.m.requestsIssued.Inc()
+	dev.issuedAtNs.Store(time.Now().UnixNano())
 	time.AfterFunc(s.cfg.RequestTimeout, func() {
 		var abandoned bool
 		dev.withLock(func() { abandoned = dev.v.Abandon(nonce) })
 		if abandoned {
-			s.c.requestsAbandoned.Add(1)
+			s.m.requestsAbandoned.Inc()
 			s.releaseInflight()
 		}
 	})
@@ -705,7 +833,7 @@ func (s *Server) floodLoop(dev *deviceState, tc *transport.Conn, stop <-chan str
 		if err := tc.Send(frame); err != nil {
 			return
 		}
-		s.c.floodInjected.Add(1)
+		s.m.floodInjected.Inc()
 		if interval > 0 {
 			select {
 			case <-stop:
@@ -810,8 +938,10 @@ func (b *tokenBucket) allow() bool {
 // String summarises the counters for log lines.
 func (c Counters) String() string {
 	return fmt.Sprintf(
-		"conns=%d/%d frames=%d ratelimited=%d issued=%d accepted=%d rejected=%d unsolicited=%d abandoned=%d flood=%d stats=%d",
+		"conns=%d/%d frames=%d ratelimited=%d issued=%d accepted=%d rejected=%d (malformed=%d mismatched=%d) unsolicited=%d abandoned=%d flood=%d stats=%d epochs=%d",
 		c.ConnsAccepted, c.ConnsRejected, c.FramesIn, c.RateLimited,
 		c.RequestsIssued, c.ResponsesAccepted, c.ResponsesRejected,
-		c.ResponsesUnsolicited, c.RequestsAbandoned, c.FloodInjected, c.StatsReports)
+		c.ResponsesMalformed, c.ResponsesMismatched,
+		c.ResponsesUnsolicited, c.RequestsAbandoned, c.FloodInjected,
+		c.StatsReports, c.StatsEpochs)
 }

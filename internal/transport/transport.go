@@ -154,6 +154,11 @@ type Options struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds one Send call (0 = no deadline).
 	WriteTimeout time.Duration
+	// Metrics, when non-nil, receives per-frame byte and error accounting
+	// (see NewMetrics). Recording is atomics-only, preserving the codec's
+	// zero-allocation contract; the standalone ReadFrame/WriteFrame
+	// helpers never record.
+	Metrics *Metrics
 }
 
 // Conn frames payloads over a net.Conn. Send and Recv are each safe for
@@ -193,6 +198,12 @@ func Pipe(opt Options) (*Conn, *Conn) {
 // call, so frame-per-segment behaviour is unchanged) and payload is never
 // retained — the caller may reuse it immediately.
 func (c *Conn) Send(payload []byte) error {
+	err := c.send(payload)
+	c.opt.Metrics.sendDone(len(payload), err)
+	return err
+}
+
+func (c *Conn) send(payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.opt.WriteTimeout > 0 {
@@ -244,7 +255,9 @@ func (c *Conn) recvLocked(scratch []byte) ([]byte, error) {
 			return nil, err
 		}
 	}
-	return ReadFrameInto(c.br, scratch, c.opt.MaxFrame)
+	frame, err := ReadFrameInto(c.br, scratch, c.opt.MaxFrame)
+	c.opt.Metrics.recvDone(frame, err)
+	return frame, err
 }
 
 // Close closes the underlying connection, unblocking any pending Send or
