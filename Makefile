@@ -4,6 +4,7 @@ GO ?= go
 
 .PHONY: all build vet test race bench bench-compile repro fuzz fuzz-smoke examples clean
 .PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server metrics-smoke
+.PHONY: cover chaos-smoke
 
 all: build vet test
 
@@ -20,7 +21,8 @@ test:
 # networked transport/daemon/agent stack.
 race:
 	$(GO) test -race ./internal/runner/... ./internal/core/... \
-		./internal/transport/... ./internal/server/... ./internal/agent/...
+		./internal/transport/... ./internal/server/... ./internal/agent/... \
+		./internal/faultnet/...
 
 # One benchmark per paper table/figure plus the ablations.
 bench:
@@ -47,6 +49,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeHello -fuzztime=10s ./internal/protocol/
 	$(GO) test -fuzz=FuzzDecodeStatsReport -fuzztime=10s ./internal/protocol/
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
+	$(GO) test -fuzz=FuzzParseSchedule -fuzztime=10s ./internal/faultnet/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/isa/
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s ./internal/isa/
 
@@ -64,6 +67,32 @@ attest-agent:
 
 attest-loadgen:
 	$(GO) build -o bin/attest-loadgen ./cmd/attest-loadgen
+
+# Coverage gate for the networked stack. Floors sit a few points below
+# current coverage (transport ~90%, agent ~91%, server ~85%) so
+# timing-dependent branches don't flake the gate while a real regression
+# still fails it.
+cover:
+	@mkdir -p bin
+	@set -e; \
+	check() { \
+		pkg=$$1; floor=$$2; name=$$(basename $$pkg); \
+		$(GO) test -count=1 -coverprofile=bin/cover-$$name.out ./$$pkg/ >/dev/null; \
+		pct=$$($(GO) tool cover -func=bin/cover-$$name.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		echo "$$pkg coverage: $$pct% (floor $$floor%)"; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit (p + 0 < f + 0) ? 1 : 0 }' \
+			|| { echo "FAIL: $$pkg coverage $$pct% is below the $$floor% floor"; exit 1; }; \
+	}; \
+	check internal/transport 85; \
+	check internal/agent 85; \
+	check internal/server 78
+
+# Chaos acceptance check: a seeded fleet over faultnet chaos (flapping
+# links, dropped frames), then the faults stop and every agent must
+# recover — fresh MAC work on all devices, monotone fleet aggregates,
+# zero phantom reboots, graceful drain, no leaked goroutines.
+chaos-smoke:
+	$(GO) test -run TestChaosSmoke -count=1 -v ./internal/server/
 
 # Observability acceptance check: an in-process attestd serving a real
 # agent over TCP, scraped over HTTP, with every documented series present

@@ -9,6 +9,12 @@
 //
 // The -id, -freshness, -auth and -master flags must match the daemon's
 // provisioning; the daemon refuses mismatched hellos.
+//
+// With -reconnect the agent runs supervised: a dropped or refused
+// connection is retried with capped exponential backoff (tunable via
+// -backoff-base/-backoff-max), and the device state — gate counters,
+// freshness counter, derived keys — persists across sessions so the
+// daemon sees one continuous device, not a reboot.
 package main
 
 import (
@@ -38,6 +44,10 @@ func main() {
 		master    = flag.String("master", "proverattest-fleet-master", "master secret for key derivation (must match the daemon)")
 		services  = flag.Bool("services", false, "install the secure-update/erase/clock-sync services behind the gate")
 		statsMs   = flag.Duration("stats-every", 250*time.Millisecond, "gate-counter heartbeat period")
+
+		reconnect   = flag.Bool("reconnect", false, "supervise the session: redial with capped exponential backoff instead of exiting on connection loss")
+		backoffBase = flag.Duration("backoff-base", 100*time.Millisecond, "first reconnect delay (with -reconnect)")
+		backoffMax  = flag.Duration("backoff-max", 30*time.Second, "reconnect delay cap (with -reconnect)")
 
 		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics on this address, e.g. localhost:9151 (empty = off)")
 	)
@@ -86,12 +96,27 @@ func main() {
 		cancel()
 	}()
 
-	nc, err := net.Dial("tcp", *connect)
-	if err != nil {
-		log.Fatalf("attest-agent: %v", err)
+	if *reconnect {
+		log.Printf("attest-agent: %s serving %s supervised (freshness=%v auth=%v backoff=%v..%v)",
+			*deviceID, *connect, fresh, auth, *backoffBase, *backoffMax)
+		dial := func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", *connect)
+		}
+		err = a.Run(ctx, dial, agent.Backoff{
+			Base:   *backoffBase,
+			Max:    *backoffMax,
+			Jitter: 0.2,
+		})
+	} else {
+		var nc net.Conn
+		nc, err = net.Dial("tcp", *connect)
+		if err != nil {
+			log.Fatalf("attest-agent: %v", err)
+		}
+		log.Printf("attest-agent: %s serving %s (freshness=%v auth=%v)", *deviceID, *connect, fresh, auth)
+		err = a.Serve(ctx, nc)
 	}
-	log.Printf("attest-agent: %s serving %s (freshness=%v auth=%v)", *deviceID, *connect, fresh, auth)
-	err = a.Serve(ctx, nc)
 	st := a.Snapshot()
 	log.Printf("attest-agent: %s done: received=%d measured=%d gate-rejected=%d (auth=%d fresh=%d malformed=%d)",
 		*deviceID, st.Received, st.Measurements, st.GateRejected(),

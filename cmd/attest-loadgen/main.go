@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,9 +29,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"proverattest/internal/agent"
 	"proverattest/internal/core"
+	"proverattest/internal/faultnet"
 	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
 	"proverattest/internal/server"
@@ -98,6 +102,27 @@ type benchServer struct {
 	ServerUnknown     uint64 `json:"server_unknown_frames"`
 	ServerRateLimited uint64 `json:"server_rate_limited"`
 	ServerIssued      uint64 `json:"server_requests_issued"`
+
+	// Chaos-mode survival read-out (-chaos): the fleet runs over faultnet
+	// fault injection with supervised reconnect loops, then the faults
+	// stop and every device gets a recovery window. SurvivalRate is the
+	// fraction of devices that completed a fresh authentic round on a
+	// clean link after the chaos phase — the tentpole's 100% target.
+	Chaos             bool    `json:"chaos"`
+	ChaosSchedule     string  `json:"chaos_schedule,omitempty"`
+	ChaosSeed         int64   `json:"chaos_seed,omitempty"`
+	ChaosSessions     int64   `json:"chaos_sessions,omitempty"`
+	ChaosReconnects   int64   `json:"chaos_reconnects,omitempty"`
+	ChaosDialErrors   int64   `json:"chaos_dial_errors,omitempty"`
+	ChaosFaults       uint64  `json:"chaos_faults_injected,omitempty"`
+	ChaosResets       uint64  `json:"chaos_fault_resets,omitempty"`
+	ChaosDrops        uint64  `json:"chaos_fault_drops,omitempty"`
+	ChaosCorruptions  uint64  `json:"chaos_fault_corruptions,omitempty"`
+	ChaosShortWrites  uint64  `json:"chaos_fault_short_writes,omitempty"`
+	ChaosDelays       uint64  `json:"chaos_fault_delays,omitempty"`
+	ChaosRateStalls   uint64  `json:"chaos_fault_rate_stalls,omitempty"`
+	ChaosSurvivors    int     `json:"chaos_survivors,omitempty"`
+	ChaosSurvivalRate float64 `json:"chaos_survival_rate,omitempty"`
 }
 
 // device is one loadgen connection: an authentic responder plus an
@@ -113,16 +138,30 @@ type device struct {
 	roundNs     []int64 // authentic round service latencies
 	framesSent  int64
 	roundsServd int64
+
+	// Chaos-mode supervision counters and the cumulative injected-fault
+	// totals of every session's faultnet wrapper.
+	sessions   int64
+	reconnects int64
+	dialErrors int64
+	faults     faultnet.StatsSnapshot
 }
 
 // serveReads answers every attestation request authentically until the
 // connection dies. Runs as the connection's single reader.
-func (d *device) serveReads() {
+func (d *device) serveReads() { d.serveConn(context.Background(), d.tc) }
+
+// serveConn is serveReads over an explicit connection: the chaos
+// supervisor hands each session's connection in and bounds it with ctx.
+func (d *device) serveConn(ctx context.Context, tc *transport.Conn) {
 	var respBuf []byte
 	for {
-		frame, err := d.tc.RecvShared()
+		frame, err := tc.RecvShared()
 		if err != nil {
 			if transport.IsTimeout(err) {
+				if ctx.Err() != nil {
+					return
+				}
 				continue
 			}
 			return
@@ -141,7 +180,7 @@ func (d *device) serveReads() {
 			Measurement: protocol.Measure(d.key[:], req, d.golden),
 		}
 		respBuf = resp.AppendEncode(respBuf[:0])
-		if err := d.tc.Send(respBuf); err != nil {
+		if err := tc.Send(respBuf); err != nil {
 			return
 		}
 		ns := time.Since(t0).Nanoseconds()
@@ -189,6 +228,83 @@ func (d *device) pumpAdversarial(rate float64, deadline time.Time) {
 	}
 }
 
+// runChaos is one device's supervised session loop, the loadgen twin of
+// agent.Agent.Run: dial, wrap the connection in the fault schedule
+// (while chaosOn holds), serve authentically until the session dies,
+// bank the injected-fault counts, back off, reconnect. Each session's
+// fault stream is seeded deterministically from the run seed, the
+// device index and the session ordinal, so a chaos run replays exactly.
+func (d *device) runChaos(ctx context.Context, target string, hello []byte, sched *faultnet.Schedule, seed int64, chaosOn *atomic.Bool, bo agent.Backoff) {
+	bt := agent.NewBackoffTimer(bo)
+	for session := int64(0); ctx.Err() == nil; session++ {
+		var dialer net.Dialer
+		nc, err := dialer.DialContext(ctx, "tcp", target)
+		if err != nil {
+			d.mu.Lock()
+			d.dialErrors++
+			d.mu.Unlock()
+			if !sleepCtx(ctx, bt.Next()) {
+				return
+			}
+			continue
+		}
+		conn := net.Conn(nc)
+		var fc *faultnet.Conn
+		if chaosOn.Load() {
+			fc = faultnet.Wrap(nc, sched, faultnet.Options{Seed: seed + session})
+			conn = fc
+		}
+		tc := transport.NewConn(conn, transport.Options{
+			ReadTimeout:  250 * time.Millisecond,
+			WriteTimeout: 10 * time.Second,
+		})
+		d.mu.Lock()
+		d.tc = tc
+		d.sessions++
+		d.mu.Unlock()
+		started := time.Now()
+		if err := tc.Send(hello); err == nil {
+			d.serveConn(ctx, tc)
+		}
+		tc.Close()
+		if fc != nil {
+			snap := fc.Stats().Snapshot()
+			d.mu.Lock()
+			d.faults.Resets += snap.Resets
+			d.faults.Drops += snap.Drops
+			d.faults.Corruptions += snap.Corruptions
+			d.faults.ShortWrites += snap.ShortWrites
+			d.faults.Delays += snap.Delays
+			d.faults.RateStalls += snap.RateStalls
+			d.mu.Unlock()
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if time.Since(started) >= bt.ResetAfter() {
+			bt.Reset()
+		}
+		d.mu.Lock()
+		d.reconnects++
+		d.mu.Unlock()
+		if !sleepCtx(ctx, bt.Next()) {
+			return
+		}
+	}
+}
+
+// sleepCtx sleeps d or returns false early if ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 // percentile is the nearest-rank q-quantile of an ascending-sorted
 // sample: the smallest element with at least ceil(q·n) values at or below
 // it. (The previous int(q·n) truncation picked the rank *after* the
@@ -233,6 +349,10 @@ func main() {
 		connRate  = flag.Float64("conn-rate", 0, "in-process daemon's per-connection frames/s budget (0 = unlimited)")
 		out       = flag.String("out", "", "also write the JSON summary to this file (BENCH_server.json)")
 		scrapeURL = flag.String("scrape", "", "external daemon's /metrics URL to scrape mid-run, e.g. http://10.0.0.7:9150/metrics (in-process daemons are scraped automatically)")
+
+		chaos         = flag.Bool("chaos", false, "run the fleet over faultnet fault injection with supervised reconnects (disables the adversarial pump); survival stats land in the summary")
+		chaosSchedule = flag.String("chaos-schedule", "flap=500ms:reset;pct=2:drop", "faultnet fault schedule applied to every device connection in -chaos mode")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the deterministic fault and backoff streams (per-device offsets applied); equal seeds replay equal runs")
 	)
 	flag.Parse()
 
@@ -250,6 +370,13 @@ func main() {
 	var srv *server.Server
 	target := *addr
 	if target == "" {
+		// Under chaos, requests lost to injected faults must release their
+		// inflight slots fast, or the ghosts of the chaos phase starve the
+		// recovery phase at the (deliberately small) inflight cap.
+		var reqTimeout time.Duration
+		if *chaos {
+			reqTimeout = 500 * time.Millisecond
+		}
 		srv, err = server.New(server.Config{
 			Freshness:         fresh,
 			Auth:              auth,
@@ -258,6 +385,7 @@ func main() {
 			AttestEvery:       *attEvery,
 			MaxInflight:       4 * *devices,
 			PerConnRatePerSec: *connRate,
+			RequestTimeout:    reqTimeout,
 		})
 		if err != nil {
 			log.Fatalf("attest-loadgen: %v", err)
@@ -287,6 +415,25 @@ func main() {
 		metricsURL = "http://" + mln.Addr().String() + "/metrics"
 	}
 
+	// Chaos mode: every device runs a supervised reconnect loop over a
+	// fault-injecting wrapper instead of a single pristine connection.
+	var (
+		sched       *faultnet.Schedule
+		chaosOn     atomic.Bool
+		chaosCtx    context.Context
+		chaosCancel context.CancelFunc = func() {}
+	)
+	if *chaos {
+		sched, err = faultnet.ParseSchedule(*chaosSchedule)
+		if err != nil {
+			log.Fatalf("attest-loadgen: -chaos-schedule: %v", err)
+		}
+		chaosOn.Store(true)
+		chaosCtx, chaosCancel = context.WithCancel(context.Background())
+		log.Printf("attest-loadgen: chaos schedule %q seed %d", sched.String(), *chaosSeed)
+	}
+	defer chaosCancel()
+
 	devs := make([]*device, *devices)
 	for i := range devs {
 		id := fmt.Sprintf("loadgen-%03d", i)
@@ -299,6 +446,20 @@ func main() {
 			sendNs:  make([]int64, 0, int(*rate*duration.Seconds())+1024),
 			roundNs: make([]int64, 0, 1024),
 		}
+		hello := &protocol.Hello{Freshness: fresh, Auth: auth, DeviceID: id}
+		devs[i] = d
+		if *chaos {
+			// Sessions of device i get fault seeds in their own stride so
+			// no two devices (or sessions) share a fault stream.
+			go d.runChaos(chaosCtx, target, hello.Encode(), sched,
+				*chaosSeed+int64(i)*1_000_003, &chaosOn,
+				agent.Backoff{
+					Base: 50 * time.Millisecond, Max: time.Second,
+					Jitter: 0.2, ResetAfter: 2 * time.Second,
+					Seed: *chaosSeed + int64(i),
+				})
+			continue
+		}
 		nc, err := net.Dial("tcp", target)
 		if err != nil {
 			log.Fatalf("attest-loadgen: dialing %s: %v", target, err)
@@ -307,11 +468,9 @@ func main() {
 			ReadTimeout:  250 * time.Millisecond,
 			WriteTimeout: 10 * time.Second,
 		})
-		hello := &protocol.Hello{Freshness: fresh, Auth: auth, DeviceID: id}
 		if err := d.tc.Send(hello.Encode()); err != nil {
 			log.Fatalf("attest-loadgen: hello: %v", err)
 		}
-		devs[i] = d
 		go d.serveReads()
 	}
 
@@ -348,31 +507,88 @@ func main() {
 			live.run(every, deadline)
 		}()
 	}
-	var wg sync.WaitGroup
-	for _, d := range devs {
-		wg.Add(1)
-		go func(d *device) {
-			defer wg.Done()
-			d.pumpAdversarial(*rate, deadline)
-		}(d)
+	if *chaos {
+		// No adversarial pump in chaos mode: faultnet owns the adversity,
+		// and the pump would race the supervisor's per-session connections.
+		time.Sleep(time.Until(deadline))
+	} else {
+		var wg sync.WaitGroup
+		for _, d := range devs {
+			wg.Add(1)
+			go func(d *device) {
+				defer wg.Done()
+				d.pumpAdversarial(*rate, deadline)
+			}(d)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&msAfter)
 	if live != nil {
 		<-liveDone
 	}
 
+	// Recovery phase (chaos mode): stop injecting faults, tear the
+	// mangled links so every supervisor reconnects over a clean socket,
+	// and give each device a bounded window to complete a fresh authentic
+	// round — the survival criterion.
+	var survivors int
+	if *chaos {
+		chaosOn.Store(false)
+		marks := make([]int64, len(devs))
+		for i, d := range devs {
+			d.mu.Lock()
+			marks[i] = d.roundsServd
+			if d.tc != nil {
+				d.tc.Close()
+			}
+			d.mu.Unlock()
+		}
+		recovery := 5 * *attEvery
+		if recovery < 2*time.Second {
+			recovery = 2 * time.Second
+		}
+		recoveryDeadline := time.Now().Add(recovery)
+		for time.Now().Before(recoveryDeadline) {
+			survivors = 0
+			for i, d := range devs {
+				d.mu.Lock()
+				if d.roundsServd > marks[i] {
+					survivors++
+				}
+				d.mu.Unlock()
+			}
+			if survivors == len(devs) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		chaosCancel()
+	}
+
 	var sendNs, roundNs []int64
 	var framesSent, rounds int64
+	var sessions, reconnects, dialErrors int64
+	var faults faultnet.StatsSnapshot
 	for _, d := range devs {
 		d.mu.Lock()
 		sendNs = append(sendNs, d.sendNs...)
 		roundNs = append(roundNs, d.roundNs...)
 		framesSent += d.framesSent
 		rounds += d.roundsServd
+		sessions += d.sessions
+		reconnects += d.reconnects
+		dialErrors += d.dialErrors
+		faults.Resets += d.faults.Resets
+		faults.Drops += d.faults.Drops
+		faults.Corruptions += d.faults.Corruptions
+		faults.ShortWrites += d.faults.ShortWrites
+		faults.Delays += d.faults.Delays
+		faults.RateStalls += d.faults.RateStalls
+		if d.tc != nil {
+			d.tc.Close()
+		}
 		d.mu.Unlock()
-		d.tc.Close()
 	}
 	sort.Slice(sendNs, func(i, j int) bool { return sendNs[i] < sendNs[j] })
 	sort.Slice(roundNs, func(i, j int) bool { return roundNs[i] < roundNs[j] })
@@ -400,6 +616,23 @@ func main() {
 	}
 	if adv := mean(sendNs); adv > 0 && res.AuthenticRoundNsPerOp > 0 {
 		res.AsymmetryRatio = res.AuthenticRoundNsPerOp / adv
+	}
+	if *chaos {
+		res.Chaos = true
+		res.ChaosSchedule = sched.String()
+		res.ChaosSeed = *chaosSeed
+		res.ChaosSessions = sessions
+		res.ChaosReconnects = reconnects
+		res.ChaosDialErrors = dialErrors
+		res.ChaosFaults = faults.Total()
+		res.ChaosResets = faults.Resets
+		res.ChaosDrops = faults.Drops
+		res.ChaosCorruptions = faults.Corruptions
+		res.ChaosShortWrites = faults.ShortWrites
+		res.ChaosDelays = faults.Delays
+		res.ChaosRateStalls = faults.RateStalls
+		res.ChaosSurvivors = survivors
+		res.ChaosSurvivalRate = float64(survivors) / float64(len(devs))
 	}
 	if live != nil {
 		live.fill(&res)

@@ -202,4 +202,18 @@ func main() {
 		log.Fatalf("netflood: %v", err)
 	}
 	fmt.Println(string(summary))
+
+	// Graceful teardown: drain the daemon — stop accepting and issuing,
+	// wait for outstanding verdicts — rather than cutting sockets. This is
+	// the same path a production attestd takes on SIGTERM, and it must
+	// leave zero inflight behind.
+	cancel()
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatalf("netflood: drain: %v", err)
+	}
+	if n := srv.Inflight(); n != 0 {
+		log.Fatalf("netflood: %d inflight after drain, want 0", n)
+	}
 }

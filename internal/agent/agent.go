@@ -85,6 +85,13 @@ type Agent struct {
 
 	framesIn uint64 // frames pulled off the socket (guarded by procCh)
 
+	// now and sleep are the Run loop's injectable clock, following the
+	// server token bucket's pattern: production uses the wall clock,
+	// backoff tests freeze it. sleep returns false when the context
+	// cancelled the wait.
+	now   func() time.Time
+	sleep func(context.Context, time.Duration) bool
+
 	m *agentMetrics
 }
 
@@ -125,7 +132,7 @@ func New(cfg Config) (*Agent, error) {
 	if err != nil {
 		return nil, fmt.Errorf("agent: %w", err)
 	}
-	a := &Agent{cfg: cfg, dev: dev, procCh: make(chan struct{}, 1)}
+	a := &Agent{cfg: cfg, dev: dev, procCh: make(chan struct{}, 1), now: time.Now, sleep: sleepCtx}
 	a.procCh <- struct{}{}
 	a.m = newAgentMetrics(cfg.Metrics)
 	a.registerGauges(cfg.Metrics)
@@ -227,6 +234,16 @@ func (a *Agent) snapshotLocked() protocol.StatsReport {
 // Serve runs the agent over an established connection until the context is
 // cancelled or the peer closes. The caller dials (net.Dial, net.Pipe, …);
 // Serve sends the hello, then answers requests and heartbeats stats.
+//
+// Exit-error contract (normalised in one place, pinned by serve_test.go):
+//
+//   - nil: the peer closed cleanly at a frame boundary. Raw io.EOF never
+//     escapes — a clean close is not an error, on any path.
+//   - ctx.Err(): our own context ended the session, whatever transport
+//     error the resulting close surfaced first.
+//   - anything else: a transport failure, with the cause preserved for
+//     errors.Is (io.ErrUnexpectedEOF for a torn frame,
+//     transport.ErrFrameTooLarge for a hostile prefix, …).
 func (a *Agent) Serve(ctx context.Context, nc net.Conn) error {
 	err := a.serve(ctx, nc)
 	// Exactly one exit-cause series increments per Serve call: clean peer
@@ -269,7 +286,7 @@ func (a *Agent) serve(ctx context.Context, nc net.Conn) error {
 		DeviceID:  a.cfg.DeviceID,
 	}
 	if err := tc.Send(hello.Encode()); err != nil {
-		return fmt.Errorf("agent: sending hello: %w", err)
+		return a.exitErr(ctx, fmt.Errorf("agent: sending hello: %w", err))
 	}
 
 	var statsBuf []byte // reused stats-frame scratch (Serve is tc's only writer)
@@ -284,9 +301,6 @@ func (a *Agent) serve(ctx context.Context, nc net.Conn) error {
 					return a.exitErr(ctx, err)
 				}
 				continue
-			}
-			if errors.Is(err, io.EOF) {
-				return nil
 			}
 			return a.exitErr(ctx, err)
 		}
@@ -319,11 +333,93 @@ func (a *Agent) sendStats(tc *transport.Conn, scratch []byte) ([]byte, error) {
 	return scratch, err
 }
 
-// exitErr maps connection errors caused by our own context-driven close to
-// the context error, so callers see a clean cancellation.
+// exitErr normalises every Serve exit to the documented contract: our own
+// context-driven close reports the context error; a clean peer close (raw
+// io.EOF at a frame boundary, from any path) reports nil; everything else
+// passes through with its cause intact. A torn frame is io.ErrUnexpectedEOF,
+// which is deliberately not io.EOF — a peer dying mid-frame is a failure,
+// not a clean shutdown.
 func (a *Agent) exitErr(ctx context.Context, err error) error {
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil
+	}
 	return err
+}
+
+// Dialer establishes one connection to the daemon for the supervised Run
+// loop.
+type Dialer func(ctx context.Context) (net.Conn, error)
+
+// Run supervises the agent across connection failures: dial, serve,
+// and — when the link dies for any reason but our own cancellation —
+// back off and reconnect. Each new session re-sends the hello (Serve
+// always does) and the simulated device persists across sessions, so the
+// gate counters keep climbing and the daemon sees one continuous stats
+// epoch: a reconnect is not a reboot, and fleet aggregates stay monotone
+// without invoking the high-water fold.
+//
+// The backoff schedule is capped exponential with deterministic seeded
+// jitter (see Backoff); a session that lives past Backoff.ResetAfter
+// resets the schedule, so a healthy fleet pays Base — not the accumulated
+// cap — for an isolated hiccup. Run returns only when ctx is cancelled
+// (always ctx.Err()); every other failure is retried forever, because a
+// prover's job is to keep serving attestation through adversity.
+func (a *Agent) Run(ctx context.Context, dial Dialer, bo Backoff) error {
+	bt := NewBackoffTimer(bo)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		nc, err := dial(ctx)
+		if err != nil {
+			a.m.dialErrors.Inc()
+			if !a.backoffSleep(ctx, bt) {
+				return ctx.Err()
+			}
+			continue
+		}
+		a.m.sessions.Inc()
+		started := a.now()
+		err = a.Serve(ctx, nc)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = err // Serve already recorded the exit cause on its counters
+		if a.now().Sub(started) >= bt.ResetAfter() {
+			bt.Reset()
+		}
+		a.m.reconnects.Inc()
+		if !a.backoffSleep(ctx, bt) {
+			return ctx.Err()
+		}
+	}
+}
+
+// backoffSleep draws the next delay, exposes it on the backoff gauge for
+// the duration of the wait, and sleeps it (context-aware). Returns false
+// when the context ended the wait.
+func (a *Agent) backoffSleep(ctx context.Context, bt *BackoffTimer) bool {
+	d := bt.Next()
+	a.m.backoffGauge.Set(int64(d))
+	ok := a.sleep(ctx, d)
+	a.m.backoffGauge.Set(0)
+	return ok
+}
+
+// sleepCtx is the production sleep: a timer raced against the context.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-tm.C:
+		return true
+	}
 }

@@ -1,0 +1,104 @@
+package agent
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff configures the supervised Run loop's reconnect schedule:
+// capped exponential backoff with deterministic, seeded jitter. The zero
+// value selects the defaults noted on each field.
+type Backoff struct {
+	// Base is the first retry delay (default 100 ms).
+	Base time.Duration
+	// Max caps every delay — jitter included (default 30 s).
+	Max time.Duration
+	// Multiplier grows the delay per consecutive failure (default 2).
+	Multiplier float64
+	// Jitter spreads each delay by ±Jitter·delay so a fleet knocked off
+	// one daemon does not reconnect in lockstep. 0 (the zero value)
+	// disables jitter; negative values are treated as 0. A typical fleet
+	// setting is 0.2.
+	Jitter float64
+	// ResetAfter declares a session healthy: a connection that lived at
+	// least this long resets the schedule to Base, so one hiccup after an
+	// hour of service does not pay the accumulated penalty of a long-dead
+	// daemon (default 30 s).
+	ResetAfter time.Duration
+	// Seed keys the jitter RNG. Equal seeds yield identical delay
+	// sequences — chaos runs replay exactly.
+	Seed int64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 30 * time.Second
+	}
+	if b.Max < b.Base {
+		b.Max = b.Base
+	}
+	if b.Multiplier <= 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.ResetAfter <= 0 {
+		b.ResetAfter = 30 * time.Second
+	}
+	return b
+}
+
+// BackoffTimer is the running state of one Backoff schedule. It is not
+// safe for concurrent use (each Run loop owns its timer).
+type BackoffTimer struct {
+	cfg Backoff
+	cur time.Duration
+	rng *rand.Rand
+}
+
+// NewBackoffTimer builds a timer at the start of the schedule.
+func NewBackoffTimer(cfg Backoff) *BackoffTimer {
+	cfg = cfg.withDefaults()
+	return &BackoffTimer{
+		cfg: cfg,
+		cur: cfg.Base,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Next returns the delay to sleep before the next attempt and advances
+// the schedule. The returned delay is the current step jittered by
+// ±Jitter, hard-capped at Max and floored at zero.
+func (t *BackoffTimer) Next() time.Duration {
+	d := t.cur
+	if j := t.cfg.Jitter; j > 0 {
+		spread := 1 + j*(2*t.rng.Float64()-1)
+		d = time.Duration(float64(d) * spread)
+	}
+	if d > t.cfg.Max {
+		d = t.cfg.Max
+	}
+	if d < 0 {
+		d = 0
+	}
+	next := time.Duration(float64(t.cur) * t.cfg.Multiplier)
+	if next > t.cfg.Max || next < t.cur {
+		next = t.cfg.Max
+	}
+	t.cur = next
+	return d
+}
+
+// Reset restarts the schedule from Base — called after a session lived
+// past ResetAfter.
+func (t *BackoffTimer) Reset() { t.cur = t.cfg.Base }
+
+// Current exposes the un-jittered next step (tests and gauges).
+func (t *BackoffTimer) Current() time.Duration { return t.cur }
+
+// ResetAfter reports the healthy-session threshold after defaulting.
+func (t *BackoffTimer) ResetAfter() time.Duration { return t.cfg.ResetAfter }

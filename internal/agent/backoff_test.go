@@ -1,0 +1,258 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests pin the supervised Run loop's backoff schedule with the
+// injectable clock: the cap is hard, jitter is deterministic per seed,
+// and a session that lives past ResetAfter restarts the schedule.
+
+func TestBackoffCapIsHard(t *testing.T) {
+	bt := NewBackoffTimer(Backoff{
+		Base:       100 * time.Millisecond,
+		Max:        time.Second,
+		Multiplier: 3,
+		Jitter:     0.9, // jitter may push a step far up; the cap must still hold
+		Seed:       1,
+	})
+	for i := 0; i < 64; i++ {
+		if d := bt.Next(); d < 0 || d > time.Second {
+			t.Fatalf("step %d: delay %v escaped [0, cap]", i, d)
+		}
+	}
+	if cur := bt.Current(); cur != time.Second {
+		t.Fatalf("un-jittered step settled at %v, want the cap", cur)
+	}
+}
+
+func TestBackoffGrowthWithoutJitter(t *testing.T) {
+	bt := NewBackoffTimer(Backoff{
+		Base:       100 * time.Millisecond,
+		Max:        time.Second,
+		Multiplier: 2,
+		Jitter:     0,
+	})
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for i, w := range want {
+		if d := bt.Next(); d != w {
+			t.Fatalf("step %d: %v, want %v", i, d, w)
+		}
+	}
+	bt.Reset()
+	if d := bt.Next(); d != 100*time.Millisecond {
+		t.Fatalf("after Reset: %v, want Base", d)
+	}
+}
+
+func TestBackoffJitterDeterministicPerSeed(t *testing.T) {
+	cfg := Backoff{Base: 100 * time.Millisecond, Max: 30 * time.Second, Jitter: 0.2, Seed: 7}
+	a, b := NewBackoffTimer(cfg), NewBackoffTimer(cfg)
+	var seqA []time.Duration
+	for i := 0; i < 16; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+		seqA = append(seqA, da)
+	}
+	cfg.Seed = 8
+	c := NewBackoffTimer(cfg)
+	same := true
+	for i := 0; i < 16; i++ {
+		if c.Next() != seqA[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+	// Jitter actually spreads: not every step equals its un-jittered value.
+	d := NewBackoffTimer(Backoff{Base: 100 * time.Millisecond, Max: 30 * time.Second, Jitter: 0, Seed: 7})
+	varies := false
+	e := NewBackoffTimer(Backoff{Base: 100 * time.Millisecond, Max: 30 * time.Second, Jitter: 0.2, Seed: 7})
+	for i := 0; i < 16; i++ {
+		if e.Next() != d.Next() {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("jitter=0.2 never moved a delay off the deterministic ladder")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	bt := NewBackoffTimer(Backoff{})
+	if bt.cfg.Base != 100*time.Millisecond || bt.cfg.Max != 30*time.Second ||
+		bt.cfg.Multiplier != 2 || bt.cfg.Jitter != 0 || bt.ResetAfter() != 30*time.Second {
+		t.Fatalf("defaults = %+v", bt.cfg)
+	}
+	if bt := NewBackoffTimer(Backoff{Base: time.Minute, Max: time.Second}); bt.cfg.Max != time.Minute {
+		t.Fatalf("Max below Base not clamped: %+v", bt.cfg)
+	}
+}
+
+// runClock fakes the Run loop's clock: Now is advanced manually (or by
+// recorded sleeps), matching the fakeTime pattern used across the repo.
+type runClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+func newRunClock() *runClock { return &runClock{now: time.Unix(1_700_000_000, 0)} }
+
+func (c *runClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *runClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func (c *runClock) Sleep(ctx context.Context, d time.Duration) bool {
+	if ctx.Err() != nil { // production sleepCtx returns before sleeping
+		return false
+	}
+	c.mu.Lock()
+	c.slept = append(c.slept, d)
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return ctx.Err() == nil
+}
+
+func (c *runClock) sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.slept...)
+}
+
+// deadConn fails every operation instantly; dialing it simulates a
+// session that dies on arrival. advance>0 moves the fake clock before
+// failing, simulating a session that served healthily for that long.
+type deadConn struct {
+	clk     *runClock
+	advance time.Duration
+	once    sync.Once
+}
+
+var errConnDead = errors.New("backoff_test: conn dead")
+
+func (d *deadConn) Write([]byte) (int, error) {
+	d.once.Do(func() {
+		if d.advance > 0 {
+			d.clk.Advance(d.advance)
+		}
+	})
+	return 0, errConnDead
+}
+func (d *deadConn) Read([]byte) (int, error)         { return 0, errConnDead }
+func (d *deadConn) Close() error                     { return nil }
+func (d *deadConn) LocalAddr() net.Addr              { return nil }
+func (d *deadConn) RemoteAddr() net.Addr             { return nil }
+func (d *deadConn) SetDeadline(time.Time) error      { return nil }
+func (d *deadConn) SetReadDeadline(time.Time) error  { return nil }
+func (d *deadConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestRunBackoffSchedule drives Run entirely on the fake clock: failing
+// dials must sleep the exact deterministic schedule, and Run must return
+// ctx.Err() once cancelled.
+func TestRunBackoffSchedule(t *testing.T) {
+	a, _ := metricAgent(t, nil)
+	clk := newRunClock()
+	a.now, a.sleep = clk.Now, clk.Sleep
+
+	ctx, cancel := context.WithCancel(context.Background())
+	dials := 0
+	dial := func(context.Context) (net.Conn, error) {
+		dials++
+		if dials == 5 {
+			cancel()
+		}
+		return nil, errors.New("refused")
+	}
+	err := a.Run(ctx, dial, Backoff{Base: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond}
+	got := clk.sleeps()
+	if len(got) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestRunResetsAfterHealthySession pins the reset-after-healthy-interval
+// rule: two dead-on-arrival sessions climb the schedule, a session that
+// lived past ResetAfter (the conn advances the fake clock before dying)
+// drops it back to Base.
+func TestRunResetsAfterHealthySession(t *testing.T) {
+	a, reg := metricAgent(t, nil)
+	clk := newRunClock()
+	a.now, a.sleep = clk.Now, clk.Sleep
+
+	ctx, cancel := context.WithCancel(context.Background())
+	conns := []*deadConn{
+		{clk: clk},                           // dies instantly -> 100ms
+		{clk: clk},                           // dies instantly -> 200ms
+		{clk: clk, advance: 2 * time.Second}, // healthy past ResetAfter -> reset -> 100ms
+		{clk: clk},                           // dies instantly -> 200ms
+	}
+	dials := 0
+	dial := func(context.Context) (net.Conn, error) {
+		if dials == len(conns) {
+			cancel()
+			return nil, context.Canceled
+		}
+		c := conns[dials]
+		dials++
+		return c, nil
+	}
+	err := a.Run(ctx, dial, Backoff{
+		Base: 100 * time.Millisecond, Max: 10 * time.Second,
+		Multiplier: 2, Jitter: 0, ResetAfter: time.Second,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	got := clk.sleeps()
+	if len(got) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	series := scrapeRegistry(t, reg)
+	if series["agent_sessions_total"] != 4 || series["agent_reconnects_total"] != 4 {
+		t.Fatalf("run series: sessions=%v reconnects=%v, want 4/4",
+			series["agent_sessions_total"], series["agent_reconnects_total"])
+	}
+	if series["agent_backoff_ns"] != 0 {
+		t.Fatalf("backoff gauge stuck at %v after Run", series["agent_backoff_ns"])
+	}
+}

@@ -1,0 +1,87 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"proverattest/internal/transport"
+)
+
+// These tests pin Serve's exit-error contract itself (the shape of the
+// returned error), beyond the per-scenario tests in serve_test.go:
+//
+//   - nil means the peer closed cleanly; raw io.EOF NEVER escapes Serve,
+//     from any path (serve loop, stats heartbeat, hello send).
+//   - ctx.Err() is returned iff our context caused the exit.
+//   - every other failure keeps its transport cause for errors.Is.
+
+// TestServeNeverLeaksRawEOF races a clean peer close against a fast
+// stats heartbeat, over many rounds with varied timing. Whatever
+// interleaving happens — EOF in Recv, EPIPE/RST in the stats Send —
+// the exit must be nil or a non-EOF error, never io.EOF itself, and
+// exactly one exit-cause counter must increment.
+func TestServeNeverLeaksRawEOF(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		a, reg := metricAgent(t, func(c *Config) { c.StatsEvery = time.Millisecond })
+		nc, peer := tcpPair(t)
+		done := serveResult(context.Background(), a, nc)
+
+		tc := transport.NewConn(peer, transport.Options{ReadTimeout: 5 * time.Second})
+		drainHello(t, tc)
+		// Vary the race window so different rounds catch the close in
+		// different states of the heartbeat cycle.
+		time.Sleep(time.Duration(round%5) * time.Millisecond)
+		tc.Close()
+
+		err := waitExit(t, done)
+		if err == io.EOF {
+			t.Fatalf("round %d: Serve leaked raw io.EOF", round)
+		}
+		if err != nil && errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("round %d: Serve leaked a wrapped clean EOF: %v", round, err)
+		}
+		eof, canceled, errored := exitCounts(t, reg)
+		if eof+canceled+errored != 1 {
+			t.Fatalf("round %d: %v exit counts (eof=%v canceled=%v error=%v), want exactly 1",
+				round, eof+canceled+errored, eof, canceled, errored)
+		}
+	}
+}
+
+// eofWriteConn fails the very first write (the hello) with a bare
+// io.EOF, as a socket whose peer vanished pre-handshake can.
+type eofWriteConn struct{ deadConn }
+
+func (*eofWriteConn) Write([]byte) (int, error) { return 0, io.EOF }
+
+// TestServeHelloPathEOFIsCleanExit pins the hello-send path to the same
+// contract as the serve loop: a clean peer EOF maps to a nil exit, not
+// to a raw io.EOF (the bug class this contract exists to kill — one
+// path returning the sentinel bare while the others normalise it).
+func TestServeHelloPathEOFIsCleanExit(t *testing.T) {
+	a, reg := metricAgent(t, nil)
+	if err := a.Serve(context.Background(), &eofWriteConn{}); err != nil {
+		t.Fatalf("hello-path EOF returned %v, want nil (clean close)", err)
+	}
+	eof, canceled, errored := exitCounts(t, reg)
+	if eof != 1 || canceled != 0 || errored != 0 {
+		t.Fatalf("exit counters (eof=%v canceled=%v error=%v), want (1 0 0)", eof, canceled, errored)
+	}
+}
+
+// TestServeHelloPathErrorKeepsCause: a non-EOF hello failure must
+// surface with its cause intact and count as an error exit.
+func TestServeHelloPathErrorKeepsCause(t *testing.T) {
+	a, reg := metricAgent(t, nil)
+	err := a.Serve(context.Background(), &deadConn{})
+	if !errors.Is(err, errConnDead) {
+		t.Fatalf("hello-path failure returned %v, want the transport cause", err)
+	}
+	eof, canceled, errored := exitCounts(t, reg)
+	if errored != 1 || eof != 0 || canceled != 0 {
+		t.Fatalf("exit counters (eof=%v canceled=%v error=%v), want (0 0 1)", eof, canceled, errored)
+	}
+}

@@ -24,6 +24,13 @@ type agentMetrics struct {
 	exitCanceled *obs.Counter // our context was cancelled
 	exitError    *obs.Counter // transport or write failure
 
+	// Supervised Run-loop series: the reconnect/backoff telemetry the
+	// chaos harness reads to prove the prover outlives a flaky link.
+	sessions     *obs.Counter // connections established (hello sent)
+	reconnects   *obs.Counter // sessions that died and were retried
+	dialErrors   *obs.Counter // dial attempts that failed outright
+	backoffGauge *obs.Gauge   // current reconnect delay being slept, ns (0 = not backing off)
+
 	transport *transport.Metrics
 }
 
@@ -37,6 +44,11 @@ func newAgentMetrics(reg *obs.Registry) *agentMetrics {
 		exitEOF:      reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "eof")),
 		exitCanceled: reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "canceled")),
 		exitError:    reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "error")),
+
+		sessions:     reg.Counter("agent_sessions_total", "Connections established by the supervised Run loop (hello sent)."),
+		reconnects:   reg.Counter("agent_reconnects_total", "Sessions that died and were scheduled for reconnect."),
+		dialErrors:   reg.Counter("agent_dial_errors_total", "Dial attempts that failed before a connection existed."),
+		backoffGauge: reg.Gauge("agent_backoff_ns", "Reconnect delay currently being slept, in nanoseconds (0 when serving)."),
 
 		transport: transport.NewMetrics(reg),
 	}

@@ -1,0 +1,477 @@
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proverattest/internal/obs"
+)
+
+// Injected-fault errors. They satisfy net.Error so the layers above treat
+// them like the real network failures they stand in for.
+var (
+	// ErrInjectedReset is returned from a Read/Write the schedule reset.
+	ErrInjectedReset = errors.New("faultnet: injected connection reset")
+	// ErrInjectedAccept is returned from an Accept the schedule failed.
+	// It reports Temporary() == true, the shape of a transient accept
+	// failure (EMFILE, ECONNABORTED) a resilient accept loop retries.
+	ErrInjectedAccept = tempError{}
+)
+
+// tempError is a transient, retryable network error.
+type tempError struct{}
+
+func (tempError) Error() string   { return "faultnet: injected accept failure" }
+func (tempError) Temporary() bool { return true }
+func (tempError) Timeout() bool   { return false }
+
+// Options parameterise a fault-injecting connection.
+type Options struct {
+	// Seed keys the connection's RNG (probabilistic triggers, corruption
+	// positions). Two connections with equal seeds and schedules inject
+	// identical faults against identical traffic.
+	Seed int64
+	// Now is the injectable clock (default time.Now); Sleep the
+	// injectable delay (default time.Sleep). Tests freeze both.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+	// Metrics, when non-nil, receives fleet-wide injected-fault counters
+	// (see NewMetrics). Per-connection totals are always kept (Stats).
+	Metrics *Metrics
+}
+
+func (o *Options) defaults() {
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+}
+
+// Stats counts the faults one connection has injected, by kind. Fields
+// are read with atomic loads (Snapshot) so tests can poll mid-run.
+type Stats struct {
+	Resets      atomic.Uint64
+	Drops       atomic.Uint64
+	Corruptions atomic.Uint64
+	ShortWrites atomic.Uint64
+	Delays      atomic.Uint64
+	RateStalls  atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Resets, Drops, Corruptions, ShortWrites, Delays, RateStalls uint64
+}
+
+// Total is the sum of all injected faults in the snapshot.
+func (s StatsSnapshot) Total() uint64 {
+	return s.Resets + s.Drops + s.Corruptions + s.ShortWrites + s.Delays + s.RateStalls
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Resets:      s.Resets.Load(),
+		Drops:       s.Drops.Load(),
+		Corruptions: s.Corruptions.Load(),
+		ShortWrites: s.ShortWrites.Load(),
+		Delays:      s.Delays.Load(),
+		RateStalls:  s.RateStalls.Load(),
+	}
+}
+
+// Metrics is the fleet-wide injected-fault accounting, one obs counter
+// per fault kind. Like transport.Metrics it may be shared across every
+// connection of a run; recording is atomics-only and a nil *Metrics
+// disables it.
+type Metrics struct {
+	Resets      *obs.Counter
+	Drops       *obs.Counter
+	Corruptions *obs.Counter
+	ShortWrites *obs.Counter
+	Delays      *obs.Counter
+	AcceptFails *obs.Counter
+}
+
+// NewMetrics registers the faultnet series on r
+// (faultnet_injected_total{kind=...}).
+func NewMetrics(r *obs.Registry) *Metrics {
+	const help = "Faults injected by the chaos harness, by kind."
+	return &Metrics{
+		Resets:      r.Counter("faultnet_injected_total", help, obs.L("kind", "reset")),
+		Drops:       r.Counter("faultnet_injected_total", help, obs.L("kind", "drop")),
+		Corruptions: r.Counter("faultnet_injected_total", help, obs.L("kind", "corrupt")),
+		ShortWrites: r.Counter("faultnet_injected_total", help, obs.L("kind", "short")),
+		Delays:      r.Counter("faultnet_injected_total", help, obs.L("kind", "delay")),
+		AcceptFails: r.Counter("faultnet_injected_total", help, obs.L("kind", "accept_fail")),
+	}
+}
+
+// Conn injects the schedule's faults into one net.Conn. Count triggers
+// advance on writes (one transport frame is one write, so "after=80"
+// means the 80th frame); flap triggers are also evaluated on reads so an
+// idle connection still flaps. Deadline and address methods delegate to
+// the wrapped connection.
+type Conn struct {
+	nc    net.Conn
+	sched *Schedule
+	opt   Options
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	writes   uint64
+	reads    uint64
+	flapLast []time.Time // per-rule last flap firing (index-aligned with Rules)
+	nextFree time.Time   // bandwidth-cap pacing horizon
+	closed   bool
+
+	stats Stats
+}
+
+// Wrap wraps nc with the schedule. A nil schedule injects nothing (the
+// connection still works, so chaos wiring can be unconditional).
+func Wrap(nc net.Conn, sched *Schedule, opt Options) *Conn {
+	opt.defaults()
+	if sched == nil {
+		sched = &Schedule{}
+	}
+	c := &Conn{
+		nc:    nc,
+		sched: sched,
+		opt:   opt,
+		rng:   rand.New(rand.NewSource(opt.Seed)),
+	}
+	now := opt.Now()
+	c.flapLast = make([]time.Time, len(sched.Rules))
+	for i := range c.flapLast {
+		c.flapLast[i] = now
+	}
+	return c
+}
+
+// Stats exposes the connection's injected-fault counters.
+func (c *Conn) Stats() *Stats { return &c.stats }
+
+// plan is the set of faults one operation drew from the schedule.
+type plan struct {
+	delay                       time.Duration
+	rate                        int64
+	reset, drop, corrupt, short bool
+	corruptAt                   int // corruption byte offset basis (rng draw)
+}
+
+// matchLocked evaluates rule i against op index op; c.mu must be held.
+func (c *Conn) matchLocked(i int, r Rule, op uint64) bool {
+	switch r.Trigger {
+	case TriggerAll:
+		return true
+	case TriggerAt:
+		return op == r.N
+	case TriggerAfter:
+		return op >= r.N
+	case TriggerEvery:
+		return op%r.N == 0
+	case TriggerPct:
+		return uint64(c.rng.Intn(100)) < r.N
+	case TriggerFlap:
+		now := c.opt.Now()
+		if now.Sub(c.flapLast[i]) >= r.Period {
+			c.flapLast[i] = now
+			return true
+		}
+	}
+	return false
+}
+
+// planLocked folds every matching rule into one plan; c.mu must be held.
+// write selects whether write-only actions (drop/corrupt/short/rate and
+// count-triggered resets) participate.
+func (c *Conn) planLocked(op uint64, write bool) plan {
+	var p plan
+	for i, r := range c.sched.Rules {
+		if !write && r.Action != ActionDelay && !(r.Action == ActionReset && r.Trigger == TriggerFlap) {
+			continue
+		}
+		if !c.matchLocked(i, r, op) {
+			continue
+		}
+		switch r.Action {
+		case ActionReset:
+			p.reset = true
+		case ActionDrop:
+			p.drop = true
+		case ActionCorrupt:
+			p.corrupt = true
+			p.corruptAt = c.rng.Int()
+		case ActionShort:
+			p.short = true
+		case ActionDelay:
+			p.delay += r.Delay
+		case ActionRate:
+			p.rate = r.Rate
+		}
+	}
+	return p
+}
+
+// paceLocked advances the bandwidth-cap horizon for n bytes at rate bps
+// and returns how long the caller must stall; c.mu must be held.
+func (c *Conn) paceLocked(n int, bps int64) time.Duration {
+	now := c.opt.Now()
+	if c.nextFree.Before(now) {
+		c.nextFree = now
+	}
+	stall := c.nextFree.Sub(now)
+	c.nextFree = c.nextFree.Add(time.Duration(float64(n) / float64(bps) * float64(time.Second)))
+	return stall
+}
+
+// Write applies the schedule to one outbound frame.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	c.writes++
+	p := c.planLocked(c.writes, true)
+	var stall time.Duration
+	if p.rate > 0 && !p.drop && !p.reset {
+		stall = c.paceLocked(len(b), p.rate)
+	}
+	c.mu.Unlock()
+
+	if p.delay > 0 {
+		c.stats.Delays.Add(1)
+		c.opt.Metrics.inc(c.opt.Metrics.delays())
+		c.opt.Sleep(p.delay)
+	}
+	if stall > 0 {
+		c.stats.RateStalls.Add(1)
+		c.opt.Sleep(stall)
+	}
+	switch {
+	case p.reset:
+		// Mid-frame reset: half the frame reaches the wire, then the
+		// connection dies — the peer sees a truncated frame, the classic
+		// torn write of a crashing or NAT-timed-out device.
+		c.stats.Resets.Add(1)
+		c.opt.Metrics.inc(c.opt.Metrics.resets())
+		n := 0
+		if len(b) >= 2 {
+			n, _ = c.nc.Write(b[:len(b)/2])
+		}
+		c.closeInjected()
+		return n, ErrInjectedReset
+	case p.drop:
+		c.stats.Drops.Add(1)
+		c.opt.Metrics.inc(c.opt.Metrics.drops())
+		return len(b), nil
+	case p.corrupt:
+		c.stats.Corruptions.Add(1)
+		c.opt.Metrics.inc(c.opt.Metrics.corruptions())
+		mut := make([]byte, len(b))
+		copy(mut, b)
+		if len(mut) > 0 {
+			mut[p.corruptAt%len(mut)] ^= 0xA5
+		}
+		return c.nc.Write(mut)
+	case p.short:
+		c.stats.ShortWrites.Add(1)
+		c.opt.Metrics.inc(c.opt.Metrics.shortWrites())
+		half := len(b) / 2
+		if half == 0 {
+			return c.nc.Write(b)
+		}
+		n1, err := c.nc.Write(b[:half])
+		if err != nil {
+			return n1, err
+		}
+		n2, err := c.nc.Write(b[half:])
+		return n1 + n2, err
+	}
+	return c.nc.Write(b)
+}
+
+// Read applies the schedule's read-side faults (injected latency, flap
+// resets) and delegates to the wrapped connection.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	c.reads++
+	p := c.planLocked(c.reads, false)
+	c.mu.Unlock()
+
+	if p.delay > 0 {
+		c.stats.Delays.Add(1)
+		c.opt.Metrics.inc(c.opt.Metrics.delays())
+		c.opt.Sleep(p.delay)
+	}
+	if p.reset {
+		c.stats.Resets.Add(1)
+		c.opt.Metrics.inc(c.opt.Metrics.resets())
+		c.closeInjected()
+		return 0, ErrInjectedReset
+	}
+	return c.nc.Read(b)
+}
+
+// closeInjected closes the wrapped connection as a fault (not a caller
+// Close), marking the Conn dead for subsequent operations.
+func (c *Conn) closeInjected() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.nc.Close()
+}
+
+// Close closes the wrapped connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.nc.Close()
+}
+
+// LocalAddr delegates to the wrapped connection.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr delegates to the wrapped connection.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// SetDeadline delegates to the wrapped connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// SetReadDeadline delegates to the wrapped connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// SetWriteDeadline delegates to the wrapped connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
+// Metrics accessor helpers: keep the nil-checks in one place so the Conn
+// can record unconditionally.
+func (m *Metrics) inc(c *obs.Counter) {
+	if m != nil {
+		c.Inc()
+	}
+}
+
+func (m *Metrics) resets() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Resets
+}
+func (m *Metrics) drops() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Drops
+}
+func (m *Metrics) corruptions() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Corruptions
+}
+func (m *Metrics) shortWrites() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ShortWrites
+}
+func (m *Metrics) delays() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Delays
+}
+
+// ListenerOptions parameterise a fault-injecting listener.
+type ListenerOptions struct {
+	// Schedule is applied to every accepted connection (each gets its
+	// own counters and a per-connection seed derived from Options.Seed).
+	Schedule *Schedule
+	// AcceptFailEvery fails every Nth Accept with ErrInjectedAccept
+	// (0 = never). The error is Temporary(), so a hardened accept loop
+	// keeps serving.
+	AcceptFailEvery int
+	// Options seed/clock/metrics for the accepted connections.
+	Options Options
+}
+
+// Listener wraps a net.Listener, failing a deterministic subset of
+// accepts and wrapping every accepted connection with the schedule.
+type Listener struct {
+	ln net.Listener
+	lo ListenerOptions
+
+	mu      sync.Mutex
+	accepts int
+	conns   []*Conn
+}
+
+// WrapListener wraps ln.
+func WrapListener(ln net.Listener, lo ListenerOptions) *Listener {
+	lo.Options.defaults()
+	return &Listener{ln: ln, lo: lo}
+}
+
+// Accept accepts the next connection, injecting scheduled accept
+// failures and wrapping accepted connections.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	l.accepts++
+	n := l.accepts
+	l.mu.Unlock()
+	if e := l.lo.AcceptFailEvery; e > 0 && n%e == 0 {
+		l.lo.Options.Metrics.inc(l.lo.Options.Metrics.acceptFails())
+		return nil, ErrInjectedAccept
+	}
+	nc, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	opt := l.lo.Options
+	opt.Seed += int64(n) // distinct fault stream per accepted conn
+	fc := Wrap(nc, l.lo.Schedule, opt)
+	l.mu.Lock()
+	l.conns = append(l.conns, fc)
+	l.mu.Unlock()
+	return fc, nil
+}
+
+// Conns snapshots the accepted (wrapped) connections, for tests that
+// aggregate injected-fault stats across a run.
+func (l *Listener) Conns() []*Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Conn(nil), l.conns...)
+}
+
+// Close closes the wrapped listener.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Addr delegates to the wrapped listener.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+func (m *Metrics) acceptFails() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.AcceptFails
+}
+
+// IsInjected reports whether err was produced by the fault injector.
+func IsInjected(err error) bool {
+	return errors.Is(err, ErrInjectedReset) || errors.Is(err, ErrInjectedAccept)
+}

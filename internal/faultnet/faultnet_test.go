@@ -1,0 +1,389 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubConn is a net.Conn that records writes and serves reads from a
+// preset buffer — the deterministic substrate for write-path fault tests
+// (no pipe synchronisation, no real clock).
+type stubConn struct {
+	mu     sync.Mutex
+	wrote  [][]byte // one entry per underlying Write call
+	rd     *bytes.Reader
+	closed bool
+}
+
+func newStubConn(readData []byte) *stubConn {
+	return &stubConn{rd: bytes.NewReader(readData)}
+}
+
+func (s *stubConn) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, net.ErrClosed
+	}
+	s.wrote = append(s.wrote, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+func (s *stubConn) Read(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, net.ErrClosed
+	}
+	return s.rd.Read(b)
+}
+
+func (s *stubConn) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func (s *stubConn) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *stubConn) writes() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.wrote))
+	for i, w := range s.wrote {
+		out[i] = append([]byte(nil), w...)
+	}
+	return out
+}
+
+func (s *stubConn) LocalAddr() net.Addr              { return nil }
+func (s *stubConn) RemoteAddr() net.Addr             { return nil }
+func (s *stubConn) SetDeadline(time.Time) error      { return nil }
+func (s *stubConn) SetReadDeadline(time.Time) error  { return nil }
+func (s *stubConn) SetWriteDeadline(time.Time) error { return nil }
+
+// fakeTime is a manually advanced clock plus a sleep recorder.
+type fakeTime struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+func newFakeTime() *fakeTime {
+	return &fakeTime{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeTime) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeTime) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// Sleep records the requested duration and advances the clock by it, so
+// paced writes see time passing without any wall-clock dependency.
+func (f *fakeTime) Sleep(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.slept = append(f.slept, d)
+	f.now = f.now.Add(d)
+}
+
+func (f *fakeTime) sleeps() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.slept...)
+}
+
+func wrapStub(t *testing.T, sched string, readData []byte) (*Conn, *stubConn, *fakeTime) {
+	t.Helper()
+	stub := newStubConn(readData)
+	ft := newFakeTime()
+	c := Wrap(stub, MustParseSchedule(sched), Options{Seed: 42, Now: ft.Now, Sleep: ft.Sleep})
+	return c, stub, ft
+}
+
+func TestCleanPassthrough(t *testing.T) {
+	c, stub, _ := wrapStub(t, "", []byte("pong"))
+	if n, err := c.Write([]byte("ping")); n != 4 || err != nil {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	got := make([]byte, 4)
+	if n, err := c.Read(got); n != 4 || err != nil || string(got) != "pong" {
+		t.Fatalf("Read = (%d, %v, %q)", n, err, got)
+	}
+	if w := stub.writes(); len(w) != 1 || string(w[0]) != "ping" {
+		t.Fatalf("underlying writes = %q", w)
+	}
+	if c.Stats().Snapshot().Total() != 0 {
+		t.Fatalf("clean passthrough injected faults: %+v", c.Stats().Snapshot())
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	c, stub, _ := wrapStub(t, "at=2:corrupt", nil)
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	buf := append([]byte(nil), orig...)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Fatalf("caller's buffer mutated: %v", buf)
+	}
+	w := stub.writes()
+	if len(w) != 2 {
+		t.Fatalf("%d underlying writes, want 2", len(w))
+	}
+	if !bytes.Equal(w[0], orig) {
+		t.Fatalf("first frame corrupted: %v", w[0])
+	}
+	diff := 0
+	for i := range orig {
+		if w[1][i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("second frame differs in %d bytes, want exactly 1", diff)
+	}
+	if st := c.Stats().Snapshot(); st.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+func TestDropSwallowsSilently(t *testing.T) {
+	c, stub, _ := wrapStub(t, "at=1:drop", nil)
+	if n, err := c.Write([]byte("gone")); n != 4 || err != nil {
+		t.Fatalf("dropped write reported (%d, %v), want silent success", n, err)
+	}
+	if _, err := c.Write([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	w := stub.writes()
+	if len(w) != 1 || string(w[0]) != "kept" {
+		t.Fatalf("underlying writes = %q, want only the second frame", w)
+	}
+	if st := c.Stats().Snapshot(); st.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", st.Drops)
+	}
+}
+
+func TestResetTearsMidFrame(t *testing.T) {
+	c, stub, _ := wrapStub(t, "at=2:reset", nil)
+	if _, err := c.Write([]byte("first-frame")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Write([]byte("second-frame"))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("reset write returned %v, want ErrInjectedReset", err)
+	}
+	if n != len("second-frame")/2 {
+		t.Fatalf("reset wrote %d bytes, want half (%d)", n, len("second-frame")/2)
+	}
+	w := stub.writes()
+	if len(w) != 2 || string(w[1]) != "second"[:len("second-frame")/2] {
+		t.Fatalf("wire saw %q, want half of the second frame", w)
+	}
+	if !stub.isClosed() {
+		t.Fatal("underlying conn not closed by the reset")
+	}
+	if _, err := c.Write([]byte("after")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write after reset returned %v, want ErrInjectedReset", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read after reset returned %v, want ErrInjectedReset", err)
+	}
+	if !IsInjected(err) {
+		t.Fatal("IsInjected misses an injected reset")
+	}
+}
+
+func TestShortWriteDeliversWholeFrameFragmented(t *testing.T) {
+	c, stub, _ := wrapStub(t, "all:short", nil)
+	frame := []byte("0123456789")
+	if n, err := c.Write(frame); n != len(frame) || err != nil {
+		t.Fatalf("short write = (%d, %v)", n, err)
+	}
+	w := stub.writes()
+	if len(w) != 2 {
+		t.Fatalf("%d underlying writes, want 2 fragments", len(w))
+	}
+	if got := string(w[0]) + string(w[1]); got != string(frame) {
+		t.Fatalf("fragments reassemble to %q, want %q", got, frame)
+	}
+}
+
+func TestDelayUsesInjectableSleep(t *testing.T) {
+	c, _, ft := wrapStub(t, "all:delay=2ms", nil)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sleeps := ft.sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 2*time.Millisecond {
+		t.Fatalf("sleeps = %v, want [2ms]", sleeps)
+	}
+	if st := c.Stats().Snapshot(); st.Delays != 1 {
+		t.Fatalf("delays = %d, want 1", st.Delays)
+	}
+}
+
+func TestBandwidthCapPacesWrites(t *testing.T) {
+	// 1000 bytes/s: a 500-byte frame books 500 ms of wire time. The first
+	// write goes immediately; the second must stall until the horizon.
+	c, _, ft := wrapStub(t, "all:rate=1000", nil)
+	frame := make([]byte, 500)
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if sleeps := ft.sleeps(); len(sleeps) != 0 {
+		t.Fatalf("first write stalled: %v", sleeps)
+	}
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	sleeps := ft.sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 500*time.Millisecond {
+		t.Fatalf("second write sleeps = %v, want [500ms]", sleeps)
+	}
+	// After the stall the horizon has passed; a write following idle time
+	// pays nothing.
+	ft.Advance(2 * time.Second)
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if sleeps := ft.sleeps(); len(sleeps) != 1 {
+		t.Fatalf("idle-period write stalled: %v", sleeps)
+	}
+}
+
+func TestFlapFiresOnClock(t *testing.T) {
+	c, stub, ft := wrapStub(t, "flap=1s:reset", nil)
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatalf("write before the flap period failed: %v", err)
+	}
+	ft.Advance(time.Second)
+	if _, err := c.Write([]byte("boom")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write after the flap period returned %v, want reset", err)
+	}
+	if !stub.isClosed() {
+		t.Fatal("flap did not close the underlying conn")
+	}
+}
+
+func TestFlapFiresOnIdleRead(t *testing.T) {
+	c, _, ft := wrapStub(t, "flap=1s:reset", []byte("data"))
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("read before the flap period failed: %v", err)
+	}
+	ft.Advance(time.Second)
+	if _, err := c.Read(buf); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read after the flap period returned %v, want reset", err)
+	}
+}
+
+func TestPctDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		stub := newStubConn(nil)
+		ft := newFakeTime()
+		c := Wrap(stub, MustParseSchedule("pct=30:drop"), Options{Seed: seed, Now: ft.Now, Sleep: ft.Sleep})
+		var dropped []int
+		for i := 0; i < 64; i++ {
+			before := c.Stats().Snapshot().Drops
+			if _, err := c.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if c.Stats().Snapshot().Drops > before {
+				dropped = append(dropped, i)
+			}
+		}
+		return dropped
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("pct=30 dropped %d/64 frames — trigger looks degenerate", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	if c := run(8); len(c) == len(a) && func() bool {
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatalf("different seeds produced identical fault streams: %v", a)
+	}
+}
+
+func TestListenerInjectsAcceptFailures(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fl := WrapListener(ln, ListenerOptions{
+		Schedule:        MustParseSchedule("all:delay=1ms"),
+		AcceptFailEvery: 2,
+	})
+
+	dial := func() net.Conn {
+		t.Helper()
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nc.Close() })
+		return nc
+	}
+
+	dial()
+	c1, err := fl.Accept()
+	if err != nil {
+		t.Fatalf("first accept: %v", err)
+	}
+	defer c1.Close()
+	if _, ok := c1.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *faultnet.Conn", c1)
+	}
+
+	// Second accept fails by schedule — without consuming a connection —
+	// and the error is Temporary, the retryable shape.
+	if _, err := fl.Accept(); !errors.Is(err, ErrInjectedAccept) {
+		t.Fatalf("second accept returned %v, want ErrInjectedAccept", err)
+	}
+	var ne net.Error
+	if !errors.As(error(ErrInjectedAccept), &ne) || !ne.Temporary() || ne.Timeout() { //nolint:staticcheck // Temporary is the retry contract here
+		t.Fatal("ErrInjectedAccept is not a temporary net.Error")
+	}
+
+	dial()
+	c3, err := fl.Accept()
+	if err != nil {
+		t.Fatalf("third accept: %v", err)
+	}
+	defer c3.Close()
+	if got := len(fl.Conns()); got != 2 {
+		t.Fatalf("listener tracked %d conns, want 2", got)
+	}
+}

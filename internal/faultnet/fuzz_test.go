@@ -1,0 +1,50 @@
+package faultnet
+
+import "testing"
+
+// FuzzParseSchedule drives the fault-schedule parser with arbitrary
+// input. The property under test: any schedule the parser accepts must
+// render (String) to a canonical form that re-parses to an identical
+// schedule — a fixed point — and parsing must never panic on garbage.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"after=80:reset",
+		"flap=500ms:reset",
+		"every=7:corrupt;pct=5:drop",
+		"all:delay=2ms;all:rate=4096",
+		"at=3:short",
+		" after=1 : reset ; ",
+		"pct=100:drop",
+		"flap=1h2m3s:delay=4us",
+		"bogus",
+		"after=80",
+		"a=:b=",
+		";;;",
+		"all:rate=9223372036854775807",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s1, err := ParseSchedule(in)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		canon := s1.String()
+		s2, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q failed to re-parse: %v", canon, in, err)
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q (input %q)", canon, got, in)
+		}
+		if len(s1.Rules) != len(s2.Rules) {
+			t.Fatalf("round trip changed rule count for %q: %d -> %d", in, len(s1.Rules), len(s2.Rules))
+		}
+		for i := range s1.Rules {
+			if s1.Rules[i] != s2.Rules[i] {
+				t.Fatalf("rule %d changed across round trip for %q: %+v -> %+v", i, in, s1.Rules[i], s2.Rules[i])
+			}
+		}
+	})
+}

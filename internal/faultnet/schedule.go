@@ -1,0 +1,282 @@
+// Package faultnet wraps net.Conn and net.Listener with deterministic,
+// seedable fault injection: injected latency, bandwidth caps, split
+// (partial) writes, byte corruption, silent drops, mid-frame resets and
+// accept failures. It is the adversarial-link counterpart to the protocol
+// adversaries in internal/adversary — the paper's Adv_ext controls frame
+// contents, but a production fleet also faces the network itself, and the
+// stack has to keep the prover's primary task running through both.
+//
+// Faults are driven by a scriptable Schedule (a tiny DSL, see
+// ParseSchedule) evaluated against per-connection operation counters, a
+// seeded RNG and an injectable clock — the same pattern as the server's
+// token bucket — so a chaos run with a fixed seed replays byte-for-byte.
+package faultnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TriggerKind selects when a rule fires, in units of write operations on
+// the wrapped connection (one transport frame is one write) or wall time.
+type TriggerKind int
+
+const (
+	// TriggerAll fires on every operation.
+	TriggerAll TriggerKind = iota
+	// TriggerAt fires only on the N'th operation (1-based).
+	TriggerAt
+	// TriggerAfter fires on every operation from the N'th onward.
+	TriggerAfter
+	// TriggerEvery fires on operations N, 2N, 3N, ...
+	TriggerEvery
+	// TriggerPct fires on each operation with probability N percent,
+	// drawn from the connection's seeded RNG (deterministic per seed).
+	TriggerPct
+	// TriggerFlap fires whenever Period has elapsed since it last fired
+	// (first firing one Period after the connection is wrapped). Unlike
+	// the count triggers it is also evaluated on the read path, so an
+	// idle-but-open connection still flaps.
+	TriggerFlap
+)
+
+// ActionKind selects what a firing rule does to the operation.
+type ActionKind int
+
+const (
+	// ActionReset tears the connection down mid-frame: half the payload
+	// is written, then the underlying connection is closed. The peer
+	// sees a truncated frame; the local caller gets ErrInjectedReset.
+	ActionReset ActionKind = iota
+	// ActionDrop swallows the write silently: the caller sees success,
+	// the peer sees nothing.
+	ActionDrop
+	// ActionCorrupt flips one byte of the payload (position drawn from
+	// the seeded RNG). The caller's buffer is never mutated.
+	ActionCorrupt
+	// ActionShort splits the write into two separate underlying writes —
+	// the frame still arrives whole, but fragmented on the wire.
+	ActionShort
+	// ActionDelay sleeps Delay before the operation (injected latency;
+	// applies to reads and writes).
+	ActionDelay
+	// ActionRate caps the connection's write bandwidth at Rate bytes/s.
+	ActionRate
+)
+
+// Rule is one fault-injection rule: a trigger and an action.
+type Rule struct {
+	Trigger TriggerKind
+	N       uint64        // TriggerAt/After/Every: op index; TriggerPct: percent
+	Period  time.Duration // TriggerFlap
+
+	Action ActionKind
+	Delay  time.Duration // ActionDelay
+	Rate   int64         // ActionRate, bytes per second
+}
+
+// Schedule is an immutable parsed fault schedule. Per-connection state
+// (operation counters, flap timers, RNG) lives on the Conn, so one
+// Schedule may drive a whole fleet of connections.
+type Schedule struct {
+	Rules []Rule
+}
+
+// ParseSchedule parses the fault-schedule DSL:
+//
+//	schedule := rule (';' rule)*
+//	rule     := trigger ':' action
+//	trigger  := 'all' | 'at=N' | 'after=N' | 'every=N' | 'pct=P' | 'flap=DUR'
+//	action   := 'reset' | 'drop' | 'corrupt' | 'short' | 'delay=DUR' | 'rate=BPS'
+//
+// Examples: "after=80:reset" (mid-frame reset at the 80th frame),
+// "flap=500ms:reset" (kill the link every 500 ms), "every=7:corrupt",
+// "pct=5:drop", "all:delay=2ms;all:rate=4096" (a 4 KiB/s link with 2 ms
+// of latency each way). Whitespace around rules and tokens is ignored.
+// An empty or all-whitespace schedule is valid and injects nothing.
+func ParseSchedule(s string) (*Schedule, error) {
+	sched := &Schedule{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rule, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		sched.Rules = append(sched.Rules, rule)
+	}
+	return sched, nil
+}
+
+// MustParseSchedule is ParseSchedule for compile-time-constant schedules
+// in tests and tools; it panics on a malformed schedule.
+func MustParseSchedule(s string) *Schedule {
+	sched, err := ParseSchedule(s)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+func parseRule(s string) (Rule, error) {
+	var r Rule
+	trig, act, ok := strings.Cut(s, ":")
+	if !ok {
+		return r, fmt.Errorf("faultnet: rule %q: want trigger:action", s)
+	}
+	trig, act = strings.TrimSpace(trig), strings.TrimSpace(act)
+
+	key, val, hasVal := strings.Cut(trig, "=")
+	key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+	switch key {
+	case "all":
+		if hasVal {
+			return r, fmt.Errorf("faultnet: rule %q: trigger 'all' takes no value", s)
+		}
+		r.Trigger = TriggerAll
+	case "at", "after", "every", "pct":
+		if !hasVal {
+			return r, fmt.Errorf("faultnet: rule %q: trigger %q needs a value", s, key)
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("faultnet: rule %q: trigger value %q: %v", s, val, err)
+		}
+		switch key {
+		case "at":
+			r.Trigger = TriggerAt
+		case "after":
+			r.Trigger = TriggerAfter
+		case "every":
+			r.Trigger = TriggerEvery
+		case "pct":
+			r.Trigger = TriggerPct
+			if n > 100 {
+				return r, fmt.Errorf("faultnet: rule %q: pct %d out of range (0..100)", s, n)
+			}
+		}
+		if r.Trigger != TriggerPct && n == 0 {
+			return r, fmt.Errorf("faultnet: rule %q: op index must be >= 1", s)
+		}
+		r.N = n
+	case "flap":
+		if !hasVal {
+			return r, fmt.Errorf("faultnet: rule %q: trigger 'flap' needs a period", s)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return r, fmt.Errorf("faultnet: rule %q: flap period %q: %v", s, val, err)
+		}
+		if d <= 0 {
+			return r, fmt.Errorf("faultnet: rule %q: flap period must be positive", s)
+		}
+		r.Trigger = TriggerFlap
+		r.Period = d
+	default:
+		return r, fmt.Errorf("faultnet: rule %q: unknown trigger %q", s, key)
+	}
+
+	key, val, hasVal = strings.Cut(act, "=")
+	key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+	switch key {
+	case "reset", "drop", "corrupt", "short":
+		if hasVal {
+			return r, fmt.Errorf("faultnet: rule %q: action %q takes no value", s, key)
+		}
+		switch key {
+		case "reset":
+			r.Action = ActionReset
+		case "drop":
+			r.Action = ActionDrop
+		case "corrupt":
+			r.Action = ActionCorrupt
+		case "short":
+			r.Action = ActionShort
+		}
+	case "delay":
+		if !hasVal {
+			return r, fmt.Errorf("faultnet: rule %q: action 'delay' needs a duration", s)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return r, fmt.Errorf("faultnet: rule %q: delay %q: %v", s, val, err)
+		}
+		if d <= 0 {
+			return r, fmt.Errorf("faultnet: rule %q: delay must be positive", s)
+		}
+		r.Action = ActionDelay
+		r.Delay = d
+	case "rate":
+		if !hasVal {
+			return r, fmt.Errorf("faultnet: rule %q: action 'rate' needs bytes/s", s)
+		}
+		bps, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || bps <= 0 {
+			return r, fmt.Errorf("faultnet: rule %q: rate %q: want a positive bytes/s integer", s, val)
+		}
+		r.Action = ActionRate
+		r.Rate = bps
+	default:
+		return r, fmt.Errorf("faultnet: rule %q: unknown action %q", s, key)
+	}
+	return r, nil
+}
+
+// String renders the schedule in canonical DSL form; the output re-parses
+// to an identical schedule (pinned by the round-trip fuzz target).
+func (s *Schedule) String() string {
+	if s == nil {
+		return ""
+	}
+	parts := make([]string, len(s.Rules))
+	for i, r := range s.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders one rule in canonical DSL form.
+func (r Rule) String() string {
+	var sb strings.Builder
+	switch r.Trigger {
+	case TriggerAll:
+		sb.WriteString("all")
+	case TriggerAt:
+		sb.WriteString("at=")
+		sb.WriteString(strconv.FormatUint(r.N, 10))
+	case TriggerAfter:
+		sb.WriteString("after=")
+		sb.WriteString(strconv.FormatUint(r.N, 10))
+	case TriggerEvery:
+		sb.WriteString("every=")
+		sb.WriteString(strconv.FormatUint(r.N, 10))
+	case TriggerPct:
+		sb.WriteString("pct=")
+		sb.WriteString(strconv.FormatUint(r.N, 10))
+	case TriggerFlap:
+		sb.WriteString("flap=")
+		sb.WriteString(r.Period.String())
+	}
+	sb.WriteByte(':')
+	switch r.Action {
+	case ActionReset:
+		sb.WriteString("reset")
+	case ActionDrop:
+		sb.WriteString("drop")
+	case ActionCorrupt:
+		sb.WriteString("corrupt")
+	case ActionShort:
+		sb.WriteString("short")
+	case ActionDelay:
+		sb.WriteString("delay=")
+		sb.WriteString(r.Delay.String())
+	case ActionRate:
+		sb.WriteString("rate=")
+		sb.WriteString(strconv.FormatInt(r.Rate, 10))
+	}
+	return sb.String()
+}

@@ -1,0 +1,128 @@
+package faultnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScheduleValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() form
+		n    int
+	}{
+		{"", "", 0},
+		{"   ", "", 0},
+		{"after=80:reset", "after=80:reset", 1},
+		{"flap=500ms:reset", "flap=500ms:reset", 1},
+		{"every=7:corrupt", "every=7:corrupt", 1},
+		{"pct=5:drop", "pct=5:drop", 1},
+		{"pct=0:drop", "pct=0:drop", 1},
+		{"at=3:short", "at=3:short", 1},
+		{"all:delay=2ms", "all:delay=2ms", 1},
+		{"all:rate=4096", "all:rate=4096", 1},
+		{" after=80 : reset ; every=7:corrupt ", "after=80:reset;every=7:corrupt", 2},
+		{"all:delay=0.5s", "all:delay=500ms", 1}, // canonicalised duration
+		{";;after=1:drop;;", "after=1:drop", 1},
+	}
+	for _, tc := range cases {
+		s, err := ParseSchedule(tc.in)
+		if err != nil {
+			t.Errorf("ParseSchedule(%q): %v", tc.in, err)
+			continue
+		}
+		if len(s.Rules) != tc.n {
+			t.Errorf("ParseSchedule(%q): %d rules, want %d", tc.in, len(s.Rules), tc.n)
+		}
+		if got := s.String(); got != tc.want {
+			t.Errorf("ParseSchedule(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseScheduleInvalid(t *testing.T) {
+	cases := []string{
+		"reset",                         // no trigger
+		"after=80",                      // no action
+		"after:reset",                   // missing trigger value
+		"after=0:reset",                 // op index below 1
+		"after=-1:reset",                // negative
+		"pct=101:drop",                  // out of range
+		"flap=0s:reset",                 // non-positive period
+		"flap=-1s:reset",                // negative period
+		"flap=abc:reset",                // unparseable duration
+		"never=3:reset",                 // unknown trigger
+		"all:explode",                   // unknown action
+		"all=1:reset",                   // all takes no value
+		"all:reset=1",                   // reset takes no value
+		"all:delay",                     // delay needs a duration
+		"all:delay=-2ms",                // negative delay
+		"all:rate=0",                    // non-positive rate
+		"all:rate=fast",                 // unparseable rate
+		"every=2:rate=-4096",            // negative rate
+		"at=18446744073709551616:reset", // uint64 overflow
+	}
+	for _, in := range cases {
+		if _, err := ParseSchedule(in); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	in := "after=80:reset;flap=1.5s:reset;every=7:corrupt;pct=10:drop;at=3:short;all:delay=2ms;all:rate=4096"
+	s1, err := ParseSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := s1.String()
+	s2, err := ParseSchedule(canon)
+	if err != nil {
+		t.Fatalf("canonical form %q failed to re-parse: %v", canon, err)
+	}
+	if s2.String() != canon {
+		t.Fatalf("canonical form is not a fixed point: %q -> %q", canon, s2.String())
+	}
+	if len(s2.Rules) != len(s1.Rules) {
+		t.Fatalf("round trip changed rule count: %d -> %d", len(s1.Rules), len(s2.Rules))
+	}
+	for i := range s1.Rules {
+		if s1.Rules[i] != s2.Rules[i] {
+			t.Fatalf("rule %d changed across round trip: %+v -> %+v", i, s1.Rules[i], s2.Rules[i])
+		}
+	}
+}
+
+func TestScheduleFieldValues(t *testing.T) {
+	s := MustParseSchedule("flap=250ms:delay=3ms;every=4:rate=1024")
+	if len(s.Rules) != 2 {
+		t.Fatalf("%d rules, want 2", len(s.Rules))
+	}
+	r0, r1 := s.Rules[0], s.Rules[1]
+	if r0.Trigger != TriggerFlap || r0.Period != 250*time.Millisecond || r0.Action != ActionDelay || r0.Delay != 3*time.Millisecond {
+		t.Fatalf("rule 0 = %+v", r0)
+	}
+	if r1.Trigger != TriggerEvery || r1.N != 4 || r1.Action != ActionRate || r1.Rate != 1024 {
+		t.Fatalf("rule 1 = %+v", r1)
+	}
+}
+
+func TestMustParseSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseSchedule accepted garbage")
+		}
+	}()
+	MustParseSchedule("bogus")
+}
+
+func TestNilScheduleString(t *testing.T) {
+	var s *Schedule
+	if got := s.String(); got != "" {
+		t.Fatalf("nil schedule renders %q, want empty", got)
+	}
+	if !strings.Contains(MustParseSchedule("all:drop").String(), "drop") {
+		t.Fatal("canonical form lost the action")
+	}
+}

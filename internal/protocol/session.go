@@ -132,6 +132,31 @@ func (s *StatsReport) GateRejected() uint64 {
 	return s.Malformed + s.AuthRejected + s.FreshnessRejected
 }
 
+// Accumulate adds src's counters into s field-by-field. It is the fold
+// the daemon uses both for fleet aggregation and for banking a dying
+// counter epoch into a device's high-water base.
+func (s *StatsReport) Accumulate(src *StatsReport) {
+	sf, of := s.fields(), src.fields()
+	for i := range sf {
+		*sf[i] += *of[i]
+	}
+}
+
+// Regressed reports whether any counter in s is lower than in prev.
+// Agent counters are cumulative since boot and stats frames arrive in
+// order on one stream, so a regression means the device rebooted (or was
+// rebuilt) and restarted its counters from zero — the signal the daemon
+// uses to open a new counter epoch.
+func (s *StatsReport) Regressed(prev *StatsReport) bool {
+	sf, pf := s.fields(), prev.fields()
+	for i := range sf {
+		if *sf[i] < *pf[i] {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *StatsReport) fields() [statsNumFields]*uint64 {
 	return [statsNumFields]*uint64{
 		&s.Received, &s.Malformed, &s.AuthRejected, &s.FreshnessRejected,

@@ -24,9 +24,27 @@ type serverMetrics struct {
 	// Connection rejections by cause (attestd_conns_rejected_total).
 	connRejIO        *obs.Counter // first frame never arrived / read error
 	connRejHello     *obs.Counter // hello failed to parse
+	connRejHelloSlow *obs.Counter // first frame missed the hello deadline (slow-loris)
 	connRejPolicy    *obs.Counter // hello declared a mismatched freshness/auth policy
 	connRejCap       *obs.Counter // accept-side MaxConns refusal
+	connRejDraining  *obs.Counter // refused because the daemon is draining
 	connRejDeviceNew *obs.Counter // per-device verifier construction failed
+
+	// Evictions of established connections by cause
+	// (attestd_evictions_total): the slow-loris defence, post-hello. A
+	// peer that stops completing frames (read_stall) or stops draining
+	// its socket (write_stall) loses the connection instead of parking a
+	// goroutine and an fd forever.
+	evictReadStall  *obs.Counter
+	evictWriteStall *obs.Counter
+
+	// acceptRetries counts transient listener failures survived by the
+	// accept loop (fd pressure, injected faults) rather than fatal exits.
+	acceptRetries *obs.Counter
+
+	// draining is 1 from Shutdown's drain start until the daemon is fully
+	// closed — the gauge a fleet dashboard watches during rollouts.
+	draining *obs.Gauge
 
 	framesIn *obs.Counter
 
@@ -57,7 +75,10 @@ type serverMetrics struct {
 	transport *transport.Metrics
 }
 
-const rejectsHelp = "Frames rejected by the daemon's serving gate, by cause."
+const (
+	rejectsHelp   = "Frames rejected by the daemon's serving gate, by cause."
+	evictionsHelp = "Established connections evicted by the slow-loris defence, by cause."
+)
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	const connRejHelp = "Connections refused before any device state existed, by cause."
@@ -66,9 +87,17 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 
 		connRejIO:        reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "io")),
 		connRejHello:     reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "hello_malformed")),
+		connRejHelloSlow: reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "hello_timeout")),
 		connRejPolicy:    reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "policy_mismatch")),
 		connRejCap:       reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "conn_cap")),
+		connRejDraining:  reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "draining")),
 		connRejDeviceNew: reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "device_init")),
+
+		evictReadStall:  reg.Counter("attestd_evictions_total", evictionsHelp, obs.L("cause", "read_stall")),
+		evictWriteStall: reg.Counter("attestd_evictions_total", evictionsHelp, obs.L("cause", "write_stall")),
+
+		acceptRetries: reg.Counter("attestd_accept_retries_total", "Transient listener failures survived by the accept loop."),
+		draining:      reg.Gauge("attestd_draining", "1 while Shutdown is draining inflight requests, 0 otherwise."),
 
 		framesIn: reg.Counter("attestd_frames_total", "Frames read off sockets after the hello."),
 

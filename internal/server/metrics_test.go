@@ -100,6 +100,12 @@ func TestMetricsSmoke(t *testing.T) {
 		"attestd_responses_accepted_total",
 		"attestd_stats_reports_total",
 		"attestd_stats_epochs_total",
+		// Failure-semantics counters (slow-loris, stalls, accept retries).
+		`attestd_conns_rejected_total{cause="hello_timeout"}`,
+		`attestd_conns_rejected_total{cause="draining"}`,
+		`attestd_evictions_total{cause="read_stall"}`,
+		`attestd_evictions_total{cause="write_stall"}`,
+		"attestd_accept_retries_total",
 		// Histograms (bucket/sum/count triplet spot checks).
 		`attestd_gate_seconds_bucket{le="+Inf"}`,
 		"attestd_gate_seconds_count",
@@ -110,6 +116,7 @@ func TestMetricsSmoke(t *testing.T) {
 		"attestd_inflight",
 		"attestd_devices",
 		"attestd_open_conns",
+		"attestd_draining",
 		// Agent-reported fleet aggregates.
 		"attestd_fleet_received",
 		"attestd_fleet_measurements",

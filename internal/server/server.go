@@ -20,6 +20,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -121,6 +122,13 @@ type Config struct {
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 
+	// HelloTimeout bounds the wait for a connection's first frame
+	// (default 5 s). A fresh connection has proven nothing yet, so it gets
+	// a far shorter leash than the steady-state ReadTimeout: a slow-loris
+	// peer that dribbles bytes without ever completing a hello is cut off
+	// here instead of holding an fd for ReadTimeout.
+	HelloTimeout time.Duration
+
 	// Flood, when non-nil, selects impersonator mode instead of the honest
 	// issue schedule.
 	Flood *FloodConfig
@@ -150,8 +158,12 @@ type Counters struct {
 	ConnsRejected uint64 // sum of all connection-refusal causes below
 
 	HellosMalformed uint64 // first frame unreadable or not a parseable hello
+	HelloTimeouts   uint64 // first frame missed the hello deadline (slow-loris)
 	PolicyMismatch  uint64 // hello declared the wrong freshness/auth policy
 	ConnsOverCap    uint64 // accept-side MaxConns refusals
+
+	Evictions     uint64 // established connections cut for read/write stalls
+	AcceptRetries uint64 // transient listener failures survived by the accept loop
 
 	FramesIn      uint64 // frames read off sockets (post-hello)
 	RateLimited   uint64 // frames dropped by the per-connection budget
@@ -180,11 +192,16 @@ func (m *serverMetrics) snapshot() Counters {
 	statsMalformed := m.rejMalformedStats.Load()
 	mismatched := m.rejBadMeasurement.Load()
 	return Counters{
-		ConnsAccepted:   m.connsAccepted.Load(),
-		ConnsRejected:   helloBad + m.connRejPolicy.Load() + m.connRejCap.Load() + m.connRejDeviceNew.Load(),
+		ConnsAccepted: m.connsAccepted.Load(),
+		ConnsRejected: helloBad + m.connRejHelloSlow.Load() + m.connRejPolicy.Load() +
+			m.connRejCap.Load() + m.connRejDraining.Load() + m.connRejDeviceNew.Load(),
 		HellosMalformed: helloBad,
+		HelloTimeouts:   m.connRejHelloSlow.Load(),
 		PolicyMismatch:  m.connRejPolicy.Load(),
 		ConnsOverCap:    m.connRejCap.Load(),
+
+		Evictions:     m.evictReadStall.Load() + m.evictWriteStall.Load(),
+		AcceptRetries: m.acceptRetries.Load(),
 
 		FramesIn:        m.framesIn.Load(),
 		RateLimited:     m.rejRateLimited.Load(),
@@ -259,6 +276,13 @@ type Server struct {
 	reg      *obs.Registry
 	m        *serverMetrics
 
+	// draining flips once, when Shutdown starts: the accept loop refuses
+	// new connections and the issue loops stop committing to new requests
+	// (drainCh is closed), while established connections stay up so their
+	// outstanding verdicts can flush.
+	draining atomic.Bool
+	drainCh  chan struct{}
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -304,6 +328,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 10 * time.Second
 	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 5 * time.Second
+	}
 	if cfg.PerConnBurst <= 0 {
 		cfg.PerConnBurst = 16
 		if int(cfg.PerConnRatePerSec) > cfg.PerConnBurst {
@@ -315,11 +342,12 @@ func New(cfg Config) (*Server, error) {
 		reg = obs.New()
 	}
 	s := &Server{
-		cfg:    cfg,
-		shards: make([]*shard, cfg.Shards),
-		conns:  make(map[net.Conn]struct{}),
-		reg:    reg,
-		m:      newServerMetrics(reg),
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.Shards),
+		conns:   make(map[net.Conn]struct{}),
+		drainCh: make(chan struct{}),
+		reg:     reg,
+		m:       newServerMetrics(reg),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{devices: make(map[string]*deviceState)}
@@ -350,45 +378,14 @@ func (s *Server) AgentStats() protocol.StatsReport {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for _, d := range sh.devices {
-			addStats(&sum, &d.statsBase)
+			sum.Accumulate(&d.statsBase)
 			if st := d.lastStats.Load(); st != nil {
-				addStats(&sum, st)
+				sum.Accumulate(st)
 			}
 		}
 		sh.mu.Unlock()
 	}
 	return sum
-}
-
-// addStats accumulates src into dst field-by-field.
-func addStats(dst, src *protocol.StatsReport) {
-	dst.Received += src.Received
-	dst.Malformed += src.Malformed
-	dst.AuthRejected += src.AuthRejected
-	dst.FreshnessRejected += src.FreshnessRejected
-	dst.Faults += src.Faults
-	dst.Measurements += src.Measurements
-	dst.Commands += src.Commands
-	dst.CommandsExecuted += src.CommandsExecuted
-	dst.ActiveCycles += src.ActiveCycles
-	dst.FramesIn += src.FramesIn
-}
-
-// statsRegressed reports whether any counter in cur is lower than in
-// prev. Agent counters are cumulative since boot and stats frames arrive
-// in order on one TCP stream, so a regression means the device rebooted
-// (or was rebuilt) and restarted its counters from zero.
-func statsRegressed(cur, prev *protocol.StatsReport) bool {
-	return cur.Received < prev.Received ||
-		cur.Malformed < prev.Malformed ||
-		cur.AuthRejected < prev.AuthRejected ||
-		cur.FreshnessRejected < prev.FreshnessRejected ||
-		cur.Faults < prev.Faults ||
-		cur.Measurements < prev.Measurements ||
-		cur.Commands < prev.Commands ||
-		cur.CommandsExecuted < prev.CommandsExecuted ||
-		cur.ActiveCycles < prev.ActiveCycles ||
-		cur.FramesIn < prev.FramesIn
 }
 
 // Devices reports how many provers have ever connected.
@@ -464,7 +461,11 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Serve accepts connections until the listener fails or Close is called.
+// Serve accepts connections until the listener fails hard or Close (or
+// Shutdown) is called. Transient accept failures — fd exhaustion, an
+// injected fault from a chaos harness, anything reporting
+// Temporary() == true — are survived with a short escalating pause
+// instead of killing the daemon's only accept loop.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -475,19 +476,37 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 
+	const maxAcceptPause = time.Second
+	acceptPause := 5 * time.Millisecond
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
-			if closed {
+			if closed || s.draining.Load() {
 				return nil
+			}
+			var te interface{ Temporary() bool }
+			if errors.As(err, &te) && te.Temporary() {
+				s.m.acceptRetries.Inc()
+				time.Sleep(acceptPause)
+				if acceptPause *= 2; acceptPause > maxAcceptPause {
+					acceptPause = maxAcceptPause
+				}
+				continue
 			}
 			return err
 		}
+		acceptPause = 5 * time.Millisecond
 		s.mu.Lock()
-		if s.closed || len(s.conns) >= s.cfg.MaxConns {
+		if s.closed || s.draining.Load() {
+			s.mu.Unlock()
+			s.m.connRejDraining.Inc()
+			nc.Close()
+			continue
+		}
+		if len(s.conns) >= s.cfg.MaxConns {
 			s.mu.Unlock()
 			s.m.connRejCap.Inc()
 			nc.Close()
@@ -508,6 +527,45 @@ func (s *Server) Addr() net.Addr {
 		return nil
 	}
 	return s.ln.Addr()
+}
+
+// Shutdown drains the daemon gracefully: it stops accepting connections,
+// stops issuing new attestation requests, waits for every outstanding
+// request to resolve (a verdict arrives or the request times out and is
+// abandoned), then closes the remaining connections and returns. The
+// wait is bounded by ctx; on expiry the daemon is closed anyway and
+// ctx's error is returned, with however many verdicts were still
+// pending simply dropped.
+//
+// Established connections stay up during the drain on purpose — they
+// are the pipes the pending verdicts arrive on. Only once the inflight
+// count reaches zero (or ctx expires) are they closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		s.m.draining.Set(1)
+		close(s.drainCh)
+	}
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close() // stop accepting; Serve returns nil (draining)
+	}
+
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for s.Inflight() > 0 {
+		select {
+		case <-ctx.Done():
+			s.Close()
+			s.m.draining.Set(0)
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+	err := s.Close()
+	s.m.draining.Set(0)
+	return err
 }
 
 // Close stops the listener, closes every connection and waits for the
@@ -561,21 +619,30 @@ func (s *Server) handleConn(nc net.Conn) {
 }
 
 func (s *Server) handleConnInner(nc net.Conn) {
+	// The first frame gets the short hello deadline; only after the peer
+	// has proven it speaks the protocol does the connection earn the
+	// steady-state ReadTimeout.
 	tc := transport.NewConn(nc, transport.Options{
 		MaxFrame:     s.cfg.MaxFrame,
-		ReadTimeout:  s.cfg.ReadTimeout,
+		ReadTimeout:  s.cfg.HelloTimeout,
 		WriteTimeout: s.cfg.WriteTimeout,
 		Metrics:      s.m.transport,
 	})
 
 	// The first frame must be a policy-matching hello. Each refusal cause
 	// is its own series: a scrape can tell a misprovisioned fleet (policy
-	// mismatches) from a port scanner (malformed hellos).
+	// mismatches) from a port scanner (malformed hellos) from a
+	// slow-loris (hello timeouts).
 	frame, err := tc.Recv()
 	if err != nil {
-		s.m.connRejIO.Inc()
+		if transport.IsTimeout(err) {
+			s.m.connRejHelloSlow.Inc()
+		} else {
+			s.m.connRejIO.Inc()
+		}
 		return
 	}
+	tc.SetReadTimeout(s.cfg.ReadTimeout)
 	hello, err := protocol.DecodeHello(frame)
 	if err != nil {
 		s.m.connRejHello.Inc()
@@ -594,10 +661,14 @@ func (s *Server) handleConnInner(nc net.Conn) {
 
 	stop := make(chan struct{})
 	defer close(stop)
+	// The issue/flood goroutine is wg-tracked so Close/Shutdown do not
+	// return while one is mid-send. The Add races no Wait: it happens
+	// under the handler's own wg slot, which Close is still waiting on.
+	s.wg.Add(1)
 	if s.cfg.Flood != nil {
-		go s.floodLoop(dev, tc, stop)
+		go func() { defer s.wg.Done(); s.floodLoop(dev, tc, stop) }()
 	} else {
-		go s.issueLoop(dev, tc, stop)
+		go func() { defer s.wg.Done(); s.issueLoop(dev, tc, stop) }()
 	}
 
 	var bucket *tokenBucket
@@ -610,6 +681,12 @@ func (s *Server) handleConnInner(nc net.Conn) {
 		// nothing aliases the buffer past handleFrame's return.
 		frame, err := tc.RecvShared()
 		if err != nil {
+			// A deadline expiry here means the peer completed no frame for
+			// a whole ReadTimeout: the post-hello slow-loris. The return
+			// evicts it (dropConn closes the socket).
+			if transport.IsTimeout(err) {
+				s.m.evictReadStall.Inc()
+			}
 			return
 		}
 		s.handleFrame(dev, bucket, frame)
@@ -717,11 +794,11 @@ func (s *Server) onStats(dev *deviceState, frame []byte, t0 time.Time) {
 	s.m.statsReports.Inc()
 	sh := dev.sh
 	sh.mu.Lock()
-	if prev := dev.lastStats.Load(); prev != nil && statsRegressed(st, prev) {
+	if prev := dev.lastStats.Load(); prev != nil && st.Regressed(prev) {
 		// The device's cumulative counters went backwards: it rebooted and
 		// restarted from zero. Fold the dying epoch's final snapshot into
 		// the high-water base so fleet aggregates stay monotonic.
-		addStats(&dev.statsBase, prev)
+		dev.statsBase.Accumulate(prev)
 		dev.statsEpochs++
 		s.m.statsEpochs.Inc()
 	}
@@ -742,6 +819,9 @@ func (s *Server) releaseInflight() { s.inflight.Add(-1) }
 // issueOne signs and sends the next request for dev, arming the
 // abandon-on-timeout. It reports false when the connection is dead.
 func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
+	if s.draining.Load() {
+		return true // draining: commit to no new verdicts
+	}
 	if !s.acquireInflight() {
 		s.m.inflightThrottled.Inc()
 		return true // cap pressure is not a connection failure
@@ -770,7 +850,12 @@ func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
 	}
 	if err := tc.Send(raw); err != nil {
 		// The request is on no wire; abandon it immediately so the
-		// verifier state does not accumulate ghosts.
+		// verifier state does not accumulate ghosts. A deadline expiry
+		// means the peer stopped draining its socket — the write-side
+		// slow-loris — and the false return evicts it.
+		if transport.IsTimeout(err) {
+			s.m.evictWriteStall.Inc()
+		}
 		dev.withLock(func() { dev.v.Abandon(nonce) })
 		s.releaseInflight()
 		return false
@@ -789,15 +874,20 @@ func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
 }
 
 // issueLoop drives the honest attestation schedule for one connection.
+// A failed send closes the transport so the read loop unblocks and the
+// connection is torn down as one unit, not half-dead.
 func (s *Server) issueLoop(dev *deviceState, tc *transport.Conn, stop <-chan struct{}) {
 	ticker := time.NewTicker(s.cfg.AttestEvery)
 	defer ticker.Stop()
 	for {
 		if !s.issueOne(dev, tc) {
+			tc.Close()
 			return
 		}
 		select {
 		case <-stop:
+			return
+		case <-s.drainCh:
 			return
 		case <-ticker.C:
 		}
@@ -827,16 +917,24 @@ func (s *Server) floodLoop(dev *deviceState, tc *transport.Conn, stop <-chan str
 		select {
 		case <-stop:
 			return
+		case <-s.drainCh:
+			return
 		default:
 		}
 		frame := s.floodFrame(dev, fams[n%len(fams)], n)
 		if err := tc.Send(frame); err != nil {
+			if transport.IsTimeout(err) {
+				s.m.evictWriteStall.Inc()
+			}
+			tc.Close()
 			return
 		}
 		s.m.floodInjected.Inc()
 		if interval > 0 {
 			select {
 			case <-stop:
+				return
+			case <-s.drainCh:
 				return
 			case <-time.After(interval):
 			}

@@ -260,6 +260,18 @@ func (c *Conn) recvLocked(scratch []byte) ([]byte, error) {
 	return frame, err
 }
 
+// SetReadTimeout replaces the per-Recv deadline for subsequent reads.
+// It lets a server hold the first frame of a connection to a short
+// hello deadline and then relax to the steady-state read timeout once
+// the peer has proven it speaks the protocol. It must not be called
+// concurrently with Recv or RecvShared (it serialises on the read lock,
+// so a call made between reads is safe).
+func (c *Conn) SetReadTimeout(d time.Duration) {
+	c.rmu.Lock()
+	c.opt.ReadTimeout = d
+	c.rmu.Unlock()
+}
+
 // Close closes the underlying connection, unblocking any pending Send or
 // Recv.
 func (c *Conn) Close() error { return c.nc.Close() }
