@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test race bench bench-compile repro fuzz fuzz-smoke examples clean
-.PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server metrics-smoke
+.PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server bench-quiescent metrics-smoke
 .PHONY: cover chaos-smoke
 
 all: build vet test
@@ -117,7 +117,14 @@ bench-transport:
 # authentic-vs-adversarial asymmetry ratio.
 bench-server:
 	$(GO) run ./cmd/attest-loadgen -devices 8 -rate 500 -duration 5s \
-		-out $(CURDIR)/BENCH_server.json
+		-variant baseline -out $(CURDIR)/BENCH_server.json
+
+# Quiescent-fleet variant of BENCH_server.json: every device clean after
+# its warm-up full round, so the fleet rides the O(1) fast path. Fails
+# unless the fast round is at least 100× faster than the full-MAC round.
+bench-quiescent:
+	$(GO) run ./cmd/attest-loadgen -quiescent -devices 8 -duration 5s \
+		-min-speedup 100 -variant quiescent -out $(CURDIR)/BENCH_server.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -43,6 +43,7 @@ func main() {
 		authName  = flag.String("auth", "hmac-sha1", "request auth: none | hmac-sha1 | aes-128-cbc-mac | speck-64/128-cbc-mac | ecdsa-secp160r1")
 		master    = flag.String("master", "proverattest-fleet-master", "master secret for key derivation (must match the daemon)")
 		services  = flag.Bool("services", false, "install the secure-update/erase/clock-sync services behind the gate")
+		fastPath  = flag.Bool("fastpath", false, "install the write monitor so a clean device answers O(1) fast-path requests")
 		statsMs   = flag.Duration("stats-every", 250*time.Millisecond, "gate-counter heartbeat period")
 
 		reconnect   = flag.Bool("reconnect", false, "supervise the session: redial with capped exponential backoff instead of exiting on connection loss")
@@ -67,6 +68,7 @@ func main() {
 		Freshness:      fresh,
 		Auth:           auth,
 		MasterSecret:   []byte(*master),
+		FastPath:       *fastPath,
 		EnableServices: *services,
 		StatsEvery:     *statsMs,
 		Metrics:        reg,
@@ -118,8 +120,8 @@ func main() {
 		err = a.Serve(ctx, nc)
 	}
 	st := a.Snapshot()
-	log.Printf("attest-agent: %s done: received=%d measured=%d gate-rejected=%d (auth=%d fresh=%d malformed=%d)",
-		*deviceID, st.Received, st.Measurements, st.GateRejected(),
+	log.Printf("attest-agent: %s done: received=%d measured=%d fast=%d gate-rejected=%d (auth=%d fresh=%d malformed=%d)",
+		*deviceID, st.Received, st.Measurements, st.FastResponses, st.GateRejected(),
 		st.AuthRejected, st.FreshnessRejected, st.Malformed)
 	if err != nil && !errors.Is(err, context.Canceled) {
 		log.Fatalf("attest-agent: %v", err)

@@ -76,6 +76,24 @@ type benchServer struct {
 	// means). The gate exists to keep the right side cheap.
 	AsymmetryRatio int64 `json:"asymmetry_ratio"`
 
+	// Quiescent-fleet read-out (-quiescent): devices answer through a
+	// FastResponder, so after each device's first full measurement every
+	// round rides the O(1) fast path. FullRound* samples every full-MAC
+	// round of the run (warm-up included — in a quiescent fleet the
+	// measured phase alone may never pay the full MAC again), FastRound*
+	// samples the measured phase's fast rounds, and QuiescentSpeedup is
+	// mean(full)/mean(fast): the RATA claim, client-observed.
+	Quiescent           bool    `json:"quiescent,omitempty"`
+	FastRounds          int64   `json:"fast_rounds,omitempty"`
+	FullRounds          int64   `json:"full_rounds,omitempty"`
+	FastRoundNsPerOp    int64   `json:"fast_round_ns_per_op,omitempty"`
+	FastRoundNsP50      int64   `json:"fast_round_ns_p50,omitempty"`
+	FastRoundNsP95      int64   `json:"fast_round_ns_p95,omitempty"`
+	FastRoundNsP99      int64   `json:"fast_round_ns_p99,omitempty"`
+	FullRoundNsPerOp    int64   `json:"full_round_ns_per_op,omitempty"`
+	QuiescentSpeedup    float64 `json:"quiescent_speedup,omitempty"`
+	ServerResponsesFast uint64  `json:"server_responses_fast,omitempty"`
+
 	// AllocsPerFrame is the process-wide heap objects allocated per
 	// generated frame (loadgen + in-process daemon; -1 when the daemon is
 	// external). The pooled codec keeps this near zero in steady state.
@@ -133,9 +151,16 @@ type device struct {
 	golden []byte
 	tc     *transport.Conn
 
+	// fast, when non-nil (-quiescent), answers requests through the
+	// RATA-style fast-path state machine instead of re-MACing the golden
+	// image per round.
+	fast *protocol.FastResponder
+
 	mu          sync.Mutex
 	sendNs      []int64 // adversarial frame admission latencies
 	roundNs     []int64 // authentic round service latencies
+	fastNs      []int64 // fast-path round latencies (subset of roundNs)
+	fullNs      []int64 // full-MAC round latencies, never reset (baseline)
 	framesSent  int64
 	roundsServd int64
 
@@ -174,10 +199,16 @@ func (d *device) serveConn(ctx context.Context, tc *transport.Conn) {
 		if err != nil {
 			continue
 		}
-		resp := protocol.AttResp{
-			Nonce:       req.Nonce,
-			Counter:     req.Counter,
-			Measurement: protocol.Measure(d.key[:], req, d.golden),
+		var resp protocol.AttResp
+		fast := false
+		if d.fast != nil {
+			fast = d.fast.RespondInto(req, &resp)
+		} else {
+			resp = protocol.AttResp{
+				Nonce:       req.Nonce,
+				Counter:     req.Counter,
+				Measurement: protocol.Measure(d.key[:], req, d.golden),
+			}
 		}
 		respBuf = resp.AppendEncode(respBuf[:0])
 		if err := tc.Send(respBuf); err != nil {
@@ -187,6 +218,13 @@ func (d *device) serveConn(ctx context.Context, tc *transport.Conn) {
 		d.mu.Lock()
 		d.roundNs = append(d.roundNs, ns)
 		d.roundsServd++
+		if d.fast != nil {
+			if fast {
+				d.fastNs = append(d.fastNs, ns)
+			} else {
+				d.fullNs = append(d.fullNs, ns)
+			}
+		}
 		d.mu.Unlock()
 	}
 }
@@ -348,6 +386,10 @@ func main() {
 		attEvery  = flag.Duration("attest-every", 100*time.Millisecond, "in-process daemon's per-device attestation period")
 		connRate  = flag.Float64("conn-rate", 0, "in-process daemon's per-connection frames/s budget (0 = unlimited)")
 		out       = flag.String("out", "", "also write the JSON summary to this file (BENCH_server.json)")
+		variant   = flag.String("variant", "", "merge the summary under this key in a variant map in -out instead of overwriting the file (a flat legacy file is folded in as \"baseline\")")
+
+		quiescent  = flag.Bool("quiescent", false, "quiescent fleet: devices answer via the RATA fast-path responder and the adversarial pump is off; the in-process daemon grants the fast path")
+		minSpeedup = flag.Float64("min-speedup", 0, "with -quiescent, fail unless the fast/full round speedup reaches this factor (0 = report only)")
 		scrapeURL = flag.String("scrape", "", "external daemon's /metrics URL to scrape mid-run, e.g. http://10.0.0.7:9150/metrics (in-process daemons are scraped automatically)")
 
 		chaos         = flag.Bool("chaos", false, "run the fleet over faultnet fault injection with supervised reconnects (disables the adversarial pump); survival stats land in the summary")
@@ -386,6 +428,7 @@ func main() {
 			MaxInflight:       4 * *devices,
 			PerConnRatePerSec: *connRate,
 			RequestTimeout:    reqTimeout,
+			FastPath:          *quiescent,
 		})
 		if err != nil {
 			log.Fatalf("attest-loadgen: %v", err)
@@ -446,6 +489,11 @@ func main() {
 			sendNs:  make([]int64, 0, int(*rate*duration.Seconds())+1024),
 			roundNs: make([]int64, 0, 1024),
 		}
+		if *quiescent {
+			d.fast = protocol.NewFastResponder(d.key[:], golden)
+			d.fastNs = make([]int64, 0, 1024)
+			d.fullNs = make([]int64, 0, 64)
+		}
 		hello := &protocol.Hello{Freshness: fresh, Auth: auth, DeviceID: id}
 		devs[i] = d
 		if *chaos {
@@ -479,8 +527,12 @@ func main() {
 	time.Sleep(*attEvery + 100*time.Millisecond)
 	for _, d := range devs {
 		d.mu.Lock()
+		// fullNs deliberately survives the reset: in a quiescent fleet the
+		// warm-up round is often the only full MAC the device ever pays, and
+		// it is the baseline the speedup is computed against.
 		d.sendNs = d.sendNs[:0]
 		d.roundNs = d.roundNs[:0]
+		d.fastNs = d.fastNs[:0]
 		d.framesSent, d.roundsServd = 0, 0
 		d.mu.Unlock()
 	}
@@ -507,9 +559,10 @@ func main() {
 			live.run(every, deadline)
 		}()
 	}
-	if *chaos {
-		// No adversarial pump in chaos mode: faultnet owns the adversity,
-		// and the pump would race the supervisor's per-session connections.
+	if *chaos || *quiescent {
+		// No adversarial pump in chaos mode (faultnet owns the adversity,
+		// and the pump would race the supervisor's per-session connections)
+		// or in quiescent mode (the point is an idle, clean fleet).
 		time.Sleep(time.Until(deadline))
 	} else {
 		var wg sync.WaitGroup
@@ -566,7 +619,7 @@ func main() {
 		chaosCancel()
 	}
 
-	var sendNs, roundNs []int64
+	var sendNs, roundNs, fastNs, fullNs []int64
 	var framesSent, rounds int64
 	var sessions, reconnects, dialErrors int64
 	var faults faultnet.StatsSnapshot
@@ -574,6 +627,8 @@ func main() {
 		d.mu.Lock()
 		sendNs = append(sendNs, d.sendNs...)
 		roundNs = append(roundNs, d.roundNs...)
+		fastNs = append(fastNs, d.fastNs...)
+		fullNs = append(fullNs, d.fullNs...)
 		framesSent += d.framesSent
 		rounds += d.roundsServd
 		sessions += d.sessions
@@ -592,6 +647,7 @@ func main() {
 	}
 	sort.Slice(sendNs, func(i, j int) bool { return sendNs[i] < sendNs[j] })
 	sort.Slice(roundNs, func(i, j int) bool { return roundNs[i] < roundNs[j] })
+	sort.Slice(fastNs, func(i, j int) bool { return fastNs[i] < fastNs[j] })
 
 	res := benchServer{
 		Bench:                    "server",
@@ -616,6 +672,19 @@ func main() {
 	}
 	if adv := mean(sendNs); adv > 0 && res.AuthenticRoundNsPerOp > 0 {
 		res.AsymmetryRatio = res.AuthenticRoundNsPerOp / adv
+	}
+	if *quiescent {
+		res.Quiescent = true
+		res.FastRounds = int64(len(fastNs))
+		res.FullRounds = int64(len(fullNs))
+		res.FastRoundNsPerOp = mean(fastNs)
+		res.FastRoundNsP50 = percentile(fastNs, 0.50)
+		res.FastRoundNsP95 = percentile(fastNs, 0.95)
+		res.FastRoundNsP99 = percentile(fastNs, 0.99)
+		res.FullRoundNsPerOp = mean(fullNs)
+		if f := mean(fastNs); f > 0 && res.FullRoundNsPerOp > 0 {
+			res.QuiescentSpeedup = float64(res.FullRoundNsPerOp) / float64(f)
+		}
 	}
 	if *chaos {
 		res.Chaos = true
@@ -647,6 +716,7 @@ func main() {
 		res.ServerUnknown = c.UnknownFrames
 		res.ServerRateLimited = c.RateLimited
 		res.ServerIssued = c.RequestsIssued
+		res.ServerResponsesFast = c.ResponsesFast
 	}
 
 	buf, err := json.MarshalIndent(res, "", "  ")
@@ -655,7 +725,7 @@ func main() {
 	}
 	fmt.Println(string(buf))
 	if *out != "" {
-		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		if err := writeSummary(*out, *variant, buf); err != nil {
 			log.Fatalf("attest-loadgen: %v", err)
 		}
 		log.Printf("attest-loadgen: wrote %s", *out)
@@ -664,4 +734,40 @@ func main() {
 	if rounds == 0 {
 		log.Fatalf("attest-loadgen: no authentic rounds completed — daemon unreachable or policy mismatch")
 	}
+	if *quiescent {
+		if res.FastRounds == 0 {
+			log.Fatalf("attest-loadgen: quiescent fleet completed no fast rounds — fast path not granted or not taken")
+		}
+		if *minSpeedup > 0 && res.QuiescentSpeedup < *minSpeedup {
+			log.Fatalf("attest-loadgen: quiescent speedup %.1fx below the %.0fx floor (full %d ns vs fast %d ns)",
+				res.QuiescentSpeedup, *minSpeedup, res.FullRoundNsPerOp, res.FastRoundNsPerOp)
+		}
+	}
+}
+
+// writeSummary writes the run summary to path. With a variant name the file
+// holds a map of variant → summary and this run only replaces its own key;
+// a pre-existing flat single-run file (the legacy format) is folded in
+// under "baseline" rather than discarded.
+func writeSummary(path, variant string, buf []byte) error {
+	if variant == "" {
+		return os.WriteFile(path, append(buf, '\n'), 0o644)
+	}
+	variants := map[string]json.RawMessage{}
+	if old, err := os.ReadFile(path); err == nil {
+		var m map[string]json.RawMessage
+		if json.Unmarshal(old, &m) == nil {
+			if _, flat := m["bench"]; flat {
+				variants["baseline"] = json.RawMessage(old)
+			} else {
+				variants = m
+			}
+		}
+	}
+	variants[variant] = json.RawMessage(buf)
+	out, err := json.MarshalIndent(variants, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -50,6 +50,12 @@ type Config struct {
 	// Protection selects the anchor's EA-MPU mitigations (zero value:
 	// anchor.FullProtection).
 	Protection *anchor.Protection
+	// FastPath installs the RATA-style write monitor on the device, so a
+	// clean prover answers requests that permit it with the O(1) fast MAC
+	// instead of the full memory measurement. Must match the daemon's
+	// -fastpath setting: a monitored agent against a fastpath-less daemon
+	// simply never sees AllowFast requests and always measures fully.
+	FastPath bool
 	// NonceCapacity bounds the nonce history for FreshNonceHistory.
 	NonceCapacity int
 	// EnableServices installs the secure-update/erase/clock-sync services
@@ -123,6 +129,7 @@ func New(cfg Config) (*Agent, error) {
 		AttestKey:     key,
 		Freshness:     cfg.Freshness,
 		NonceCapacity: cfg.NonceCapacity,
+		Monitor:       cfg.FastPath,
 		Protection:    prot,
 	}
 	if err := core.NewDeviceAuth(cfg.Auth, &acfg); err != nil {
@@ -224,6 +231,7 @@ func (a *Agent) snapshotLocked() protocol.StatsReport {
 		FreshnessRejected: st.FreshnessRejected,
 		Faults:            st.Faults,
 		Measurements:      st.Measurements,
+		FastResponses:     st.FastResponses,
 		Commands:          st.Commands,
 		CommandsExecuted:  st.CommandsExecuted,
 		ActiveCycles:      uint64(a.dev.M.ActiveCycles),

@@ -21,9 +21,9 @@ import (
 // flowing, the agent reconnects on its own, and the daemon's fleet
 // aggregates never move backwards or declare a phantom reboot.
 
-func chaosServer(t *testing.T) (*server.Server, string) {
+func chaosServer(t *testing.T, mutate ...func(*server.Config)) (*server.Server, string) {
 	t.Helper()
-	s, err := server.New(server.Config{
+	cfg := server.Config{
 		Freshness:    protocol.FreshCounter,
 		Auth:         protocol.AuthHMACSHA1,
 		MasterSecret: testMaster,
@@ -35,7 +35,11 @@ func chaosServer(t *testing.T) (*server.Server, string) {
 		ReadTimeout:    time.Second,
 		WriteTimeout:   time.Second,
 		HelloTimeout:   time.Second,
-	})
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,15 +52,19 @@ func chaosServer(t *testing.T) (*server.Server, string) {
 	return s, ln.Addr().String()
 }
 
-func chaosAgent(t *testing.T, id string) *Agent {
+func chaosAgent(t *testing.T, id string, mutate ...func(*Config)) *Agent {
 	t.Helper()
-	a, err := New(Config{
+	cfg := Config{
 		DeviceID:     id,
 		Freshness:    protocol.FreshCounter,
 		Auth:         protocol.AuthHMACSHA1,
 		MasterSecret: testMaster,
 		StatsEvery:   15 * time.Millisecond,
-	})
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	a, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,6 +197,116 @@ func TestRunSurvivesChaos(t *testing.T) {
 				t.Fatalf("Devices = %d, want 1 (reconnects must reuse server-side state)", s.Devices())
 			}
 		})
+	}
+}
+
+// TestFastPathSurvivesReconnect: connection teardown must not cost the
+// device its fast-path privilege. The dirty bit, the monitor epoch and
+// the daemon's verified digest/epoch record all live outside the
+// connection, so once the fast path is armed, flapping sessions resync
+// to it without a single re-measurement — and without a fast mismatch.
+func TestFastPathSurvivesReconnect(t *testing.T) {
+	s, addr := chaosServer(t, func(c *server.Config) { c.FastPath = true })
+	a := chaosAgent(t, "fast-reconnect-dev", func(c *Config) { c.FastPath = true })
+
+	var dials atomic.Int64
+	dial := faultDialer(addr, faultnet.MustParseSchedule("flap=150ms:reset"), 7700, &dials, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- a.Run(ctx, dial, Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.2, Seed: 42})
+	}()
+
+	waitUntil(t, 30*time.Second, "the fast path to arm and serve a round", func() bool {
+		return s.Counters().ResponsesFast >= 1
+	})
+	// Once armed, reconnects must never force a re-measurement: a full
+	// round is only spent where verifier state is actually lost.
+	measured := a.Snapshot().Measurements
+	dialsSeen := dials.Load()
+	fastSeen := s.Counters().ResponsesFast
+	waitUntil(t, 30*time.Second, "fast rounds across several more sessions", func() bool {
+		return dials.Load() >= dialsSeen+2 && s.Counters().ResponsesFast >= fastSeen+5
+	})
+	if got := a.Snapshot().Measurements; got != measured {
+		t.Fatalf("Measurements grew %d -> %d across reconnects; teardown must not revoke the fast path", measured, got)
+	}
+	if got := s.Counters().ResponsesFastRejected; got != 0 {
+		t.Fatalf("ResponsesFastRejected = %d, want 0 (reconnects must not desync the fast MAC)", got)
+	}
+
+	cancel()
+	select {
+	case err := <-runDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not exit on cancel")
+	}
+}
+
+// TestDaemonRestartForcesOneFullMAC: a daemon restart loses the
+// verifier's digest/epoch record, and the resync contract says that
+// costs the device exactly one full-MAC round — the new daemon's first
+// requests withhold fast permission, one full measurement re-establishes
+// the record, then the fast path resumes with no mismatch.
+func TestDaemonRestartForcesOneFullMAC(t *testing.T) {
+	// A slow attestation period keeps rounds strictly sequential, so "one
+	// full round to resync" is exact rather than racing the issue ticker.
+	fastCfg := func(c *server.Config) {
+		c.FastPath = true
+		c.AttestEvery = 60 * time.Millisecond
+	}
+	s1, addr1 := chaosServer(t, fastCfg)
+
+	var target atomic.Value
+	target.Store(addr1)
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", target.Load().(string))
+	}
+
+	a := chaosAgent(t, "fast-restart-dev", func(c *Config) { c.FastPath = true })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- a.Run(ctx, dial, Backoff{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond, Seed: 9})
+	}()
+
+	waitUntil(t, 30*time.Second, "fast rounds on the first daemon", func() bool {
+		return s1.Counters().ResponsesFast >= 2
+	})
+	measured := a.Snapshot().Measurements
+	s1.Close() // the verified digest/epoch record dies with the daemon
+
+	s2, addr2 := chaosServer(t, fastCfg)
+	target.Store(addr2)
+	waitUntil(t, 30*time.Second, "fast rounds resumed on the new daemon", func() bool {
+		return s2.Counters().ResponsesFast >= 2
+	})
+	if got := a.Snapshot().Measurements; got != measured+1 {
+		t.Fatalf("Measurements %d -> %d across the restart, want exactly one resync measurement", measured, got)
+	}
+	c := s2.Counters()
+	if full := c.ResponsesAccepted - c.ResponsesFast; full != 1 {
+		t.Fatalf("new daemon accepted %d full rounds, want exactly 1 before the fast path resumed", full)
+	}
+	if c.ResponsesFastRejected != 0 {
+		t.Fatalf("ResponsesFastRejected = %d on the new daemon, want 0 (cold start resyncs via full-only requests, not mismatches)", c.ResponsesFastRejected)
+	}
+
+	cancel()
+	select {
+	case err := <-runDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not exit on cancel")
 	}
 }
 

@@ -78,6 +78,8 @@ func (a *Agent) registerGauges(reg *obs.Registry) {
 		func(st *protocol.StatsReport) uint64 { return st.Malformed }, obs.L("cause", "malformed"))
 	gate("agent_measurements", "Full memory measurements performed (the expensive MAC work).",
 		func(st *protocol.StatsReport) uint64 { return st.Measurements })
+	gate("agent_fast_responses", "O(1) fast-path responses (clean write monitor, no memory MAC).",
+		func(st *protocol.StatsReport) uint64 { return st.FastResponses })
 	gate("agent_faults", "Bus faults taken inside the anchor.",
 		func(st *protocol.StatsReport) uint64 { return st.Faults })
 	gate("agent_active_cycles", "Total MCU cycles spent (energy basis).",

@@ -47,6 +47,13 @@ var (
 	// service; see internal/services.
 	SyncOffsetAddr = mcu.SRAMRegion.Start + 0x108
 
+	// LastDigestAddr holds the digest of the last full measurement (20
+	// bytes of anchor SRAM, outside the measured image). The fast path
+	// vouches for exactly these bytes; under Protection.Monitor they are
+	// writable only by Code_Attest, so application code can neither forge
+	// the stored digest nor clear the monitor that guards it.
+	LastDigestAddr = mcu.SRAMRegion.Start + 0x110
+
 	// TimerIRQLine is the interrupt line of the Clock_LSB wrap event.
 	TimerIRQLine = 5
 
@@ -114,13 +121,22 @@ type Protection struct {
 	// SyncOffset protects the clock-synchronisation offset word (writable
 	// only by Code_Attest); required when the clock-sync service is used.
 	SyncOffset bool
+	// Monitor restricts the write-monitor registers and the last-digest
+	// SRAM words to Code_Attest, so only the attestation routine can rearm
+	// the dirty latch (the RATA access rule). Only meaningful when the
+	// anchor is configured with a monitor (Config.Monitor); without the
+	// rule, application code can rearm the latch — which desyncs the
+	// monitor epoch from the verifier rather than hiding anything, but
+	// costs an extra full measurement per lie (see internal/core's
+	// fast-path adversary matrix).
+	Monitor bool
 	// LockMPU sets the EA-MPU lockdown bit after boot.
 	LockMPU bool
 }
 
 // FullProtection enables every mitigation, as in Figure 1.
 func FullProtection() Protection {
-	return Protection{Key: true, Counter: true, Clock: true, LockMPU: true}
+	return Protection{Key: true, Counter: true, Clock: true, Monitor: true, LockMPU: true}
 }
 
 // Profile selects which published architecture the anchor emulates. The
@@ -190,6 +206,9 @@ type Config struct {
 	// means one atomic, uninterruptible pass (SMART-style) — immune to the
 	// TOCTOU relocation attack that chunking re-opens (paper footnote 1).
 	MeasurementChunk uint32
+	// Monitor installs the RATA-style write monitor over MeasuredRegion
+	// and enables the O(1) fast-path response for clean provers.
+	Monitor bool
 	// Protection selects the installed mitigations.
 	Protection Protection
 	// InterruptibleAttest allows interrupts to pend-and-deliver around
@@ -209,6 +228,7 @@ type Stats struct {
 	FreshnessRejected uint64 // replay/reorder/delay rejects
 	Faults            uint64 // bus faults inside Code_Attest (should be 0)
 	Measurements      uint64 // full memory measurements performed
+	FastResponses     uint64 // O(1) fast-path responses (no memory MAC)
 	ClockTicks        uint64 // Code_Clock ISR executions
 	ISRFaults         uint64 // bus faults inside Code_Clock (should be 0)
 	Commands          uint64 // service-command frames submitted
@@ -222,6 +242,7 @@ type Anchor struct {
 	CodeClock  *mcu.Task
 	Wide       *mcu.WideClock
 	LSB        *mcu.LSBClock
+	Mon        *mcu.WriteMonitor
 
 	cfg     Config
 	keyAddr mcu.Addr
@@ -309,6 +330,13 @@ func Install(m *mcu.MCU, cfg Config) (*Anchor, error) {
 	m.Space.DirectWrite(CounterAddr, make([]byte, CounterSize))
 	m.Space.DirectStore32(NonceAreaAddr, 0)
 	m.Space.DirectWrite(SyncOffsetAddr, make([]byte, 8))
+
+	if cfg.Monitor {
+		// The monitor powers up dirty, so nothing provisioned here — or
+		// later, by attack code — is ever vouched for without a full
+		// measurement first.
+		a.Mon = mcu.NewWriteMonitor(m, cfg.MeasuredRegion)
+	}
 
 	switch cfg.Clock {
 	case ClockNone:
@@ -407,6 +435,17 @@ func ProtectionRules(cfg Config) []mcu.Rule {
 			Code: CodeAttestRegion, Data: mcu.Region{Start: SyncOffsetAddr, Size: 8},
 			Perm: mcu.PermRead | mcu.PermWrite, Enabled: true,
 		})
+	}
+	if cfg.Monitor && cfg.Protection.Monitor {
+		// Default-deny over the covered windows: with these the only rules
+		// touching them, application code can neither rearm the latch nor
+		// forge the stored digest the fast path vouches for.
+		rules = append(rules,
+			mcu.Rule{Code: CodeAttestRegion, Data: mcu.MonitorWindow,
+				Perm: mcu.PermRead | mcu.PermWrite, Enabled: true},
+			mcu.Rule{Code: CodeAttestRegion, Data: mcu.Region{Start: LastDigestAddr, Size: sha1.Size},
+				Perm: mcu.PermRead | mcu.PermWrite, Enabled: true},
+		)
 	}
 	return rules
 }

@@ -5,6 +5,7 @@ import (
 
 	"proverattest/internal/crypto/cost"
 	"proverattest/internal/crypto/hmac"
+	"proverattest/internal/crypto/sha1"
 	"proverattest/internal/mcu"
 	"proverattest/internal/protocol"
 )
@@ -26,6 +27,9 @@ func (a *Anchor) HandleRequest(payload []byte, respond func([]byte)) {
 	a.M.Submit(a.CodeAttest, func(e *mcu.Exec) {
 		req, key, ok := a.gate(e, frame)
 		if !ok {
+			return
+		}
+		if out = a.tryFastPath(e, req, key); out != nil {
 			return
 		}
 		chunk := a.cfg.MeasurementChunk
@@ -84,11 +88,92 @@ func (a *Anchor) gate(e *mcu.Exec, frame []byte) (*protocol.AttReq, []byte, bool
 	return req, key, true
 }
 
+// tryFastPath is the RATA O(1) response: when the request grants fast
+// permission and the write monitor reports the measured region untouched
+// since the last rearm, answer with the fast MAC over the stored digest
+// and the monitor epoch instead of re-MACing all of memory. Returns nil
+// when the full measurement must run. All monitor and digest accesses go
+// through the bus as Code_Attest — the same EA-MPU-checked path every
+// other anchor access uses.
+func (a *Anchor) tryFastPath(e *mcu.Exec, req *protocol.AttReq, key []byte) []byte {
+	if a.Mon == nil || !req.AllowFast {
+		return nil
+	}
+	status, fault := e.Load32(mcu.MonStatusAddr)
+	if fault != nil {
+		a.Stats.Faults++
+		return nil
+	}
+	epoch, fault := e.Load32(mcu.MonEpochAddr)
+	if fault != nil {
+		a.Stats.Faults++
+		return nil
+	}
+	// Epoch zero means no full measurement has rearmed the latch yet; the
+	// fast path never vouches for memory it has not measured.
+	if status != 0 || epoch == 0 {
+		return nil
+	}
+	raw, fault := e.Read(LastDigestAddr, sha1.Size)
+	if fault != nil {
+		a.Stats.Faults++
+		return nil
+	}
+	var digest [sha1.Size]byte
+	copy(digest[:], raw)
+	e.Tick(cost.HMACSHA1(protocol.FastMACMessageLen))
+	mac := protocol.FastMAC(key, req, epoch, &digest)
+	a.Stats.FastResponses++
+	return (&protocol.AttResp{
+		Fast:        true,
+		Epoch:       epoch,
+		Nonce:       req.Nonce,
+		Counter:     req.Counter,
+		Measurement: mac,
+	}).Encode()
+}
+
+// monitorRearm clears the dirty latch through the CTRL register and
+// returns the new epoch — zero when no monitor is installed or the rearm
+// faulted (either way the response carries epoch 0 and the verifier never
+// arms its fast state: fail-safe toward the full MAC). It must run
+// *before* the measurement touches memory: a store racing the measurement
+// then re-latches the bit, which is what makes the fast path
+// TOCTOU-resistant.
+func (a *Anchor) monitorRearm(e *mcu.Exec) uint32 {
+	if a.Mon == nil {
+		return 0
+	}
+	if fault := e.Store32(mcu.MonCtrlAddr, mcu.MonRearm); fault != nil {
+		a.Stats.Faults++
+		return 0
+	}
+	epoch, fault := e.Load32(mcu.MonEpochAddr)
+	if fault != nil {
+		a.Stats.Faults++
+		return 0
+	}
+	return epoch
+}
+
+// storeDigest records a completed full measurement for the fast path to
+// vouch for. The words live in anchor SRAM, outside the measured image,
+// so the store does not re-latch the monitor.
+func (a *Anchor) storeDigest(e *mcu.Exec, meas [sha1.Size]byte) {
+	if a.Mon == nil {
+		return
+	}
+	if fault := e.Write(LastDigestAddr, meas[:]); fault != nil {
+		a.Stats.Faults++
+	}
+}
+
 // measureAtomic is the uninterruptible measurement: one pass over the
 // whole measured region inside the current job. Nothing can execute on
 // the core between the first byte read and the response — which is
 // exactly why it is TOCTOU-free.
 func (a *Anchor) measureAtomic(e *mcu.Exec, req *protocol.AttReq, key []byte) []byte {
+	epoch := a.monitorRearm(e)
 	mem, fault := e.Read(a.cfg.MeasuredRegion.Start, a.cfg.MeasuredRegion.Size)
 	if fault != nil {
 		a.Stats.Faults++
@@ -97,7 +182,9 @@ func (a *Anchor) measureAtomic(e *mcu.Exec, req *protocol.AttReq, key []byte) []
 	e.Tick(cost.HMACSHA1(len(req.SignedBytes()) + len(mem)))
 	meas := protocol.Measure(key, req, mem)
 	a.Stats.Measurements++
+	a.storeDigest(e, meas)
 	return (&protocol.AttResp{
+		Epoch:       epoch,
 		Nonce:       req.Nonce,
 		Counter:     req.Counter,
 		Measurement: meas,
@@ -119,6 +206,10 @@ func (a *Anchor) measureAtomic(e *mcu.Exec, req *protocol.AttReq, key []byte) []
 func (a *Anchor) measureChunked(e *mcu.Exec, req *protocol.AttReq, key []byte, respond func([]byte)) {
 	region := a.cfg.MeasuredRegion
 	chunkSize := a.cfg.MeasurementChunk
+	// Rearm before the first chunk reads memory: any store interleaved
+	// with the chunk chain re-latches the bit, so a torn measurement can
+	// never back a fast response.
+	epoch := a.monitorRearm(e)
 	state := hmac.NewSHA1(key)
 	state.Write(req.SignedBytes()) //nolint:errcheck // never fails
 	// The fixed HMAC overhead (key pads, finalisation) and the request
@@ -146,7 +237,9 @@ func (a *Anchor) measureChunked(e *mcu.Exec, req *protocol.AttReq, key []byte, r
 				var meas [20]byte
 				copy(meas[:], state.Sum(nil))
 				a.Stats.Measurements++
+				a.storeDigest(e, meas)
 				out = (&protocol.AttResp{
+					Epoch:       epoch,
 					Nonce:       req.Nonce,
 					Counter:     req.Counter,
 					Measurement: meas,

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"proverattest/internal/anchor"
+	"proverattest/internal/mcu"
+	"proverattest/internal/protocol"
+	"proverattest/internal/sim"
+)
+
+// The RATA fast-path adversary matrix: who can hide from a verifier that
+// accepts O(1) fast responses against its record of the last verified
+// digest and monitor epoch? Nobody should — a resident modification must
+// cost the device its fast-path privilege and be caught by the next full
+// measurement within one attestation period, whether the prover is honest
+// about its dirty bit or lies about it.
+
+// FastPathAdversary names one prover-side behaviour in the matrix.
+type FastPathAdversary int
+
+const (
+	// FastHonest is the clean baseline: nothing writes attested memory, so
+	// after the first full measurement every round rides the fast path.
+	FastHonest FastPathAdversary = iota
+	// FastResident writes the attested region mid-run and leaves the dirty
+	// bit alone: the next request falls back to the full MAC, which
+	// catches the modification.
+	FastResident
+	// FastLiar writes the attested region and then rearms the latch from
+	// application code to keep claiming cleanliness. With the monitor's
+	// EA-MPU rule the rearm faults (and the device behaves like
+	// FastResident); without it the rearm succeeds but bumps the epoch,
+	// desyncing the fast MAC from the verifier's record.
+	FastLiar
+)
+
+func (a FastPathAdversary) String() string {
+	switch a {
+	case FastHonest:
+		return "honest"
+	case FastResident:
+		return "resident"
+	case FastLiar:
+		return "liar"
+	}
+	return fmt.Sprintf("fastpath-adversary(%d)", int(a))
+}
+
+// FastPathResult is one matrix cell, decided by observation.
+type FastPathResult struct {
+	Adversary FastPathAdversary
+	// Protected is whether the monitor's control window carried its EA-MPU
+	// rule (Protection.Monitor).
+	Protected bool
+
+	Rounds          int    // attestation requests issued
+	CompromiseRound int    // round after which the adversary acts (0 = never)
+	Measurements    uint64 // full memory measurements the prover performed
+	FastResponses   uint64 // O(1) responses the prover gave
+	FastAccepted    uint64 // fast responses the verifier accepted
+	FastRejected    uint64 // fast responses the verifier refused (epoch/digest desync)
+	Accepted        uint64 // verifier-accepted rounds in total
+	Rejected        uint64 // verifier-rejected rounds in total
+	// RearmBlocked is whether the liar's out-of-band rearm faulted at the
+	// EA-MPU (only meaningful for FastLiar).
+	RearmBlocked bool
+
+	// Detected is whether the verifier rejected at least one response after
+	// the compromise; RoundsToDetect is how many attestation periods that
+	// took (the detection-latency the sweep trades against energy).
+	Detected       bool
+	RoundsToDetect int
+}
+
+// RunFastPathCell plays one adversary × protection cell: `rounds` requests
+// one second apart against a monitored prover, with the adversary acting
+// between rounds compromiseRound and compromiseRound+1.
+func RunFastPathCell(adv FastPathAdversary, protected bool) (FastPathResult, error) {
+	const (
+		rounds          = 6
+		compromiseRound = 2
+		period          = sim.Second
+	)
+	res := FastPathResult{Adversary: adv, Protected: protected, Rounds: rounds}
+
+	prot := anchor.FullProtection()
+	prot.Monitor = protected
+	s, err := NewScenario(ScenarioConfig{
+		Freshness:  protocol.FreshCounter,
+		Auth:       protocol.AuthHMACSHA1,
+		Protection: prot,
+		Monitor:    true,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	appPC := mcu.FlashRegion.Start // the adversary runs as application code
+	target := mcu.RAMRegion.Start + 0x40000
+
+	if adv != FastHonest {
+		res.CompromiseRound = compromiseRound
+		at := sim.Time(compromiseRound)*period + period/2
+		s.K.At(at, func() {
+			// The implant lands in attested RAM. The write itself cannot be
+			// blocked — RAM is open — but the monitor snoops it.
+			s.Dev.M.Bus.Write(appPC, target, []byte{0xE7, 0xE7, 0xE7, 0xE7})
+			if adv == FastLiar {
+				// The lie: clear the latch from application code. Under the
+				// monitor's EA-MPU rule this faults; without it, it succeeds
+				// but increments the hardware epoch.
+				res.RearmBlocked = s.Dev.M.Bus.Store32(appPC, mcu.MonCtrlAddr, mcu.MonRearm) != nil
+			}
+		})
+	}
+
+	// Sample the verifier's reject counter between rounds to locate the
+	// detection round.
+	rejectedAfter := make([]uint64, rounds+1)
+	for i := 1; i <= rounds; i++ {
+		s.IssueAt(sim.Time(i) * period)
+		i := i
+		s.K.At(sim.Time(i)*period+period*9/10, func() {
+			rejectedAfter[i] = s.V.Rejected
+		})
+	}
+	s.RunUntil(sim.Time(rounds+2) * period)
+
+	res.Measurements = s.Dev.A.Stats.Measurements
+	res.FastResponses = s.Dev.A.Stats.FastResponses
+	res.FastAccepted = s.V.FastAccepted
+	res.FastRejected = s.V.FastRejected
+	res.Accepted = s.V.Accepted
+	res.Rejected = s.V.Rejected
+
+	res.RoundsToDetect = -1
+	for i := 1; i <= rounds; i++ {
+		if rejectedAfter[i] > 0 {
+			res.Detected = true
+			res.RoundsToDetect = i - compromiseRound
+			break
+		}
+	}
+	return res, nil
+}
+
+// RunFastPathMatrix plays every adversary × protection cell.
+func RunFastPathMatrix() ([]FastPathResult, error) {
+	var out []FastPathResult
+	for _, adv := range []FastPathAdversary{FastHonest, FastResident, FastLiar} {
+		for _, protected := range []bool{true, false} {
+			r, err := RunFastPathCell(adv, protected)
+			if err != nil {
+				return nil, fmt.Errorf("core: fastpath %v/protected=%v: %w", adv, protected, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

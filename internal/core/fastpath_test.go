@@ -1,0 +1,116 @@
+package core
+
+import "testing"
+
+// TestFastPathHonestQuiescent pins the RATA steady state: one full
+// measurement ever, every later round O(1), nothing rejected.
+func TestFastPathHonestQuiescent(t *testing.T) {
+	for _, protected := range []bool{true, false} {
+		r, err := RunFastPathCell(FastHonest, protected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Measurements != 1 {
+			t.Errorf("protected=%v: Measurements = %d, want 1 (quiescent device re-measured)", protected, r.Measurements)
+		}
+		wantFast := uint64(r.Rounds - 1)
+		if r.FastResponses != wantFast || r.FastAccepted != wantFast {
+			t.Errorf("protected=%v: fast responses %d accepted %d, want %d each",
+				protected, r.FastResponses, r.FastAccepted, wantFast)
+		}
+		if r.Rejected != 0 || r.Detected {
+			t.Errorf("protected=%v: honest device flagged: rejected=%d detected=%v", protected, r.Rejected, r.Detected)
+		}
+		if r.Accepted != uint64(r.Rounds) {
+			t.Errorf("protected=%v: Accepted = %d, want %d", protected, r.Accepted, r.Rounds)
+		}
+	}
+}
+
+// TestFastPathResidentDetectedWithinOnePeriod: a write to attested memory
+// revokes the fast path (the monitor latched), and the resulting full
+// measurement catches the modification on the very next round.
+func TestFastPathResidentDetectedWithinOnePeriod(t *testing.T) {
+	for _, protected := range []bool{true, false} {
+		r, err := RunFastPathCell(FastResident, protected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Detected {
+			t.Fatalf("protected=%v: resident modification never detected", protected)
+		}
+		if r.RoundsToDetect != 1 {
+			t.Errorf("protected=%v: detected after %d periods, want 1", protected, r.RoundsToDetect)
+		}
+		// The dirty device must have been driven back to the full MAC, not
+		// answered fast: exactly the pre-compromise rounds ride the fast path.
+		if r.FastResponses != uint64(r.CompromiseRound-1) {
+			t.Errorf("protected=%v: %d fast responses, want %d (fast path must stop at the dirty bit)",
+				protected, r.FastResponses, r.CompromiseRound-1)
+		}
+		if r.FastRejected != 0 {
+			t.Errorf("protected=%v: FastRejected = %d, want 0 (honest-about-dirty prover never desyncs)", protected, r.FastRejected)
+		}
+	}
+}
+
+// TestFastPathLiarCaught: clearing the latch out-of-band must not restore
+// the fast-path privilege. Protected, the rearm faults and the device acts
+// like an honest dirty prover; unprotected, the rearm's epoch bump desyncs
+// the fast MAC, the verifier refuses it and demands the full MAC — which
+// catches the modification. Either way: detected within one period.
+func TestFastPathLiarCaught(t *testing.T) {
+	prot, err := RunFastPathCell(FastLiar, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.RearmBlocked {
+		t.Fatal("protected liar's out-of-band rearm was not blocked by the EA-MPU")
+	}
+	if !prot.Detected || prot.RoundsToDetect != 1 {
+		t.Fatalf("protected liar: detected=%v after %d periods, want within 1", prot.Detected, prot.RoundsToDetect)
+	}
+	if prot.FastRejected != 0 {
+		t.Errorf("protected liar: FastRejected = %d, want 0 (blocked rearm leaves the latch honest)", prot.FastRejected)
+	}
+
+	unprot, err := RunFastPathCell(FastLiar, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unprot.RearmBlocked {
+		t.Fatal("unprotected liar's rearm unexpectedly blocked")
+	}
+	if !unprot.Detected || unprot.RoundsToDetect != 1 {
+		t.Fatalf("unprotected liar: detected=%v after %d periods, want within 1", unprot.Detected, unprot.RoundsToDetect)
+	}
+	// The epoch bound into the MAC is what catches the lie: the forged-clean
+	// response is refused as a fast-path desync, not accepted.
+	if unprot.FastRejected == 0 {
+		t.Error("unprotected liar: no fast response was rejected — the epoch desync went unnoticed")
+	}
+	if unprot.Accepted >= uint64(unprot.Rounds) {
+		t.Errorf("unprotected liar: all %d rounds accepted — the lie passed", unprot.Rounds)
+	}
+}
+
+// TestFastPathMatrix runs the full matrix and demands the one-line truth:
+// only the honest cells go undetected.
+func TestFastPathMatrix(t *testing.T) {
+	results, err := RunFastPathMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("matrix has %d cells, want 6", len(results))
+	}
+	for _, r := range results {
+		wantDetected := r.Adversary != FastHonest
+		if r.Detected != wantDetected {
+			t.Errorf("%v/protected=%v: detected=%v, want %v", r.Adversary, r.Protected, r.Detected, wantDetected)
+		}
+		if wantDetected && r.RoundsToDetect > 1 {
+			t.Errorf("%v/protected=%v: detection took %d periods, want ≤1", r.Adversary, r.Protected, r.RoundsToDetect)
+		}
+	}
+}

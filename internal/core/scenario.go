@@ -44,6 +44,12 @@ type ScenarioConfig struct {
 	// MeasurementChunk streams the measurement in chunks of this many
 	// bytes (0 = atomic); see anchor.Config.MeasurementChunk.
 	MeasurementChunk uint32
+	// Monitor installs the RATA-style write monitor on the prover and
+	// enables the fast path on both ends: the verifier grants fast-path
+	// permission once a full measurement verifies, and the anchor answers
+	// O(1) while the monitor stays clean. Protection.Monitor additionally
+	// locks the monitor's rearm register to Code_Attest.
+	Monitor bool
 	// EnableServices installs the secure-update, secure-erase and
 	// clock-sync services behind the anchor's gate.
 	EnableServices bool
@@ -91,6 +97,7 @@ func NewScenarioOn(k *sim.Kernel, cfg ScenarioConfig) (*Scenario, error) {
 		KeyLocation:       cfg.KeyLocation,
 		MeasuredRegion:    cfg.MeasuredRegion,
 		MeasurementChunk:  cfg.MeasurementChunk,
+		Monitor:           cfg.Monitor,
 		Protection:        cfg.Protection,
 	}
 	if err := NewDeviceAuth(cfg.Auth, &acfg); err != nil {
@@ -130,10 +137,11 @@ func NewScenarioOn(k *sim.Kernel, cfg ScenarioConfig) (*Scenario, error) {
 		golden = golden[off : uint32(off)+cfg.MeasuredRegion.Size]
 	}
 	v, err := protocol.NewVerifier(protocol.VerifierConfig{
-		Freshness: cfg.Freshness,
-		Auth:      auth,
-		AttestKey: key,
-		Golden:    golden,
+		Freshness:     cfg.Freshness,
+		Auth:          auth,
+		AttestKey:     key,
+		Golden:        golden,
+		AllowFastPath: cfg.Monitor,
 		Clock: func() uint64 {
 			ms := int64(k.Now()/sim.Millisecond) + cfg.VerifierClockOffsetMs
 			if ms < 0 {

@@ -58,6 +58,20 @@ func (m *MAC) Sum(b []byte) []byte {
 	return outer.Sum(b)
 }
 
+// SumInto writes the tag into out without allocating, finalising on the
+// MAC's own outer digest instead of a fresh one. Like Sum, it leaves the
+// inner stream usable for further writes. It exists for per-frame hot
+// paths (the attestation fast path) where Sum's fresh outer digest and
+// intermediate slice would be per-call garbage.
+func (m *MAC) SumInto(out *[TagSize]byte) {
+	var innerSum [TagSize]byte
+	m.inner.Sum(innerSum[:0])
+	m.outer.Reset()
+	m.outer.Write(m.opad[:])
+	m.outer.Write(innerSum[:])
+	m.outer.Sum(out[:0])
+}
+
 // Reset restarts the MAC with the same key.
 func (m *MAC) Reset() {
 	m.inner.Reset()

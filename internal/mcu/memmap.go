@@ -63,9 +63,10 @@ var (
 
 // Fixed MMIO window assignments.
 var (
-	MPUWindow   = Region{Start: MMIORegion.Start + 0x0000, Size: 0x1000}
-	IRQWindow   = Region{Start: MMIORegion.Start + 0x1000, Size: 0x0100}
-	ClockWindow = Region{Start: MMIORegion.Start + 0x2000, Size: 0x0100}
+	MPUWindow     = Region{Start: MMIORegion.Start + 0x0000, Size: 0x1000}
+	IRQWindow     = Region{Start: MMIORegion.Start + 0x1000, Size: 0x0100}
+	ClockWindow   = Region{Start: MMIORegion.Start + 0x2000, Size: 0x0100}
+	MonitorWindow = Region{Start: MMIORegion.Start + 0x3000, Size: 0x0100}
 )
 
 // AccessKind distinguishes bus reads from writes.

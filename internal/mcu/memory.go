@@ -35,6 +35,13 @@ type AddressSpace struct {
 	ram   []byte
 	sram  []byte
 	devs  []mapping
+
+	// wm, when attached, snoops every store that lands in plain memory.
+	// The hook sits here — not in Bus — because the monitor models a bus-
+	// level hardware latch: firmware stores, DMA and factory DirectWrites
+	// all pass through DirectWrite, so none of them can touch attested
+	// memory unobserved.
+	wm *WriteMonitor
 }
 
 // NewAddressSpace allocates zeroed memory for the standard memory map.
@@ -114,6 +121,9 @@ func (s *AddressSpace) DirectWrite(addr Addr, data []byte) {
 	mem, off, ok := s.backing(addr)
 	if !ok || uint64(off)+uint64(len(data)) > uint64(len(mem)) {
 		panic(fmt.Sprintf("mcu: direct write of %d bytes at %#08x outside plain memory", len(data), uint32(addr)))
+	}
+	if s.wm != nil {
+		s.wm.observe(addr, uint32(len(data)))
 	}
 	copy(mem[off:], data)
 }

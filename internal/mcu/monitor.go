@@ -1,0 +1,135 @@
+package mcu
+
+import "errors"
+
+// WriteMonitor is the RATA-style continuous-attestation latch ("On the
+// TOCTOU Problem in Remote Attestation"): a bus-level peripheral that
+// snoops every store landing in a watched region and latches a sticky
+// dirty bit. Attestation code rearms the latch at the start of a full
+// measurement; as long as the bit stays clear the prover can answer an
+// attestation request in O(1) by vouching for its last measured digest
+// instead of re-MACing all of memory.
+//
+// The latch is TOCTOU-resistant by construction: it is rearmed *before*
+// the measurement reads memory, so a store racing the measurement re-
+// latches the bit and the next request falls back to the full MAC. Each
+// rearm also increments a monotonically increasing epoch; the epoch is
+// bound into the fast-path MAC, so clearing the bit out-of-band (on a
+// platform whose EA-MPU does not protect the control register) desyncs
+// the prover from the verifier instead of hiding the write.
+//
+// Register map (32-bit, window-relative):
+//
+//	0x00 STATUS  RO  bit0 = dirty (a watched store since the last rearm)
+//	0x04 EPOCH   RO  rearm count since reset
+//	0x08 CTRL    WO  write 1 to rearm: clears dirty, increments epoch
+//	0x0C WATCHLO RO  watched region start address
+//	0x10 WATCHSZ RO  watched region size in bytes
+//
+// Under the EA-MPU's default-deny-over-covered-regions semantics, a
+// single rule granting Code_Attest access to MonitorWindow makes CTRL
+// unreachable from application code — the hardware analogue of RATA's
+// "only the attestation routine may reset the latch".
+type WriteMonitor struct {
+	watch Region
+	dirty bool
+	epoch uint32
+
+	// WritesObserved counts stores that overlapped the watched region,
+	// for tests and the ablation sweeps.
+	WritesObserved uint64
+}
+
+// Monitor register offsets within MonitorWindow.
+const (
+	monStatusOff  = 0x00
+	monEpochOff   = 0x04
+	monCtrlOff    = 0x08
+	monWatchLoOff = 0x0C
+	monWatchSzOff = 0x10
+)
+
+// Absolute monitor register addresses.
+var (
+	MonStatusAddr = MonitorWindow.Start + monStatusOff
+	MonEpochAddr  = MonitorWindow.Start + monEpochOff
+	MonCtrlAddr   = MonitorWindow.Start + monCtrlOff
+)
+
+// MonRearm is the CTRL value that rearms the latch.
+const MonRearm = 1
+
+// NewWriteMonitor attaches a write monitor over the watch region and maps
+// its registers at MonitorWindow. The latch powers up dirty: everything
+// written before the first measurement (secure boot, image provisioning)
+// is by definition unattested, so the first request after reset always
+// pays the full MAC — the fast path only ever vouches for memory a full
+// measurement has actually covered.
+func NewWriteMonitor(m *MCU, watch Region) *WriteMonitor {
+	w := &WriteMonitor{watch: watch, dirty: true}
+	m.Space.MapDevice(MonitorWindow, w)
+	m.Space.wm = w
+	return w
+}
+
+// observe is the bus snoop: any store overlapping the watched region
+// latches the dirty bit.
+func (w *WriteMonitor) observe(addr Addr, n uint32) {
+	if (Region{Start: addr, Size: n}).Overlaps(w.watch) {
+		w.dirty = true
+		w.WritesObserved++
+	}
+}
+
+// Dirty exposes the latch state to hardware-level observers (tests).
+func (w *WriteMonitor) Dirty() bool { return w.dirty }
+
+// Epoch exposes the rearm count to hardware-level observers (tests).
+func (w *WriteMonitor) Epoch() uint32 { return w.epoch }
+
+// DeviceName implements Device.
+func (w *WriteMonitor) DeviceName() string { return "write-monitor" }
+
+var (
+	errMonReadOnly  = errors.New("write-monitor register is read-only")
+	errMonWriteOnly = errors.New("write-monitor CTRL is write-only")
+	errMonBadCtrl   = errors.New("write-monitor CTRL accepts only the rearm value")
+	errMonNoReg     = errors.New("no write-monitor register at this offset")
+)
+
+// Load implements Device.
+func (w *WriteMonitor) Load(off uint32) (uint32, error) {
+	switch off {
+	case monStatusOff:
+		if w.dirty {
+			return 1, nil
+		}
+		return 0, nil
+	case monEpochOff:
+		return w.epoch, nil
+	case monCtrlOff:
+		return 0, errMonWriteOnly
+	case monWatchLoOff:
+		return uint32(w.watch.Start), nil
+	case monWatchSzOff:
+		return w.watch.Size, nil
+	}
+	return 0, errMonNoReg
+}
+
+// Store implements Device. Only CTRL is writable, and only with the rearm
+// value; the refusal is the device's own, on top of any EA-MPU rule.
+func (w *WriteMonitor) Store(off uint32, v uint32) error {
+	if off != monCtrlOff {
+		if off == monStatusOff || off == monEpochOff || off == monWatchLoOff || off == monWatchSzOff {
+			return errMonReadOnly
+		}
+		return errMonNoReg
+	}
+	if v != MonRearm {
+		return errMonBadCtrl
+	}
+	w.dirty = false
+	w.epoch++
+	return nil
+}

@@ -1,0 +1,172 @@
+package mcu
+
+import "testing"
+
+// Standard fixture: a write monitor over a small RAM window.
+func newMonitoredMCU(t *testing.T) (*MCU, *WriteMonitor, Region) {
+	t.Helper()
+	m := newTestMCU(t)
+	watch := Region{Start: RAMRegion.Start + 0x1000, Size: 0x1000}
+	w := NewWriteMonitor(m, watch)
+	return m, w, watch
+}
+
+func TestMonitorPowersUpDirty(t *testing.T) {
+	m, w, watch := newMonitoredMCU(t)
+	if !w.Dirty() {
+		t.Fatal("monitor powered up clean — pre-boot writes would be vouched for")
+	}
+	if w.Epoch() != 0 {
+		t.Fatalf("power-up epoch = %d, want 0", w.Epoch())
+	}
+	pc := ROMRegion.Start
+	if v, f := m.Bus.Load32(pc, MonStatusAddr); f != nil || v != 1 {
+		t.Fatalf("STATUS = %d, %v; want 1, nil", v, f)
+	}
+	if v, f := m.Bus.Load32(pc, MonitorWindow.Start+monWatchLoOff); f != nil || Addr(v) != watch.Start {
+		t.Fatalf("WATCHLO = %#x, %v; want %#x", v, f, uint32(watch.Start))
+	}
+	if v, f := m.Bus.Load32(pc, MonitorWindow.Start+monWatchSzOff); f != nil || v != watch.Size {
+		t.Fatalf("WATCHSZ = %#x, %v; want %#x", v, f, watch.Size)
+	}
+}
+
+func TestMonitorRearmClearsAndBumpsEpoch(t *testing.T) {
+	m, w, _ := newMonitoredMCU(t)
+	pc := ROMRegion.Start
+	if f := m.Bus.Store32(pc, MonCtrlAddr, MonRearm); f != nil {
+		t.Fatalf("rearm faulted: %v", f)
+	}
+	if w.Dirty() {
+		t.Fatal("dirty after rearm")
+	}
+	if w.Epoch() != 1 {
+		t.Fatalf("epoch after first rearm = %d, want 1", w.Epoch())
+	}
+	if v, f := m.Bus.Load32(pc, MonEpochAddr); f != nil || v != 1 {
+		t.Fatalf("EPOCH = %d, %v; want 1, nil", v, f)
+	}
+	// Rearming the monitor through its own MMIO window must not re-latch
+	// the dirty bit: MMIO stores go to the device, not the snooped RAM path.
+	if w.Dirty() {
+		t.Fatal("rearm store self-latched the monitor")
+	}
+}
+
+func TestMonitorLatchesWatchedStores(t *testing.T) {
+	m, w, watch := newMonitoredMCU(t)
+	pc := FlashRegion.Start
+	m.Bus.Store32(pc, MonCtrlAddr, MonRearm)
+
+	// A store inside the watched window latches.
+	if f := m.Bus.Write(pc, watch.Start+8, []byte{1}); f != nil {
+		t.Fatalf("watched store faulted: %v", f)
+	}
+	if !w.Dirty() {
+		t.Fatal("watched store did not latch the dirty bit")
+	}
+	if w.WritesObserved != 1 {
+		t.Fatalf("WritesObserved = %d, want 1", w.WritesObserved)
+	}
+
+	// The latch is sticky until the next rearm.
+	m.Bus.Store32(pc, MonCtrlAddr, MonRearm)
+	if w.Dirty() {
+		t.Fatal("dirty survived rearm")
+	}
+	if w.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", w.Epoch())
+	}
+}
+
+func TestMonitorIgnoresUnwatchedStores(t *testing.T) {
+	m, w, watch := newMonitoredMCU(t)
+	pc := FlashRegion.Start
+	m.Bus.Store32(pc, MonCtrlAddr, MonRearm)
+
+	if f := m.Bus.Write(pc, RAMRegion.Start, []byte{1, 2, 3, 4}); f != nil {
+		t.Fatalf("unwatched store faulted: %v", f)
+	}
+	if f := m.Bus.Write(pc, watch.End(), []byte{1}); f != nil {
+		t.Fatalf("adjacent store faulted: %v", f)
+	}
+	if w.Dirty() {
+		t.Fatal("store outside the watched window latched the monitor")
+	}
+
+	// A store straddling the window's edge overlaps it, so it latches.
+	if f := m.Bus.Write(pc, watch.Start-2, []byte{1, 2, 3, 4}); f != nil {
+		t.Fatalf("straddling store faulted: %v", f)
+	}
+	if !w.Dirty() {
+		t.Fatal("store straddling the watched window did not latch")
+	}
+}
+
+func TestMonitorSnoopsDirectWrites(t *testing.T) {
+	// DMA and factory provisioning bypass the bus but still pass through
+	// AddressSpace.DirectWrite — the universal store funnel. A latch that
+	// missed them would vouch for memory the measurement never saw.
+	m, w, watch := newMonitoredMCU(t)
+	m.Bus.Store32(ROMRegion.Start, MonCtrlAddr, MonRearm)
+	m.Space.DirectWrite(watch.Start, []byte{0xAA})
+	if !w.Dirty() {
+		t.Fatal("DirectWrite into the watched window did not latch")
+	}
+}
+
+func TestMonitorRegisterAccessRules(t *testing.T) {
+	m, w, _ := newMonitoredMCU(t)
+	pc := ROMRegion.Start
+	// CTRL is write-only.
+	if _, f := m.Bus.Load32(pc, MonCtrlAddr); f == nil {
+		t.Fatal("CTRL load succeeded")
+	}
+	// STATUS and EPOCH are read-only.
+	if f := m.Bus.Store32(pc, MonStatusAddr, 0); f == nil {
+		t.Fatal("STATUS store succeeded")
+	}
+	if f := m.Bus.Store32(pc, MonEpochAddr, 7); f == nil {
+		t.Fatal("EPOCH store succeeded")
+	}
+	// CTRL refuses anything but the rearm value — there is no "set dirty
+	// bit without bumping the epoch" operation.
+	if f := m.Bus.Store32(pc, MonCtrlAddr, 0); f == nil {
+		t.Fatal("CTRL accepted a non-rearm value")
+	}
+	if f := m.Bus.Store32(pc, MonitorWindow.Start+0x20, 1); f == nil {
+		t.Fatal("store to an unmapped monitor offset succeeded")
+	}
+	if w.Dirty() != true || w.Epoch() != 0 {
+		t.Fatalf("refused accesses perturbed state: dirty=%v epoch=%d", w.Dirty(), w.Epoch())
+	}
+}
+
+func TestMonitorEAMPUGatesRearm(t *testing.T) {
+	// The RATA deployment maps a single EA-MPU rule granting only the
+	// attestation code access to MonitorWindow; under default-deny-over-
+	// covered-regions, application code can then neither clear the latch
+	// nor read the registers.
+	m, w, _ := newMonitoredMCU(t)
+	anchorCode := Region{Start: ROMRegion.Start + 0x1000, Size: 0x1000}
+	if err := m.MPU.SetRule(0, Rule{Code: anchorCode, Data: MonitorWindow, Perm: PermRead | PermWrite, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	appPC := FlashRegion.Start
+	if f := m.Bus.Store32(appPC, MonCtrlAddr, MonRearm); f == nil {
+		t.Fatal("application code rearmed the protected monitor")
+	}
+	if !w.Dirty() || w.Epoch() != 0 {
+		t.Fatalf("blocked rearm took effect: dirty=%v epoch=%d", w.Dirty(), w.Epoch())
+	}
+	if _, f := m.Bus.Load32(appPC, MonStatusAddr); f == nil {
+		t.Fatal("application code read the protected STATUS register")
+	}
+	// The anchor's access still stands.
+	if f := m.Bus.Store32(anchorCode.Start, MonCtrlAddr, MonRearm); f != nil {
+		t.Fatalf("anchor rearm faulted: %v", f)
+	}
+	if w.Dirty() || w.Epoch() != 1 {
+		t.Fatalf("anchor rearm did not take effect: dirty=%v epoch=%d", w.Dirty(), w.Epoch())
+	}
+}

@@ -190,6 +190,17 @@ type Registry struct {
 // New builds an empty registry.
 func New() *Registry { return &Registry{} }
 
+// labelEscaper implements the text-format escaping rules for label
+// values: backslash, double quote and newline must be escaped or a
+// hostile value (a device-supplied cause string, say) breaks out of the
+// quoted value and corrupts — or forges — exposition lines.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition format. renderLabels applies it to every registered value;
+// it is exported for callers that assemble label strings by hand.
+func EscapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
 func renderLabels(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
@@ -201,7 +212,7 @@ func renderLabels(labels []Label) string {
 		}
 		sb.WriteString(l.Key)
 		sb.WriteString(`="`)
-		sb.WriteString(l.Value)
+		sb.WriteString(EscapeLabelValue(l.Value))
 		sb.WriteByte('"')
 	}
 	return sb.String()
@@ -337,7 +348,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				cum += h.counts[len(h.bounds)].Load()
 				writeSample(&sb, s.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(cum, 10))
 				writeSample(&sb, s.name+"_sum", s.labels, "", formatSeconds(h.sum.Load()))
-				writeSample(&sb, s.name+"_count", s.labels, "", strconv.FormatUint(h.count.Load(), 10))
+				// _count must equal the +Inf bucket by definition. Reading
+				// h.count here instead would race a concurrent Observe (which
+				// bumps the bucket and the count as two separate atomics) and
+				// let a scrape see _count != +Inf.
+				writeSample(&sb, s.name+"_count", s.labels, "", strconv.FormatUint(cum, 10))
 			}
 		}
 	}

@@ -104,6 +104,94 @@ func TestExpositionFormat(t *testing.T) {
 	}
 }
 
+// TestHostileLabelValuesEscaped: a label value is attacker-influenced
+// text (an error string, a peer-supplied name). Unescaped quotes or
+// newlines would let it terminate the sample early or inject whole forged
+// exposition lines. Every escaped exposition must survive a ParseText
+// round-trip as a single series.
+func TestHostileLabelValuesEscaped(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string // rendered label list
+	}{
+		{"plain", "tcp", `cause="tcp"`},
+		{"quote", `say "no"`, `cause="say \"no\""`},
+		{"backslash", `C:\boot`, `cause="C:\\boot"`},
+		{"newline-injection", "x\"} 0\nforged_total 999", `cause="x\"} 0\nforged_total 999"`},
+		{"trailing-backslash", `dangling\`, `cause="dangling\\"`},
+		{"all-three", "\\\"\n", `cause="\\\"\n"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New()
+			r.Counter("hostile_total", "h", L("cause", tc.value)).Add(7)
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			wantLine := "hostile_total{" + tc.want + "} 7\n"
+			if !strings.Contains(sb.String(), wantLine) {
+				t.Fatalf("exposition missing %q:\n%s", wantLine, sb.String())
+			}
+			parsed, err := ParseText(strings.NewReader(sb.String()))
+			if err != nil {
+				t.Fatalf("round-trip parse: %v", err)
+			}
+			if len(parsed) != 1 {
+				t.Fatalf("hostile value split the exposition into %d series: %v", len(parsed), parsed)
+			}
+			if got := parsed["hostile_total{"+tc.want+"}"]; got != 7 {
+				t.Fatalf("round-trip value = %v, want 7 (parsed: %v)", got, parsed)
+			}
+		})
+	}
+}
+
+// TestHistogramScrapeConsistentUnderLoad: Observe bumps one bucket and
+// the total count as separate atomics, so a scrape racing recorders must
+// derive _count from the cumulated buckets — never read the count atomic
+// — or _count and the +Inf bucket drift apart within one exposition.
+func TestHistogramScrapeConsistentUnderLoad(t *testing.T) {
+	r := New()
+	h := r.Histogram("busy_seconds", "", []time.Duration{time.Microsecond, time.Millisecond})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(time.Duration(i%2000) * time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	for scrape := 0; scrape < 200; scrape++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf := parsed[`busy_seconds_bucket{le="+Inf"}`]
+		count := parsed["busy_seconds_count"]
+		if inf != count {
+			t.Fatalf("scrape %d: +Inf bucket %v != _count %v", scrape, inf, count)
+		}
+	}
+	close(stop)
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+}
+
 func TestDuplicateSeriesPanics(t *testing.T) {
 	r := New()
 	r.Counter("dup_total", "")

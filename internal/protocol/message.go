@@ -77,7 +77,8 @@ func (k AuthKind) String() string {
 //	offset 2  version 1
 //	offset 3  freshness kind
 //	offset 4  auth kind
-//	offset 5  reserved (3 bytes, zero)
+//	offset 5  flags (bit0 = fast path permitted; other bits reserved, zero)
+//	offset 6  reserved (2 bytes, zero)
 //	offset 8  nonce      (8 bytes)
 //	offset 16 counter    (8 bytes)
 //	offset 24 timestamp  (8 bytes, prover-clock milliseconds)
@@ -86,6 +87,11 @@ func (k AuthKind) String() string {
 type AttReq struct {
 	Freshness FreshnessKind
 	Auth      AuthKind
+	// AllowFast permits the prover to answer with the O(1) fast-path MAC
+	// when its write monitor reports the measured memory clean. The flag
+	// sits inside SignedBytes, so a middleman cannot grant (or strip) the
+	// permission without breaking the request tag.
+	AllowFast bool
 	Nonce     uint64
 	Counter   uint64
 	Timestamp uint64
@@ -98,6 +104,11 @@ const (
 	reqVersion    = 1
 	reqHeaderSize = 34
 	maxTagSize    = 64
+
+	// reqFlagAllowFast marks a request whose issuer accepts the O(1)
+	// fast-path response. Encoders predating the flag emit zero here, so
+	// the wire format is unchanged for full-MAC-only deployments.
+	reqFlagAllowFast = 1 << 0
 )
 
 // SignedBytes returns the authenticated portion of the request: the full
@@ -110,12 +121,27 @@ func (r *AttReq) SignedBytes() []byte {
 	return buf
 }
 
+// AppendSignedBytes appends the authenticated portion to dst, allocating
+// only when dst lacks capacity — the fast-path MAC absorbs the signed
+// header per frame and must not generate garbage doing so.
+func (r *AttReq) AppendSignedBytes(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, reqHeaderSize)...)
+	r.encodeHeader(dst[off:], 0)
+	return dst
+}
+
 func (r *AttReq) encodeHeader(buf []byte, tagLen int) {
 	buf[0] = reqMagic0
 	buf[1] = reqMagic1
 	buf[2] = reqVersion
 	buf[3] = byte(r.Freshness)
 	buf[4] = byte(r.Auth)
+	buf[5] = 0
+	if r.AllowFast {
+		buf[5] = reqFlagAllowFast
+	}
+	buf[6], buf[7] = 0, 0
 	binary.LittleEndian.PutUint64(buf[8:], r.Nonce)
 	binary.LittleEndian.PutUint64(buf[16:], r.Counter)
 	binary.LittleEndian.PutUint64(buf[24:], r.Timestamp)
@@ -152,10 +178,10 @@ func DecodeAttReq(buf []byte) (*AttReq, error) {
 	if buf[2] != reqVersion {
 		return nil, fmt.Errorf("protocol: unsupported request version %d", buf[2])
 	}
-	// Reserved bytes must be zero: they are zero in the authenticated
-	// re-encoding, so tolerating junk here would open an unauthenticated
-	// covert channel through otherwise-valid frames.
-	if buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
+	// Undefined flag bits and reserved bytes must be zero: they are zero
+	// in the authenticated re-encoding, so tolerating junk here would open
+	// an unauthenticated covert channel through otherwise-valid frames.
+	if buf[5]&^reqFlagAllowFast != 0 || buf[6] != 0 || buf[7] != 0 {
 		return nil, fmt.Errorf("protocol: nonzero reserved bytes in request header")
 	}
 	tagLen := int(binary.LittleEndian.Uint16(buf[32:]))
@@ -168,6 +194,7 @@ func DecodeAttReq(buf []byte) (*AttReq, error) {
 	r := &AttReq{
 		Freshness: FreshnessKind(buf[3]),
 		Auth:      AuthKind(buf[4]),
+		AllowFast: buf[5]&reqFlagAllowFast != 0,
 		Nonce:     binary.LittleEndian.Uint64(buf[8:]),
 		Counter:   binary.LittleEndian.Uint64(buf[16:]),
 		Timestamp: binary.LittleEndian.Uint64(buf[24:]),
@@ -178,19 +205,73 @@ func DecodeAttReq(buf []byte) (*AttReq, error) {
 	return r, nil
 }
 
+// Static request-decode errors for DecodeAttReqInto, pre-allocated so the
+// prover-side fast path can reject malformed frames without garbage.
+var (
+	errReqLength   = errors.New("protocol: bad request length")
+	errReqMagic    = errors.New("protocol: bad request magic")
+	errReqVersion  = errors.New("protocol: unsupported request version")
+	errReqReserved = errors.New("protocol: nonzero reserved bytes in request header")
+	errReqTagLen   = errors.New("protocol: bad request tag length")
+)
+
+// DecodeAttReqInto parses a request into r without allocating beyond r's
+// own tag buffer, which is reused across calls (append into r.Tag[:0]).
+// It applies the same strict framing as DecodeAttReq with static errors;
+// r is fully overwritten on success and unspecified on failure. This is
+// the host-prover (cmd/attest-loadgen) half of the zero-allocation fast
+// path; the simulated anchor decodes inside the MCU instead.
+func DecodeAttReqInto(buf []byte, r *AttReq) error {
+	if len(buf) < reqHeaderSize {
+		return errReqLength
+	}
+	if buf[0] != reqMagic0 || buf[1] != reqMagic1 {
+		return errReqMagic
+	}
+	if buf[2] != reqVersion {
+		return errReqVersion
+	}
+	if buf[5]&^reqFlagAllowFast != 0 || buf[6] != 0 || buf[7] != 0 {
+		return errReqReserved
+	}
+	tagLen := int(binary.LittleEndian.Uint16(buf[32:]))
+	if tagLen > maxTagSize || len(buf) != reqHeaderSize+tagLen {
+		return errReqTagLen
+	}
+	r.Freshness = FreshnessKind(buf[3])
+	r.Auth = AuthKind(buf[4])
+	r.AllowFast = buf[5]&reqFlagAllowFast != 0
+	r.Nonce = binary.LittleEndian.Uint64(buf[8:])
+	r.Counter = binary.LittleEndian.Uint64(buf[16:])
+	r.Timestamp = binary.LittleEndian.Uint64(buf[24:])
+	r.Tag = append(r.Tag[:0], buf[reqHeaderSize:reqHeaderSize+tagLen]...)
+	return nil
+}
+
 // AttResp is the prover→verifier attestation response: the request echo
 // fields and the measurement MAC over the prover's writable memory, keyed
-// with K_Attest and bound to the request (§3).
+// with K_Attest and bound to the request (§3). A fast-path response (Fast
+// set) instead carries the O(1) MAC over (signed request ‖ domain tag ‖
+// monitor epoch ‖ last measured digest) — see FastMAC.
 //
 // Wire layout (little-endian):
 //
 //	offset 0  magic   0x41 'A' 0x50 'P' (attresp)
 //	offset 2  version 1
-//	offset 3  reserved (5 bytes)
+//	offset 3  flags (bit0 = fast-path response; other bits reserved, zero)
+//	offset 4  monitor epoch (4 bytes; zero when the prover has no monitor)
 //	offset 8  nonce    (8 bytes, echoed)
 //	offset 16 counter  (8 bytes, echoed)
 //	offset 24 measurement (20 bytes, HMAC-SHA1)
+//
+// The flag and epoch fields are authenticated by inclusion in the fast
+// MAC when Fast is set. On a full response the epoch is advisory — it
+// seeds the verifier's fast state, and the worst a tamperer can do is
+// desync that state, which only costs the prover a full MAC next round
+// (fail-safe toward the expensive, fully-authenticated path).
 type AttResp struct {
+	Fast        bool
+	Epoch       uint32
 	Nonce       uint64
 	Counter     uint64
 	Measurement [sha1.Size]byte
@@ -200,6 +281,9 @@ const (
 	respMagic0 = 0x41
 	respMagic1 = 0x50
 	respSize   = 24 + sha1.Size
+
+	// respFlagFast marks an O(1) fast-path response.
+	respFlagFast = 1 << 0
 )
 
 // AppendEncode appends the serialised response to dst and returns the
@@ -211,6 +295,11 @@ func (r *AttResp) AppendEncode(dst []byte) []byte {
 	buf[0] = respMagic0
 	buf[1] = respMagic1
 	buf[2] = reqVersion
+	buf[3] = 0
+	if r.Fast {
+		buf[3] = respFlagFast
+	}
+	binary.LittleEndian.PutUint32(buf[4:], r.Epoch)
 	binary.LittleEndian.PutUint64(buf[8:], r.Nonce)
 	binary.LittleEndian.PutUint64(buf[16:], r.Counter)
 	copy(buf[24:], r.Measurement[:])
@@ -247,9 +336,14 @@ func DecodeAttRespInto(buf []byte, r *AttResp) error {
 	if buf[2] != reqVersion {
 		return errRespVersion
 	}
-	if buf[3] != 0 || buf[4] != 0 || buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
+	// Undefined flag bits must be zero. The epoch word is a protocol
+	// field, not a covert channel: it only ever matters when the fast MAC
+	// (which binds it) verifies, or as an advisory seed on full responses.
+	if buf[3]&^respFlagFast != 0 {
 		return errRespReserved
 	}
+	r.Fast = buf[3]&respFlagFast != 0
+	r.Epoch = binary.LittleEndian.Uint32(buf[4:])
 	r.Nonce = binary.LittleEndian.Uint64(buf[8:])
 	r.Counter = binary.LittleEndian.Uint64(buf[16:])
 	copy(r.Measurement[:], buf[24:])

@@ -106,7 +106,7 @@ func DecodeHello(buf []byte) (*Hello, error) {
 // versus how many bought a full memory measurement.
 //
 // Wire layout (little-endian): magic 0x41 'A' 0x53 'S', version 1,
-// 5 reserved bytes, then ten 8-byte counters in field order.
+// 5 reserved bytes, then eleven 8-byte counters in field order.
 type StatsReport struct {
 	Received          uint64 // request frames submitted to the gate
 	Malformed         uint64 // framing rejects (no crypto run)
@@ -114,6 +114,7 @@ type StatsReport struct {
 	FreshnessRejected uint64 // replay/reorder/delay rejects
 	Faults            uint64 // bus faults inside the anchor
 	Measurements      uint64 // full memory measurements (the MAC work)
+	FastResponses     uint64 // O(1) fast-path responses (no memory MAC)
 	Commands          uint64 // service-command frames submitted
 	CommandsExecuted  uint64 // commands that passed the gate and ran
 	ActiveCycles      uint64 // total MCU cycles spent (energy basis)
@@ -122,7 +123,7 @@ type StatsReport struct {
 
 const (
 	statsMagic1     = 0x53
-	statsNumFields  = 10
+	statsNumFields  = 11
 	statsHeaderSize = 8
 	statsFrameSize  = statsHeaderSize + 8*statsNumFields
 )
@@ -160,8 +161,8 @@ func (s *StatsReport) Regressed(prev *StatsReport) bool {
 func (s *StatsReport) fields() [statsNumFields]*uint64 {
 	return [statsNumFields]*uint64{
 		&s.Received, &s.Malformed, &s.AuthRejected, &s.FreshnessRejected,
-		&s.Faults, &s.Measurements, &s.Commands, &s.CommandsExecuted,
-		&s.ActiveCycles, &s.FramesIn,
+		&s.Faults, &s.Measurements, &s.FastResponses, &s.Commands,
+		&s.CommandsExecuted, &s.ActiveCycles, &s.FramesIn,
 	}
 }
 

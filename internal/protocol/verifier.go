@@ -23,12 +23,26 @@ type Verifier struct {
 	pending     map[uint64]*pendingAtt // outstanding requests by nonce
 	pendingCmds map[uint64]*CommandReq // outstanding service commands
 
+	// Fast-path state: the digest and monitor epoch of the last verified
+	// *full* measurement. A fast response is accepted only against this
+	// record — the verifier never trusts a prover's cleanliness claim, it
+	// checks the claim against what it verified itself. haveFast is false
+	// until a full measurement has been accepted (and again after any fast
+	// mismatch), so cold start, daemon restart and desync all resolve the
+	// same way: the next request demands a full MAC.
+	allowFast  bool
+	fastEpoch  uint32
+	fastDigest [sha1.Size]byte
+	haveFast   bool
+
 	// Stats for scenario reporting.
-	Issued      uint64
-	Accepted    uint64
-	Rejected    uint64
-	Unsolicited uint64
-	Expired     uint64 // requests abandoned after a response timeout
+	Issued       uint64
+	Accepted     uint64
+	Rejected     uint64
+	Unsolicited  uint64
+	Expired      uint64 // requests abandoned after a response timeout
+	FastAccepted uint64 // accepted via the O(1) fast path (subset of Accepted)
+	FastRejected uint64 // fast responses refused (subset of Rejected)
 }
 
 // VerifierConfig assembles a verifier.
@@ -46,6 +60,9 @@ type VerifierConfig struct {
 	// milliseconds. Timestamp freshness assumes the two clocks are
 	// synchronised (§4.2); drift experiments perturb this function.
 	Clock func() uint64
+	// AllowFastPath permits provers with a write monitor to answer with
+	// the O(1) fast-path MAC once a full measurement has been verified.
+	AllowFastPath bool
 }
 
 // NewVerifier validates the configuration and builds the verifier.
@@ -65,6 +82,7 @@ func NewVerifier(cfg VerifierConfig) (*Verifier, error) {
 		attestKey:   append([]byte(nil), cfg.AttestKey...),
 		golden:      append([]byte(nil), cfg.Golden...),
 		clock:       cfg.Clock,
+		allowFast:   cfg.AllowFastPath,
 		pending:     make(map[uint64]*pendingAtt),
 		pendingCmds: make(map[uint64]*CommandReq),
 	}
@@ -81,15 +99,27 @@ type pendingAtt struct {
 	req      *AttReq
 	want     [sha1.Size]byte
 	haveWant bool
+
+	// wantFast is the only fast MAC this request will accept, precomputed
+	// at issue time from the verifier's own fast state (cheap: the input
+	// is ~70 bytes, not the memory image). Precomputing here keeps the
+	// per-frame fast accept a single constant-time compare — zero
+	// allocations under hostile response traffic.
+	wantFast     [sha1.Size]byte
+	haveFastWant bool
 }
 
-// NewRequest builds and signs the next attestation request.
+// NewRequest builds and signs the next attestation request. When the fast
+// path is enabled and a prior full measurement has been verified, the
+// request grants fast-path permission and memoizes the one fast MAC it
+// would accept.
 func (v *Verifier) NewRequest() (*AttReq, error) {
 	v.nonceSeq++
 	req := &AttReq{
 		Freshness: v.freshness,
 		Auth:      v.auth.Kind(),
 		Nonce:     v.nonceSeq,
+		AllowFast: v.allowFast && v.haveFast,
 	}
 	switch v.freshness {
 	case FreshCounter:
@@ -103,7 +133,12 @@ func (v *Verifier) NewRequest() (*AttReq, error) {
 		return nil, fmt.Errorf("protocol: signing request: %w", err)
 	}
 	req.Tag = tag
-	v.pending[req.Nonce] = &pendingAtt{req: req}
+	p := &pendingAtt{req: req}
+	if req.AllowFast {
+		p.wantFast = FastMAC(v.attestKey, req, v.fastEpoch, &v.fastDigest)
+		p.haveFastWant = true
+	}
+	v.pending[req.Nonce] = p
 	v.Issued++
 	return req, nil
 }
@@ -133,6 +168,11 @@ var (
 	// ErrMeasurementMismatch marks a response whose measurement deviates
 	// from the golden image.
 	ErrMeasurementMismatch = errors.New("protocol: measurement mismatch — prover state deviates from golden image")
+	// ErrFastMismatch marks a fast-path response that does not match the
+	// verifier's record of the last verified digest and epoch (or arrived
+	// when no fast path was offered). The verifier drops its fast state,
+	// so subsequent requests demand the full-memory MAC.
+	ErrFastMismatch = errors.New("protocol: fast-path response does not match verified digest/epoch record")
 )
 
 // CheckResponse validates a raw response frame. A response is accepted
@@ -157,18 +197,50 @@ func (v *Verifier) CheckDecodedResponse(resp *AttResp) (bool, error) {
 		v.Unsolicited++
 		return false, ErrUnsolicited
 	}
+	if resp.Fast {
+		// Fast responses are only accepted against the MAC memoized at
+		// issue time, which binds the epoch and digest the verifier
+		// itself recorded from the last accepted full measurement. A
+		// prover lying about cleanliness — its epoch advanced past the
+		// verified record, or its digest never verified — lands here.
+		if !p.haveFastWant || !hmac.Equal(p.wantFast[:], resp.Measurement[:]) {
+			v.Rejected++
+			v.FastRejected++
+			v.haveFast = false
+			return false, ErrFastMismatch
+		}
+		delete(v.pending, resp.Nonce)
+		v.Accepted++
+		v.FastAccepted++
+		return true, nil
+	}
 	if !p.haveWant {
 		p.want = v.ExpectedMeasurement(p.req)
 		p.haveWant = true
 	}
 	if !hmac.Equal(p.want[:], resp.Measurement[:]) {
 		v.Rejected++
+		// A deviating prover must stay on the full MAC until a verified
+		// full measurement re-establishes trust.
+		v.haveFast = false
 		return false, ErrMeasurementMismatch
 	}
 	delete(v.pending, resp.Nonce)
 	v.Accepted++
+	// A verified full measurement from a monitor-equipped prover (epoch
+	// nonzero: the rearm that preceded this measurement) establishes the
+	// record fast responses will be checked against.
+	if v.allowFast && resp.Epoch != 0 {
+		v.fastDigest = p.want
+		v.fastEpoch = resp.Epoch
+		v.haveFast = true
+	}
 	return true, nil
 }
+
+// HasFastState reports whether the verifier holds a verified digest/epoch
+// record, i.e. whether its next request will grant fast-path permission.
+func (v *Verifier) HasFastState() bool { return v.haveFast }
 
 // NewCommand builds and signs a service command (secure update, secure
 // erase, clock sync). Commands draw from the same nonce, counter and

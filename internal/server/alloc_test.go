@@ -109,6 +109,67 @@ func TestHandleFrameMalformedStatsDistinctCause(t *testing.T) {
 	}
 }
 
+// TestHandleFrameFastAcceptZeroAllocs pins the quiescent-fleet steady
+// state: an accepted O(1) fast response — decode-into, shard-locked
+// memoized compare, retire — must not allocate, since a clean fleet
+// emits exactly these at the attestation rate forever. Requests are
+// pre-issued and responses pre-encoded so the measured region is the
+// daemon's per-frame path alone.
+func TestHandleFrameFastAcceptZeroAllocs(t *testing.T) {
+	s, err := New(Config{
+		Freshness:    protocol.FreshCounter,
+		Auth:         protocol.AuthHMACSHA1,
+		MasterSecret: testMaster,
+		Golden:       core.GoldenRAMPattern(),
+		FastPath:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := s.device("alloc-fast-dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := protocol.DeriveDeviceKey(testMaster, "alloc-fast-dev")
+	fr := protocol.NewFastResponder(key[:], core.GoldenRAMPattern())
+
+	// The arming full round.
+	req, err := dev.v.NewRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp protocol.AttResp
+	fr.RespondInto(req, &resp)
+	s.handleFrame(dev, nil, resp.Encode())
+	if c := s.Counters(); c.ResponsesAccepted != 1 || c.ResponsesFast != 0 {
+		t.Fatalf("arming round: %+v", c)
+	}
+
+	// Pre-issue enough fast rounds for the warm-ups plus AllocsPerRun.
+	const rounds = 1200
+	frames := make([][]byte, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		req, err := dev.v.NewRequest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !req.AllowFast {
+			t.Fatalf("round %d: armed verifier withheld fast permission", i)
+		}
+		var r protocol.AttResp
+		if !fr.RespondInto(req, &r) {
+			t.Fatalf("round %d: clean responder fell back to the full MAC", i)
+		}
+		frames = append(frames, r.Encode())
+	}
+	i := 0
+	allocsPerFrame(t, "fast accept", 0, func() { s.handleFrame(dev, nil, frames[i]); i++ })
+	c := s.Counters()
+	if c.ResponsesFast != uint64(i) || c.ResponsesRejected != 0 {
+		t.Fatalf("after %d fast frames: %+v", i, c)
+	}
+}
+
 // respTruncated cuts a response mid-measurement: long enough to classify,
 // short enough to fail DecodeAttRespInto's length check.
 const respTruncated = 20

@@ -27,8 +27,9 @@ type serverMetrics struct {
 	connRejHelloSlow *obs.Counter // first frame missed the hello deadline (slow-loris)
 	connRejPolicy    *obs.Counter // hello declared a mismatched freshness/auth policy
 	connRejCap       *obs.Counter // accept-side MaxConns refusal
-	connRejDraining  *obs.Counter // refused because the daemon is draining
-	connRejDeviceNew *obs.Counter // per-device verifier construction failed
+	connRejDraining   *obs.Counter // refused because the daemon is draining
+	connRejDeviceNew  *obs.Counter // per-device verifier construction failed
+	connRejDeviceFull *obs.Counter // device table at MaxDevices, new identity refused
 
 	// Evictions of established connections by cause
 	// (attestd_evictions_total): the slow-loris defence, post-hello. A
@@ -56,11 +57,13 @@ type serverMetrics struct {
 	rejUnsolicited    *obs.Counter // response answering no outstanding nonce
 	rejMalformedStats *obs.Counter // classified as stats, failed strict decode
 	rejCommand        *obs.Counter // service-command response rejected
+	rejFastMismatch   *obs.Counter // fast response failed the digest/epoch record check
 
 	requestsIssued    *obs.Counter
 	inflightThrottled *obs.Counter
 	requestsAbandoned *obs.Counter
 	responsesAccepted *obs.Counter
+	responsesFast     *obs.Counter // accepted responses that took the O(1) fast path
 
 	floodInjected *obs.Counter
 	statsReports  *obs.Counter
@@ -90,8 +93,9 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		connRejHelloSlow: reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "hello_timeout")),
 		connRejPolicy:    reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "policy_mismatch")),
 		connRejCap:       reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "conn_cap")),
-		connRejDraining:  reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "draining")),
-		connRejDeviceNew: reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "device_init")),
+		connRejDraining:   reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "draining")),
+		connRejDeviceNew:  reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "device_init")),
+		connRejDeviceFull: reg.Counter("attestd_conns_rejected_total", connRejHelp, obs.L("cause", "device_table_full")),
 
 		evictReadStall:  reg.Counter("attestd_evictions_total", evictionsHelp, obs.L("cause", "read_stall")),
 		evictWriteStall: reg.Counter("attestd_evictions_total", evictionsHelp, obs.L("cause", "write_stall")),
@@ -108,11 +112,13 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		rejUnsolicited:    reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "unsolicited")),
 		rejMalformedStats: reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "malformed_stats")),
 		rejCommand:        reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "command_rejected")),
+		rejFastMismatch:   reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "fast_mismatch")),
 
 		requestsIssued:    reg.Counter("attestd_requests_issued_total", "Honest attestation requests sent."),
 		inflightThrottled: reg.Counter("attestd_inflight_throttled_total", "Issue ticks skipped at the global inflight cap."),
 		requestsAbandoned: reg.Counter("attestd_requests_abandoned_total", "Requests retired by timeout."),
 		responsesAccepted: reg.Counter("attestd_responses_accepted_total", "Responses whose measurement matched the golden image."),
+		responsesFast:     reg.Counter("attestd_responses_fast_total", "Accepted responses that took the O(1) fast path (clean write monitor, no memory MAC)."),
 
 		floodInjected: reg.Counter("attestd_flood_injected_total", "Adversarial frames sent in impersonator mode."),
 		statsReports:  reg.Counter("attestd_stats_reports_total", "Agent gate-counter heartbeats received."),
@@ -156,6 +162,8 @@ func (s *Server) registerGauges(reg *obs.Registry) {
 		func(st *protocol.StatsReport) uint64 { return st.Received })
 	fleet("attestd_fleet_measurements", "Fleet-aggregated full memory measurements (the expensive MAC work).",
 		func(st *protocol.StatsReport) uint64 { return st.Measurements })
+	fleet("attestd_fleet_fast_responses", "Fleet-aggregated O(1) fast-path responses (clean monitor, no memory MAC).",
+		func(st *protocol.StatsReport) uint64 { return st.FastResponses })
 	fleet("attestd_fleet_gate_rejected", fleetRejHelp,
 		func(st *protocol.StatsReport) uint64 { return st.AuthRejected }, obs.L("cause", "auth"))
 	fleet("attestd_fleet_gate_rejected", fleetRejHelp,

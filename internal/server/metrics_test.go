@@ -117,6 +117,11 @@ func TestMetricsSmoke(t *testing.T) {
 		"attestd_devices",
 		"attestd_open_conns",
 		"attestd_draining",
+		// Fast-path and device-table series.
+		"attestd_responses_fast_total",
+		`attestd_rejects_total{cause="fast_mismatch"}`,
+		`attestd_conns_rejected_total{cause="device_table_full"}`,
+		"attestd_fleet_fast_responses",
 		// Agent-reported fleet aggregates.
 		"attestd_fleet_received",
 		"attestd_fleet_measurements",

@@ -95,10 +95,25 @@ type Config struct {
 	// ECDSAKey signs requests when Auth == AuthECDSA.
 	ECDSAKey *ecc.PrivateKey
 
+	// FastPath lets per-device verifiers grant the RATA-style O(1)
+	// fast-path response to provers with a write monitor: once a device's
+	// full measurement verifies, subsequent requests permit a MAC over
+	// (request, last verified digest, monitor epoch) instead of the
+	// full-memory MAC. Full-MAC-only provers are unaffected — they ignore
+	// the permission bit and the daemon still verifies their full
+	// measurements.
+	FastPath bool
+
 	// Shards is the verifier-state shard count (default 16).
 	Shards int
 	// MaxConns bounds concurrent connections (default 1024).
 	MaxConns int
+	// MaxDevices caps the device table (default 4096). Device state is
+	// created at hello time for any claimed ID and each entry holds a
+	// golden-image copy, so an unauthenticated peer inventing IDs could
+	// otherwise grow daemon memory without bound; hellos past the cap are
+	// refused with conns_rejected{cause="device_table_full"}.
+	MaxDevices int
 	// MaxInflight caps outstanding requests across all provers — each
 	// outstanding request is a future golden-image MAC the daemon has
 	// committed to computing (default 256).
@@ -161,6 +176,7 @@ type Counters struct {
 	HelloTimeouts   uint64 // first frame missed the hello deadline (slow-loris)
 	PolicyMismatch  uint64 // hello declared the wrong freshness/auth policy
 	ConnsOverCap    uint64 // accept-side MaxConns refusals
+	DeviceTableFull uint64 // new device identities refused at MaxDevices
 
 	Evictions     uint64 // established connections cut for read/write stalls
 	AcceptRetries uint64 // transient listener failures survived by the accept loop
@@ -175,11 +191,13 @@ type Counters struct {
 	InflightThrottled uint64 // issue ticks skipped at the global cap
 	RequestsAbandoned uint64 // requests retired by timeout
 
-	ResponsesAccepted    uint64 // measurements matching the golden image
-	ResponsesRejected    uint64 // malformed + mismatched + rejected command responses
-	ResponsesMalformed   uint64 // responses failing strict decode
-	ResponsesMismatched  uint64 // well-formed responses with a wrong measurement
-	ResponsesUnsolicited uint64 // responses to no outstanding nonce
+	ResponsesAccepted     uint64 // measurements matching the golden image
+	ResponsesFast         uint64 // accepted responses that took the O(1) fast path
+	ResponsesRejected     uint64 // malformed + mismatched + fast-mismatched + rejected command responses
+	ResponsesMalformed    uint64 // responses failing strict decode
+	ResponsesMismatched   uint64 // well-formed responses with a wrong measurement
+	ResponsesFastRejected uint64 // fast responses failing the digest/epoch record check
+	ResponsesUnsolicited  uint64 // responses to no outstanding nonce
 
 	FloodInjected uint64 // adversarial frames sent (flood mode)
 	StatsReports  uint64 // agent stats frames received
@@ -191,14 +209,17 @@ func (m *serverMetrics) snapshot() Counters {
 	respMalformed := m.rejMalformedResp.Load()
 	statsMalformed := m.rejMalformedStats.Load()
 	mismatched := m.rejBadMeasurement.Load()
+	fastMismatched := m.rejFastMismatch.Load()
 	return Counters{
 		ConnsAccepted: m.connsAccepted.Load(),
 		ConnsRejected: helloBad + m.connRejHelloSlow.Load() + m.connRejPolicy.Load() +
-			m.connRejCap.Load() + m.connRejDraining.Load() + m.connRejDeviceNew.Load(),
+			m.connRejCap.Load() + m.connRejDraining.Load() + m.connRejDeviceNew.Load() +
+			m.connRejDeviceFull.Load(),
 		HellosMalformed: helloBad,
 		HelloTimeouts:   m.connRejHelloSlow.Load(),
 		PolicyMismatch:  m.connRejPolicy.Load(),
 		ConnsOverCap:    m.connRejCap.Load(),
+		DeviceTableFull: m.connRejDeviceFull.Load(),
 
 		Evictions:     m.evictReadStall.Load() + m.evictWriteStall.Load(),
 		AcceptRetries: m.acceptRetries.Load(),
@@ -212,11 +233,13 @@ func (m *serverMetrics) snapshot() Counters {
 		InflightThrottled: m.inflightThrottled.Load(),
 		RequestsAbandoned: m.requestsAbandoned.Load(),
 
-		ResponsesAccepted:    m.responsesAccepted.Load(),
-		ResponsesRejected:    respMalformed + mismatched + m.rejCommand.Load(),
-		ResponsesMalformed:   respMalformed,
-		ResponsesMismatched:  mismatched,
-		ResponsesUnsolicited: m.rejUnsolicited.Load(),
+		ResponsesAccepted:     m.responsesAccepted.Load(),
+		ResponsesFast:         m.responsesFast.Load(),
+		ResponsesRejected:     respMalformed + mismatched + fastMismatched + m.rejCommand.Load(),
+		ResponsesMalformed:    respMalformed,
+		ResponsesMismatched:   mismatched,
+		ResponsesFastRejected: fastMismatched,
+		ResponsesUnsolicited:  m.rejUnsolicited.Load(),
 
 		FloodInjected: m.floodInjected.Load(),
 		StatsReports:  m.statsReports.Load(),
@@ -272,6 +295,10 @@ type Server struct {
 	cfg    Config
 	shards []*shard
 
+	// deviceCount tracks the device-table population across all shards,
+	// enforcing Config.MaxDevices without a global sweep on every hello.
+	deviceCount atomic.Int64
+
 	inflight atomic.Int64
 	reg      *obs.Registry
 	m        *serverMetrics
@@ -312,6 +339,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = 1024
+	}
+	if cfg.MaxDevices <= 0 {
+		cfg.MaxDevices = 4096
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 256
@@ -408,30 +438,58 @@ func (s *Server) shardFor(deviceID string) *shard {
 	return s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
+// errDeviceTableFull refuses a hello that would grow the device table
+// past Config.MaxDevices. Static so the refusal path never allocates
+// under an ID-inventing flood.
+var errDeviceTableFull = errors.New("server: device table full")
+
 // device returns the per-prover state, creating it (and its verifier) on
-// first contact.
+// first contact. Construction — key derivation, authenticator setup and a
+// verifier holding its own golden-image copy — happens *outside* the
+// shard lock: it is the expensive part of a cold start, and holding the
+// stripe mutex through it would let a burst of unknown IDs stall every
+// established device on the same shard. The lock then covers only a
+// re-check (first insert wins; a racing construction is discarded) and
+// the capped insert.
 func (s *Server) device(deviceID string) (*deviceState, error) {
 	sh := s.shardFor(deviceID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if d, ok := sh.devices[deviceID]; ok {
+	d, ok := sh.devices[deviceID]
+	sh.mu.Unlock()
+	if ok {
 		return d, nil
 	}
+
 	key := protocol.DeriveDeviceKey(s.cfg.MasterSecret, deviceID)
 	auth, err := newAuthenticator(s.cfg.Auth, key[:], s.cfg.ECDSAKey)
 	if err != nil {
 		return nil, err
 	}
 	v, err := protocol.NewVerifier(protocol.VerifierConfig{
-		Freshness: s.cfg.Freshness,
-		Auth:      auth,
-		AttestKey: key[:],
-		Golden:    s.cfg.Golden,
+		Freshness:     s.cfg.Freshness,
+		Auth:          auth,
+		AttestKey:     key[:],
+		Golden:        s.cfg.Golden,
+		AllowFastPath: s.cfg.FastPath,
 	})
 	if err != nil {
 		return nil, err
 	}
-	d := &deviceState{id: deviceID, sh: sh, v: v}
+	d = &deviceState{id: deviceID, sh: sh, v: v}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.devices[deviceID]; ok {
+		// Lost the creation race; the winner's state carries the device's
+		// nonce/counter stream, so it must be the one everyone uses.
+		return cur, nil
+	}
+	// Reserve-then-check keeps the cap exact across shards: two inserts
+	// racing on different stripes both Add before either could Load.
+	if s.deviceCount.Add(1) > int64(s.cfg.MaxDevices) {
+		s.deviceCount.Add(-1)
+		return nil, errDeviceTableFull
+	}
 	sh.devices[deviceID] = d
 	return d, nil
 }
@@ -654,7 +712,11 @@ func (s *Server) handleConnInner(nc net.Conn) {
 	}
 	dev, err := s.device(hello.DeviceID)
 	if err != nil {
-		s.m.connRejDeviceNew.Inc()
+		if errors.Is(err, errDeviceTableFull) {
+			s.m.connRejDeviceFull.Inc()
+		} else {
+			s.m.connRejDeviceNew.Inc()
+		}
 		return
 	}
 	s.m.connsAccepted.Inc()
@@ -734,18 +796,31 @@ func (s *Server) onAttResp(dev *deviceState, frame []byte, t0 time.Time) {
 	mu := &dev.sh.mu
 	mu.Lock()
 	u0 := dev.v.Unsolicited
+	f0 := dev.v.FastAccepted
+	fr0 := dev.v.FastRejected
 	ok, _ := dev.v.CheckDecodedResponse(&resp)
 	unsol := dev.v.Unsolicited > u0
+	fastOK := dev.v.FastAccepted > f0
+	fastRej := dev.v.FastRejected > fr0
 	mu.Unlock()
 	switch {
 	case ok:
 		s.m.responsesAccepted.Inc()
+		if fastOK {
+			s.m.responsesFast.Inc()
+		}
 		if issued := dev.issuedAtNs.Load(); issued > 0 {
 			s.m.attestLat.Observe(time.Duration(time.Now().UnixNano() - issued))
 		}
 		s.releaseInflight()
 	case unsol:
 		s.m.rejUnsolicited.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
+	case fastRej:
+		// A fast response that failed the digest/epoch record check. The
+		// verifier has dropped its fast state, so the device's next
+		// request demands — and its deviation is caught by — the full MAC.
+		s.m.rejFastMismatch.Inc()
 		s.m.gateLat.Observe(time.Since(t0))
 	default:
 		s.m.rejBadMeasurement.Inc()

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"proverattest/internal/agent"
 	"proverattest/internal/core"
+	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
 	"proverattest/internal/transport"
 )
@@ -286,6 +288,99 @@ func TestFloodAsymmetry(t *testing.T) {
 	}
 	cancel()
 	<-done
+}
+
+// TestDeviceCreationRaceSingleInsert: concurrent first contacts for one
+// identity must all end up on the same deviceState. Construction happens
+// outside the shard lock, so several goroutines can build verifiers in
+// parallel — but only the first insert may win, or the losers' verifiers
+// would fork the device's nonce/counter stream.
+func TestDeviceCreationRaceSingleInsert(t *testing.T) {
+	s := testServer(t, nil)
+	const callers = 16
+	devs := make([]*deviceState, callers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			d, err := s.device("race-dev")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			devs[i] = d
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if devs[i] != devs[0] {
+			t.Fatal("racing device() calls returned distinct states")
+		}
+	}
+	if s.Devices() != 1 {
+		t.Fatalf("Devices = %d after race, want 1", s.Devices())
+	}
+	// The losers found the winner under the lock and never reserved, so the
+	// cap accounting must still be exact.
+	if n := s.deviceCount.Load(); n != 1 {
+		t.Fatalf("deviceCount = %d after race, want 1", n)
+	}
+}
+
+// TestDeviceTableCap: identities past Config.MaxDevices are refused at
+// the hello — an ID-inventing flood cannot grow daemon memory without
+// bound — while known devices keep reconnecting, and the refusal is its
+// own conns_rejected cause.
+func TestDeviceTableCap(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.MaxDevices = 2
+		c.Metrics = obs.New()
+	})
+	hello := func(id string) {
+		client, peer := net.Pipe()
+		go s.HandleConn(peer)
+		tc := transport.NewConn(client, transport.Options{})
+		t.Cleanup(func() { tc.Close() })
+		h := &protocol.Hello{Freshness: protocol.FreshCounter, Auth: protocol.AuthHMACSHA1, DeviceID: id}
+		if err := tc.Send(h.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hello("cap-dev-0")
+	hello("cap-dev-1")
+	waitFor(t, 5*time.Second, "both identities admitted", func() bool { return s.Devices() == 2 })
+
+	hello("cap-dev-2")
+	waitFor(t, 5*time.Second, "the third identity to be refused", func() bool {
+		return s.Counters().DeviceTableFull == 1
+	})
+	if got := s.Devices(); got != 2 {
+		t.Fatalf("Devices = %d after refusal, want 2", got)
+	}
+	if c := s.Counters(); c.ConnsRejected < c.DeviceTableFull {
+		t.Fatalf("ConnsRejected = %d does not include DeviceTableFull = %d", c.ConnsRejected, c.DeviceTableFull)
+	}
+
+	// A known identity still gets in at the cap: the refusal is about new
+	// table entries, not connections.
+	hello("cap-dev-0")
+	waitFor(t, 5*time.Second, "reconnect of a known device", func() bool {
+		return s.Counters().ConnsAccepted >= 3
+	})
+
+	var sb strings.Builder
+	if err := s.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	series := parsePromText(t, sb.String())
+	if got := series[`attestd_conns_rejected_total{cause="device_table_full"}`]; got != 1 {
+		t.Fatalf(`conns_rejected{cause="device_table_full"} = %v, want 1`, got)
+	}
 }
 
 func TestCloseUnblocksServe(t *testing.T) {
