@@ -392,6 +392,10 @@ func main() {
 		minSpeedup = flag.Float64("min-speedup", 0, "with -quiescent, fail unless the fast/full round speedup reaches this factor (0 = report only)")
 		scrapeURL = flag.String("scrape", "", "external daemon's /metrics URL to scrape mid-run, e.g. http://10.0.0.7:9150/metrics (in-process daemons are scraped automatically)")
 
+		swarmMode       = flag.Bool("swarm", false, "swarm mode: collective attestation through the spanning-tree gateway — -devices members, one socket, two frames per aggregate round; includes the crossover ladder and adversary matrix")
+		fanout          = flag.Int("fanout", 4, "with -swarm, the spanning-tree arity")
+		minMsgReduction = flag.Float64("min-msg-reduction", 0, "with -swarm, fail unless the measured verifier-message reduction reaches this factor (0 = report only)")
+
 		chaos         = flag.Bool("chaos", false, "run the fleet over faultnet fault injection with supervised reconnects (disables the adversarial pump); survival stats land in the summary")
 		chaosSchedule = flag.String("chaos-schedule", "flap=500ms:reset;pct=2:drop", "faultnet fault schedule applied to every device connection in -chaos mode")
 		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the deterministic fault and backoff streams (per-device offsets applied); equal seeds replay equal runs")
@@ -405,6 +409,21 @@ func main() {
 	auth, err := protocol.ParseAuthKind(*authName)
 	if err != nil {
 		log.Fatalf("attest-loadgen: %v", err)
+	}
+	if *swarmMode {
+		runSwarm(swarmRunOpts{
+			devices:         *devices,
+			fanout:          *fanout,
+			duration:        *duration,
+			every:           *attEvery,
+			master:          *master,
+			fresh:           fresh,
+			auth:            auth,
+			out:             *out,
+			variant:         *variant,
+			minMsgReduction: *minMsgReduction,
+		})
+		return
 	}
 	golden := core.GoldenRAMPattern()
 

@@ -58,6 +58,14 @@ type Config struct {
 	FastPath bool
 	// NonceCapacity bounds the nonce history for FreshNonceHistory.
 	NonceCapacity int
+	// SwarmFleet, when > 0, provisions the device for collective (swarm)
+	// attestation: the anchor gates SwarmReq frames with the fleet-wide
+	// broadcast key K_Swarm (derived from MasterSecret, which becomes
+	// required) and answers with its keyed own-tag aggregate. SwarmIndex
+	// is this device's member index in the fleet spanning tree; SwarmFleet
+	// is the fleet member count (it sizes the presence bitmap).
+	SwarmFleet int
+	SwarmIndex uint16
 	// EnableServices installs the secure-update/erase/clock-sync services
 	// behind the gate, so the daemon can drive service commands too.
 	EnableServices bool
@@ -132,6 +140,15 @@ func New(cfg Config) (*Agent, error) {
 		Monitor:       cfg.FastPath,
 		Protection:    prot,
 	}
+	if cfg.SwarmFleet > 0 {
+		if cfg.MasterSecret == nil {
+			return nil, errors.New("agent: swarm participation requires MasterSecret (K_Swarm derivation)")
+		}
+		sk := protocol.DeriveSwarmKey(cfg.MasterSecret)
+		acfg.SwarmKey = sk[:]
+		acfg.SwarmIndex = cfg.SwarmIndex
+		acfg.SwarmFleet = cfg.SwarmFleet
+	}
 	if err := core.NewDeviceAuth(cfg.Auth, &acfg); err != nil {
 		return nil, fmt.Errorf("agent: %w", err)
 	}
@@ -195,6 +212,18 @@ func (a *Agent) processLocked(frame []byte) []byte {
 	switch protocol.ClassifyFrame(frame) {
 	case protocol.FrameCommandReq:
 		a.dev.A.HandleCommand(frame, respond)
+	case protocol.FrameSwarmReq:
+		// A networked agent is a leaf of whatever aggregation fabric sits
+		// above it: gate + own tag, then the aggregate (its own
+		// contribution) straight back. On a star topology the own-only
+		// bisection probe and the leaf case of a full round are the same
+		// exchange; a gate rejection stays silent like every other frame.
+		a.dev.A.HandleSwarmBegin(frame, func(err error) {
+			if err != nil {
+				return
+			}
+			a.dev.A.SwarmRespond(respond)
+		})
 	default:
 		// Attestation requests and garbage alike go through Code_Attest's
 		// request path: the prover cannot afford to pre-filter frames

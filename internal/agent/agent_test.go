@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"proverattest/internal/protocol"
+	"proverattest/internal/swarm"
 	"proverattest/internal/transport"
 )
 
@@ -110,6 +111,86 @@ func TestProcessRejectsWithoutMACWork(t *testing.T) {
 	}
 	if st.Received != 4 {
 		t.Fatalf("Received = %d, want 4", st.Received)
+	}
+}
+
+// TestAgentSwarmProbe: a swarm-provisioned agent answers an own-only
+// aggregate probe through the anchor's K_Swarm gate, the verifier's
+// aggregate check accepts it, the second probe rides the RATA memo
+// (one measurement total), and a replayed probe dies silently at the
+// broadcast gate.
+func TestAgentSwarmProbe(t *testing.T) {
+	const fleet, index = 4, 2
+	ids := swarm.FleetIDs(fleet)
+	a, err := New(Config{
+		DeviceID:     ids[index],
+		Freshness:    protocol.FreshCounter,
+		Auth:         protocol.AuthHMACSHA1,
+		MasterSecret: testMaster,
+		FastPath:     true,
+		SwarmFleet:   fleet,
+		SwarmIndex:   index,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := swarm.NewVerifier(swarm.Params{
+		Master: testMaster,
+		IDs:    ids,
+		Golden: a.Device().GoldenRAM(),
+		Fanout: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := func() {
+		t.Helper()
+		req := v.NewRequest(index, true)
+		reply := a.Process(req.Encode())
+		if reply == nil {
+			t.Fatal("own-only probe got no reply")
+		}
+		resp, err := protocol.DecodeSwarmResp(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Check(req, resp); err != nil {
+			t.Fatalf("verifier rejected the agent's own tag: %v", err)
+		}
+	}
+	probe()
+	probe()
+	st := a.Snapshot()
+	if st.Measurements != 1 || st.FastResponses != 1 {
+		t.Fatalf("measurements = %d, fast = %d; want 1 and 1 (second probe rides the memo)",
+			st.Measurements, st.FastResponses)
+	}
+
+	// Replay: the anchor's broadcast-gate freshness is strictly monotonic.
+	req := v.NewRequest(index, true)
+	raw := req.Encode()
+	if a.Process(raw) == nil {
+		t.Fatal("fresh probe rejected")
+	}
+	if a.Process(raw) != nil {
+		t.Fatal("replayed probe got a reply")
+	}
+
+	// Unprovisioned agents stay silent on swarm frames entirely.
+	plain := testAgent(t, protocol.FreshCounter, protocol.AuthHMACSHA1)
+	if plain.Process(v.NewRequest(index, true).Encode()) != nil {
+		t.Fatal("swarm-less agent answered a swarm probe")
+	}
+}
+
+func TestAgentSwarmRequiresMaster(t *testing.T) {
+	if _, err := New(Config{
+		DeviceID:   "x",
+		Freshness:  protocol.FreshCounter,
+		SwarmFleet: 4,
+	}); err == nil {
+		t.Fatal("swarm agent built without a master secret")
 	}
 }
 

@@ -217,6 +217,16 @@ type Config struct {
 	// transaction-level model except for bookkeeping; the flag is kept for
 	// configuration fidelity.
 	InterruptibleAttest bool
+	// SwarmKey is the fleet-wide broadcast key K_Swarm gating collective-
+	// attestation requests (see internal/protocol swarm frames). Nil
+	// disables swarm participation. It authenticates requests only — the
+	// node's evidence is always keyed with its per-device K_Attest.
+	SwarmKey []byte
+	// SwarmIndex is this device's member index in the fleet spanning tree.
+	SwarmIndex uint16
+	// SwarmFleet is the fleet member count; it sizes the presence bitmap
+	// in aggregate responses. Required (>0) when SwarmKey is set.
+	SwarmFleet int
 }
 
 // Stats counts what the anchor observed; the attack harness reads these to
@@ -250,6 +260,7 @@ type Anchor struct {
 	cachedAuth    protocol.Authenticator
 	cachedAuthKey [20]byte
 	services      map[protocol.CommandKind]ServiceHandler
+	swarm         swarmState
 
 	Stats Stats
 }

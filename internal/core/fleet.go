@@ -25,6 +25,15 @@ type Fleet struct {
 	// here means scheduling cannot silently disagree with the configured
 	// period.
 	Period sim.Duration
+	// Topology is the fleet's spanning tree: scheduling staggers members
+	// by tree position and the swarm aggregation subsystem folds along
+	// the same tree, so the two cannot disagree about the fleet's shape.
+	// Always set by NewFleet; nil in hand-assembled fleets falls back to
+	// index-ordered scheduling.
+	Topology *Topology
+	// SwarmKey is the fleet-wide K_Swarm broadcast key; non-nil iff the
+	// fleet was built with FleetConfig.Fanout > 0.
+	SwarmKey []byte
 }
 
 // FleetConfig parameterises a fleet deployment.
@@ -37,6 +46,14 @@ type FleetConfig struct {
 	// AttestPeriod is the per-prover genuine attestation interval;
 	// members are staggered across the period to avoid a thundering herd.
 	AttestPeriod sim.Duration
+	// Fanout, when > 0, arranges the fleet in a spanning tree of this
+	// arity and provisions every member for swarm aggregation (K_Swarm,
+	// tree index, bitmap width). Zero keeps the 1:1-only fleet with an
+	// identity-ordered topology used purely for scheduling.
+	Fanout int
+	// TopologySeed permutes members across tree positions (0 = identity,
+	// preserving the historical index-ordered stagger).
+	TopologySeed int64
 }
 
 // NewFleet boots n provers on one kernel, each with its own coin cell.
@@ -49,13 +66,23 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	k := sim.NewKernel()
 	f := &Fleet{K: k, Period: cfg.AttestPeriod}
+	f.Topology = NewTopology(cfg.Provers, cfg.Fanout, cfg.TopologySeed)
+	if cfg.Fanout > 0 {
+		swarmKey := protocol.DeriveSwarmKey(FleetMasterSecret)
+		f.SwarmKey = swarmKey[:]
+	}
 	for i := 0; i < cfg.Provers; i++ {
 		member := cfg.Scenario
 		member.Battery = energy.CoinCellCR2032()
 		// Per-device keys: one roaming compromise must not yield a key
 		// that impersonates the verifier to the rest of the fleet.
-		deviceKey := protocol.DeriveDeviceKey(FleetMasterSecret, fmt.Sprintf("prover-%04d", i))
+		deviceKey := protocol.DeriveDeviceKey(FleetMasterSecret, FleetDeviceID(i))
 		member.AttestKey = deviceKey[:]
+		if f.SwarmKey != nil {
+			member.SwarmKey = f.SwarmKey
+			member.SwarmIndex = uint16(i)
+			member.SwarmFleet = cfg.Provers
+		}
 		s, err := NewScenarioOn(k, member)
 		if err != nil {
 			return nil, fmt.Errorf("core: booting fleet member %d: %w", i, err)
@@ -68,6 +95,11 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 // FleetMasterSecret seeds the fleet's per-device key derivation.
 var FleetMasterSecret = []byte("proverattest-fleet-master-secret")
 
+// FleetDeviceID is the canonical device identifier for fleet member i —
+// the string the per-device key derivation and the swarm verifier both
+// hang off, kept in one place so they cannot drift.
+func FleetDeviceID(i int) string { return fmt.Sprintf("prover-%04d", i) }
+
 // ScheduleAttestation arranges periodic genuine attestation for every
 // member over the given horizon, staggered across the fleet's configured
 // period. A fleet with no members (possible when the struct is assembled
@@ -78,7 +110,17 @@ func (f *Fleet) ScheduleAttestation(horizon sim.Duration) {
 		return
 	}
 	for i, m := range f.Members {
-		offset := staggerOffset(f.Period, i, n)
+		// Stagger by tree position, not raw index: with a seeded topology
+		// the tree's upper levels (which carry swarm fold traffic for
+		// their subtrees) attest earliest in the period, and with the
+		// identity topology this reduces to the historical index order.
+		pos := i
+		if f.Topology != nil {
+			if p := f.Topology.Pos(i); p >= 0 {
+				pos = p
+			}
+		}
+		offset := staggerOffset(f.Period, pos, n)
 		if offset >= horizon {
 			continue
 		}

@@ -53,6 +53,13 @@ type ScenarioConfig struct {
 	// EnableServices installs the secure-update, secure-erase and
 	// clock-sync services behind the anchor's gate.
 	EnableServices bool
+	// SwarmKey provisions the fleet-wide K_Swarm broadcast key, enabling
+	// swarm (collective) attestation on this prover. SwarmIndex is the
+	// member's spanning-tree index and SwarmFleet the fleet size (bitmap
+	// width); both are set by NewFleet when FleetConfig.Fanout > 0.
+	SwarmKey   []byte
+	SwarmIndex uint16
+	SwarmFleet int
 	// MaxSyncStepMs bounds one clock-sync adjustment (default 500 ms).
 	MaxSyncStepMs int64
 }
@@ -68,6 +75,15 @@ type Scenario struct {
 
 	// ResponsesSeen counts frames that reached the verifier endpoint.
 	ResponsesSeen uint64
+
+	// SwarmReqHandler, when set, receives swarm aggregation requests
+	// arriving at the prover endpoint (the fleet swarm driver installs it
+	// on subtree roots; unhandled swarm frames fall through to the
+	// anchor's request gate and are counted as malformed there).
+	SwarmReqHandler func(payload []byte, reply func([]byte))
+	// SwarmRespHandler, when set, receives swarm aggregate responses
+	// arriving at the verifier endpoint.
+	SwarmRespHandler func(payload []byte)
 }
 
 // NewScenario assembles and boots everything on a fresh kernel.
@@ -99,6 +115,9 @@ func NewScenarioOn(k *sim.Kernel, cfg ScenarioConfig) (*Scenario, error) {
 		MeasurementChunk:  cfg.MeasurementChunk,
 		Monitor:           cfg.Monitor,
 		Protection:        cfg.Protection,
+		SwarmKey:          cfg.SwarmKey,
+		SwarmIndex:        cfg.SwarmIndex,
+		SwarmFleet:        cfg.SwarmFleet,
 	}
 	if err := NewDeviceAuth(cfg.Auth, &acfg); err != nil {
 		return nil, err
@@ -170,6 +189,12 @@ func NewScenarioOn(k *sim.Kernel, cfg ScenarioConfig) (*Scenario, error) {
 		switch protocol.ClassifyFrame(msg.Payload) {
 		case protocol.FrameCommandReq:
 			dev.A.HandleCommand(msg.Payload, reply)
+		case protocol.FrameSwarmReq:
+			if s.SwarmReqHandler != nil {
+				s.SwarmReqHandler(msg.Payload, reply)
+				return
+			}
+			dev.A.HandleRequest(msg.Payload, reply)
 		default:
 			// Attestation requests and garbage alike go through
 			// Code_Attest's request path, which rejects malformed frames
@@ -181,6 +206,10 @@ func NewScenarioOn(k *sim.Kernel, cfg ScenarioConfig) (*Scenario, error) {
 	c.Attach(channel.Verifier, func(msg channel.Message) {
 		s.ResponsesSeen++
 		switch protocol.ClassifyFrame(msg.Payload) {
+		case protocol.FrameSwarmResp:
+			if s.SwarmRespHandler != nil {
+				s.SwarmRespHandler(msg.Payload)
+			}
 		case protocol.FrameCommandResp:
 			resp, err := v.CheckCommandResponse(msg.Payload)
 			if err != nil {

@@ -38,6 +38,8 @@ func TestAppendEncodeZeroAllocs(t *testing.T) {
 	cmdResp := &CommandResp{Kind: CmdSecureErase, Nonce: 11, Body: make([]byte, 8), Tag: make([]byte, 20)}
 	hello := &Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "alloc-dev"}
 	stats := &StatsReport{Received: 1, Measurements: 2}
+	swarmReq := &SwarmReq{Root: 3, Nonce: 4, TreeID: 5, Tag: make([]byte, 20)}
+	swarmResp := &SwarmResp{Depth: 1, Root: 3, Nonce: 4, Bitmap: make([]byte, 8)}
 
 	buf := make([]byte, 0, 512)
 	assertZeroAllocs(t, "AttReq.AppendEncode", func() { buf = req.AppendEncode(buf[:0]) })
@@ -46,6 +48,8 @@ func TestAppendEncodeZeroAllocs(t *testing.T) {
 	assertZeroAllocs(t, "CommandResp.AppendEncode", func() { buf = cmdResp.AppendEncode(buf[:0]) })
 	assertZeroAllocs(t, "Hello.AppendEncode", func() { buf = hello.AppendEncode(buf[:0]) })
 	assertZeroAllocs(t, "StatsReport.AppendEncode", func() { buf = stats.AppendEncode(buf[:0]) })
+	assertZeroAllocs(t, "SwarmReq.AppendEncode", func() { buf = swarmReq.AppendEncode(buf[:0]) })
+	assertZeroAllocs(t, "SwarmResp.AppendEncode", func() { buf = swarmResp.AppendEncode(buf[:0]) })
 }
 
 // TestAppendEncodeMatchesEncode pins AppendEncode and Encode to identical
@@ -57,6 +61,8 @@ func TestAppendEncodeMatchesEncode(t *testing.T) {
 	cmdResp := &CommandResp{Kind: CmdClockSync, Status: StatusOK, Nonce: 6, Body: []byte("r"), Tag: []byte("g")}
 	hello := &Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "dev"}
 	stats := &StatsReport{Received: 42, FramesIn: 43}
+	swarmReq := &SwarmReq{OwnOnly: true, Root: 7, Nonce: 8, TreeID: 9, Tag: []byte{1, 2, 3}}
+	swarmResp := &SwarmResp{Depth: 2, Root: 7, Nonce: 8, Bitmap: []byte{0x81}}
 
 	cases := []struct {
 		name   string
@@ -69,6 +75,8 @@ func TestAppendEncodeMatchesEncode(t *testing.T) {
 		{"CommandResp", cmdResp.AppendEncode, cmdResp.Encode},
 		{"Hello", hello.AppendEncode, hello.Encode},
 		{"StatsReport", stats.AppendEncode, stats.Encode},
+		{"SwarmReq", swarmReq.AppendEncode, swarmReq.Encode},
+		{"SwarmResp", swarmResp.AppendEncode, swarmResp.Encode},
 	}
 	for _, tc := range cases {
 		prefix := []byte{0xEE, 0xFF}
@@ -99,6 +107,42 @@ func TestDecodeAttRespIntoZeroAllocs(t *testing.T) {
 	assertZeroAllocs(t, "DecodeAttRespInto reject", func() {
 		if err := DecodeAttRespInto(bad, &resp); err == nil {
 			t.Fatal("bad magic accepted")
+		}
+	})
+}
+
+// TestDecodeSwarmIntoZeroAllocs pins the swarm frames' decode-into paths
+// (and their hostile-controlled reject branches) at 0 allocs/frame: the
+// per-hop gate and the daemon's aggregate routing run these per frame.
+func TestDecodeSwarmIntoZeroAllocs(t *testing.T) {
+	reqFrame := (&SwarmReq{Root: 5, Nonce: 6, TreeID: 7, Tag: make([]byte, 20)}).Encode()
+	respFrame := (&SwarmResp{Depth: 1, Root: 5, Nonce: 6, Bitmap: make([]byte, 32)}).Encode()
+
+	req := &SwarmReq{Tag: make([]byte, 0, 64)}
+	resp := &SwarmResp{Bitmap: make([]byte, 0, 64)}
+	assertZeroAllocs(t, "DecodeSwarmReqInto", func() {
+		if err := DecodeSwarmReqInto(reqFrame, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZeroAllocs(t, "DecodeSwarmRespInto", func() {
+		if err := DecodeSwarmRespInto(respFrame, resp); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	badReq := append([]byte(nil), reqFrame...)
+	badReq[1] = 0xFF
+	badResp := append([]byte(nil), respFrame...)
+	badResp[6] = 0xFF // bitmap-length mismatch
+	assertZeroAllocs(t, "DecodeSwarmReqInto reject", func() {
+		if err := DecodeSwarmReqInto(badReq, req); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	assertZeroAllocs(t, "DecodeSwarmRespInto reject", func() {
+		if err := DecodeSwarmRespInto(badResp, resp); err == nil {
+			t.Fatal("bad bitmap length accepted")
 		}
 	})
 }

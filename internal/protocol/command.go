@@ -288,6 +288,8 @@ const (
 	FrameCommandResp
 	FrameHello
 	FrameStats
+	FrameSwarmReq
+	FrameSwarmResp
 )
 
 // ClassifyFrame inspects a frame's magic bytes.
@@ -308,6 +310,10 @@ func ClassifyFrame(buf []byte) FrameKind {
 		return FrameHello
 	case buf[0] == reqMagic0 && buf[1] == statsMagic1:
 		return FrameStats
+	case buf[0] == reqMagic0 && buf[1] == swarmReqMagic1:
+		return FrameSwarmReq
+	case buf[0] == respMagic0 && buf[1] == swarmRespMagic1:
+		return FrameSwarmResp
 	}
 	return FrameUnknown
 }

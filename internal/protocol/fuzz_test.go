@@ -103,3 +103,57 @@ func FuzzDecodeStatsReport(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeSwarmReq: the swarm broadcast-request decoder must never
+// panic, and any frame it accepts must re-encode byte-identically (the
+// parse is a bijection on its accepted set) — same hostile-bytes
+// treatment as AttReq.
+func FuzzDecodeSwarmReq(f *testing.F) {
+	signed := &SwarmReq{OwnOnly: true, Root: 3, Nonce: 1, TreeID: 2}
+	signed.Sign([]byte("fuzz-swarm-key"))
+	f.Add(signed.Encode())
+	f.Add((&SwarmReq{}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x41, 0x57, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSwarmReq(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(req.Encode(), data) {
+			t.Fatalf("accepted swarm request does not round trip: %x", data)
+		}
+		var into SwarmReq
+		if err := DecodeSwarmReqInto(data, &into); err != nil {
+			t.Fatalf("DecodeSwarmReqInto rejects what DecodeSwarmReq accepts: %x", data)
+		}
+		if !bytes.Equal(into.Encode(), data) {
+			t.Fatalf("decode-into swarm request does not round trip: %x", data)
+		}
+	})
+}
+
+// FuzzDecodeSwarmResp mirrors the request fuzzer for aggregate responses,
+// including the variable-length presence bitmap.
+func FuzzDecodeSwarmResp(f *testing.F) {
+	resp := &SwarmResp{Depth: 2, Root: 1, Nonce: 9, Bitmap: []byte{0xFF, 0x01}}
+	f.Add(resp.Encode())
+	f.Add((&SwarmResp{}).Encode())
+	f.Add([]byte{0x41, 0x56})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeSwarmResp(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(r.Encode(), data) {
+			t.Fatalf("accepted swarm response does not round trip: %x", data)
+		}
+		var into SwarmResp
+		if err := DecodeSwarmRespInto(data, &into); err != nil {
+			t.Fatalf("DecodeSwarmRespInto rejects what DecodeSwarmResp accepts: %x", data)
+		}
+		if !bytes.Equal(into.Encode(), data) {
+			t.Fatalf("decode-into swarm response does not round trip: %x", data)
+		}
+	})
+}

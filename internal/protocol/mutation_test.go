@@ -87,6 +87,71 @@ func TestRandomFrameMutationsNeverDecodeAndVerify(t *testing.T) {
 	}
 }
 
+// TestSwarmReqMutationsNeverDecodeAndVerify gives the swarm broadcast
+// request the same hostile-bytes treatment: random corruptions of a
+// K_Swarm-signed frame either fail framing or fail the gate MAC — a
+// mutated request can never reach a node's measurement work.
+func TestSwarmReqMutationsNeverDecodeAndVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	key := DeriveSwarmKey([]byte("mutation-master"))
+	req := &SwarmReq{OwnOnly: false, Root: 12, Nonce: 5, TreeID: 6}
+	req.Sign(key[:])
+	frame := req.Encode()
+	auth := NewHMACAuth(key[:])
+
+	for trial := 0; trial < 2000; trial++ {
+		mutated := append([]byte(nil), frame...)
+		flips := 1 + rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		got, err := DecodeSwarmReq(mutated)
+		if err != nil {
+			continue // framing reject: fine
+		}
+		if ok, _ := auth.Verify(got.SignedBytes(), got.Tag); ok {
+			if string(mutated) == string(frame) {
+				continue // cancelling flips
+			}
+			t.Fatalf("trial %d: corrupted swarm request decoded AND verified", trial)
+		}
+	}
+}
+
+// TestSwarmRespMutationsNeverMatchAggregate: corruptions of an aggregate
+// response either fail DecodeSwarmRespInto or change the decoded
+// (aggregate, bitmap, depth, root, nonce) tuple — a mutation can never
+// yield the same verifier-side acceptance as the original frame.
+func TestSwarmRespMutationsNeverMatchAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	orig := &SwarmResp{Depth: 2, Root: 4, Nonce: 9, Bitmap: []byte{0xAB, 0x01}}
+	for i := range orig.Aggregate {
+		orig.Aggregate[i] = byte(i*31 + 1)
+	}
+	frame := orig.Encode()
+
+	var got SwarmResp
+	for trial := 0; trial < 2000; trial++ {
+		mutated := append([]byte(nil), frame...)
+		flips := 1 + rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		if string(mutated) == string(frame) {
+			continue // cancelling flips
+		}
+		if err := DecodeSwarmRespInto(mutated, &got); err != nil {
+			continue // framing reject: fine
+		}
+		same := got.Depth == orig.Depth && got.Root == orig.Root &&
+			got.Nonce == orig.Nonce && got.Aggregate == orig.Aggregate &&
+			string(got.Bitmap) == string(orig.Bitmap)
+		if same {
+			t.Fatalf("trial %d: corrupted swarm response decoded to the original tuple", trial)
+		}
+	}
+}
+
 // TestCommandFrameMutations does the same for the service-command
 // envelope, whose body is part of the authenticated bytes.
 func TestCommandFrameMutations(t *testing.T) {

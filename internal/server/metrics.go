@@ -58,6 +58,7 @@ type serverMetrics struct {
 	rejMalformedStats *obs.Counter // classified as stats, failed strict decode
 	rejCommand        *obs.Counter // service-command response rejected
 	rejFastMismatch   *obs.Counter // fast response failed the digest/epoch record check
+	rejMalformedSwarm *obs.Counter // classified as a swarm response, failed strict decode
 
 	requestsIssued    *obs.Counter
 	inflightThrottled *obs.Counter
@@ -68,6 +69,11 @@ type serverMetrics struct {
 	floodInjected *obs.Counter
 	statsReports  *obs.Counter
 	statsEpochs   *obs.Counter // device counter-reset (reboot) detections
+
+	// Swarm aggregation over the gateway connection: full rounds driven
+	// and bisection probes issued to localize a failed aggregate.
+	swarmRounds     *obs.Counter
+	swarmBisections *obs.Counter
 
 	// gateLat times frames that die at the serving gate; attestLat times
 	// accepted attestation rounds issue-to-accept. The mass separation
@@ -113,12 +119,16 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		rejMalformedStats: reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "malformed_stats")),
 		rejCommand:        reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "command_rejected")),
 		rejFastMismatch:   reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "fast_mismatch")),
+		rejMalformedSwarm: reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "malformed_swarm")),
 
 		requestsIssued:    reg.Counter("attestd_requests_issued_total", "Honest attestation requests sent."),
 		inflightThrottled: reg.Counter("attestd_inflight_throttled_total", "Issue ticks skipped at the global inflight cap."),
 		requestsAbandoned: reg.Counter("attestd_requests_abandoned_total", "Requests retired by timeout."),
 		responsesAccepted: reg.Counter("attestd_responses_accepted_total", "Responses whose measurement matched the golden image."),
 		responsesFast:     reg.Counter("attestd_responses_fast_total", "Accepted responses that took the O(1) fast path (clean write monitor, no memory MAC)."),
+
+		swarmRounds:     reg.Counter("attestd_swarm_rounds_total", "Swarm aggregate-attestation rounds driven over the gateway connection."),
+		swarmBisections: reg.Counter("attestd_swarm_bisections_total", "Bisection probes issued to localize failed swarm aggregates."),
 
 		floodInjected: reg.Counter("attestd_flood_injected_total", "Adversarial frames sent in impersonator mode."),
 		statsReports:  reg.Counter("attestd_stats_reports_total", "Agent gate-counter heartbeats received."),

@@ -120,6 +120,9 @@ func TestMetricsSmoke(t *testing.T) {
 		// Fast-path and device-table series.
 		"attestd_responses_fast_total",
 		`attestd_rejects_total{cause="fast_mismatch"}`,
+		`attestd_rejects_total{cause="malformed_swarm"}`,
+		"attestd_swarm_rounds_total",
+		"attestd_swarm_bisections_total",
 		`attestd_conns_rejected_total{cause="device_table_full"}`,
 		"attestd_fleet_fast_responses",
 		// Agent-reported fleet aggregates.

@@ -148,6 +148,14 @@ type Config struct {
 	// issue schedule.
 	Flood *FloodConfig
 
+	// Swarm, when non-nil, additionally provisions the daemon as a swarm
+	// verifier: aggregate attestation rounds are driven through the
+	// spanning-tree root's ("gateway") connection — one request frame and
+	// one aggregate response per round for the whole fleet, with
+	// bisection probes on the same connection when an aggregate fails.
+	// The 1:1 issue schedule still runs for directly connected devices.
+	Swarm *SwarmConfig
+
 	// Metrics is the registry the daemon registers its series on (see
 	// internal/obs); nil gives the daemon a private registry. Recording is
 	// always on — it is atomics-only and allocation-free, so there is
@@ -202,6 +210,9 @@ type Counters struct {
 	FloodInjected uint64 // adversarial frames sent (flood mode)
 	StatsReports  uint64 // agent stats frames received
 	StatsEpochs   uint64 // agent counter resets (reboots) detected
+
+	SwarmRounds     uint64 // aggregate rounds driven over the gateway connection
+	SwarmBisections uint64 // bisection probes issued to localize failed aggregates
 }
 
 func (m *serverMetrics) snapshot() Counters {
@@ -227,7 +238,7 @@ func (m *serverMetrics) snapshot() Counters {
 		FramesIn:        m.framesIn.Load(),
 		RateLimited:     m.rejRateLimited.Load(),
 		UnknownFrames:   m.rejUnknown.Load(),
-		MalformedFrames: respMalformed + statsMalformed,
+		MalformedFrames: respMalformed + statsMalformed + m.rejMalformedSwarm.Load(),
 
 		RequestsIssued:    m.requestsIssued.Load(),
 		InflightThrottled: m.inflightThrottled.Load(),
@@ -244,6 +255,9 @@ func (m *serverMetrics) snapshot() Counters {
 		FloodInjected: m.floodInjected.Load(),
 		StatsReports:  m.statsReports.Load(),
 		StatsEpochs:   m.statsEpochs.Load(),
+
+		SwarmRounds:     m.swarmRounds.Load(),
+		SwarmBisections: m.swarmBisections.Load(),
 	}
 }
 
@@ -302,6 +316,10 @@ type Server struct {
 	inflight atomic.Int64
 	reg      *obs.Registry
 	m        *serverMetrics
+
+	// swarm is the aggregate-attestation coordinator (nil unless
+	// Config.Swarm provisioned one).
+	swarm *swarmCoordinator
 
 	// draining flips once, when Shutdown starts: the accept loop refuses
 	// new connections and the issue loops stop committing to new requests
@@ -381,6 +399,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{devices: make(map[string]*deviceState)}
+	}
+	if cfg.Swarm != nil {
+		sc, err := newSwarmCoordinator(&s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.swarm = sc
 	}
 	s.registerGauges(reg)
 	return s, nil
@@ -732,6 +757,13 @@ func (s *Server) handleConnInner(nc net.Conn) {
 	} else {
 		go func() { defer s.wg.Done(); s.issueLoop(dev, tc, stop) }()
 	}
+	// The gateway device's connection additionally carries the swarm
+	// aggregation schedule: the whole fleet's collective evidence flows
+	// through this one socket.
+	if sc := s.swarm; sc != nil && hello.DeviceID == sc.gateway {
+		s.wg.Add(1)
+		go func() { defer s.wg.Done(); s.swarmLoop(tc, stop) }()
+	}
 
 	var bucket *tokenBucket
 	if s.cfg.PerConnRatePerSec > 0 {
@@ -776,6 +808,8 @@ func (s *Server) handleFrame(dev *deviceState, bucket *tokenBucket, frame []byte
 		s.onCommandResp(dev, frame, t0)
 	case protocol.FrameStats:
 		s.onStats(dev, frame, t0)
+	case protocol.FrameSwarmResp:
+		s.onSwarmResp(dev, frame, t0)
 	default:
 		s.m.rejUnknown.Inc()
 		s.m.gateLat.Observe(time.Since(t0))

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"proverattest/internal/protocol"
+	"proverattest/internal/swarm"
+	"proverattest/internal/transport"
+)
+
+// swarmBridge connects a swarm.Mesh (the in-process device fabric) to
+// the daemon through a single net.Pipe — the gateway connection. It
+// sends the gateway's hello, answers every SwarmReq (full rounds and
+// bisection probes alike) by running the aggregation over the mesh, and
+// ignores the daemon's 1:1 traffic on the same socket.
+//
+// mu guards the mesh: the bridge queries it from its own goroutine while
+// the test mutates adversary state (taints, absences).
+type swarmBridge struct {
+	mu   sync.Mutex
+	mesh *swarm.Mesh
+	tc   *transport.Conn
+	done chan struct{}
+}
+
+func startSwarmBridge(t *testing.T, s *Server, mesh *swarm.Mesh, gatewayID string) *swarmBridge {
+	t.Helper()
+	clientNC, serverNC := net.Pipe()
+	go s.HandleConn(serverNC)
+	tc := transport.NewConn(clientNC, transport.Options{
+		ReadTimeout:  100 * time.Millisecond,
+		WriteTimeout: 2 * time.Second,
+	})
+	hello := protocol.Hello{
+		Freshness: protocol.FreshCounter,
+		Auth:      protocol.AuthHMACSHA1,
+		DeviceID:  gatewayID,
+	}
+	if err := tc.Send(hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	b := &swarmBridge{mesh: mesh, tc: tc, done: make(chan struct{})}
+	go b.run()
+	t.Cleanup(func() {
+		tc.Close()
+		<-b.done
+	})
+	return b
+}
+
+func (b *swarmBridge) run() {
+	defer close(b.done)
+	for {
+		frame, err := b.tc.Recv()
+		if err != nil {
+			if transport.IsTimeout(err) {
+				continue
+			}
+			return
+		}
+		if protocol.ClassifyFrame(frame) != protocol.FrameSwarmReq {
+			continue // 1:1 requests share the socket; the bridge is swarm-only
+		}
+		req, err := protocol.DecodeSwarmReq(frame)
+		if err != nil {
+			continue
+		}
+		b.mu.Lock()
+		resp, err := b.mesh.Query(req)
+		b.mu.Unlock()
+		if err != nil || resp == nil {
+			continue // absent subtree: the daemon's timeout models the silence
+		}
+		if err := b.tc.Send(resp.Encode()); err != nil {
+			return
+		}
+	}
+}
+
+// with runs fn with the mesh lock held — the test's mutation window.
+func (b *swarmBridge) with(fn func(m *swarm.Mesh)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fn(b.mesh)
+}
+
+func testSwarmServer(t *testing.T, n, fanout int) (*Server, *swarmBridge, []string) {
+	t.Helper()
+	ids := swarm.FleetIDs(n)
+	s := testServer(t, func(cfg *Config) {
+		// Quiet the 1:1 schedule: this deployment attests collectively.
+		cfg.AttestEvery = time.Hour
+		cfg.Swarm = &SwarmConfig{
+			IDs:     ids,
+			Fanout:  fanout,
+			Every:   25 * time.Millisecond,
+			Timeout: 2 * time.Second,
+		}
+	})
+	mesh, err := swarm.NewMesh(swarm.Params{
+		Master: testMaster,
+		IDs:    ids,
+		Golden: s.cfg.Golden,
+		Fanout: fanout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := startSwarmBridge(t, s, mesh, ids[0])
+	return s, b, ids
+}
+
+func hasFinding(fs []swarm.Finding, member int, cause swarm.Cause) bool {
+	for _, f := range fs {
+		if f.Member == member && f.Cause == cause {
+			return true
+		}
+	}
+	return false
+}
+
+// TestServerSwarmRounds drives the full networked swarm lifecycle over
+// one gateway connection: clean aggregate rounds at two frames each,
+// then an epoch-desynced member (localized by bisection, resynced, kept),
+// then a lost member (localized, quarantined, survivors keep verifying).
+func TestServerSwarmRounds(t *testing.T) {
+	const n, fanout = 15, 2
+	s, b, _ := testSwarmServer(t, n, fanout)
+	target := n - 1 // deepest member: the last leaf
+
+	waitFor(t, 10*time.Second, "clean swarm rounds", func() bool {
+		return s.SwarmStats().Accepted >= 2
+	})
+	if c := s.Counters(); c.SwarmRounds < 2 || c.SwarmBisections != 0 {
+		t.Fatalf("clean phase: rounds=%d bisections=%d", c.SwarmRounds, c.SwarmBisections)
+	}
+	if fs := s.SwarmFindings(); len(fs) != 0 {
+		t.Fatalf("clean phase produced findings: %v", fs)
+	}
+
+	// Epoch desync: the member's write monitor fires (a legitimate local
+	// write), it re-measures its still-golden memory under a new epoch,
+	// and its own tag stops matching the verifier's recorded epoch. The
+	// daemon must localize the member and resync instead of evicting it.
+	b.with(func(m *swarm.Mesh) { m.Nodes[target].Taint() })
+	waitFor(t, 10*time.Second, "desync localized", func() bool {
+		return hasFinding(s.SwarmFindings(), target, swarm.CauseMismatch)
+	})
+	if c := s.Counters(); c.SwarmBisections == 0 {
+		t.Fatal("mismatch localized without bisection probes")
+	}
+	resynced := s.SwarmStats().Accepted
+	waitFor(t, 10*time.Second, "rounds resume after resync", func() bool {
+		return s.SwarmStats().Accepted > resynced
+	})
+	if got := s.SwarmTopology(); got != nil && got.Len() != n {
+		t.Fatalf("resynced member was evicted: %d members left", got.Len())
+	}
+
+	// Member loss: the leaf goes dark. Its presence bit clears, the
+	// verifier localizes the absence and quarantines the member, and the
+	// surviving fleet's aggregate verifies again.
+	b.with(func(m *swarm.Mesh) { m.Absent[target] = true })
+	waitFor(t, 10*time.Second, "absence localized", func() bool {
+		return hasFinding(s.SwarmFindings(), target, swarm.CauseAbsent)
+	})
+	recovered := s.SwarmStats().Accepted
+	waitFor(t, 10*time.Second, "rounds resume after quarantine", func() bool {
+		return s.SwarmStats().Accepted > recovered
+	})
+	if got := s.SwarmTopology(); got == nil || got.Len() != n-1 {
+		t.Fatalf("quarantine did not shrink the tree: %v", got)
+	}
+}
+
+// TestServerSwarmMalformedResp: swarm responses share the serving gate
+// with everything else — a garbage frame with the right magic dies at
+// strict decode under its own reject cause, and a stale (wrong-nonce)
+// response dies as unsolicited.
+func TestServerSwarmMalformedResp(t *testing.T) {
+	s, b, _ := testSwarmServer(t, 3, 2)
+	waitFor(t, 10*time.Second, "a clean round", func() bool {
+		return s.SwarmStats().Accepted >= 1
+	})
+	// Malformed: swarm-resp magic, truncated body.
+	if err := b.tc.Send([]byte{0x41, 0x56, 0x01, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "malformed swarm frame counted", func() bool {
+		return s.Counters().MalformedFrames >= 1
+	})
+	// Stale nonce: a well-formed response answering no outstanding query.
+	stale := &protocol.SwarmResp{Nonce: 1, Root: 0, Bitmap: []byte{0x07}}
+	if err := b.tc.Send(stale.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "stale swarm response rejected", func() bool {
+		return s.Counters().ResponsesUnsolicited >= 1
+	})
+}

@@ -1,0 +1,35 @@
+package swarm
+
+import "testing"
+
+// TestCrossover: the message story is exact (2 verifier frames vs 2N)
+// and the measured verifier compute must cross over within the sweep —
+// the aggregate check does N small fixed-size MACs where the direct
+// baseline does N golden-image MACs.
+func TestCrossover(t *testing.T) {
+	rep, err := RunCrossover([]int{2, 4, 16, 64}, 2, 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		t.Logf("n=%3d depth=%d verifier msgs %d→%d (%.0fx) verify %7.1fµs→%7.1fµs tree msgs %d",
+			pt.N, pt.Depth, pt.DirectVerifierMsgs, pt.SwarmVerifierMsgs, pt.MsgReduction,
+			pt.DirectVerifyUS, pt.SwarmVerifyUS, pt.SwarmTreeMsgs)
+		if pt.SwarmVerifierMsgs != 2 || pt.DirectVerifierMsgs != 2*pt.N {
+			t.Fatalf("message counts wrong at n=%d: %+v", pt.N, pt)
+		}
+		if pt.SwarmTreeMsgs != 2*(pt.N-1) {
+			t.Fatalf("tree messages = %d at n=%d, want %d", pt.SwarmTreeMsgs, pt.N, 2*(pt.N-1))
+		}
+	}
+	if rep.ComputeCrossoverN < 0 {
+		t.Fatalf("verifier compute never crossed over: %+v", rep.Points)
+	}
+	last := rep.Points[len(rep.Points)-1]
+	if last.MsgReduction < 10 {
+		t.Fatalf("message reduction at n=%d is %.1fx, want ≥10x", last.N, last.MsgReduction)
+	}
+}

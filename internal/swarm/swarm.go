@@ -1,0 +1,79 @@
+// Package swarm implements collective (swarm) attestation over the
+// fleet's spanning tree, in the SEDA family: provers aggregate keyed
+// evidence up a tree so the verifier checks one aggregate frame instead
+// of N responses — O(log n) round latency and O(1) verifier-side
+// messages in the clean case, with bisection down the tree to localize
+// the offending subtree on mismatch.
+//
+// The pieces:
+//
+//   - Node: a host-level prover (the loadgen's device mesh) holding the
+//     RATA-style measurement memo (epoch + stored digest, re-measured
+//     only when dirty) and the per-hop aggregate fold. The simulated-MCU
+//     counterpart lives in internal/anchor (HandleSwarmBegin /
+//     SwarmFoldChild / SwarmRespond).
+//   - Verifier: recomputes the expected aggregate from per-device
+//     verified state in one zero-allocation pass, and drives bisection.
+//   - Mesh: an in-process tree of Nodes with message counting — the
+//     loadgen's device fabric and the crossover harness.
+//   - FleetSwarm: the discrete-event driver over core.Fleet, running
+//     rounds against real anchors on the sim kernel (hop latency,
+//     absent-member timeouts, the adversary matrix).
+//
+// Tag derivation is protocol's swarm-mem-v1 / swarm-own-v1 /
+// swarm-fold-v1 chain; see internal/protocol/swarm.go and PROTOCOL.md
+// "Swarm aggregation".
+package swarm
+
+import (
+	"fmt"
+
+	"proverattest/internal/crypto/sha1"
+	"proverattest/internal/protocol"
+)
+
+// Params describes one swarm deployment: the key material and tree shape
+// shared by provers and verifier.
+type Params struct {
+	// Master is the deployment master secret: per-device keys derive via
+	// protocol.DeriveDeviceKey(Master, IDs[i]), the broadcast gate key
+	// via protocol.DeriveSwarmKey(Master).
+	Master []byte
+	// IDs are the member device identifiers; tree index = slice index.
+	IDs []string
+	// Golden is the attested-memory image every member boots (uniform
+	// fleet, as in the paper's deployment model).
+	Golden []byte
+	// Fanout is the tree arity (<=0 selects core.DefaultFanout).
+	Fanout int
+	// Seed permutes members across tree positions (0 = identity).
+	Seed int64
+}
+
+func (p *Params) validate() error {
+	if len(p.IDs) == 0 {
+		return fmt.Errorf("swarm: no members")
+	}
+	if len(p.IDs) > 1<<16 {
+		return fmt.Errorf("swarm: %d members exceeds the uint16 index space", len(p.IDs))
+	}
+	if len(p.Master) == 0 {
+		return fmt.Errorf("swarm: empty master secret")
+	}
+	return nil
+}
+
+// FleetIDs returns the canonical ID list for an n-member fleet
+// (core.FleetDeviceID ordering).
+func FleetIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("prover-%04d", i)
+	}
+	return ids
+}
+
+// deviceKey derives member i's K_Attest.
+func (p *Params) deviceKey(i int) [sha1.Size]byte {
+	return protocol.DeriveDeviceKey(p.Master, p.IDs[i])
+}

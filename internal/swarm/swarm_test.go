@@ -1,0 +1,375 @@
+package swarm
+
+import (
+	"testing"
+
+	"proverattest/internal/protocol"
+)
+
+func testParams(n, fanout int) Params {
+	golden := make([]byte, 4096)
+	for i := range golden {
+		golden[i] = byte(i * 37)
+	}
+	return Params{
+		Master: []byte("swarm-test-master-secret"),
+		IDs:    FleetIDs(n),
+		Golden: golden,
+		Fanout: fanout,
+	}
+}
+
+func newPair(t *testing.T, n, fanout int) (*Mesh, *Verifier) {
+	t.Helper()
+	p := testParams(n, fanout)
+	mesh, err := NewMesh(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVerifier(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mesh, v
+}
+
+func runRound(t *testing.T, mesh *Mesh, v *Verifier) (*protocol.SwarmReq, *protocol.SwarmResp) {
+	t.Helper()
+	root, ok := mesh.Topo.Root()
+	if !ok {
+		t.Fatal("no root")
+	}
+	req := v.NewRequest(root, false)
+	resp := &protocol.SwarmResp{}
+	if err := mesh.Collect(req, resp); err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	return req, resp
+}
+
+// TestSwarmCleanRoundVerifies: the base contract — an honest fleet's
+// aggregate verifies, and the second round rides every member's stored
+// digest (no re-measurement).
+func TestSwarmCleanRoundVerifies(t *testing.T) {
+	for _, tc := range []struct{ n, fanout int }{
+		{1, 2}, {2, 2}, {7, 2}, {16, 2}, {16, 4}, {64, 8}, {9, 3},
+	} {
+		mesh, v := newPair(t, tc.n, tc.fanout)
+		req, resp := runRound(t, mesh, v)
+		if err := v.Check(req, resp); err != nil {
+			t.Fatalf("n=%d fanout=%d: clean round rejected: %v", tc.n, tc.fanout, err)
+		}
+		req, resp = runRound(t, mesh, v)
+		if err := v.Check(req, resp); err != nil {
+			t.Fatalf("n=%d fanout=%d: second round rejected: %v", tc.n, tc.fanout, err)
+		}
+		for i, node := range mesh.Nodes {
+			if node.Stats.Measurements != 1 {
+				t.Fatalf("n=%d member %d measured %d times over two rounds, want 1",
+					tc.n, i, node.Stats.Measurements)
+			}
+		}
+		if int(resp.Depth) != mesh.Topo.Height() {
+			t.Fatalf("n=%d: depth %d, want tree height %d", tc.n, resp.Depth, mesh.Topo.Height())
+		}
+	}
+}
+
+// TestSwarmSeededTopologyVerifies: prover fold order and verifier
+// recomputation agree under a permuted tree too.
+func TestSwarmSeededTopologyVerifies(t *testing.T) {
+	p := testParams(23, 3)
+	p.Seed = 424242
+	mesh, err := NewMesh(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVerifier(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, resp := runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatalf("seeded round rejected: %v", err)
+	}
+}
+
+// TestSwarmReplayRejected: nodes gate on strictly increasing nonces, so
+// replaying a captured request dies at the first hop.
+func TestSwarmReplayRejected(t *testing.T) {
+	mesh, v := newPair(t, 7, 2)
+	req, resp := runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := mesh.Collect(req, &protocol.SwarmResp{}); err != ErrNodeFreshness {
+		t.Fatalf("replay accepted: %v", err)
+	}
+	// A forged request (bad gate tag) dies the same way.
+	forged := *req
+	forged.Nonce += 100
+	forged.Tag = append([]byte(nil), req.Tag...)
+	forged.Tag[0] ^= 1
+	if err := mesh.Collect(&forged, &protocol.SwarmResp{}); err != ErrNodeAuth {
+		t.Fatalf("forged request accepted: %v", err)
+	}
+}
+
+// TestSwarmResponseSubstitutionRejected: swapping another round's (or
+// another subtree's) response in fails the unsolicited check before any
+// crypto runs.
+func TestSwarmResponseSubstitutionRejected(t *testing.T) {
+	mesh, v := newPair(t, 7, 2)
+	req1, resp1 := runRound(t, mesh, v)
+	if err := v.Check(req1, resp1); err != nil {
+		t.Fatal(err)
+	}
+	req2, resp2 := runRound(t, mesh, v)
+	if err := v.Check(req2, resp1); err != ErrSwarmUnsolicited {
+		t.Fatalf("old response accepted against new request: %v", err)
+	}
+	if err := v.Check(req2, resp2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwarmBitmapStructure: structurally invalid presence bitmaps are
+// rejected without an aggregate comparison — wrong width, bits outside
+// the subtree, present member under an absent parent, missing sender.
+func TestSwarmBitmapStructure(t *testing.T) {
+	mesh, v := newPair(t, 15, 2)
+	root, _ := mesh.Topo.Root()
+	req, resp := runRound(t, mesh, v)
+
+	short := *resp
+	short.Bitmap = resp.Bitmap[:1]
+	if err := v.Check(req, &short); err != ErrSwarmBitmap {
+		t.Fatalf("short bitmap: %v", err)
+	}
+
+	kids := mesh.Topo.Children(root, nil)
+	gapped := *resp
+	gapped.Bitmap = append([]byte(nil), resp.Bitmap...)
+	// Clear an interior member while leaving its children present: a
+	// present member under an absent parent cannot happen in a real fold.
+	gapped.Bitmap[kids[0]/8] &^= 1 << (kids[0] % 8)
+	if err := v.Check(req, &gapped); err != ErrSwarmBitmap {
+		t.Fatalf("gapped bitmap: %v", err)
+	}
+
+	noSender := *resp
+	noSender.Bitmap = append([]byte(nil), resp.Bitmap...)
+	noSender.Bitmap[root/8] &^= 1 << (root % 8)
+	if err := v.Check(req, &noSender); err != ErrSwarmBitmap {
+		t.Fatalf("senderless bitmap: %v", err)
+	}
+}
+
+// TestSwarmOwnOnlyProbe: the bisection leaf probe answers with exactly
+// the node's own contribution.
+func TestSwarmOwnOnlyProbe(t *testing.T) {
+	mesh, v := newPair(t, 15, 2)
+	req, resp := runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := mesh.Topo.Root()
+	kids := mesh.Topo.Children(root, nil)
+	probe := v.NewRequest(kids[1], true)
+	presp, err := mesh.Query(probe)
+	if err != nil || presp == nil {
+		t.Fatalf("probe failed: %v %v", presp, err)
+	}
+	if err := v.Check(probe, presp); err != nil {
+		t.Fatalf("own-only probe rejected: %v", err)
+	}
+	if presp.Depth != 0 {
+		t.Fatalf("own-only depth = %d, want 0", presp.Depth)
+	}
+	// An own-only response claiming extra members is structurally bogus.
+	bloated := *presp
+	bloated.Bitmap = append([]byte(nil), presp.Bitmap...)
+	protocol.SetSwarmBit(bloated.Bitmap, root)
+	if err := v.Check(probe, &bloated); err != ErrSwarmBitmap {
+		t.Fatalf("bloated own-only bitmap: %v", err)
+	}
+}
+
+// TestSwarmAbsentMemberLocalized: an offline interior member surfaces as
+// ErrSwarmMissing, bisection names it (and its stranded subtree), and
+// after Remove the rebuilt tree verifies clean.
+func TestSwarmAbsentMemberLocalized(t *testing.T) {
+	mesh, v := newPair(t, 15, 2)
+	req, resp := runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := mesh.Topo.Root()
+	target := mesh.Topo.Children(root, nil)[0]
+	mesh.Absent[target] = true
+
+	req, resp = runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != ErrSwarmMissing {
+		t.Fatalf("absent member verdict: %v", err)
+	}
+	missing := v.AppendMissing(root, resp, nil)
+	if len(missing) != 7 { // target's complete subtree in a 15/2 tree
+		t.Fatalf("missing = %v, want the 7-member subtree", missing)
+	}
+
+	findings := v.Localize(root, mesh.Query)
+	found := false
+	for _, f := range findings {
+		if f.Member == target && f.Cause == CauseAbsent {
+			found = true
+		}
+		if f.Cause != CauseAbsent {
+			t.Fatalf("unexpected cause %v for member %d", f.Cause, f.Member)
+		}
+	}
+	if !found {
+		t.Fatalf("target %d not localized: %v", target, findings)
+	}
+
+	// Member-loss rebuild: survivors re-parent deterministically and the
+	// next round verifies without the lost member.
+	v.Remove(target)
+	mesh.Topo = v.Topology()
+	req, resp = runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatalf("rebuilt tree rejected: %v", err)
+	}
+}
+
+// TestSwarmColluderLocalized: a subtree root forging its children's
+// evidence breaks the aggregate and bisection pins the forgery on the
+// colluder — its own tag verifies, every child subtree verifies in
+// isolation, only its fold is wrong.
+func TestSwarmColluderLocalized(t *testing.T) {
+	mesh, v := newPair(t, 15, 2)
+	req, resp := runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := mesh.Topo.Root()
+	target := mesh.Topo.Children(root, nil)[0]
+	mesh.ForgeChildren[target] = true
+
+	req, resp = runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != ErrSwarmMismatch {
+		t.Fatalf("colluder verdict: %v", err)
+	}
+	findings := v.Localize(root, mesh.Query)
+	if len(findings) != 1 || findings[0].Member != target || findings[0].Cause != CauseFoldForgery {
+		t.Fatalf("colluder findings = %v, want fold-forgery at %d", findings, target)
+	}
+}
+
+// TestSwarmDirtyMemberLocalized: a member whose attested memory changed
+// re-measures (write-monitor contract), its deviating digest breaks the
+// aggregate, and bisection names it with CauseMismatch. A clean member
+// is never flagged.
+func TestSwarmDirtyMemberLocalized(t *testing.T) {
+	mesh, v := newPair(t, 15, 2)
+	req, resp := runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatal(err)
+	}
+	target := 11 // a leaf
+	node := mesh.Nodes[target]
+	node.Mem()[100] ^= 0xFF
+	node.Taint()
+
+	req, resp = runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != ErrSwarmMismatch {
+		t.Fatalf("dirty member verdict: %v", err)
+	}
+	root, _ := mesh.Topo.Root()
+	findings := v.Localize(root, mesh.Query)
+	if len(findings) != 1 || findings[0].Member != target || findings[0].Cause != CauseMismatch {
+		t.Fatalf("dirty findings = %v, want mismatch at %d", findings, target)
+	}
+}
+
+// TestSwarmLiarEpochDesync: rearming the monitor from application code
+// (epoch bump, no re-measurement) desyncs the own tag's epoch binding —
+// the aggregate breaks even though the stale digest still matches
+// golden, and after the resync contract (observe the new epoch via a
+// direct probe) rounds verify again.
+func TestSwarmLiarEpochDesync(t *testing.T) {
+	mesh, v := newPair(t, 7, 2)
+	req, resp := runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatal(err)
+	}
+	target := 5
+	mesh.Nodes[target].LieRearm()
+
+	req, resp = runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != ErrSwarmMismatch {
+		t.Fatalf("liar verdict: %v", err)
+	}
+	root, _ := mesh.Topo.Root()
+	findings := v.Localize(root, mesh.Query)
+	if len(findings) != 1 || findings[0].Member != target || findings[0].Cause != CauseMismatch {
+		t.Fatalf("liar findings = %v, want mismatch at %d", findings, target)
+	}
+
+	// Resync: a direct round tells the verifier the member's current
+	// epoch; with the record updated the aggregate verifies again.
+	v.SetEpoch(target, mesh.Nodes[target].Epoch())
+	req, resp = runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatalf("post-resync round rejected: %v", err)
+	}
+}
+
+// TestSwarmBisectionCheaperThanSweep: localizing one offender must not
+// cost a full-fleet sweep — the probe count stays under n for a
+// single-offender tree of any useful size.
+func TestSwarmBisectionCheaperThanSweep(t *testing.T) {
+	const n = 63
+	mesh, v := newPair(t, n, 2)
+	req, resp := runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatal(err)
+	}
+	target := n - 1
+	mesh.Nodes[target].Mem()[0] ^= 1
+	mesh.Nodes[target].Taint()
+	req, resp = runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != ErrSwarmMismatch {
+		t.Fatal(err)
+	}
+	before := v.Stats.Bisections
+	root, _ := mesh.Topo.Root()
+	findings := v.Localize(root, mesh.Query)
+	probes := v.Stats.Bisections - before
+	if len(findings) != 1 || findings[0].Member != target {
+		t.Fatalf("findings = %v", findings)
+	}
+	if probes >= n {
+		t.Fatalf("bisection used %d probes for one offender in an n=%d tree", probes, n)
+	}
+	t.Logf("bisection: %d probes to localize 1 offender among %d members", probes, n)
+}
+
+// TestSwarmStatsAccounting: the verifier's counters track outcomes.
+func TestSwarmStatsAccounting(t *testing.T) {
+	mesh, v := newPair(t, 7, 2)
+	req, resp := runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats.Rounds != 1 || v.Stats.Accepted != 1 {
+		t.Fatalf("stats after clean round: %+v", v.Stats)
+	}
+	mesh.Absent[5] = true
+	req, resp = runRound(t, mesh, v)
+	if err := v.Check(req, resp); err != ErrSwarmMissing {
+		t.Fatal(err)
+	}
+	if v.Stats.Missing != 1 {
+		t.Fatalf("missing not counted: %+v", v.Stats)
+	}
+}
