@@ -3,8 +3,8 @@
 GO ?= go
 
 .PHONY: all build vet test race bench bench-compile repro fuzz fuzz-smoke examples clean
-.PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server bench-quiescent bench-swarm metrics-smoke
-.PHONY: cover chaos-smoke
+.PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server bench-quiescent bench-swarm bench-cluster metrics-smoke
+.PHONY: cover chaos-smoke cluster-smoke
 
 all: build vet test
 
@@ -22,7 +22,7 @@ test:
 race:
 	$(GO) test -race ./internal/runner/... ./internal/core/... \
 		./internal/transport/... ./internal/server/... ./internal/agent/... \
-		./internal/faultnet/...
+		./internal/faultnet/... ./internal/cluster/...
 
 # One benchmark per paper table/figure plus the ablations.
 bench:
@@ -136,6 +136,23 @@ bench-swarm:
 	$(GO) run ./cmd/attest-loadgen -swarm -devices 64 -fanout 4 -duration 5s \
 		-attest-every 100ms -min-msg-reduction 10 \
 		-variant swarm -out $(CURDIR)/BENCH_server.json
+
+# Cluster variant of BENCH_server.json: a ladder of 1 -> 2 -> 4 in-process
+# daemons sharing a consistent-hash ring, each with the same admission
+# budget and each flooded past it with adversarial frames aimed at devices
+# it owns. Fails unless admitted throughput scales at least 1.7x at two
+# daemons and 3x at four, and unless the kill-one failover drill hands the
+# victim's devices to survivors with zero freshness resets.
+bench-cluster:
+	$(GO) run ./cmd/attest-loadgen -cluster -duration 5s -daemon-rate 2000 \
+		-min-scale-2 1.7 -min-scale-4 3.0 \
+		-variant cluster -out $(CURDIR)/BENCH_server.json
+
+# Cluster acceptance check: live state handoff between owners, the
+# three-daemon kill-one failover drill, replica-adoption semantics and the
+# VerifierStore seam, all under the race detector.
+cluster-smoke:
+	$(GO) test -race -run 'TestCluster|TestReplicaAdoption|TestInjectedStore' -count=1 -v ./internal/server/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -15,6 +15,12 @@
 // -backoff-base/-backoff-max), and the device state — gate counters,
 // freshness counter, derived keys — persists across sessions so the
 // daemon sees one continuous device, not a reboot.
+//
+// -connect accepts a comma-separated address list for clustered daemons
+// (attestd -node): the agent may dial any member and an ownership
+// redirect routes it to the daemon that owns its device. One-shot mode
+// follows a single redirect; -reconnect rotates the list and follows
+// redirects for as long as it runs.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,7 +44,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		connect   = flag.String("connect", "127.0.0.1:7950", "daemon address to dial")
+		connect   = flag.String("connect", "127.0.0.1:7950", "daemon address to dial; comma-separated list for a cluster (any member, redirects route to the owner)")
 		deviceID  = flag.String("id", "agent-0", "device identity reported in the hello")
 		freshName = flag.String("freshness", "counter", "freshness policy: none | nonces | counter")
 		authName  = flag.String("auth", "hmac-sha1", "request auth: none | hmac-sha1 | aes-128-cbc-mac | speck-64/128-cbc-mac | ecdsa-secp160r1")
@@ -98,26 +105,36 @@ func main() {
 		cancel()
 	}()
 
+	addrs := strings.Split(*connect, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
 	if *reconnect {
 		log.Printf("attest-agent: %s serving %s supervised (freshness=%v auth=%v backoff=%v..%v)",
 			*deviceID, *connect, fresh, auth, *backoffBase, *backoffMax)
-		dial := func(ctx context.Context) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "tcp", *connect)
-		}
-		err = a.Run(ctx, dial, agent.Backoff{
+		err = a.RunAddrs(ctx, addrs, agent.Backoff{
 			Base:   *backoffBase,
 			Max:    *backoffMax,
 			Jitter: 0.2,
 		})
 	} else {
-		var nc net.Conn
-		nc, err = net.Dial("tcp", *connect)
-		if err != nil {
-			log.Fatalf("attest-agent: %v", err)
+		nc, dialErr := net.Dial("tcp", addrs[0])
+		if dialErr != nil {
+			log.Fatalf("attest-agent: %v", dialErr)
 		}
-		log.Printf("attest-agent: %s serving %s (freshness=%v auth=%v)", *deviceID, *connect, fresh, auth)
+		log.Printf("attest-agent: %s serving %s (freshness=%v auth=%v)", *deviceID, addrs[0], fresh, auth)
 		err = a.Serve(ctx, nc)
+		// A clustered daemon that doesn't own the device answers the hello
+		// with its owner's address; one-shot mode follows it once.
+		var re *agent.RedirectError
+		if errors.As(err, &re) {
+			log.Printf("attest-agent: %s redirected to owner %s (%s)", *deviceID, re.Owner, re.Addr)
+			nc, dialErr = net.Dial("tcp", re.Addr)
+			if dialErr != nil {
+				log.Fatalf("attest-agent: %v", dialErr)
+			}
+			err = a.Serve(ctx, nc)
+		}
 	}
 	st := a.Snapshot()
 	log.Printf("attest-agent: %s done: received=%d measured=%d fast=%d gate-rejected=%d (auth=%d fresh=%d malformed=%d)",

@@ -1,0 +1,500 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"proverattest/internal/agent"
+	"proverattest/internal/cluster"
+	"proverattest/internal/core"
+	"proverattest/internal/protocol"
+	"proverattest/internal/server"
+	"proverattest/internal/transport"
+)
+
+// Cluster mode (-cluster) benches horizontal verifier scaling: a ladder of
+// 1 → 2 → 4 in-process daemons sharing one consistent-hash ring, each
+// daemon given the same admission budget (-daemon-rate frames/s,
+// server.Config.MaxRatePerSec) and each driven past it (×1.5) by
+// adversarial flooders targeting devices the ring assigns to that daemon.
+// The read-out is the cluster's sustained admitted frames/s per rung —
+// frames that passed both rate gates and reached the serving path — and
+// the scaling ratios rate(2)/rate(1) and rate(4)/rate(1). Because device
+// ownership is disjoint, admission capacity adds: near-linear ratios are
+// the tentpole claim, and -min-scale-2/-min-scale-4 turn them into hard
+// gates.
+//
+// Every rung also runs one authentic prover per daemon (supervised via
+// RunAddrs, so cluster redirects route it to its owner); any device-side
+// freshness rejection fails the run. After the ladder a failover drill
+// kills one of three daemons mid-traffic and requires the survivors to
+// adopt its devices from replicas with zero freshness regressions.
+
+type benchClusterRung struct {
+	Daemons     int     `json:"daemons"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// Daemon-side admission accounting, summed across the rung's daemons
+	// over the flood window. Admitted = FramesIn − RateLimited −
+	// DaemonRateLimited: the frames that got budget and were served
+	// (mostly into the gate-reject path — the traffic is adversarial).
+	FramesIn             uint64  `json:"frames_in"`
+	RateLimited          uint64  `json:"rate_limited"`
+	DaemonRateLimited    uint64  `json:"daemon_rate_limited"`
+	AdmittedFrames       uint64  `json:"admitted_frames"`
+	AdmittedFramesPerSec float64 `json:"admitted_frames_per_sec"`
+
+	FloodFramesSent  int64  `json:"flood_frames_sent"`
+	Accepted         uint64 `json:"responses_accepted"`
+	Redirects        uint64 `json:"redirects"`
+	FreshnessRejects uint64 `json:"device_freshness_rejects"`
+}
+
+type benchCluster struct {
+	Bench     string `json:"bench"`
+	Freshness string `json:"freshness"`
+	Auth      string `json:"auth"`
+	Transport string `json:"transport"`
+
+	PerDaemonBudget float64 `json:"per_daemon_budget_frames_per_sec"`
+	FloodFactor     float64 `json:"flood_factor"`
+
+	Rungs     []benchClusterRung `json:"rungs"`
+	Scaling2x float64            `json:"scaling_2x"`
+	Scaling4x float64            `json:"scaling_4x"`
+
+	// Failover drill: three daemons, one killed mid-run.
+	FailoverDaemons          int    `json:"failover_daemons"`
+	FailoverDevices          int    `json:"failover_devices"`
+	FailoverVictimDevices    int    `json:"failover_victim_devices"`
+	FailoverHandoffsReplica  uint64 `json:"failover_handoffs_replica"`
+	FailoverRedirects        uint64 `json:"failover_redirects"`
+	FailoverSurvivorsOwn     int    `json:"failover_survivors_own"`
+	FailoverFreshnessRejects uint64 `json:"failover_freshness_rejects"`
+}
+
+type clusterRunOpts struct {
+	duration             time.Duration
+	attEvery             time.Duration
+	master               string
+	fresh                protocol.FreshnessKind
+	auth                 protocol.AuthKind
+	budget               float64
+	out, variant         string
+	minScale2, minScale4 float64
+}
+
+// clMember is one in-process cluster daemon: its ring identity and the
+// server behind it.
+type clMember struct {
+	name string
+	addr string
+	node *cluster.Node
+	srv  *server.Server
+}
+
+func (m *clMember) close() {
+	m.srv.Close()
+	m.node.Close()
+}
+
+// startClMembers brings up one daemon per name on loopback listeners, all
+// sharing a Membership, and serves them.
+func startClMembers(names []string, opts clusterRunOpts, mutate func(*server.Config)) (*cluster.Membership, []*clMember) {
+	lns := make([]net.Listener, len(names))
+	members := make([]cluster.Member, len(names))
+	for i, name := range names {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		lns[i] = ln
+		members[i] = cluster.Member{Name: name, Addr: ln.Addr().String()}
+	}
+	ms := cluster.NewMembership(cluster.DefaultVnodes, members...)
+
+	cms := make([]*clMember, len(names))
+	for i, name := range names {
+		node, err := cluster.NewNode(name, ms, cluster.NodeOptions{CallTimeout: 2 * time.Second})
+		if err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		cfg := server.Config{
+			Freshness:    opts.fresh,
+			Auth:         opts.auth,
+			MasterSecret: []byte(opts.master),
+			Golden:       core.GoldenRAMPattern(),
+			AttestEvery:  opts.attEvery,
+			// Flooder devices never answer their scheduled requests;
+			// recycle those inflight slots fast.
+			RequestTimeout: 500 * time.Millisecond,
+			MaxInflight:    256,
+			FastPath:       true,
+			Cluster:        node,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		s, err := server.New(cfg)
+		if err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		go s.Serve(lns[i]) //nolint:errcheck
+		cms[i] = &clMember{name: name, addr: members[i].Addr, node: node, srv: s}
+	}
+	return ms, cms
+}
+
+// clOwnedIDs picks n device IDs the ring assigns to owner.
+func clOwnedIDs(ring *cluster.Ring, owner, prefix string, n int) []string {
+	var ids []string
+	for i := 0; len(ids) < n && i < 100_000; i++ {
+		id := fmt.Sprintf("%s-%d", prefix, i)
+		if got, ok := ring.Owner(id); ok && got == owner {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) < n {
+		log.Fatalf("attest-loadgen: found only %d of %d devices owned by %s", len(ids), n, owner)
+	}
+	return ids
+}
+
+// clWait polls cond until it holds or the deadline passes (fatal).
+func clWait(what string, timeout time.Duration, cond func() bool) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("attest-loadgen: timed out waiting for %s", what)
+}
+
+// clFlood dials addr as deviceID (which addr's daemon must own — a
+// redirect would end the session) and pumps paced adversarial frames
+// until the deadline: the same forged-response/junk alternation as the
+// single-daemon bench. Returns the frames written.
+func clFlood(opts clusterRunOpts, addr, deviceID string, rate float64, deadline time.Time) int64 {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatalf("attest-loadgen: flooder dial %s: %v", addr, err)
+	}
+	tc := transport.NewConn(nc, transport.Options{
+		ReadTimeout:  250 * time.Millisecond,
+		WriteTimeout: 10 * time.Second,
+	})
+	defer tc.Close()
+	hello := &protocol.Hello{Freshness: opts.fresh, Auth: opts.auth, DeviceID: deviceID}
+	if err := tc.Send(hello.Encode()); err != nil {
+		log.Fatalf("attest-loadgen: flooder hello: %v", err)
+	}
+	// Drain the daemon's scheduled requests so its writes never back up.
+	go func() {
+		for {
+			if _, err := tc.Recv(); err != nil && !transport.IsTimeout(err) {
+				return
+			}
+		}
+	}()
+
+	interval := time.Duration(float64(time.Second) / rate)
+	junk := []byte{0x41, 0x50, 0xFF, 0x00, 0x00} // response magic, bogus version
+	var buf []byte
+	var sent int64
+	next := time.Now()
+	for n := uint64(0); time.Now().Before(deadline); n++ {
+		if n%2 == 0 {
+			forged := protocol.AttResp{Nonce: 3_000_000_019 + n, Counter: n}
+			buf = forged.AppendEncode(buf[:0])
+		} else {
+			buf = append(buf[:0], junk...)
+		}
+		if err := tc.Send(buf); err != nil {
+			return sent
+		}
+		sent++
+		next = next.Add(interval)
+		if sleep := time.Until(next); sleep > 0 {
+			time.Sleep(sleep)
+		}
+	}
+	return sent
+}
+
+// runClusterRung measures one ladder rung: n daemons, each flooded past
+// its admission budget, each also serving one authentic prover.
+func runClusterRung(n int, opts clusterRunOpts) benchClusterRung {
+	const floodFactor = 1.5
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	_, cms := startClMembers(names, opts, func(c *server.Config) {
+		c.MaxRatePerSec = opts.budget
+		// A deep burst bucket would front-load a rung-independent admission
+		// bonus into the ratios; keep the bucket shallow so the sustained
+		// rate dominates.
+		c.MaxRateBurst = 64
+	})
+	defer func() {
+		for _, m := range cms {
+			m.close()
+		}
+	}()
+	ring := cluster.NewRing(cluster.DefaultVnodes, names)
+	addrs := make([]string, n)
+	for i, m := range cms {
+		addrs[i] = m.addr
+	}
+
+	// One authentic prover per daemon, supervised: its first dial may hit
+	// a non-owner, and the redirect must route it home.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	agents := make([]*agent.Agent, n)
+	for i, m := range cms {
+		id := clOwnedIDs(ring, m.name, fmt.Sprintf("cl%d-agent", n), 1)[0]
+		a, err := agent.New(agent.Config{
+			DeviceID:     id,
+			Freshness:    opts.fresh,
+			Auth:         opts.auth,
+			MasterSecret: []byte(opts.master),
+			FastPath:     true,
+			StatsEvery:   50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		agents[i] = a
+		go a.RunAddrs(ctx, addrs, agent.Backoff{ //nolint:errcheck
+			Base: 10 * time.Millisecond, Max: 200 * time.Millisecond, Seed: int64(i),
+		})
+	}
+	clWait(fmt.Sprintf("an accepted round on each of %d daemons", n), 30*time.Second, func() bool {
+		for _, m := range cms {
+			if m.srv.Counters().ResponsesAccepted < 1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Flood window: per-daemon counter deltas across it are the rung's
+	// admission read-out.
+	before := make([]server.Counters, n)
+	for i, m := range cms {
+		before[i] = m.srv.Counters()
+	}
+	t0 := time.Now()
+	deadline := t0.Add(opts.duration)
+	var wg sync.WaitGroup
+	sent := make([]int64, n)
+	for i, m := range cms {
+		id := clOwnedIDs(ring, m.name, fmt.Sprintf("cl%d-flood", n), 1)[0]
+		wg.Add(1)
+		go func(i int, addr, id string) {
+			defer wg.Done()
+			sent[i] = clFlood(opts, addr, id, floodFactor*opts.budget, deadline)
+		}(i, m.addr, id)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	rung := benchClusterRung{Daemons: n, DurationSec: elapsed.Seconds()}
+	for i, m := range cms {
+		c := m.srv.Counters()
+		rung.FramesIn += c.FramesIn - before[i].FramesIn
+		rung.RateLimited += c.RateLimited - before[i].RateLimited
+		rung.DaemonRateLimited += c.DaemonRateLimited - before[i].DaemonRateLimited
+		rung.Accepted += c.ResponsesAccepted
+		rung.Redirects += c.Redirects
+		rung.FloodFramesSent += sent[i]
+	}
+	rung.AdmittedFrames = rung.FramesIn - rung.RateLimited - rung.DaemonRateLimited
+	rung.AdmittedFramesPerSec = float64(rung.AdmittedFrames) / elapsed.Seconds()
+	for _, a := range agents {
+		rung.FreshnessRejects += a.Snapshot().FreshnessRejected
+	}
+	log.Printf("attest-loadgen: rung %d daemons: %.0f admitted frames/s (%d in, %d conn-limited, %d daemon-limited)",
+		n, rung.AdmittedFramesPerSec, rung.FramesIn, rung.RateLimited, rung.DaemonRateLimited)
+	return rung
+}
+
+// runClusterFailover is the drill behind the ladder: three daemons, two
+// devices each, one daemon killed mid-run. Survivors must adopt the
+// victim's devices from replicas and keep every freshness stream intact.
+func runClusterFailover(opts clusterRunOpts, res *benchCluster) {
+	names := []string{"n0", "n1", "n2"}
+	drill := opts
+	drill.attEvery = 25 * time.Millisecond
+	ms, cms := startClMembers(names, drill, nil)
+	defer func() {
+		for _, m := range cms {
+			m.close()
+		}
+	}()
+	ring := cluster.NewRing(cluster.DefaultVnodes, names)
+	addrs := []string{cms[0].addr, cms[1].addr, cms[2].addr}
+
+	var devs []string
+	for _, name := range names {
+		devs = append(devs, clOwnedIDs(ring, name, "clfo-dev", 2)...)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	agents := make([]*agent.Agent, len(devs))
+	for i, dev := range devs {
+		a, err := agent.New(agent.Config{
+			DeviceID:     dev,
+			Freshness:    opts.fresh,
+			Auth:         opts.auth,
+			MasterSecret: []byte(opts.master),
+			FastPath:     true,
+			StatsEvery:   50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		agents[i] = a
+		rot := append(append([]string{}, addrs[i%len(addrs):]...), addrs[:i%len(addrs)]...)
+		go a.RunAddrs(ctx, rot, agent.Backoff{ //nolint:errcheck
+			Base: 10 * time.Millisecond, Max: 200 * time.Millisecond, Seed: int64(i),
+		})
+	}
+	accepted := func(a *agent.Agent) uint64 {
+		st := a.Snapshot()
+		return st.Measurements + st.FastResponses
+	}
+	clWait("two accepted rounds per device", 30*time.Second, func() bool {
+		for _, a := range agents {
+			if accepted(a) < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	clWait("replica coverage of the fleet", 30*time.Second, func() bool {
+		held := 0
+		for _, m := range cms {
+			held += m.node.ReplicasHeld()
+		}
+		return held >= len(devs)
+	})
+
+	victimName, _ := ring.Owner(devs[0])
+	victimDevs := 0
+	for _, dev := range devs {
+		if owner, _ := ring.Owner(dev); owner == victimName {
+			victimDevs++
+		}
+	}
+	var victim *clMember
+	var survivors []*clMember
+	for _, m := range cms {
+		if m.name == victimName {
+			victim = m
+		} else {
+			survivors = append(survivors, m)
+		}
+	}
+	log.Printf("attest-loadgen: failover drill: killing %s (%d devices)", victimName, victimDevs)
+	ms.MarkDown(victimName)
+	victim.srv.Close()
+	// Baselines read after the close: two more rounds per agent provably
+	// require a fresh session on a survivor.
+	base := make([]uint64, len(agents))
+	for i, a := range agents {
+		base[i] = accepted(a)
+	}
+	clWait("two fresh rounds per device after failover", 30*time.Second, func() bool {
+		for i, a := range agents {
+			if accepted(a) < base[i]+2 {
+				return false
+			}
+		}
+		return true
+	})
+
+	res.FailoverDaemons = len(names)
+	res.FailoverDevices = len(devs)
+	res.FailoverVictimDevices = victimDevs
+	for _, a := range agents {
+		res.FailoverFreshnessRejects += a.Snapshot().FreshnessRejected
+	}
+	for _, m := range survivors {
+		c := m.srv.Counters()
+		res.FailoverHandoffsReplica += c.HandoffsReplica
+		res.FailoverRedirects += c.Redirects
+		res.FailoverSurvivorsOwn += m.srv.Devices()
+	}
+}
+
+func runCluster(opts clusterRunOpts) {
+	res := benchCluster{
+		Bench:           "cluster",
+		Freshness:       opts.fresh.String(),
+		Auth:            opts.auth.String(),
+		Transport:       "tcp loopback, in-process daemons",
+		PerDaemonBudget: opts.budget,
+		FloodFactor:     1.5,
+	}
+	for _, n := range []int{1, 2, 4} {
+		res.Rungs = append(res.Rungs, runClusterRung(n, opts))
+	}
+	base := res.Rungs[0].AdmittedFramesPerSec
+	if base > 0 {
+		res.Scaling2x = res.Rungs[1].AdmittedFramesPerSec / base
+		res.Scaling4x = res.Rungs[2].AdmittedFramesPerSec / base
+	}
+	runClusterFailover(opts, &res)
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatalf("attest-loadgen: %v", err)
+	}
+	fmt.Println(string(buf))
+	if opts.out != "" {
+		variant := opts.variant
+		if variant == "" {
+			variant = "cluster"
+		}
+		if err := writeSummary(opts.out, variant, buf); err != nil {
+			log.Fatalf("attest-loadgen: %v", err)
+		}
+		log.Printf("attest-loadgen: wrote %s", opts.out)
+	}
+
+	var rejects uint64
+	for _, r := range res.Rungs {
+		rejects += r.FreshnessRejects
+	}
+	if rejects > 0 {
+		log.Fatalf("attest-loadgen: %d device-side freshness rejections during the ladder — redirects or handoffs corrupted a stream", rejects)
+	}
+	if res.FailoverFreshnessRejects > 0 {
+		log.Fatalf("attest-loadgen: failover drill reset %d freshness streams", res.FailoverFreshnessRejects)
+	}
+	if res.FailoverHandoffsReplica < uint64(res.FailoverVictimDevices) {
+		log.Fatalf("attest-loadgen: survivors adopted %d replicas, want at least the victim's %d devices",
+			res.FailoverHandoffsReplica, res.FailoverVictimDevices)
+	}
+	if res.FailoverSurvivorsOwn != res.FailoverDevices {
+		log.Fatalf("attest-loadgen: survivors own %d devices, want the whole fleet of %d",
+			res.FailoverSurvivorsOwn, res.FailoverDevices)
+	}
+	if opts.minScale2 > 0 && res.Scaling2x < opts.minScale2 {
+		log.Fatalf("attest-loadgen: 2-daemon scaling %.2fx below the %.2fx floor", res.Scaling2x, opts.minScale2)
+	}
+	if opts.minScale4 > 0 && res.Scaling4x < opts.minScale4 {
+		log.Fatalf("attest-loadgen: 4-daemon scaling %.2fx below the %.2fx floor", res.Scaling4x, opts.minScale4)
+	}
+	log.Printf("attest-loadgen: cluster scaling 2 daemons %.2fx, 4 daemons %.2fx; failover drill clean (%d replica handoffs, 0 freshness resets)",
+		res.Scaling2x, res.Scaling4x, res.FailoverHandoffsReplica)
+}

@@ -392,6 +392,11 @@ func main() {
 		minSpeedup = flag.Float64("min-speedup", 0, "with -quiescent, fail unless the fast/full round speedup reaches this factor (0 = report only)")
 		scrapeURL = flag.String("scrape", "", "external daemon's /metrics URL to scrape mid-run, e.g. http://10.0.0.7:9150/metrics (in-process daemons are scraped automatically)")
 
+		clusterMode = flag.Bool("cluster", false, "cluster mode: ladder of 1→2→4 in-process daemons sharing a consistent-hash ring, each flooded past its -daemon-rate admission budget; reports admitted frames/s per rung and the scaling ratios, then runs a kill-one failover drill")
+		daemonRate  = flag.Float64("daemon-rate", 2000, "with -cluster, each daemon's admission budget in frames/s (server-side MaxRatePerSec)")
+		minScale2   = flag.Float64("min-scale-2", 0, "with -cluster, fail unless 2-daemon admitted throughput reaches this multiple of 1-daemon (0 = report only)")
+		minScale4   = flag.Float64("min-scale-4", 0, "with -cluster, fail unless 4-daemon admitted throughput reaches this multiple of 1-daemon (0 = report only)")
+
 		swarmMode       = flag.Bool("swarm", false, "swarm mode: collective attestation through the spanning-tree gateway — -devices members, one socket, two frames per aggregate round; includes the crossover ladder and adversary matrix")
 		fanout          = flag.Int("fanout", 4, "with -swarm, the spanning-tree arity")
 		minMsgReduction = flag.Float64("min-msg-reduction", 0, "with -swarm, fail unless the measured verifier-message reduction reaches this factor (0 = report only)")
@@ -409,6 +414,21 @@ func main() {
 	auth, err := protocol.ParseAuthKind(*authName)
 	if err != nil {
 		log.Fatalf("attest-loadgen: %v", err)
+	}
+	if *clusterMode {
+		runCluster(clusterRunOpts{
+			duration:  *duration,
+			attEvery:  *attEvery,
+			master:    *master,
+			fresh:     fresh,
+			auth:      auth,
+			budget:    *daemonRate,
+			out:       *out,
+			variant:   *variant,
+			minScale2: *minScale2,
+			minScale4: *minScale4,
+		})
+		return
 	}
 	if *swarmMode {
 		runSwarm(swarmRunOpts{

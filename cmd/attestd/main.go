@@ -21,9 +21,11 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof handlers; served only with -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"proverattest/internal/cluster"
 	"proverattest/internal/core"
 	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
@@ -47,6 +49,13 @@ func main() {
 
 		floodTotal = flag.Int("flood", 0, "impersonator mode: flood each connection with N adversarial frames (0 = honest daemon)")
 		floodRate  = flag.Float64("flood-rate", 0, "flood pacing in frames/s (0 = as fast as the socket accepts)")
+
+		nodeName   = flag.String("node", "", "cluster mode: this daemon's node name (empty = standalone)")
+		peerList   = flag.String("peers", "", "cluster peers as comma-separated name=addr pairs (this node excluded)")
+		advertise  = flag.String("advertise", "", "address peers and redirected agents should dial for this node (default: -listen)")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per daemon on the consistent-hash ring (0 = default 128)")
+		probeEvery = flag.Duration("probe-every", 2*time.Second, "cluster peer liveness probe period")
+		daemonRate = flag.Float64("daemon-rate", 0, "daemon-wide inbound frames/s budget across all connections (0 = unlimited)")
 
 		statusEvery = flag.Duration("status-every", 5*time.Second, "status line period (0 = silent)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = off)")
@@ -85,6 +94,33 @@ func main() {
 	if *floodTotal > 0 {
 		cfg.Flood = &server.FloodConfig{Total: *floodTotal, RatePerSec: *floodRate}
 	}
+	cfg.MaxRatePerSec = *daemonRate
+
+	var node *cluster.Node
+	if *nodeName != "" {
+		self := *advertise
+		if self == "" {
+			self = *listen
+		}
+		members := []cluster.Member{{Name: *nodeName, Addr: self}}
+		if *peerList != "" {
+			for _, pair := range strings.Split(*peerList, ",") {
+				name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+				if !ok || name == "" || addr == "" {
+					log.Fatalf("attestd: -peers entry %q is not name=addr", pair)
+				}
+				members = append(members, cluster.Member{Name: name, Addr: addr})
+			}
+		}
+		ms := cluster.NewMembership(*vnodes, members...)
+		node, err = cluster.NewNode(*nodeName, ms, cluster.NodeOptions{})
+		if err != nil {
+			log.Fatalf("attestd: %v", err)
+		}
+		node.StartProber(*probeEvery, 3)
+		cfg.Cluster = node
+	}
+
 	s, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("attestd: %v", err)
@@ -131,11 +167,17 @@ func main() {
 		<-sigCh
 		log.Printf("attestd: shutting down")
 		s.Close()
+		if node != nil {
+			node.Close()
+		}
 	}()
 
 	mode := "honest schedule"
 	if cfg.Flood != nil {
 		mode = "flood impersonator"
+	}
+	if node != nil {
+		log.Printf("attestd: cluster node %s, members %v", *nodeName, node.Membership().Alive())
 	}
 	log.Printf("attestd: listening on %s (%s, freshness=%v auth=%v)", *listen, mode, fresh, auth)
 	if err := s.ListenAndServe(*listen); err != nil {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"proverattest/internal/anchor"
+	"proverattest/internal/cluster"
 	"proverattest/internal/core"
 	"proverattest/internal/mcu"
 	"proverattest/internal/obs"
@@ -278,22 +279,42 @@ func (a *Agent) snapshotLocked() protocol.StatsReport {
 //     escapes — a clean close is not an error, on any path.
 //   - ctx.Err(): our own context ended the session, whatever transport
 //     error the resulting close surfaced first.
+//   - *RedirectError: a cluster daemon answered the hello with the
+//     device's owner instead of a session (the first frame was a
+//     redirect). The caller should redial the carried address;
+//     RunAddrs does so without backoff.
 //   - anything else: a transport failure, with the cause preserved for
 //     errors.Is (io.ErrUnexpectedEOF for a torn frame,
 //     transport.ErrFrameTooLarge for a hostile prefix, …).
 func (a *Agent) Serve(ctx context.Context, nc net.Conn) error {
 	err := a.serve(ctx, nc)
 	// Exactly one exit-cause series increments per Serve call: clean peer
-	// close, our own cancellation, or a transport failure.
+	// close, our own cancellation, a redirect, or a transport failure.
+	var re *RedirectError
 	switch {
 	case err == nil:
 		a.m.exitEOF.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		a.m.exitCanceled.Inc()
+	case errors.As(err, &re):
+		a.m.exitRedirect.Inc()
 	default:
 		a.m.exitError.Inc()
 	}
 	return err
+}
+
+// RedirectError reports that the daemon we dialed does not own this
+// device: a cluster peer answered the hello with the owner's coordinates
+// and closed. It is a routing outcome, not a failure — the session simply
+// belongs elsewhere.
+type RedirectError struct {
+	Owner string // owning daemon's node name
+	Addr  string // address to redial
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("agent: device owned by %s (%s)", e.Owner, e.Addr)
 }
 
 func (a *Agent) serve(ctx context.Context, nc net.Conn) error {
@@ -327,6 +348,7 @@ func (a *Agent) serve(ctx context.Context, nc net.Conn) error {
 	}
 
 	var statsBuf []byte // reused stats-frame scratch (Serve is tc's only writer)
+	first := true
 	for {
 		// RecvShared reuses the connection's frame buffer: Process hands the
 		// frame to the anchor, which copies it before queueing the gate job,
@@ -334,6 +356,7 @@ func (a *Agent) serve(ctx context.Context, nc net.Conn) error {
 		frame, err := tc.RecvShared()
 		if err != nil {
 			if transport.IsTimeout(err) {
+				first = false
 				if statsBuf, err = a.sendStats(tc, statsBuf); err != nil {
 					return a.exitErr(ctx, err)
 				}
@@ -342,6 +365,18 @@ func (a *Agent) serve(ctx context.Context, nc net.Conn) error {
 			return a.exitErr(ctx, err)
 		}
 		a.m.framesIn.Inc()
+		if first {
+			first = false
+			// A cluster daemon that does not own this device answers the
+			// hello with a redirect and nothing else; only the session's
+			// first frame is honoured as one, so a mid-session forgery
+			// cannot hijack an established exchange — past this point the
+			// frame falls through to the anchor's gate like any garbage.
+			if owner, addr, ok := cluster.DecodeRedirect(frame); ok {
+				a.m.redirects.Inc()
+				return &RedirectError{Owner: owner, Addr: addr}
+			}
+		}
 		reply := a.Process(frame)
 		if reply != nil {
 			if err := tc.Send(reply); err != nil {
@@ -425,6 +460,79 @@ func (a *Agent) Run(ctx context.Context, dial Dialer, bo Backoff) error {
 			return ctx.Err()
 		}
 		_ = err // Serve already recorded the exit cause on its counters
+		if a.now().Sub(started) >= bt.ResetAfter() {
+			bt.Reset()
+		}
+		a.m.reconnects.Inc()
+		if !a.backoffSleep(ctx, bt) {
+			return ctx.Err()
+		}
+	}
+}
+
+// RunAddrs supervises the agent against a verifier cluster: it rotates
+// through the configured daemon addresses, and when a daemon answers the
+// hello with an ownership redirect it redials the carried address
+// immediately — no backoff, because a redirect is routing, not failure.
+// Any other session end (owner died, clean close, transport error) falls
+// back to the address list with the usual capped-exponential backoff, so
+// failover converges on whichever surviving daemon the ring now says owns
+// the device.
+//
+// A redirect storm — more consecutive redirects than the cluster has
+// daemons, plus slack for one ownership change mid-chase — means the
+// ring view is flapping; the loop then backs off like a failure instead
+// of hot-looping between daemons. Like Run, RunAddrs returns only when
+// ctx is cancelled.
+func (a *Agent) RunAddrs(ctx context.Context, addrs []string, bo Backoff) error {
+	if len(addrs) == 0 {
+		return errors.New("agent: RunAddrs needs at least one daemon address")
+	}
+	bt := NewBackoffTimer(bo)
+	var nd net.Dialer
+	cur := 0         // rotation cursor into addrs
+	target := ""     // redirect target overriding the rotation
+	redirectRun := 0 // consecutive redirects (storm guard)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		addr := target
+		if addr == "" {
+			addr = addrs[cur%len(addrs)]
+		}
+		nc, err := nd.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			a.m.dialErrors.Inc()
+			// A dead redirect target (owner crashed between redirect and
+			// redial) falls back to the list — some survivor will redirect
+			// us to, or be, the new owner.
+			target = ""
+			cur++
+			if !a.backoffSleep(ctx, bt) {
+				return ctx.Err()
+			}
+			continue
+		}
+		a.m.sessions.Inc()
+		started := a.now()
+		err = a.Serve(ctx, nc)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var re *RedirectError
+		if errors.As(err, &re) {
+			redirectRun++
+			if redirectRun <= len(addrs)+2 {
+				target = re.Addr
+				continue
+			}
+			// Storm: fall through to the backoff path with the rotation.
+		} else {
+			redirectRun = 0
+		}
+		target = ""
+		cur++
 		if a.now().Sub(started) >= bt.ResetAfter() {
 			bt.Reset()
 		}

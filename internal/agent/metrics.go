@@ -17,12 +17,14 @@ type agentMetrics struct {
 	framesIn  *obs.Counter // frames pulled off the socket by the serve loop
 	replies   *obs.Counter // anchor responses written back to the daemon
 	statsSent *obs.Counter // counter heartbeats pushed
+	redirects *obs.Counter // sessions ended by a cluster ownership redirect
 
 	// Serve-loop terminations by cause. Exactly one increments per Serve
 	// call, when the loop exits: the fleet's churn/crash telemetry.
 	exitEOF      *obs.Counter // peer closed cleanly between frames
 	exitCanceled *obs.Counter // our context was cancelled
 	exitError    *obs.Counter // transport or write failure
+	exitRedirect *obs.Counter // daemon redirected us to the device's owner
 
 	// Supervised Run-loop series: the reconnect/backoff telemetry the
 	// chaos harness reads to prove the prover outlives a flaky link.
@@ -40,10 +42,12 @@ func newAgentMetrics(reg *obs.Registry) *agentMetrics {
 		framesIn:  reg.Counter("agent_frames_total", "Frames pulled off the socket and submitted to the anchor."),
 		replies:   reg.Counter("agent_replies_total", "Anchor responses written back to the daemon."),
 		statsSent: reg.Counter("agent_stats_sent_total", "Gate-counter heartbeats pushed to the daemon."),
+		redirects: reg.Counter("agent_redirects_total", "Sessions ended by a cluster ownership redirect (followed without backoff)."),
 
 		exitEOF:      reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "eof")),
 		exitCanceled: reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "canceled")),
 		exitError:    reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "error")),
+		exitRedirect: reg.Counter("agent_serve_exits_total", exitHelp, obs.L("cause", "redirect")),
 
 		sessions:     reg.Counter("agent_sessions_total", "Connections established by the supervised Run loop (hello sent)."),
 		reconnects:   reg.Counter("agent_reconnects_total", "Sessions that died and were scheduled for reconnect."),

@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"proverattest/internal/transport"
+)
+
+// fakePeer is a minimal daemon-side peer loop: it accepts links, verifies
+// the peer hello, answers state requests from a held device map, records
+// pushes, and answers pings. It is what internal/server implements for
+// real; here it isolates the Node client side.
+type fakePeer struct {
+	t  *testing.T
+	ln net.Listener
+
+	mu      sync.Mutex
+	held    map[string]Snapshot
+	pushes  map[string]Snapshot
+	hellos  []string
+	pings   int
+	dropNow bool // refuse connections (simulated death)
+	conns   map[net.Conn]struct{}
+}
+
+// setDead flips the peer's availability; dying also severs established
+// links (a dead daemon holds no sockets open).
+func (p *fakePeer) setDead(dead bool) {
+	p.mu.Lock()
+	p.dropNow = dead
+	var open []net.Conn
+	if dead {
+		for nc := range p.conns {
+			open = append(open, nc)
+		}
+	}
+	p.mu.Unlock()
+	for _, nc := range open {
+		nc.Close()
+	}
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &fakePeer{
+		t: t, ln: ln,
+		held:   make(map[string]Snapshot),
+		pushes: make(map[string]Snapshot),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go p.acceptLoop()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *fakePeer) addr() string { return p.ln.Addr().String() }
+
+func (p *fakePeer) hold(id string, snap Snapshot) {
+	p.mu.Lock()
+	p.held[id] = snap
+	p.mu.Unlock()
+}
+
+func (p *fakePeer) pushed(id string) (Snapshot, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap, ok := p.pushes[id]
+	return snap, ok
+}
+
+func (p *fakePeer) acceptLoop() {
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		drop := p.dropNow
+		p.mu.Unlock()
+		if drop {
+			nc.Close()
+			continue
+		}
+		go p.serve(nc)
+	}
+}
+
+func (p *fakePeer) serve(nc net.Conn) {
+	p.mu.Lock()
+	p.conns[nc] = struct{}{}
+	p.mu.Unlock()
+	tc := transport.NewConn(nc, transport.Options{ReadTimeout: 2 * time.Second, WriteTimeout: 2 * time.Second})
+	defer func() {
+		tc.Close()
+		p.mu.Lock()
+		delete(p.conns, nc)
+		p.mu.Unlock()
+	}()
+	first, err := tc.Recv()
+	if err != nil {
+		return
+	}
+	name, err := DecodePeerHello(first)
+	if err != nil {
+		p.t.Errorf("fake peer: first frame was not a peer hello: %v", err)
+		return
+	}
+	p.mu.Lock()
+	p.hellos = append(p.hellos, name)
+	p.mu.Unlock()
+	for {
+		frame, err := tc.Recv()
+		if err != nil {
+			return
+		}
+		switch ClassifyPeer(frame) {
+		case PeerStateReq:
+			id, err := DecodeStateReq(frame)
+			if err != nil {
+				p.t.Errorf("fake peer: bad state req: %v", err)
+				return
+			}
+			p.mu.Lock()
+			snap, ok := p.held[id]
+			if ok {
+				delete(p.held, id) // move semantics
+			}
+			p.mu.Unlock()
+			var resp []byte
+			if ok {
+				resp = EncodeStateResp(id, &snap)
+			} else {
+				resp = EncodeStateResp(id, nil)
+			}
+			if err := tc.Send(resp); err != nil {
+				return
+			}
+		case PeerStatePush:
+			id, snap, err := DecodeStatePush(frame)
+			if err != nil {
+				p.t.Errorf("fake peer: bad state push: %v", err)
+				return
+			}
+			p.mu.Lock()
+			p.pushes[id] = snap
+			p.mu.Unlock()
+		case PeerPing:
+			p.mu.Lock()
+			p.pings++
+			p.mu.Unlock()
+			if err := tc.Send(EncodePong()); err != nil {
+				return
+			}
+		default:
+			p.t.Errorf("fake peer: unexpected frame kind %v", ClassifyPeer(frame))
+			return
+		}
+	}
+}
+
+func threeNodeView(t *testing.T, peers ...*fakePeer) (*Membership, *Node) {
+	t.Helper()
+	members := []Member{{Name: "self", Addr: "127.0.0.1:0"}}
+	for i, p := range peers {
+		members = append(members, Member{Name: fmt.Sprintf("peer-%d", i), Addr: p.addr()})
+	}
+	ms := NewMembership(DefaultVnodes, members...)
+	n, err := NewNode("self", ms, NodeOptions{CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return ms, n
+}
+
+func TestFetchStateFirstPositiveWins(t *testing.T) {
+	p0, p1 := newFakePeer(t), newFakePeer(t)
+	_, n := threeNodeView(t, p0, p1)
+
+	want := sampleSnapshot()
+	p1.hold("dev-9", want)
+
+	got, ok := n.FetchState("dev-9")
+	if !ok || got != want {
+		t.Fatalf("FetchState = (%+v, %v), want the held snapshot", got, ok)
+	}
+	// Move semantics: a second fetch finds nothing anywhere.
+	if _, ok := n.FetchState("dev-9"); ok {
+		t.Fatal("second FetchState still found the handed-off device")
+	}
+	if f, _, _ := n.Counters(); f != 1 {
+		t.Fatalf("fetch counter = %d, want 1", f)
+	}
+}
+
+func TestFetchStateSkipsDeadPeer(t *testing.T) {
+	dead, live := newFakePeer(t), newFakePeer(t)
+	dead.setDead(true)
+
+	_, n := threeNodeView(t, dead, live)
+	want := sampleSnapshot()
+	live.hold("dev-1", want)
+
+	got, ok := n.FetchState("dev-1")
+	if !ok || got != want {
+		t.Fatalf("FetchState through a dead peer = (%v, %v)", ok, got)
+	}
+}
+
+func TestReplicatePushesToSuccessor(t *testing.T) {
+	p0, p1 := newFakePeer(t), newFakePeer(t)
+	ms, n := threeNodeView(t, p0, p1)
+
+	// Pick a device this node owns, so its successor is one of the peers.
+	var dev string
+	for i := 0; i < 10_000; i++ {
+		id := fmt.Sprintf("dev-%d", i)
+		if n.Owns(id) {
+			dev = id
+			break
+		}
+	}
+	if dev == "" {
+		t.Fatal("no owned device found")
+	}
+	succ, ok := ms.Successor(dev)
+	if !ok || succ.Name == "self" {
+		t.Fatalf("successor = %+v, %v", succ, ok)
+	}
+
+	want := sampleSnapshot()
+	n.BindSource(func(id string) (Snapshot, bool) {
+		if id != dev {
+			return Snapshot{}, false
+		}
+		return want, true
+	})
+	n.Replicate(dev)
+
+	target := p0
+	if succ.Name == "peer-1" {
+		target = p1
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if snap, ok := target.pushed(dev); ok {
+			if snap != want {
+				t.Fatalf("pushed snapshot = %+v, want %+v", snap, want)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replication push never arrived at the successor")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The replica round-trips through the holder API with move semantics.
+	snap, _ := target.pushed(dev)
+	n.StoreReplica(dev, snap)
+	if n.ReplicasHeld() != 1 {
+		t.Fatalf("ReplicasHeld = %d, want 1", n.ReplicasHeld())
+	}
+	if got, ok := n.TakeReplica(dev); !ok || got != want {
+		t.Fatalf("TakeReplica = (%+v, %v)", got, ok)
+	}
+	if _, ok := n.TakeReplica(dev); ok {
+		t.Fatal("TakeReplica returned the same replica twice")
+	}
+}
+
+// TestReplicateConcurrent drives the coalescing queue from many
+// goroutines while fetches run — the race-detector workout for the peer
+// client side.
+func TestReplicateConcurrent(t *testing.T) {
+	p0, p1 := newFakePeer(t), newFakePeer(t)
+	_, n := threeNodeView(t, p0, p1)
+	n.BindSource(func(id string) (Snapshot, bool) { return sampleSnapshot(), true })
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n.Replicate(fmt.Sprintf("dev-%d-%d", g, i))
+				if i%10 == 0 {
+					n.FetchState(fmt.Sprintf("missing-%d-%d", g, i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestProberMarksDownAndUp(t *testing.T) {
+	p := newFakePeer(t)
+	ms, n := threeNodeView(t, p)
+	n.StartProber(20*time.Millisecond, 2)
+
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	waitFor(func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.pings >= 1
+	}, "first ping")
+
+	p.setDead(true)
+	waitFor(func() bool { return len(ms.Alive()) == 1 }, "peer marked down")
+
+	p.setDead(false)
+	waitFor(func() bool { return len(ms.Alive()) == 2 }, "peer marked back up")
+}
+
+func TestNewNodeRejectsUnknownSelf(t *testing.T) {
+	ms := NewMembership(0, Member{Name: "a", Addr: "x"})
+	if _, err := NewNode("nope", ms, NodeOptions{}); err == nil {
+		t.Fatal("NewNode accepted a self outside the membership")
+	}
+}
+
+var errDialRefused = errors.New("dial refused")
+
+func TestFetchStateAllPeersDead(t *testing.T) {
+	ms := NewMembership(0,
+		Member{Name: "self", Addr: "x"},
+		Member{Name: "other", Addr: "y"})
+	n, err := NewNode("self", ms, NodeOptions{
+		Dial: func(addr string) (net.Conn, error) { return nil, errDialRefused },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, ok := n.FetchState("dev"); ok {
+		t.Fatal("FetchState succeeded with every peer unreachable")
+	}
+}

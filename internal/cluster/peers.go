@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proverattest/internal/transport"
+)
+
+// Dialer opens a connection to a peer address. The default is a TCP dial
+// with a short timeout; tests inject pipes or failures.
+type Dialer func(addr string) (net.Conn, error)
+
+// NodeOptions tunes a Node.
+type NodeOptions struct {
+	// Dial opens peer connections (default: 2 s TCP dial).
+	Dial Dialer
+	// CallTimeout bounds one state-request round trip (default 2 s).
+	CallTimeout time.Duration
+	// PushQueue bounds the coalescing replication queue: how many devices
+	// may have an un-pushed snapshot at once (default 1024). Overflow
+	// drops the push — the replica just lags until the device's next
+	// issue re-enqueues it, and the import-side FreshnessSlack absorbs
+	// the lag.
+	PushQueue int
+}
+
+// Node is one daemon's cluster identity: its name, its view of the
+// membership, and the peer links it fetches and replicates device state
+// over. internal/server owns exactly one (nil outside cluster mode).
+type Node struct {
+	self Member
+	ms   *Membership
+	opts NodeOptions
+
+	// source reads a device's current snapshot out of the owning server;
+	// bound by the server at construction (BindSource).
+	source func(deviceID string) (Snapshot, bool)
+
+	mu       sync.Mutex
+	links    map[string]*peerLink // by member name
+	replicas map[string]Snapshot  // devices this node is successor for
+	closed   bool
+
+	// Replication queue: a coalescing set of device IDs with a dirty
+	// snapshot, drained by one pusher goroutine. Enqueueing is a map
+	// insert and a non-blocking signal — cheap enough for the issue path.
+	pending map[string]struct{}
+	kick    chan struct{}
+	done    chan struct{}
+
+	// Counters surfaced through the server's metrics.
+	fetches       atomic.Uint64 // state fetches answered by a live peer
+	pushesSent    atomic.Uint64
+	pushesDropped atomic.Uint64
+}
+
+// NewNode builds the cluster identity for self, which must be in ms.
+func NewNode(self string, ms *Membership, opts NodeOptions) (*Node, error) {
+	mem, ok := ms.Lookup(self)
+	if !ok {
+		return nil, errors.New("cluster: self not in membership")
+	}
+	if opts.Dial == nil {
+		opts.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		}
+	}
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = 2 * time.Second
+	}
+	if opts.PushQueue <= 0 {
+		opts.PushQueue = 1024
+	}
+	n := &Node{
+		self:     mem,
+		ms:       ms,
+		opts:     opts,
+		links:    make(map[string]*peerLink),
+		replicas: make(map[string]Snapshot),
+		pending:  make(map[string]struct{}),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	go n.pushLoop()
+	return n, nil
+}
+
+// Self returns this daemon's member record.
+func (n *Node) Self() Member { return n.self }
+
+// Membership returns the routing view (shared, safe for concurrent use).
+func (n *Node) Membership() *Membership { return n.ms }
+
+// BindSource installs the snapshot reader the replication pusher uses.
+// The server calls this once before serving.
+func (n *Node) BindSource(fn func(deviceID string) (Snapshot, bool)) { n.source = fn }
+
+// Owns reports whether this daemon owns deviceID under the current view.
+func (n *Node) Owns(deviceID string) bool {
+	owner, ok := n.ms.Owner(deviceID)
+	return ok && owner.Name == n.self.Name
+}
+
+// Route returns the owning member for a device this daemon does not own;
+// redirect==false means this daemon should serve it (it owns the device,
+// or the ring is empty/degenerate and local service beats refusing).
+func (n *Node) Route(deviceID string) (owner Member, redirect bool) {
+	mem, ok := n.ms.Owner(deviceID)
+	if !ok || mem.Name == n.self.Name {
+		return n.self, false
+	}
+	return mem, true
+}
+
+// Close shuts the pusher and every peer link.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*peerLink, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	close(n.done)
+	for _, l := range links {
+		l.close()
+	}
+}
+
+// Counters reports the node's transfer counters: state fetches served by
+// live peers, replication pushes sent, and pushes dropped at the queue
+// bound.
+func (n *Node) Counters() (fetches, pushes, dropped uint64) {
+	return n.fetches.Load(), n.pushesSent.Load(), n.pushesDropped.Load()
+}
+
+// ReplicasHeld reports how many devices this node holds a replica for.
+func (n *Node) ReplicasHeld() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.replicas)
+}
+
+// StoreReplica records a pushed snapshot (called by the server's peer
+// loop on a state push).
+func (n *Node) StoreReplica(deviceID string, snap Snapshot) {
+	n.mu.Lock()
+	n.replicas[deviceID] = snap
+	n.mu.Unlock()
+}
+
+// TakeReplica removes and returns the replica for deviceID, if held. The
+// caller imports it via JumpForReplica; taking (not peeking) keeps a
+// second connection race from importing the same replica twice with
+// different jumps.
+func (n *Node) TakeReplica(deviceID string) (Snapshot, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	snap, ok := n.replicas[deviceID]
+	if ok {
+		delete(n.replicas, deviceID)
+	}
+	return snap, ok
+}
+
+// FetchState asks every live peer, in ring order from the device, to hand
+// over deviceID's verifier state. The first positive answer wins — at
+// most one peer holds the live state, because a handoff removes it there.
+// Dead or unreachable peers are skipped; ok==false means no live peer
+// held the device.
+func (n *Node) FetchState(deviceID string) (Snapshot, bool) {
+	for _, mem := range n.ms.Alive() {
+		if mem.Name == n.self.Name {
+			continue
+		}
+		resp, err := n.call(mem, EncodeStateReq(deviceID), PeerStateResp)
+		if err != nil {
+			continue
+		}
+		_, snap, err := DecodeStateResp(resp)
+		if err != nil || snap == nil {
+			continue
+		}
+		n.fetches.Add(1)
+		return *snap, true
+	}
+	return Snapshot{}, false
+}
+
+// Replicate marks deviceID's snapshot dirty for replication to its ring
+// successor. Called on the issue path, so it is an enqueue only: a map
+// insert and a non-blocking channel signal, no I/O, no key lookup.
+func (n *Node) Replicate(deviceID string) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	if len(n.pending) >= n.opts.PushQueue {
+		if _, ok := n.pending[deviceID]; !ok {
+			n.mu.Unlock()
+			n.pushesDropped.Add(1)
+			return
+		}
+	}
+	n.pending[deviceID] = struct{}{}
+	n.mu.Unlock()
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// pushLoop drains the dirty set, reading each device's current snapshot
+// from the server and pushing it to the device's successor. Coalescing is
+// free: a device issued ten times between drains is pushed once, with the
+// latest snapshot.
+func (n *Node) pushLoop() {
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-n.kick:
+		}
+		for {
+			n.mu.Lock()
+			var id string
+			for d := range n.pending {
+				id = d
+				break
+			}
+			if id == "" {
+				n.mu.Unlock()
+				break
+			}
+			delete(n.pending, id)
+			n.mu.Unlock()
+			n.pushOne(id)
+		}
+	}
+}
+
+func (n *Node) pushOne(deviceID string) {
+	if n.source == nil {
+		return
+	}
+	snap, ok := n.source(deviceID)
+	if !ok {
+		return
+	}
+	succ, ok := n.ms.Successor(deviceID)
+	if !ok || succ.Name == n.self.Name {
+		return // single-daemon ring: nowhere to replicate
+	}
+	if err := n.send(succ, EncodeStatePush(deviceID, &snap)); err != nil {
+		n.pushesDropped.Add(1)
+		return
+	}
+	n.pushesSent.Add(1)
+}
+
+// StartProber marks peers down after `fails` consecutive failed pings
+// `every` apart, and back up on the first success — the networked
+// deployment's failure detector. In-process harnesses skip it and call
+// MarkDown directly.
+func (n *Node) StartProber(every time.Duration, fails int) {
+	if every <= 0 {
+		every = time.Second
+	}
+	if fails <= 0 {
+		fails = 3
+	}
+	go func() {
+		misses := make(map[string]int)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-n.done:
+				return
+			case <-ticker.C:
+			}
+			for _, mem := range n.allPeers() {
+				if _, err := n.call(mem, EncodePing(), PeerPong); err != nil {
+					misses[mem.Name]++
+					if misses[mem.Name] >= fails {
+						n.ms.MarkDown(mem.Name)
+					}
+					continue
+				}
+				misses[mem.Name] = 0
+				n.ms.MarkUp(mem.Name)
+			}
+		}
+	}()
+}
+
+// allPeers returns every configured member except self, live or down (the
+// prober must keep pinging down peers to notice recovery).
+func (n *Node) allPeers() []Member {
+	out := make([]Member, 0)
+	for _, mem := range n.ms.Alive() {
+		if mem.Name != n.self.Name {
+			out = append(out, mem)
+		}
+	}
+	// Down members still need probing for MarkUp.
+	n.ms.mu.RLock()
+	for name := range n.ms.down {
+		if mem, ok := n.ms.members[name]; ok && name != n.self.Name {
+			out = append(out, mem)
+		}
+	}
+	n.ms.mu.RUnlock()
+	return out
+}
+
+// peerLink is one persistent connection to a peer, serialised: the peer
+// protocol is strict request/response (pushes elicit nothing), so one
+// in-flight exchange at a time keeps responses trivially matched.
+type peerLink struct {
+	mu sync.Mutex
+	tc *transport.Conn
+}
+
+func (n *Node) link(name string) *peerLink {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[name]
+	if !ok {
+		l = &peerLink{}
+		n.links[name] = l
+	}
+	return l
+}
+
+func (l *peerLink) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tc != nil {
+		l.tc.Close()
+		l.tc = nil
+	}
+}
+
+// ensure dials and helloes the link if it is down. Callers hold l.mu.
+func (l *peerLink) ensure(n *Node, addr string) error {
+	if l.tc != nil {
+		return nil
+	}
+	nc, err := n.opts.Dial(addr)
+	if err != nil {
+		return err
+	}
+	tc := transport.NewConn(nc, transport.Options{
+		ReadTimeout:  n.opts.CallTimeout,
+		WriteTimeout: n.opts.CallTimeout,
+	})
+	if err := tc.Send(EncodePeerHello(n.self.Name)); err != nil {
+		tc.Close()
+		return err
+	}
+	l.tc = tc
+	return nil
+}
+
+// exchange sends frame and, when wantKind != PeerUnknown, awaits a frame
+// of that kind. A dead link is redialled once; any error tears the link
+// down so the next call starts clean.
+func (l *peerLink) exchange(n *Node, addr string, frame []byte, wantKind PeerKind) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if err := l.ensure(n, addr); err != nil {
+			return nil, err
+		}
+		resp, err := l.exchangeLocked(frame, wantKind)
+		if err == nil {
+			return resp, nil
+		}
+		l.tc.Close()
+		l.tc = nil
+		if attempt == 1 {
+			return nil, err
+		}
+	}
+}
+
+func (l *peerLink) exchangeLocked(frame []byte, wantKind PeerKind) ([]byte, error) {
+	if err := l.tc.Send(frame); err != nil {
+		return nil, err
+	}
+	if wantKind == PeerUnknown {
+		return nil, nil
+	}
+	resp, err := l.tc.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if ClassifyPeer(resp) != wantKind {
+		return nil, errMagic
+	}
+	return resp, nil
+}
+
+func (n *Node) call(mem Member, frame []byte, wantKind PeerKind) ([]byte, error) {
+	return n.link(mem.Name).exchange(n, mem.Addr, frame, wantKind)
+}
+
+func (n *Node) send(mem Member, frame []byte) error {
+	_, err := n.link(mem.Name).exchange(n, mem.Addr, frame, PeerUnknown)
+	return err
+}

@@ -1,0 +1,143 @@
+// Package cluster makes a fleet of attestd daemons act as one verifier:
+// a consistent-hash ring assigns every device ID to exactly one live
+// daemon (its owner), non-owners redirect a device's hello to the owner,
+// and a small peer protocol hands the device's verifier state — counter
+// and nonce freshness, the RATA fast-path arm record, the stats
+// high-water base — to whichever daemon owns the device next, so
+// freshness never resets across failover or rebalancing.
+//
+// The package is deliberately self-contained below internal/server:
+// Ring/Membership are pure data structures, the codec speaks its own
+// frame magics (distinct from internal/protocol's, so a cluster frame can
+// never be confused with an attestation frame), and Node carries the peer
+// links. internal/server wires a Node into its hello path and serving
+// gate; internal/agent understands only the redirect frame.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per member. 128 keeps the
+// worst-case owner share under 2× fair for up to 8 daemons (pinned by
+// TestRingDistribution) while the ring stays small enough that a rebuild
+// on membership change is microseconds.
+const DefaultVnodes = 128
+
+// fnv1a64 is the ring's hash, inlined so point placement is a stable,
+// documented function of the member name and vnode index alone — two
+// daemons built from the same member list always agree on ownership
+// without exchanging ring state. The FNV-1a pass is finalised with a
+// 64-bit avalanche mix (MurmurHash3's fmix64): raw FNV output over
+// near-identical strings ("attestd-1#17" vs "attestd-2#17") clusters on
+// the circle badly enough to break the 2x-fair-share bound, while the
+// mixed output passes both the distribution and rebalance-minimality
+// pins in ring_test.go.
+func fnv1a64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build one
+// with NewRing; Membership rebuilds a fresh Ring on every membership
+// change, so lookups need no locking of their own.
+type Ring struct {
+	members []string
+	points  []ringPoint
+}
+
+// NewRing places vnodes points per member (DefaultVnodes if <= 0) on the
+// hash circle. Member order does not affect ownership — placement depends
+// only on each member's name — but ties (identical hash points) resolve
+// to the lexicographically smaller name so two daemons never disagree.
+func NewRing(vnodes int, members []string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	ms := append([]string(nil), members...)
+	sort.Strings(ms)
+	r := &Ring{members: ms, points: make([]ringPoint, 0, len(ms)*vnodes)}
+	for mi, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			h := fnv1a64(m + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, member: mi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.members[r.points[i].member] < r.members[r.points[j].member]
+	})
+	return r
+}
+
+// Members returns the ring's member names, sorted.
+func (r *Ring) Members() []string { return r.members }
+
+// Owner returns the member owning key: the first vnode point at or after
+// the key's hash, wrapping at the top of the circle. ok is false for an
+// empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.members[r.points[r.search(key)].member], true
+}
+
+// OwnersN returns the first n distinct members clockwise from key's hash:
+// OwnersN(key, 2)[0] is the owner, [1] is the successor — the member that
+// inherits the key if the owner leaves the ring, and therefore the right
+// place to replicate the key's state to.
+func (r *Ring) OwnersN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i, off := r.search(key), 0; off < len(r.points) && len(out) < n; off++ {
+		p := r.points[(i+off)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+func (r *Ring) search(key string) int {
+	h := fnv1a64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrapped past the top of the circle
+	}
+	return i
+}
+
+// String summarises the ring for log lines.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members, %d points)", len(r.members), len(r.points))
+}

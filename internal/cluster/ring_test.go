@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// syntheticDevices generates a deterministic device-ID population shaped
+// like the fleet's real IDs (seeded, so the distribution and rebalance
+// bounds below are pinned facts about the shipped hash, not flaky
+// samples).
+func syntheticDevices(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("dev-%04d-%08x", i, rng.Uint64())
+	}
+	return out
+}
+
+func memberNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("attestd-%d", i)
+	}
+	return out
+}
+
+// TestRingDistribution pins the satellite bound: with >= 128 vnodes, no
+// daemon owns more than 2x its fair share for cluster sizes 1 through 8.
+func TestRingDistribution(t *testing.T) {
+	devices := syntheticDevices(1, 100_000)
+	for daemons := 1; daemons <= 8; daemons++ {
+		for _, vnodes := range []int{128, 256} {
+			t.Run(fmt.Sprintf("daemons=%d/vnodes=%d", daemons, vnodes), func(t *testing.T) {
+				r := NewRing(vnodes, memberNames(daemons))
+				counts := make(map[string]int, daemons)
+				for _, dev := range devices {
+					owner, ok := r.Owner(dev)
+					if !ok {
+						t.Fatal("ring with members returned no owner")
+					}
+					counts[owner]++
+				}
+				fair := float64(len(devices)) / float64(daemons)
+				for member, got := range counts {
+					if share := float64(got) / fair; share > 2.0 {
+						t.Errorf("%s owns %d devices, %.2fx fair share (bound 2x)", member, got, share)
+					}
+				}
+				if len(counts) != daemons {
+					t.Errorf("only %d of %d daemons own any devices", len(counts), daemons)
+				}
+			})
+		}
+	}
+}
+
+// TestRingRebalanceMinimality pins consistent hashing's defining
+// property: growing the cluster from N to N+1 daemons moves only the
+// keyspace slice the newcomer takes (~1/(N+1)), and every moved device
+// moves *to* the newcomer — no device shuffles between incumbents.
+func TestRingRebalanceMinimality(t *testing.T) {
+	devices := syntheticDevices(2, 100_000)
+	for daemons := 1; daemons <= 7; daemons++ {
+		t.Run(fmt.Sprintf("%d_to_%d", daemons, daemons+1), func(t *testing.T) {
+			before := NewRing(DefaultVnodes, memberNames(daemons))
+			after := NewRing(DefaultVnodes, memberNames(daemons+1))
+			newcomer := fmt.Sprintf("attestd-%d", daemons)
+
+			moved := 0
+			for _, dev := range devices {
+				ob, _ := before.Owner(dev)
+				oa, _ := after.Owner(dev)
+				if ob == oa {
+					continue
+				}
+				moved++
+				if oa != newcomer {
+					t.Fatalf("device %s moved %s -> %s, not to the newcomer %s", dev, ob, oa, newcomer)
+				}
+			}
+			// The newcomer's expected take is 1/(N+1); allow 1.5x for vnode
+			// placement variance (seeded inputs keep this deterministic).
+			maxMoved := int(1.5 * float64(len(devices)) / float64(daemons+1))
+			if moved > maxMoved {
+				t.Errorf("adding daemon %d moved %d of %d devices, bound %d (~1.5/(N+1))",
+					daemons+1, moved, len(devices), maxMoved)
+			}
+			if moved == 0 {
+				t.Error("adding a daemon moved no devices")
+			}
+		})
+	}
+}
+
+// TestRingDeterminism pins cross-daemon agreement: two rings built from
+// the same member list in different orders route every key identically.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(DefaultVnodes, []string{"n0", "n1", "n2"})
+	b := NewRing(DefaultVnodes, []string{"n2", "n0", "n1"})
+	for _, dev := range syntheticDevices(3, 10_000) {
+		oa, _ := a.Owner(dev)
+		ob, _ := b.Owner(dev)
+		if oa != ob {
+			t.Fatalf("member order changed ownership of %s: %s vs %s", dev, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndOwnersN(t *testing.T) {
+	empty := NewRing(DefaultVnodes, nil)
+	if _, ok := empty.Owner("dev"); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	if got := empty.OwnersN("dev", 2); got != nil {
+		t.Errorf("empty ring OwnersN = %v, want nil", got)
+	}
+
+	r := NewRing(DefaultVnodes, []string{"n0", "n1", "n2"})
+	for _, dev := range syntheticDevices(4, 1_000) {
+		owners := r.OwnersN(dev, 3)
+		if len(owners) != 3 {
+			t.Fatalf("OwnersN(3) over 3 members returned %v", owners)
+		}
+		owner, _ := r.Owner(dev)
+		if owners[0] != owner {
+			t.Fatalf("OwnersN[0] = %s, Owner = %s", owners[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("OwnersN returned duplicate member: %v", owners)
+			}
+			seen[o] = true
+		}
+		// OwnersN asked past the member count clamps.
+		if got := r.OwnersN(dev, 10); len(got) != 3 {
+			t.Fatalf("OwnersN(10) = %v, want 3 members", got)
+		}
+	}
+}
+
+// TestSuccessorInheritsOnFailure pins the replication invariant the
+// failover path relies on: for any device, removing its owner from the
+// ring promotes exactly the device's successor — so state replicated to
+// OwnersN[1] is sitting on the daemon that inherits the device.
+func TestSuccessorInheritsOnFailure(t *testing.T) {
+	members := memberNames(4)
+	full := NewRing(DefaultVnodes, members)
+	for _, dev := range syntheticDevices(5, 5_000) {
+		owners := full.OwnersN(dev, 2)
+		owner, succ := owners[0], owners[1]
+
+		survivors := make([]string, 0, len(members)-1)
+		for _, m := range members {
+			if m != owner {
+				survivors = append(survivors, m)
+			}
+		}
+		after := NewRing(DefaultVnodes, survivors)
+		inheritor, _ := after.Owner(dev)
+		if inheritor != succ {
+			t.Fatalf("device %s: owner %s died, inherited by %s but replicated to %s",
+				dev, owner, inheritor, succ)
+		}
+	}
+}

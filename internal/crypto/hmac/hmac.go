@@ -20,28 +20,44 @@ func SHA1(key, msg []byte) [TagSize]byte {
 	return out
 }
 
-// MAC is a streaming HMAC-SHA1 computation.
+// MAC is a streaming HMAC-SHA1 computation with a precomputed key
+// schedule: the SHA-1 states after absorbing key⊕ipad and key⊕opad are
+// cached at construction, so Reset is a struct copy (zero compression
+// rounds) and each finalisation starts the outer pass from the cached
+// state instead of re-absorbing the pad block. For the small messages the
+// verifier gate and the swarm fold MAC per frame (tens of bytes, two of
+// five compressions spent on pads), rekeying-by-Reset roughly halves the
+// per-tag cost; see BenchmarkMACRekey vs BenchmarkMACReset.
 type MAC struct {
-	inner, outer *sha1.Digest
-	opad         [sha1.BlockSize]byte
-	ipad         [sha1.BlockSize]byte
+	inner sha1.Digest // running inner hash: cached keyed state + message
+	outer sha1.Digest // scratch for allocation-free finalisation (SumInto)
+
+	// Key schedule, immutable after NewSHA1: the digest states with
+	// exactly one pad block absorbed.
+	innerInit sha1.Digest
+	outerInit sha1.Digest
 }
 
 // NewSHA1 returns a streaming HMAC-SHA1 keyed with key. Keys longer than
 // the SHA-1 block size are first hashed, per RFC 2104.
 func NewSHA1(key []byte) *MAC {
-	m := &MAC{inner: sha1.New(), outer: sha1.New()}
+	m := &MAC{}
 	if len(key) > sha1.BlockSize {
 		sum := sha1.Sum(key)
 		key = sum[:]
 	}
-	copy(m.ipad[:], key)
-	copy(m.opad[:], key)
-	for i := range m.ipad {
-		m.ipad[i] ^= 0x36
-		m.opad[i] ^= 0x5c
+	var ipad, opad [sha1.BlockSize]byte
+	copy(ipad[:], key)
+	copy(opad[:], key)
+	for i := range ipad {
+		ipad[i] ^= 0x36
+		opad[i] ^= 0x5c
 	}
-	m.inner.Write(m.ipad[:])
+	m.innerInit.Reset()
+	m.innerInit.Write(ipad[:])
+	m.outerInit.Reset()
+	m.outerInit.Write(opad[:])
+	m.inner = m.innerInit
 	return m
 }
 
@@ -52,30 +68,30 @@ func (m *MAC) Write(p []byte) (int, error) { return m.inner.Write(p) }
 // (the tag then covers the longer message).
 func (m *MAC) Sum(b []byte) []byte {
 	innerSum := m.inner.Sum(nil)
-	outer := sha1.New()
-	outer.Write(m.opad[:])
+	outer := m.outerInit
 	outer.Write(innerSum)
 	return outer.Sum(b)
 }
 
 // SumInto writes the tag into out without allocating, finalising on the
-// MAC's own outer digest instead of a fresh one. Like Sum, it leaves the
-// inner stream usable for further writes. It exists for per-frame hot
-// paths (the attestation fast path) where Sum's fresh outer digest and
-// intermediate slice would be per-call garbage.
+// MAC's own outer scratch digest instead of a fresh one. Like Sum, it
+// leaves the inner stream usable for further writes. It exists for
+// per-frame hot paths (the attestation fast path) where Sum's
+// intermediate slices would be per-call garbage.
 func (m *MAC) SumInto(out *[TagSize]byte) {
 	var innerSum [TagSize]byte
 	m.inner.Sum(innerSum[:0])
-	m.outer.Reset()
-	m.outer.Write(m.opad[:])
+	m.outer = m.outerInit
 	m.outer.Write(innerSum[:])
 	m.outer.Sum(out[:0])
 }
 
-// Reset restarts the MAC with the same key.
+// Reset restarts the MAC with the same key. It is a single struct copy of
+// the cached keyed state — no pad re-absorption, no compression rounds —
+// which is what makes holding one MAC per key and Reset-reusing it
+// strictly cheaper than rekeying.
 func (m *MAC) Reset() {
-	m.inner.Reset()
-	m.inner.Write(m.ipad[:])
+	m.inner = m.innerInit
 }
 
 // Equal compares two tags in constant time. Attestation code must never

@@ -130,3 +130,80 @@ func TestKeySensitivity(t *testing.T) {
 		t.Fatal("different keys produced identical tags")
 	}
 }
+
+// TestResetReuseMatchesFresh pins the key-schedule cache: a MAC that is
+// Reset and reused across many messages must produce exactly the tags a
+// freshly keyed MAC would, including for long (hashed) keys.
+func TestResetReuseMatchesFresh(t *testing.T) {
+	keys := [][]byte{
+		[]byte("k"),
+		[]byte("attestation-key"),
+		bytes.Repeat([]byte{0xaa}, 80), // > block size: hashed first
+	}
+	for _, key := range keys {
+		m := NewSHA1(key)
+		for i := 0; i < 32; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, i*7+1)
+			m.Reset()
+			m.Write(msg)
+			want := SHA1(key, msg)
+
+			got := m.Sum(nil)
+			if !bytes.Equal(got, want[:]) {
+				t.Fatalf("key %d msg %d: reused Sum = %x, want %x", len(key), i, got, want)
+			}
+			var into [TagSize]byte
+			m.SumInto(&into)
+			if into != want {
+				t.Fatalf("key %d msg %d: reused SumInto = %x, want %x", len(key), i, into, want)
+			}
+		}
+	}
+}
+
+// TestResetReuseAllocs pins the hot-path contract the verifier gate and
+// the swarm fold rely on: Reset + Write + SumInto on a held MAC is
+// allocation-free.
+func TestResetReuseAllocs(t *testing.T) {
+	m := NewSHA1([]byte("attestation-key"))
+	msg := []byte("R|nonce|counter|signed request bytes")
+	var tag [TagSize]byte
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Reset()
+		m.Write(msg)
+		m.SumInto(&tag)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+Write+SumInto allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// benchMsg is sized like the frames the gate MACs: small enough that the
+// two pad-block compressions dominate when they are not cached.
+var benchMsg = []byte("R|nonce=0123456789abcdef|counter=0123456789abcdef|v1")
+
+// BenchmarkMACRekey is the before picture: keying a fresh MAC per tag, the
+// way per-call sites (hmac.SHA1) pay for small messages.
+func BenchmarkMACRekey(b *testing.B) {
+	key := []byte("attestation-key")
+	var tag [TagSize]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewSHA1(key)
+		m.Write(benchMsg)
+		m.SumInto(&tag)
+	}
+}
+
+// BenchmarkMACReset is the after picture: one held MAC, Reset-and-reuse
+// from the cached key schedule.
+func BenchmarkMACReset(b *testing.B) {
+	m := NewSHA1([]byte("attestation-key"))
+	var tag [TagSize]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		m.Write(benchMsg)
+		m.SumInto(&tag)
+	}
+}

@@ -349,6 +349,59 @@ func (v *Verifier) AbandonCommand(nonce uint64) bool {
 // LastCounter reports the verifier's counter state (for tests).
 func (v *Verifier) LastCounter() uint64 { return v.counter }
 
+// VerifierState is the portable freshness record of one device's
+// verifier: everything a different daemon needs to continue the device's
+// nonce/counter stream without ever re-issuing a value the device has
+// already seen, plus the RATA fast-path arm record. Outstanding requests
+// are deliberately not part of the state — they are bound to the
+// connection that issued them and die with it (the issuing daemon's
+// abandon timers retire them), while the streams below are what replay
+// protection is built on and must survive.
+type VerifierState struct {
+	Counter  uint64
+	NonceSeq uint64
+
+	// Fast-path arm record: the digest/epoch of the last verified full
+	// measurement. Valid only when HaveFast.
+	FastEpoch  uint32
+	FastDigest [sha1.Size]byte
+	HaveFast   bool
+}
+
+// ExportState snapshots the verifier's freshness and fast-path state for
+// handoff to another daemon.
+func (v *Verifier) ExportState() VerifierState {
+	return VerifierState{
+		Counter:    v.counter,
+		NonceSeq:   v.nonceSeq,
+		FastEpoch:  v.fastEpoch,
+		FastDigest: v.fastDigest,
+		HaveFast:   v.haveFast,
+	}
+}
+
+// ImportState adopts a handed-off freshness record, replacing the
+// verifier's own. Any outstanding requests are dropped (an importing
+// daemon has none of its own; a previous owner's pending nonces must not
+// be answerable here). The fast-path arm record is honoured only if this
+// verifier allows the fast path at all.
+//
+// Callers importing from a *replica* rather than from the live owner must
+// add a safety margin to Counter/NonceSeq and clear HaveFast first — see
+// cluster.Snapshot.JumpForReplica — because a replica may lag the owner's
+// true stream position. Both streams are strictly monotone, so jumping
+// forward is always freshness-safe; the cost of a cleared fast record is
+// exactly one full-MAC round.
+func (v *Verifier) ImportState(st VerifierState) {
+	v.counter = st.Counter
+	v.nonceSeq = st.NonceSeq
+	v.fastEpoch = st.FastEpoch
+	v.fastDigest = st.FastDigest
+	v.haveFast = st.HaveFast && v.allowFast
+	clear(v.pending)
+	clear(v.pendingCmds)
+}
+
 // DeriveDeviceKey derives a per-device K_Attest from the deployment's
 // master secret: HMAC-SHA1(master, "K_Attest" ‖ deviceID). Fleet
 // deployments must not share one key across provers — a single roaming

@@ -266,3 +266,105 @@ func TestAbandonedCommandAllowsRetry(t *testing.T) {
 		t.Fatalf("Outstanding = %d, want 0", v.Outstanding())
 	}
 }
+
+// fastVerifier builds a fast-path-capable verifier for the handoff tests.
+func fastVerifier(t *testing.T) *Verifier {
+	t.Helper()
+	v, err := NewVerifier(VerifierConfig{
+		Freshness:     FreshCounter,
+		Auth:          NewHMACAuth([]byte("request-auth-key")),
+		AttestKey:     []byte("k-attest-20-bytes!!!"),
+		Golden:        bytes.Repeat([]byte{0x5A}, 1024),
+		AllowFastPath: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestExportImportContinuesStream is the state-handoff round trip: a
+// verifier that ran rounds exports, a fresh one imports, and the device
+// sees one uninterrupted counter stream — including the fast-path arm
+// record, so the importing daemon's first request can already grant the
+// O(1) response.
+func TestExportImportContinuesStream(t *testing.T) {
+	golden := bytes.Repeat([]byte{0x5A}, 1024)
+	key := []byte("k-attest-20-bytes!!!")
+
+	v1 := fastVerifier(t)
+	req1, _ := v1.NewRequest()
+	if req1.AllowFast {
+		t.Fatal("first request granted fast before any verified measurement")
+	}
+	meas := Measure(key, req1, golden)
+	resp := &AttResp{Nonce: req1.Nonce, Counter: req1.Counter, Measurement: meas, Epoch: 7}
+	if ok, err := v1.CheckResponse(resp.Encode()); !ok {
+		t.Fatalf("full round rejected: %v", err)
+	}
+	if !v1.HasFastState() {
+		t.Fatal("verified epoch-carrying measurement did not arm the fast state")
+	}
+
+	st := v1.ExportState()
+	v2 := fastVerifier(t)
+	v2.ImportState(st)
+
+	req2, _ := v2.NewRequest()
+	if req2.Counter != req1.Counter+1 {
+		t.Errorf("imported verifier issued counter %d, want %d (stream continues)", req2.Counter, req1.Counter+1)
+	}
+	if req2.Nonce <= req1.Nonce {
+		t.Errorf("imported verifier reused nonce space: %d after %d", req2.Nonce, req1.Nonce)
+	}
+	if !req2.AllowFast {
+		t.Error("imported verifier lost the fast-path arm record")
+	}
+	// The device's stored digest is the last full measurement; the
+	// imported record must accept exactly that fast response.
+	fast := FastMAC(key, req2, 7, &meas)
+	fresp := &AttResp{Fast: true, Epoch: 7, Nonce: req2.Nonce, Counter: req2.Counter, Measurement: fast}
+	if ok, err := v2.CheckResponse(fresp.Encode()); !ok {
+		t.Fatalf("fast response against the imported record rejected: %v", err)
+	}
+	if v2.FastAccepted != 1 {
+		t.Fatalf("FastAccepted = %d, want 1", v2.FastAccepted)
+	}
+}
+
+// TestImportDropsPendingAndGatesFast pins the import edge cases: a
+// previous owner's outstanding nonces must not be answerable on the
+// importer, and a verifier configured without the fast path never honours
+// an imported arm record.
+func TestImportDropsPendingAndGatesFast(t *testing.T) {
+	golden := bytes.Repeat([]byte{0x5A}, 1024)
+	key := []byte("k-attest-20-bytes!!!")
+
+	v1 := fastVerifier(t)
+	req, _ := v1.NewRequest() // outstanding at export time
+	st := v1.ExportState()
+
+	v2 := fastVerifier(t)
+	v2.NewRequest() // own outstanding state, replaced by the import
+	v2.ImportState(st)
+	if v2.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after import, want 0", v2.Outstanding())
+	}
+	meas := Measure(key, req, golden)
+	resp := &AttResp{Nonce: req.Nonce, Counter: req.Counter, Measurement: meas}
+	if _, err := v2.CheckResponse(resp.Encode()); err == nil {
+		t.Fatal("importer accepted a response to the previous owner's nonce")
+	}
+
+	// Arm fast on v1, then import into a full-MAC-only verifier.
+	st2 := VerifierState{Counter: 50, NonceSeq: 60, FastEpoch: 3, HaveFast: true}
+	plain := testVerifier(t, FreshCounter) // AllowFastPath false
+	plain.ImportState(st2)
+	if plain.HasFastState() {
+		t.Error("full-MAC-only verifier honoured an imported fast record")
+	}
+	r, _ := plain.NewRequest()
+	if r.Counter != 51 {
+		t.Errorf("imported counter stream at %d, want 51", r.Counter)
+	}
+}

@@ -75,6 +75,14 @@ type serverMetrics struct {
 	swarmRounds     *obs.Counter
 	swarmBisections *obs.Counter
 
+	// Cluster mode: ownership routing and state-handoff outcomes.
+	redirects       *obs.Counter // device hellos answered with the owner's address
+	handoffsLive    *obs.Counter // devices adopted with exact state from the previous owner
+	handoffsReplica *obs.Counter // devices adopted from a replicated snapshot (jumped)
+	stateExports    *obs.Counter // device states handed off to a requesting peer
+	peerConns       *obs.Counter // peer links accepted from other daemons
+	rejDaemonRate   *obs.Counter // frames dropped by the daemon-wide budget
+
 	// gateLat times frames that die at the serving gate; attestLat times
 	// accepted attestation rounds issue-to-accept. The mass separation
 	// between the two histograms is the paper's asymmetry, live.
@@ -87,6 +95,7 @@ type serverMetrics struct {
 const (
 	rejectsHelp   = "Frames rejected by the daemon's serving gate, by cause."
 	evictionsHelp = "Established connections evicted by the slow-loris defence, by cause."
+	handoffsHelp  = "Device freshness states adopted from the cluster on reconnect, by kind (live = exact from the previous owner, replica = jumped from a replicated snapshot)."
 )
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -130,6 +139,13 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		swarmRounds:     reg.Counter("attestd_swarm_rounds_total", "Swarm aggregate-attestation rounds driven over the gateway connection."),
 		swarmBisections: reg.Counter("attestd_swarm_bisections_total", "Bisection probes issued to localize failed swarm aggregates."),
 
+		redirects:       reg.Counter("attestd_redirects_total", "Device hellos answered with the ring owner's address instead of a session."),
+		handoffsLive:    reg.Counter("attestd_handoffs_total", handoffsHelp, obs.L("kind", "live")),
+		handoffsReplica: reg.Counter("attestd_handoffs_total", handoffsHelp, obs.L("kind", "replica")),
+		stateExports:    reg.Counter("attestd_state_exports_total", "Device states handed off to a requesting peer (move semantics)."),
+		peerConns:       reg.Counter("attestd_peer_conns_total", "Peer links accepted from other cluster daemons."),
+		rejDaemonRate:   reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "daemon_rate")),
+
 		floodInjected: reg.Counter("attestd_flood_injected_total", "Adversarial frames sent in impersonator mode."),
 		statsReports:  reg.Counter("attestd_stats_reports_total", "Agent gate-counter heartbeats received."),
 		statsEpochs:   reg.Counter("attestd_stats_epochs_total", "Agent counter resets (reboots) detected and folded into the fleet high-water base."),
@@ -154,6 +170,20 @@ func (s *Server) registerGauges(reg *obs.Registry) {
 		func() float64 { return float64(s.Inflight()) })
 	reg.GaugeFunc("attestd_devices", "Provers that have ever connected.",
 		func() float64 { return float64(s.Devices()) })
+	reg.GaugeFunc("attestd_devices_owned", "Devices in the table whose ring owner is this daemon (equals attestd_devices outside cluster mode).",
+		func() float64 {
+			if s.cl == nil {
+				return float64(s.Devices())
+			}
+			n := 0
+			s.store.Range(func(d *deviceState) bool {
+				if s.cl.Owns(d.id) {
+					n++
+				}
+				return true
+			})
+			return float64(n)
+		})
 	reg.GaugeFunc("attestd_open_conns", "Currently open connections.",
 		func() float64 {
 			s.mu.Lock()

@@ -125,6 +125,15 @@ func TestMetricsSmoke(t *testing.T) {
 		"attestd_swarm_bisections_total",
 		`attestd_conns_rejected_total{cause="device_table_full"}`,
 		"attestd_fleet_fast_responses",
+		// Cluster series (registered standalone too: the counters stay at
+		// zero and attestd_devices_owned mirrors attestd_devices).
+		"attestd_redirects_total",
+		`attestd_handoffs_total{kind="live"}`,
+		`attestd_handoffs_total{kind="replica"}`,
+		"attestd_state_exports_total",
+		"attestd_peer_conns_total",
+		`attestd_rejects_total{cause="daemon_rate"}`,
+		"attestd_devices_owned",
 		// Agent-reported fleet aggregates.
 		"attestd_fleet_received",
 		"attestd_fleet_measurements",

@@ -23,12 +23,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"proverattest/internal/cluster"
 	"proverattest/internal/crypto/ecc"
 	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
@@ -104,8 +104,33 @@ type Config struct {
 	// measurements.
 	FastPath bool
 
-	// Shards is the verifier-state shard count (default 16).
+	// Shards is the verifier-state store stripe count (default 16), used
+	// when Store is nil.
 	Shards int
+	// Store is the per-device verifier-state backend (default: the
+	// striped in-memory store, NewShardedStore(Shards)).
+	Store VerifierStore
+
+	// Cluster, when non-nil, puts the daemon in cluster mode: it serves
+	// only the devices the consistent-hash ring assigns to it, redirects
+	// other devices' hellos to their owners, answers peers' state-handoff
+	// requests, and replicates freshness snapshots to each device's ring
+	// successor. See internal/cluster and PROTOCOL.md "Cluster ownership
+	// & state handoff".
+	Cluster *cluster.Node
+
+	// MaxRatePerSec caps the daemon-wide inbound frame admission rate
+	// across all connections (0 = unlimited). It models a per-daemon
+	// provisioned serving budget: where the per-connection bucket protects
+	// the daemon from one hostile peer, this bucket protects the box from
+	// the aggregate — and in cluster benchmarks it is what makes
+	// frames/sec capacity a per-daemon quantity that must add up
+	// linearly across daemons. Over-budget frames are dropped at the gate
+	// and counted (attestd_rejects_total{cause="daemon_rate"}).
+	MaxRatePerSec float64
+	// MaxRateBurst is the daemon-wide bucket depth (default
+	// max(64, MaxRatePerSec)).
+	MaxRateBurst int
 	// MaxConns bounds concurrent connections (default 1024).
 	MaxConns int
 	// MaxDevices caps the device table (default 4096). Device state is
@@ -213,6 +238,13 @@ type Counters struct {
 
 	SwarmRounds     uint64 // aggregate rounds driven over the gateway connection
 	SwarmBisections uint64 // bisection probes issued to localize failed aggregates
+
+	Redirects         uint64 // device hellos answered with the owner's address (cluster mode)
+	HandoffsLive      uint64 // devices adopted with exact state from the previous owner
+	HandoffsReplica   uint64 // devices adopted from a replicated snapshot (jumped)
+	StateExports      uint64 // device states handed off to a requesting peer
+	PeerConns         uint64 // peer links accepted from other daemons
+	DaemonRateLimited uint64 // frames dropped by the daemon-wide budget (MaxRatePerSec)
 }
 
 func (m *serverMetrics) snapshot() Counters {
@@ -258,37 +290,43 @@ func (m *serverMetrics) snapshot() Counters {
 
 		SwarmRounds:     m.swarmRounds.Load(),
 		SwarmBisections: m.swarmBisections.Load(),
-	}
-}
 
-// shard is one stripe of the per-device verifier state. The shard mutex
-// guards every verifier operation of every device hashed to it; devices on
-// different shards proceed concurrently.
-type shard struct {
-	mu      sync.Mutex
-	devices map[string]*deviceState
+		Redirects:         m.redirects.Load(),
+		HandoffsLive:      m.handoffsLive.Load(),
+		HandoffsReplica:   m.handoffsReplica.Load(),
+		StateExports:      m.stateExports.Load(),
+		PeerConns:         m.peerConns.Load(),
+		DaemonRateLimited: m.rejDaemonRate.Load(),
+	}
 }
 
 // deviceState is one prover's server-side state. It outlives connections:
 // a reconnecting device resumes its nonce/counter stream, which is what
 // keeps replayed responses from a previous session rejectable.
 //
-// The verifier itself lives behind the shard lock; lastReq and lastStats
-// are atomic pointers to immutable values so the stats-heartbeat and
-// flood-replay paths neither take nor lengthen that lock.
+// The verifier lives behind the entry's own mutex (the VerifierStore
+// guards only its map); lastReq and lastStats are atomic pointers to
+// immutable values so the stats-heartbeat and flood-replay paths neither
+// take nor lengthen that lock.
 type deviceState struct {
 	id string
-	sh *shard
+	mu sync.Mutex
 
 	v       *protocol.Verifier
 	lastReq atomic.Pointer[[]byte] // last honest request frame (replay source; stored slice is never mutated)
+
+	// handedOff flips (under mu) when a peer daemon has taken this
+	// device's state: the entry is a husk, and issueOne must not advance
+	// the counter stream the new owner now carries — a counter consumed
+	// here after the export would collide with one the new owner issues.
+	handedOff bool
 
 	// lastStats is the latest agent-reported gate-counter snapshot;
 	// statsBase accumulates the final snapshot of every *previous* counter
 	// epoch (a reboot resets the agent's counters to zero, which onStats
 	// detects as a regression and folds into the base). Exported fleet
 	// aggregates are base + latest, which is monotonic across reboots.
-	// statsBase and statsEpochs are guarded by the shard mutex.
+	// statsBase and statsEpochs are guarded by mu.
 	lastStats   atomic.Pointer[protocol.StatsReport]
 	statsBase   protocol.StatsReport
 	statsEpochs uint64
@@ -299,18 +337,26 @@ type deviceState struct {
 }
 
 func (d *deviceState) withLock(fn func()) {
-	d.sh.mu.Lock()
-	defer d.sh.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	fn()
 }
 
 // Server is the verifier daemon.
 type Server struct {
-	cfg    Config
-	shards []*shard
+	cfg   Config
+	store VerifierStore
 
-	// deviceCount tracks the device-table population across all shards,
-	// enforcing Config.MaxDevices without a global sweep on every hello.
+	// cl is the daemon's cluster identity (nil outside cluster mode).
+	cl *cluster.Node
+
+	// dBucket is the daemon-wide admission bucket (nil when
+	// Config.MaxRatePerSec is 0, which keeps the single-daemon serving
+	// path untouched).
+	dBucket *lockedBucket
+
+	// deviceCount tracks the device-table population, enforcing
+	// Config.MaxDevices without a global sweep on every hello.
 	deviceCount atomic.Int64
 
 	inflight atomic.Int64
@@ -389,16 +435,33 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.New()
 	}
+	store := cfg.Store
+	if store == nil {
+		store = NewShardedStore(cfg.Shards)
+	}
 	s := &Server{
 		cfg:     cfg,
-		shards:  make([]*shard, cfg.Shards),
+		store:   store,
+		cl:      cfg.Cluster,
 		conns:   make(map[net.Conn]struct{}),
 		drainCh: make(chan struct{}),
 		reg:     reg,
 		m:       newServerMetrics(reg),
 	}
-	for i := range s.shards {
-		s.shards[i] = &shard{devices: make(map[string]*deviceState)}
+	if cfg.MaxRatePerSec > 0 {
+		burst := float64(cfg.MaxRateBurst)
+		if burst <= 0 {
+			burst = 64
+			if cfg.MaxRatePerSec > burst {
+				burst = cfg.MaxRatePerSec
+			}
+		}
+		s.dBucket = newLockedBucket(cfg.MaxRatePerSec, burst)
+	}
+	if s.cl != nil {
+		// The replication pusher reads each dirty device's current
+		// snapshot straight out of this daemon's store.
+		s.cl.BindSource(s.snapshotFor)
 	}
 	if cfg.Swarm != nil {
 		sc, err := newSwarmCoordinator(&s.cfg)
@@ -430,38 +493,25 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // backwards; the pre-reboot work stays counted in the base.
 func (s *Server) AgentStats() protocol.StatsReport {
 	var sum protocol.StatsReport
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for _, d := range sh.devices {
-			sum.Accumulate(&d.statsBase)
-			if st := d.lastStats.Load(); st != nil {
-				sum.Accumulate(st)
-			}
+	s.store.Range(func(d *deviceState) bool {
+		d.mu.Lock()
+		sum.Accumulate(&d.statsBase)
+		d.mu.Unlock()
+		if st := d.lastStats.Load(); st != nil {
+			sum.Accumulate(st)
 		}
-		sh.mu.Unlock()
-	}
+		return true
+	})
 	return sum
 }
 
-// Devices reports how many provers have ever connected.
-func (s *Server) Devices() int {
-	n := 0
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		n += len(sh.devices)
-		sh.mu.Unlock()
-	}
-	return n
-}
+// Devices reports how many provers this daemon currently holds state for
+// — in cluster mode, the devices it owns (handed-off devices leave the
+// count).
+func (s *Server) Devices() int { return s.store.Len() }
 
 // Inflight reports the current number of outstanding requests.
 func (s *Server) Inflight() int64 { return s.inflight.Load() }
-
-func (s *Server) shardFor(deviceID string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(deviceID)) //nolint:errcheck // never fails
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
-}
 
 // errDeviceTableFull refuses a hello that would grow the device table
 // past Config.MaxDevices. Static so the refusal path never allocates
@@ -477,11 +527,7 @@ var errDeviceTableFull = errors.New("server: device table full")
 // re-check (first insert wins; a racing construction is discarded) and
 // the capped insert.
 func (s *Server) device(deviceID string) (*deviceState, error) {
-	sh := s.shardFor(deviceID)
-	sh.mu.Lock()
-	d, ok := sh.devices[deviceID]
-	sh.mu.Unlock()
-	if ok {
+	if d, ok := s.store.Get(deviceID); ok {
 		return d, nil
 	}
 
@@ -500,22 +546,32 @@ func (s *Server) device(deviceID string) (*deviceState, error) {
 	if err != nil {
 		return nil, err
 	}
-	d = &deviceState{id: deviceID, sh: sh, v: v}
+	d := &deviceState{id: deviceID, v: v}
 
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if cur, ok := sh.devices[deviceID]; ok {
-		// Lost the creation race; the winner's state carries the device's
-		// nonce/counter stream, so it must be the one everyone uses.
-		return cur, nil
-	}
-	// Reserve-then-check keeps the cap exact across shards: two inserts
-	// racing on different stripes both Add before either could Load.
+	// Cluster mode: first contact on this daemon is usually a device
+	// whose previous owner still holds (or replicated) its freshness
+	// state. Adopt it before publication so the device's counter stream
+	// continues instead of restarting — the freshness-survival invariant.
+	handoff := s.adoptClusterState(d, deviceID)
+
+	// Reserve-then-check keeps the cap exact: two inserts racing on
+	// different devices both Add before either could Load.
 	if s.deviceCount.Add(1) > int64(s.cfg.MaxDevices) {
 		s.deviceCount.Add(-1)
 		return nil, errDeviceTableFull
 	}
-	sh.devices[deviceID] = d
+	if cur, inserted := s.store.Put(deviceID, d); !inserted {
+		// Lost the creation race; the winner's state carries the device's
+		// nonce/counter stream, so it must be the one everyone uses.
+		s.deviceCount.Add(-1)
+		return cur, nil
+	}
+	switch handoff {
+	case handoffLive:
+		s.m.handoffsLive.Inc()
+	case handoffReplica:
+		s.m.handoffsReplica.Inc()
+	}
 	return d, nil
 }
 
@@ -726,6 +782,13 @@ func (s *Server) handleConnInner(nc net.Conn) {
 		return
 	}
 	tc.SetReadTimeout(s.cfg.ReadTimeout)
+	// A peer daemon opens its link with a cluster peer hello instead of a
+	// device hello; the connection then speaks the state-transfer
+	// protocol, never the attestation one.
+	if s.cl != nil && cluster.IsPeerHello(frame) {
+		s.servePeer(tc, frame)
+		return
+	}
 	hello, err := protocol.DecodeHello(frame)
 	if err != nil {
 		s.m.connRejHello.Inc()
@@ -734,6 +797,17 @@ func (s *Server) handleConnInner(nc net.Conn) {
 	if hello.Freshness != s.cfg.Freshness || hello.Auth != s.cfg.Auth {
 		s.m.connRejPolicy.Inc()
 		return
+	}
+	// Cluster mode: serve only owned devices. A non-owner answers the
+	// hello with a redirect naming the owner and closes — the redirect
+	// contract in PROTOCOL.md — so device state never splits across
+	// daemons.
+	if s.cl != nil {
+		if owner, redirect := s.cl.Route(hello.DeviceID); redirect {
+			_ = tc.Send(cluster.EncodeRedirect(owner.Name, owner.Addr))
+			s.m.redirects.Inc()
+			return
+		}
 	}
 	dev, err := s.device(hello.DeviceID)
 	if err != nil {
@@ -801,6 +875,11 @@ func (s *Server) handleFrame(dev *deviceState, bucket *tokenBucket, frame []byte
 		s.m.gateLat.Observe(time.Since(t0))
 		return
 	}
+	if s.dBucket != nil && !s.dBucket.allow() {
+		s.m.rejDaemonRate.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
+		return
+	}
 	switch protocol.ClassifyFrame(frame) {
 	case protocol.FrameAttResp:
 		s.onAttResp(dev, frame, t0)
@@ -827,7 +906,7 @@ func (s *Server) onAttResp(dev *deviceState, frame []byte, t0 time.Time) {
 		s.m.gateLat.Observe(time.Since(t0))
 		return
 	}
-	mu := &dev.sh.mu
+	mu := &dev.mu
 	mu.Lock()
 	u0 := dev.v.Unsolicited
 	f0 := dev.v.FastAccepted
@@ -845,6 +924,11 @@ func (s *Server) onAttResp(dev *deviceState, frame []byte, t0 time.Time) {
 		}
 		if issued := dev.issuedAtNs.Load(); issued > 0 {
 			s.m.attestLat.Observe(time.Duration(time.Now().UnixNano() - issued))
+		}
+		if s.cl != nil && !fastOK {
+			// An accepted *full* measurement may have re-armed the fast
+			// record; replicate so a failover successor knows it too.
+			s.cl.Replicate(dev.id)
 		}
 		s.releaseInflight()
 	case unsol:
@@ -901,8 +985,7 @@ func (s *Server) onStats(dev *deviceState, frame []byte, t0 time.Time) {
 	st := new(protocol.StatsReport)
 	*st = tmp
 	s.m.statsReports.Inc()
-	sh := dev.sh
-	sh.mu.Lock()
+	dev.mu.Lock()
 	if prev := dev.lastStats.Load(); prev != nil && st.Regressed(prev) {
 		// The device's cumulative counters went backwards: it rebooted and
 		// restarted from zero. Fold the dying epoch's final snapshot into
@@ -912,7 +995,7 @@ func (s *Server) onStats(dev *deviceState, frame []byte, t0 time.Time) {
 		s.m.statsEpochs.Inc()
 	}
 	dev.lastStats.Store(st)
-	sh.mu.Unlock()
+	dev.mu.Unlock()
 }
 
 func (s *Server) acquireInflight() bool {
@@ -939,8 +1022,17 @@ func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
 		raw   []byte
 		nonce uint64
 		err   error
+		gone  bool
 	)
 	dev.withLock(func() {
+		if dev.handedOff {
+			// A peer daemon took this device's freshness state; issuing
+			// here would consume counters the new owner also issues. The
+			// false return tears the session down and the device redials
+			// its way to the owner.
+			gone = true
+			return
+		}
 		var req *protocol.AttReq
 		req, err = dev.v.NewRequest()
 		if err == nil {
@@ -948,6 +1040,10 @@ func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
 			nonce = req.Nonce
 		}
 	})
+	if gone {
+		s.releaseInflight()
+		return false
+	}
 	if err == nil {
 		// The encoded frame is immutable from here on (Send copies into its
 		// own scratch), so the replay source can share it lock-free.
@@ -971,6 +1067,12 @@ func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
 	}
 	s.m.requestsIssued.Inc()
 	dev.issuedAtNs.Store(time.Now().UnixNano())
+	if s.cl != nil {
+		// The counter stream just advanced: mark the device dirty so the
+		// pusher replicates a fresh snapshot to its ring successor. An
+		// enqueue only — no I/O on the issue path.
+		s.cl.Replicate(dev.id)
+	}
 	time.AfterFunc(s.cfg.RequestTimeout, func() {
 		var abandoned bool
 		dev.withLock(func() { abandoned = dev.v.Abandon(nonce) })
