@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet test race bench bench-compile repro fuzz fuzz-smoke examples clean
 .PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server bench-quiescent bench-swarm bench-cluster metrics-smoke
-.PHONY: cover chaos-smoke cluster-smoke
+.PHONY: cover chaos-smoke cluster-smoke persist-smoke bench-persist
 
 all: build vet test
 
@@ -22,7 +22,7 @@ test:
 race:
 	$(GO) test -race ./internal/runner/... ./internal/core/... \
 		./internal/transport/... ./internal/server/... ./internal/agent/... \
-		./internal/faultnet/... ./internal/cluster/...
+		./internal/faultnet/... ./internal/cluster/... ./internal/journal/...
 
 # One benchmark per paper table/figure plus the ablations.
 bench:
@@ -52,11 +52,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseSchedule -fuzztime=10s ./internal/faultnet/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/isa/
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=10s ./internal/isa/
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/journal/
 
-# The CI-sized fuzz pass: just the wire-facing decoders.
+# The CI-sized fuzz pass: the wire-facing decoders plus the journal
+# replayer (it parses whatever a crash left on disk — same trust level as
+# a socket).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -fuzz=FuzzDecodeHello -fuzztime=10s ./internal/protocol/
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/journal/
 
 # Networked deployment binaries (bin/attestd, bin/attest-agent).
 attestd:
@@ -153,6 +157,23 @@ bench-cluster:
 # VerifierStore seam, all under the race detector.
 cluster-smoke:
 	$(GO) test -race -run 'TestCluster|TestReplicaAdoption|TestInjectedStore' -count=1 -v ./internal/server/
+
+# Persistence acceptance check: the journal engine end to end plus the
+# in-process kill -9 restart drills (exact adoption under fsync=always,
+# jumped under fsync=interval, zero freshness rejects either way), the
+# store conformance suite and the persistent-store allocation pins, all
+# under the race detector.
+persist-smoke:
+	$(GO) test -race -count=1 ./internal/journal/
+	$(GO) test -race -run 'TestRestartDrill|TestPersistentStore|TestStoreConformance|TestGateRejectZeroAllocsOverPersistentStore|TestShardedStoreGetZeroAllocs|TestAgentStatsMonotoneUnderChurn' -count=1 -v ./internal/server/
+
+# Persistence variant of BENCH_server.json: supervised agents attest
+# against a persistent daemon that is killed without a flush and restarted
+# from its state directory, once per fsync policy. Fails on any device-side
+# freshness reject, any wrong adoption kind, or an allocating gate reject.
+bench-persist:
+	$(GO) run ./cmd/attest-loadgen -restart-drill -devices 8 -attest-every 10ms \
+		-variant persistence -out $(CURDIR)/BENCH_server.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -401,6 +401,8 @@ func main() {
 		fanout          = flag.Int("fanout", 4, "with -swarm, the spanning-tree arity")
 		minMsgReduction = flag.Float64("min-msg-reduction", 0, "with -swarm, fail unless the measured verifier-message reduction reaches this factor (0 = report only)")
 
+		restartDrill = flag.Bool("restart-drill", false, "restart drill: agents attest against a persistent in-process daemon that is killed (kill -9 semantics) and restarted from its state directory mid-traffic, once per fsync policy; any device-side freshness reject or allocating gate reject fails the run")
+
 		chaos         = flag.Bool("chaos", false, "run the fleet over faultnet fault injection with supervised reconnects (disables the adversarial pump); survival stats land in the summary")
 		chaosSchedule = flag.String("chaos-schedule", "flap=500ms:reset;pct=2:drop", "faultnet fault schedule applied to every device connection in -chaos mode")
 		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the deterministic fault and backoff streams (per-device offsets applied); equal seeds replay equal runs")
@@ -427,6 +429,18 @@ func main() {
 			variant:   *variant,
 			minScale2: *minScale2,
 			minScale4: *minScale4,
+		})
+		return
+	}
+	if *restartDrill {
+		runPersist(persistRunOpts{
+			devices:  *devices,
+			attEvery: *attEvery,
+			master:   *master,
+			fresh:    fresh,
+			auth:     auth,
+			out:      *out,
+			variant:  *variant,
 		})
 		return
 	}

@@ -27,6 +27,7 @@ import (
 
 	"proverattest/internal/cluster"
 	"proverattest/internal/core"
+	"proverattest/internal/journal"
 	"proverattest/internal/obs"
 	"proverattest/internal/protocol"
 	"proverattest/internal/server"
@@ -56,6 +57,10 @@ func main() {
 		vnodes     = flag.Int("vnodes", 0, "virtual nodes per daemon on the consistent-hash ring (0 = default 128)")
 		probeEvery = flag.Duration("probe-every", 2*time.Second, "cluster peer liveness probe period")
 		daemonRate = flag.Float64("daemon-rate", 0, "daemon-wide inbound frames/s budget across all connections (0 = unlimited)")
+
+		stateDir     = flag.String("state-dir", "", "persist verifier state (snapshot+journal) under this directory; a restart recovers every device's freshness stream (empty = in-memory only)")
+		fsyncPolicy  = flag.String("fsync", "100ms", "journal durability: always (write-ahead, restart adopts exact) | none | a sync interval like 100ms (restart adopts via freshness jump)")
+		compactEvery = flag.Int("compact-every", 4096, "rewrite the full state snapshot after this many journal appends")
 
 		statusEvery = flag.Duration("status-every", 5*time.Second, "status line period (0 = silent)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = off)")
@@ -95,6 +100,25 @@ func main() {
 		cfg.Flood = &server.FloodConfig{Total: *floodTotal, RatePerSec: *floodRate}
 	}
 	cfg.MaxRatePerSec = *daemonRate
+
+	var ps *server.PersistentStore
+	if *stateDir != "" {
+		policy, interval, err := journal.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("attestd: %v", err)
+		}
+		ps, err = server.OpenPersistentStore(*stateDir, server.PersistOptions{
+			Fsync:         policy,
+			FsyncInterval: interval,
+			CompactEvery:  *compactEvery,
+		})
+		if err != nil {
+			log.Fatalf("attestd: opening state dir: %v", err)
+		}
+		cfg.Store = ps
+		log.Printf("attestd: persistent state in %s (fsync=%s), %d devices recovered",
+			*stateDir, policy, ps.RecoveredPending())
+	}
 
 	var node *cluster.Node
 	if *nodeName != "" {
@@ -180,7 +204,17 @@ func main() {
 		log.Printf("attestd: cluster node %s, members %v", *nodeName, node.Membership().Alive())
 	}
 	log.Printf("attestd: listening on %s (%s, freshness=%v auth=%v)", *listen, mode, fresh, auth)
-	if err := s.ListenAndServe(*listen); err != nil {
+	err = s.ListenAndServe(*listen)
+	if ps != nil {
+		// Runs on the main goroutine so the process cannot exit before the
+		// final flush and clean-shutdown sentinel hit disk — that sentinel
+		// is what lets the next start adopt every stream live-exact
+		// regardless of the fsync policy.
+		if cerr := ps.Close(); cerr != nil {
+			log.Printf("attestd: closing state journal: %v", cerr)
+		}
+	}
+	if err != nil {
 		log.Fatalf("attestd: %v", err)
 	}
 }

@@ -230,7 +230,21 @@ const FreshnessSlack = 1 << 16
 // epoch can have advanced past the replica), and a stale record must
 // never re-arm — the device's next round is one full MAC that re-arms
 // the fast path legitimately, the same cost as a daemon restart.
-func (s Snapshot) JumpForReplica() Snapshot {
+func (s Snapshot) JumpForReplica() Snapshot { return s.jumpForward() }
+
+// JumpForRestart converts a journal-recovered snapshot into one safe to
+// adopt after a crash with an under-synced journal (fsync interval/none,
+// no clean-shutdown sentinel): the mirror of JumpForReplica for the
+// persistence path. The journal lags the true stream position by at most
+// the un-flushed tail, which FreshnessSlack dwarfs, so jumping both
+// streams forward guarantees the restarted daemon never re-issues a
+// counter or nonce the device has seen; the fast-path record is dropped
+// for the same staleness reason and re-arms on the device's next full
+// MAC. A cleanly-flushed (or per-record-fsynced) journal skips this jump
+// and adopts live-exact.
+func (s Snapshot) JumpForRestart() Snapshot { return s.jumpForward() }
+
+func (s Snapshot) jumpForward() Snapshot {
 	s.State.Counter += FreshnessSlack
 	s.State.NonceSeq += FreshnessSlack
 	s.State.HaveFast = false
@@ -332,9 +346,18 @@ func DecodeStateResp(frame []byte) (string, *Snapshot, error) {
 
 // EncodeStatePush replicates a device's snapshot to its ring successor.
 func EncodeStatePush(deviceID string, snap *Snapshot) []byte {
-	out := header(kindStatePush)
-	out = appendString(out, deviceID)
-	return appendSnapshot(out, snap)
+	return AppendStatePush(nil, deviceID, snap)
+}
+
+// AppendStatePush is the append-style EncodeStatePush: it appends the
+// state-push frame to dst and returns the extended slice. The journal
+// backend reuses this exact framing for its records, so a journal record
+// body and a peer-link push are byte-identical and one decoder serves
+// both.
+func AppendStatePush(dst []byte, deviceID string, snap *Snapshot) []byte {
+	dst = append(dst, magicA, kindStatePush, codecVersion)
+	dst = appendString(dst, deviceID)
+	return appendSnapshot(dst, snap)
 }
 
 // DecodeStatePush returns the pushed device ID and snapshot.

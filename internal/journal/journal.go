@@ -1,0 +1,594 @@
+// Package journal is the crash-safe storage engine behind the daemon's
+// persistent VerifierStore: an append-only write-behind journal of
+// per-device cluster.Snapshot records plus a periodically compacted full
+// snapshot, both using the same record framing. A restarted daemon
+// replays snapshot-then-journals (last record wins) and recovers every
+// device's freshness streams; whether the recovered streams may be
+// adopted live-exact or must take a forward freshness jump
+// (cluster.Snapshot.JumpForRestart) is decided by the journal's
+// durability evidence — a per-record-fsync policy header or a
+// clean-shutdown sentinel at end of file.
+//
+// Layout under the state directory:
+//
+//	state.snap        full snapshot: header + put records, atomically
+//	                  renamed into place at compaction
+//	journal-<gen>.wal append-only records since the snapshot; a new
+//	                  generation is opened on every daemon start and on
+//	                  every compaction, and generations older than the
+//	                  snapshot's floor are pruned
+//
+// Record framing (shared by both files): a u32 little-endian payload
+// length, then kind byte, u16-length-prefixed device key, and — for put
+// records — the device's state as the exact cluster state-push frame
+// (cluster.AppendStatePush), so the peer-link codec and the journal
+// speak one snapshot encoding. Replay is tolerant by construction: a
+// truncated trailing record (the torn final write of a crash) ends the
+// file quietly, and a record whose payload fails to parse — or whose
+// embedded DeviceID disagrees with its record key — is skipped and
+// counted, never a crash.
+//
+// The Log is deliberately a single-writer engine: the owning store
+// serializes Append/Sync/Compact/Close calls (Stats is safe to read
+// concurrently). That is what makes "file order == state capture order"
+// cheap to guarantee, which in turn is what makes blind last-record-wins
+// replay correct for the monotone freshness streams.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"proverattest/internal/cluster"
+)
+
+// FsyncPolicy selects when appended records are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval syncs on a timer (the owner calls Sync): bounded data
+	// loss, negligible per-record cost. A crash loses at most the
+	// un-synced tail, which the restart-time freshness jump absorbs.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways syncs every appended record before Append returns: the
+	// write-ahead mode. A kill -9 loses nothing that was journaled, so a
+	// restart may adopt recovered streams live-exact.
+	FsyncAlways
+	// FsyncNone never syncs explicitly; durability rides on the OS. Only
+	// a clean Close earns live-exact adoption.
+	FsyncNone
+)
+
+// ParsePolicy reads an -fsync flag value: "always", "none", or an
+// interval duration such as "100ms".
+func ParsePolicy(s string) (FsyncPolicy, time.Duration, error) {
+	switch strings.TrimSpace(s) {
+	case "always":
+		return FsyncAlways, 0, nil
+	case "none":
+		return FsyncNone, 0, nil
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("journal: fsync policy %q is not always, none or a positive interval", s)
+	}
+	return FsyncInterval, d, nil
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNone:
+		return "none"
+	}
+	return "interval"
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Fsync is the durability policy recorded in every journal header —
+	// recovery reads the previous run's policy from there.
+	Fsync FsyncPolicy
+	// MaxRecord bounds one record's payload (default 1 MiB). A length
+	// prefix beyond it means the framing itself is corrupt and replay of
+	// that file stops.
+	MaxRecord uint32
+}
+
+// Record kinds.
+const (
+	recPut       = 1 // key + cluster state-push frame
+	recTombstone = 2 // key only: the device left this daemon
+	recClean     = 3 // clean-shutdown sentinel, written by Close
+)
+
+var (
+	journalMagic = [8]byte{'P', 'A', 'J', 'W', 'A', 'L', '1', '\n'}
+	snapMagic    = [8]byte{'P', 'A', 'S', 'N', 'A', 'P', '1', '\n'}
+)
+
+const (
+	journalHeaderLen = 8 + 1 + 8 // magic, policy, generation
+	snapHeaderLen    = 8 + 8     // magic, journal-generation floor
+	snapName         = "state.snap"
+	snapTmpName      = "state.snap.tmp"
+	journalPrefix    = "journal-"
+	journalSuffix    = ".wal"
+)
+
+// Stats is a point-in-time read of the log's counters, safe to call from
+// any goroutine (a metrics scrape reads these while the owner appends).
+type Stats struct {
+	Appends       uint64 // put records appended
+	Tombstones    uint64 // tombstone records appended
+	Bytes         uint64 // bytes in the live journal generation
+	Fsyncs        uint64 // explicit fsync calls on the journal
+	Compactions   uint64 // snapshot compactions completed
+	ReplaySkipped uint64 // corrupt records skipped during recovery
+}
+
+// Recovered is the replayed state of a state directory.
+type Recovered struct {
+	// Snaps is the last-record-wins device state (tombstoned devices
+	// removed).
+	Snaps map[string]cluster.Snapshot
+	// Exact reports whether the recovered streams are safe to adopt
+	// live-exact: the newest journal was written under FsyncAlways, or it
+	// ends in a clean-shutdown sentinel. Otherwise the adopter must apply
+	// cluster.Snapshot.JumpForRestart first.
+	Exact bool
+	// Skipped counts corrupt records dropped during replay; Truncated
+	// reports whether a torn trailing record was tolerated.
+	Skipped   uint64
+	Truncated bool
+}
+
+// Log is the append side of the engine. Not safe for concurrent use —
+// the owner serializes all mutating calls; see the package comment.
+type Log struct {
+	dir  string
+	opts Options
+
+	f     *os.File // current journal generation (nil after Close/Kill)
+	gen   uint64
+	since atomic.Int64 // appends since the last compaction
+
+	scratch []byte // reused record-encode buffer
+
+	appends       atomic.Uint64
+	tombstones    atomic.Uint64
+	bytes         atomic.Uint64
+	fsyncs        atomic.Uint64
+	compactions   atomic.Uint64
+	replaySkipped atomic.Uint64
+
+	fsyncObs func(time.Duration) // optional fsync latency observer
+}
+
+// ErrClosed is returned by mutating calls after Close or Kill.
+var ErrClosed = errors.New("journal: log closed")
+
+// Open replays the state directory (creating it if needed) and opens a
+// fresh journal generation for this run's appends. The returned Recovered
+// holds the replayed device state and whether it may be adopted exact.
+func Open(dir string, opts Options) (*Log, *Recovered, error) {
+	if opts.MaxRecord == 0 {
+		opts.MaxRecord = 1 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	// A leftover snapshot temp file is a compaction that never reached its
+	// atomic rename: dead weight, never read.
+	os.Remove(filepath.Join(dir, snapTmpName))
+
+	l := &Log{dir: dir, opts: opts}
+	rec, newestGen, err := l.replayAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	l.gen = newestGen + 1
+	if err := l.openGen(); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// SetFsyncObserver installs a latency observer called with the duration
+// of every journal fsync. Like every other mutating call it must be
+// serialized by the owner against Append/Sync/Close.
+func (l *Log) SetFsyncObserver(fn func(time.Duration)) { l.fsyncObs = fn }
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:       l.appends.Load(),
+		Tombstones:    l.tombstones.Load(),
+		Bytes:         l.bytes.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+		Compactions:   l.compactions.Load(),
+		ReplaySkipped: l.replaySkipped.Load(),
+	}
+}
+
+// AppendsSinceCompact reports puts+tombstones appended since the last
+// compaction (or open) — the owner's compaction trigger.
+func (l *Log) AppendsSinceCompact() int { return int(l.since.Load()) }
+
+// Append journals one device's current snapshot. Under FsyncAlways the
+// record is on stable storage when Append returns — the write-ahead
+// guarantee the issue path relies on.
+func (l *Log) Append(deviceID string, snap *cluster.Snapshot) error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	l.scratch = appendRecord(l.scratch[:0], recPut, deviceID, snap)
+	if err := l.write(l.scratch); err != nil {
+		return err
+	}
+	l.appends.Add(1)
+	l.since.Add(1)
+	if l.opts.Fsync == FsyncAlways {
+		return l.Sync()
+	}
+	return nil
+}
+
+// AppendTombstone journals that deviceID's state left this daemon (a
+// cluster handoff drained it, or it was removed).
+func (l *Log) AppendTombstone(deviceID string) error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	l.scratch = appendRecord(l.scratch[:0], recTombstone, deviceID, nil)
+	if err := l.write(l.scratch); err != nil {
+		return err
+	}
+	l.tombstones.Add(1)
+	l.since.Add(1)
+	if l.opts.Fsync == FsyncAlways {
+		return l.Sync()
+	}
+	return nil
+}
+
+// Sync forces appended records to stable storage (the interval policy's
+// timer tick calls this; FsyncAlways appends call it per record).
+func (l *Log) Sync() error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	t0 := time.Now()
+	err := l.f.Sync()
+	if l.fsyncObs != nil {
+		l.fsyncObs(time.Since(t0))
+	}
+	l.fsyncs.Add(1)
+	return err
+}
+
+func (l *Log) write(rec []byte) error {
+	n, err := l.f.Write(rec)
+	l.bytes.Add(uint64(n))
+	return err
+}
+
+// BeginCompact rotates to a fresh journal generation. The caller must
+// capture the full current state *after* BeginCompact returns and before
+// any further Append — that ordering (plus stream monotonicity) is what
+// makes every record in the new generation supersede the snapshot, so
+// last-record-wins replay never regresses a stream.
+func (l *Log) BeginCompact() error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.f = nil
+	l.gen++
+	return l.openGen()
+}
+
+// FinishCompact writes the captured state as the new full snapshot
+// (write temp, fsync, atomic rename, fsync dir) and prunes journal
+// generations the snapshot supersedes. Safe to run while the owner keeps
+// appending to the generation BeginCompact opened.
+func (l *Log) FinishCompact(state map[string]cluster.Snapshot) error {
+	floorGen := l.gen // journals with gen >= this still apply over the snapshot
+	tmp := filepath.Join(l.dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, snapHeaderLen+len(state)*256)
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, floorGen)
+	// Deterministic record order keeps snapshots byte-comparable in tests.
+	ids := make([]string, 0, len(state))
+	for id := range state {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		snap := state[id]
+		buf = appendRecord(buf, recPut, id, &snap)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		return err
+	}
+	syncDir(l.dir)
+	l.pruneBelow(floorGen)
+	l.compactions.Add(1)
+	l.since.Store(0)
+	return nil
+}
+
+// Close flushes, writes the clean-shutdown sentinel and syncs: the marker
+// that lets the next Open adopt streams live-exact even under a lazy
+// fsync policy.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	l.scratch = appendRecord(l.scratch[:0], recClean, "", nil)
+	if err := l.write(l.scratch); err != nil {
+		l.f.Close()
+		l.f = nil
+		return err
+	}
+	err := l.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Kill abandons the log without flushing or writing the sentinel — the
+// crash-simulation hook restart drills use to model kill -9 in-process.
+// Whatever the policy already forced to disk is all a reopen will see.
+func (l *Log) Kill() {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+}
+
+func (l *Log) openGen() error {
+	path := filepath.Join(l.dir, genName(l.gen))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, journalHeaderLen)
+	hdr = append(hdr, journalMagic[:]...)
+	hdr = append(hdr, byte(l.opts.Fsync))
+	hdr = binary.LittleEndian.AppendUint64(hdr, l.gen)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	// The header is durable before any record: a crash right after open
+	// must not leave a record-bearing file whose policy byte never hit
+	// disk.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	syncDir(l.dir)
+	l.f = f
+	l.bytes.Store(journalHeaderLen)
+	return nil
+}
+
+func (l *Log) pruneBelow(gen uint64) {
+	for _, g := range listGens(l.dir) {
+		if g < gen {
+			os.Remove(filepath.Join(l.dir, genName(g)))
+		}
+	}
+}
+
+func genName(gen uint64) string {
+	return fmt.Sprintf("%s%016x%s", journalPrefix, gen, journalSuffix)
+}
+
+func listGens(dir string) []uint64 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, journalPrefix) || !strings.HasSuffix(name, journalSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, journalPrefix), journalSuffix)
+		var g uint64
+		if _, err := fmt.Sscanf(hex, "%x", &g); err == nil {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens
+}
+
+// replayAll reads snapshot-then-journals in generation order, last record
+// wins, and decides exactness from the newest journal's durability
+// evidence.
+func (l *Log) replayAll() (*Recovered, uint64, error) {
+	rec := &Recovered{Snaps: make(map[string]cluster.Snapshot), Exact: true}
+	floorGen := uint64(0)
+	if buf, err := os.ReadFile(filepath.Join(l.dir, snapName)); err == nil {
+		if len(buf) >= snapHeaderLen && [8]byte(buf[:8]) == snapMagic {
+			floorGen = binary.LittleEndian.Uint64(buf[8:])
+			res := replayRecords(buf[snapHeaderLen:], l.opts.MaxRecord, rec.Snaps)
+			rec.Skipped += res.skipped
+			rec.Truncated = rec.Truncated || res.truncated
+		} else {
+			// An unreadable snapshot is a total corruption of the compacted
+			// base; replaying journals over an unknown base would be
+			// freshness-unsafe to call exact.
+			rec.Exact = false
+			rec.Skipped++
+		}
+	}
+	gens := listGens(l.dir)
+	newest := uint64(0)
+	for _, g := range gens {
+		if g > newest {
+			newest = g
+		}
+		path := filepath.Join(l.dir, genName(g))
+		if g < floorGen {
+			// Superseded by the snapshot: a crash between rename and prune
+			// left it behind.
+			os.Remove(path)
+			continue
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(buf) < journalHeaderLen || [8]byte(buf[:8]) != journalMagic {
+			// Header never made it to disk: the file holds nothing replayable.
+			rec.Exact = false
+			rec.Skipped++
+			continue
+		}
+		policy := FsyncPolicy(buf[8])
+		res := replayRecords(buf[journalHeaderLen:], l.opts.MaxRecord, rec.Snaps)
+		rec.Skipped += res.skipped
+		rec.Truncated = rec.Truncated || res.truncated
+		// Exactness is per-file evidence: every generation must either have
+		// been written under per-record fsync or end in its clean sentinel.
+		if policy != FsyncAlways && !res.clean {
+			rec.Exact = false
+		}
+		if res.skipped > 0 || res.truncated {
+			rec.Exact = false
+		}
+	}
+	l.replaySkipped.Store(rec.Skipped)
+	return rec, newest, nil
+}
+
+type replayResult struct {
+	skipped   uint64
+	truncated bool
+	clean     bool // file ends exactly at a clean-shutdown sentinel
+}
+
+// replayRecords folds one file's records into state. Tolerances: a
+// truncated trailing record stops the file (the torn final write of a
+// crash); a record with intact framing but an unparseable payload — or a
+// put whose embedded DeviceID disagrees with its record key — is skipped
+// and counted; a corrupt length prefix stops the file (the framing
+// itself can no longer be trusted).
+func replayRecords(buf []byte, maxRecord uint32, state map[string]cluster.Snapshot) replayResult {
+	var res replayResult
+	for len(buf) > 0 {
+		res.clean = false
+		if len(buf) < 4 {
+			res.truncated = true
+			return res
+		}
+		n := binary.LittleEndian.Uint32(buf)
+		if n == 0 || n > maxRecord {
+			res.skipped++
+			res.truncated = true
+			return res
+		}
+		if uint32(len(buf)-4) < n {
+			res.truncated = true
+			return res
+		}
+		payload := buf[4 : 4+n]
+		buf = buf[4+n:]
+		kind, key, body, ok := splitRecord(payload)
+		if !ok {
+			res.skipped++
+			continue
+		}
+		switch kind {
+		case recPut:
+			id, snap, err := cluster.DecodeStatePush(body)
+			if err != nil || id != key {
+				// A snapshot that parses but names a different device than
+				// its record key is a torn or tampered record: applying it
+				// would graft one device's freshness onto another.
+				res.skipped++
+				continue
+			}
+			state[key] = snap
+		case recTombstone:
+			delete(state, key)
+		case recClean:
+			res.clean = len(buf) == 0
+		default:
+			res.skipped++
+		}
+	}
+	return res
+}
+
+// appendRecord frames one record: u32 payload length, kind, u16-prefixed
+// key, and (for puts) the cluster state-push frame.
+func appendRecord(dst []byte, kind byte, key string, snap *cluster.Snapshot) []byte {
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length back-patched below
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	dst = append(dst, key...)
+	if kind == recPut {
+		dst = cluster.AppendStatePush(dst, key, snap)
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+func splitRecord(payload []byte) (kind byte, key string, body []byte, ok bool) {
+	if len(payload) < 3 {
+		return 0, "", nil, false
+	}
+	kind = payload[0]
+	kl := int(binary.LittleEndian.Uint16(payload[1:]))
+	if 3+kl > len(payload) {
+		return 0, "", nil, false
+	}
+	return kind, string(payload[3 : 3+kl]), payload[3+kl:], true
+}
+
+// syncDir fsyncs a directory so a rename/create is durable; best-effort
+// (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+}

@@ -1,0 +1,408 @@
+package journal
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"proverattest/internal/cluster"
+)
+
+func testSnap(counter uint64) cluster.Snapshot {
+	var s cluster.Snapshot
+	s.State.Counter = counter
+	s.State.NonceSeq = counter + 1
+	s.State.HaveFast = true
+	s.State.FastEpoch = 7
+	s.State.FastDigest[0] = 0xAB
+	s.StatsEpochs = 3
+	return s
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, *Recovered) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func TestRoundTripCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	if len(rec.Snaps) != 0 || !rec.Exact {
+		t.Fatalf("fresh dir: got %d snaps exact=%v", len(rec.Snaps), rec.Exact)
+	}
+	s := testSnap(100)
+	if err := l.Append("dev-a", &s); err != nil {
+		t.Fatal(err)
+	}
+	s2 := testSnap(200)
+	if err := l.Append("dev-a", &s2); err != nil { // last record wins
+		t.Fatal(err)
+	}
+	sb := testSnap(50)
+	if err := l.Append("dev-b", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("dev-c", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendTombstone("dev-c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	defer l2.Close()
+	if !rec2.Exact {
+		t.Error("clean close must recover exact even under FsyncNone")
+	}
+	if len(rec2.Snaps) != 2 {
+		t.Fatalf("want 2 devices, got %d", len(rec2.Snaps))
+	}
+	got := rec2.Snaps["dev-a"]
+	if got.State.Counter != 200 || got.State.NonceSeq != 201 {
+		t.Errorf("last-record-wins failed: %+v", got.State)
+	}
+	if !got.State.HaveFast || got.State.FastEpoch != 7 || got.State.FastDigest[0] != 0xAB {
+		t.Errorf("fast record not preserved on exact recovery: %+v", got.State)
+	}
+	if _, ok := rec2.Snaps["dev-c"]; ok {
+		t.Error("tombstoned device resurrected")
+	}
+}
+
+func TestKillWithoutSentinelIsInexact(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	s := testSnap(100)
+	if err := l.Append("dev-a", &s); err != nil {
+		t.Fatal(err)
+	}
+	l.Kill()
+
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	defer l2.Close()
+	if rec.Exact {
+		t.Error("kill -9 under FsyncNone must not recover exact")
+	}
+	if got := rec.Snaps["dev-a"].State.Counter; got != 100 {
+		t.Errorf("record lost: counter=%d", got)
+	}
+}
+
+func TestFsyncAlwaysKillIsExact(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	s := testSnap(100)
+	if err := l.Append("dev-a", &s); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Fsyncs == 0 {
+		t.Error("FsyncAlways append must fsync")
+	}
+	l.Kill()
+
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	defer l2.Close()
+	if !rec.Exact {
+		t.Error("per-record fsync journal must recover exact after a kill")
+	}
+	if got := rec.Snaps["dev-a"].State.Counter; got != 100 {
+		t.Errorf("counter=%d", got)
+	}
+}
+
+func TestTruncatedTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	sa := testSnap(100)
+	sb := testSnap(200)
+	if err := l.Append("dev-a", &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("dev-b", &sb); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, genName(1))
+	l.Kill()
+
+	// Tear the final record mid-payload: the classic torn write.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf[:len(buf)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	defer l2.Close()
+	if !rec.Truncated {
+		t.Error("truncated tail not reported")
+	}
+	if rec.Exact {
+		t.Error("truncated journal must not be exact")
+	}
+	if got := rec.Snaps["dev-a"].State.Counter; got != 100 {
+		t.Errorf("intact prefix record lost: counter=%d", got)
+	}
+	if _, ok := rec.Snaps["dev-b"]; ok {
+		t.Error("torn record must not be applied")
+	}
+}
+
+func TestCorruptRecordSkippedWithCounter(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	sa := testSnap(100)
+	if err := l.Append("dev-a", &sa); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft a record with intact framing whose payload won't parse.
+	junk := []byte{recPut, 2, 0, 'x', 'y', 0xDE, 0xAD}
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(junk)))
+	frame = append(frame, junk...)
+	if err := l.write(frame); err != nil {
+		t.Fatal(err)
+	}
+	sb := testSnap(200)
+	if err := l.Append("dev-b", &sb); err != nil {
+		t.Fatal(err)
+	}
+	l.Kill()
+
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	defer l2.Close()
+	if rec.Skipped != 1 {
+		t.Errorf("skipped=%d, want 1", rec.Skipped)
+	}
+	if l2.Stats().ReplaySkipped != 1 {
+		t.Errorf("stats ReplaySkipped=%d, want 1", l2.Stats().ReplaySkipped)
+	}
+	if rec.Exact {
+		t.Error("journal with skipped records must not be exact")
+	}
+	// Records after the skipped one still apply.
+	if got := rec.Snaps["dev-b"].State.Counter; got != 200 {
+		t.Errorf("post-skip record lost: counter=%d", got)
+	}
+}
+
+func TestKeyMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	// A put record whose key is dev-a but whose embedded state-push frame
+	// names dev-b: grafting one device's freshness onto another.
+	s := testSnap(999)
+	payload := []byte{recPut}
+	payload = binary.LittleEndian.AppendUint16(payload, 5)
+	payload = append(payload, "dev-a"...)
+	payload = cluster.AppendStatePush(payload, "dev-b", &s)
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = append(frame, payload...)
+	if err := l.write(frame); err != nil {
+		t.Fatal(err)
+	}
+	l.Kill()
+
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	defer l2.Close()
+	if len(rec.Snaps) != 0 {
+		t.Fatalf("mismatched record applied: %v", rec.Snaps)
+	}
+	if rec.Skipped != 1 {
+		t.Errorf("skipped=%d, want 1", rec.Skipped)
+	}
+}
+
+func TestCompactionPrunesAndPreserves(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	sa := testSnap(100)
+	sb := testSnap(200)
+	if err := l.Append("dev-a", &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("dev-b", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if l.AppendsSinceCompact() != 2 {
+		t.Errorf("since=%d", l.AppendsSinceCompact())
+	}
+
+	if err := l.BeginCompact(); err != nil {
+		t.Fatal(err)
+	}
+	// Capture after rotation, as the contract requires; then keep appending
+	// to the new generation before the snapshot lands.
+	captured := map[string]cluster.Snapshot{"dev-a": sa, "dev-b": sb}
+	sa2 := testSnap(300)
+	if err := l.Append("dev-a", &sa2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FinishCompact(captured); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Compactions != 1 {
+		t.Errorf("compactions=%d", l.Stats().Compactions)
+	}
+
+	// The pre-compaction generation must be gone; snapshot + new gen remain.
+	if _, err := os.Stat(filepath.Join(dir, genName(1))); !os.IsNotExist(err) {
+		t.Error("superseded journal generation not pruned")
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Errorf("snapshot missing: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	defer l2.Close()
+	if !rec.Exact {
+		t.Error("clean close after compaction should be exact")
+	}
+	if got := rec.Snaps["dev-a"].State.Counter; got != 300 {
+		t.Errorf("journal-over-snapshot ordering broken: counter=%d, want 300", got)
+	}
+	if got := rec.Snaps["dev-b"].State.Counter; got != 200 {
+		t.Errorf("snapshot record lost: counter=%d", got)
+	}
+}
+
+func TestMultiGenerationRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Three runs, no compaction: recovery must fold all generations in order.
+	for i, c := range []uint64{100, 200, 300} {
+		l, _ := mustOpen(t, dir, Options{Fsync: FsyncNone})
+		s := testSnap(c)
+		if err := l.Append("dev-a", &s); err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			l.Kill()
+		} else if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	defer l.Close()
+	if got := rec.Snaps["dev-a"].State.Counter; got != 300 {
+		t.Errorf("counter=%d, want 300 (newest generation wins)", got)
+	}
+	if rec.Exact {
+		t.Error("killed newest generation must poison exactness")
+	}
+}
+
+func TestPolicyHeaderSurvivesPolicyChange(t *testing.T) {
+	dir := t.TempDir()
+	// Run 1 journals under FsyncNone and dies dirty; run 2 opens with
+	// FsyncAlways. Exactness must be judged by the *previous* run's header,
+	// not the new policy.
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	s := testSnap(100)
+	if err := l.Append("dev-a", &s); err != nil {
+		t.Fatal(err)
+	}
+	l.Kill()
+
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	defer l2.Close()
+	if rec.Exact {
+		t.Error("policy upgrade must not launder an under-synced journal into exact")
+	}
+}
+
+func TestCorruptSnapshotFileInexact(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	sa := testSnap(100)
+	if err := l.Append("dev-a", &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.BeginCompact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FinishCompact(map[string]cluster.Snapshot{"dev-a": sa}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Smash the snapshot magic.
+	path := filepath.Join(dir, snapName)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := mustOpen(t, dir, Options{Fsync: FsyncNone})
+	defer l2.Close()
+	if rec.Exact {
+		t.Error("corrupt snapshot base must not be exact")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, _, err := ParsePolicy("always"); err != nil || p != FsyncAlways {
+		t.Errorf("always: %v %v", p, err)
+	}
+	if p, _, err := ParsePolicy("none"); err != nil || p != FsyncNone {
+		t.Errorf("none: %v %v", p, err)
+	}
+	if p, d, err := ParsePolicy("100ms"); err != nil || p != FsyncInterval || d.Milliseconds() != 100 {
+		t.Errorf("100ms: %v %v %v", p, d, err)
+	}
+	for _, bad := range []string{"", "sometimes", "-5s", "0s"} {
+		if _, _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAppendAfterCloseErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := testSnap(1)
+	if err := l.Append("dev-a", &s); err != ErrClosed {
+		t.Errorf("Append after Close: %v", err)
+	}
+	if err := l.AppendTombstone("dev-a"); err != ErrClosed {
+		t.Errorf("AppendTombstone after Close: %v", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Errorf("Sync after Close: %v", err)
+	}
+}
+
+func TestLeftoverTmpSnapshotRemoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapTmpName), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := mustOpen(t, dir, Options{})
+	defer l.Close()
+	if !rec.Exact || len(rec.Snaps) != 0 {
+		t.Errorf("tmp leftover affected recovery: exact=%v snaps=%d", rec.Exact, len(rec.Snaps))
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapTmpName)); !os.IsNotExist(err) {
+		t.Error("leftover tmp snapshot not removed")
+	}
+}

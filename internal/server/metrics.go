@@ -83,6 +83,12 @@ type serverMetrics struct {
 	peerConns       *obs.Counter // peer links accepted from other daemons
 	rejDaemonRate   *obs.Counter // frames dropped by the daemon-wide budget
 
+	// Persistence: journal-recovered devices adopted on reconnect, and the
+	// latency of the fsyncs the durability policy forces.
+	recoveredExact  *obs.Counter // adopted live-exact (fast-path arm preserved)
+	recoveredJumped *obs.Counter // adopted via the restart freshness jump
+	fsyncLat        *obs.Histogram
+
 	// gateLat times frames that die at the serving gate; attestLat times
 	// accepted attestation rounds issue-to-accept. The mass separation
 	// between the two histograms is the paper's asymmetry, live.
@@ -96,6 +102,7 @@ const (
 	rejectsHelp   = "Frames rejected by the daemon's serving gate, by cause."
 	evictionsHelp = "Established connections evicted by the slow-loris defence, by cause."
 	handoffsHelp  = "Device freshness states adopted from the cluster on reconnect, by kind (live = exact from the previous owner, replica = jumped from a replicated snapshot)."
+	recoveredHelp = "Journal-recovered devices adopted on reconnect after a daemon restart, by kind (exact = streams continue precisely, jumped = FreshnessSlack forward jump)."
 )
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -150,8 +157,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		statsReports:  reg.Counter("attestd_stats_reports_total", "Agent gate-counter heartbeats received."),
 		statsEpochs:   reg.Counter("attestd_stats_epochs_total", "Agent counter resets (reboots) detected and folded into the fleet high-water base."),
 
+		recoveredExact:  reg.Counter("attestd_recovered_devices_total", recoveredHelp, obs.L("kind", "exact")),
+		recoveredJumped: reg.Counter("attestd_recovered_devices_total", recoveredHelp, obs.L("kind", "jumped")),
+
 		gateLat:   reg.Histogram("attestd_gate_seconds", "Service time of frames that died at the serving gate.", nil),
 		attestLat: reg.Histogram("attestd_attest_seconds", "Issue-to-accept round-trip of honest attestation requests.", nil),
+		fsyncLat:  reg.Histogram("attestd_fsync_seconds", "Latency of journal fsyncs forced by the persistence durability policy.", nil),
 
 		transport: transport.NewMetrics(reg),
 	}
@@ -190,6 +201,27 @@ func (s *Server) registerGauges(reg *obs.Registry) {
 			defer s.mu.Unlock()
 			return float64(len(s.conns))
 		})
+
+	if ps := s.persist; ps != nil {
+		// The journal's counters already live behind atomics in the Log;
+		// gauge funcs re-export them at scrape time, nothing mirrored on
+		// the write path. Monotone values as GaugeFuncs follows the
+		// attestd_fleet_* precedent.
+		reg.GaugeFunc("attestd_journal_appends_total", "Snapshot records appended to the persistence journal.",
+			func() float64 { return float64(ps.Stats().Appends) })
+		reg.GaugeFunc("attestd_journal_tombstones_total", "Tombstone records appended to the persistence journal (device departures).",
+			func() float64 { return float64(ps.Stats().Tombstones) })
+		reg.GaugeFunc("attestd_journal_bytes", "Bytes written to the live persistence journal generation.",
+			func() float64 { return float64(ps.Stats().Bytes) })
+		reg.GaugeFunc("attestd_journal_compactions_total", "Full-snapshot compactions completed.",
+			func() float64 { return float64(ps.Stats().Compactions) })
+		reg.GaugeFunc("attestd_journal_replay_skipped_total", "Corrupt journal records skipped during the last replay.",
+			func() float64 { return float64(ps.Stats().ReplaySkipped) })
+		reg.GaugeFunc("attestd_journal_fsyncs_total", "Explicit fsyncs issued on the persistence journal.",
+			func() float64 { return float64(ps.Stats().Fsyncs) })
+		reg.GaugeFunc("attestd_recovered_pending", "Journal-recovered devices still waiting for their first reconnect.",
+			func() float64 { return float64(ps.RecoveredPending()) })
+	}
 
 	const fleetRejHelp = "Fleet-aggregated frames rejected at the provers' anchor gate, by cause (monotonic across reboots)."
 	fleet := func(name, help string, pick func(*protocol.StatsReport) uint64, labels ...obs.Label) {

@@ -1,0 +1,355 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proverattest/internal/cluster"
+	"proverattest/internal/journal"
+)
+
+// PersistentStore is the crash-safe VerifierStore: it delegates all live
+// state to an in-memory inner store and journals every device's snapshot
+// to an internal/journal.Log, so a restarted standalone daemon keeps its
+// freshness streams instead of husking them — the same survival invariant
+// cluster handoff provides, without needing a peer.
+//
+// Writes are write-behind by default: state changes mark the device dirty
+// in a coalescing set and a single flusher goroutine journals the current
+// snapshot (the cluster pusher's pattern, pointed at disk). The one
+// exception is the issue path under fsync=always: there the snapshot is
+// appended and fsynced *before* the request frame reaches the wire
+// (persistIssue), which is what entitles the next restart to adopt the
+// recovered streams live-exact — a counter is never on the wire before it
+// is on disk. Under lazier policies restart adoption jumps the streams
+// forward instead (cluster.Snapshot.JumpForRestart), which is always
+// freshness-safe.
+//
+// Lock order: wmu, then a device's mu, then recMu. wmu serializes journal
+// access so append order equals state-capture order — with monotone
+// streams that makes blind last-record-wins replay correct.
+type PersistentStore struct {
+	inner VerifierStore
+	log   *journal.Log
+	opts  PersistOptions
+
+	wmu sync.Mutex
+
+	dirtyMu sync.Mutex
+	dirty   map[string]struct{}
+	kick    chan struct{}
+
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// recovered holds replayed devices until their first reconnect claims
+	// them (TakeRecovered); recExact is whether claims adopt live-exact.
+	// Entries are already jump-adjusted when recExact is false.
+	recMu     sync.Mutex
+	recovered map[string]cluster.Snapshot
+	recExact  bool
+}
+
+// PersistOptions tunes OpenPersistentStore.
+type PersistOptions struct {
+	// Fsync is the durability policy (default FsyncInterval); see the
+	// journal package for the trade-offs each makes.
+	Fsync journal.FsyncPolicy
+	// FsyncInterval is the timer period under FsyncInterval (default 100ms).
+	FsyncInterval time.Duration
+	// CompactEvery rewrites the full snapshot after this many journal
+	// appends (default 4096; <0 disables compaction).
+	CompactEvery int
+	// Inner is the wrapped live store (default NewShardedStore(16)).
+	Inner VerifierStore
+}
+
+// OpenPersistentStore replays dir and starts the write-behind flusher.
+// Recovered devices wait in a side table until their first reconnect
+// adopts them; under-synced recoveries are freshness-jumped here, at open,
+// so no later code path can ever see un-jumped stale streams.
+func OpenPersistentStore(dir string, opts PersistOptions) (*PersistentStore, error) {
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 100 * time.Millisecond
+	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 4096
+	}
+	if opts.Inner == nil {
+		opts.Inner = NewShardedStore(16)
+	}
+	log, rec, err := journal.Open(dir, journal.Options{Fsync: opts.Fsync})
+	if err != nil {
+		return nil, err
+	}
+	ps := &PersistentStore{
+		inner:     opts.Inner,
+		log:       log,
+		opts:      opts,
+		dirty:     make(map[string]struct{}),
+		kick:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		recovered: rec.Snaps,
+		recExact:  rec.Exact,
+	}
+	if !rec.Exact {
+		for id, snap := range ps.recovered {
+			ps.recovered[id] = snap.JumpForRestart()
+		}
+	}
+	ps.wg.Add(1)
+	go ps.flushLoop()
+	return ps, nil
+}
+
+// VerifierStore delegation. Put/Remove mark the device dirty so inserts
+// and departures reach the journal without the server having to remember
+// to; the flusher resolves either to a put or a tombstone by looking at
+// the store's state at flush time.
+
+func (ps *PersistentStore) Get(deviceID string) (*deviceState, bool) {
+	return ps.inner.Get(deviceID)
+}
+
+func (ps *PersistentStore) Put(deviceID string, dev *deviceState) (*deviceState, bool) {
+	entry, inserted := ps.inner.Put(deviceID, dev)
+	if inserted {
+		ps.MarkDirty(deviceID)
+	}
+	return entry, inserted
+}
+
+func (ps *PersistentStore) Remove(deviceID string) (*deviceState, bool) {
+	d, ok := ps.inner.Remove(deviceID)
+	if ok {
+		ps.MarkDirty(deviceID)
+	}
+	return d, ok
+}
+
+func (ps *PersistentStore) Range(fn func(*deviceState) bool) { ps.inner.Range(fn) }
+
+func (ps *PersistentStore) Len() int { return ps.inner.Len() }
+
+// TakeRecovered claims a replayed device's snapshot for adoption on its
+// first reconnect, reporting whether the adoption is live-exact (the
+// fast-path arm survived) or restart-jumped. The claim is journaled
+// immediately: from here until the adopter's first MarkDirty flush the
+// journal record is the only durable copy, and a compaction in that
+// window must not lose the device.
+func (ps *PersistentStore) TakeRecovered(deviceID string) (cluster.Snapshot, bool, bool) {
+	ps.recMu.Lock()
+	snap, ok := ps.recovered[deviceID]
+	if ok {
+		delete(ps.recovered, deviceID)
+	}
+	exact := ps.recExact
+	ps.recMu.Unlock()
+	if !ok {
+		return cluster.Snapshot{}, false, false
+	}
+	ps.wmu.Lock()
+	ps.log.Append(deviceID, &snap) //nolint:errcheck // best-effort; the write-behind flush retries
+	ps.wmu.Unlock()
+	return snap, exact, true
+}
+
+// RecoveredPending reports how many replayed devices have not reconnected
+// yet (drills assert this drains to zero).
+func (ps *PersistentStore) RecoveredPending() int {
+	ps.recMu.Lock()
+	defer ps.recMu.Unlock()
+	return len(ps.recovered)
+}
+
+// MarkDirty queues deviceID for the write-behind flusher: an enqueue and
+// a non-blocking kick, no I/O, so serving paths stay cheap. Multiple
+// marks between flushes coalesce into one journal record of the latest
+// snapshot — exactly the cluster replication pusher's semantics.
+func (ps *PersistentStore) MarkDirty(deviceID string) {
+	if ps.closed.Load() {
+		return
+	}
+	ps.dirtyMu.Lock()
+	ps.dirty[deviceID] = struct{}{}
+	ps.dirtyMu.Unlock()
+	select {
+	case ps.kick <- struct{}{}:
+	default:
+	}
+}
+
+// persistIssue makes the just-advanced counter stream durable according
+// to policy. Under fsync=always this is the write-ahead barrier: it runs
+// after the verifier consumed the counter but before the request frame is
+// sent, and does not return until the snapshot is fsynced — so a crash
+// can never have put a counter on the wire that the journal does not
+// know about, which is what makes exact re-adoption freshness-safe.
+func (ps *PersistentStore) persistIssue(dev *deviceState) {
+	if ps.opts.Fsync != journal.FsyncAlways {
+		ps.MarkDirty(dev.id)
+		return
+	}
+	ps.wmu.Lock()
+	ps.appendLocked(dev.id)
+	ps.wmu.Unlock()
+}
+
+// appendLocked journals deviceID's current state: the live snapshot if
+// the store holds it (and it is not a handed-off husk), a tombstone
+// otherwise. Callers hold wmu.
+func (ps *PersistentStore) appendLocked(deviceID string) {
+	d, ok := ps.inner.Get(deviceID)
+	if ok {
+		d.mu.Lock()
+		husk := d.handedOff
+		var snap cluster.Snapshot
+		if !husk {
+			snap = d.snapshotLocked()
+		}
+		d.mu.Unlock()
+		if !husk {
+			ps.log.Append(deviceID, &snap) //nolint:errcheck // best-effort on the write-behind path
+			return
+		}
+	}
+	ps.log.AppendTombstone(deviceID) //nolint:errcheck
+}
+
+// flushLoop is the single writer behind the dirty set: drain, journal,
+// compact when due, sync on the interval timer.
+func (ps *PersistentStore) flushLoop() {
+	defer ps.wg.Done()
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if ps.opts.Fsync == journal.FsyncInterval {
+		ticker = time.NewTicker(ps.opts.FsyncInterval)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-ps.kick:
+			ps.flushDirty()
+			ps.maybeCompact()
+		case <-tick:
+			ps.wmu.Lock()
+			ps.log.Sync() //nolint:errcheck
+			ps.wmu.Unlock()
+		case <-ps.done:
+			return
+		}
+	}
+}
+
+func (ps *PersistentStore) flushDirty() {
+	ps.dirtyMu.Lock()
+	if len(ps.dirty) == 0 {
+		ps.dirtyMu.Unlock()
+		return
+	}
+	batch := ps.dirty
+	ps.dirty = make(map[string]struct{}, len(batch))
+	ps.dirtyMu.Unlock()
+	ps.wmu.Lock()
+	for id := range batch {
+		ps.appendLocked(id)
+	}
+	ps.wmu.Unlock()
+}
+
+// maybeCompact rewrites the full snapshot once enough journal appends
+// have accumulated. The rotate-then-capture ordering under wmu is the
+// correctness core: no append can interleave between the new generation
+// opening and the capture, so every record in that generation reflects
+// state at least as new as the snapshot and last-record-wins replay never
+// regresses a stream. The snapshot write itself (FinishCompact) runs
+// outside wmu — appends continue meanwhile.
+func (ps *PersistentStore) maybeCompact() {
+	if ps.opts.CompactEvery < 0 || ps.log.AppendsSinceCompact() < ps.opts.CompactEvery {
+		return
+	}
+	ps.wmu.Lock()
+	if err := ps.log.BeginCompact(); err != nil {
+		ps.wmu.Unlock()
+		return
+	}
+	state := make(map[string]cluster.Snapshot, ps.inner.Len())
+	ps.inner.Range(func(d *deviceState) bool {
+		d.mu.Lock()
+		if !d.handedOff {
+			state[d.id] = d.snapshotLocked()
+		}
+		d.mu.Unlock()
+		return true
+	})
+	// Replayed devices that never reconnected are not in the inner store
+	// yet must survive the compaction — their map entry is still the only
+	// live copy of their streams.
+	ps.recMu.Lock()
+	for id, snap := range ps.recovered {
+		state[id] = snap
+	}
+	ps.recMu.Unlock()
+	ps.wmu.Unlock()
+	ps.log.FinishCompact(state) //nolint:errcheck
+}
+
+// Stats exposes the journal's counters for metrics gauges.
+func (ps *PersistentStore) Stats() journal.Stats { return ps.log.Stats() }
+
+// bindFsyncObserver routes journal fsync latencies into a histogram. The
+// flusher is already running by the time Server.New calls this, so the
+// install synchronizes with it the same way every journal call does:
+// under wmu.
+func (ps *PersistentStore) bindFsyncObserver(fn func(time.Duration)) {
+	ps.wmu.Lock()
+	ps.log.SetFsyncObserver(fn)
+	ps.wmu.Unlock()
+}
+
+// Close drains: stop the flusher, journal a final snapshot of every live
+// device, and write the clean-shutdown sentinel — which is what lets the
+// next open adopt live-exact even under a lazy fsync policy.
+func (ps *PersistentStore) Close() error {
+	if !ps.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(ps.done)
+	ps.wg.Wait()
+	ps.flushDirty()
+	ps.wmu.Lock()
+	defer ps.wmu.Unlock()
+	// Belt and braces: the dirty set should already cover every change,
+	// but a final full sweep makes clean shutdown exact by construction.
+	ps.inner.Range(func(d *deviceState) bool {
+		d.mu.Lock()
+		husk := d.handedOff
+		var snap cluster.Snapshot
+		if !husk {
+			snap = d.snapshotLocked()
+		}
+		d.mu.Unlock()
+		if !husk {
+			ps.log.Append(d.id, &snap) //nolint:errcheck
+		}
+		return true
+	})
+	return ps.log.Close()
+}
+
+// Kill abandons the store without flushing or writing the sentinel — the
+// in-process stand-in for kill -9 that restart drills use. Only what the
+// fsync policy already forced to disk survives.
+func (ps *PersistentStore) Kill() {
+	if !ps.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(ps.done)
+	ps.wg.Wait()
+	ps.wmu.Lock()
+	ps.log.Kill()
+	ps.wmu.Unlock()
+}

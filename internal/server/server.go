@@ -245,6 +245,9 @@ type Counters struct {
 	StateExports      uint64 // device states handed off to a requesting peer
 	PeerConns         uint64 // peer links accepted from other daemons
 	DaemonRateLimited uint64 // frames dropped by the daemon-wide budget (MaxRatePerSec)
+
+	RecoveredExact  uint64 // journal-recovered devices adopted live-exact on reconnect
+	RecoveredJumped uint64 // journal-recovered devices adopted with a restart freshness jump
 }
 
 func (m *serverMetrics) snapshot() Counters {
@@ -297,6 +300,9 @@ func (m *serverMetrics) snapshot() Counters {
 		StateExports:      m.stateExports.Load(),
 		PeerConns:         m.peerConns.Load(),
 		DaemonRateLimited: m.rejDaemonRate.Load(),
+
+		RecoveredExact:  m.recoveredExact.Load(),
+		RecoveredJumped: m.recoveredJumped.Load(),
 	}
 }
 
@@ -349,6 +355,12 @@ type Server struct {
 
 	// cl is the daemon's cluster identity (nil outside cluster mode).
 	cl *cluster.Node
+
+	// persist is set when Config.Store is a *PersistentStore: the serving
+	// paths then feed it dirty marks (and, under fsync=always, the
+	// write-ahead barrier on the issue path). nil keeps every hot path
+	// exactly as it was — one pointer compare per site.
+	persist *PersistentStore
 
 	// dBucket is the daemon-wide admission bucket (nil when
 	// Config.MaxRatePerSec is 0, which keeps the single-daemon serving
@@ -448,6 +460,10 @@ func New(cfg Config) (*Server, error) {
 		reg:     reg,
 		m:       newServerMetrics(reg),
 	}
+	if ps, ok := store.(*PersistentStore); ok {
+		s.persist = ps
+		ps.bindFsyncObserver(func(d time.Duration) { s.m.fsyncLat.Observe(d) })
+	}
 	if cfg.MaxRatePerSec > 0 {
 		burst := float64(cfg.MaxRateBurst)
 		if burst <= 0 {
@@ -494,12 +510,16 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 func (s *Server) AgentStats() protocol.StatsReport {
 	var sum protocol.StatsReport
 	s.store.Range(func(d *deviceState) bool {
+		// base and latest must be read under one lock acquisition: onStats
+		// folds the latest report into the base on a reboot detection, and
+		// reading the base before that fold but the (reset) report after it
+		// would drop a whole epoch from the total — a non-monotone dip.
 		d.mu.Lock()
 		sum.Accumulate(&d.statsBase)
-		d.mu.Unlock()
 		if st := d.lastStats.Load(); st != nil {
 			sum.Accumulate(st)
 		}
+		d.mu.Unlock()
 		return true
 	})
 	return sum
@@ -554,6 +574,17 @@ func (s *Server) device(deviceID string) (*deviceState, error) {
 	// continues instead of restarting — the freshness-survival invariant.
 	handoff := s.adoptClusterState(d, deviceID)
 
+	// Standalone restart: the same invariant, sourced from the journal. A
+	// cluster peer's state is fresher than disk (it kept serving while
+	// this daemon was down), so disk only fills in when no peer did.
+	recoveredExact, recovered := false, false
+	if handoff == handoffNone && s.persist != nil {
+		if snap, exact, ok := s.persist.TakeRecovered(deviceID); ok {
+			d.importSnapshot(snap)
+			recoveredExact, recovered = exact, true
+		}
+	}
+
 	// Reserve-then-check keeps the cap exact: two inserts racing on
 	// different devices both Add before either could Load.
 	if s.deviceCount.Add(1) > int64(s.cfg.MaxDevices) {
@@ -571,6 +602,13 @@ func (s *Server) device(deviceID string) (*deviceState, error) {
 		s.m.handoffsLive.Inc()
 	case handoffReplica:
 		s.m.handoffsReplica.Inc()
+	}
+	if recovered {
+		if recoveredExact {
+			s.m.recoveredExact.Inc()
+		} else {
+			s.m.recoveredJumped.Inc()
+		}
 	}
 	return d, nil
 }
@@ -925,10 +963,17 @@ func (s *Server) onAttResp(dev *deviceState, frame []byte, t0 time.Time) {
 		if issued := dev.issuedAtNs.Load(); issued > 0 {
 			s.m.attestLat.Observe(time.Duration(time.Now().UnixNano() - issued))
 		}
-		if s.cl != nil && !fastOK {
+		if !fastOK {
 			// An accepted *full* measurement may have re-armed the fast
-			// record; replicate so a failover successor knows it too.
-			s.cl.Replicate(dev.id)
+			// record; replicate so a failover successor knows it too, and
+			// journal it so a restarted daemon re-arms instead of demanding
+			// a spurious full MAC.
+			if s.cl != nil {
+				s.cl.Replicate(dev.id)
+			}
+			if s.persist != nil {
+				s.persist.MarkDirty(dev.id)
+			}
 		}
 		s.releaseInflight()
 	case unsol:
@@ -996,6 +1041,11 @@ func (s *Server) onStats(dev *deviceState, frame []byte, t0 time.Time) {
 	}
 	dev.lastStats.Store(st)
 	dev.mu.Unlock()
+	if s.persist != nil {
+		// Stats ride the same snapshot records as freshness state; keeping
+		// them journaled keeps fleet aggregates monotone across restarts.
+		s.persist.MarkDirty(dev.id)
+	}
 }
 
 func (s *Server) acquireInflight() bool {
@@ -1052,6 +1102,13 @@ func (s *Server) issueOne(dev *deviceState, tc *transport.Conn) bool {
 	if err != nil {
 		s.releaseInflight()
 		return true
+	}
+	if s.persist != nil {
+		// Make the consumed counter durable before it can reach the wire:
+		// under fsync=always this blocks on the journal fsync (the
+		// write-ahead barrier behind exact restart adoption), under lazier
+		// policies it is a coalescing dirty mark.
+		s.persist.persistIssue(dev)
 	}
 	if err := tc.Send(raw); err != nil {
 		// The request is on no wire; abandon it immediately so the

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"hash/fnv"
 	"sync"
 )
 
@@ -73,10 +72,22 @@ func NewShardedStore(stripes int) VerifierStore {
 	return st
 }
 
+// shardFor hashes the device ID with FNV-1a inlined over the string (the
+// internal/cluster ring does the same for its 64-bit variant): a
+// hash.Hash32 plus the []byte(deviceID) conversion would cost two heap
+// allocations on every Get/Put/Remove, and Get sits on the serving path
+// of every frame's device lookup.
 func (st *shardedStore) shardFor(deviceID string) *storeShard {
-	h := fnv.New32a()
-	h.Write([]byte(deviceID)) //nolint:errcheck // never fails
-	return st.shards[h.Sum32()%uint32(len(st.shards))]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(deviceID); i++ {
+		h ^= uint32(deviceID[i])
+		h *= prime32
+	}
+	return st.shards[h%uint32(len(st.shards))]
 }
 
 func (st *shardedStore) Get(deviceID string) (*deviceState, bool) {
