@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet test race bench bench-compile repro fuzz fuzz-smoke examples clean
 .PHONY: attestd attest-agent attest-loadgen flood-net bench-transport bench-server bench-quiescent bench-swarm bench-cluster metrics-smoke
-.PHONY: cover chaos-smoke cluster-smoke persist-smoke bench-persist
+.PHONY: cover chaos-smoke cluster-smoke persist-smoke bench-persist admin-smoke bench-tiers
 
 all: build vet test
 
@@ -22,7 +22,8 @@ test:
 race:
 	$(GO) test -race ./internal/runner/... ./internal/core/... \
 		./internal/transport/... ./internal/server/... ./internal/agent/... \
-		./internal/faultnet/... ./internal/cluster/... ./internal/journal/...
+		./internal/faultnet/... ./internal/cluster/... ./internal/journal/... \
+		./internal/admin/...
 
 # One benchmark per paper table/figure plus the ablations.
 bench:
@@ -89,7 +90,17 @@ cover:
 	}; \
 	check internal/transport 85; \
 	check internal/agent 85; \
-	check internal/server 78
+	check internal/server 78; \
+	check internal/admin 85
+
+# Control-plane acceptance check: the admin HTTP handlers (auth matrix,
+# JSON shapes), the daemon-side Controller integration (evict/reattest
+# round trip over real TCP, drain contract with the goroutine-leak
+# check), the /healthz-/readyz probe flips and the admission-tier engine,
+# all under the race detector.
+admin-smoke:
+	$(GO) test -race -count=1 -v ./internal/admin/
+	$(GO) test -race -run 'TestAdmin|TestReadyz|TestTier|TestParseTierSpecs|TestBuildTiers|TestDefaultTierMatchesFlatLimiter' -count=1 -v ./internal/server/
 
 # Chaos acceptance check: a seeded fleet over faultnet chaos (flapping
 # links, dropped frames), then the faults stop and every agent must
@@ -174,6 +185,16 @@ persist-smoke:
 bench-persist:
 	$(GO) run ./cmd/attest-loadgen -restart-drill -devices 8 -attest-every 10ms \
 		-variant persistence -out $(CURDIR)/BENCH_server.json
+
+# Tier-isolation variant of BENCH_server.json: a bulk tier floods an
+# in-process daemon at 10x its tier-wide budget while an uncapped gold
+# tier keeps attesting. Fails unless the flood is tier-limited (and its
+# admitted throughput stays inside the budget envelope) and the gold
+# tier's authentic p99 stays within 2x its unloaded p99.
+bench-tiers:
+	$(GO) run ./cmd/attest-loadgen -tier-isolation -devices 8 -duration 3s \
+		-attest-every 20ms -tier-rate 400 -flood-x 10 -max-p99-ratio 2.0 \
+		-variant tier_isolation -out $(CURDIR)/BENCH_server.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -46,6 +46,7 @@ func main() {
 	var (
 		connect   = flag.String("connect", "127.0.0.1:7950", "daemon address to dial; comma-separated list for a cluster (any member, redirects route to the owner)")
 		deviceID  = flag.String("id", "agent-0", "device identity reported in the hello")
+		tier      = flag.Int("tier", 0, "admission-tier class advertised in the hello (0 = unclassified; the daemon's ID rules win)")
 		freshName = flag.String("freshness", "counter", "freshness policy: none | nonces | counter")
 		authName  = flag.String("auth", "hmac-sha1", "request auth: none | hmac-sha1 | aes-128-cbc-mac | speck-64/128-cbc-mac | ecdsa-secp160r1")
 		master    = flag.String("master", "proverattest-fleet-master", "master secret for key derivation (must match the daemon)")
@@ -72,6 +73,7 @@ func main() {
 	reg := obs.New()
 	a, err := agent.New(agent.Config{
 		DeviceID:       *deviceID,
+		Tier:           uint8(*tier),
 		Freshness:      fresh,
 		Auth:           auth,
 		MasterSecret:   []byte(*master),

@@ -403,6 +403,11 @@ func main() {
 
 		restartDrill = flag.Bool("restart-drill", false, "restart drill: agents attest against a persistent in-process daemon that is killed (kill -9 semantics) and restarted from its state directory mid-traffic, once per fsync policy; any device-side freshness reject or allocating gate reject fails the run")
 
+		tierIsolation = flag.Bool("tier-isolation", false, "tier-isolation drill: a bulk tier floods at -flood-x times its -tier-rate budget while an uncapped gold tier keeps attesting; fails if gold's authentic p99 moves past -max-p99-ratio")
+		tierRate      = flag.Float64("tier-rate", 400, "with -tier-isolation, the bulk tier's tier-wide budget in frames/s")
+		floodX        = flag.Float64("flood-x", 10, "with -tier-isolation, the flood intensity as a multiple of the bulk budget")
+		maxP99Ratio   = flag.Float64("max-p99-ratio", 0, "with -tier-isolation, fail if gold's loaded p99 exceeds this multiple of its unloaded p99 (0 = report only)")
+
 		chaos         = flag.Bool("chaos", false, "run the fleet over faultnet fault injection with supervised reconnects (disables the adversarial pump); survival stats land in the summary")
 		chaosSchedule = flag.String("chaos-schedule", "flap=500ms:reset;pct=2:drop", "faultnet fault schedule applied to every device connection in -chaos mode")
 		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the deterministic fault and backoff streams (per-device offsets applied); equal seeds replay equal runs")
@@ -441,6 +446,22 @@ func main() {
 			auth:     auth,
 			out:      *out,
 			variant:  *variant,
+		})
+		return
+	}
+	if *tierIsolation {
+		runTierIsolation(tierIsoOpts{
+			devices:     *devices,
+			duration:    *duration,
+			attEvery:    *attEvery,
+			master:      *master,
+			fresh:       fresh,
+			auth:        auth,
+			bulkBudget:  *tierRate,
+			floodX:      *floodX,
+			maxP99Ratio: *maxP99Ratio,
+			out:         *out,
+			variant:     *variant,
 		})
 		return
 	}

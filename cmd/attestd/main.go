@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"proverattest/internal/admin"
 	"proverattest/internal/cluster"
 	"proverattest/internal/core"
 	"proverattest/internal/journal"
@@ -33,8 +34,19 @@ import (
 	"proverattest/internal/server"
 )
 
+// tierFlags collects repeated -tier specs.
+type tierFlags []string
+
+func (t *tierFlags) String() string { return strings.Join(*t, ";") }
+func (t *tierFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
+	var tiers tierFlags
+	flag.Var(&tiers, "tier", "admission tier spec, repeatable: name:class=N,match=prefix[+prefix...],rate=R,burst=B,conn-rate=R,conn-burst=B (replaces -conn-rate as the admission layer)")
 	var (
 		listen    = flag.String("listen", "127.0.0.1:7950", "TCP listen address")
 		freshName = flag.String("freshness", "counter", "freshness policy: none | nonces | counter")
@@ -61,6 +73,10 @@ func main() {
 		stateDir     = flag.String("state-dir", "", "persist verifier state (snapshot+journal) under this directory; a restart recovers every device's freshness stream (empty = in-memory only)")
 		fsyncPolicy  = flag.String("fsync", "100ms", "journal durability: always (write-ahead, restart adopts exact) | none | a sync interval like 100ms (restart adopts via freshness jump)")
 		compactEvery = flag.Int("compact-every", 4096, "rewrite the full state snapshot after this many journal appends")
+
+		defaultTier = flag.String("default-tier", "", "tier for devices no rule or advertisement claims (default: the first -tier)")
+		adminAddr   = flag.String("admin", "", "serve the admin API and /healthz,/readyz probes on this address, e.g. localhost:9151 (empty = off)")
+		adminToken  = flag.String("admin-token", "", "bearer token required on mutating admin endpoints (empty = mutations disabled)")
 
 		statusEvery = flag.Duration("status-every", 5*time.Second, "status line period (0 = silent)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = off)")
@@ -100,6 +116,15 @@ func main() {
 		cfg.Flood = &server.FloodConfig{Total: *floodTotal, RatePerSec: *floodRate}
 	}
 	cfg.MaxRatePerSec = *daemonRate
+	if len(tiers) > 0 {
+		specs, err := server.ParseTierSpecs(tiers)
+		if err != nil {
+			log.Fatalf("attestd: %v", err)
+		}
+		cfg.Tiers = &server.TierPolicy{Tiers: specs, Default: *defaultTier}
+	} else if *defaultTier != "" {
+		log.Fatalf("attestd: -default-tier needs at least one -tier")
+	}
 
 	var ps *server.PersistentStore
 	if *stateDir != "" {
@@ -169,6 +194,19 @@ func main() {
 			log.Printf("attestd: metrics on http://%s/metrics", *metricsAddr)
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("attestd: metrics server: %v", err)
+			}
+		}()
+	}
+
+	// The control plane shares nothing with the serving path: its own
+	// listener, its own goroutine, and only exposition/mutation calls
+	// into the daemon.
+	if *adminAddr != "" {
+		mux := admin.NewMux(s, admin.Options{Token: *adminToken})
+		go func() {
+			log.Printf("attestd: admin API on http://%s/admin/ (probes /healthz /readyz)", *adminAddr)
+			if err := http.ListenAndServe(*adminAddr, mux); err != nil {
+				log.Printf("attestd: admin server: %v", err)
 			}
 		}()
 	}

@@ -57,6 +57,12 @@ func main() {
 		Golden:       core.GoldenRAMPattern(),
 		Flood:        &server.FloodConfig{Total: floodTotal, HonestHead: honestHead},
 		Metrics:      reg,
+		// A single-tier policy, spelled out: every connection rides the
+		// default admission tier, exactly as it would with no policy at
+		// all. The example asserts that accounting below — the tier admits
+		// every frame and limits none, so the tier layer is invisible to a
+		// single-class deployment.
+		Tiers: &server.TierPolicy{Tiers: []server.TierSpec{{Name: "default"}}},
 	})
 	if err != nil {
 		log.Fatalf("netflood: %v", err)
@@ -148,6 +154,26 @@ func main() {
 	case final["attestd_fleet_measurements"] != honestHead:
 		log.Fatalf("netflood: FAIL: exposition reports %v fleet measurements, want %d",
 			final["attestd_fleet_measurements"], honestHead)
+	}
+
+	// The admission-tier accounting for a single-tier daemon: everything
+	// the prover sent to the daemon was admitted by the default tier,
+	// nothing was tier-limited (this daemon floods the prover; the
+	// prover's replies are the only daemon-inbound frames).
+	tiers := srv.AdminTiers()
+	if len(tiers) != 1 || tiers[0].Name != "default" || !tiers[0].Default {
+		log.Fatalf("netflood: FAIL: tier status %+v, want the single default tier", tiers)
+	}
+	if tiers[0].Admitted == 0 || tiers[0].Limited != 0 {
+		log.Fatalf("netflood: FAIL: default tier admitted=%d limited=%d, want admitted>0 limited=0",
+			tiers[0].Admitted, tiers[0].Limited)
+	}
+	if got := final[`attestd_tier_admitted_total{tier="default"}`]; got != float64(tiers[0].Admitted) {
+		log.Fatalf("netflood: FAIL: exposition reports %v tier-admitted frames, daemon says %d",
+			got, tiers[0].Admitted)
+	}
+	if c.TierLimited != 0 {
+		log.Fatalf("netflood: FAIL: %d tier-limited frames on a single uncapped tier", c.TierLimited)
 	}
 	fmt.Printf(`PASS: the gate held over the socket.
   - %d honest requests each cost a full ≈754 ms (simulated) memory measurement;

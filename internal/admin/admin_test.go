@@ -1,0 +1,236 @@
+package admin
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeController records every mutation the handlers forward, so the
+// tests assert both the HTTP surface and what reached the daemon.
+type fakeController struct {
+	devices []DeviceInfo
+	tiers   []TierStatus
+
+	evicted    []string
+	reattested []string
+	overrides  map[string]TierOverride
+	drains     int
+
+	healthy bool
+	ready   bool
+	reason  string
+}
+
+func newFake() *fakeController {
+	return &fakeController{
+		devices: []DeviceInfo{
+			{ID: "dev-a", Tier: "gold", Counter: 7, FastArmed: true, FastEpoch: 3},
+			{ID: "dev-b", Tier: "bulk"},
+		},
+		tiers: []TierStatus{
+			{Name: "gold", Class: 1, RatePerSec: 100},
+			{Name: "bulk", Class: 2, Default: true},
+		},
+		overrides: map[string]TierOverride{},
+		healthy:   true,
+		ready:     true,
+	}
+}
+
+func (f *fakeController) AdminDevices() []DeviceInfo { return f.devices }
+func (f *fakeController) AdminDevice(id string) (DeviceInfo, bool) {
+	for _, d := range f.devices {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return DeviceInfo{}, false
+}
+func (f *fakeController) AdminEvict(id string) bool {
+	if _, ok := f.AdminDevice(id); !ok {
+		return false
+	}
+	f.evicted = append(f.evicted, id)
+	return true
+}
+func (f *fakeController) AdminReattest(id string) bool {
+	if _, ok := f.AdminDevice(id); !ok {
+		return false
+	}
+	f.reattested = append(f.reattested, id)
+	return true
+}
+func (f *fakeController) AdminTiers() []TierStatus { return f.tiers }
+func (f *fakeController) AdminSetTier(name string, o TierOverride) (TierStatus, error) {
+	for _, st := range f.tiers {
+		if st.Name == name {
+			f.overrides[name] = o
+			return st, nil
+		}
+	}
+	return TierStatus{}, ErrUnknownTier
+}
+func (f *fakeController) AdminDrain()           { f.drains++ }
+func (f *fakeController) Healthy() bool         { return f.healthy }
+func (f *fakeController) Ready() (bool, string) { return f.ready, f.reason }
+
+func do(t *testing.T, mux *http.ServeMux, method, path, token, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	return w
+}
+
+func TestProbeEndpoints(t *testing.T) {
+	f := newFake()
+	mux := NewMux(f, Options{})
+
+	if w := do(t, mux, "GET", "/healthz", "", ""); w.Code != 200 || w.Body.String() != "ok\n" {
+		t.Fatalf("healthz = %d %q", w.Code, w.Body.String())
+	}
+	if w := do(t, mux, "GET", "/readyz", "", ""); w.Code != 200 || w.Body.String() != "ready\n" {
+		t.Fatalf("readyz = %d %q", w.Code, w.Body.String())
+	}
+
+	f.healthy = false
+	if w := do(t, mux, "GET", "/healthz", "", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy healthz = %d, want 503", w.Code)
+	}
+	f.ready, f.reason = false, "draining"
+	w := do(t, mux, "GET", "/readyz", "", "")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "not ready: draining") {
+		t.Fatalf("unready readyz = %d %q, want 503 with the reason", w.Code, w.Body.String())
+	}
+}
+
+func TestReadEndpointsOpenAndShaped(t *testing.T) {
+	f := newFake()
+	// No token configured: reads must still work (they are fail-open by
+	// design; mutations are what fail closed).
+	mux := NewMux(f, Options{})
+
+	w := do(t, mux, "GET", "/admin/devices", "", "")
+	if w.Code != 200 {
+		t.Fatalf("devices = %d", w.Code)
+	}
+	var fleet struct {
+		Count   int          `json:"count"`
+		Devices []DeviceInfo `json:"devices"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Count != 2 || len(fleet.Devices) != 2 || fleet.Devices[0].ID != "dev-a" {
+		t.Fatalf("fleet listing = %+v", fleet)
+	}
+
+	w = do(t, mux, "GET", "/admin/devices/dev-a", "", "")
+	var one DeviceInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Tier != "gold" || !one.FastArmed || one.FastEpoch != 3 || one.Counter != 7 {
+		t.Fatalf("device view = %+v", one)
+	}
+	if w := do(t, mux, "GET", "/admin/devices/nope", "", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown device = %d, want 404", w.Code)
+	}
+
+	w = do(t, mux, "GET", "/admin/tiers", "", "")
+	var tiers struct {
+		Count int          `json:"count"`
+		Tiers []TierStatus `json:"tiers"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &tiers); err != nil {
+		t.Fatal(err)
+	}
+	if tiers.Count != 2 || tiers.Tiers[1].Name != "bulk" || !tiers.Tiers[1].Default {
+		t.Fatalf("tier listing = %+v", tiers)
+	}
+}
+
+// TestMutationsAuthMatrix drives every mutating endpoint through the
+// auth states: no token configured (403, fail closed), missing and wrong
+// credentials (401), and the right bearer token (2xx, mutation applied).
+func TestMutationsAuthMatrix(t *testing.T) {
+	mutations := []struct {
+		method, path, body string
+		wantCode           int
+		applied            func(f *fakeController) bool
+	}{
+		{"POST", "/admin/devices/dev-a/evict", "", 200,
+			func(f *fakeController) bool { return len(f.evicted) == 1 && f.evicted[0] == "dev-a" }},
+		{"POST", "/admin/devices/dev-a/reattest", "", 200,
+			func(f *fakeController) bool { return len(f.reattested) == 1 }},
+		{"POST", "/admin/tiers/gold", `{"rate_per_sec": 50}`, 200,
+			func(f *fakeController) bool {
+				o, ok := f.overrides["gold"]
+				return ok && o.RatePerSec != nil && *o.RatePerSec == 50
+			}},
+		{"POST", "/admin/drain", "", http.StatusAccepted,
+			func(f *fakeController) bool { return f.drains == 1 }},
+	}
+
+	for _, m := range mutations {
+		t.Run(m.path, func(t *testing.T) {
+			// No token configured: every mutation refused outright.
+			f := newFake()
+			mux := NewMux(f, Options{})
+			if w := do(t, mux, m.method, m.path, "s3cret", m.body); w.Code != http.StatusForbidden {
+				t.Fatalf("tokenless daemon: %s = %d, want 403", m.path, w.Code)
+			}
+
+			f = newFake()
+			mux = NewMux(f, Options{Token: "s3cret"})
+			if w := do(t, mux, m.method, m.path, "", m.body); w.Code != http.StatusUnauthorized {
+				t.Fatalf("no credentials: %s = %d, want 401", m.path, w.Code)
+			}
+			if w := do(t, mux, m.method, m.path, "wrong", m.body); w.Code != http.StatusUnauthorized {
+				t.Fatalf("wrong token: %s = %d, want 401", m.path, w.Code)
+			}
+			if m.applied(f) || f.drains > 0 {
+				t.Fatalf("refused requests still mutated: %+v", f)
+			}
+
+			if w := do(t, mux, m.method, m.path, "s3cret", m.body); w.Code != m.wantCode {
+				t.Fatalf("authorized: %s = %d, want %d", m.path, w.Code, m.wantCode)
+			}
+			if !m.applied(f) {
+				t.Fatalf("authorized %s did not reach the controller", m.path)
+			}
+		})
+	}
+}
+
+func TestTierOverrideValidation(t *testing.T) {
+	f := newFake()
+	mux := NewMux(f, Options{Token: "s3cret"})
+
+	if w := do(t, mux, "POST", "/admin/tiers/gold", "s3cret", "{not json"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad body = %d, want 400", w.Code)
+	}
+	if w := do(t, mux, "POST", "/admin/tiers/nope", "s3cret", "{}"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown tier = %d, want 404", w.Code)
+	}
+	w := do(t, mux, "POST", "/admin/tiers/gold", "s3cret", `{"rate_per_sec": 0, "per_conn_burst": 9}`)
+	if w.Code != 200 {
+		t.Fatalf("valid override = %d: %s", w.Code, w.Body.String())
+	}
+	o := f.overrides["gold"]
+	if o.RatePerSec == nil || *o.RatePerSec != 0 || o.PerConnBurst == nil || *o.PerConnBurst != 9 || o.Burst != nil {
+		t.Fatalf("override decoded as %+v, want explicit 0 rate, burst kept nil", o)
+	}
+}

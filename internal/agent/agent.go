@@ -37,6 +37,11 @@ type Config struct {
 	// DeviceID identifies the prover to the daemon (1..protocol.MaxDeviceID
 	// bytes).
 	DeviceID string
+	// Tier is the admission-tier class advertised in the hello
+	// (0 = unclassified). It is a hint: the daemon's server-side tier
+	// rules win whenever they claim this device's ID, and the advertised
+	// class matters only for IDs no rule matches.
+	Tier uint8
 	// Freshness and Auth must match the daemon's provisioned policy; the
 	// daemon refuses mismatched hellos. FreshTimestamp is not supported on
 	// the networked path: the simulated prover clock advances with
@@ -341,6 +346,7 @@ func (a *Agent) serve(ctx context.Context, nc net.Conn) error {
 	hello := &protocol.Hello{
 		Freshness: a.cfg.Freshness,
 		Auth:      a.cfg.Auth,
+		Tier:      a.cfg.Tier,
 		DeviceID:  a.cfg.DeviceID,
 	}
 	if err := tc.Send(hello.Encode()); err != nil {

@@ -28,13 +28,23 @@ import (
 //	offset 2 version 1
 //	offset 3 freshness kind
 //	offset 4 auth kind
-//	offset 5 reserved (1 byte, zero)
+//	offset 5 tier class (0 = unclassified/default)
 //	offset 6 device-id length (2 bytes)
 //	offset 8 device id (UTF-8, ≤ MaxDeviceID bytes)
+//
+// Byte 5 was reserved-must-be-zero through protocol version 1's first
+// deployments; it now carries the device's advertised admission-tier
+// class. Tier 0 ("unclassified") is byte-identical to the old encoding,
+// so pre-tier agents interoperate unchanged. The advertisement is an
+// unauthenticated *hint*: the daemon's server-side tier policy (device-ID
+// match rules) always wins, so a hostile agent advertising a premium
+// class cannot buy budget the operator didn't grant its identity.
 type Hello struct {
 	Freshness FreshnessKind
 	Auth      AuthKind
-	DeviceID  string
+	// Tier is the device's advertised admission-tier class (0 = none).
+	Tier     uint8
+	DeviceID string
 }
 
 const (
@@ -59,6 +69,7 @@ func (h *Hello) AppendEncode(dst []byte) []byte {
 	buf[2] = reqVersion
 	buf[3] = byte(h.Freshness)
 	buf[4] = byte(h.Auth)
+	buf[5] = h.Tier
 	binary.LittleEndian.PutUint16(buf[6:], uint16(len(h.DeviceID)))
 	return append(dst, h.DeviceID...)
 }
@@ -79,9 +90,6 @@ func DecodeHello(buf []byte) (*Hello, error) {
 	if buf[2] != reqVersion {
 		return nil, fmt.Errorf("protocol: unsupported hello version %d", buf[2])
 	}
-	if buf[5] != 0 {
-		return nil, fmt.Errorf("protocol: nonzero reserved byte in hello header")
-	}
 	idLen := int(binary.LittleEndian.Uint16(buf[6:]))
 	if idLen == 0 || idLen > MaxDeviceID {
 		return nil, fmt.Errorf("protocol: hello device-id length %d out of range (1..%d)", idLen, MaxDeviceID)
@@ -96,6 +104,7 @@ func DecodeHello(buf []byte) (*Hello, error) {
 	return &Hello{
 		Freshness: FreshnessKind(buf[3]),
 		Auth:      AuthKind(buf[4]),
+		Tier:      buf[5],
 		DeviceID:  id,
 	}, nil
 }

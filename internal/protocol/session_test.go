@@ -7,7 +7,7 @@ import (
 )
 
 func TestHelloRoundTrip(t *testing.T) {
-	h := &Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "dev-042"}
+	h := &Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, Tier: 3, DeviceID: "dev-042"}
 	raw := h.Encode()
 	if ClassifyFrame(raw) != FrameHello {
 		t.Fatalf("ClassifyFrame = %v, want FrameHello", ClassifyFrame(raw))
@@ -21,6 +21,30 @@ func TestHelloRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHelloTierByteCompat pins the wire evolution of header byte 5: a
+// tier-0 hello must be byte-identical to the pre-tier encoding (where the
+// byte was reserved-zero), and a pre-tier decoder's frame must decode
+// here as tier 0 — old agents and new daemons interoperate both ways.
+func TestHelloTierByteCompat(t *testing.T) {
+	legacy := (&Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "d"}).Encode()
+	if legacy[5] != 0 {
+		t.Fatalf("tier-0 hello has nonzero byte 5 (%#x): not wire-compatible with the reserved-byte era", legacy[5])
+	}
+	got, err := DecodeHello(legacy)
+	if err != nil || got.Tier != 0 {
+		t.Fatalf("legacy-layout hello: got tier %d, err %v", got.Tier, err)
+	}
+	classed := append([]byte(nil), legacy...)
+	classed[5] = 7
+	got, err = DecodeHello(classed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tier != 7 {
+		t.Fatalf("advertised tier: got %d, want 7", got.Tier)
+	}
+}
+
 func TestHelloRejectsBadFrames(t *testing.T) {
 	good := (&Hello{Freshness: FreshCounter, Auth: AuthHMACSHA1, DeviceID: "d"}).Encode()
 
@@ -28,7 +52,6 @@ func TestHelloRejectsBadFrames(t *testing.T) {
 		"short":        good[:4],
 		"bad magic":    append([]byte{0x42}, good[1:]...),
 		"bad version":  func() []byte { b := append([]byte(nil), good...); b[2] = 9; return b }(),
-		"reserved":     func() []byte { b := append([]byte(nil), good...); b[5] = 1; return b }(),
 		"length lie":   func() []byte { b := append([]byte(nil), good...); b[6] = 44; return b }(),
 		"trailing":     append(append([]byte(nil), good...), 'x'),
 		"invalid utf8": func() []byte { b := append([]byte(nil), good...); b[len(b)-1] = 0xFF; return b }(),

@@ -238,6 +238,18 @@ func (v *Verifier) CheckDecodedResponse(resp *AttResp) (bool, error) {
 	return true, nil
 }
 
+// DropFastState discards the verifier's fast-path arm record, forcing the
+// device's next attestation round to demand (and verify) a full memory
+// MAC. This is the force-reattest primitive: an operator who suspects a
+// device re-establishes ground truth instead of trusting the O(1)
+// unchanged-since-last-attest claim. A verifier with no record is a no-op;
+// the report says whether anything was dropped.
+func (v *Verifier) DropFastState() bool {
+	had := v.haveFast
+	v.haveFast = false
+	return had
+}
+
 // HasFastState reports whether the verifier holds a verified digest/epoch
 // record, i.e. whether its next request will grant fast-path permission.
 func (v *Verifier) HasFastState() bool { return v.haveFast }

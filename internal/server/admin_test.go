@@ -1,0 +1,333 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"proverattest/internal/admin"
+	"proverattest/internal/cluster"
+	"proverattest/internal/protocol"
+	"proverattest/internal/transport"
+)
+
+// adminDo drives the daemon's real admin mux with a recorded request —
+// the handlers and Controller implementation under test without an HTTP
+// listener's goroutines muddying the leak checks.
+func adminDo(t *testing.T, mux *http.ServeMux, method, path, token, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	return w
+}
+
+// TestAdminEvictThenReattestOverTCP is the control-plane round trip over
+// a real socket: an agent attests, the admin API evicts it (tearing the
+// session down and dropping its state), the device reconnects and builds
+// a fresh freshness stream, and a force-reattest lands on the rebuilt
+// session. Mutations without the bearer token must change nothing.
+func TestAdminEvictThenReattestOverTCP(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.AttestEvery = 20 * time.Millisecond
+		c.RequestTimeout = 500 * time.Millisecond
+	})
+	mux := admin.NewMux(s, admin.Options{Token: "s3cret"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck
+
+	dial := func() (chan struct{}, context.CancelFunc) {
+		a := testAgent(t, "admin-dev")
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			a.Serve(ctx, nc) //nolint:errcheck
+		}()
+		return done, cancel
+	}
+	done, cancel := dial()
+	defer cancel()
+	waitFor(t, 10*time.Second, "first verdict", func() bool {
+		return s.Counters().ResponsesAccepted >= 1
+	})
+
+	// The fleet listing shows the device, placed in the implicit default
+	// tier (no TierPolicy configured).
+	w := adminDo(t, mux, "GET", "/admin/devices", "", "")
+	var fleet struct {
+		Count   int                `json:"count"`
+		Devices []admin.DeviceInfo `json:"devices"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Count != 1 || fleet.Devices[0].ID != "admin-dev" || fleet.Devices[0].Tier != "default" {
+		t.Fatalf("fleet listing = %+v", fleet)
+	}
+	if fleet.Devices[0].Counter == 0 {
+		t.Fatal("device info shows no freshness-stream progress after an accepted verdict")
+	}
+
+	// Unauthenticated evict: refused, device untouched.
+	if w := adminDo(t, mux, "POST", "/admin/devices/admin-dev/evict", "", ""); w.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless evict = %d, want 401", w.Code)
+	}
+	if s.Devices() != 1 {
+		t.Fatal("refused evict still removed the device")
+	}
+
+	// Authorized evict: state dropped, session torn down (the agent's
+	// Serve returns when the daemon closes the connection).
+	if w := adminDo(t, mux, "POST", "/admin/devices/admin-dev/evict", "s3cret", ""); w.Code != http.StatusOK {
+		t.Fatalf("evict = %d: %s", w.Code, w.Body.String())
+	}
+	waitFor(t, 10*time.Second, "device table empty after evict", func() bool {
+		return s.Devices() == 0
+	})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent session survived the evict")
+	}
+	// Evicting an identity the daemon no longer knows is a 404.
+	if w := adminDo(t, mux, "POST", "/admin/devices/admin-dev/evict", "s3cret", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("evict of unknown device = %d, want 404", w.Code)
+	}
+
+	// Reconnect: the identity is admitted again with rebuilt state.
+	accepted := s.Counters().ResponsesAccepted
+	_, cancel2 := dial()
+	defer cancel2()
+	waitFor(t, 10*time.Second, "verdict on the rebuilt session", func() bool {
+		return s.Devices() == 1 && s.Counters().ResponsesAccepted > accepted
+	})
+
+	// Force-reattest on the rebuilt session: acknowledged, fast-path arm
+	// record dropped (trivially absent here), and the device keeps
+	// attesting — the kick did not wedge the issue loop.
+	if w := adminDo(t, mux, "POST", "/admin/devices/admin-dev/reattest", "s3cret", ""); w.Code != http.StatusOK {
+		t.Fatalf("reattest = %d: %s", w.Code, w.Body.String())
+	}
+	accepted = s.Counters().ResponsesAccepted
+	waitFor(t, 10*time.Second, "verdict after forced reattest", func() bool {
+		return s.Counters().ResponsesAccepted > accepted
+	})
+	var info admin.DeviceInfo
+	w = adminDo(t, mux, "GET", "/admin/devices/admin-dev", "", "")
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.FastArmed {
+		t.Fatal("fast path still armed after forced reattest")
+	}
+}
+
+// TestAdminDrainContract drains the daemon through POST /admin/drain and
+// holds it to the graceful Shutdown contract: new connections refused, Serve
+// returns nil, inflight zero, and no goroutine leaked.
+func TestAdminDrainContract(t *testing.T) {
+	g0 := runtime.NumGoroutine()
+
+	s := testServer(t, func(c *Config) {
+		c.AttestEvery = 20 * time.Millisecond
+		c.RequestTimeout = 300 * time.Millisecond
+	})
+	mux := admin.NewMux(s, admin.Options{Token: "s3cret"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+
+	a := testAgent(t, "drain-api-dev")
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	agentDone := make(chan struct{})
+	go func() {
+		defer close(agentDone)
+		a.Serve(ctx, nc) //nolint:errcheck
+	}()
+	waitFor(t, 10*time.Second, "first verdict", func() bool {
+		return s.Counters().ResponsesAccepted >= 1
+	})
+
+	if w := adminDo(t, mux, "POST", "/admin/drain", "s3cret", ""); w.Code != http.StatusAccepted {
+		t.Fatalf("drain = %d: %s", w.Code, w.Body.String())
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v after drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after admin drain")
+	}
+	// AdminDrain runs Shutdown asynchronously (the handler answers 202 and
+	// drains in the background), so Serve returning nil can slightly precede
+	// the last inflight verdict resolving — wait for zero rather than
+	// asserting it instantly.
+	waitFor(t, 10*time.Second, "zero inflight after drain", func() bool {
+		return s.Inflight() == 0
+	})
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after admin drain")
+	}
+	if ok, reason := s.Ready(); ok || reason == "" {
+		t.Fatalf("Ready() = %v %q after drain, want false with a reason", ok, reason)
+	}
+
+	cancel()
+	select {
+	case <-agentDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent did not exit after drain")
+	}
+	waitFor(t, 10*time.Second, "goroutines back to baseline after drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= g0+2
+	})
+}
+
+// TestReadyzFlipsDuringDrain pins the probe story a load balancer sees:
+// /readyz goes 503 ("draining") the moment Shutdown starts — while the
+// drain is still waiting out an unanswered inflight request — and
+// /healthz stays 200 through every phase (the process is alive; it is
+// just not taking new work).
+func TestReadyzFlipsDuringDrain(t *testing.T) {
+	s := testServer(t, func(c *Config) {
+		c.AttestEvery = 20 * time.Millisecond
+		c.RequestTimeout = time.Second
+	})
+	mux := admin.NewMux(s, admin.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck
+
+	probe := func(path string) (int, string) {
+		w := adminDo(t, mux, "GET", path, "", "")
+		return w.Code, w.Body.String()
+	}
+	waitFor(t, 5*time.Second, "readyz 200 once serving", func() bool {
+		code, _ := probe("/readyz")
+		return code == http.StatusOK
+	})
+	if code, _ := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d while serving, want 200", code)
+	}
+
+	// A mute prover: it sends a hello, never answers, so its issued
+	// request holds the drain open for ~RequestTimeout.
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := transport.NewConn(client, transport.Options{WriteTimeout: 2 * time.Second})
+	defer tc.Close()
+	hello := &protocol.Hello{Freshness: protocol.FreshCounter, Auth: protocol.AuthHMACSHA1, DeviceID: "mute-dev"}
+	if err := tc.Send(hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "an inflight request to the mute prover", func() bool {
+		return s.Inflight() >= 1
+	})
+
+	drainDone := make(chan error, 1)
+	go func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		drainDone <- s.Shutdown(sctx)
+	}()
+	waitFor(t, 5*time.Second, "readyz flips to draining", func() bool {
+		code, body := probe("/readyz")
+		return code == http.StatusServiceUnavailable && strings.Contains(body, "draining")
+	})
+	// Mid-drain: still alive.
+	if code, _ := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d mid-drain, want 200", code)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Post-drain: still not ready, still alive.
+	if code, _ := probe("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d after drain, want 503", code)
+	}
+	if code, _ := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d after drain, want 200", code)
+	}
+}
+
+// TestReadyzClusterMembership pins the cluster-aware half of readiness:
+// a node the shared membership view marks down reports 503 (peers
+// redirect its devices, so routing traffic to it only adds a hop) and
+// recovers to 200 when marked back up. Liveness never flips.
+func TestReadyzClusterMembership(t *testing.T) {
+	ms := cluster.NewMembership(cluster.DefaultVnodes,
+		cluster.Member{Name: "a", Addr: "127.0.0.1:1"},
+		cluster.Member{Name: "b", Addr: "127.0.0.1:2"},
+	)
+	node, err := cluster.NewNode("a", ms, cluster.NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+
+	s := testServer(t, func(c *Config) { c.Cluster = node })
+	mux := admin.NewMux(s, admin.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck
+
+	probe := func(path string) int {
+		return adminDo(t, mux, "GET", path, "", "").Code
+	}
+	waitFor(t, 5*time.Second, "readyz 200 once serving", func() bool {
+		return probe("/readyz") == http.StatusOK
+	})
+
+	// A peer going down must not affect this node's readiness.
+	ms.MarkDown("b")
+	if code := probe("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d with a dead peer, want 200", code)
+	}
+
+	ms.MarkDown("a")
+	w := adminDo(t, mux, "GET", "/readyz", "", "")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "membership") {
+		t.Fatalf("readyz = %d %q with self marked down, want 503 citing membership", w.Code, w.Body.String())
+	}
+	if code := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d with self marked down, want 200", code)
+	}
+
+	ms.MarkUp("a")
+	if code := probe("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d after recovery, want 200", code)
+	}
+}

@@ -111,6 +111,9 @@ func (s *Server) extractState(deviceID string) []byte {
 	if _, removed := s.store.Remove(deviceID); removed {
 		s.deviceCount.Add(-1)
 	}
+	if tr := d.tier.Load(); tr != nil {
+		tr.devices.Add(-1)
+	}
 	s.m.stateExports.Inc()
 	// The husk's issue loop notices handedOff on its next tick and tears
 	// the old session down; responses still in flight die as unsolicited

@@ -51,6 +51,7 @@ type serverMetrics struct {
 
 	// Per-frame rejects by cause (attestd_rejects_total).
 	rejRateLimited    *obs.Counter // over the per-connection token budget
+	rejTierLimited    *obs.Counter // over a tier-wide admission budget
 	rejUnknown        *obs.Counter // no recognised frame kind
 	rejMalformedResp  *obs.Counter // classified as a response, failed strict decode
 	rejBadMeasurement *obs.Counter // decoded fine, measurement/tag mismatch
@@ -89,6 +90,14 @@ type serverMetrics struct {
 	recoveredJumped *obs.Counter // adopted via the restart freshness jump
 	fsyncLat        *obs.Histogram
 
+	// Admin control-plane actions (attestd_admin_actions_total): the
+	// operator's mutations, so a dashboard can correlate a latency or
+	// reject-rate change with the override that caused it.
+	adminEvicts    *obs.Counter
+	adminReattests *obs.Counter
+	adminOverrides *obs.Counter
+	adminDrains    *obs.Counter
+
 	// gateLat times frames that die at the serving gate; attestLat times
 	// accepted attestation rounds issue-to-accept. The mass separation
 	// between the two histograms is the paper's asymmetry, live.
@@ -103,6 +112,8 @@ const (
 	evictionsHelp = "Established connections evicted by the slow-loris defence, by cause."
 	handoffsHelp  = "Device freshness states adopted from the cluster on reconnect, by kind (live = exact from the previous owner, replica = jumped from a replicated snapshot)."
 	recoveredHelp = "Journal-recovered devices adopted on reconnect after a daemon restart, by kind (exact = streams continue precisely, jumped = FreshnessSlack forward jump)."
+
+	adminActionsHelp = "Admin control-plane mutations applied, by action."
 )
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -128,6 +139,7 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		framesIn: reg.Counter("attestd_frames_total", "Frames read off sockets after the hello."),
 
 		rejRateLimited:    reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "rate_limited")),
+		rejTierLimited:    reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "tier_limited")),
 		rejUnknown:        reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "unknown_kind")),
 		rejMalformedResp:  reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "malformed_response")),
 		rejBadMeasurement: reg.Counter("attestd_rejects_total", rejectsHelp, obs.L("cause", "bad_measurement")),
@@ -159,6 +171,11 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 
 		recoveredExact:  reg.Counter("attestd_recovered_devices_total", recoveredHelp, obs.L("kind", "exact")),
 		recoveredJumped: reg.Counter("attestd_recovered_devices_total", recoveredHelp, obs.L("kind", "jumped")),
+
+		adminEvicts:    reg.Counter("attestd_admin_actions_total", adminActionsHelp, obs.L("action", "evict")),
+		adminReattests: reg.Counter("attestd_admin_actions_total", adminActionsHelp, obs.L("action", "reattest")),
+		adminOverrides: reg.Counter("attestd_admin_actions_total", adminActionsHelp, obs.L("action", "tier_override")),
+		adminDrains:    reg.Counter("attestd_admin_actions_total", adminActionsHelp, obs.L("action", "drain")),
 
 		gateLat:   reg.Histogram("attestd_gate_seconds", "Service time of frames that died at the serving gate.", nil),
 		attestLat: reg.Histogram("attestd_attest_seconds", "Issue-to-accept round-trip of honest attestation requests.", nil),

@@ -134,6 +134,14 @@ func TestMetricsSmoke(t *testing.T) {
 		"attestd_peer_conns_total",
 		`attestd_rejects_total{cause="daemon_rate"}`,
 		"attestd_devices_owned",
+		// Admission-tier and admin control-plane series (registered even on
+		// a single-tier daemon that never takes an admin action).
+		`attestd_rejects_total{cause="tier_limited"}`,
+		`attestd_tier_admitted_total{tier="default"}`,
+		`attestd_admin_actions_total{action="evict"}`,
+		`attestd_admin_actions_total{action="reattest"}`,
+		`attestd_admin_actions_total{action="tier_override"}`,
+		`attestd_admin_actions_total{action="drain"}`,
 		// Agent-reported fleet aggregates.
 		"attestd_fleet_received",
 		"attestd_fleet_measurements",

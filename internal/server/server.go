@@ -145,10 +145,20 @@ type Config struct {
 	MaxInflight int
 	// PerConnRatePerSec is each connection's inbound-frame budget; frames
 	// over budget are dropped and counted, the connection stays up
-	// (0 = unlimited).
+	// (0 = unlimited). When Tiers is set this field is ignored — each
+	// tier carries its own per-connection budget.
 	PerConnRatePerSec float64
 	// PerConnBurst is the token-bucket depth (default max(16, rate)).
 	PerConnBurst int
+
+	// Tiers partitions the fleet into admission tiers, each with its own
+	// tier-wide and per-connection budgets (see TierSpec). nil selects
+	// the implicit single-tier policy built from PerConnRatePerSec /
+	// PerConnBurst, whose admission decisions are identical to the old
+	// flat limiter. The tier-isolation property — a flooding tier
+	// exhausts its own budget without moving another tier's authentic
+	// latency — is what the -tier-isolation loadgen drill proves.
+	Tiers *TierPolicy
 
 	// AttestEvery is the per-prover attestation period (default 1 s).
 	AttestEvery time.Duration
@@ -216,6 +226,7 @@ type Counters struct {
 
 	FramesIn      uint64 // frames read off sockets (post-hello)
 	RateLimited   uint64 // frames dropped by the per-connection budget
+	TierLimited   uint64 // frames dropped by a tier-wide budget
 	UnknownFrames uint64 // frames of no recognised kind
 
 	MalformedFrames uint64 // classified frames failing strict decode (responses + stats)
@@ -272,6 +283,7 @@ func (m *serverMetrics) snapshot() Counters {
 
 		FramesIn:        m.framesIn.Load(),
 		RateLimited:     m.rejRateLimited.Load(),
+		TierLimited:     m.rejTierLimited.Load(),
 		UnknownFrames:   m.rejUnknown.Load(),
 		MalformedFrames: respMalformed + statsMalformed + m.rejMalformedSwarm.Load(),
 
@@ -340,6 +352,40 @@ type deviceState struct {
 	// issuedAtNs is the wall-clock ns timestamp of the most recent honest
 	// request issue, the start mark for the attest-latency histogram.
 	issuedAtNs atomic.Int64
+
+	// tier is the admission tier this device resolved into, set at
+	// device creation and re-resolved at each hello (the advertisement
+	// can only matter when no server-side rule claims the ID). An atomic
+	// pointer so handleFrame reads it without touching mu.
+	tier atomic.Pointer[tier]
+
+	// kick asks the device's issue loop for an immediate round instead
+	// of waiting out the AttestEvery tick — the admin API's lever for
+	// force-reattest and for tearing down an evicted device's session
+	// promptly. Buffered so kicking never blocks.
+	kick chan struct{}
+}
+
+// setTier moves the device between tiers, keeping the per-tier device
+// population counts exact.
+func (d *deviceState) setTier(t *tier) {
+	if old := d.tier.Swap(t); old != t {
+		if old != nil {
+			old.devices.Add(-1)
+		}
+		if t != nil {
+			t.devices.Add(1)
+		}
+	}
+}
+
+// kickIssue nudges the issue loop without blocking; a kick already
+// pending is the same kick.
+func (d *deviceState) kickIssue() {
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
 }
 
 func (d *deviceState) withLock(fn func()) {
@@ -366,6 +412,10 @@ type Server struct {
 	// Config.MaxRatePerSec is 0, which keeps the single-daemon serving
 	// path untouched).
 	dBucket *lockedBucket
+
+	// tiers is the compiled admission-tier policy (never nil; a flat
+	// config compiles to the implicit single default tier).
+	tiers *tierSet
 
 	// deviceCount tracks the device-table population, enforcing
 	// Config.MaxDevices without a global sweep on every hello.
@@ -460,6 +510,11 @@ func New(cfg Config) (*Server, error) {
 		reg:     reg,
 		m:       newServerMetrics(reg),
 	}
+	tiers, err := buildTiers(cfg.Tiers, cfg.PerConnRatePerSec, cfg.PerConnBurst, reg)
+	if err != nil {
+		return nil, err
+	}
+	s.tiers = tiers
 	if ps, ok := store.(*PersistentStore); ok {
 		s.persist = ps
 		ps.bindFsyncObserver(func(d time.Duration) { s.m.fsyncLat.Observe(d) })
@@ -566,7 +621,7 @@ func (s *Server) device(deviceID string) (*deviceState, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &deviceState{id: deviceID, v: v}
+	d := &deviceState{id: deviceID, v: v, kick: make(chan struct{}, 1)}
 
 	// Cluster mode: first contact on this daemon is usually a device
 	// whose previous owner still holds (or replicated) its freshness
@@ -597,6 +652,9 @@ func (s *Server) device(deviceID string) (*deviceState, error) {
 		s.deviceCount.Add(-1)
 		return cur, nil
 	}
+	// Tier placement by ID rules (the hello path re-resolves with the
+	// advertised class, which only matters when no ID rule claims it).
+	d.setTier(s.tiers.resolve(deviceID, 0))
 	switch handoff {
 	case handoffLive:
 		s.m.handoffsLive.Inc()
@@ -704,6 +762,46 @@ func (s *Server) Addr() net.Addr {
 		return nil
 	}
 	return s.ln.Addr()
+}
+
+// Healthy is the liveness probe (/healthz): true as long as the process
+// can answer at all — including while draining, on purpose. Liveness
+// restarting a daemon mid-drain would turn every rollout into a crash.
+func (s *Server) Healthy() bool { return true }
+
+// Ready is the readiness probe (/readyz): whether a load balancer should
+// route new connections here. False while draining (Shutdown's refusal
+// contract), after Close, before a listener is bound, and — in cluster
+// mode — while the shared membership view marks this node down (peers
+// would redirect its devices elsewhere, so feeding it traffic only adds
+// a hop). The reason string is what the probe body reports.
+func (s *Server) Ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	s.mu.Lock()
+	ln, closed := s.ln, s.closed
+	s.mu.Unlock()
+	if closed {
+		return false, "closed"
+	}
+	if ln == nil {
+		return false, "no listener bound"
+	}
+	if s.cl != nil {
+		self := s.cl.Self().Name
+		alive := false
+		for _, mem := range s.cl.Membership().Alive() {
+			if mem.Name == self {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return false, "cluster membership marks this node down"
+		}
+	}
+	return true, ""
 }
 
 // Shutdown drains the daemon gracefully: it stops accepting connections,
@@ -877,10 +975,12 @@ func (s *Server) handleConnInner(nc net.Conn) {
 		go func() { defer s.wg.Done(); s.swarmLoop(tc, stop) }()
 	}
 
-	var bucket *tokenBucket
-	if s.cfg.PerConnRatePerSec > 0 {
-		bucket = newTokenBucket(s.cfg.PerConnRatePerSec, float64(s.cfg.PerConnBurst))
-	}
+	// Re-resolve the tier with the hello's advertised class (server-side
+	// ID rules still win inside resolve) and draw this connection's
+	// budget from it — tier placement happens once per session, never on
+	// the per-frame path.
+	dev.setTier(s.tiers.resolve(hello.DeviceID, hello.Tier))
+	bucket := dev.tier.Load().connBucketAt(nil)
 	for {
 		// RecvShared reuses the connection's frame buffer: every handler
 		// below either decodes into value types or copies what it keeps, so
@@ -913,10 +1013,23 @@ func (s *Server) handleFrame(dev *deviceState, bucket *tokenBucket, frame []byte
 		s.m.gateLat.Observe(time.Since(t0))
 		return
 	}
+	// Tier-wide budget after the per-connection one: a single hostile
+	// connection dies at its own bucket before it can drain the budget
+	// its whole class shares.
+	tr := dev.tier.Load()
+	if tr != nil && !tr.allow() {
+		tr.limited.Add(1)
+		s.m.rejTierLimited.Inc()
+		s.m.gateLat.Observe(time.Since(t0))
+		return
+	}
 	if s.dBucket != nil && !s.dBucket.allow() {
 		s.m.rejDaemonRate.Inc()
 		s.m.gateLat.Observe(time.Since(t0))
 		return
+	}
+	if tr != nil {
+		tr.admitted.Inc()
 	}
 	switch protocol.ClassifyFrame(frame) {
 	case protocol.FrameAttResp:
@@ -1157,6 +1270,11 @@ func (s *Server) issueLoop(dev *deviceState, tc *transport.Conn, stop <-chan str
 			return
 		case <-s.drainCh:
 			return
+		case <-dev.kick:
+			// Admin force-reattest (or evict): run an immediate round
+			// instead of waiting out the tick — issueOne either demands
+			// the fresh full MAC now or notices the handed-off husk and
+			// tears the session down.
 		case <-ticker.C:
 		}
 	}
